@@ -1,0 +1,85 @@
+// Ablation (paper Section V-C observation): "the online performance of
+// the application follows the power capping function being applied ...
+// regardless of the application being studied or the power capping
+// function being applied."
+//
+// Quantifies that claim: cross-correlation between the applied-cap signal
+// and the progress-rate signal, across every (app, scheme) pair and at
+// lags 0-2 s, reported as a matrix.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "exp/measure.hpp"
+#include "policy/schemes.hpp"
+#include "shape_check.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::unique_ptr<procap::policy::CapSchedule> make_scheme(
+    const std::string& name) {
+  using namespace procap::policy;
+  if (name == "linear") {
+    return std::make_unique<LinearDecreasingCap>(150.0, 60.0, 2.0, 8.0);
+  }
+  if (name == "step") {
+    return std::make_unique<StepCap>(std::nullopt, 70.0, 12.0, 12.0);
+  }
+  return std::make_unique<JaggedCap>(150.0, 60.0, 16.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace procap;
+  using bench::shape_check;
+  std::cout << "== Ablation: does progress track the cap? ==\n"
+            << "Pearson correlation of (cap, progress) 1 Hz series, best\n"
+            << "over lags 0-2 s; 80 s runs.\n\n";
+
+  const std::vector<std::string> app_names = {
+      "lammps", "stream", "amg", "qmcpack-dmc", "openmc-active"};
+  const std::vector<std::string> schemes = {"linear", "step", "jagged"};
+
+  TablePrinter table({"app", "linear", "step", "jagged"});
+  bool all_track = true;
+  for (const auto& app_name : app_names) {
+    std::vector<std::string> row{app_name};
+    for (const auto& scheme : schemes) {
+      exp::RunOptions opt;
+      opt.duration = 80.0;
+      opt.seed = 5;
+      const auto traces = exp::run_under_schedule(apps::by_name(app_name),
+                                                  make_scheme(scheme), opt);
+      // 5-s smoothed progress rate, as in the Fig. 3 harness: slow
+      // reporters (one batch per second) quantize 1-s windows.
+      std::vector<double> caps;
+      std::vector<double> rates;
+      for (std::size_t i = 2; i < traces.cap.size(); ++i) {
+        const Nanos t = traces.cap[i].t;
+        caps.push_back(traces.cap[i].value == 0.0 ? 165.0
+                                                  : traces.cap[i].value);
+        const Nanos lo =
+            t >= 2 * kNanosPerSecond ? t - 2 * kNanosPerSecond : Nanos{0};
+        rates.push_back(traces.progress.mean_in(lo, t + 3 * kNanosPerSecond));
+      }
+      double best = -1.0;
+      for (std::size_t lag = 0; lag <= 2; ++lag) {
+        best = std::max(best, cross_correlation(caps, rates, lag));
+      }
+      row.push_back(num(best, 2));
+      // Memory-bound apps track weakly in mild-cap regions; the paper's
+      // claim is qualitative, so require a moderate positive correlation.
+      all_track &= best > 0.45;
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n";
+  shape_check("progress tracks the cap (corr > 0.45) for every app x scheme",
+              all_track);
+  return bench::shape_summary();
+}

@@ -1,0 +1,104 @@
+// Figure 1 reproduction: characterizing online performance.
+//
+// Left panel:   LAMMPS — consistent rate (~800k atom-steps/s).
+// Center panel: AMG — fluctuating rate (~2.5-3 GMRES iterations/s) that
+//               needs averaging.
+// Right panel:  QMCPACK performance-NiO — three phases (VMC1/VMC2/DMC)
+//               computing blocks at clearly distinguishable rates.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "exp/measure.hpp"
+#include "policy/schemes.hpp"
+#include "progress/analysis.hpp"
+#include "shape_check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_series(const procap::TimeSeries& s, const char* name,
+                  std::size_t stride = 1) {
+  std::cout << "t_seconds," << name << "\n";
+  for (std::size_t i = 0; i < s.size(); i += stride) {
+    std::cout << procap::to_seconds(s[i].t) << "," << s[i].value << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace procap;
+  using bench::shape_check;
+  std::cout << "== Figure 1: characterizing online performance ==\n\n";
+
+  // ---- LAMMPS: consistent --------------------------------------------
+  {
+    exp::RunOptions opt;
+    opt.duration = 30.0;
+    auto traces = exp::run_under_schedule(
+        apps::lammps(), std::make_unique<policy::UncappedSchedule>(), opt);
+    const auto report = progress::analyze_consistency(traces.progress);
+    std::cout << "-- LAMMPS (atom-steps/s), 30 s, uncapped (turbo) --\n";
+    print_series(traces.progress, "lammps_rate", 2);
+    std::cout << "mean=" << num(report.mean_rate, 0)
+              << " cv=" << num(report.cv, 4) << "\n\n";
+    shape_check("LAMMPS online performance is consistent (cv < 3%)",
+                report.consistent && report.cv < 0.03);
+    shape_check("LAMMPS rate ~ 896k atom-steps/s "
+                "(40k atoms x 22.4 steps/s at turbo)",
+                std::abs(report.mean_rate - 896000.0) < 55000.0);
+  }
+
+  // ---- AMG: fluctuates, needs averaging -------------------------------
+  {
+    exp::RunOptions opt;
+    opt.duration = 60.0;
+    opt.seed = 3;
+    auto traces = exp::run_under_schedule(
+        apps::amg(), std::make_unique<policy::UncappedSchedule>(), opt);
+    const auto report =
+        progress::analyze_consistency(traces.progress, 0.10, 2);
+    std::cout << "-- AMG (GMRES iterations/s), 60 s --\n";
+    print_series(traces.progress, "amg_rate", 4);
+    std::cout << "mean=" << num(report.mean_rate, 2)
+              << " min=" << num(report.mean_rate - report.stddev, 2)
+              << " max=" << num(report.mean_rate + report.stddev, 2)
+              << " cv=" << num(report.cv, 3) << "\n\n";
+    shape_check("AMG mean rate ~3 iterations/s",
+                std::abs(report.mean_rate - 3.0) < 0.4);
+    shape_check("AMG rate fluctuates more than LAMMPS (cv > 5%)",
+                report.cv > 0.05);
+  }
+
+  // ---- QMCPACK: three distinguishable phases ---------------------------
+  {
+    exp::RunOptions opt;
+    opt.duration = 45.0;  // VMC1 (~10 s) + VMC2 (~10 s) + 25 s of DMC
+    auto traces = exp::run_under_schedule(
+        apps::qmcpack(), std::make_unique<policy::UncappedSchedule>(), opt);
+    const auto segments = progress::detect_phases(traces.progress, 0.15, 3);
+    std::cout << "-- QMCPACK performance-NiO (blocks/s), 45 s --\n";
+    print_series(traces.progress, "qmcpack_rate", 2);
+    std::cout << "detected phases:\n";
+    TablePrinter table({"phase", "start_s", "end_s", "blocks/s"});
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      table.add_row({std::to_string(i + 1), num(to_seconds(segments[i].start), 1),
+                     num(to_seconds(segments[i].end), 1),
+                     num(segments[i].mean_rate, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    shape_check("QMCPACK shows exactly three phases", segments.size() == 3);
+    if (segments.size() == 3) {
+      shape_check("phase rates are distinct and descending "
+                  "(VMC1 > VMC2 > DMC)",
+                  segments[0].mean_rate > segments[1].mean_rate * 1.1 &&
+                      segments[1].mean_rate > segments[2].mean_rate * 1.1);
+      shape_check("DMC computes ~17.6 blocks/s (16 at nominal + turbo)",
+                  std::abs(segments[2].mean_rate - 17.6) < 1.5);
+    }
+  }
+
+  return bench::shape_summary();
+}

@@ -1,0 +1,194 @@
+// Substrate microbenchmarks (google-benchmark).
+//
+// These measure the cost of the pieces a production deployment would run
+// on the node: progress publish/deliver on the message bus, monitor
+// polling, RAPL register codecs, model evaluation, and the simulation
+// engine's stepping rate (which bounds how much simulated time the
+// experiment harness can chew through per wall second).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "model/fit.hpp"
+#include "msgbus/bus.hpp"
+#include "progress/monitor.hpp"
+#include "progress/reporter.hpp"
+#include "apps/specfile.hpp"
+#include "minithread/minithread.hpp"
+#include "progress/windower.hpp"
+#include "rapl/codec.hpp"
+
+#include <sstream>
+
+namespace {
+
+using namespace procap;
+
+void BM_MsgbusPublishDeliver(benchmark::State& state) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  auto pub = broker.make_pub();
+  auto sub = broker.make_sub();
+  sub->subscribe("progress/");
+  const std::string payload = progress::encode_sample({40000.0, 1});
+  for (auto _ : state) {
+    pub->publish("progress/app", payload);
+    benchmark::DoNotOptimize(sub->try_recv());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MsgbusPublishDeliver);
+
+void BM_MsgbusFanOut8(benchmark::State& state) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  auto pub = broker.make_pub();
+  std::vector<std::shared_ptr<msgbus::SubSocket>> subs;
+  for (int i = 0; i < 8; ++i) {
+    subs.push_back(broker.make_sub());
+    subs.back()->subscribe("");
+  }
+  for (auto _ : state) {
+    pub->publish("t", "x");
+    for (auto& sub : subs) {
+      benchmark::DoNotOptimize(sub->try_recv());
+    }
+  }
+}
+BENCHMARK(BM_MsgbusFanOut8);
+
+void BM_ProgressSampleCodec(benchmark::State& state) {
+  const progress::ProgressSample sample{123456.789, 2};
+  for (auto _ : state) {
+    const auto encoded = progress::encode_sample(sample);
+    benchmark::DoNotOptimize(progress::decode_sample(encoded));
+  }
+}
+BENCHMARK(BM_ProgressSampleCodec);
+
+void BM_MonitorPoll100Samples(benchmark::State& state) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  progress::Reporter reporter(broker.make_pub(), {"app", "u"});
+  progress::Monitor monitor(broker.make_sub(), "app", clock);
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      clock.advance(usec(500));
+      reporter.report(1.0);
+    }
+    monitor.poll();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_MonitorPoll100Samples);
+
+void BM_RaplLimitCodec(benchmark::State& state) {
+  const rapl::RaplUnits units = rapl::RaplUnits::skylake();
+  rapl::PkgPowerLimit limit;
+  limit.pl1.power = 95.0;
+  limit.pl1.enabled = true;
+  limit.pl1.time_window = 0.01;
+  for (auto _ : state) {
+    const auto raw = limit.encode(units);
+    benchmark::DoNotOptimize(rapl::PkgPowerLimit::decode(raw, units));
+  }
+}
+BENCHMARK(BM_RaplLimitCodec);
+
+void BM_ModelDeltaProgress(benchmark::State& state) {
+  model::ModelParams params;
+  params.beta = 0.84;
+  params.p_core_max = 120.0;
+  params.r_max = 16.0;
+  double cap = 30.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::delta_progress(params, cap));
+    cap = cap >= 110.0 ? 30.0 : cap + 1.0;
+  }
+}
+BENCHMARK(BM_ModelDeltaProgress);
+
+void BM_FitAlpha(benchmark::State& state) {
+  model::ModelParams params;
+  params.beta = 0.84;
+  params.p_core_max = 120.0;
+  params.r_max = 16.0;
+  std::vector<model::CapObservation> obs;
+  for (Watts cap = 30.0; cap <= 110.0; cap += 10.0) {
+    model::ModelParams truth = params;
+    truth.alpha = 2.4;
+    obs.push_back({cap, model::delta_progress(truth, cap)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::fit_alpha(params, obs));
+  }
+}
+BENCHMARK(BM_FitAlpha);
+
+// Simulated seconds per wall second for a full rig with a running app:
+// the throughput that bounds every experiment above.
+void BM_SimEngineLammpsSecond(benchmark::State& state) {
+  exp::SimRig rig;
+  const auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  for (auto _ : state) {
+    rig.engine().run_for(kNanosPerSecond);
+  }
+  state.SetLabel("one simulated second per iteration, 24 cores");
+}
+BENCHMARK(BM_SimEngineLammpsSecond);
+
+void BM_RaplFirmwareObserve(benchmark::State& state) {
+  hw::CpuSpec spec = hw::CpuSpec::skylake24();
+  hw::RaplFirmware fw(spec);
+  rapl::PkgPowerLimit limit;
+  limit.pl1.power = 100.0;
+  limit.pl1.enabled = true;
+  limit.pl1.time_window = 0.01;
+  fw.program(limit);
+  double power = 80.0;
+  for (auto _ : state) {
+    fw.observe(power, msec(1));
+    power = power >= 150.0 ? 80.0 : power + 1.0;
+  }
+}
+BENCHMARK(BM_RaplFirmwareObserve);
+
+void BM_MinithreadParallelFor(benchmark::State& state) {
+  minithread::ThreadPool pool(4);
+  std::vector<double> data(4096, 1.0);
+  for (auto _ : state) {
+    pool.parallel_for(data.size(), [&](std::size_t i) { data[i] *= 1.0001; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_MinithreadParallelFor);
+
+void BM_RateWindowerIngest(benchmark::State& state) {
+  for (auto _ : state) {
+    progress::RateWindower windower(0, kNanosPerSecond);
+    for (int i = 0; i < 1000; ++i) {
+      windower.add(static_cast<Nanos>(i) * msec(10), 1.0);
+    }
+    benchmark::DoNotOptimize(windower.windows());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_RateWindowerIngest);
+
+void BM_SpecParse(benchmark::State& state) {
+  std::ostringstream os;
+  apps::write_spec(os, apps::qmcpack().spec);
+  const std::string text = os.str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::parse_spec(text));
+  }
+}
+BENCHMARK(BM_SpecParse);
+
+}  // namespace

@@ -1,0 +1,34 @@
+// shape_check.hpp — PASS/FAIL assertions for benchmark harnesses.
+//
+// Every bench binary reproduces a paper artifact and then checks the
+// *shape* of the result (who wins, direction of error, where crossovers
+// fall) rather than absolute numbers.  Failures set a nonzero process
+// exit code so `for b in build/bench/*; do $b; done` surfaces regressions.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace procap::bench {
+
+inline int g_failures = 0;
+
+/// Record and print one shape check.
+inline void shape_check(const std::string& what, bool ok) {
+  std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << what << "\n";
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+/// Print the summary line and return the process exit code.
+inline int shape_summary() {
+  if (g_failures == 0) {
+    std::cout << "\nAll shape checks passed.\n";
+  } else {
+    std::cout << "\n" << g_failures << " shape check(s) FAILED.\n";
+  }
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace procap::bench

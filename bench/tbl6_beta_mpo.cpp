@@ -1,0 +1,72 @@
+// Table VI reproduction: beta and MPO characterization of the suite.
+//
+// For each application, beta is measured exactly as in the paper
+// (Section IV-A): from execution-time ratios at 3300 MHz and 1600 MHz,
+// here via the progress rate (rate ~ 1/T).  MPO is PAPI_L3_TCM /
+// PAPI_TOT_INS over the 3300 MHz run.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "exp/measure.hpp"
+#include "shape_check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* app;
+  const char* label;
+  double beta_paper;
+  double mpo_paper_e3;  // x 1e-3
+};
+
+// Paper Table VI.
+constexpr PaperRow kPaper[] = {
+    {"qmcpack-dmc", "QMCPACK (DMC)", 0.84, 3.91},
+    {"openmc-active", "OpenMC (Active)", 0.93, 0.20},
+    {"amg", "AMG", 0.52, 30.1},
+    {"lammps", "LAMMPS", 1.00, 0.32},
+    {"stream", "STREAM", 0.37, 50.9},
+};
+
+}  // namespace
+
+int main() {
+  using namespace procap;
+  std::cout << "== Table VI: beta and MPO metrics for selected applications ==\n"
+            << "beta from progress rates at 3300 vs 1600 MHz (Eq. 1); MPO =\n"
+            << "PAPI_L3_TCM / PAPI_TOT_INS at 3300 MHz.\n\n";
+
+  TablePrinter table({"Application", "beta (measured)", "beta (paper)",
+                      "MPO x1e-3 (measured)", "MPO x1e-3 (paper)"});
+  std::vector<double> measured_beta;
+  std::vector<double> measured_mpo;
+  for (const PaperRow& row : kPaper) {
+    const auto c = exp::characterize(apps::by_name(row.app), 1.6e9, 12.0);
+    measured_beta.push_back(c.beta);
+    measured_mpo.push_back(c.mpo * 1e3);
+    table.add_row({row.label, num(c.beta, 2), num(row.beta_paper, 2),
+                   num(c.mpo * 1e3, 2), num(row.mpo_paper_e3, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape checks:\n";
+  using bench::shape_check;
+  for (std::size_t i = 0; i < std::size(kPaper); ++i) {
+    shape_check(std::string(kPaper[i].label) + ": beta within 0.05 of paper",
+                std::abs(measured_beta[i] - kPaper[i].beta_paper) < 0.05);
+    shape_check(std::string(kPaper[i].label) + ": MPO within 15% of paper",
+                std::abs(measured_mpo[i] - kPaper[i].mpo_paper_e3) <
+                    0.15 * kPaper[i].mpo_paper_e3 + 0.05);
+  }
+  // The paper's qualitative claim: MPO and beta are anti-correlated
+  // (high MPO -> memory-bound -> low beta).
+  shape_check("MPO ordering is the reverse of beta ordering (STREAM max MPO, "
+              "LAMMPS max beta)",
+              measured_mpo[4] > measured_mpo[2] &&  // STREAM > AMG
+                  measured_mpo[2] > measured_mpo[0] &&  // AMG > QMCPACK
+                  measured_beta[3] > measured_beta[0] &&  // LAMMPS > QMCPACK
+                  measured_beta[0] > measured_beta[2]);   // QMCPACK > AMG
+  return bench::shape_summary();
+}

@@ -1,0 +1,129 @@
+#include "apps/app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::apps {
+
+SimApp::SimApp(hw::Package& package, msgbus::Broker& broker, WorkloadSpec spec,
+               std::uint64_t seed, CoreRange cores)
+    : package_(&package), cores_(cores), spec_(std::move(spec)), rng_(seed) {
+  if (spec_.phases.empty()) {
+    throw std::invalid_argument("SimApp: workload has no phases");
+  }
+  if (cores_.count == 0) {
+    cores_.first = 0;
+    cores_.count = package_->core_count();
+  }
+  if (cores_.first + cores_.count > package_->core_count()) {
+    throw std::invalid_argument("SimApp: core range exceeds the package");
+  }
+  reporter_ = std::make_unique<progress::Reporter>(
+      broker.make_pub(),
+      progress::ReporterConfig{spec_.name, spec_.unit});
+  workers_.assign(cores_.count, WorkerState::kRunning);
+  for (unsigned w = 0; w < cores_.count; ++w) {
+    worker_core(w).set_idle_callback([this](unsigned core, Nanos now) {
+      on_core_idle(core - cores_.first, now);
+    });
+  }
+  begin_iteration();
+}
+
+hw::Core& SimApp::worker_core(unsigned w) {
+  return package_->core(cores_.first + w);
+}
+
+void SimApp::set_worker_scale(std::function<double(unsigned)> scale) {
+  worker_scale_ = std::move(scale);
+}
+
+void SimApp::begin_iteration() {
+  const PhaseSpec& ph = spec_.phases[phase_];
+  // Iteration-level difficulty noise, shared by all workers.  With
+  // noise_ar1 > 0 the noise is an AR(1) process (stationary stddev ==
+  // noise_cv), so the iteration cost wanders over many iterations.
+  double factor = 1.0;
+  if (ph.noise_cv > 0.0) {
+    const double rho = std::clamp(ph.noise_ar1, 0.0, 0.999);
+    noise_state_ = rho * noise_state_ +
+                   ph.noise_cv * std::sqrt(1.0 - rho * rho) * rng_.normal();
+    factor = std::clamp(1.0 + noise_state_, 0.3, 2.0);
+  }
+  const double chunks = static_cast<double>(std::max(ph.interleave, 1U));
+  for (unsigned w = 0; w < cores_.count; ++w) {
+    const double scale =
+        factor * (worker_scale_ ? worker_scale_(w) : 1.0) / chunks;
+    hw::Core& core = worker_core(w);
+    workers_[w] = WorkerState::kRunning;
+    core.set_spin(false);
+    for (unsigned chunk = 0; chunk < std::max(ph.interleave, 1U); ++chunk) {
+      if (ph.cycles > 0.0 || ph.compute_instr > 0.0) {
+        core.push_compute(ph.cycles * scale, ph.compute_instr * scale);
+      }
+      if (ph.mem_stall > 0.0 || ph.bytes > 0.0) {
+        core.push_memory(ph.mem_stall * scale, ph.bytes * scale,
+                         ph.memory_instr * scale);
+      }
+    }
+  }
+  arrived_ = 0;
+}
+
+void SimApp::on_core_idle(unsigned worker, Nanos now) {
+  if (done_) {
+    return;
+  }
+  if (workers_[worker] != WorkerState::kRunning) {
+    return;  // already at the barrier (spinning) or finished
+  }
+  // This worker finished its iteration work: arrive at the barrier.
+  workers_[worker] = WorkerState::kArrived;
+  worker_core(worker).set_spin(true);
+  ++arrived_;
+  if (arrived_ == workers_.size()) {
+    complete_iteration(now);
+  }
+}
+
+void SimApp::complete_iteration(Nanos now) {
+  const PhaseSpec& ph = spec_.phases[phase_];
+  ++iterations_;
+  ++phase_iterations_;
+  total_progress_ += ph.progress_per_iter;
+  reporter_->report(ph.progress_per_iter, ph.phase_id);
+
+  bool phase_over = stop_requested_;
+  if (!phase_over && ph.iterations != kUnbounded &&
+      phase_iterations_ >= ph.iterations) {
+    phase_over = true;
+  }
+  if (!phase_over && ph.iterations == kUnbounded && spec_.early_stop &&
+      spec_.early_stop(phase_iterations_, rng_)) {
+    phase_over = true;
+  }
+  if (phase_over) {
+    advance_phase(now);
+  } else {
+    begin_iteration();
+  }
+}
+
+void SimApp::advance_phase(Nanos now) {
+  ++phase_;
+  phase_iterations_ = 0;
+  if (stop_requested_ || phase_ >= spec_.phases.size()) {
+    phase_ = spec_.phases.size();
+    done_ = true;
+    for (unsigned w = 0; w < cores_.count; ++w) {
+      workers_[w] = WorkerState::kDone;
+      worker_core(w).set_spin(false);
+    }
+    return;
+  }
+  begin_iteration();
+  (void)now;
+}
+
+}  // namespace procap::apps

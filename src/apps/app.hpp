@@ -1,0 +1,100 @@
+// app.hpp — runtime that executes a WorkloadSpec on simulated cores.
+//
+// SimApp drives one worker per core of a package through the workload's
+// bulk-synchronous phases.  Workers that finish an iteration early spin
+// at the barrier (burning power and instructions but making no progress —
+// the load-imbalance effect of paper Table I); the last arrival completes
+// the iteration, reports progress through a progress::Reporter, and
+// releases everyone into the next iteration.
+//
+// The app is entirely event-driven off the cores' idle callbacks: it has
+// no step function of its own, so its timing comes from the simulated
+// hardware, including frequency and duty-cycle changes mid-iteration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "hw/package.hpp"
+#include "msgbus/bus.hpp"
+#include "progress/reporter.hpp"
+#include "util/rng.hpp"
+
+namespace procap::apps {
+
+/// Subset of a package's cores an application runs on.  Multi-component
+/// workloads (URBAN's Nek5000 + EnergyPlus, HACC's solvers) co-locate
+/// several SimApps on one package by giving each a disjoint range.
+struct CoreRange {
+  unsigned first = 0;
+  /// Number of cores; 0 means "all cores of the package".
+  unsigned count = 0;
+};
+
+/// One simulated application bound to (a core range of) a package.
+class SimApp {
+ public:
+  /// Starts immediately: the first iteration's work is queued at
+  /// construction.  `package` and `broker` must outlive the app.
+  SimApp(hw::Package& package, msgbus::Broker& broker, WorkloadSpec spec,
+         std::uint64_t seed = 1, CoreRange cores = {});
+
+  SimApp(const SimApp&) = delete;
+  SimApp& operator=(const SimApp&) = delete;
+
+  /// Per-worker work multiplier (load imbalance); default uniform 1.0.
+  /// Must be set before the affected iterations begin.
+  void set_worker_scale(std::function<double(unsigned worker)> scale);
+
+  /// Request a stop at the next iteration boundary.
+  void stop() { stop_requested_ = true; }
+
+  /// True once all phases completed (or stop() took effect).
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Index of the phase currently executing (== phase count when done).
+  [[nodiscard]] std::size_t current_phase() const { return phase_; }
+
+  /// Iterations completed across all phases.
+  [[nodiscard]] long iterations_completed() const { return iterations_; }
+
+  /// Total progress amount reported.
+  [[nodiscard]] double total_progress() const { return total_progress_; }
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+  [[nodiscard]] const progress::Reporter& reporter() const {
+    return *reporter_;
+  }
+
+ private:
+  enum class WorkerState { kRunning, kArrived, kDone };
+
+  void on_core_idle(unsigned core, Nanos now);
+  void begin_iteration();
+  void complete_iteration(Nanos now);
+  void advance_phase(Nanos now);
+
+  /// Core behind local worker index `w`.
+  [[nodiscard]] hw::Core& worker_core(unsigned w);
+
+  hw::Package* package_;
+  CoreRange cores_;
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<progress::Reporter> reporter_;
+  std::function<double(unsigned)> worker_scale_;
+
+  std::size_t phase_ = 0;
+  long phase_iterations_ = 0;  ///< completed in the current phase
+  double noise_state_ = 0.0;   ///< AR(1) state of the iteration noise
+  long iterations_ = 0;
+  double total_progress_ = 0.0;
+  std::vector<WorkerState> workers_;
+  unsigned arrived_ = 0;
+  bool done_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace procap::apps

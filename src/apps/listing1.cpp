@@ -1,0 +1,77 @@
+#include "apps/listing1.hpp"
+
+namespace procap::apps {
+
+Listing1App::Listing1App(hw::Package& package, msgbus::Broker& broker,
+                         WorkPattern pattern, long iterations,
+                         Seconds base_sleep, double sleep_mips)
+    : package_(&package),
+      pattern_(pattern),
+      iterations_(iterations),
+      base_sleep_(base_sleep),
+      sleep_mips_(sleep_mips) {
+  reporter_ = std::make_unique<progress::Reporter>(
+      broker.make_pub(),
+      progress::ReporterConfig{"listing1", "iterations"});
+  ranks_.assign(package_->core_count(), RankState::kRunning);
+  for (unsigned c = 0; c < package_->core_count(); ++c) {
+    package_->core(c).set_idle_callback(
+        [this](unsigned core, Nanos now) { on_core_idle(core, now); });
+  }
+  begin_iteration();
+}
+
+double Listing1App::work_units_per_iteration() const {
+  const auto size = static_cast<double>(ranks_.size());
+  double units = 0.0;
+  for (unsigned r = 0; r < ranks_.size(); ++r) {
+    const double share =
+        pattern_ == WorkPattern::kEqual
+            ? 1.0
+            : static_cast<double>(r + 1) / size;  // Listing 1: rank+1
+    units += share * base_sleep_ * 1e6;  // one unit per microsecond slept
+  }
+  return units;
+}
+
+void Listing1App::begin_iteration() {
+  const auto size = static_cast<double>(ranks_.size());
+  for (unsigned r = 0; r < ranks_.size(); ++r) {
+    const double share =
+        pattern_ == WorkPattern::kEqual
+            ? 1.0
+            : static_cast<double>(r + 1) / size;
+    const Seconds sleep_time = share * base_sleep_;
+    hw::Core& core = package_->core(r);
+    ranks_[r] = RankState::kRunning;
+    core.set_spin(false);
+    core.push_sleep(sleep_time, sleep_mips_ * 1e6 * sleep_time);
+  }
+  arrived_ = 0;
+}
+
+void Listing1App::on_core_idle(unsigned core, Nanos /*now*/) {
+  if (done_ || ranks_[core] != RankState::kRunning) {
+    return;
+  }
+  // MPI_Barrier: busy-poll until every rank arrives.
+  ranks_[core] = RankState::kArrived;
+  package_->core(core).set_spin(true);
+  ++arrived_;
+  if (arrived_ < ranks_.size()) {
+    return;
+  }
+  ++iterations_done_;
+  reporter_->report(1.0);
+  if (iterations_done_ >= iterations_) {
+    done_ = true;
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+      ranks_[r] = RankState::kDone;
+      package_->core(r).set_spin(false);
+    }
+    return;
+  }
+  begin_iteration();
+}
+
+}  // namespace procap::apps

@@ -1,0 +1,74 @@
+// listing1.hpp — the paper's Listing 1: MPI workload imbalance demo.
+//
+// Each rank sleeps (usleep) for its share of work, then enters a barrier;
+// the highest rank always sleeps the full second, so every iteration takes
+// one second and "online performance, Definition 1" is one iteration per
+// second regardless of the work pattern.  With unequal work, the early
+// ranks busy-wait at the barrier, retiring instructions at full tilt —
+// inflating MIPS by an order of magnitude while progress is unchanged.
+// That divergence is exactly paper Table I, and this class reproduces it
+// on the simulated package (the examples directory also carries a
+// real-thread version built on procap::minimpi).
+//
+// Work-unit accounting follows the paper: one work unit per microsecond a
+// rank spends inside sleep().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/package.hpp"
+#include "msgbus/bus.hpp"
+#include "progress/reporter.hpp"
+
+namespace procap::apps {
+
+/// Which do_work() variant of Listing 1 to run.
+enum class WorkPattern {
+  kEqual,    ///< do_equal_work: every rank sleeps 1 s
+  kUnequal,  ///< do_unequal_work: rank r sleeps (r+1)/size seconds
+};
+
+/// Listing-1 workload on a simulated package (one rank per core).
+class Listing1App {
+ public:
+  /// `sleep_mips`: background instruction rate (per rank, in MIPS) while
+  /// blocked in sleep — OS timer ticks and MPI runtime bookkeeping.
+  Listing1App(hw::Package& package, msgbus::Broker& broker,
+              WorkPattern pattern, long iterations = 5,
+              Seconds base_sleep = 1.0, double sleep_mips = 170.0);
+
+  Listing1App(const Listing1App&) = delete;
+  Listing1App& operator=(const Listing1App&) = delete;
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] long iterations_completed() const { return iterations_done_; }
+
+  /// Work units (rank-microseconds of sleep) per iteration — the paper's
+  /// "Definition 2" numerator.
+  [[nodiscard]] double work_units_per_iteration() const;
+
+  [[nodiscard]] const progress::Reporter& reporter() const {
+    return *reporter_;
+  }
+
+ private:
+  enum class RankState { kRunning, kArrived, kDone };
+
+  void on_core_idle(unsigned core, Nanos now);
+  void begin_iteration();
+
+  hw::Package* package_;
+  WorkPattern pattern_;
+  long iterations_;
+  Seconds base_sleep_;
+  double sleep_mips_;
+  std::unique_ptr<progress::Reporter> reporter_;
+
+  std::vector<RankState> ranks_;
+  unsigned arrived_ = 0;
+  long iterations_done_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace procap::apps

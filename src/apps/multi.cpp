@@ -1,0 +1,150 @@
+#include "apps/multi.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "apps/suite.hpp"
+
+namespace procap::apps {
+
+namespace {
+
+progress::AppTraits traits_by_name(const std::string& name) {
+  for (const auto& traits : interview_traits()) {
+    if (traits.name == name) {
+      return traits;
+    }
+  }
+  throw std::logic_error("multi: missing interview traits for " + name);
+}
+
+}  // namespace
+
+MultiAppModel urban() {
+  // Nek5000-like CFD: ~30 timesteps/s at nominal frequency, beta ~ 0.90,
+  // with heavy step-to-step cost variation (adaptive stepping) — the
+  // reason "the number of timesteps per second cannot be used to measure
+  // online performance reliably" (paper Section III-A).
+  PhaseSpec nek;
+  nek.name = "cfd-timestep";
+  nek.iterations = kUnbounded;
+  nek.cycles = 9.89e7;
+  nek.mem_stall = 3.33e-3;
+  nek.bytes = 1.9e7;
+  nek.compute_instr = 1.5e8;
+  nek.memory_instr = 1.0e6;
+  nek.noise_cv = 0.35;
+  nek.noise_ar1 = 0.97;  // cost wanders over ~1 s (adaptive stepping)
+  nek.progress_per_iter = 1.0;
+
+  // EnergyPlus-like building simulation: ~0.5 zone-steps/s, beta ~ 0.60.
+  PhaseSpec ep;
+  ep.name = "zone-step";
+  ep.iterations = kUnbounded;
+  ep.cycles = 3.96e9;
+  ep.mem_stall = 0.8;
+  ep.bytes = 3.0e9;
+  ep.compute_instr = 4.75e9;
+  ep.memory_instr = 2.0e7;
+  ep.noise_cv = 0.10;
+  ep.interleave = 64;
+  ep.progress_per_iter = 1.0;
+
+  MultiAppModel model;
+  model.name = "urban";
+  model.components.push_back(
+      {WorkloadSpec{"urban-nek5000", "timesteps", {nek}, nullptr}, 16, 0.5});
+  model.components.push_back(
+      {WorkloadSpec{"urban-energyplus", "zone-steps", {ep}, nullptr}, 8, 0.5});
+  model.traits = traits_by_name("urban");
+  return model;
+}
+
+MultiAppModel hacc() {
+  // Short-range force kernel: compute-bound, ~2 steps/s.
+  PhaseSpec shortrange;
+  shortrange.name = "short-range";
+  shortrange.iterations = kUnbounded;
+  shortrange.cycles = 1.5675e9;
+  shortrange.mem_stall = 0.025;
+  shortrange.bytes = 1.2e8;
+  shortrange.compute_instr = 2.8e9;
+  shortrange.memory_instr = 1.0e7;
+  shortrange.noise_cv = 0.20;
+  shortrange.noise_ar1 = 0.90;
+  shortrange.interleave = 32;
+  shortrange.progress_per_iter = 1.0e6;  // particle-steps
+
+  // Long-range (FFT) component: bandwidth-bound, ~2 steps/s.
+  PhaseSpec longrange;
+  longrange.name = "long-range-fft";
+  longrange.iterations = kUnbounded;
+  longrange.cycles = 7.4e8;
+  longrange.mem_stall = 0.275;
+  longrange.bytes = 2.2e9;
+  longrange.compute_instr = 8.9e8;
+  longrange.memory_instr = 1.0e7;
+  longrange.noise_cv = 0.20;
+  longrange.noise_ar1 = 0.90;
+  longrange.interleave = 32;
+  longrange.progress_per_iter = 1.0;
+
+  MultiAppModel model;
+  model.name = "hacc";
+  model.components.push_back(
+      {WorkloadSpec{"hacc-shortrange", "particle-steps", {shortrange},
+                    nullptr},
+       16, 0.6});
+  model.components.push_back(
+      {WorkloadSpec{"hacc-longrange", "fft-steps", {longrange}, nullptr}, 8,
+       0.4});
+  model.traits = traits_by_name("hacc");
+  return model;
+}
+
+double nominal_rate(const WorkloadSpec& spec, Hertz f) {
+  const Seconds t = spec.expected_iteration_seconds(0, f);
+  return spec.phases.at(0).progress_per_iter / t;
+}
+
+MultiAppInstance launch(const MultiAppModel& model, hw::Package& package,
+                        msgbus::Broker& broker,
+                        const TimeSource& time_source,
+                        Hertz nominal_frequency, std::uint64_t seed) {
+  unsigned total_cores = 0;
+  for (const auto& component : model.components) {
+    total_cores += component.cores;
+  }
+  if (total_cores > package.core_count()) {
+    throw std::invalid_argument("multi::launch: components need " +
+                                std::to_string(total_cores) + " cores, have " +
+                                std::to_string(package.core_count()));
+  }
+
+  MultiAppInstance instance;
+  instance.composite =
+      std::make_unique<progress::CompositeMonitor>(time_source);
+  unsigned next_core = 0;
+  std::uint64_t component_seed = seed;
+  for (const auto& component : model.components) {
+    // Slow components (iterations slower than ~3/s) get proportionally
+    // longer windows so a window always holds a few reports.
+    const Seconds iter_s =
+        component.spec.expected_iteration_seconds(0, nominal_frequency);
+    const Nanos window =
+        std::max<Nanos>(kNanosPerSecond, to_nanos(3.0 * iter_s));
+    auto monitor = std::make_shared<progress::Monitor>(
+        broker.make_sub(), component.spec.name, time_source, window);
+    instance.apps.push_back(std::make_unique<SimApp>(
+        package, broker, component.spec, ++component_seed,
+        CoreRange{next_core, component.cores}));
+    instance.composite->add_component(
+        monitor, component.weight,
+        nominal_rate(component.spec, nominal_frequency));
+    instance.monitors.push_back(std::move(monitor));
+    next_core += component.cores;
+  }
+  return instance;
+}
+
+}  // namespace procap::apps

@@ -1,0 +1,78 @@
+// multi.hpp — multi-component application models (the paper's Category 3).
+//
+// URBAN couples the Nek5000 CFD solver with the EnergyPlus building-energy
+// simulator, "running at timescales that are orders of magnitudes apart"
+// (paper Section III-A); HACC has "many individual components with
+// distinct performance characteristics" (Table II).  No single online
+// metric is reliable for these — which is exactly why the paper assigns
+// them Category 3 and defers them to the composite-progress future work
+// that procap implements in progress/composite.hpp.
+//
+// A MultiAppModel is a set of components, each a normal WorkloadSpec with
+// a core allotment and a composite weight; launch() co-locates them on
+// disjoint core ranges of one package and wires a CompositeMonitor over
+// their individual monitors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/workload.hpp"
+#include "hw/package.hpp"
+#include "msgbus/bus.hpp"
+#include "progress/category.hpp"
+#include "progress/composite.hpp"
+
+namespace procap::apps {
+
+/// One component of a multi-component application.
+struct ComponentModel {
+  WorkloadSpec spec;
+  /// Cores allotted to this component on the package.
+  unsigned cores = 0;
+  /// Share of the composite progress metric.
+  double weight = 1.0;
+};
+
+/// A Category-3 application: several components, one set of traits.
+struct MultiAppModel {
+  std::string name;
+  std::vector<ComponentModel> components;
+  progress::AppTraits traits;
+};
+
+/// URBAN: a fast, irregular CFD component (Nek5000-like, ~30 steps/s with
+/// heavy step-to-step variation) plus a slow building-energy component
+/// (EnergyPlus-like, ~0.5 zone-steps/s) — timescales ~60x apart.
+/// Component core split: 16 + 8 on the default 24-core package.
+[[nodiscard]] MultiAppModel urban();
+
+/// HACC: a compute-bound short-range force component next to a
+/// bandwidth-bound long-range (FFT) component, with irregular per-step
+/// cost.  Component core split: 16 + 8.
+[[nodiscard]] MultiAppModel hacc();
+
+/// Analytic nominal progress rate of a workload's first phase at
+/// frequency `f` (used to normalize components in the composite).
+[[nodiscard]] double nominal_rate(const WorkloadSpec& spec, Hertz f);
+
+/// A launched multi-component application.
+struct MultiAppInstance {
+  std::vector<std::unique_ptr<SimApp>> apps;
+  std::vector<std::shared_ptr<progress::Monitor>> monitors;
+  std::unique_ptr<progress::CompositeMonitor> composite;
+};
+
+/// Co-locate the model's components on disjoint core ranges of `package`
+/// (ranges must fit) and build the composite monitor, with nominal rates
+/// taken at `nominal_frequency`.
+[[nodiscard]] MultiAppInstance launch(const MultiAppModel& model,
+                                      hw::Package& package,
+                                      msgbus::Broker& broker,
+                                      const TimeSource& time_source,
+                                      Hertz nominal_frequency,
+                                      std::uint64_t seed = 1);
+
+}  // namespace procap::apps

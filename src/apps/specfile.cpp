@@ -1,0 +1,204 @@
+#include "apps/specfile.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace procap::apps {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("spec line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_number(const std::string& value, std::size_t line) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    fail(line, "expected a number, got '" + value + "'");
+  }
+  return v;
+}
+
+long parse_iterations(const std::string& value, std::size_t line) {
+  if (value == "unbounded") {
+    return kUnbounded;
+  }
+  const double v = parse_number(value, line);
+  if (v < 1.0) {
+    fail(line, "iterations must be >= 1 or 'unbounded'");
+  }
+  return static_cast<long>(v);
+}
+
+void validate_phase(const PhaseSpec& ph, std::size_t line) {
+  if (ph.cycles <= 0.0 && ph.mem_stall <= 0.0) {
+    fail(line, "phase '" + ph.name +
+                   "' needs cycles > 0 or mem_stall > 0");
+  }
+  if (ph.noise_cv < 0.0 || ph.noise_ar1 < 0.0 || ph.noise_ar1 >= 1.0) {
+    fail(line, "phase '" + ph.name + "': noise_cv >= 0, noise_ar1 in [0,1)");
+  }
+  if (ph.progress_per_iter <= 0.0) {
+    fail(line, "phase '" + ph.name + "': progress must be positive");
+  }
+}
+
+}  // namespace
+
+WorkloadSpec parse_spec(const std::string& text) {
+  WorkloadSpec spec;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  bool in_phase = false;
+  PhaseSpec phase;
+  std::size_t phase_line = 0;
+
+  auto close_phase = [&]() {
+    if (in_phase) {
+      validate_phase(phase, phase_line);
+      spec.phases.push_back(phase);
+    }
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        fail(line_no, "unterminated section header");
+      }
+      const std::string header = trim(line.substr(1, line.size() - 2));
+      if (header.rfind("phase", 0) != 0) {
+        fail(line_no, "unknown section '" + header + "'");
+      }
+      close_phase();
+      phase = PhaseSpec{};
+      phase.name = trim(header.substr(5));
+      if (phase.name.empty()) {
+        phase.name = "phase" + std::to_string(spec.phases.size());
+      }
+      phase.iterations = kUnbounded;
+      in_phase = true;
+      phase_line = line_no;
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, "expected 'key = value'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) {
+      fail(line_no, "empty value for '" + key + "'");
+    }
+
+    if (!in_phase) {
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "unit") {
+        spec.unit = value;
+      } else {
+        fail(line_no, "unknown top-level key '" + key + "'");
+      }
+      continue;
+    }
+
+    if (key == "iterations") {
+      phase.iterations = parse_iterations(value, line_no);
+    } else if (key == "cycles") {
+      phase.cycles = parse_number(value, line_no);
+    } else if (key == "mem_stall") {
+      phase.mem_stall = parse_number(value, line_no);
+    } else if (key == "bytes") {
+      phase.bytes = parse_number(value, line_no);
+    } else if (key == "compute_instr") {
+      phase.compute_instr = parse_number(value, line_no);
+    } else if (key == "memory_instr") {
+      phase.memory_instr = parse_number(value, line_no);
+    } else if (key == "noise_cv") {
+      phase.noise_cv = parse_number(value, line_no);
+    } else if (key == "noise_ar1") {
+      phase.noise_ar1 = parse_number(value, line_no);
+    } else if (key == "interleave") {
+      phase.interleave =
+          static_cast<unsigned>(parse_number(value, line_no));
+    } else if (key == "progress") {
+      phase.progress_per_iter = parse_number(value, line_no);
+    } else if (key == "phase_id") {
+      phase.phase_id = static_cast<int>(parse_number(value, line_no));
+    } else {
+      fail(line_no, "unknown phase key '" + key + "'");
+    }
+  }
+  close_phase();
+
+  if (spec.name.empty()) {
+    throw std::invalid_argument("spec: missing 'name'");
+  }
+  if (spec.unit.empty()) {
+    spec.unit = "iterations";
+  }
+  if (spec.phases.empty()) {
+    throw std::invalid_argument("spec: needs at least one [phase ...]");
+  }
+  return spec;
+}
+
+WorkloadSpec load_spec(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("load_spec: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_spec(buffer.str());
+}
+
+void write_spec(std::ostream& os, const WorkloadSpec& spec) {
+  os << "name = " << spec.name << "\n"
+     << "unit = " << spec.unit << "\n";
+  for (const PhaseSpec& ph : spec.phases) {
+    os << "\n[phase " << ph.name << "]\n";
+    if (ph.iterations == kUnbounded) {
+      os << "iterations = unbounded\n";
+    } else {
+      os << "iterations = " << ph.iterations << "\n";
+    }
+    os << "cycles = " << ph.cycles << "\n"
+       << "mem_stall = " << ph.mem_stall << "\n"
+       << "bytes = " << ph.bytes << "\n"
+       << "compute_instr = " << ph.compute_instr << "\n"
+       << "memory_instr = " << ph.memory_instr << "\n"
+       << "noise_cv = " << ph.noise_cv << "\n"
+       << "noise_ar1 = " << ph.noise_ar1 << "\n"
+       << "interleave = " << ph.interleave << "\n"
+       << "progress = " << ph.progress_per_iter << "\n"
+       << "phase_id = " << ph.phase_id << "\n";
+  }
+}
+
+}  // namespace procap::apps

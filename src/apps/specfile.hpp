@@ -1,0 +1,53 @@
+// specfile.hpp — workload specifications from text files.
+//
+// The built-in suite covers the paper's applications; users modeling their
+// own codes describe them in a small INI-style file and feed it to the
+// CLI tools (`power_policy --spec my_app.spec`, `characterize --spec ...`)
+// or to apps::SimApp directly:
+//
+//   # my_app.spec — comments start with '#'
+//   name = myapp
+//   unit = timesteps
+//
+//   [phase warmup]
+//   iterations    = 50
+//   cycles        = 1.2e8      # per worker per iteration, at f_nominal
+//   mem_stall     = 2e-3       # seconds per worker per iteration
+//   bytes         = 3e7
+//   compute_instr = 2.4e8
+//   progress      = 1.0
+//
+//   [phase main]
+//   iterations    = unbounded
+//   cycles        = 3.1e8
+//   mem_stall     = 8e-3
+//   bytes         = 9e7
+//   compute_instr = 5e8
+//   noise_cv      = 0.05
+//   noise_ar1     = 0.9
+//   phase_id      = 1
+//
+// Unknown keys are errors (they are always typos); numbers accept
+// scientific notation; every phase field except `cycles`/`mem_stall`
+// (at least one of which must be positive) has a sane default.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "apps/workload.hpp"
+
+namespace procap::apps {
+
+/// Parse a workload spec from text.  Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+[[nodiscard]] WorkloadSpec parse_spec(const std::string& text);
+
+/// Parse a workload spec from a file.  Throws std::runtime_error if the
+/// file cannot be read, std::invalid_argument on malformed content.
+[[nodiscard]] WorkloadSpec load_spec(const std::string& path);
+
+/// Serialize a spec in the same format (round-trips through parse_spec).
+void write_spec(std::ostream& os, const WorkloadSpec& spec);
+
+}  // namespace procap::apps

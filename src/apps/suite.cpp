@@ -1,0 +1,336 @@
+#include "apps/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::apps {
+
+namespace {
+
+// Traits rows transcribed from paper Table IV.
+progress::AppTraits qmcpack_traits() {
+  return {.name = "qmcpack",
+          .has_fom = true,
+          .measurable_online = true,
+          .relates_to_science = true,
+          .predictable_time = true,
+          .iterations_known = true,
+          .uniform_iterations = true,
+          .has_phases = true,
+          .multi_component = false,
+          .bound_by = "compute"};
+}
+
+progress::AppTraits openmc_traits() {
+  return {.name = "openmc",
+          .has_fom = false,
+          .measurable_online = true,
+          .relates_to_science = true,
+          .predictable_time = true,
+          .iterations_known = true,
+          .uniform_iterations = true,
+          .has_phases = true,
+          .multi_component = false,
+          .bound_by = "memory latency"};
+}
+
+progress::AppTraits amg_traits() {
+  return {.name = "amg",
+          .has_fom = false,
+          .measurable_online = true,
+          .relates_to_science = false,  // iterations != closeness to goal
+          .predictable_time = false,
+          .iterations_known = false,
+          .uniform_iterations = true,
+          .has_phases = false,
+          .multi_component = false,
+          .bound_by = "memory bandwidth"};
+}
+
+progress::AppTraits lammps_traits() {
+  return {.name = "lammps",
+          .has_fom = false,
+          .measurable_online = true,
+          .relates_to_science = true,
+          .predictable_time = true,
+          .iterations_known = true,
+          .uniform_iterations = true,
+          .has_phases = false,
+          .multi_component = false,
+          .bound_by = "compute"};
+}
+
+progress::AppTraits candle_traits() {
+  return {.name = "candle",
+          .has_fom = false,
+          .measurable_online = true,
+          .relates_to_science = false,  // epochs/s says nothing of accuracy
+          .predictable_time = false,
+          .iterations_known = false,
+          .uniform_iterations = true,
+          .has_phases = true,
+          .multi_component = false,
+          .bound_by = "compute"};
+}
+
+progress::AppTraits stream_traits() {
+  return {.name = "stream",
+          .has_fom = true,
+          .measurable_online = true,
+          .relates_to_science = true,
+          .predictable_time = true,
+          .iterations_known = true,
+          .uniform_iterations = true,
+          .has_phases = false,
+          .multi_component = false,
+          .bound_by = "memory bandwidth"};
+}
+
+progress::AppTraits urban_traits() {
+  return {.name = "urban",
+          .has_fom = false,
+          .measurable_online = false,
+          .relates_to_science = false,
+          .predictable_time = false,
+          .iterations_known = false,
+          .uniform_iterations = false,
+          .has_phases = true,
+          .multi_component = true,  // Nek5000 + EnergyPlus, timescales apart
+          .bound_by = "component-dependent"};
+}
+
+progress::AppTraits nek5000_traits() {
+  return {.name = "nek5000",
+          .has_fom = false,
+          .measurable_online = false,  // timesteps/s is not uniform
+          .relates_to_science = false,
+          .predictable_time = false,
+          .iterations_known = true,
+          .uniform_iterations = false,
+          .has_phases = false,
+          .multi_component = false,
+          .bound_by = "compute"};
+}
+
+progress::AppTraits hacc_traits() {
+  return {.name = "hacc",
+          .has_fom = true,
+          .measurable_online = false,
+          .relates_to_science = false,
+          .predictable_time = true,
+          .iterations_known = true,
+          .uniform_iterations = false,
+          .has_phases = true,
+          .multi_component = true,  // many components, distinct behaviour
+          .bound_by = "compute"};
+}
+
+}  // namespace
+
+AppModel lammps(long iterations) {
+  // 20 timesteps/s at 3300 MHz; beta ~ 1.00, MPO ~ 0.32e-3.
+  PhaseSpec ph;
+  ph.name = "timestep";
+  ph.iterations = iterations;
+  ph.cycles = 1.6434e8;
+  ph.mem_stall = 0.0002;
+  ph.bytes = 6.77e6;
+  ph.compute_instr = 3.287e8;  // IPC ~ 2 (well-vectorized force loop)
+  ph.memory_instr = 2.0e6;
+  ph.noise_cv = 0.01;
+  ph.progress_per_iter = 40000.0;  // atoms * 1 timestep
+  return AppModel{WorkloadSpec{"lammps", "atom-steps", {ph}, nullptr},
+                  lammps_traits()};
+}
+
+AppModel stream(long iterations) {
+  // 16 iterations/s; beta ~ 0.37, MPO ~ 50.9e-3, ~95 GB/s of traffic.
+  PhaseSpec ph;
+  ph.name = "copy-scale-add-triad";
+  ph.iterations = iterations;
+  ph.cycles = 7.631e7;
+  ph.mem_stall = 0.039375;
+  ph.bytes = 2.49e8;
+  ph.compute_instr = 7.631e7;  // IPC ~ 1 (load/store bound)
+  ph.memory_instr = 1.0e6;
+  ph.noise_cv = 0.002;
+  ph.interleave = 16;  // ~4 ms chunks
+  ph.progress_per_iter = 1.0;
+  return AppModel{WorkloadSpec{"stream", "iterations", {ph}, nullptr},
+                  stream_traits()};
+}
+
+AppModel amg(long iterations) {
+  // ~3 GMRES iterations/s, fluctuating; beta ~ 0.52, MPO ~ 30.1e-3.
+  PhaseSpec ph;
+  ph.name = "gmres";
+  ph.iterations = iterations;
+  ph.cycles = 5.7204e8;
+  ph.mem_stall = 0.16;
+  ph.bytes = 1.322e9;
+  ph.compute_instr = 6.864e8;  // IPC ~ 1.2 (sparse kernels)
+  ph.memory_instr = 5.0e6;
+  ph.noise_cv = 0.08;  // the paper's 2.5-3 iter/s fluctuation
+  ph.interleave = 32;   // ~10 ms chunks at 3 iterations/s
+  ph.progress_per_iter = 1.0;
+  return AppModel{WorkloadSpec{"amg", "gmres-iterations", {ph}, nullptr},
+                  amg_traits()};
+}
+
+AppModel qmcpack() {
+  // performance-NiO: three phases at distinct block rates.
+  // VMC1 walks many configurations through memory: markedly less
+  // compute-bound than the DMC phase (beta ~ 0.55 vs 0.84), which is what
+  // makes per-phase characterization worthwhile (phases "could have ...
+  // distinct performance characteristics", paper Section III).
+  PhaseSpec vmc1;
+  vmc1.name = "VMC1";
+  vmc1.phase_id = 0;
+  vmc1.iterations = 300;  // ~10 s at 30 blocks/s
+  vmc1.cycles = 6.05e7;
+  vmc1.mem_stall = 15.0e-3;
+  vmc1.bytes = 1.4e8;
+  vmc1.compute_instr = 9.1e7;
+  vmc1.memory_instr = 2.0e6;
+  vmc1.noise_cv = 0.02;
+  vmc1.interleave = 8;
+  vmc1.progress_per_iter = 1.0;
+
+  PhaseSpec vmc2 = vmc1;
+  vmc2.name = "VMC2";
+  vmc2.phase_id = 1;
+  vmc2.iterations = 240;  // ~10 s at 24 blocks/s
+  vmc2.cycles = 1.128e8;
+  vmc2.mem_stall = 7.5e-3;
+  vmc2.bytes = 4.33e7;
+  vmc2.compute_instr = 1.69e8;
+
+  PhaseSpec dmc = qmcpack_dmc(3000).spec.phases.at(0);
+
+  return AppModel{WorkloadSpec{"qmcpack", "blocks", {vmc1, vmc2, dmc},
+                               nullptr},
+                  qmcpack_traits()};
+}
+
+AppModel qmcpack_dmc(long iterations) {
+  // DMC: 16 blocks/s; beta ~ 0.84, MPO ~ 3.91e-3.
+  PhaseSpec ph;
+  ph.name = "DMC";
+  ph.phase_id = 2;
+  ph.iterations = iterations;
+  ph.cycles = 1.7325e8;
+  ph.mem_stall = 0.01;
+  ph.bytes = 6.50e7;
+  ph.compute_instr = 2.60e8;  // IPC ~ 1.5
+  ph.memory_instr = 2.0e6;
+  ph.noise_cv = 0.02;
+  ph.progress_per_iter = 1.0;
+  return AppModel{WorkloadSpec{"qmcpack-dmc", "blocks", {ph}, nullptr},
+                  qmcpack_traits()};
+}
+
+AppModel openmc() {
+  PhaseSpec inactive;
+  inactive.name = "inactive";
+  inactive.phase_id = 0;
+  inactive.iterations = 10;
+  inactive.cycles = 2.376e9;
+  inactive.mem_stall = 0.08;
+  inactive.bytes = 5.50e7;
+  inactive.compute_instr = 4.28e9;
+  inactive.memory_instr = 1.0e7;
+  inactive.noise_cv = 0.03;
+  inactive.interleave = 64;
+  inactive.progress_per_iter = 100000.0;  // particles per batch
+
+  PhaseSpec active = openmc_active(300).spec.phases.at(0);
+
+  return AppModel{WorkloadSpec{"openmc", "particles", {inactive, active},
+                               nullptr},
+                  openmc_traits()};
+}
+
+AppModel openmc_active(long iterations) {
+  // Active batches: 1 batch/s; beta ~ 0.93, MPO ~ 0.20e-3.
+  PhaseSpec ph;
+  ph.name = "active";
+  ph.phase_id = 1;
+  ph.iterations = iterations;
+  ph.cycles = 3.069e9;
+  ph.mem_stall = 0.07;
+  ph.bytes = 7.07e7;
+  ph.compute_instr = 5.524e9;  // IPC ~ 1.8
+  ph.memory_instr = 1.0e7;
+  ph.noise_cv = 0.03;
+  ph.interleave = 64;  // ~15 ms chunks at 1 batch/s
+  ph.progress_per_iter = 100000.0;
+  return AppModel{WorkloadSpec{"openmc-active", "particles", {ph}, nullptr},
+                  openmc_traits()};
+}
+
+AppModel candle() {
+  // Training epochs at ~0.5/s; stops when simulated validation accuracy
+  // crosses 0.93.  Expected epoch count ~ 23, but the noise term makes it
+  // unpredictable — the Category 1/2 situation of the paper.
+  PhaseSpec ph;
+  ph.name = "training";
+  ph.phase_id = 0;
+  ph.iterations = kUnbounded;
+  ph.cycles = 5.808e9;
+  ph.mem_stall = 0.24;
+  ph.bytes = 5.57e8;
+  ph.compute_instr = 8.70e9;
+  ph.memory_instr = 2.0e7;
+  ph.noise_cv = 0.05;
+  ph.interleave = 64;
+  ph.progress_per_iter = 1.0;
+
+  WorkloadSpec spec{"candle", "epochs", {ph}, nullptr};
+  spec.early_stop = [](long epochs, Rng& rng) {
+    const double accuracy = 0.95 - 0.35 * std::exp(-static_cast<double>(epochs) / 8.0) +
+                            0.01 * rng.normal();
+    return accuracy >= 0.93;
+  };
+  return AppModel{std::move(spec), candle_traits()};
+}
+
+std::vector<std::string> suite_names() {
+  return {"lammps",      "stream", "amg",           "qmcpack",
+          "qmcpack-dmc", "openmc", "openmc-active", "candle"};
+}
+
+AppModel by_name(const std::string& name, long iterations) {
+  if (name == "lammps") {
+    return lammps(iterations);
+  }
+  if (name == "stream") {
+    return stream(iterations);
+  }
+  if (name == "amg") {
+    return amg(iterations);
+  }
+  if (name == "qmcpack") {
+    return qmcpack();
+  }
+  if (name == "qmcpack-dmc") {
+    return qmcpack_dmc(iterations);
+  }
+  if (name == "openmc") {
+    return openmc();
+  }
+  if (name == "openmc-active") {
+    return openmc_active(iterations);
+  }
+  if (name == "candle") {
+    return candle();
+  }
+  throw std::invalid_argument("apps::by_name: unknown application " + name);
+}
+
+std::vector<progress::AppTraits> interview_traits() {
+  return {qmcpack_traits(), openmc_traits(), amg_traits(),
+          lammps_traits(),  candle_traits(), stream_traits(),
+          urban_traits(),   nek5000_traits(), hacc_traits()};
+}
+
+}  // namespace procap::apps

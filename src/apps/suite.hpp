@@ -1,0 +1,81 @@
+// suite.hpp — the application suite of the paper, as workload models.
+//
+// Each factory returns a WorkloadSpec calibrated so that, on the default
+// simulated package (CpuSpec::skylake24, f_max = 3300 MHz), the measured
+// characterization matches the paper's Table VI:
+//
+//   app              beta    MPO(x1e-3)   progress metric (Table V)
+//   LAMMPS (lj)      1.00    0.32         atom timesteps / s
+//   STREAM           0.37    50.9         iterations / s
+//   AMG              0.52    30.1         GMRES iterations / s
+//   QMCPACK (DMC)    0.84    3.91         blocks / s
+//   OpenMC (active)  0.93    0.20         particles / s
+//   CANDLE           ~0.88   ~1.0         epochs / s (accuracy-bounded)
+//
+// and the structural behaviour matches Section IV: LAMMPS/STREAM steady,
+// AMG fluctuating (8 % iteration noise), QMCPACK three-phased
+// (VMC1/VMC2/DMC at distinct block rates), OpenMC inactive+active batches,
+// CANDLE running an unpredictable number of epochs.
+//
+// Each factory also carries the application's interview traits (paper
+// Tables III/IV), which drive the Category 1/2/3 classification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/workload.hpp"
+#include "progress/category.hpp"
+
+namespace procap::apps {
+
+/// A workload model plus its interview traits.
+struct AppModel {
+  WorkloadSpec spec;
+  progress::AppTraits traits;
+};
+
+/// LAMMPS Lennard-Jones: compute-bound timestep loop, 40,000 atoms,
+/// ~20 timesteps/s uncapped; progress = atoms * timesteps.
+[[nodiscard]] AppModel lammps(long iterations = kUnbounded);
+
+/// STREAM: memory-bandwidth benchmark, ~16 iterations/s uncapped.
+[[nodiscard]] AppModel stream(long iterations = kUnbounded);
+
+/// AMG (GMRES + AMG preconditioning): ~3 solver iterations/s with
+/// visible iteration-to-iteration fluctuation.
+[[nodiscard]] AppModel amg(long iterations = kUnbounded);
+
+/// QMCPACK performance-NiO: VMC1, VMC2 and DMC phases computing blocks
+/// at distinct rates (~30, ~24, ~16 blocks/s).
+[[nodiscard]] AppModel qmcpack();
+
+/// QMCPACK DMC phase only (what the paper's power-cap sweeps measure).
+[[nodiscard]] AppModel qmcpack_dmc(long iterations = kUnbounded);
+
+/// OpenMC: 10 inactive + 300 active batches of 100,000 particles.
+[[nodiscard]] AppModel openmc();
+
+/// OpenMC active phase only.
+[[nodiscard]] AppModel openmc_active(long iterations = kUnbounded);
+
+/// CANDLE training: ~0.5 epochs/s, stopping when the simulated validation
+/// accuracy reaches its goal — the epoch count is not predictable, only
+/// the online rate is (Category 1/2 in the paper).
+[[nodiscard]] AppModel candle();
+
+/// Names accepted by by_name(), in canonical order.
+[[nodiscard]] std::vector<std::string> suite_names();
+
+/// Lookup by name ("lammps", "stream", "amg", "qmcpack", "qmcpack-dmc",
+/// "openmc", "openmc-active", "candle").  Throws std::invalid_argument
+/// for unknown names.  `iterations` applies to single-phase models.
+[[nodiscard]] AppModel by_name(const std::string& name,
+                               long iterations = kUnbounded);
+
+/// Interview traits for *all* applications of paper Table IV, including
+/// the Category-3 ones procap does not model as workloads (URBAN,
+/// Nek5000, HACC).
+[[nodiscard]] std::vector<progress::AppTraits> interview_traits();
+
+}  // namespace procap::apps

@@ -1,0 +1,98 @@
+// workload.hpp — declarative description of a simulated application.
+//
+// An application is a sequence of phases; each phase is a bulk-synchronous
+// iteration loop.  Per iteration, every worker executes a compute segment
+// (cycles, frequency-scaled) and a memory segment (stall seconds,
+// frequency-invariant), then meets the others at a barrier; the iteration
+// completes — and progress is reported — when the slowest worker arrives.
+//
+// The numbers are *per worker at the nominal maximum frequency*; the
+// application's compute-boundedness (beta) and misses-per-operation (MPO)
+// are emergent:
+//
+//   beta = (cycles/f_max) / (cycles/f_max + mem_stall)
+//   MPO  = (bytes/64) / instructions
+//
+// The suite in apps/suite.hpp instantiates these to match the paper's
+// Table VI characterization for each application.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace procap::apps {
+
+/// Marks a phase that runs until stopped (or until early_stop fires).
+inline constexpr long kUnbounded = -1;
+
+/// One bulk-synchronous phase.
+struct PhaseSpec {
+  std::string name;
+  /// Tag attached to progress samples (progress::kNoPhase to omit).
+  int phase_id = -1;
+  /// Iterations in the phase, or kUnbounded.
+  long iterations = 0;
+
+  // Per-worker, per-iteration amounts at f_max:
+  double cycles = 0.0;          ///< compute cycles
+  Seconds mem_stall = 0.0;      ///< memory-stall seconds
+  double bytes = 0.0;           ///< memory traffic
+  double compute_instr = 0.0;   ///< instructions retired in compute
+  double memory_instr = 0.0;    ///< instructions retired during stalls
+
+  /// Per-iteration multiplicative noise (coefficient of variation) on the
+  /// work amounts, shared by all workers (iteration difficulty).
+  double noise_cv = 0.0;
+
+  /// AR(1) correlation of the iteration noise.  0 = white noise (AMG's
+  /// fluctuation); values near 1 make the iteration cost *wander* over
+  /// seconds, as adaptive CFD timestepping does — the mechanism behind
+  /// "the number of timesteps per second cannot be used to measure online
+  /// performance reliably" for Nek5000/HACC (paper Section III-A).
+  double noise_ar1 = 0.0;
+
+  /// Number of alternating compute/memory chunks an iteration's work is
+  /// split into.  Real codes interleave arithmetic and traffic at fine
+  /// grain; without interleaving, bulk-synchronous workers would swing
+  /// package power between all-compute and all-stalled at the iteration
+  /// period, which no real application does.
+  unsigned interleave = 8;
+
+  /// Progress amount reported per completed iteration (whole application).
+  double progress_per_iter = 1.0;
+};
+
+/// A full application workload.
+struct WorkloadSpec {
+  std::string name;
+  /// Unit of the progress metric (paper Table V).
+  std::string unit;
+  std::vector<PhaseSpec> phases;
+
+  /// Optional early-stop predicate, checked after each completed
+  /// iteration of an unbounded phase (e.g. CANDLE stopping when its
+  /// simulated training accuracy crosses the goal).  Returning true ends
+  /// the phase.
+  std::function<bool(long completed_iterations, Rng& rng)> early_stop;
+
+  /// Analytic expected iteration seconds for phase `p` at frequency `f`
+  /// (noise-free, ignoring barrier skew): cycles/f + mem_stall.
+  [[nodiscard]] Seconds expected_iteration_seconds(std::size_t p,
+                                                   Hertz f) const {
+    const PhaseSpec& ph = phases.at(p);
+    return ph.cycles / f + ph.mem_stall;
+  }
+
+  /// Analytic compute-boundedness of phase `p` at reference `f_max`.
+  [[nodiscard]] double analytic_beta(std::size_t p, Hertz f_max) const {
+    const PhaseSpec& ph = phases.at(p);
+    const Seconds compute = ph.cycles / f_max;
+    return compute / (compute + ph.mem_stall);
+  }
+};
+
+}  // namespace procap::apps

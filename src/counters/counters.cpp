@@ -1,0 +1,112 @@
+#include "counters/counters.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace procap::counters {
+
+std::string event_name(Event e) {
+  switch (e) {
+    case Event::kTotInstructions:
+      return "PAPI_TOT_INS";
+    case Event::kTotCycles:
+      return "PAPI_TOT_CYC";
+    case Event::kRefCycles:
+      return "PAPI_REF_CYC";
+    case Event::kL3CacheMisses:
+      return "PAPI_L3_TCM";
+  }
+  return "PAPI_UNKNOWN";
+}
+
+double NodeCounterSource::read(unsigned cpu, Event e) const {
+  const hw::CoreCounters& c = node_->core(cpu).counters();
+  switch (e) {
+    case Event::kTotInstructions:
+      return c.instructions;
+    case Event::kTotCycles:
+      return c.core_cycles;
+    case Event::kRefCycles:
+      return c.ref_cycles;
+    case Event::kL3CacheMisses:
+      return c.l3_misses;
+  }
+  throw std::invalid_argument("NodeCounterSource: unknown event");
+}
+
+unsigned NodeCounterSource::cpu_count() const { return node_->cpu_count(); }
+
+EventSet::EventSet(const CounterSource& source, const TimeSource& time_source)
+    : source_(&source), time_(&time_source) {
+  cpus_.resize(source.cpu_count());
+  std::iota(cpus_.begin(), cpus_.end(), 0U);
+}
+
+EventSet::EventSet(const CounterSource& source, const TimeSource& time_source,
+                   std::vector<unsigned> cpus)
+    : source_(&source), time_(&time_source), cpus_(std::move(cpus)) {
+  if (cpus_.empty()) {
+    throw std::invalid_argument("EventSet: empty CPU set");
+  }
+}
+
+void EventSet::add(Event e) {
+  if (started_) {
+    throw std::logic_error("EventSet::add: set already started");
+  }
+  if (std::find(events_.begin(), events_.end(), e) == events_.end()) {
+    events_.push_back(e);
+  }
+}
+
+double EventSet::total(Event e) const {
+  double sum = 0.0;
+  for (const unsigned cpu : cpus_) {
+    sum += source_->read(cpu, e);
+  }
+  return sum;
+}
+
+void EventSet::start() {
+  baseline_.clear();
+  baseline_.reserve(events_.size());
+  for (const Event e : events_) {
+    baseline_.push_back(total(e));
+  }
+  start_time_ = time_->now();
+  started_ = true;
+}
+
+std::vector<double> EventSet::read() const {
+  if (!started_) {
+    throw std::logic_error("EventSet::read: not started");
+  }
+  std::vector<double> deltas;
+  deltas.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    deltas.push_back(total(events_[i]) - baseline_[i]);
+  }
+  return deltas;
+}
+
+double EventSet::read(Event e) const {
+  if (!started_) {
+    throw std::logic_error("EventSet::read: not started");
+  }
+  const auto it = std::find(events_.begin(), events_.end(), e);
+  if (it == events_.end()) {
+    throw std::invalid_argument("EventSet::read: event not in set");
+  }
+  const auto idx = static_cast<std::size_t>(it - events_.begin());
+  return total(e) - baseline_[idx];
+}
+
+Seconds EventSet::elapsed() const {
+  if (!started_) {
+    throw std::logic_error("EventSet::elapsed: not started");
+  }
+  return to_seconds(time_->now() - start_time_);
+}
+
+}  // namespace procap::counters

@@ -1,0 +1,93 @@
+// counters.hpp — PAPI-style hardware performance counter access.
+//
+// The paper uses PAPI to compute MIPS (Table I) and the MPO metric,
+// MPO = PAPI_L3_TCM / PAPI_TOT_INS (Table VI).  This module provides the
+// same event-set workflow — add events, start, read deltas — over an
+// abstract CounterSource, with an implementation that reads the simulated
+// node's per-core counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "util/time.hpp"
+
+namespace procap::counters {
+
+/// Counter events supported by the substrate (PAPI preset equivalents).
+enum class Event {
+  kTotInstructions,  ///< PAPI_TOT_INS
+  kTotCycles,        ///< PAPI_TOT_CYC
+  kRefCycles,        ///< PAPI_REF_CYC
+  kL3CacheMisses,    ///< PAPI_L3_TCM
+};
+
+/// PAPI-style preset name for an event (e.g. "PAPI_TOT_INS").
+[[nodiscard]] std::string event_name(Event e);
+
+/// Abstract per-CPU counter provider.
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+  /// Cumulative count of `e` on logical CPU `cpu`.
+  [[nodiscard]] virtual double read(unsigned cpu, Event e) const = 0;
+  [[nodiscard]] virtual unsigned cpu_count() const = 0;
+};
+
+/// CounterSource over the simulated node.
+class NodeCounterSource final : public CounterSource {
+ public:
+  /// `node` must outlive the source.
+  explicit NodeCounterSource(hw::Node& node) : node_(&node) {}
+
+  [[nodiscard]] double read(unsigned cpu, Event e) const override;
+  [[nodiscard]] unsigned cpu_count() const override;
+
+ private:
+  hw::Node* node_;
+};
+
+/// PAPI-like event set: a group of events read together as deltas over a
+/// measurement interval, summed across a CPU set.
+class EventSet {
+ public:
+  /// Measure over all CPUs of `source`.  `source` and `time_source` must
+  /// outlive the set.
+  EventSet(const CounterSource& source, const TimeSource& time_source);
+
+  /// Measure over an explicit CPU subset.
+  EventSet(const CounterSource& source, const TimeSource& time_source,
+           std::vector<unsigned> cpus);
+
+  /// Add an event before start(); duplicates are ignored.
+  void add(Event e);
+
+  /// Snapshot the baseline; subsequent read() calls return deltas from it.
+  void start();
+
+  /// Per-event deltas (in add() order) since start().  Requires start().
+  [[nodiscard]] std::vector<double> read() const;
+
+  /// Delta for one event; the event must have been added.
+  [[nodiscard]] double read(Event e) const;
+
+  /// Seconds elapsed since start().
+  [[nodiscard]] Seconds elapsed() const;
+
+  /// Events in this set, in add() order.
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+ private:
+  [[nodiscard]] double total(Event e) const;
+
+  const CounterSource* source_;
+  const TimeSource* time_;
+  std::vector<unsigned> cpus_;
+  std::vector<Event> events_;
+  std::vector<double> baseline_;
+  Nanos start_time_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace procap::counters

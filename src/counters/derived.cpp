@@ -1,0 +1,35 @@
+#include "counters/derived.hpp"
+
+namespace procap::counters {
+
+double DerivedMetrics::mips() const {
+  return elapsed > 0.0 ? instructions / elapsed / 1e6 : 0.0;
+}
+
+double DerivedMetrics::ipc() const {
+  return cycles > 0.0 ? instructions / cycles : 0.0;
+}
+
+double DerivedMetrics::mpo() const {
+  return instructions > 0.0 ? l3_misses / instructions : 0.0;
+}
+
+DerivedMetrics snapshot(const EventSet& set) {
+  DerivedMetrics m;
+  m.instructions = set.read(Event::kTotInstructions);
+  m.cycles = set.read(Event::kTotCycles);
+  m.l3_misses = set.read(Event::kL3CacheMisses);
+  m.elapsed = set.elapsed();
+  return m;
+}
+
+EventSet make_standard_event_set(const CounterSource& source,
+                                 const TimeSource& time_source) {
+  EventSet set(source, time_source);
+  set.add(Event::kTotInstructions);
+  set.add(Event::kTotCycles);
+  set.add(Event::kL3CacheMisses);
+  return set;
+}
+
+}  // namespace procap::counters

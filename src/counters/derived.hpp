@@ -1,0 +1,36 @@
+// derived.hpp — metrics derived from raw counters.
+//
+// These are the "traditional" performance measures the paper contrasts
+// with online progress: MIPS (Table I), IPC, and the MPO (misses per
+// operation) application-characterization metric of Table VI.
+#pragma once
+
+#include "counters/counters.hpp"
+
+namespace procap::counters {
+
+/// Derived-metric snapshot for a measurement interval.
+struct DerivedMetrics {
+  double instructions = 0.0;
+  double cycles = 0.0;
+  double l3_misses = 0.0;
+  Seconds elapsed = 0.0;
+
+  /// Million instructions per second over the interval.
+  [[nodiscard]] double mips() const;
+  /// Instructions per cycle.
+  [[nodiscard]] double ipc() const;
+  /// Misses per operation: L3 misses / instructions (paper Section IV-A).
+  [[nodiscard]] double mpo() const;
+};
+
+/// Read a full DerivedMetrics snapshot from an event set that contains
+/// kTotInstructions, kTotCycles and kL3CacheMisses.
+[[nodiscard]] DerivedMetrics snapshot(const EventSet& set);
+
+/// Convenience: build an event set pre-loaded with the events needed for
+/// snapshot() (not yet started).
+[[nodiscard]] EventSet make_standard_event_set(const CounterSource& source,
+                                               const TimeSource& time_source);
+
+}  // namespace procap::counters

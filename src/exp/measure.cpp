@@ -1,0 +1,153 @@
+#include "exp/measure.hpp"
+
+#include <stdexcept>
+
+#include "apps/app.hpp"
+#include "counters/derived.hpp"
+#include "exp/rig.hpp"
+#include "model/beta.hpp"
+#include "policy/daemon.hpp"
+#include "progress/monitor.hpp"
+
+namespace procap::exp {
+
+double RunTraces::mean_rate(Seconds from, Seconds to) const {
+  return progress.mean_in(to_nanos(from), to_nanos(to));
+}
+
+double RunTraces::mean_frequency(Seconds from, Seconds to) const {
+  return frequency.mean_in(to_nanos(from), to_nanos(to));
+}
+
+double RunTraces::mean_power(Seconds from, Seconds to) const {
+  return power.mean_in(to_nanos(from), to_nanos(to));
+}
+
+RunTraces run_under_schedule(const apps::AppModel& app,
+                             std::unique_ptr<policy::CapSchedule> schedule,
+                             const RunOptions& options) {
+  if (!schedule) {
+    throw std::invalid_argument("run_under_schedule: null schedule");
+  }
+  SimRig rig;
+  if (options.pinned_frequency > 0.0) {
+    rig.rapl().set_frequency(options.pinned_frequency);
+  }
+
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, options.seed);
+  progress::Monitor monitor(rig.broker().make_sub(options.link),
+                            app.spec.name, rig.time());
+  policy::PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
+                                   std::move(schedule));
+  daemon.attach(rig.engine());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+
+  TimeSeries freq_series("frequency_mhz");
+  TimeSeries duty_series("duty");
+  rig.engine().every(msec(100), [&](Nanos now) {
+    freq_series.add(now, as_mhz(rig.package().frequency()));
+    duty_series.add(now, rig.package().duty());
+  });
+
+  rig.engine().run_until([&] { return sim_app.done(); },
+                         to_nanos(options.duration));
+  monitor.poll();  // flush the final windows
+
+  RunTraces traces;
+  traces.progress = monitor.rates();
+  traces.cap = daemon.cap_series();
+  traces.power = daemon.power_series();
+  traces.frequency = std::move(freq_series);
+  traces.duty = std::move(duty_series);
+  traces.total_progress = sim_app.total_progress();
+  traces.app_finished = sim_app.done();
+  return traces;
+}
+
+namespace {
+
+struct TimedRun {
+  double rate = 0.0;
+  double mpo = 0.0;
+  Watts power = 0.0;
+};
+
+TimedRun timed_run(const apps::AppModel& app, Hertz frequency,
+                   Seconds measure_for, std::uint64_t seed) {
+  constexpr Seconds kWarmup = 3.0;
+  SimRig rig;
+  rig.rapl().set_frequency(frequency);
+
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, seed);
+  progress::Monitor monitor(rig.broker().make_sub(), app.spec.name,
+                            rig.time());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+
+  counters::NodeCounterSource source(rig.node());
+  auto events = counters::make_standard_event_set(source, rig.time());
+
+  TimeSeries power_series("power");
+  rig.engine().every(kNanosPerSecond,
+                     [&](Nanos now) { power_series.add(now, rig.rapl().pkg_power()); });
+
+  rig.engine().run_for(to_nanos(kWarmup));
+  events.start();
+  rig.engine().run_for(to_nanos(measure_for));
+  monitor.poll();
+
+  TimedRun result;
+  result.rate = monitor.rates().mean_in(to_nanos(kWarmup),
+                                        to_nanos(kWarmup + measure_for));
+  result.mpo = counters::snapshot(events).mpo();
+  // Skip the first power sample (meter priming reads zero).
+  result.power = power_series.mean_in(to_nanos(1.5),
+                                      to_nanos(kWarmup + measure_for));
+  return result;
+}
+
+}  // namespace
+
+Characterization characterize(const apps::AppModel& app, Hertz probe,
+                              Seconds measure_for, std::uint64_t seed) {
+  const hw::CpuSpec spec = hw::CpuSpec::skylake24();
+  const TimedRun at_nominal = timed_run(app, spec.f_nominal, measure_for,
+                                        seed);
+  const TimedRun at_probe = timed_run(app, probe, measure_for, seed);
+  // Uncapped run (no pin): the package turbos to f_max; this is the
+  // operating point the paper perturbs with power caps.
+  const TimedRun uncapped = timed_run(app, spec.f_max, measure_for, seed);
+
+  Characterization result;
+  result.rate_nominal = at_nominal.rate;
+  result.rate_probe = at_probe.rate;
+  result.rate_uncapped = uncapped.rate;
+  result.beta = model::beta_from_rates(at_probe.rate, at_nominal.rate, probe,
+                                       spec.f_nominal);
+  result.mpo = at_nominal.mpo;
+  result.power_uncapped = uncapped.power;
+  return result;
+}
+
+CapImpact measure_cap_impact(const apps::AppModel& app, Watts pkg_cap,
+                             std::uint64_t seed, Seconds uncapped_for,
+                             Seconds capped_for, Seconds settle) {
+  constexpr Seconds kWarmup = 4.0;
+  const Seconds total = uncapped_for + capped_for;
+  auto schedule = std::make_unique<policy::ConstantCap>(pkg_cap, uncapped_for);
+  RunOptions options;
+  options.duration = total;
+  options.seed = seed;
+  const RunTraces traces = run_under_schedule(app, std::move(schedule),
+                                              options);
+
+  CapImpact impact;
+  impact.pkg_cap = pkg_cap;
+  impact.rate_uncapped = traces.mean_rate(kWarmup, uncapped_for);
+  impact.rate_capped = traces.mean_rate(uncapped_for + settle, total);
+  impact.delta = impact.rate_uncapped - impact.rate_capped;
+  impact.power_uncapped = traces.mean_power(kWarmup, uncapped_for);
+  impact.power_capped = traces.mean_power(uncapped_for + settle, total);
+  return impact;
+}
+
+}  // namespace procap::exp

@@ -1,0 +1,98 @@
+// measure.hpp — the paper's measurement procedures.
+//
+// Three procedures cover every table and figure of the evaluation:
+//
+//   * run_under_schedule — run an application under a capping schedule,
+//     recording progress/cap/power/frequency/duty traces (Figs. 1-3, 5).
+//   * characterize — the beta and MPO measurement of Section IV-A:
+//     timed runs pinned at 3300 and 1600 MHz plus PAPI-style counter
+//     reads (Table VI).
+//   * measure_cap_impact — the Fig. 4 procedure: progress from an
+//     uncapped state, step down to a cap, measure the change in progress.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/suite.hpp"
+#include "msgbus/bus.hpp"
+#include "policy/schemes.hpp"
+#include "util/series.hpp"
+
+namespace procap::exp {
+
+/// Time-series record of one simulated run.
+struct RunTraces {
+  TimeSeries progress;   ///< progress rate per 1-s window (units/s)
+  TimeSeries cap;        ///< applied cap at 1 Hz (0 = uncapped)
+  TimeSeries power;      ///< measured package power at 1 Hz
+  TimeSeries frequency;  ///< effective core frequency (MHz), 10 Hz
+  TimeSeries duty;       ///< effective duty factor, 10 Hz
+  double total_progress = 0.0;
+  bool app_finished = false;
+
+  /// Mean progress rate over windows in [from, to) seconds.
+  [[nodiscard]] double mean_rate(Seconds from, Seconds to) const;
+  /// Mean effective frequency (MHz) over [from, to) seconds.
+  [[nodiscard]] double mean_frequency(Seconds from, Seconds to) const;
+  /// Mean package power over [from, to) seconds.
+  [[nodiscard]] double mean_power(Seconds from, Seconds to) const;
+};
+
+/// Options for run_under_schedule.
+struct RunOptions {
+  Seconds duration = 60.0;
+  std::uint64_t seed = 1;
+  /// Transport characteristics between reporter and monitor (use a drop
+  /// probability to reproduce the paper's zero-progress artifact).
+  msgbus::LinkOptions link{};
+  /// Pin the package to this frequency via IA32_PERF_CTL (DVFS instead of
+  /// RAPL; 0 = leave at maximum).
+  Hertz pinned_frequency = 0.0;
+};
+
+/// Run `app` under `schedule` and record traces.
+[[nodiscard]] RunTraces run_under_schedule(
+    const apps::AppModel& app, std::unique_ptr<policy::CapSchedule> schedule,
+    const RunOptions& options = {});
+
+/// Beta / MPO characterization result (paper Table VI plus the uncapped
+/// operating point the Fig. 4 model needs).
+struct Characterization {
+  double beta = 0.0;            ///< from execution-time ratio, Eq. (1)
+  double mpo = 0.0;             ///< L3 misses / instructions
+  double rate_nominal = 0.0;    ///< progress rate pinned at f_nominal
+  double rate_probe = 0.0;      ///< progress rate pinned at the probe
+  double rate_uncapped = 0.0;   ///< progress rate uncapped (turbo)
+  Watts power_uncapped = 0.0;   ///< package power uncapped (turbo)
+};
+
+/// Measure beta (runs pinned at the nominal maximum and at `probe`, as
+/// the paper does: 3300 vs 1600 MHz), MPO, and the uncapped (turbo)
+/// rate/power operating point for `app`.
+[[nodiscard]] Characterization characterize(const apps::AppModel& app,
+                                            Hertz probe = 1.6e9,
+                                            Seconds measure_for = 20.0,
+                                            std::uint64_t seed = 1);
+
+/// One point of the Fig. 4 sweep.
+struct CapImpact {
+  Watts pkg_cap = 0.0;
+  double rate_uncapped = 0.0;
+  double rate_capped = 0.0;
+  /// Change in progress when the cap is applied from the uncapped state.
+  double delta = 0.0;
+  Watts power_uncapped = 0.0;
+  Watts power_capped = 0.0;
+};
+
+/// Apply a step cap (uncapped -> `pkg_cap`) and measure the change in
+/// progress, as the paper does for Fig. 4.
+[[nodiscard]] CapImpact measure_cap_impact(const apps::AppModel& app,
+                                           Watts pkg_cap,
+                                           std::uint64_t seed = 1,
+                                           Seconds uncapped_for = 14.0,
+                                           Seconds capped_for = 24.0,
+                                           Seconds settle = 6.0);
+
+}  // namespace procap::exp

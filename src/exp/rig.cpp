@@ -1,0 +1,13 @@
+#include "exp/rig.hpp"
+
+namespace procap::exp {
+
+SimRig::SimRig(hw::NodeSpec node_spec, Nanos dt)
+    : engine_(dt),
+      node_(node_spec),
+      broker_(engine_.time()),
+      rapl_(node_.msr(), engine_.time(), node_.package_leaders()) {
+  engine_.add(node_);
+}
+
+}  // namespace procap::exp

@@ -1,0 +1,40 @@
+// rig.hpp — a fully wired single-node experiment rig.
+//
+// Bundles the pieces every experiment needs, constructed in dependency
+// order: simulation engine, simulated node, message-bus broker on the
+// simulation clock, and a RaplInterface over the node's emulated MSRs.
+// The node is registered with the engine; experiments add applications,
+// monitors and policy daemons on top.
+#pragma once
+
+#include <memory>
+
+#include "hw/node.hpp"
+#include "msgbus/bus.hpp"
+#include "rapl/rapl.hpp"
+#include "sim/engine.hpp"
+
+namespace procap::exp {
+
+/// One simulated node ready for experiments.
+class SimRig {
+ public:
+  explicit SimRig(hw::NodeSpec node_spec = {}, Nanos dt = msec(1));
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] hw::Node& node() { return node_; }
+  [[nodiscard]] msgbus::Broker& broker() { return broker_; }
+  [[nodiscard]] rapl::RaplInterface& rapl() { return rapl_; }
+  [[nodiscard]] const TimeSource& time() const { return engine_.time(); }
+
+  /// The package experiments run on (package 0).
+  [[nodiscard]] hw::Package& package() { return node_.package(0); }
+
+ private:
+  sim::Engine engine_;
+  hw::Node node_;
+  msgbus::Broker broker_;
+  rapl::RaplInterface rapl_;
+};
+
+}  // namespace procap::exp

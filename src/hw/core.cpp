@@ -1,0 +1,141 @@
+#include "hw/core.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procap::hw {
+
+namespace {
+constexpr double kRefClockHz = 100e6;
+// Fraction of a segment's bytes/instructions attributed to consuming
+// `consumed` out of `initial` units of it.
+double prorate(double total, double consumed, double initial) {
+  return initial > 0.0 ? total * (consumed / initial) : total;
+}
+}  // namespace
+
+void Core::push_compute(double cycles, double instructions) {
+  if (cycles < 0.0 || instructions < 0.0) {
+    throw std::invalid_argument("Core::push_compute: negative amount");
+  }
+  if (cycles == 0.0) {
+    counters_.instructions += instructions;  // zero-latency bookkeeping
+    return;
+  }
+  queue_.push_back(Segment{SegmentKind::kCompute, cycles, cycles, 0.0,
+                           instructions});
+}
+
+void Core::push_memory(Seconds stall, double bytes, double instructions) {
+  if (stall < 0.0 || bytes < 0.0 || instructions < 0.0) {
+    throw std::invalid_argument("Core::push_memory: negative amount");
+  }
+  if (stall == 0.0) {
+    counters_.instructions += instructions;
+    counters_.l3_misses += bytes / 64.0;
+    return;
+  }
+  queue_.push_back(
+      Segment{SegmentKind::kMemory, stall, stall, bytes, instructions});
+}
+
+void Core::push_sleep(Seconds duration, double instructions) {
+  if (duration < 0.0) {
+    throw std::invalid_argument("Core::push_sleep: negative duration");
+  }
+  if (duration == 0.0) {
+    return;
+  }
+  queue_.push_back(
+      Segment{SegmentKind::kSleep, duration, duration, 0.0, instructions});
+}
+
+CoreTickUsage Core::step(Nanos now, Nanos dt, Hertz f, double duty,
+                         double mem_throttle) {
+  CoreTickUsage usage;
+  double wall_left = to_seconds(dt);
+  unsigned callbacks = 0;
+
+  while (wall_left > 1e-15) {
+    if (queue_.empty()) {
+      if (idle_cb_ && callbacks < kMaxIdleCallbacksPerTick) {
+        ++callbacks;
+        idle_cb_(id_, now);
+        if (callbacks == kMaxIdleCallbacksPerTick && queue_.empty() && !spin_) {
+          throw std::runtime_error(
+              "Core::step: idle callback loop without progress");
+        }
+      }
+      if (queue_.empty()) {
+        // Nothing to run: spin (busy wait) or halt for the rest of the tick.
+        if (spin_) {
+          const double active = wall_left * duty;
+          usage.spin_active += active;
+          usage.gated += wall_left - active;
+          counters_.core_cycles += f * active;
+          counters_.instructions += spec_->spin_ipc * f * active;
+        } else {
+          usage.idle += wall_left;
+        }
+        counters_.ref_cycles += kRefClockHz * wall_left;
+        wall_left = 0.0;
+        break;
+      }
+      continue;  // callback pushed work; process it
+    }
+
+    Segment& seg = queue_.front();
+    double wall_used = 0.0;
+    switch (seg.kind) {
+      case SegmentKind::kCompute: {
+        // Effective compute rate in wall time is f * duty cycles/second.
+        const double rate = f * duty;
+        const double wall_needed = seg.remaining / rate;
+        wall_used = std::min(wall_left, wall_needed);
+        const double cycles_done = wall_used * rate;
+        counters_.instructions +=
+            prorate(seg.instructions, cycles_done, seg.initial);
+        counters_.core_cycles += cycles_done;
+        usage.compute_active += wall_used * duty;
+        usage.gated += wall_used * (1.0 - duty);
+        seg.remaining -= cycles_done;
+        break;
+      }
+      case SegmentKind::kMemory: {
+        // Clock gating stops request issue (rate `duty`); DRAM-domain
+        // bandwidth throttling slows retirement further (`mem_throttle`).
+        const double rate = duty * mem_throttle;
+        const double wall_needed = seg.remaining / rate;
+        wall_used = std::min(wall_left, wall_needed);
+        const double stall_done = wall_used * rate;
+        const double bytes_done = prorate(seg.bytes, stall_done, seg.initial);
+        usage.stall_active += stall_done;
+        usage.gated += wall_used - stall_done;
+        usage.bytes += bytes_done;
+        counters_.instructions +=
+            prorate(seg.instructions, stall_done, seg.initial);
+        counters_.core_cycles += f * stall_done;  // cycles tick while stalled
+        counters_.l3_misses += bytes_done / 64.0;
+        seg.remaining -= stall_done;
+        break;
+      }
+      case SegmentKind::kSleep: {
+        // OS sleep: elapses in wall time, unaffected by f or duty.
+        wall_used = std::min(wall_left, seg.remaining);
+        usage.sleeping += wall_used;
+        counters_.instructions +=
+            prorate(seg.instructions, wall_used, seg.initial);
+        seg.remaining -= wall_used;
+        break;
+      }
+    }
+    counters_.ref_cycles += kRefClockHz * wall_used;
+    wall_left -= wall_used;
+    if (seg.remaining <= 1e-12 * std::max(1.0, seg.initial)) {
+      queue_.pop_front();
+    }
+  }
+  return usage;
+}
+
+}  // namespace procap::hw

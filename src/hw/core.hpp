@@ -1,0 +1,130 @@
+// core.hpp — simulated CPU core.
+//
+// A core executes a queue of work segments pushed by a workload model:
+//
+//   Compute  — a number of core cycles; wall time = cycles / (f * duty)
+//   Memory   — a memory-stall duration, frequency-independent but
+//              stretched by clock gating: wall time = stall / duty
+//   Sleep    — blocked in the OS; elapses in wall time regardless of
+//              frequency or duty (usleep in the paper's Listing 1)
+//
+// The asymmetry between Compute and Memory under DVFS is what produces
+// compute-boundedness (the beta metric): for an iteration of C cycles and
+// M stall-seconds, t(f) = C/f + M, so T(f)/T(fmax) = beta*(fmax/f - 1) + 1
+// with beta = (C/fmax) / (C/fmax + M) — exactly Eq. (1) of the paper.
+// Duty-cycle modulation divides *both* terms by the duty factor, which is
+// why RAPL's fallback throttle hurts memory-bound codes in a way the
+// DVFS-based model cannot predict (paper Fig. 4d / Fig. 5).
+//
+// When its queue drains, the core invokes its idle callback (the workload
+// model), which may push more segments, or put the core into spin mode
+// (busy-waiting at a barrier: no forward progress, near-full power,
+// instructions retiring — the MIPS inflation of paper Table I).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "hw/spec.hpp"
+#include "util/units.hpp"
+
+namespace procap::hw {
+
+/// Time/traffic accounting for one core over one simulation tick.
+struct CoreTickUsage {
+  Seconds compute_active = 0.0;  ///< ungated compute time
+  Seconds stall_active = 0.0;    ///< ungated memory-stall time
+  Seconds spin_active = 0.0;     ///< ungated busy-wait time
+  Seconds gated = 0.0;           ///< clock-gated by duty modulation
+  Seconds sleeping = 0.0;        ///< blocked in the OS
+  Seconds idle = 0.0;            ///< halted, no work
+  double bytes = 0.0;            ///< memory traffic issued this tick
+
+  /// Total accounted wall time (== dt up to rounding).
+  [[nodiscard]] Seconds total() const {
+    return compute_active + stall_active + spin_active + gated + sleeping +
+           idle;
+  }
+};
+
+/// Cumulative hardware event counts for one core (the raw substrate the
+/// PAPI-like counters module exposes).
+struct CoreCounters {
+  double instructions = 0.0;
+  double core_cycles = 0.0;  ///< cycles at the effective frequency
+  double ref_cycles = 0.0;   ///< cycles at a fixed 100 MHz reference
+  double l3_misses = 0.0;    ///< one per 64-byte line of traffic
+};
+
+/// One simulated core.
+class Core {
+ public:
+  /// Called when the work queue drains mid-tick; may push more segments
+  /// and/or toggle spin mode.  Invoked at most kMaxIdleCallbacksPerTick
+  /// times per tick to bound pathological zero-length pushes.
+  using IdleCallback = std::function<void(unsigned core_id, Nanos now)>;
+
+  static constexpr unsigned kMaxIdleCallbacksPerTick = 10000;
+
+  Core(unsigned id, const CpuSpec& spec) : id_(id), spec_(&spec) {}
+
+  [[nodiscard]] unsigned id() const { return id_; }
+
+  void set_idle_callback(IdleCallback cb) { idle_cb_ = std::move(cb); }
+
+  // -- Work queue (called by workload models) -------------------------
+
+  /// Queue a compute segment of `cycles` cycles retiring `instructions`.
+  void push_compute(double cycles, double instructions);
+
+  /// Queue a memory-stall segment of `stall` seconds issuing `bytes` of
+  /// traffic and retiring `instructions`.
+  void push_memory(Seconds stall, double bytes, double instructions);
+
+  /// Queue an OS sleep of `duration` seconds (retires ~no instructions;
+  /// the workload may model runtime background work via `instructions`).
+  void push_sleep(Seconds duration, double instructions = 0.0);
+
+  /// Enter/leave busy-wait mode: with an empty queue the core spins
+  /// (instead of halting) until spin mode is cleared.
+  void set_spin(bool spin) { spin_ = spin; }
+
+  [[nodiscard]] bool spinning() const { return spin_; }
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+
+  // -- Simulation -------------------------------------------------------
+
+  /// Advance the core over [now, now + dt) at effective frequency `f` and
+  /// duty factor `duty`; returns this tick's accounting.  `mem_throttle`
+  /// in (0, 1] scales the rate at which memory-stall segments retire —
+  /// the DRAM domain's bandwidth-throttling enforcement.
+  CoreTickUsage step(Nanos now, Nanos dt, Hertz f, double duty,
+                     double mem_throttle = 1.0);
+
+  /// Cumulative event counters.
+  [[nodiscard]] const CoreCounters& counters() const { return counters_; }
+
+  /// Reset counters to zero (start of a measurement interval).
+  void reset_counters() { counters_ = CoreCounters{}; }
+
+ private:
+  enum class SegmentKind { kCompute, kMemory, kSleep };
+
+  struct Segment {
+    SegmentKind kind;
+    double remaining;      // cycles (compute) or seconds (memory/sleep)
+    double initial;        // for prorating bytes/instructions
+    double bytes = 0.0;    // total for the segment
+    double instructions = 0.0;  // total for the segment
+  };
+
+  unsigned id_;
+  const CpuSpec* spec_;
+  IdleCallback idle_cb_;
+  std::deque<Segment> queue_;
+  bool spin_ = false;
+  CoreCounters counters_;
+};
+
+}  // namespace procap::hw

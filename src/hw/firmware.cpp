@@ -1,0 +1,100 @@
+#include "hw/firmware.hpp"
+
+#include <algorithm>
+
+namespace procap::hw {
+
+RaplFirmware::RaplFirmware(const CpuSpec& spec)
+    : spec_(&spec), freq_cap_(spec.f_max) {
+  // Power-on default: PL1 at TDP, disabled (no enforcement).
+  limit_.pl1.power = spec.tdp;
+  limit_.pl1.time_window = 0.01;
+  limit_.pl1.enabled = false;
+}
+
+void RaplFirmware::program(const rapl::PkgPowerLimit& limit) {
+  limit_ = limit;
+  since_last_move_ = to_nanos(1.0);  // allow an immediate first actuation
+  if (!limit_.pl1.enabled) {
+    // Uncapped: release the actuators immediately.
+    freq_cap_ = spec_->f_max;
+    duty_cap_ = 1.0;
+  }
+}
+
+void RaplFirmware::observe(Watts instantaneous_power, Nanos dt) {
+  // Exponential running average with the programmed time window as the
+  // time constant (minimum one control step).
+  const Seconds window = std::max(limit_.pl1.time_window, to_seconds(dt));
+  const double alpha = std::min(1.0, to_seconds(dt) / window);
+  if (!avg_primed_) {
+    avg_ = instantaneous_power;
+    avg_primed_ = true;
+  } else {
+    avg_ += alpha * (instantaneous_power - avg_);
+  }
+
+  if (!limit_.pl1.enabled) {
+    return;
+  }
+  // Rate-limit the actuators to one move per half window (first call
+  // after programming may move immediately).
+  since_last_move_ += dt;
+  const Nanos actuation_period = std::max(to_nanos(window / 2.0), dt);
+  if (since_last_move_ < actuation_period) {
+    return;
+  }
+  since_last_move_ = 0;
+  const Watts cap = limit_.pl1.power;
+  if (avg_ > cap) {
+    // Throttle: frequency first, then duty cycling at the floor.
+    if (freq_cap_ > spec_->f_min) {
+      freq_cap_ = spec_->clamp_frequency(freq_cap_ - spec_->f_step);
+    } else if (duty_cap_ > CpuSpec::kDutyStep) {
+      duty_cap_ = spec_->snap_duty(duty_cap_ - CpuSpec::kDutyStep);
+    }
+  } else if (avg_ < cap - kMargin) {
+    // Recover: duty back to full first, then frequency.
+    if (duty_cap_ < 1.0) {
+      duty_cap_ = spec_->snap_duty(duty_cap_ + CpuSpec::kDutyStep);
+    } else if (freq_cap_ < spec_->f_max) {
+      freq_cap_ = spec_->clamp_frequency(freq_cap_ + spec_->f_step);
+    }
+  }
+}
+
+void DramFirmware::program(const rapl::PkgPowerLimit& limit) {
+  limit_ = limit;
+  since_last_move_ = to_nanos(1.0);
+  if (!limit_.pl1.enabled) {
+    throttle_ = 1.0;
+  }
+}
+
+void DramFirmware::observe(Watts dram_power, Nanos dt) {
+  const Seconds window = std::max(limit_.pl1.time_window, to_seconds(dt));
+  const double alpha = std::min(1.0, to_seconds(dt) / window);
+  if (!avg_primed_) {
+    avg_ = dram_power;
+    avg_primed_ = true;
+  } else {
+    avg_ += alpha * (dram_power - avg_);
+  }
+  if (!limit_.pl1.enabled) {
+    return;
+  }
+  since_last_move_ += dt;
+  const Nanos actuation_period = std::max(to_nanos(window / 2.0), dt);
+  if (since_last_move_ < actuation_period) {
+    return;
+  }
+  since_last_move_ = 0;
+  const Watts cap = limit_.pl1.power;
+  if (avg_ > cap && throttle_ > kStep) {
+    throttle_ = std::max(kStep, throttle_ - kStep);
+  } else if (avg_ < cap - kMargin && throttle_ < 1.0) {
+    throttle_ = std::min(1.0, throttle_ + kStep);
+  }
+}
+
+}  // namespace procap::hw

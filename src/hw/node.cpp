@@ -1,0 +1,140 @@
+#include "hw/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "msr/addresses.hpp"
+#include "rapl/codec.hpp"
+#include "rapl/rapl.hpp"
+
+namespace procap::hw {
+
+namespace {
+const rapl::RaplUnits kUnits = rapl::RaplUnits::skylake();
+}
+
+Node::Node(const NodeSpec& spec) : spec_(spec) {
+  for (unsigned p = 0; p < spec_.packages; ++p) {
+    packages_.push_back(std::make_unique<Package>(spec_.cpu));
+  }
+  msr_ = std::make_unique<msr::EmulatedMsr>(cpu_count());
+  wire_msrs();
+}
+
+unsigned Node::cpu_count() const {
+  return spec_.packages * spec_.cpu.cores_per_package;
+}
+
+unsigned Node::pkg_of(unsigned cpu) const {
+  return cpu / spec_.cpu.cores_per_package;
+}
+
+Core& Node::core(unsigned cpu) {
+  return packages_.at(pkg_of(cpu))
+      ->core(cpu % spec_.cpu.cores_per_package);
+}
+
+std::vector<unsigned> Node::package_leaders() const {
+  std::vector<unsigned> leaders;
+  for (unsigned p = 0; p < spec_.packages; ++p) {
+    leaders.push_back(p * spec_.cpu.cores_per_package);
+  }
+  return leaders;
+}
+
+void Node::wire_msrs() {
+  using namespace procap::msr;
+  auto& dev = *msr_;
+  auto pkg = [this](unsigned cpu) -> Package& {
+    return *packages_[pkg_of(cpu)];
+  };
+
+  dev.define(kMsrRaplPowerUnit, rapl::RaplUnits::encode(3, 14, 10));
+
+  dev.define(kMsrPkgEnergyStatus);
+  dev.on_read(kMsrPkgEnergyStatus, [pkg](unsigned cpu) -> std::uint64_t {
+    return rapl::encode_energy(pkg(cpu).energy(), kUnits);
+  });
+
+  // Power-on default: PL1 at TDP, disabled.
+  rapl::PkgPowerLimit default_limit;
+  default_limit.pl1.power = spec_.cpu.tdp;
+  default_limit.pl1.time_window = 0.01;
+  default_limit.pl1.enabled = false;
+  dev.define(kMsrPkgPowerLimit, default_limit.encode(kUnits));
+  dev.on_write(kMsrPkgPowerLimit, [pkg](unsigned cpu, std::uint64_t value) {
+    pkg(cpu).firmware().program(rapl::PkgPowerLimit::decode(value, kUnits));
+  });
+
+  // PKG_POWER_INFO: TDP in power units (bits 14:0).
+  dev.define(kMsrPkgPowerInfo,
+             static_cast<std::uint64_t>(
+                 std::llround(spec_.cpu.tdp / kUnits.power_unit)) &
+                 0x7FFF);
+
+  dev.define(kIa32PerfCtl, rapl::encode_perf_ctl(spec_.cpu.f_max));
+  dev.on_write(kIa32PerfCtl, [pkg](unsigned cpu, std::uint64_t value) {
+    pkg(cpu).request_frequency(rapl::decode_perf_status(value));
+  });
+
+  dev.define(kIa32PerfStatus);
+  dev.on_read(kIa32PerfStatus, [pkg](unsigned cpu) -> std::uint64_t {
+    return rapl::encode_perf_ctl(pkg(cpu).frequency());
+  });
+
+  dev.define(kIa32ClockModulation, 0);
+  dev.on_write(kIa32ClockModulation, [pkg](unsigned cpu, std::uint64_t value) {
+    pkg(cpu).request_duty(rapl::decode_clock_modulation(value));
+  });
+
+  // APERF: cycles at the effective frequency while not halted.
+  dev.define(kIa32Aperf);
+  dev.on_read(kIa32Aperf, [this](unsigned cpu) -> std::uint64_t {
+    return static_cast<std::uint64_t>(core(cpu).counters().core_cycles);
+  });
+
+  // MPERF: fixed-reference cycles while not halted (we count wall-clock
+  // reference cycles; the APERF/MPERF ratio still tracks effective speed).
+  dev.define(kIa32Mperf);
+  dev.on_read(kIa32Mperf, [this](unsigned cpu) -> std::uint64_t {
+    return static_cast<std::uint64_t>(core(cpu).counters().ref_cycles);
+  });
+
+  // THERM_STATUS: digital readout = Tj_max - T in bits 22:16 (Tj_max
+  // fixed at 100 C, the usual Skylake value), PROCHOT status in bit 0.
+  dev.define(kIa32ThermStatus);
+  dev.on_read(kIa32ThermStatus, [pkg](unsigned cpu) -> std::uint64_t {
+    const double margin =
+        std::clamp(100.0 - pkg(cpu).temperature(), 0.0, 127.0);
+    std::uint64_t raw = static_cast<std::uint64_t>(std::llround(margin))
+                        << 16;
+    if (pkg(cpu).prochot_active()) {
+      raw |= 1;
+    }
+    return raw;
+  });
+
+  // DRAM domain: a separate power rail with its own energy counter and
+  // limit register; the limit is enforced by bandwidth throttling.
+  dev.define(kMsrDramEnergyStatus);
+  dev.on_read(kMsrDramEnergyStatus, [pkg](unsigned cpu) -> std::uint64_t {
+    return rapl::encode_energy(pkg(cpu).dram_energy(), kUnits);
+  });
+  rapl::PkgPowerLimit dram_limit;
+  dram_limit.pl1.power = 40.0;
+  dram_limit.pl1.time_window = 0.04;
+  dram_limit.pl1.enabled = false;
+  dev.define(kMsrDramPowerLimit, dram_limit.encode(kUnits) & 0xFFFFFFFFULL);
+  dev.on_write(kMsrDramPowerLimit, [pkg](unsigned cpu, std::uint64_t value) {
+    pkg(cpu).dram_firmware().program(
+        rapl::PkgPowerLimit::decode(value & 0xFFFFFFFFULL, kUnits));
+  });
+}
+
+void Node::step(Nanos now, Nanos dt) {
+  for (auto& p : packages_) {
+    p->step(now, dt);
+  }
+}
+
+}  // namespace procap::hw

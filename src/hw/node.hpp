@@ -1,0 +1,66 @@
+// node.hpp — a simulated compute node with its MSR surface.
+//
+// Node composes one or more Packages and exposes them through an emulated
+// MSR device, wiring the registers in msr/addresses.hpp to live package
+// state.  Everything above this layer — RaplInterface, the power-policy
+// daemon, the counters module — accesses the hardware exactly as it would
+// on a real machine: through MSR reads and writes (optionally mediated by
+// an msr-safe allow-list).
+//
+// Logical CPU numbering: package p owns CPUs
+// [p * cores_per_package, (p+1) * cores_per_package).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/package.hpp"
+#include "msr/emulated.hpp"
+#include "sim/engine.hpp"
+
+namespace procap::hw {
+
+/// Node-level configuration.
+struct NodeSpec {
+  CpuSpec cpu = CpuSpec::skylake24();
+  unsigned packages = 1;
+};
+
+/// Simulated node: packages + emulated MSR device.
+class Node : public sim::Component {
+ public:
+  explicit Node(const NodeSpec& spec = NodeSpec{});
+
+  [[nodiscard]] unsigned package_count() const {
+    return static_cast<unsigned>(packages_.size());
+  }
+  [[nodiscard]] Package& package(unsigned p = 0) { return *packages_.at(p); }
+  [[nodiscard]] const Package& package(unsigned p = 0) const {
+    return *packages_.at(p);
+  }
+
+  /// Total logical CPUs across packages.
+  [[nodiscard]] unsigned cpu_count() const;
+
+  /// Core behind a global CPU index.
+  [[nodiscard]] Core& core(unsigned cpu);
+
+  /// The MSR device exposing this node's registers.
+  [[nodiscard]] msr::EmulatedMsr& msr() { return *msr_; }
+
+  /// First logical CPU of each package (for RaplInterface construction).
+  [[nodiscard]] std::vector<unsigned> package_leaders() const;
+
+  // sim::Component:
+  void step(Nanos now, Nanos dt) override;
+
+ private:
+  void wire_msrs();
+  [[nodiscard]] unsigned pkg_of(unsigned cpu) const;
+
+  NodeSpec spec_;
+  std::vector<std::unique_ptr<Package>> packages_;
+  std::unique_ptr<msr::EmulatedMsr> msr_;
+};
+
+}  // namespace procap::hw

@@ -1,0 +1,111 @@
+#include "hw/package.hpp"
+
+#include <algorithm>
+
+namespace procap::hw {
+
+Package::Package(const CpuSpec& spec)
+    : spec_(spec),
+      firmware_(spec_),
+      dram_firmware_(spec_),
+      req_freq_(spec.f_max),
+      eff_freq_(spec.f_max),
+      temperature_(spec.t_ambient) {
+  cores_.reserve(spec_.cores_per_package);
+  for (unsigned i = 0; i < spec_.cores_per_package; ++i) {
+    cores_.emplace_back(i, spec_);
+  }
+}
+
+void Package::request_frequency(Hertz f) {
+  req_freq_ = spec_.clamp_frequency(f);
+}
+
+void Package::request_duty(double duty) { req_duty_ = spec_.snap_duty(duty); }
+
+CoreCounters Package::total_counters() const {
+  CoreCounters total;
+  for (const Core& c : cores_) {
+    total.instructions += c.counters().instructions;
+    total.core_cycles += c.counters().core_cycles;
+    total.ref_cycles += c.counters().ref_cycles;
+    total.l3_misses += c.counters().l3_misses;
+  }
+  return total;
+}
+
+void Package::reset_counters() {
+  for (Core& c : cores_) {
+    c.reset_counters();
+  }
+}
+
+void Package::step(Nanos now, Nanos dt) {
+  // Resolve the operating point for this tick.
+  eff_freq_ = spec_.clamp_frequency(
+      std::min(req_freq_, firmware_.frequency_cap()));
+  eff_duty_ = spec_.snap_duty(std::min(req_duty_, firmware_.duty_cap()));
+  if (prochot_) {
+    eff_freq_ = spec_.f_min;  // thermal throttle overrides everything
+  }
+
+  mem_throttle_ = dram_firmware_.throttle();
+
+  // Run the cores and collect usage.
+  const Seconds dt_s = to_seconds(dt);
+  double activity_time = 0.0;  // activity-weighted core seconds
+  double bytes = 0.0;
+  for (Core& c : cores_) {
+    const CoreTickUsage u = c.step(now, dt, eff_freq_, eff_duty_,
+                                   mem_throttle_);
+    activity_time += u.compute_active * spec_.compute_activity +
+                     u.stall_active * spec_.stall_activity +
+                     u.spin_active * spec_.spin_activity +
+                     u.gated * spec_.gated_activity +
+                     u.sleeping * spec_.sleep_activity +
+                     u.idle * spec_.idle_activity;
+    bytes += u.bytes;
+  }
+
+  // Integrate power.
+  const double avg_activity_cores = activity_time / dt_s;  // in units of cores
+  bandwidth_gbps_ = bytes / dt_s / 1e9;
+  breakdown_.core_dynamic =
+      spec_.core_dynamic_power(eff_freq_, 1.0) * avg_activity_cores;
+  // Leakage grows with temperature when the thermal model is on.
+  const double leak_scale =
+      spec_.thermal_enabled
+          ? std::max(0.5, 1.0 + spec_.leakage_temp_coeff *
+                                    (temperature_ - spec_.t_leak_ref))
+          : 1.0;
+  breakdown_.core_static =
+      spec_.core_static * static_cast<double>(cores_.size()) * leak_scale;
+  breakdown_.uncore = spec_.uncore_static +
+                      spec_.uncore_bw_watts_per_gbps * bandwidth_gbps_;
+  breakdown_.base = spec_.package_base;
+  energy_ += breakdown_.total() * dt_s;
+
+  // DRAM domain: separate rail, metered and enforced independently.
+  dram_power_ = spec_.dram_static +
+                spec_.dram_bw_watts_per_gbps * bandwidth_gbps_;
+  dram_energy_ += dram_power_ * dt_s;
+
+  // Thermal RC integration and PROCHOT hysteresis.
+  if (spec_.thermal_enabled) {
+    const double t_steady =
+        spec_.t_ambient + spec_.thermal_resistance * breakdown_.total();
+    temperature_ += (t_steady - temperature_) * dt_s / spec_.thermal_tau;
+    if (temperature_ >= spec_.t_prochot) {
+      prochot_ = true;
+    } else if (temperature_ <
+               spec_.t_prochot - spec_.prochot_hysteresis) {
+      prochot_ = false;
+    }
+  }
+
+  // Let the firmware react (affects the next tick's operating point).
+  firmware_.observe(breakdown_.total(), dt);
+  dram_firmware_.observe(dram_power_, dt);
+}
+
+}  // namespace procap::hw

@@ -1,0 +1,126 @@
+// package.hpp — one simulated processor package.
+//
+// Owns the cores, integrates package power and energy each tick, and runs
+// the RAPL firmware controller.  The effective operating point is
+//
+//   f    = min(OS-requested P-state, firmware frequency cap)
+//   duty = min(OS-requested T-state, firmware duty cap)
+//
+// matching real hardware, where RAPL overrides but never exceeds the OS
+// request.  The package is driven by hw::Node (which also exposes it
+// through emulated MSRs); tests may also step it directly.
+#pragma once
+
+#include <vector>
+
+#include "hw/core.hpp"
+#include "hw/firmware.hpp"
+#include "hw/spec.hpp"
+#include "util/units.hpp"
+
+namespace procap::hw {
+
+/// Decomposition of package power for one tick.
+struct PowerBreakdown {
+  Watts core_dynamic = 0.0;
+  Watts core_static = 0.0;
+  Watts uncore = 0.0;
+  Watts base = 0.0;
+
+  [[nodiscard]] Watts total() const {
+    return core_dynamic + core_static + uncore + base;
+  }
+};
+
+/// One package: cores + uncore + RAPL firmware.
+class Package {
+ public:
+  explicit Package(const CpuSpec& spec);
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+  [[nodiscard]] unsigned core_count() const {
+    return static_cast<unsigned>(cores_.size());
+  }
+  [[nodiscard]] Core& core(unsigned i) { return cores_.at(i); }
+  [[nodiscard]] const Core& core(unsigned i) const { return cores_.at(i); }
+
+  // -- OS-visible knobs -------------------------------------------------
+
+  /// Request a P-state (clamped and snapped to a bin).  The firmware cap
+  /// may force a lower effective frequency.
+  void request_frequency(Hertz f);
+
+  /// Request a T-state duty factor (snapped to the 1/16 grid).
+  void request_duty(double duty);
+
+  [[nodiscard]] Hertz requested_frequency() const { return req_freq_; }
+  [[nodiscard]] double requested_duty() const { return req_duty_; }
+
+  // -- Observable state --------------------------------------------------
+
+  /// Effective operating frequency during the last tick.
+  [[nodiscard]] Hertz frequency() const { return eff_freq_; }
+  /// Effective duty factor during the last tick.
+  [[nodiscard]] double duty() const { return eff_duty_; }
+  /// Package power during the last tick.
+  [[nodiscard]] Watts power() const { return breakdown_.total(); }
+  /// Power decomposition for the last tick.
+  [[nodiscard]] const PowerBreakdown& breakdown() const { return breakdown_; }
+  /// Total energy consumed since construction.
+  [[nodiscard]] Joules energy() const { return energy_; }
+  /// Memory bandwidth during the last tick, GB/s.
+  [[nodiscard]] double bandwidth_gbps() const { return bandwidth_gbps_; }
+
+  [[nodiscard]] RaplFirmware& firmware() { return firmware_; }
+  [[nodiscard]] const RaplFirmware& firmware() const { return firmware_; }
+
+  /// DRAM domain: separate power rail metered and capped independently.
+  [[nodiscard]] DramFirmware& dram_firmware() { return dram_firmware_; }
+  [[nodiscard]] const DramFirmware& dram_firmware() const {
+    return dram_firmware_;
+  }
+  /// DRAM power during the last tick.
+  [[nodiscard]] Watts dram_power() const { return dram_power_; }
+  /// Total DRAM energy consumed since construction.
+  [[nodiscard]] Joules dram_energy() const { return dram_energy_; }
+  /// Bandwidth-throttle factor applied during the last tick.
+  [[nodiscard]] double memory_throttle() const { return mem_throttle_; }
+
+  /// Package temperature, deg C (== ambient while the thermal model is
+  /// disabled).
+  [[nodiscard]] double temperature() const { return temperature_; }
+
+  /// True while the PROCHOT thermal throttle is clamping the frequency.
+  [[nodiscard]] bool prochot_active() const { return prochot_; }
+
+  /// Sum of per-core counters.
+  [[nodiscard]] CoreCounters total_counters() const;
+
+  /// Zero all per-core counters (start of a measurement interval).
+  void reset_counters();
+
+  /// Advance the package over [now, now + dt).
+  void step(Nanos now, Nanos dt);
+
+ private:
+  CpuSpec spec_;
+  std::vector<Core> cores_;
+  RaplFirmware firmware_;
+  DramFirmware dram_firmware_;
+
+  Hertz req_freq_;
+  double req_duty_ = 1.0;
+  Hertz eff_freq_;
+  double eff_duty_ = 1.0;
+
+  PowerBreakdown breakdown_;
+  Joules energy_ = 0.0;
+  double bandwidth_gbps_ = 0.0;
+  Watts dram_power_ = 0.0;
+  Joules dram_energy_ = 0.0;
+  double mem_throttle_ = 1.0;
+  double temperature_;
+  bool prochot_ = false;
+};
+
+}  // namespace procap::hw

@@ -1,0 +1,46 @@
+#include "hw/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace procap::hw {
+
+double CpuSpec::voltage(Hertz f) const {
+  const Hertz fc = std::clamp(f, f_min, f_max);
+  if (fc <= f_nominal) {
+    const double t = (fc - f_min) / (f_nominal - f_min);
+    return v_min + t * (v_nominal - v_min);
+  }
+  const double t = (fc - f_nominal) / (f_max - f_nominal);
+  return v_nominal + t * (v_turbo - v_nominal);
+}
+
+Hertz CpuSpec::clamp_frequency(Hertz f) const {
+  const Hertz fc = std::clamp(f, f_min, f_max);
+  const double bins = std::floor((fc - f_min) / f_step + 1e-9);
+  return f_min + bins * f_step;
+}
+
+double CpuSpec::snap_duty(double duty) const {
+  const double clamped = std::clamp(duty, kDutyStep, 1.0);
+  return std::round(clamped / kDutyStep) * kDutyStep;
+}
+
+Watts CpuSpec::core_dynamic_power(Hertz f, double activity) const {
+  const double v = voltage(f);
+  return dyn_coeff * as_ghz(f) * v * v * activity;
+}
+
+unsigned CpuSpec::frequency_bins() const {
+  return static_cast<unsigned>(std::round((f_max - f_min) / f_step)) + 1;
+}
+
+double CpuSpec::effective_alpha(Hertz f1, Hertz f2) const {
+  const double p1 = core_dynamic_power(f1, 1.0);
+  const double p2 = core_dynamic_power(f2, 1.0);
+  return std::log(p2 / p1) / std::log(f2 / f1);
+}
+
+CpuSpec CpuSpec::skylake24() { return CpuSpec{}; }
+
+}  // namespace procap::hw

@@ -1,0 +1,134 @@
+// spec.hpp — parameters of the simulated processor package.
+//
+// The defaults model the paper's testbed class (Skylake server, 24 cores,
+// 1200-3300 MHz nominal plus turbo headroom to 3700 MHz).  Power follows
+// the standard CMOS decomposition:
+//
+//   P_core(f, a) = dyn_coeff * f[GHz] * V(f)^2 * a  +  core_static
+//
+// with activity factor `a` depending on what the core is doing (computing,
+// stalled on memory, spinning at a barrier, clock-gated, idle).  Voltage
+// is piecewise linear in frequency, with a steep turbo segment above the
+// nominal maximum: the local power-law exponent alpha — P ~ f^alpha —
+// ranges from ~2.3 in the DVFS band to ~4 in the turbo band.  The paper's
+// analytic model assumes a single alpha = 2, so simulator-vs-model
+// disagreement is structural and regime-dependent, exactly as observed on
+// real RAPL hardware (paper Section VI: overestimates at mild caps,
+// underestimates at stringent ones).
+//
+// Uncore power = uncore_static + bandwidth * uncore_bw_watts_per_gbps;
+// it is proportional to memory traffic and *not* scaled by core DVFS,
+// which is what makes RAPL application-aware (paper Fig. 2): a memory-
+// bound workload spends the package budget on the uncore and is forced
+// to a lower core frequency under the same cap.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace procap::hw {
+
+/// Static description of one processor package.
+struct CpuSpec {
+  unsigned cores_per_package = 24;
+
+  Hertz f_min = mhz(1200);
+  /// Nominal (non-turbo) maximum — the paper's "maximum frequency of
+  /// 3300 MHz"; DVFS pinning for beta probes uses this.
+  Hertz f_nominal = mhz(3300);
+  /// Turbo ceiling.  The paper's testbed ran with Turbo-Boost enabled, so
+  /// *uncapped* execution sits in the turbo region, where voltage rises
+  /// steeply (local alpha ~ 4).  Mild power caps therefore shed a lot of
+  /// power for little frequency — the regime where the paper's alpha = 2
+  /// model OVERESTIMATES the progress impact (Fig. 4b/4c).
+  Hertz f_max = mhz(3700);
+  /// DVFS granularity (P-state bins).
+  Hertz f_step = mhz(100);
+
+  /// Core voltage: piecewise linear through (f_min, v_min),
+  /// (f_nominal, v_nominal), (f_max, v_turbo).  The turbo segment is
+  /// deliberately steep.
+  double v_min = 0.55;
+  double v_nominal = 1.05;
+  double v_turbo = 1.25;
+
+  /// Dynamic-power coefficient: watts per GHz per volt^2 per core.
+  double dyn_coeff = 0.93;
+  /// Per-core leakage (frequency-independent).
+  Watts core_static = 0.4;
+
+  /// Uncore (L3, memory controller) idle power.
+  Watts uncore_static = 6.0;
+  /// Uncore power per GB/s of memory traffic.
+  double uncore_bw_watts_per_gbps = 0.25;
+  /// Non-core, non-uncore package overhead.
+  Watts package_base = 4.0;
+
+  /// DRAM domain (separate RAPL domain, not part of package power):
+  /// device background power plus a per-GB/s term.
+  Watts dram_static = 3.0;
+  double dram_bw_watts_per_gbps = 0.30;
+
+  /// Thermal model (opt-in; default off so calibrated power numbers are
+  /// temperature-independent).  Single-RC package thermal node:
+  ///   T' = (T_ambient + R_th * P_pkg - T) / tau
+  /// with leakage scaling linearly in temperature around t_ref, and a
+  /// PROCHOT trip that clamps the frequency to f_min until the package
+  /// cools below (t_prochot - prochot_hysteresis).  Power capping lowers
+  /// the steady temperature — the "thermal headroom" effect the paper's
+  /// Section VII discussion (Bhalachandra et al.) appeals to.
+  bool thermal_enabled = false;
+  double t_ambient = 40.0;           ///< deg C at the heatsink
+  double thermal_resistance = 0.25;  ///< deg C per package watt
+  Seconds thermal_tau = 8.0;         ///< RC time constant
+  double leakage_temp_coeff = 0.008; ///< fractional leakage per deg C
+  double t_leak_ref = 70.0;          ///< temperature where core_static holds
+  double t_prochot = 96.0;           ///< thermal-throttle trip point
+  double prochot_hysteresis = 4.0;   ///< deg C below trip to disengage
+
+  /// Activity factors by core occupation.  A memory-stalled core still
+  /// burns most of its dynamic power (outstanding loads, prefetchers, the
+  /// in-core memory machinery), which — together with the bandwidth-
+  /// proportional uncore term — is why a memory-bound workload leaves
+  /// *less* budget for frequency under a package cap (paper Fig. 2).
+  double compute_activity = 1.00;
+  double stall_activity = 0.75;  ///< waiting on memory
+  double spin_activity = 0.85;   ///< busy-wait (barrier / MPI poll)
+  double gated_activity = 0.05;  ///< clock-gated by duty modulation
+  double idle_activity = 0.03;
+  double sleep_activity = 0.03;  ///< blocked in the OS (usleep)
+
+  /// Instructions retired per cycle while spinning (pause loop).
+  double spin_ipc = 2.0;
+
+  /// Thermal design power (reported in MSR_PKG_POWER_INFO and used as the
+  /// default PL1 value before any cap is programmed).
+  Watts tdp = 165.0;
+
+  /// Duty-modulation granularity: duty levels are multiples of 1/16
+  /// (6.25 %), the extended IA32_CLOCK_MODULATION encoding.
+  static constexpr double kDutyStep = 1.0 / 16.0;
+
+  /// Core voltage at frequency `f` (clamped to the DVFS range).
+  [[nodiscard]] double voltage(Hertz f) const;
+
+  /// Clamp to [f_min, f_max] and snap down to the nearest f_step bin.
+  [[nodiscard]] Hertz clamp_frequency(Hertz f) const;
+
+  /// Clamp to (0, 1] and snap to the 1/16 duty grid (minimum 1/16).
+  [[nodiscard]] double snap_duty(double duty) const;
+
+  /// Dynamic power of one core at frequency `f` and activity `a`.
+  [[nodiscard]] Watts core_dynamic_power(Hertz f, double activity) const;
+
+  /// Number of DVFS bins between f_min and f_max inclusive.
+  [[nodiscard]] unsigned frequency_bins() const;
+
+  /// Effective alpha exponent between two frequencies:
+  /// log(P(f2)/P(f1)) / log(f2/f1).  Diagnostic for tests and docs.
+  [[nodiscard]] double effective_alpha(Hertz f1, Hertz f2) const;
+
+  /// Defaults modeling a Skylake-server-class 24-core package.
+  [[nodiscard]] static CpuSpec skylake24();
+};
+
+}  // namespace procap::hw

@@ -1,0 +1,67 @@
+#include "job/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace procap::job {
+
+Cluster::Cluster(sim::Engine& engine, const apps::AppModel& app,
+                 ClusterSpec spec) {
+  if (spec.nodes == 0) {
+    throw std::invalid_argument("Cluster: need at least one node");
+  }
+  Rng rng(spec.seed);
+  nodes_.reserve(spec.nodes);
+  for (unsigned i = 0; i < spec.nodes; ++i) {
+    JobNode jn;
+    // Manufacturing variability: clamp to a plausible part spread.
+    jn.power_efficiency_factor = std::clamp(
+        1.0 + spec.variability_cv * rng.normal(), 0.80, 1.25);
+    hw::NodeSpec node_spec = spec.node_spec;
+    node_spec.cpu.dyn_coeff *= jn.power_efficiency_factor;
+
+    jn.node = std::make_unique<hw::Node>(node_spec);
+    jn.broker = std::make_unique<msgbus::Broker>(engine.time());
+    jn.rapl = std::make_unique<rapl::RaplInterface>(
+        jn.node->msr(), engine.time(), jn.node->package_leaders());
+    jn.app = std::make_unique<apps::SimApp>(jn.node->package(), *jn.broker,
+                                            app.spec, rng.next_u64());
+    jn.monitor = std::make_unique<progress::Monitor>(
+        jn.broker->make_sub(), app.spec.name, engine.time());
+
+    engine.add(*jn.node);
+    nodes_.push_back(std::move(jn));
+  }
+  engine.every(kNanosPerSecond, [this](Nanos) {
+    for (JobNode& jn : nodes_) {
+      jn.monitor->poll();
+    }
+  });
+}
+
+std::vector<double> Cluster::rates() const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (const JobNode& jn : nodes_) {
+    out.push_back(jn.monitor->current_rate());
+  }
+  return out;
+}
+
+std::vector<Watts> Cluster::powers() const {
+  std::vector<Watts> out;
+  out.reserve(nodes_.size());
+  for (const JobNode& jn : nodes_) {
+    out.push_back(jn.node->package().power());
+  }
+  return out;
+}
+
+double Cluster::job_rate() const {
+  const auto all = rates();
+  return *std::min_element(all.begin(), all.end());
+}
+
+}  // namespace procap::job

@@ -1,0 +1,81 @@
+// cluster.hpp — a multi-node job on one simulation engine.
+//
+// The paper's power-management hierarchy (Section II) has a job-level
+// layer that "distributes [the job's] power budget to nodes, according to
+// application characteristics and node variability".  Cluster provides
+// the substrate for that layer: N simulated nodes on one engine, each
+// running the same application workload, each with its own RAPL
+// interface and progress monitor.
+//
+// Node *manufacturing variability* — the phenomenon Rountree et al.
+// highlight as dominant under power bounds (paper Section VII) — is
+// modeled as a per-node multiplier on the dynamic-power coefficient: an
+// inefficient part needs more watts for the same frequency, so under an
+// identical cap it runs slower.  Uncapped, all nodes perform identically
+// (frequency-limited); capped, their progress spreads — exactly the
+// behaviour observed on real power-limited clusters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "hw/node.hpp"
+#include "msgbus/bus.hpp"
+#include "progress/monitor.hpp"
+#include "rapl/rapl.hpp"
+#include "sim/engine.hpp"
+
+namespace procap::job {
+
+/// Everything one node contributes to the job.
+struct JobNode {
+  std::unique_ptr<hw::Node> node;
+  std::unique_ptr<msgbus::Broker> broker;
+  std::unique_ptr<rapl::RaplInterface> rapl;
+  std::unique_ptr<apps::SimApp> app;
+  std::unique_ptr<progress::Monitor> monitor;
+  /// This node's dynamic-power multiplier (1.0 = nominal part).
+  double power_efficiency_factor = 1.0;
+};
+
+/// Configuration for a Cluster.
+struct ClusterSpec {
+  unsigned nodes = 4;
+  hw::NodeSpec node_spec{};
+  /// Coefficient of variation of the per-node dynamic-power multiplier
+  /// (typical manufacturing spread is a few percent).
+  double variability_cv = 0.05;
+  /// Seed for the variability draw and the per-node app streams.
+  std::uint64_t seed = 1;
+};
+
+/// N identical-workload nodes under one engine.
+class Cluster {
+ public:
+  /// Builds the nodes, launches `app` on each, registers everything with
+  /// `engine`, and polls every monitor once per second.
+  Cluster(sim::Engine& engine, const apps::AppModel& app, ClusterSpec spec);
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  [[nodiscard]] JobNode& node(unsigned i) { return nodes_.at(i); }
+  [[nodiscard]] const JobNode& node(unsigned i) const { return nodes_.at(i); }
+
+  /// Most recent 1-s progress rate per node.
+  [[nodiscard]] std::vector<double> rates() const;
+
+  /// Most recent package power per node (last tick).
+  [[nodiscard]] std::vector<Watts> powers() const;
+
+  /// The job's progress under a tightly coupled (bulk-synchronous across
+  /// nodes) execution model: the slowest node's rate.
+  [[nodiscard]] double job_rate() const;
+
+ private:
+  std::vector<JobNode> nodes_;
+};
+
+}  // namespace procap::job

@@ -1,0 +1,100 @@
+#include "job/manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace procap::job {
+
+JobPowerManager::JobPowerManager(Cluster& cluster,
+                                 const TimeSource& time_source,
+                                 Watts job_budget, JobManagerConfig config)
+    : cluster_(&cluster),
+      time_(&time_source),
+      budget_(job_budget),
+      config_(config) {
+  if (job_budget <= 0.0) {
+    throw std::invalid_argument("JobPowerManager: budget must be positive");
+  }
+  const double n = cluster_->size();
+  if (budget_ / n < config_.min_node_cap) {
+    throw std::invalid_argument(
+        "JobPowerManager: budget below nodes * min_node_cap");
+  }
+  caps_.assign(cluster_->size(),
+               std::min(budget_ / n, config_.max_node_cap));
+  smoothed_rates_.assign(
+      cluster_->size(),
+      MovingAverage(config_.rate_smoothing == 0 ? 1 : config_.rate_smoothing));
+  apply_caps();
+}
+
+void JobPowerManager::set_budget(Watts job_budget) {
+  if (job_budget <= 0.0) {
+    throw std::invalid_argument("JobPowerManager: budget must be positive");
+  }
+  if (job_budget / cluster_->size() < config_.min_node_cap) {
+    throw std::invalid_argument(
+        "JobPowerManager: budget below nodes * min_node_cap");
+  }
+  const double current_total =
+      std::accumulate(caps_.begin(), caps_.end(), 0.0);
+  const double scale = job_budget / current_total;
+  for (Watts& cap : caps_) {
+    cap = std::clamp(cap * scale, config_.min_node_cap,
+                     config_.max_node_cap);
+  }
+  budget_ = job_budget;
+  apply_caps();
+}
+
+void JobPowerManager::apply_caps() {
+  for (unsigned i = 0; i < cluster_->size(); ++i) {
+    cluster_->node(i).rapl->set_pkg_cap(caps_[i]);
+  }
+}
+
+void JobPowerManager::tick() {
+  const auto raw = cluster_->rates();
+  job_rate_.add(time_->now(), *std::min_element(raw.begin(), raw.end()));
+  std::vector<double> rates(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    smoothed_rates_[i].add(raw[i]);
+    rates[i] = smoothed_rates_[i].mean();
+  }
+  const double slowest_rate =
+      *std::min_element(rates.begin(), rates.end());
+
+  if (config_.policy == JobPolicy::kCriticalPath && slowest_rate > 0.0) {
+    // Identify the laggard and the leader; move watts if the spread is
+    // outside the deadband and the bounds allow it.
+    const auto slow = static_cast<std::size_t>(
+        std::min_element(rates.begin(), rates.end()) - rates.begin());
+    const auto fast = static_cast<std::size_t>(
+        std::max_element(rates.begin(), rates.end()) - rates.begin());
+    const double spread =
+        (rates[fast] - rates[slow]) / std::max(rates[fast], 1e-12);
+    if (fast != slow && spread > config_.spread_deadband) {
+      const Watts give = std::min(
+          {config_.shift_step, caps_[fast] - config_.min_node_cap,
+           config_.max_node_cap - caps_[slow]});
+      if (give > 0.0) {
+        caps_[fast] -= give;
+        caps_[slow] += give;
+        shifted_ += give;
+        PROCAP_DEBUG << "job: shifted " << give << " W from node " << fast
+                     << " to node " << slow;
+      }
+    }
+  }
+  apply_caps();
+}
+
+void JobPowerManager::attach(sim::Engine& engine, Nanos interval) {
+  // Let the monitors close their first windows before managing.
+  engine.every(interval, [this](Nanos) { tick(); }, interval);
+}
+
+}  // namespace procap::job

@@ -1,0 +1,98 @@
+// manager.hpp — job-level power budget distribution.
+//
+// The middle layer of the paper's hierarchy (Section II): given a job
+// budget from the system level, distribute per-node caps.  Progress
+// monitoring is what enables the interesting policies — without an
+// online progress signal, the manager can only split uniformly.
+//
+//   kUniform              budget / N to every node (progress-blind).
+//   kCriticalPath         tightly coupled jobs advance at the slowest
+//                         node's rate, so shift watts from nodes running
+//                         ahead to nodes running behind (the POW /
+//                         Conductor idea the paper cites, built on the
+//                         paper's own progress metric).
+//
+// Every redistribution preserves the invariant
+//     sum(node caps) <= job budget,
+// and caps stay within [min_node_cap, max_node_cap].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "job/cluster.hpp"
+#include "sim/engine.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace procap::job {
+
+/// Budget distribution policies.
+enum class JobPolicy {
+  kUniform,
+  kCriticalPath,
+};
+
+/// Tuning for the manager.
+struct JobManagerConfig {
+  JobPolicy policy = JobPolicy::kUniform;
+  /// Watts moved per rebalance step between a (fastest, slowest) pair.
+  Watts shift_step = 2.0;
+  /// Per-node cap bounds.
+  Watts min_node_cap = 30.0;
+  Watts max_node_cap = 200.0;
+  /// Relative rate spread below which no rebalancing happens.
+  double spread_deadband = 0.03;
+  /// Ticks of smoothing applied to each node's rate before comparing
+  /// (1-s windows quantize to whole iterations; decisions on raw windows
+  /// would chase that noise).
+  std::size_t rate_smoothing = 4;
+};
+
+/// Enforces a job budget across a Cluster's nodes.
+class JobPowerManager {
+ public:
+  /// `cluster` and `time_source` must outlive the manager.  Applies the
+  /// initial uniform split immediately.
+  JobPowerManager(Cluster& cluster, const TimeSource& time_source,
+                  Watts job_budget, JobManagerConfig config);
+
+  /// Change the job budget (system-level directive); rescales the current
+  /// per-node caps proportionally so the invariant holds immediately.
+  void set_budget(Watts job_budget);
+
+  [[nodiscard]] Watts budget() const { return budget_; }
+
+  /// Current per-node caps.
+  [[nodiscard]] const std::vector<Watts>& caps() const { return caps_; }
+
+  /// One management cycle (call at 1 Hz): read progress, rebalance under
+  /// the active policy, program the node caps.
+  void tick();
+
+  /// Register with the engine at `interval`.
+  void attach(sim::Engine& engine, Nanos interval = kNanosPerSecond);
+
+  /// Job progress (slowest node) over time, as seen at tick instants.
+  [[nodiscard]] const TimeSeries& job_rate_series() const {
+    return job_rate_;
+  }
+
+  /// Total watts shifted between nodes so far (diagnostic).
+  [[nodiscard]] Watts total_shifted() const { return shifted_; }
+
+ private:
+  void apply_caps();
+
+  Cluster* cluster_;
+  const TimeSource* time_;
+  Watts budget_;
+  JobManagerConfig config_;
+  std::vector<Watts> caps_;
+  std::vector<MovingAverage> smoothed_rates_;
+  TimeSeries job_rate_{"job_rate"};
+  Watts shifted_ = 0.0;
+};
+
+}  // namespace procap::job

@@ -1,0 +1,140 @@
+#include "job/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace procap::job {
+
+SystemPowerManager::SystemPowerManager(Watts machine_budget)
+    : machine_budget_(machine_budget) {
+  if (machine_budget <= 0.0) {
+    throw std::invalid_argument(
+        "SystemPowerManager: machine budget must be positive");
+  }
+}
+
+void SystemPowerManager::add_job(const std::string& name, int priority,
+                                 JobPowerManager& manager, Watts min_budget,
+                                 Watts max_budget) {
+  if (priority < 1) {
+    throw std::invalid_argument("SystemPowerManager: priority must be >= 1");
+  }
+  if (min_budget <= 0.0 || max_budget < min_budget) {
+    throw std::invalid_argument(
+        "SystemPowerManager: need max_budget >= min_budget > 0");
+  }
+  if (jobs_.contains(name)) {
+    throw std::invalid_argument("SystemPowerManager: duplicate job " + name);
+  }
+  Watts floors = min_budget;
+  for (const auto& [n, job] : jobs_) {
+    floors += job.min_budget;
+  }
+  if (floors > machine_budget_) {
+    throw std::invalid_argument(
+        "SystemPowerManager: job floors exceed the machine budget");
+  }
+  jobs_[name] = Job{priority, &manager, min_budget, max_budget, 0.0};
+  PROCAP_INFO << "system: job " << name << " (priority " << priority
+              << ") admitted";
+  rebalance();
+}
+
+void SystemPowerManager::remove_job(const std::string& name) {
+  if (jobs_.erase(name) == 0) {
+    throw std::invalid_argument("SystemPowerManager: unknown job " + name);
+  }
+  if (!jobs_.empty()) {
+    rebalance();
+  }
+}
+
+void SystemPowerManager::set_machine_budget(Watts budget) {
+  if (budget <= 0.0) {
+    throw std::invalid_argument(
+        "SystemPowerManager: machine budget must be positive");
+  }
+  Watts floors = 0.0;
+  for (const auto& [n, job] : jobs_) {
+    floors += job.min_budget;
+  }
+  if (floors > budget) {
+    throw std::invalid_argument(
+        "SystemPowerManager: budget below the admitted jobs' floors");
+  }
+  machine_budget_ = budget;
+  rebalance();
+}
+
+Watts SystemPowerManager::budget_of(const std::string& name) const {
+  const auto it = jobs_.find(name);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("SystemPowerManager: unknown job " + name);
+  }
+  return it->second.granted;
+}
+
+std::vector<std::string> SystemPowerManager::jobs() const {
+  std::vector<std::string> names;
+  names.reserve(jobs_.size());
+  for (const auto& [name, job] : jobs_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Watts SystemPowerManager::total_granted() const {
+  Watts total = 0.0;
+  for (const auto& [name, job] : jobs_) {
+    total += job.granted;
+  }
+  return total;
+}
+
+void SystemPowerManager::rebalance() {
+  // Start from the floors.
+  Watts remaining = machine_budget_;
+  for (auto& [name, job] : jobs_) {
+    job.granted = job.min_budget;
+    remaining -= job.min_budget;
+  }
+  // Water-fill the remainder by priority weight; jobs that hit their
+  // ceiling drop out and their share re-spreads.
+  std::vector<Job*> open;
+  for (auto& [name, job] : jobs_) {
+    open.push_back(&job);
+  }
+  while (remaining > 1e-9 && !open.empty()) {
+    double weight_sum = 0.0;
+    for (const Job* job : open) {
+      weight_sum += job->priority;
+    }
+    const Watts pool = remaining;
+    remaining = 0.0;
+    std::vector<Job*> still_open;
+    for (Job* job : open) {
+      const Watts share = pool * job->priority / weight_sum;
+      const Watts headroom = job->max_budget - job->granted;
+      if (share >= headroom) {
+        job->granted = job->max_budget;
+        remaining += share - headroom;  // surplus re-spreads
+      } else {
+        job->granted += share;
+        still_open.push_back(job);
+      }
+    }
+    if (still_open.size() == open.size()) {
+      break;  // nobody saturated: the pool is fully distributed
+    }
+    open = std::move(still_open);
+  }
+  // Cascade to the job managers.
+  for (auto& [name, job] : jobs_) {
+    job.manager->set_budget(job.granted);
+    PROCAP_DEBUG << "system: " << name << " -> " << job.granted << " W";
+  }
+}
+
+}  // namespace procap::job

@@ -1,0 +1,76 @@
+// system.hpp — the top of the paper's power-management hierarchy.
+//
+// "At the top, a system controller monitors power across the entire
+// machine and distributes power budgets across the jobs" (paper
+// Section II).  SystemPowerManager implements that controller over the
+// job-level managers: each registered job has a priority and a minimum
+// viable budget; the machine budget is divided in proportion to priority
+// weights, subject to the per-job floor and ceiling, and every change
+// (job arrival, job completion, machine budget revision) cascades down
+// through the JobPowerManagers to per-node RAPL caps.
+//
+// The paper's second motivating scenario — "a large, high-priority job
+// begins executing elsewhere on the system, and the power budget for the
+// currently executing low-priority job is reduced" — is literally
+// add_job() with a higher priority.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "job/manager.hpp"
+#include "util/units.hpp"
+
+namespace procap::job {
+
+/// System-level budget distributor over registered jobs.
+class SystemPowerManager {
+ public:
+  /// `machine_budget` is the total watts the facility grants the machine.
+  explicit SystemPowerManager(Watts machine_budget);
+
+  /// Register a job.  `priority` >= 1 weights the division;
+  /// `min_budget` is the floor below which the job cannot run (its
+  /// nodes' static power), `max_budget` the most it can usefully consume
+  /// (uncapped power of all its nodes).  Triggers a rebalance; throws if
+  /// the floors of all jobs would exceed the machine budget.
+  void add_job(const std::string& name, int priority,
+               JobPowerManager& manager, Watts min_budget, Watts max_budget);
+
+  /// Deregister a job (it finished); its budget is redistributed.
+  void remove_job(const std::string& name);
+
+  /// Facility directive: change the machine budget and redistribute.
+  void set_machine_budget(Watts budget);
+
+  [[nodiscard]] Watts machine_budget() const { return machine_budget_; }
+
+  /// Budget currently granted to `name`; throws if unknown.
+  [[nodiscard]] Watts budget_of(const std::string& name) const;
+
+  /// Registered job names.
+  [[nodiscard]] std::vector<std::string> jobs() const;
+
+  /// Sum of currently granted budgets (<= machine budget).
+  [[nodiscard]] Watts total_granted() const;
+
+ private:
+  struct Job {
+    int priority = 1;
+    JobPowerManager* manager = nullptr;
+    Watts min_budget = 0.0;
+    Watts max_budget = 0.0;
+    Watts granted = 0.0;
+  };
+
+  /// Water-filling: give every job its floor, then split the remainder by
+  /// priority weight, clipping at each job's ceiling and re-spreading any
+  /// surplus.  Pushes the results into the job managers.
+  void rebalance();
+
+  Watts machine_budget_;
+  std::map<std::string, Job> jobs_;
+};
+
+}  // namespace procap::job

@@ -1,0 +1,166 @@
+#include "minimpi/minimpi.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace procap::minimpi {
+
+/// Shared state of one rank world.
+class World {
+ public:
+  explicit World(int size) : size_(size), values_(static_cast<std::size_t>(size), 0.0) {
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  int size() const { return size_; }
+
+  Seconds wtime() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  // Sense-reversing barrier: the last arrival flips the sense; earlier
+  // arrivals busy-poll on it (yielding periodically to stay fair on an
+  // oversubscribed host).
+  void barrier() {
+    const bool sense = sense_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+    } else {
+      unsigned spins = 0;
+      while (sense_.load(std::memory_order_acquire) == sense) {
+        if (++spins % 1024 == 0) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+  void send(int src, int dest, int tag, std::string data) {
+    check_rank(dest);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    mailboxes_[key(src, dest, tag)].push_back(std::move(data));
+    cv_.notify_all();
+  }
+
+  std::string recv(int src, int dest, int tag) {
+    check_rank(src);
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& box = mailboxes_[key(src, dest, tag)];
+    cv_.wait(lock, [&] { return !box.empty(); });
+    std::string data = std::move(box.front());
+    box.pop_front();
+    return data;
+  }
+
+  double bcast(int rank, double value, int root) {
+    check_rank(root);
+    if (rank == root) {
+      bcast_value_ = value;
+    }
+    barrier();           // root's store happens-before everyone's load
+    const double out = bcast_value_;
+    barrier();           // nobody starts the next bcast until all read
+    return out;
+  }
+
+  double allreduce(int rank, double value, Op op) {
+    values_[static_cast<std::size_t>(rank)] = value;
+    barrier();
+    double result = values_[0];
+    for (int r = 1; r < size_; ++r) {
+      const double v = values_[static_cast<std::size_t>(r)];
+      switch (op) {
+        case Op::kSum:
+          result += v;
+          break;
+        case Op::kMin:
+          result = std::min(result, v);
+          break;
+        case Op::kMax:
+          result = std::max(result, v);
+          break;
+      }
+    }
+    barrier();  // all ranks read before values_ is reused
+    return result;
+  }
+
+ private:
+  void check_rank(int r) const {
+    if (r < 0 || r >= size_) {
+      throw std::invalid_argument("minimpi: rank out of range");
+    }
+  }
+
+  static std::uint64_t key(int src, int dest, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(src)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint16_t>(dest)) << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  int size_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> sense_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<std::string>> mailboxes_;
+  std::vector<double> values_;
+  double bcast_value_ = 0.0;
+};
+
+int RankCtx::size() const { return world_->size(); }
+Seconds RankCtx::wtime() const { return world_->wtime(); }
+void RankCtx::barrier() { world_->barrier(); }
+
+void RankCtx::send(int dest, int tag, std::string data) {
+  world_->send(rank_, dest, tag, std::move(data));
+}
+
+std::string RankCtx::recv(int source, int tag) {
+  return world_->recv(source, rank_, tag);
+}
+
+double RankCtx::bcast(double value, int root) {
+  return world_->bcast(rank_, value, root);
+}
+
+double RankCtx::allreduce(double value, Op op) {
+  return world_->allreduce(rank_, value, op);
+}
+
+void run_world(int size, const std::function<void(RankCtx&)>& body) {
+  if (size <= 0) {
+    throw std::invalid_argument("run_world: size must be positive");
+  }
+  World world(size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  threads.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      try {
+        RankCtx ctx(world, r);
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& err : errors) {
+    if (err) {
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace procap::minimpi

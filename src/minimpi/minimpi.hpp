@@ -1,0 +1,74 @@
+// minimpi.hpp — a miniature in-process message-passing runtime.
+//
+// The paper's Listing 1 and its instrumented applications run under MPI;
+// procap ships a small MPI-like runtime — ranks as threads inside one
+// process — sufficient for the paper's single-node experiments: barrier
+// (busy-wait semantics, so imbalance burns cycles exactly as MPI's
+// polling barriers do), point-to-point send/recv, broadcast, allreduce,
+// and wall-clock timing.  The real-thread Listing-1 example and the
+// quickstart build on it.
+//
+//   minimpi::run_world(24, [](minimpi::RankCtx& ctx) {
+//     do_work(ctx.rank(), ctx.size());
+//     ctx.barrier();
+//     if (ctx.rank() == 0) report();
+//   });
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::minimpi {
+
+/// Reduction operators for allreduce.
+enum class Op { kSum, kMin, kMax };
+
+class World;
+
+/// Per-rank handle passed to the rank body.
+class RankCtx {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Seconds since the world launched (MPI_Wtime).
+  [[nodiscard]] Seconds wtime() const;
+
+  /// Block until all ranks arrive.  Busy-polls (with periodic yields),
+  /// matching the spin-wait behaviour of MPI barriers on HPC systems.
+  void barrier();
+
+  /// Blocking tagged send to `dest` (buffered: returns once enqueued).
+  void send(int dest, int tag, std::string data);
+
+  /// Blocking tagged receive from `source`.
+  [[nodiscard]] std::string recv(int source, int tag);
+
+  /// Broadcast `value` from `root` to all ranks; returns the root's value.
+  [[nodiscard]] double bcast(double value, int root);
+
+  /// All-reduce `value` across ranks with `op`.
+  [[nodiscard]] double allreduce(double value, Op op);
+
+ private:
+  friend class World;
+  friend void run_world(int size, const std::function<void(RankCtx&)>& body);
+  RankCtx(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+};
+
+/// Launch `size` ranks running `body` and join them.  Exceptions thrown
+/// by any rank are rethrown (first one wins) after all ranks join.
+void run_world(int size, const std::function<void(RankCtx&)>& body);
+
+}  // namespace procap::minimpi

@@ -1,0 +1,37 @@
+#include "model/beta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procap::model {
+
+double time_dilation(double beta, Hertz f, Hertz fmax) {
+  if (f <= 0.0 || fmax <= 0.0) {
+    throw std::invalid_argument("time_dilation: frequencies must be positive");
+  }
+  return beta * (fmax / f - 1.0) + 1.0;
+}
+
+double beta_from_times(Seconds t_at_f, Seconds t_at_fmax, Hertz f,
+                       Hertz fmax) {
+  if (t_at_f <= 0.0 || t_at_fmax <= 0.0) {
+    throw std::invalid_argument("beta_from_times: times must be positive");
+  }
+  if (f <= 0.0 || fmax <= 0.0 || f == fmax) {
+    throw std::invalid_argument("beta_from_times: need distinct frequencies");
+  }
+  const double dilation = t_at_f / t_at_fmax;
+  const double beta = (dilation - 1.0) / (fmax / f - 1.0);
+  return std::clamp(beta, 0.0, 1.0);
+}
+
+double beta_from_rates(double rate_at_f, double rate_at_fmax, Hertz f,
+                       Hertz fmax) {
+  if (rate_at_f <= 0.0 || rate_at_fmax <= 0.0) {
+    throw std::invalid_argument("beta_from_rates: rates must be positive");
+  }
+  // rate ~ 1/T, so T(f)/T(fmax) = rate_at_fmax / rate_at_f.
+  return beta_from_times(1.0 / rate_at_f, 1.0 / rate_at_fmax, f, fmax);
+}
+
+}  // namespace procap::model

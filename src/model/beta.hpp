@@ -1,0 +1,32 @@
+// beta.hpp — the compute-boundedness metric (Hsu & Kremer).
+//
+// Eq. (1) of the paper relates execution time to frequency:
+//
+//   T(f) / T(fmax) = beta * (fmax / f - 1) + 1
+//
+// beta in [0, 1]; 1 means ideally compute-bound (time scales inversely
+// with frequency), 0 means frequency-insensitive (memory-bound).  The
+// paper measures beta from execution times at 3300 MHz and 1600 MHz
+// (Section IV-A); these helpers invert Eq. (1) from either timings or
+// progress rates (progress ~ 1/T, Eq. (3)).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace procap::model {
+
+/// Eq. (1): time dilation factor T(f)/T(fmax) for a given beta.
+[[nodiscard]] double time_dilation(double beta, Hertz f, Hertz fmax);
+
+/// Invert Eq. (1) from execution times at a probe frequency `f` and at
+/// `fmax`.  The result is clamped to [0, 1] (measurement noise can push
+/// the raw value slightly outside).
+[[nodiscard]] double beta_from_times(Seconds t_at_f, Seconds t_at_fmax,
+                                     Hertz f, Hertz fmax);
+
+/// Invert Eq. (1) from progress rates (rate ~ 1/T, Eq. (3)):
+/// beta = (r_fmax / r_f - 1) / (fmax / f - 1), clamped to [0, 1].
+[[nodiscard]] double beta_from_rates(double rate_at_f, double rate_at_fmax,
+                                     Hertz f, Hertz fmax);
+
+}  // namespace procap::model

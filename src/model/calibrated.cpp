@@ -1,0 +1,75 @@
+#include "model/calibrated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::model {
+
+CalibratedModel::CalibratedModel(ModelParams base,
+                                 std::span<const CapObservation> observations,
+                                 unsigned bands)
+    : base_(base) {
+  if (bands == 0) {
+    throw std::invalid_argument("CalibratedModel: need at least one band");
+  }
+  if (observations.size() < 2 * static_cast<std::size_t>(bands)) {
+    throw std::invalid_argument(
+        "CalibratedModel: need >= 2 observations per band");
+  }
+  std::vector<CapObservation> sorted(observations.begin(),
+                                     observations.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CapObservation& a, const CapObservation& b) {
+              return a.p_core_cap < b.p_core_cap;
+            });
+
+  const std::size_t per_band = sorted.size() / bands;
+  double abs_err_sum = 0.0;
+  std::size_t err_count = 0;
+  for (unsigned b = 0; b < bands; ++b) {
+    const std::size_t begin = b * per_band;
+    const std::size_t end =
+        (b + 1 == bands) ? sorted.size() : begin + per_band;
+    const std::span<const CapObservation> slice(&sorted[begin], end - begin);
+
+    AlphaBand band;
+    band.lo = slice.front().p_core_cap;
+    band.hi = slice.back().p_core_cap;
+    const AlphaFit fit = fit_alpha(base_, slice);
+    band.alpha = fit.alpha;
+    band.fit_mape = fit.mape;
+    bands_.push_back(band);
+
+    ModelParams fitted = base_;
+    fitted.alpha = band.alpha;
+    for (const auto& pt : evaluate(fitted, slice)) {
+      abs_err_sum += std::abs(pt.error_pct);
+      ++err_count;
+    }
+  }
+  mape_ = err_count ? abs_err_sum / static_cast<double>(err_count) : 0.0;
+}
+
+double CalibratedModel::alpha_for(Watts p_core_cap) const {
+  for (const AlphaBand& band : bands_) {
+    if (p_core_cap <= band.hi) {
+      return band.alpha;
+    }
+  }
+  return bands_.back().alpha;
+}
+
+double CalibratedModel::predict_delta(Watts p_core_cap) const {
+  ModelParams params = base_;
+  params.alpha = alpha_for(p_core_cap);
+  return delta_progress(params, p_core_cap);
+}
+
+double CalibratedModel::predict_rate(Watts p_core_cap) const {
+  ModelParams params = base_;
+  params.alpha = alpha_for(p_core_cap);
+  return progress_at_core_power(params, p_core_cap);
+}
+
+}  // namespace procap::model

@@ -1,0 +1,70 @@
+// calibrated.hpp — the paper's proposed model improvement.
+//
+// Section VIII: "our current model could be improved by ... more
+// accurately modeling the relation between power cap and processor
+// behavior", and Section VI-3 observes the best-fit alpha "varies between
+// 1 and 4 depending on the range of the power cap being applied" — the
+// turbo band is steep (alpha ~ 3-4), the deep-DVFS and duty-cycling
+// bands shallow (alpha ~ 1.5-2).
+//
+// CalibratedModel operationalizes that: partition the core-budget axis
+// into contiguous bands of the calibration observations and fit alpha per
+// band (grid + golden-section, as model::fit_alpha).  Prediction picks
+// the band containing the queried cap.  A handful of step-cap
+// measurements — exactly what the paper's Fig. 4 procedure produces —
+// is enough to calibrate a node/application pair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/fit.hpp"
+#include "model/progress_model.hpp"
+
+namespace procap::model {
+
+/// One calibrated cap band.
+struct AlphaBand {
+  Watts lo = 0.0;   ///< inclusive lower core-budget bound
+  Watts hi = 0.0;   ///< inclusive upper core-budget bound
+  double alpha = 2.0;
+  double fit_mape = 0.0;  ///< in-band MAPE at the fitted alpha
+};
+
+/// Piecewise-alpha progress model calibrated from cap observations.
+class CalibratedModel {
+ public:
+  /// `base` supplies beta, p_core_max and r_max (alpha is ignored);
+  /// `observations` are (core cap, measured delta) pairs as produced by
+  /// the Fig. 4 procedure; `bands` contiguous regimes are fitted
+  /// (each band needs at least two observations).  Throws
+  /// std::invalid_argument when the data cannot support the split.
+  CalibratedModel(ModelParams base,
+                  std::span<const CapObservation> observations,
+                  unsigned bands = 3);
+
+  /// Predicted progress drop at a core budget.  Caps outside the
+  /// calibrated range use the nearest band's alpha.
+  [[nodiscard]] double predict_delta(Watts p_core_cap) const;
+
+  /// Predicted absolute progress rate at a core budget.
+  [[nodiscard]] double predict_rate(Watts p_core_cap) const;
+
+  /// The fitted bands, ordered by increasing cap.
+  [[nodiscard]] const std::vector<AlphaBand>& bands() const { return bands_; }
+
+  /// The base parameters (beta, p_core_max, r_max).
+  [[nodiscard]] const ModelParams& base() const { return base_; }
+
+  /// In-sample MAPE of this calibrated model over its own observations.
+  [[nodiscard]] double calibration_mape() const { return mape_; }
+
+ private:
+  [[nodiscard]] double alpha_for(Watts p_core_cap) const;
+
+  ModelParams base_;
+  std::vector<AlphaBand> bands_;
+  double mape_ = 0.0;
+};
+
+}  // namespace procap::model

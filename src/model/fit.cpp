@@ -1,0 +1,109 @@
+#include "model/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::model {
+
+std::vector<PointError> evaluate(
+    const ModelParams& params, std::span<const CapObservation> observations) {
+  std::vector<PointError> points;
+  points.reserve(observations.size());
+  for (const auto& obs : observations) {
+    PointError pt;
+    pt.p_core_cap = obs.p_core_cap;
+    pt.measured_delta = obs.measured_delta;
+    pt.predicted_delta = delta_progress(params, obs.p_core_cap);
+    pt.error_pct = obs.measured_delta != 0.0
+                       ? (pt.predicted_delta - pt.measured_delta) /
+                             std::abs(obs.measured_delta) * 100.0
+                       : 0.0;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+ErrorSummary summarize(std::span<const PointError> points) {
+  ErrorSummary summary;
+  if (points.empty()) {
+    return summary;
+  }
+  double abs_sum = 0.0;
+  double signed_sum = 0.0;
+  double sq_sum = 0.0;
+  for (const auto& pt : points) {
+    abs_sum += std::abs(pt.error_pct);
+    signed_sum += pt.error_pct;
+    const double d = pt.predicted_delta - pt.measured_delta;
+    sq_sum += d * d;
+    summary.max_abs_pct = std::max(summary.max_abs_pct,
+                                   std::abs(pt.error_pct));
+  }
+  const auto n = static_cast<double>(points.size());
+  summary.mape = abs_sum / n;
+  summary.bias_pct = signed_sum / n;
+  summary.rmse = std::sqrt(sq_sum / n);
+  return summary;
+}
+
+namespace {
+double mape_at_alpha(ModelParams params, double alpha,
+                     std::span<const CapObservation> observations) {
+  params.alpha = alpha;
+  const auto points = evaluate(params, observations);
+  return summarize(points).mape;
+}
+}  // namespace
+
+AlphaFit fit_alpha(ModelParams params,
+                   std::span<const CapObservation> observations, double lo,
+                   double hi) {
+  if (observations.empty()) {
+    throw std::invalid_argument("fit_alpha: no observations");
+  }
+  if (lo <= 0.0 || hi <= lo) {
+    throw std::invalid_argument("fit_alpha: bad range");
+  }
+  // Coarse grid to localize the basin (the objective can be flat or
+  // multi-welled for small observation sets).
+  constexpr int kGrid = 31;
+  double best_alpha = lo;
+  double best = mape_at_alpha(params, lo, observations);
+  for (int i = 1; i < kGrid; ++i) {
+    const double a = lo + (hi - lo) * i / (kGrid - 1);
+    const double m = mape_at_alpha(params, a, observations);
+    if (m < best) {
+      best = m;
+      best_alpha = a;
+    }
+  }
+  // Golden-section refinement around the best grid cell.
+  const double cell = (hi - lo) / (kGrid - 1);
+  double a = std::max(lo, best_alpha - cell);
+  double b = std::min(hi, best_alpha + cell);
+  constexpr double kPhi = 0.6180339887498949;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = mape_at_alpha(params, x1, observations);
+  double f2 = mape_at_alpha(params, x2, observations);
+  for (int iter = 0; iter < 60 && (b - a) > 1e-6; ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = mape_at_alpha(params, x1, observations);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = mape_at_alpha(params, x2, observations);
+    }
+  }
+  const double alpha = 0.5 * (a + b);
+  return AlphaFit{alpha, mape_at_alpha(params, alpha, observations)};
+}
+
+}  // namespace procap::model

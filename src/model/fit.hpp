@@ -1,0 +1,63 @@
+// fit.hpp — evaluating and fitting the progress model against data.
+//
+// The paper fixes alpha = 2 and reports per-cap error percentages
+// (Section VI, Fig. 4).  It also observes that the best alpha "varies
+// between 1 and 4 depending on the range of the power cap being applied".
+// This module computes the same per-point and summary errors, and fits
+// alpha by grid + golden-section refinement — the basis of the
+// alpha-sensitivity ablation bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/progress_model.hpp"
+
+namespace procap::model {
+
+/// One (cap, measured delta-progress) observation.
+struct CapObservation {
+  Watts p_core_cap = 0.0;
+  double measured_delta = 0.0;
+};
+
+/// Per-point model evaluation.
+struct PointError {
+  Watts p_core_cap = 0.0;
+  double measured_delta = 0.0;
+  double predicted_delta = 0.0;
+  /// Signed percent error: (predicted - measured) / measured * 100.
+  double error_pct = 0.0;
+};
+
+/// Summary error metrics over a set of observations.
+struct ErrorSummary {
+  double mape = 0.0;      ///< mean |error_pct|
+  double rmse = 0.0;      ///< in progress units
+  double max_abs_pct = 0.0;
+  /// Mean signed error in percent: positive means the model systematically
+  /// overestimates the impact (as the paper found for QMCPACK/AMG),
+  /// negative means it underestimates (LAMMPS at stringent caps, STREAM).
+  double bias_pct = 0.0;
+};
+
+/// Evaluate the model at each observation.
+[[nodiscard]] std::vector<PointError> evaluate(
+    const ModelParams& params, std::span<const CapObservation> observations);
+
+/// Summarize point errors.
+[[nodiscard]] ErrorSummary summarize(std::span<const PointError> points);
+
+/// Result of an alpha fit.
+struct AlphaFit {
+  double alpha = 2.0;
+  double mape = 0.0;
+};
+
+/// Fit alpha in [lo, hi] minimizing MAPE of delta-progress predictions,
+/// holding the other parameters fixed.  Coarse grid then golden-section.
+[[nodiscard]] AlphaFit fit_alpha(ModelParams params,
+                                 std::span<const CapObservation> observations,
+                                 double lo = 1.0, double hi = 4.0);
+
+}  // namespace procap::model

@@ -1,0 +1,94 @@
+#include "model/progress_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::model {
+
+namespace {
+void validate(const ModelParams& params) {
+  if (params.beta < 0.0 || params.beta > 1.0) {
+    throw std::invalid_argument("ModelParams: beta out of [0, 1]");
+  }
+  if (params.alpha <= 0.0) {
+    throw std::invalid_argument("ModelParams: alpha must be positive");
+  }
+  if (params.p_core_max <= 0.0) {
+    throw std::invalid_argument("ModelParams: p_core_max must be positive");
+  }
+  if (params.r_max <= 0.0) {
+    throw std::invalid_argument("ModelParams: r_max must be positive");
+  }
+}
+}  // namespace
+
+Watts effective_core_cap(double beta, Watts pkg_cap) {
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("effective_core_cap: beta out of [0, 1]");
+  }
+  if (pkg_cap <= 0.0) {
+    throw std::invalid_argument("effective_core_cap: cap must be positive");
+  }
+  return beta * pkg_cap;
+}
+
+double progress_at_core_power(const ModelParams& params, Watts p_core) {
+  validate(params);
+  if (p_core <= 0.0) {
+    throw std::invalid_argument("progress_at_core_power: power not positive");
+  }
+  if (p_core >= params.p_core_max) {
+    return params.r_max;  // cap above the operating point: no effect
+  }
+  const double freq_ratio =
+      std::pow(params.p_core_max / p_core, 1.0 / params.alpha);
+  const double dilation = params.beta * (freq_ratio - 1.0) + 1.0;
+  return params.r_max / dilation;
+}
+
+double delta_progress(const ModelParams& params, Watts p_core_cap) {
+  return params.r_max - progress_at_core_power(params, p_core_cap);
+}
+
+Watts core_power_for_progress(const ModelParams& params, double target_rate) {
+  validate(params);
+  if (target_rate <= 0.0) {
+    throw std::invalid_argument("core_power_for_progress: bad target");
+  }
+  if (target_rate >= params.r_max) {
+    return params.p_core_max;
+  }
+  if (params.beta == 0.0) {
+    // Fully memory-bound: any rate below r_max is sustained by any power.
+    return 0.0;
+  }
+  // Invert Eq. (4): dilation = r_max / target,
+  // freq_ratio = (dilation - 1)/beta + 1, p = p_core_max / freq_ratio^alpha.
+  const double dilation = params.r_max / target_rate;
+  const double freq_ratio = (dilation - 1.0) / params.beta + 1.0;
+  return params.p_core_max / std::pow(freq_ratio, params.alpha);
+}
+
+double progress_at_pkg_cap(const ModelParams& params, Watts pkg_cap) {
+  validate(params);
+  if (pkg_cap <= 0.0) {
+    throw std::invalid_argument("progress_at_pkg_cap: cap must be positive");
+  }
+  if (params.beta == 0.0) {
+    // Fully memory-bound: Eq. (5) grants the core no budget, and Eq. (4)
+    // says frequency does not matter anyway.
+    return params.r_max;
+  }
+  return progress_at_core_power(params,
+                                effective_core_cap(params.beta, pkg_cap));
+}
+
+Watts pkg_cap_for_progress(const ModelParams& params, double target_rate) {
+  validate(params);
+  if (params.beta == 0.0) {
+    return 0.0;
+  }
+  return core_power_for_progress(params, target_rate) / params.beta;
+}
+
+}  // namespace procap::model

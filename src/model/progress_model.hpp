@@ -1,0 +1,65 @@
+// progress_model.hpp — the paper's model of power-cap impact on progress.
+//
+// Assumptions (paper Section VI, validated experimentally there and in
+// our simulator):
+//   * RAPL splits the package budget between core and uncore in the ratio
+//     of the application's compute-boundedness:  P_corecap = beta * P_cap
+//     (Eq. 5), and the application consumes the whole budget (Eq. 6).
+//   * Core power relates to frequency as P_core ~ f^alpha (Eq. 2), with
+//     alpha nominally 2.
+//
+// Combining with Eq. (1) via rate ~ 1/T (Eq. 3) gives Eq. (4):
+//
+//   r(P_core) = r(P_coremax) / (beta * ((P_coremax/P_core)^(1/alpha) - 1) + 1)
+//
+// and the headline prediction, Eq. (7):
+//
+//   delta = r(P_coremax) * [1 - 1/(beta*((P_coremax/P_corecap)^(1/alpha)-1)+1)]
+#pragma once
+
+#include "util/units.hpp"
+
+namespace procap::model {
+
+/// Per-application model parameters.
+struct ModelParams {
+  /// Compute-boundedness in [0, 1] (Table VI).
+  double beta = 1.0;
+  /// Core power-law exponent; the paper fixes 2.0 for all predictions and
+  /// notes the true value ranges over [1, 4] by cap regime.
+  double alpha = 2.0;
+  /// Core power at the uncapped operating point (estimated in the paper
+  /// as beta * measured uncapped package power).
+  Watts p_core_max = 0.0;
+  /// Progress rate at the uncapped operating point (application units/s).
+  double r_max = 0.0;
+};
+
+/// Eq. (5): the effective core budget RAPL grants under a package cap.
+[[nodiscard]] Watts effective_core_cap(double beta, Watts pkg_cap);
+
+/// Eq. (4): predicted progress rate at a core power level.
+/// `p_core` above p_core_max predicts r_max (power is not the limiter).
+[[nodiscard]] double progress_at_core_power(const ModelParams& params,
+                                            Watts p_core);
+
+/// Eq. (7): predicted *drop* in progress when capping the core budget to
+/// `p_core_cap` from the uncapped state.
+[[nodiscard]] double delta_progress(const ModelParams& params,
+                                    Watts p_core_cap);
+
+/// Inverse query (the paper's third modeling goal: "decide on the exact
+/// power budget to be employed given an expectation of online
+/// performance"): the minimum core budget that sustains `target_rate`.
+/// Returns p_core_max when the target is unreachable only by exceeding
+/// the uncapped rate.  Throws for target_rate <= 0.
+[[nodiscard]] Watts core_power_for_progress(const ModelParams& params,
+                                            double target_rate);
+
+/// Package-cap convenience wrappers applying Eq. (5) around the above.
+[[nodiscard]] double progress_at_pkg_cap(const ModelParams& params,
+                                         Watts pkg_cap);
+[[nodiscard]] Watts pkg_cap_for_progress(const ModelParams& params,
+                                         double target_rate);
+
+}  // namespace procap::model

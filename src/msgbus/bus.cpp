@@ -1,0 +1,99 @@
+#include "msgbus/bus.hpp"
+
+#include <algorithm>
+
+namespace procap::msgbus {
+
+SubSocket::SubSocket(const Broker* broker, LinkOptions opts)
+    : broker_(broker), opts_(opts), drop_rng_(opts.seed) {}
+
+void SubSocket::subscribe(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(filters_.begin(), filters_.end(), prefix) == filters_.end()) {
+    filters_.push_back(prefix);
+  }
+}
+
+void SubSocket::unsubscribe(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::erase(filters_, prefix);
+}
+
+void SubSocket::offer(const Message& msg) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool matches =
+      std::any_of(filters_.begin(), filters_.end(), [&](const std::string& f) {
+        return topic_matches(msg.topic, f);
+      });
+  if (!matches) {
+    return;
+  }
+  if (opts_.drop_probability > 0.0 &&
+      drop_rng_.uniform() < opts_.drop_probability) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(Queued{msg, msg.timestamp + opts_.latency});
+}
+
+std::optional<Message> SubSocket::try_recv() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty() || queue_.front().deliver_at > broker_->now()) {
+    return std::nullopt;
+  }
+  Message msg = std::move(queue_.front().msg);
+  queue_.pop_front();
+  return msg;
+}
+
+std::size_t SubSocket::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t SubSocket::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void PubSocket::publish(const std::string& topic, const std::string& payload) {
+  ++published_;
+  broker_->route(topic, payload);
+}
+
+std::shared_ptr<PubSocket> Broker::make_pub() {
+  return std::shared_ptr<PubSocket>(new PubSocket(this));
+}
+
+std::shared_ptr<SubSocket> Broker::make_sub(LinkOptions opts) {
+  auto sub = std::shared_ptr<SubSocket>(new SubSocket(this, opts));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  subs_.push_back(sub);
+  return sub;
+}
+
+std::uint64_t Broker::routed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return routed_;
+}
+
+void Broker::route(const std::string& topic, const std::string& payload) {
+  Message msg{topic, payload, time_.now()};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++routed_;
+  bool needs_compaction = false;
+  for (auto& weak : subs_) {
+    if (auto sub = weak.lock()) {
+      sub->offer(msg);
+    } else {
+      needs_compaction = true;
+    }
+  }
+  if (needs_compaction) {
+    std::erase_if(subs_, [](const std::weak_ptr<SubSocket>& w) {
+      return w.expired();
+    });
+  }
+}
+
+}  // namespace procap::msgbus

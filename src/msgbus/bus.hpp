@@ -1,0 +1,128 @@
+// bus.hpp — in-process publish/subscribe broker.
+//
+// The in-proc transport backs both real-threaded use (the quickstart and
+// Listing-1 examples, where application threads publish and a monitor
+// thread polls) and simulated use (apps in src/apps publish on the sim
+// clock).  Per-subscriber LinkOptions model transport imperfections:
+// message loss and delivery latency.  The paper observed its ZeroMQ-based
+// framework occasionally reporting zero progress for OpenMC (Section V-C);
+// with a lossy link, an aggregation window that loses its samples reads as
+// zero — the same artifact, reproduced as a testable transport property.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "msgbus/message.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace procap::msgbus {
+
+/// Per-subscription delivery characteristics.
+struct LinkOptions {
+  /// Probability in [0, 1] that a matching message is silently dropped.
+  double drop_probability = 0.0;
+  /// Delivery latency: a message becomes receivable at publish + latency.
+  Nanos latency = 0;
+  /// Seed for the drop decision stream (deterministic per link).
+  std::uint64_t seed = 0x5eed;
+};
+
+class Broker;
+
+/// Receiving endpoint.  Created by Broker::make_sub(); thread-safe.
+class SubSocket {
+ public:
+  /// Add a topic prefix filter.  A socket with no filters receives nothing
+  /// (subscribe("") to receive everything) — matching ZeroMQ SUB semantics.
+  void subscribe(const std::string& prefix);
+
+  /// Remove a previously added filter (no-op if absent).
+  void unsubscribe(const std::string& prefix);
+
+  /// Pop the oldest message whose delivery time has arrived, if any.
+  [[nodiscard]] std::optional<Message> try_recv();
+
+  /// Messages queued (including not-yet-deliverable delayed ones).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Total matching messages dropped by the lossy link so far.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  friend class Broker;
+  SubSocket(const Broker* broker, LinkOptions opts);
+
+  struct Queued {
+    Message msg;
+    Nanos deliver_at;
+  };
+
+  void offer(const Message& msg);  // called by Broker under its routing pass
+
+  const Broker* broker_;
+  LinkOptions opts_;
+  Rng drop_rng_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> filters_;
+  std::deque<Queued> queue_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Sending endpoint.  Created by Broker::make_pub(); thread-safe.
+class PubSocket {
+ public:
+  /// Publish to every currently attached subscriber with a matching filter.
+  /// The message is stamped with the broker's TimeSource.
+  void publish(const std::string& topic, const std::string& payload);
+
+  /// Number of messages published through this socket.
+  [[nodiscard]] std::uint64_t published() const { return published_; }
+
+ private:
+  friend class Broker;
+  explicit PubSocket(Broker* broker) : broker_(broker) {}
+
+  Broker* broker_;
+  std::uint64_t published_ = 0;
+};
+
+/// In-process broker: owns the subscriber registry and the clock used to
+/// stamp messages and release delayed deliveries.
+class Broker {
+ public:
+  /// `time_source` must outlive the broker; pass the simulation clock in
+  /// simulated runs or a SteadyTimeSource for wall-clock runs.
+  explicit Broker(const TimeSource& time_source) : time_(time_source) {}
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Create a publisher endpoint bound to this broker.
+  [[nodiscard]] std::shared_ptr<PubSocket> make_pub();
+
+  /// Create a subscriber endpoint with the given link characteristics.
+  [[nodiscard]] std::shared_ptr<SubSocket> make_sub(LinkOptions opts = {});
+
+  /// Current bus time (exposed so endpoints can stamp consistently).
+  [[nodiscard]] Nanos now() const { return time_.now(); }
+
+  /// Total messages routed (delivered to at least zero subscribers each).
+  [[nodiscard]] std::uint64_t routed() const;
+
+ private:
+  friend class PubSocket;
+  void route(const std::string& topic, const std::string& payload);
+
+  const TimeSource& time_;
+  mutable std::mutex mutex_;
+  std::vector<std::weak_ptr<SubSocket>> subs_;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace procap::msgbus

@@ -1,0 +1,35 @@
+// message.hpp — the unit of communication on the progress message bus.
+//
+// The paper publishes progress samples over ZeroMQ PUB/SUB sockets;
+// procap::msgbus is a from-scratch equivalent.  A Message is a topic
+// string (prefix-matched by subscribers, exactly like ZeroMQ), an opaque
+// payload, and a publish timestamp stamped by the transport.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace procap::msgbus {
+
+/// One published message.
+struct Message {
+  /// Routing topic, e.g. "progress/lammps".  Subscribers match by prefix.
+  std::string topic;
+  /// Opaque payload bytes; procap::progress encodes samples here.
+  std::string payload;
+  /// Publish time (from the bus's TimeSource) in nanoseconds.
+  Nanos timestamp = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// ZeroMQ-style prefix match: `topic` matches `filter` iff `filter` is a
+/// prefix of `topic` (the empty filter matches everything).
+[[nodiscard]] inline bool topic_matches(const std::string& topic,
+                                        const std::string& filter) {
+  return topic.size() >= filter.size() &&
+         topic.compare(0, filter.size(), filter) == 0;
+}
+
+}  // namespace procap::msgbus

@@ -1,0 +1,226 @@
+#include "msgbus/uds.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace procap::msgbus {
+
+namespace {
+
+struct FrameHeader {
+  std::uint32_t topic_len;
+  std::uint32_t payload_len;
+  std::int64_t timestamp;
+};
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("uds: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+// Write the full buffer; returns false on any error (peer gone).
+bool send_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Read exactly `len` bytes; returns false on EOF or error.
+bool recv_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Sanity bound on frame sizes to catch stream desync.
+constexpr std::uint32_t kMaxFramePart = 1u << 24;  // 16 MiB
+
+}  // namespace
+
+UdsPublisher::UdsPublisher(const std::string& path,
+                           const TimeSource& time_source)
+    : path_(path), time_(time_source) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("UdsPublisher: socket() failed");
+  }
+  ::unlink(path.c_str());
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("UdsPublisher: bind(" + path + ") failed");
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("UdsPublisher: listen() failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+UdsPublisher::~UdsPublisher() {
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const int fd : client_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  ::unlink(path_.c_str());
+}
+
+void UdsPublisher::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) {
+        return;
+      }
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    client_fds_.push_back(fd);
+  }
+}
+
+void UdsPublisher::publish(const std::string& topic,
+                           const std::string& payload) {
+  const FrameHeader header{static_cast<std::uint32_t>(topic.size()),
+                           static_cast<std::uint32_t>(payload.size()),
+                           time_.now()};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> dead;
+  for (const int fd : client_fds_) {
+    const bool ok = send_all(fd, &header, sizeof(header)) &&
+                    send_all(fd, topic.data(), topic.size()) &&
+                    send_all(fd, payload.data(), payload.size());
+    if (!ok) {
+      dead.push_back(fd);
+    }
+  }
+  for (const int fd : dead) {
+    ::close(fd);
+    std::erase(client_fds_, fd);
+  }
+}
+
+std::size_t UdsPublisher::connections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return client_fds_.size();
+}
+
+UdsSubscriber::UdsSubscriber(const std::string& path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("UdsSubscriber: socket() failed");
+  }
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd_);
+    throw std::runtime_error("UdsSubscriber: connect(" + path + ") failed");
+  }
+  connected_.store(true);
+  read_thread_ = std::thread([this] { read_loop(); });
+}
+
+UdsSubscriber::~UdsSubscriber() {
+  ::shutdown(fd_, SHUT_RDWR);
+  if (read_thread_.joinable()) {
+    read_thread_.join();
+  }
+  ::close(fd_);
+}
+
+void UdsSubscriber::subscribe(const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(filters_.begin(), filters_.end(), prefix) == filters_.end()) {
+    filters_.push_back(prefix);
+  }
+}
+
+void UdsSubscriber::read_loop() {
+  for (;;) {
+    FrameHeader header{};
+    if (!recv_all(fd_, &header, sizeof(header))) {
+      break;
+    }
+    if (header.topic_len > kMaxFramePart || header.payload_len > kMaxFramePart) {
+      PROCAP_ERROR << "UdsSubscriber: oversized frame, closing";
+      break;
+    }
+    Message msg;
+    msg.topic.resize(header.topic_len);
+    msg.payload.resize(header.payload_len);
+    msg.timestamp = header.timestamp;
+    if (!recv_all(fd_, msg.topic.data(), msg.topic.size()) ||
+        !recv_all(fd_, msg.payload.data(), msg.payload.size())) {
+      break;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const bool matches = std::any_of(
+        filters_.begin(), filters_.end(),
+        [&](const std::string& f) { return topic_matches(msg.topic, f); });
+    if (matches) {
+      queue_.push_back(std::move(msg));
+    }
+  }
+  connected_.store(false);
+}
+
+std::optional<Message> UdsSubscriber::try_recv() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<Message> UdsSubscriber::recv(Nanos timeout) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  for (;;) {
+    if (auto msg = try_recv()) {
+      return msg;
+    }
+    if (std::chrono::steady_clock::now() >= deadline || !connected_.load()) {
+      return try_recv();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace procap::msgbus

@@ -1,0 +1,98 @@
+// uds.hpp — Unix-domain-socket PUB/SUB transport.
+//
+// The in-proc Broker covers same-process monitoring; this transport covers
+// the paper's actual deployment shape, where instrumented applications and
+// the power-policy daemon are separate processes on one node talking over
+// sockets.  Semantics mirror early ZeroMQ PUB/SUB: the publisher fans every
+// message out to all connected subscribers, and each subscriber filters by
+// topic prefix locally.  Wire format per frame (host byte order; this is a
+// same-host transport by construction):
+//
+//   u32 topic_len | u32 payload_len | i64 timestamp_ns | topic | payload
+//
+// Slow-joiner caveat (as in ZeroMQ): messages published before a
+// subscriber connects are not delivered to it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msgbus/message.hpp"
+#include "util/time.hpp"
+
+namespace procap::msgbus {
+
+/// PUB endpoint bound to a filesystem socket path.  Thread-safe.
+class UdsPublisher {
+ public:
+  /// Binds `path` (unlinking any stale socket file) and starts accepting.
+  /// `time_source` stamps outgoing messages and must outlive the publisher.
+  UdsPublisher(const std::string& path, const TimeSource& time_source);
+  ~UdsPublisher();
+
+  UdsPublisher(const UdsPublisher&) = delete;
+  UdsPublisher& operator=(const UdsPublisher&) = delete;
+
+  /// Send to every currently connected subscriber.  Disconnected peers are
+  /// pruned; publishing with no subscribers is a silent no-op (PUB/SUB).
+  void publish(const std::string& topic, const std::string& payload);
+
+  /// Number of currently connected subscribers.
+  [[nodiscard]] std::size_t connections() const;
+
+  /// Socket path this publisher is bound to.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+
+  std::string path_;
+  const TimeSource& time_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mutex_;
+  std::vector<int> client_fds_;
+};
+
+/// SUB endpoint connected to a UdsPublisher.  Thread-safe.
+class UdsSubscriber {
+ public:
+  /// Connects to `path`; throws std::runtime_error if nothing is listening.
+  explicit UdsSubscriber(const std::string& path);
+  ~UdsSubscriber();
+
+  UdsSubscriber(const UdsSubscriber&) = delete;
+  UdsSubscriber& operator=(const UdsSubscriber&) = delete;
+
+  /// Add a topic prefix filter (no filters -> nothing is delivered).
+  void subscribe(const std::string& prefix);
+
+  /// Pop the oldest received message, if any.
+  [[nodiscard]] std::optional<Message> try_recv();
+
+  /// Block until a message arrives or `timeout` elapses.
+  [[nodiscard]] std::optional<Message> recv(Nanos timeout);
+
+  /// True while the connection to the publisher is alive.
+  [[nodiscard]] bool connected() const { return connected_.load(); }
+
+ private:
+  void read_loop();
+
+  int fd_ = -1;
+  std::thread read_thread_;
+  std::atomic<bool> connected_{false};
+  mutable std::mutex mutex_;
+  std::vector<std::string> filters_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace procap::msgbus

@@ -1,0 +1,44 @@
+// addresses.hpp — model-specific register addresses used by procap.
+//
+// Addresses and field layouts follow the Intel Software Developer's Manual
+// Vol. 4 (RAPL interfaces, ACPI P-state control, clock modulation).  The
+// emulated backend implements the same registers so that the rapl/ codec
+// and any tooling written against it would work unchanged against real
+// /dev/cpu/*/msr or msr-safe device files.
+#pragma once
+
+#include <cstdint>
+
+namespace procap::msr {
+
+/// Register addresses (Intel SDM Vol. 4).
+enum : std::uint32_t {
+  /// IA32_MPERF: fixed-frequency reference cycle counter.
+  kIa32Mperf = 0xE7,
+  /// IA32_APERF: actual-frequency cycle counter.  APERF/MPERF over an
+  /// interval gives the average effective frequency ratio.
+  kIa32Aperf = 0xE8,
+  /// IA32_PERF_STATUS: currently resolved P-state (ratio in bits 15:8).
+  kIa32PerfStatus = 0x198,
+  /// IA32_PERF_CTL: requested P-state (ratio in bits 15:8).
+  kIa32PerfCtl = 0x199,
+  /// IA32_CLOCK_MODULATION: on-demand clock modulation (T-state) control.
+  kIa32ClockModulation = 0x19A,
+  /// IA32_THERM_STATUS: digital thermal sensor readout (bits 22:16 hold
+  /// the margin below Tj_max) and PROCHOT status (bit 0).
+  kIa32ThermStatus = 0x19C,
+  /// MSR_RAPL_POWER_UNIT: power/energy/time unit exponents.
+  kMsrRaplPowerUnit = 0x606,
+  /// MSR_PKG_POWER_LIMIT: package domain power limits PL1/PL2.
+  kMsrPkgPowerLimit = 0x610,
+  /// MSR_PKG_ENERGY_STATUS: package energy consumed (32-bit, wraps).
+  kMsrPkgEnergyStatus = 0x611,
+  /// MSR_PKG_POWER_INFO: TDP / min / max power, max time window.
+  kMsrPkgPowerInfo = 0x614,
+  /// MSR_DRAM_POWER_LIMIT: DRAM domain power limit.
+  kMsrDramPowerLimit = 0x618,
+  /// MSR_DRAM_ENERGY_STATUS: DRAM energy consumed (32-bit, wraps).
+  kMsrDramEnergyStatus = 0x619,
+};
+
+}  // namespace procap::msr

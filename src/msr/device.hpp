@@ -1,0 +1,39 @@
+// device.hpp — abstract MSR device.
+//
+// Mirrors the access model of /dev/cpu/<n>/msr and the msr-safe character
+// devices: 64-bit reads and writes addressed by (cpu, register).  procap
+// ships an emulated backend (src/msr/emulated.hpp) wired to the hardware
+// simulator; the same interface would be trivially implemented over pread/
+// pwrite on the real device files.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace procap::msr {
+
+/// Error raised on invalid or denied MSR accesses.
+class MsrError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// 64-bit read/write access to model-specific registers.
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+
+  /// Read register `reg` on logical CPU `cpu`.
+  /// Throws MsrError for unknown registers or out-of-range CPUs.
+  [[nodiscard]] virtual std::uint64_t read(unsigned cpu, std::uint32_t reg) = 0;
+
+  /// Write register `reg` on logical CPU `cpu`.
+  /// Throws MsrError for unknown/read-only registers or out-of-range CPUs.
+  virtual void write(unsigned cpu, std::uint32_t reg, std::uint64_t value) = 0;
+
+  /// Number of logical CPUs exposed by this device.
+  [[nodiscard]] virtual unsigned cpu_count() const = 0;
+};
+
+}  // namespace procap::msr

@@ -1,0 +1,86 @@
+#include "msr/devmsr.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace procap::msr {
+
+std::string DevMsr::path_for(unsigned cpu) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), pattern_.c_str(), cpu);
+  return std::string(buf);
+}
+
+bool DevMsr::available(const std::string& path_pattern) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), path_pattern.c_str(), 0U);
+  const int fd = ::open(buf, O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+DevMsr::DevMsr(unsigned cpu_count, std::string path_pattern)
+    : cpu_count_(cpu_count), pattern_(std::move(path_pattern)) {
+  if (cpu_count == 0) {
+    throw MsrError("DevMsr: need at least one CPU");
+  }
+  fds_.assign(cpu_count, -1);
+  // Fail fast if the device is absent, rather than on the first read.
+  fds_[0] = ::open(path_for(0).c_str(), O_RDWR);
+  if (fds_[0] < 0) {
+    fds_[0] = ::open(path_for(0).c_str(), O_RDONLY);
+  }
+  if (fds_[0] < 0) {
+    throw MsrError("DevMsr: cannot open " + path_for(0) +
+                   " (msr module loaded? permissions?)");
+  }
+}
+
+DevMsr::~DevMsr() {
+  for (const int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+int DevMsr::fd_for(unsigned cpu) {
+  if (cpu >= cpu_count_) {
+    throw MsrError("DevMsr: cpu out of range");
+  }
+  if (fds_[cpu] < 0) {
+    fds_[cpu] = ::open(path_for(cpu).c_str(), O_RDWR);
+    if (fds_[cpu] < 0) {
+      fds_[cpu] = ::open(path_for(cpu).c_str(), O_RDONLY);
+    }
+    if (fds_[cpu] < 0) {
+      throw MsrError("DevMsr: cannot open " + path_for(cpu));
+    }
+  }
+  return fds_[cpu];
+}
+
+std::uint64_t DevMsr::read(unsigned cpu, std::uint32_t reg) {
+  std::uint64_t value = 0;
+  const ssize_t n = ::pread(fd_for(cpu), &value, sizeof(value), reg);
+  if (n != sizeof(value)) {
+    throw MsrError("DevMsr: pread failed for register " +
+                   std::to_string(reg));
+  }
+  return value;
+}
+
+void DevMsr::write(unsigned cpu, std::uint32_t reg, std::uint64_t value) {
+  const ssize_t n = ::pwrite(fd_for(cpu), &value, sizeof(value), reg);
+  if (n != sizeof(value)) {
+    throw MsrError("DevMsr: pwrite failed for register " +
+                   std::to_string(reg));
+  }
+}
+
+}  // namespace procap::msr

@@ -1,0 +1,51 @@
+// devmsr.hpp — real MSR access through /dev/cpu/<n>/msr.
+//
+// The same MsrDevice interface the emulated backend implements, over the
+// Linux msr driver's character devices (or msr-safe's /dev/cpu/<n>/msr_safe
+// by passing that pattern).  Register offsets are the file offsets; reads
+// and writes are 8-byte pread/pwrite calls — exactly what libmsr does.
+//
+// procap's simulated experiments never need this class; it exists so the
+// RAPL stack above MsrDevice is demonstrably hardware-ready: point
+// RaplInterface at a DevMsr on a machine with the msr module loaded and
+// the power-policy tool runs against real RAPL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msr/device.hpp"
+
+namespace procap::msr {
+
+/// MsrDevice over /dev/cpu/<n>/msr-style character devices.
+class DevMsr final : public MsrDevice {
+ public:
+  /// `path_pattern` must contain one "%u" that receives the CPU number.
+  /// Throws MsrError if CPU 0's device cannot be opened (no msr module,
+  /// no permission, or not on Linux).
+  explicit DevMsr(unsigned cpu_count,
+                  std::string path_pattern = "/dev/cpu/%u/msr");
+  ~DevMsr() override;
+
+  DevMsr(const DevMsr&) = delete;
+  DevMsr& operator=(const DevMsr&) = delete;
+
+  /// True if `path_pattern` for CPU 0 exists and is openable read-only.
+  [[nodiscard]] static bool available(
+      const std::string& path_pattern = "/dev/cpu/%u/msr");
+
+  [[nodiscard]] std::uint64_t read(unsigned cpu, std::uint32_t reg) override;
+  void write(unsigned cpu, std::uint32_t reg, std::uint64_t value) override;
+  [[nodiscard]] unsigned cpu_count() const override { return cpu_count_; }
+
+ private:
+  [[nodiscard]] int fd_for(unsigned cpu);
+  [[nodiscard]] std::string path_for(unsigned cpu) const;
+
+  unsigned cpu_count_;
+  std::string pattern_;
+  std::vector<int> fds_;  // lazily opened, -1 = not yet
+};
+
+}  // namespace procap::msr

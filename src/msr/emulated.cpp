@@ -1,0 +1,102 @@
+#include "msr/emulated.hpp"
+
+#include <sstream>
+
+namespace procap::msr {
+
+namespace {
+std::string hex(std::uint32_t reg) {
+  std::ostringstream os;
+  os << "0x" << std::hex << reg;
+  return os.str();
+}
+}  // namespace
+
+EmulatedMsr::EmulatedMsr(unsigned cpu_count) : cpu_count_(cpu_count) {
+  if (cpu_count == 0) {
+    throw MsrError("EmulatedMsr: need at least one CPU");
+  }
+}
+
+void EmulatedMsr::define(std::uint32_t reg, std::uint64_t initial_value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = registers_.try_emplace(reg);
+  if (inserted) {
+    it->second.per_cpu.assign(cpu_count_, initial_value);
+  }
+}
+
+EmulatedMsr::Register& EmulatedMsr::find(std::uint32_t reg) {
+  const auto it = registers_.find(reg);
+  if (it == registers_.end()) {
+    throw MsrError("EmulatedMsr: undefined register " + hex(reg));
+  }
+  return it->second;
+}
+
+const EmulatedMsr::Register& EmulatedMsr::find(std::uint32_t reg) const {
+  const auto it = registers_.find(reg);
+  if (it == registers_.end()) {
+    throw MsrError("EmulatedMsr: undefined register " + hex(reg));
+  }
+  return it->second;
+}
+
+void EmulatedMsr::check_cpu(unsigned cpu) const {
+  if (cpu >= cpu_count_) {
+    throw MsrError("EmulatedMsr: cpu out of range");
+  }
+}
+
+void EmulatedMsr::on_read(std::uint32_t reg, ReadHook hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  find(reg).read_hook = std::move(hook);
+}
+
+void EmulatedMsr::on_write(std::uint32_t reg, WriteHook hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  find(reg).write_hook = std::move(hook);
+}
+
+void EmulatedMsr::poke(unsigned cpu, std::uint32_t reg, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_cpu(cpu);
+  find(reg).per_cpu[cpu] = value;
+}
+
+std::uint64_t EmulatedMsr::peek(unsigned cpu, std::uint32_t reg) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_cpu(cpu);
+  return find(reg).per_cpu[cpu];
+}
+
+std::uint64_t EmulatedMsr::read(unsigned cpu, std::uint32_t reg) {
+  ReadHook hook;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    check_cpu(cpu);
+    Register& r = find(reg);
+    if (!r.read_hook) {
+      return r.per_cpu[cpu];
+    }
+    hook = r.read_hook;
+  }
+  // Hooks run outside the lock: they may call back into poke()/peek().
+  return hook(cpu);
+}
+
+void EmulatedMsr::write(unsigned cpu, std::uint32_t reg, std::uint64_t value) {
+  WriteHook hook;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    check_cpu(cpu);
+    Register& r = find(reg);
+    r.per_cpu[cpu] = value;
+    hook = r.write_hook;
+  }
+  if (hook) {
+    hook(cpu, value);
+  }
+}
+
+}  // namespace procap::msr

@@ -1,0 +1,68 @@
+// emulated.hpp — software MSR register file.
+//
+// Each (cpu, register) cell holds a 64-bit value; registers can also be
+// declared with read/write hooks so that a hardware model can expose live
+// state (e.g. MSR_PKG_ENERGY_STATUS reads the simulator's accumulated
+// energy) and react to writes (e.g. MSR_PKG_POWER_LIMIT reprograms the
+// RAPL firmware controller).  Unhooked registers behave as plain storage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "msr/device.hpp"
+
+namespace procap::msr {
+
+/// In-memory MSR device with optional per-register hooks.
+class EmulatedMsr final : public MsrDevice {
+ public:
+  using ReadHook = std::function<std::uint64_t(unsigned cpu)>;
+  using WriteHook = std::function<void(unsigned cpu, std::uint64_t value)>;
+
+  /// Create a device exposing `cpu_count` logical CPUs.
+  explicit EmulatedMsr(unsigned cpu_count);
+
+  /// Declare a register (same initial value on every CPU).  Registers must
+  /// be declared before they can be read or written.
+  void define(std::uint32_t reg, std::uint64_t initial_value = 0);
+
+  /// Attach a read hook: reads of `reg` return the hook's value instead of
+  /// the stored one.  The register must already be defined.
+  void on_read(std::uint32_t reg, ReadHook hook);
+
+  /// Attach a write hook, called after the stored value is updated.
+  void on_write(std::uint32_t reg, WriteHook hook);
+
+  /// Direct backdoor for hardware models: set the stored value without
+  /// triggering hooks (e.g. to publish PERF_STATUS).
+  void poke(unsigned cpu, std::uint32_t reg, std::uint64_t value);
+
+  /// Direct backdoor read without triggering hooks.
+  [[nodiscard]] std::uint64_t peek(unsigned cpu, std::uint32_t reg) const;
+
+  // MsrDevice:
+  [[nodiscard]] std::uint64_t read(unsigned cpu, std::uint32_t reg) override;
+  void write(unsigned cpu, std::uint32_t reg, std::uint64_t value) override;
+  [[nodiscard]] unsigned cpu_count() const override { return cpu_count_; }
+
+ private:
+  struct Register {
+    std::vector<std::uint64_t> per_cpu;
+    ReadHook read_hook;
+    WriteHook write_hook;
+  };
+
+  Register& find(std::uint32_t reg);
+  const Register& find(std::uint32_t reg) const;
+  void check_cpu(unsigned cpu) const;
+
+  unsigned cpu_count_;
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, Register> registers_;
+};
+
+}  // namespace procap::msr

@@ -1,0 +1,111 @@
+#include "msr/msrsafe.hpp"
+
+#include <sstream>
+
+#include "msr/addresses.hpp"
+
+namespace procap::msr {
+
+void AllowList::allow(std::uint32_t reg, std::uint64_t write_mask) {
+  entries_[reg] = write_mask;
+}
+
+bool AllowList::readable(std::uint32_t reg) const {
+  return entries_.contains(reg);
+}
+
+std::uint64_t AllowList::write_mask(std::uint32_t reg) const {
+  const auto it = entries_.find(reg);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+AllowList AllowList::parse(const std::string& text) {
+  AllowList list;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string reg_str;
+    std::string mask_str;
+    if (!(fields >> reg_str)) {
+      continue;  // blank line
+    }
+    if (!(fields >> mask_str)) {
+      throw MsrError("AllowList::parse: missing mask on line " +
+                     std::to_string(line_no));
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw MsrError("AllowList::parse: trailing tokens on line " +
+                     std::to_string(line_no));
+    }
+    try {
+      const auto reg = std::stoull(reg_str, nullptr, 16);
+      const auto mask = std::stoull(mask_str, nullptr, 16);
+      if (reg > 0xFFFFFFFFULL) {
+        throw MsrError("AllowList::parse: register out of range on line " +
+                       std::to_string(line_no));
+      }
+      list.allow(static_cast<std::uint32_t>(reg), mask);
+    } catch (const std::invalid_argument&) {
+      throw MsrError("AllowList::parse: bad hex on line " +
+                     std::to_string(line_no));
+    } catch (const std::out_of_range&) {
+      throw MsrError("AllowList::parse: value out of range on line " +
+                     std::to_string(line_no));
+    }
+  }
+  return list;
+}
+
+AllowList AllowList::rapl_default() {
+  AllowList list;
+  list.allow(kIa32Mperf, 0);
+  list.allow(kIa32Aperf, 0);
+  list.allow(kIa32PerfStatus, 0);
+  // PERF_CTL: target ratio in bits 15:8 plus turbo-disengage bit 32.
+  list.allow(kIa32PerfCtl, 0x1'0000'FF00ULL);
+  // CLOCK_MODULATION: duty cycle in bits 3:0 (extended), enable bit 4.
+  list.allow(kIa32ClockModulation, 0x1F);
+  list.allow(kMsrRaplPowerUnit, 0);
+  // PKG_POWER_LIMIT: PL1/PL2 fields writable, lock bit not.
+  list.allow(kMsrPkgPowerLimit, 0x00FF'FFFF'00FF'FFFFULL);
+  list.allow(kMsrPkgEnergyStatus, 0);
+  list.allow(kMsrPkgPowerInfo, 0);
+  list.allow(kMsrDramPowerLimit, 0x0000'0000'00FF'FFFFULL);
+  list.allow(kMsrDramEnergyStatus, 0);
+  return list;
+}
+
+SafeMsrDevice::SafeMsrDevice(MsrDevice& inner, AllowList allow_list)
+    : inner_(inner), allow_(std::move(allow_list)) {}
+
+std::uint64_t SafeMsrDevice::read(unsigned cpu, std::uint32_t reg) {
+  if (!allow_.readable(reg)) {
+    ++denied_;
+    throw MsrError("SafeMsrDevice: read denied");
+  }
+  return inner_.read(cpu, reg);
+}
+
+void SafeMsrDevice::write(unsigned cpu, std::uint32_t reg,
+                          std::uint64_t value) {
+  const std::uint64_t mask = allow_.write_mask(reg);
+  if (mask == 0) {
+    ++denied_;
+    throw MsrError("SafeMsrDevice: write denied");
+  }
+  // msr-safe semantics: read-modify-write, touching only writable bits.
+  const std::uint64_t current = inner_.read(cpu, reg);
+  inner_.write(cpu, reg, (current & ~mask) | (value & mask));
+}
+
+unsigned SafeMsrDevice::cpu_count() const { return inner_.cpu_count(); }
+
+}  // namespace procap::msr

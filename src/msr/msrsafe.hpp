@@ -1,0 +1,74 @@
+// msrsafe.hpp — allow-list mediated MSR access.
+//
+// On the paper's testbed, unprivileged power control goes through the
+// msr-safe kernel module, which exposes only allow-listed registers and
+// masks writable bits per register.  SafeMsrDevice reproduces that
+// mediation as a decorator over any MsrDevice, including parsing of the
+// msr-safe allow-list text format:
+//
+//   # MSR        # Write mask
+//   0x610        0x00000000FFFFFFFF
+//   0x611        0x0000000000000000
+//
+// A zero write mask makes a register read-only; absent registers are not
+// readable at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "msr/device.hpp"
+
+namespace procap::msr {
+
+/// Set of accessible registers with per-register writable-bit masks.
+class AllowList {
+ public:
+  /// Permit reads of `reg`; writes may modify only bits set in `write_mask`.
+  void allow(std::uint32_t reg, std::uint64_t write_mask);
+
+  /// True if `reg` may be read.
+  [[nodiscard]] bool readable(std::uint32_t reg) const;
+
+  /// Writable-bit mask for `reg` (0 if read-only or not listed).
+  [[nodiscard]] std::uint64_t write_mask(std::uint32_t reg) const;
+
+  /// Number of allow-listed registers.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Parse the msr-safe text format: one "MSR mask" pair per line, both in
+  /// hex; '#' starts a comment.  Throws MsrError on malformed input.
+  [[nodiscard]] static AllowList parse(const std::string& text);
+
+  /// Allow-list covering everything procap's RAPL and DVFS stack touches
+  /// (the registers in msr/addresses.hpp, with SDM-correct write masks).
+  [[nodiscard]] static AllowList rapl_default();
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> entries_;
+};
+
+/// Decorator enforcing an AllowList over an underlying device, as the
+/// msr-safe kernel module does.  Denied reads throw; denied write bits
+/// are silently masked off (msr-safe semantics), but a write to a fully
+/// read-only or unlisted register throws.
+class SafeMsrDevice final : public MsrDevice {
+ public:
+  /// `inner` must outlive this device.
+  SafeMsrDevice(MsrDevice& inner, AllowList allow_list);
+
+  [[nodiscard]] std::uint64_t read(unsigned cpu, std::uint32_t reg) override;
+  void write(unsigned cpu, std::uint32_t reg, std::uint64_t value) override;
+  [[nodiscard]] unsigned cpu_count() const override;
+
+  /// Count of accesses rejected so far (reads + writes).
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+
+ private:
+  MsrDevice& inner_;
+  AllowList allow_;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace procap::msr

@@ -1,0 +1,78 @@
+#include "policy/actuators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procap::policy {
+
+DvfsPowerLimiter::DvfsPowerLimiter(rapl::RaplInterface& rapl,
+                                   ActuatorConfig config)
+    : rapl_(&rapl), config_(config), f_(config.f_max) {}
+
+void DvfsPowerLimiter::set_target(Watts target) {
+  if (target <= 0.0) {
+    throw std::invalid_argument("DvfsPowerLimiter: target must be positive");
+  }
+  target_ = target;
+  active_ = true;
+}
+
+void DvfsPowerLimiter::release() {
+  active_ = false;
+  f_ = config_.f_max;
+  rapl_->set_frequency(f_);
+}
+
+void DvfsPowerLimiter::tick() {
+  if (!active_) {
+    return;
+  }
+  const Watts power = rapl_->pkg_power();
+  if (power <= 0.0) {
+    return;  // meter not primed yet
+  }
+  if (power > target_ && f_ > config_.f_min) {
+    f_ = std::max(config_.f_min, f_ - config_.f_step);
+    rapl_->set_frequency(f_);
+  } else if (power < target_ - config_.margin && f_ < config_.f_max) {
+    f_ = std::min(config_.f_max, f_ + config_.f_step);
+    rapl_->set_frequency(f_);
+  }
+}
+
+DdcmPowerLimiter::DdcmPowerLimiter(rapl::RaplInterface& rapl,
+                                   ActuatorConfig config)
+    : rapl_(&rapl), config_(config) {}
+
+void DdcmPowerLimiter::set_target(Watts target) {
+  if (target <= 0.0) {
+    throw std::invalid_argument("DdcmPowerLimiter: target must be positive");
+  }
+  target_ = target;
+  active_ = true;
+}
+
+void DdcmPowerLimiter::release() {
+  active_ = false;
+  duty_ = 1.0;
+  rapl_->set_clock_modulation(duty_);
+}
+
+void DdcmPowerLimiter::tick() {
+  if (!active_) {
+    return;
+  }
+  const Watts power = rapl_->pkg_power();
+  if (power <= 0.0) {
+    return;
+  }
+  if (power > target_ && duty_ > config_.duty_min) {
+    duty_ = std::max(config_.duty_min, duty_ - config_.duty_step);
+    rapl_->set_clock_modulation(duty_);
+  } else if (power < target_ - config_.margin && duty_ < 1.0) {
+    duty_ = std::min(1.0, duty_ + config_.duty_step);
+    rapl_->set_clock_modulation(duty_);
+  }
+}
+
+}  // namespace procap::policy

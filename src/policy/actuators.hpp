@@ -1,0 +1,118 @@
+// actuators.hpp — software power-limiting techniques.
+//
+// The paper compares hardware power capping (RAPL) against DVFS (Fig. 5)
+// and discusses DDCM as the other knob RAPL has access to; its reference
+// [3] (Zhang & Hoffmann) frames the general question: hardware, software
+// and hybrid capping techniques differ in how much performance they
+// preserve at a given power level.  These classes implement the software
+// side: feedback controllers that hold a package power target using one
+// explicit knob each —
+//
+//   DvfsPowerLimiter  adjusts the P-state (IA32_PERF_CTL),
+//   DdcmPowerLimiter  adjusts the duty cycle (IA32_CLOCK_MODULATION),
+//
+// both driven by energy-counter power measurements through the same
+// RaplInterface a userspace tool would use (no firmware assistance).
+// Their floors differ: DVFS bottoms out at f_min, DDCM can push duty to
+// 1/16 but stretches memory stalls along with compute — which is exactly
+// why the techniques rank differently for compute- and memory-bound
+// applications.
+#pragma once
+
+#include "rapl/rapl.hpp"
+#include "sim/engine.hpp"
+#include "util/time.hpp"
+
+namespace procap::policy {
+
+/// Knob bounds for the software limiters.
+struct ActuatorConfig {
+  Hertz f_min = 1.2e9;
+  Hertz f_max = 3.7e9;
+  Hertz f_step = 1e8;
+  double duty_min = 1.0 / 16.0;
+  double duty_step = 1.0 / 16.0;
+  /// Unthrottle when measured power < target - margin.
+  Watts margin = 2.0;
+};
+
+/// Common interface: hold a package power target with one knob.
+class PowerLimiter {
+ public:
+  virtual ~PowerLimiter() = default;
+
+  /// Technique name for reports ("rapl", "dvfs", "ddcm").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Hold package power at or below `target` from now on.
+  virtual void set_target(Watts target) = 0;
+
+  /// Remove the limit (full performance).
+  virtual void release() = 0;
+
+  /// One control step (no-op for hardware-enforced techniques).
+  virtual void tick() {}
+
+  /// Register periodic tick()s with the engine.
+  void attach(sim::Engine& engine, Nanos interval = msec(100)) {
+    engine.every(interval, [this](Nanos) { tick(); });
+  }
+};
+
+/// Hardware technique: delegate to RAPL (PL1).
+class RaplLimiter final : public PowerLimiter {
+ public:
+  explicit RaplLimiter(rapl::RaplInterface& rapl) : rapl_(&rapl) {}
+
+  [[nodiscard]] const char* name() const override { return "rapl"; }
+  void set_target(Watts target) override { rapl_->set_pkg_cap(target, 0.04); }
+  void release() override { rapl_->clear_pkg_cap(); }
+
+ private:
+  rapl::RaplInterface* rapl_;
+};
+
+/// Software technique: P-state feedback controller.
+class DvfsPowerLimiter final : public PowerLimiter {
+ public:
+  DvfsPowerLimiter(rapl::RaplInterface& rapl, ActuatorConfig config = {});
+
+  [[nodiscard]] const char* name() const override { return "dvfs"; }
+  void set_target(Watts target) override;
+  void release() override;
+  void tick() override;
+
+  /// Currently requested frequency.
+  [[nodiscard]] Hertz frequency() const { return f_; }
+
+ private:
+  rapl::RaplInterface* rapl_;
+  ActuatorConfig config_;
+  Watts target_ = 0.0;
+  bool active_ = false;
+  Hertz f_;
+};
+
+/// Software technique: duty-cycle (T-state) feedback controller.
+/// The P-state stays at maximum; only clock modulation throttles.
+class DdcmPowerLimiter final : public PowerLimiter {
+ public:
+  DdcmPowerLimiter(rapl::RaplInterface& rapl, ActuatorConfig config = {});
+
+  [[nodiscard]] const char* name() const override { return "ddcm"; }
+  void set_target(Watts target) override;
+  void release() override;
+  void tick() override;
+
+  /// Currently requested duty factor.
+  [[nodiscard]] double duty() const { return duty_; }
+
+ private:
+  rapl::RaplInterface* rapl_;
+  ActuatorConfig config_;
+  Watts target_ = 0.0;
+  bool active_ = false;
+  double duty_ = 1.0;
+};
+
+}  // namespace procap::policy

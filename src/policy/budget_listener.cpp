@@ -1,0 +1,65 @@
+#include "policy/budget_listener.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace procap::policy {
+
+std::string budget_topic(const std::string& node_name) {
+  return "power/budget/" + node_name;
+}
+
+std::string encode_budget(std::optional<Watts> budget) {
+  if (!budget) {
+    return "uncapped";
+  }
+  return "cap " + std::to_string(*budget);
+}
+
+std::optional<std::optional<Watts>> decode_budget(const std::string& payload) {
+  if (payload == "uncapped") {
+    // Engaged outer optional holding the empty ("uncapped") directive.
+    return std::make_optional(std::optional<Watts>{});
+  }
+  constexpr std::string_view kPrefix = "cap ";
+  if (payload.rfind(kPrefix, 0) != 0) {
+    return std::nullopt;
+  }
+  const char* begin = payload.data() + kPrefix.size();
+  const char* end = payload.data() + payload.size();
+  Watts watts = 0.0;
+  const auto [parsed_end, ec] = std::from_chars(begin, end, watts);
+  if (ec != std::errc{} || parsed_end != end || watts <= 0.0) {
+    return std::nullopt;
+  }
+  return std::optional<Watts>{watts};
+}
+
+BudgetListener::BudgetListener(std::shared_ptr<msgbus::SubSocket> sub,
+                               const std::string& node_name,
+                               NodeResourceManager& nrm)
+    : sub_(std::move(sub)), nrm_(&nrm) {
+  if (!sub_) {
+    throw std::invalid_argument("BudgetListener: null subscriber socket");
+  }
+  sub_->subscribe(budget_topic(node_name));
+}
+
+void BudgetListener::poll() {
+  while (auto msg = sub_->try_recv()) {
+    const auto directive = decode_budget(msg->payload);
+    if (!directive) {
+      ++malformed_;
+      continue;
+    }
+    if (*directive) {
+      nrm_->set_power_budget(**directive);
+    } else {
+      nrm_->clear_power_budget();
+    }
+    last_ = directive;
+    ++applied_;
+  }
+}
+
+}  // namespace procap::policy

@@ -1,0 +1,67 @@
+// budget_listener.hpp — power-budget directives over the message bus.
+//
+// In the paper's hierarchy the NRM "is ultimately responsible for the
+// enforcement of a power budget received from higher levels" (Section II).
+// procap's SystemPowerManager/JobPowerManager call into managers directly
+// when everything lives in one process; across processes the natural
+// carrier is the same pub/sub bus the progress samples ride.  A job-level
+// agent publishes on "power/budget/<node>":
+//
+//   "cap 95.5"     enforce a 95.5 W package budget
+//   "uncapped"     release the budget
+//
+// and the node-local BudgetListener applies each directive to its
+// NodeResourceManager.  Malformed directives are counted, never applied.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "msgbus/bus.hpp"
+#include "policy/nrm.hpp"
+
+namespace procap::policy {
+
+/// Topic a node's budget directives arrive on.
+[[nodiscard]] std::string budget_topic(const std::string& node_name);
+
+/// Encode a directive payload (nullopt = uncapped).
+[[nodiscard]] std::string encode_budget(std::optional<Watts> budget);
+
+/// Decode a directive payload.  Outer nullopt = malformed; inner
+/// nullopt = "uncapped".
+[[nodiscard]] std::optional<std::optional<Watts>> decode_budget(
+    const std::string& payload);
+
+/// Applies bus-carried budget directives to a NodeResourceManager.
+class BudgetListener {
+ public:
+  /// Subscribes `sub` to this node's budget topic.  `nrm` must outlive
+  /// the listener.
+  BudgetListener(std::shared_ptr<msgbus::SubSocket> sub,
+                 const std::string& node_name, NodeResourceManager& nrm);
+
+  /// Drain pending directives, applying each in arrival order.
+  void poll();
+
+  /// Directives applied / rejected as malformed.
+  [[nodiscard]] std::uint64_t applied() const { return applied_; }
+  [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
+
+  /// The most recently applied directive (nullopt-of-optional if none
+  /// arrived yet).
+  [[nodiscard]] std::optional<std::optional<Watts>> last() const {
+    return last_;
+  }
+
+ private:
+  std::shared_ptr<msgbus::SubSocket> sub_;
+  NodeResourceManager* nrm_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::optional<std::optional<Watts>> last_;
+};
+
+}  // namespace procap::policy

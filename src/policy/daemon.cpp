@@ -1,0 +1,61 @@
+#include "policy/daemon.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace procap::policy {
+
+PowerPolicyDaemon::PowerPolicyDaemon(rapl::RaplInterface& rapl,
+                                     const TimeSource& time_source,
+                                     std::unique_ptr<CapSchedule> schedule,
+                                     unsigned pkg)
+    : rapl_(&rapl),
+      time_(&time_source),
+      schedule_(std::move(schedule)),
+      pkg_(pkg),
+      start_(time_source.now()),
+      caps_("cap_watts"),
+      power_("power_watts") {
+  if (!schedule_) {
+    throw std::invalid_argument("PowerPolicyDaemon: null schedule");
+  }
+}
+
+void PowerPolicyDaemon::set_schedule(std::unique_ptr<CapSchedule> schedule) {
+  if (!schedule) {
+    throw std::invalid_argument("PowerPolicyDaemon: null schedule");
+  }
+  schedule_ = std::move(schedule);
+  start_ = time_->now();
+}
+
+void PowerPolicyDaemon::tick() {
+  const Nanos now = time_->now();
+  const Watts measured = rapl_->pkg_power(pkg_);
+  power_.add(now, measured);
+
+  const Seconds elapsed = to_seconds(now - start_);
+  const std::optional<Watts> want = schedule_->cap_at(elapsed);
+  if (want != applied_) {
+    if (want) {
+      // 40 ms averaging window: long enough to ride out application-level
+      // compute/memory alternation, short next to the 1 Hz policy cadence.
+      rapl_->set_pkg_cap(*want, /*window=*/0.04, pkg_);
+      PROCAP_DEBUG << "power-policy: cap " << *want << " W ("
+                   << schedule_->name() << ")";
+    } else {
+      rapl_->clear_pkg_cap(pkg_);
+      PROCAP_DEBUG << "power-policy: uncapped (" << schedule_->name() << ")";
+    }
+    applied_ = want;
+  }
+  caps_.add(now, applied_.value_or(0.0));
+  ++ticks_;
+}
+
+void PowerPolicyDaemon::attach(sim::Engine& engine, Nanos interval) {
+  engine.every(interval, [this](Nanos) { tick(); });
+}
+
+}  // namespace procap::policy

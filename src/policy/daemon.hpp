@@ -1,0 +1,70 @@
+// daemon.hpp — the power-policy daemon (paper Section V-B).
+//
+// The paper's `power-policy` tool "runs as a background daemon on the
+// node.  It monitors power usage and applies the selected dynamic
+// power-capping scheme on the package domain once every second."  This is
+// that daemon: at each tick it samples package power through the RAPL
+// interface, evaluates the schedule, and programs (or clears) PL1.  It
+// records the applied-cap and measured-power time series, which are the
+// x-axes of the paper's Fig. 3.
+//
+// The daemon is tick-driven; attach() wires it to the simulation engine
+// at 1 Hz, and a real deployment would call tick() from a timer loop.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "policy/schemes.hpp"
+#include "rapl/rapl.hpp"
+#include "sim/engine.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace procap::policy {
+
+/// Applies a CapSchedule through a RaplInterface once per interval.
+class PowerPolicyDaemon {
+ public:
+  /// `rapl` and `time_source` must outlive the daemon; the daemon owns
+  /// the schedule.  `pkg` selects the package domain to control.
+  PowerPolicyDaemon(rapl::RaplInterface& rapl,
+                    const TimeSource& time_source,
+                    std::unique_ptr<CapSchedule> schedule, unsigned pkg = 0);
+
+  /// Replace the schedule; the elapsed-time origin resets to now.
+  void set_schedule(std::unique_ptr<CapSchedule> schedule);
+
+  /// One daemon cycle: measure power, evaluate schedule, actuate.
+  void tick();
+
+  /// Register with the engine to tick every `interval` (default 1 s, as
+  /// in the paper).  Call at most once per engine.
+  void attach(sim::Engine& engine, Nanos interval = kNanosPerSecond);
+
+  /// Cap currently applied (nullopt while uncapped).
+  [[nodiscard]] std::optional<Watts> current_cap() const { return applied_; }
+
+  /// Applied cap over time (uncapped ticks recorded as 0, a conventional
+  /// sentinel that keeps the series plottable).
+  [[nodiscard]] const TimeSeries& cap_series() const { return caps_; }
+
+  /// Measured package power over time.
+  [[nodiscard]] const TimeSeries& power_series() const { return power_; }
+
+  /// Ticks executed.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  rapl::RaplInterface* rapl_;
+  const TimeSource* time_;
+  std::unique_ptr<CapSchedule> schedule_;
+  unsigned pkg_;
+  Nanos start_;
+  std::optional<Watts> applied_;
+  TimeSeries caps_;
+  TimeSeries power_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace procap::policy

@@ -1,0 +1,82 @@
+#include "policy/nrm.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace procap::policy {
+
+NodeResourceManager::NodeResourceManager(rapl::RaplInterface& rapl,
+                                         progress::Monitor& monitor,
+                                         const TimeSource& time_source,
+                                         NrmConfig config)
+    : rapl_(&rapl),
+      monitor_(&monitor),
+      time_(&time_source),
+      config_(config),
+      caps_("nrm_cap_watts"),
+      rates_("nrm_progress") {}
+
+void NodeResourceManager::apply(std::optional<Watts> cap) {
+  if (cap == cap_) {
+    return;
+  }
+  if (cap) {
+    rapl_->set_pkg_cap(*cap);
+  } else {
+    rapl_->clear_pkg_cap();
+  }
+  cap_ = cap;
+}
+
+void NodeResourceManager::set_power_budget(Watts budget) {
+  mode_ = Mode::kBudget;
+  apply(std::clamp(budget, config_.min_cap, config_.max_cap));
+  PROCAP_INFO << "nrm: hard budget " << budget << " W";
+}
+
+void NodeResourceManager::clear_power_budget() {
+  mode_ = Mode::kUncapped;
+  apply(std::nullopt);
+}
+
+void NodeResourceManager::set_progress_target(
+    double rate, std::optional<model::ModelParams> params) {
+  mode_ = Mode::kProgressTarget;
+  target_rate_ = rate;
+  if (params) {
+    // Model-seeded initial cap (paper Section VI, modeling goal 3), with a
+    // little headroom: feedback trims downward cheaply, but starting too
+    // low costs visible progress.
+    const Watts seed = model::pkg_cap_for_progress(*params, rate) * 1.05;
+    apply(std::clamp(seed, config_.min_cap, config_.max_cap));
+    PROCAP_INFO << "nrm: progress target " << rate << "/s, model seed cap "
+                << *cap_ << " W";
+  }
+}
+
+void NodeResourceManager::tick() {
+  const Nanos now = time_->now();
+  monitor_->poll();
+  const double rate = monitor_->current_rate();
+  rates_.add(now, rate);
+
+  if (mode_ == Mode::kProgressTarget && monitor_->windows() > 0 &&
+      rate > 0.0) {
+    const double low = target_rate_;
+    const double high = target_rate_ * (1.0 + config_.deadband);
+    const Watts current = cap_.value_or(config_.max_cap);
+    if (rate < low) {
+      apply(std::min(current + config_.raise_step, config_.max_cap));
+    } else if (rate > high) {
+      apply(std::max(current - config_.lower_step, config_.min_cap));
+    }
+  }
+  caps_.add(now, cap_.value_or(0.0));
+}
+
+void NodeResourceManager::attach(sim::Engine& engine, Nanos interval) {
+  engine.every(interval, [this](Nanos) { tick(); });
+}
+
+}  // namespace procap::policy

@@ -1,0 +1,95 @@
+// nrm.hpp — node resource manager with progress-aware policies.
+//
+// The paper motivates progress monitoring with two NRM scenarios
+// (Section II): responding to a shrinking power budget with the least
+// performance impact, and enforcing a hard immediate cap when a
+// high-priority job preempts the budget.  The paper's conclusion proposes
+// using the model to "decide on the exact power budget to be employed
+// given an expectation of online performance".  This class implements
+// those policies on top of the pieces the paper establishes:
+//
+//   * kBudget mode — enforce the budget received from the upper layer of
+//     the hierarchy (job/system level), immediately.
+//   * kProgressTarget mode — hold a target progress rate with the least
+//     power: the model picks the initial cap (Eq. 7 inverted), then a
+//     measured-progress feedback loop trims it, absorbing model error.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "model/progress_model.hpp"
+#include "progress/monitor.hpp"
+#include "rapl/rapl.hpp"
+#include "sim/engine.hpp"
+#include "util/series.hpp"
+#include "util/time.hpp"
+
+namespace procap::policy {
+
+/// Tuning for the progress-target feedback loop.
+struct NrmConfig {
+  /// Relative deadband around the target within which the cap holds.
+  double deadband = 0.05;
+  /// Watts added when progress is below target.
+  Watts raise_step = 4.0;
+  /// Watts removed when progress is above target + deadband.
+  Watts lower_step = 2.0;
+  /// Cap bounds.
+  Watts min_cap = 20.0;
+  Watts max_cap = 300.0;
+};
+
+/// Node resource manager: one package, one application's progress feed.
+class NodeResourceManager {
+ public:
+  /// All references must outlive the manager.
+  NodeResourceManager(rapl::RaplInterface& rapl, progress::Monitor& monitor,
+                      const TimeSource& time_source, NrmConfig config = {});
+
+  /// Enforce a hard budget now (upper-layer directive); exits
+  /// progress-target mode.
+  void set_power_budget(Watts budget);
+
+  /// Remove any budget and run uncapped; exits progress-target mode.
+  void clear_power_budget();
+
+  /// Hold `rate` (application units/s) with minimal power.  `params`
+  /// seeds the initial cap via the model; pass std::nullopt to start from
+  /// the current cap (pure feedback).
+  void set_progress_target(double rate,
+                           std::optional<model::ModelParams> params);
+
+  /// One control cycle (call at 1 Hz; progress windows are 1 s).
+  void tick();
+
+  /// Register with the engine at `interval`.
+  void attach(sim::Engine& engine, Nanos interval = kNanosPerSecond);
+
+  /// Cap currently applied (nullopt = uncapped).
+  [[nodiscard]] std::optional<Watts> current_cap() const { return cap_; }
+
+  /// Applied cap over time (0 = uncapped, as in PowerPolicyDaemon).
+  [[nodiscard]] const TimeSeries& cap_series() const { return caps_; }
+
+  /// Measured progress rate over time, as the NRM saw it.
+  [[nodiscard]] const TimeSeries& progress_series() const { return rates_; }
+
+ private:
+  enum class Mode { kUncapped, kBudget, kProgressTarget };
+
+  void apply(std::optional<Watts> cap);
+
+  rapl::RaplInterface* rapl_;
+  progress::Monitor* monitor_;
+  const TimeSource* time_;
+  NrmConfig config_;
+
+  Mode mode_ = Mode::kUncapped;
+  std::optional<Watts> cap_;
+  double target_rate_ = 0.0;
+  TimeSeries caps_;
+  TimeSeries rates_;
+};
+
+}  // namespace procap::policy

@@ -1,0 +1,88 @@
+#include "policy/schemes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::policy {
+
+ConstantCap::ConstantCap(Watts cap, Seconds start_after)
+    : cap_(cap), start_after_(start_after) {
+  if (cap <= 0.0) {
+    throw std::invalid_argument("ConstantCap: cap must be positive");
+  }
+}
+
+std::optional<Watts> ConstantCap::cap_at(Seconds elapsed) const {
+  if (elapsed < start_after_) {
+    return std::nullopt;
+  }
+  return cap_;
+}
+
+LinearDecreasingCap::LinearDecreasingCap(Watts from, Watts floor,
+                                         double rate_watts_per_s,
+                                         Seconds uncapped_for)
+    : from_(from),
+      floor_(floor),
+      rate_(rate_watts_per_s),
+      uncapped_for_(uncapped_for) {
+  if (floor <= 0.0 || from < floor) {
+    throw std::invalid_argument("LinearDecreasingCap: need from >= floor > 0");
+  }
+  if (rate_watts_per_s <= 0.0) {
+    throw std::invalid_argument("LinearDecreasingCap: rate must be positive");
+  }
+}
+
+std::optional<Watts> LinearDecreasingCap::cap_at(Seconds elapsed) const {
+  if (elapsed < uncapped_for_) {
+    return std::nullopt;
+  }
+  const Watts cap = from_ - rate_ * (elapsed - uncapped_for_);
+  return std::max(cap, floor_);
+}
+
+StepCap::StepCap(std::optional<Watts> high, Watts low, Seconds high_duration,
+                 Seconds low_duration)
+    : high_(high),
+      low_(low),
+      high_duration_(high_duration),
+      low_duration_(low_duration) {
+  if (low <= 0.0) {
+    throw std::invalid_argument("StepCap: low cap must be positive");
+  }
+  if (high && *high <= low) {
+    throw std::invalid_argument("StepCap: high cap must exceed low cap");
+  }
+  if (high_duration <= 0.0 || low_duration <= 0.0) {
+    throw std::invalid_argument("StepCap: durations must be positive");
+  }
+}
+
+std::optional<Watts> StepCap::cap_at(Seconds elapsed) const {
+  const Seconds period = high_duration_ + low_duration_;
+  const Seconds in_period = std::fmod(elapsed, period);
+  if (in_period < high_duration_) {
+    return high_;
+  }
+  return low_;
+}
+
+JaggedCap::JaggedCap(Watts from, Watts floor, Seconds ramp_duration)
+    : from_(from), floor_(floor), ramp_duration_(ramp_duration) {
+  if (floor <= 0.0 || from <= floor) {
+    throw std::invalid_argument("JaggedCap: need from > floor > 0");
+  }
+  if (ramp_duration <= 0.0) {
+    throw std::invalid_argument("JaggedCap: ramp duration must be positive");
+  }
+}
+
+std::optional<Watts> JaggedCap::cap_at(Seconds elapsed) const {
+  const Seconds in_ramp = std::fmod(elapsed, ramp_duration_);
+  const double t = in_ramp / ramp_duration_;
+  return from_ - t * (from_ - floor_);
+}
+
+}  // namespace procap::policy

@@ -1,0 +1,120 @@
+#include "progress/analysis.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace procap::progress {
+
+ConsistencyReport analyze_consistency(const TimeSeries& rates,
+                                      double cv_threshold,
+                                      std::size_t warmup_windows) {
+  ConsistencyReport report;
+  StreamingStats stats;
+  std::size_t zeros = 0;
+  std::size_t considered = 0;
+  for (std::size_t i = warmup_windows; i < rates.size(); ++i) {
+    ++considered;
+    const double v = rates[i].value;
+    if (v == 0.0) {
+      ++zeros;
+      continue;
+    }
+    stats.add(v);
+  }
+  report.mean_rate = stats.mean();
+  report.stddev = stats.stddev();
+  report.cv = stats.cv();
+  report.zero_fraction =
+      considered ? static_cast<double>(zeros) / static_cast<double>(considered)
+                 : 0.0;
+  report.consistent = stats.count() >= 2 && report.cv <= cv_threshold;
+  return report;
+}
+
+double figure_of_merit(const TimeSeries& rates) {
+  if (rates.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& sample : rates.samples()) {
+    total += sample.value;
+  }
+  return total / static_cast<double>(rates.size());
+}
+
+std::vector<PhaseSegment> detect_phases(const TimeSeries& rates,
+                                        double rel_threshold,
+                                        std::size_t min_windows) {
+  std::vector<PhaseSegment> segments;
+  PhaseSegment current;
+  double sum = 0.0;
+  std::size_t departures = 0;  // consecutive windows away from the mean
+  Nanos departure_start = 0;
+  double departure_sum = 0.0;
+
+  auto open = [&](Nanos t, double v) {
+    current = PhaseSegment{t, t, v, 1};
+    sum = v;
+    departures = 0;
+    departure_sum = 0.0;
+  };
+  auto close = [&](Nanos end) {
+    current.end = end;
+    current.mean_rate = sum / static_cast<double>(current.windows);
+    segments.push_back(current);
+  };
+
+  bool started = false;
+  Nanos window_len = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& s = rates[i];
+    if (i + 1 < rates.size()) {
+      window_len = rates[i + 1].t - s.t;
+    }
+    if (s.value == 0.0) {
+      continue;  // dropped-report window, not a phase boundary
+    }
+    if (!started) {
+      open(s.t, s.value);
+      started = true;
+      continue;
+    }
+    const double mean = sum / static_cast<double>(current.windows);
+    const bool departed =
+        mean > 0.0 && std::abs(s.value - mean) / mean > rel_threshold;
+    if (departed) {
+      if (departures == 0) {
+        departure_start = s.t;
+        departure_sum = 0.0;
+      }
+      ++departures;
+      departure_sum += s.value;
+      if (departures >= min_windows) {
+        // Sustained departure: the segment ended where it began.
+        close(departure_start);
+        current = PhaseSegment{departure_start, departure_start,
+                               departure_sum / static_cast<double>(departures),
+                               departures};
+        sum = departure_sum;
+        departures = 0;
+        departure_sum = 0.0;
+      }
+    } else {
+      // Any pending departure was a blip; fold it into the segment.
+      sum += departure_sum + s.value;
+      current.windows += departures + 1;
+      departures = 0;
+      departure_sum = 0.0;
+    }
+  }
+  if (started) {
+    // Fold a trailing short departure into the final segment.
+    sum += departure_sum;
+    current.windows += departures;
+    close(rates.end_time() + window_len);
+  }
+  return segments;
+}
+
+}  // namespace procap::progress

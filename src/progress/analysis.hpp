@@ -1,0 +1,60 @@
+// analysis.hpp — characterizing a progress-rate series.
+//
+// Implements the characterization of paper Section IV-C: is the online
+// performance metric consistent during execution (LAMMPS, STREAM), does it
+// fluctuate and need averaging (AMG), and does the application run in
+// phases with distinct rates (QMCPACK's VMC1/VMC2/DMC)?
+#pragma once
+
+#include <vector>
+
+#include "util/series.hpp"
+
+namespace procap::progress {
+
+/// Consistency verdict for a rate series.
+struct ConsistencyReport {
+  double mean_rate = 0.0;
+  double stddev = 0.0;
+  /// Coefficient of variation (stddev / mean) over non-warmup windows.
+  double cv = 0.0;
+  /// Fraction of windows that read exactly zero (dropped-report artifact).
+  double zero_fraction = 0.0;
+  /// cv below the threshold given to analyze_consistency().
+  bool consistent = false;
+};
+
+/// Analyze rate consistency.  `warmup_windows` leading windows are
+/// excluded (startup transients); zero windows are excluded from the
+/// mean/cv but reported via zero_fraction.
+[[nodiscard]] ConsistencyReport analyze_consistency(
+    const TimeSeries& rates, double cv_threshold = 0.10,
+    std::size_t warmup_windows = 2);
+
+/// Figure of merit of a completed run: total work per second over the
+/// whole span of the rate series — the shape of every FOM the paper
+/// describes ("simulated years per day", "iterations per second"), which
+/// is "almost always derived from the execution time" (Section III).
+/// With fixed windows this equals the mean of all window rates,
+/// *including* empty (zero) windows.  The paper's second objective for an
+/// online metric is that it correlate with this quantity.
+[[nodiscard]] double figure_of_merit(const TimeSeries& rates);
+
+/// A run of windows with a (roughly) constant rate.
+struct PhaseSegment {
+  Nanos start = 0;
+  Nanos end = 0;  ///< exclusive
+  double mean_rate = 0.0;
+  std::size_t windows = 0;
+};
+
+/// Segment a rate series into phases: a new segment opens when the rate
+/// departs from the current segment's running mean by more than
+/// `rel_threshold` (relative) for at least `min_windows` consecutive
+/// windows.  Zero windows are skipped (transport drops, not phase
+/// changes).  QMCPACK's three phases segment cleanly with the defaults.
+[[nodiscard]] std::vector<PhaseSegment> detect_phases(
+    const TimeSeries& rates, double rel_threshold = 0.25,
+    std::size_t min_windows = 3);
+
+}  // namespace procap::progress

@@ -1,0 +1,59 @@
+#include "progress/category.hpp"
+
+namespace procap::progress {
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::kCategory1:
+      return "Category 1";
+    case Category::kCategory2:
+      return "Category 2";
+    case Category::kCategory3:
+      return "Category 3";
+  }
+  return "Category ?";
+}
+
+Category categorize(const AppTraits& traits) {
+  if (!traits.measurable_online || traits.multi_component) {
+    return Category::kCategory3;
+  }
+  if (!traits.relates_to_science) {
+    return Category::kCategory2;
+  }
+  return Category::kCategory1;
+}
+
+Category categorize(const AppTraits& traits, const TimeSeries& rates,
+                    double instability_cv) {
+  const Category by_traits = categorize(traits);
+  if (by_traits == Category::kCategory3) {
+    return by_traits;
+  }
+  if (rates.size() < 4) {
+    // Too little evidence to overrule the interview.
+    return by_traits;
+  }
+  // Judge stability within phases: phased applications legitimately run
+  // at different rates per phase.
+  const auto segments = detect_phases(rates);
+  if (segments.empty()) {
+    return Category::kCategory3;  // nothing but zero windows
+  }
+  double weighted_cv = 0.0;
+  double weight = 0.0;
+  for (const auto& seg : segments) {
+    const auto report =
+        analyze_consistency(rates.slice(seg.start, seg.end),
+                            instability_cv, /*warmup_windows=*/0);
+    const auto w = static_cast<double>(seg.windows);
+    weighted_cv += report.cv * w;
+    weight += w;
+  }
+  if (weight > 0.0 && weighted_cv / weight > instability_cv) {
+    return Category::kCategory3;  // claimed metric is not reliable
+  }
+  return by_traits;
+}
+
+}  // namespace procap::progress

@@ -1,0 +1,67 @@
+// category.hpp — the paper's application categorization (Section III-B).
+//
+// Category 1: a well-defined online metric that correlates with the
+//             application's scientific goal (QMCPACK, OpenMC, LAMMPS,
+//             STREAM).
+// Category 2: online performance is measurable but does not convey how
+//             far the application is from its goal (AMG, CANDLE's
+//             accuracy-bounded training).
+// Category 3: no single reliable metric — unmonitorable or composed of
+//             components at different timescales (URBAN, Nek5000, HACC).
+//
+// Categorization combines the interview traits of Table III/IV (static,
+// supplied per application) with the measured behaviour of the metric
+// (dynamic, from a Monitor trace): a claimed metric that is wildly
+// unstable demotes the application to Category 3.
+#pragma once
+
+#include <string>
+
+#include "progress/analysis.hpp"
+#include "util/series.hpp"
+
+namespace procap::progress {
+
+/// The paper's three application categories.
+enum class Category { kCategory1 = 1, kCategory2 = 2, kCategory3 = 3 };
+
+[[nodiscard]] std::string to_string(Category c);
+
+/// Answers to the interview questionnaire (paper Table III), per app.
+struct AppTraits {
+  std::string name;
+  /// Q1: is there a well-defined figure of merit?
+  bool has_fom = false;
+  /// Q2: can online performance correlated with FOM/time be measured?
+  bool measurable_online = false;
+  /// Q3: does online performance measure progress toward the scientific
+  /// goal?
+  bool relates_to_science = false;
+  /// Q4: is execution time predictable from a model?
+  bool predictable_time = false;
+  /// Q5: is the iteration count decided before execution?
+  bool iterations_known = false;
+  /// Q6: do loop iterations proceed uniformly?
+  bool uniform_iterations = false;
+  /// Q7: multiple clearly demarcated phases/components?
+  bool has_phases = false;
+  /// Q7 (strong form): components running at different timescales, which
+  /// defeats any single metric (URBAN, HACC).
+  bool multi_component = false;
+  /// Q8: limiting resource ("compute", "memory bandwidth", ...).
+  std::string bound_by;
+};
+
+/// Categorize from interview traits alone (what the paper's Table V does).
+[[nodiscard]] Category categorize(const AppTraits& traits);
+
+/// Categorize using both traits and a measured rate trace: the trace can
+/// only demote (a metric whose non-zero windows have cv above
+/// `instability_cv` is not reliable, pushing the app to Category 3).
+/// Phased applications are judged per detected phase, since distinct
+/// phase rates are structure, not noise.
+[[nodiscard]] Category categorize(const AppTraits& traits,
+                                  const TimeSeries& rates,
+                                  double instability_cv = 0.35);
+
+}  // namespace procap::progress

@@ -1,0 +1,44 @@
+#include "progress/composite.hpp"
+
+#include <stdexcept>
+
+namespace procap::progress {
+
+void CompositeMonitor::add_component(std::shared_ptr<Monitor> monitor,
+                                     double weight, double nominal_rate) {
+  if (!monitor) {
+    throw std::invalid_argument("CompositeMonitor: null component monitor");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("CompositeMonitor: weight must be positive");
+  }
+  if (nominal_rate <= 0.0) {
+    throw std::invalid_argument(
+        "CompositeMonitor: nominal rate must be positive");
+  }
+  parts_.push_back(Part{std::move(monitor), weight, nominal_rate,
+                        MovingAverage(smoothing_polls_), 0.0});
+}
+
+void CompositeMonitor::poll() {
+  if (parts_.empty()) {
+    throw std::logic_error("CompositeMonitor::poll: no components");
+  }
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (Part& part : parts_) {
+    part.monitor->poll();
+    part.smoothed.add(part.monitor->current_rate() / part.nominal_rate);
+    part.last_normalized = part.smoothed.mean();
+    weighted += part.weight * part.last_normalized;
+    total_weight += part.weight;
+  }
+  current_ = weighted / total_weight;
+  series_.add(time_->now(), current_);
+}
+
+double CompositeMonitor::component_rate(std::size_t i) const {
+  return parts_.at(i).last_normalized;
+}
+
+}  // namespace procap::progress

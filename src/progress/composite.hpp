@@ -1,0 +1,85 @@
+// composite.hpp — composed progress for multi-component applications.
+//
+// The paper classifies URBAN, Nek5000 and HACC as Category 3: "the
+// application is composed of multiple components that limit the
+// usefulness of a single metric", and proposes as future work "studying
+// individual components separately and modeling progress as a weighted
+// combination of the progress of individual components" (Section VIII).
+//
+// CompositeMonitor implements that combination.  Each component monitor
+// is normalized by its *nominal* rate (its expected uncapped rate), so
+// components running at timescales orders of magnitude apart — URBAN's
+// building-energy simulation at ~0.5 steps/s next to its CFD solver at
+// ~30 steps/s — become commensurable fractions-of-expected-speed, and
+// the composite is their weighted mean:
+//
+//   composite(t) = sum_i w_i * rate_i(t) / nominal_i   with sum_i w_i = 1
+//
+// A composite of 1.0 means every component advances at its expected
+// pace; under a power cap the composite falls with the cap even when no
+// single component metric is individually reliable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "progress/monitor.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace procap::progress {
+
+/// Weighted combination of component progress monitors.
+class CompositeMonitor {
+ public:
+  /// `time_source` stamps composite samples; must outlive the monitor.
+  /// Each component's normalized rate is smoothed over its most recent
+  /// `smoothing_polls` polls before weighting, so slowly reporting
+  /// components (whole batches per window) do not dominate the composite
+  /// with quantization noise.
+  explicit CompositeMonitor(const TimeSource& time_source,
+                            std::size_t smoothing_polls = 5)
+      : time_(&time_source),
+        smoothing_polls_(smoothing_polls == 0 ? 1 : smoothing_polls),
+        series_("composite_rate") {}
+
+  /// Add a component.  `nominal_rate` is the component's expected
+  /// uncapped rate in its own units (> 0); `weight` is its share of the
+  /// composite (weights are normalized over all components).
+  void add_component(std::shared_ptr<Monitor> monitor, double weight,
+                     double nominal_rate);
+
+  [[nodiscard]] std::size_t components() const { return parts_.size(); }
+
+  /// Poll every component and append one composite sample stamped now.
+  /// Call at the window cadence (1 Hz).
+  void poll();
+
+  /// Most recent composite value (0 before the first poll).
+  [[nodiscard]] double composite_rate() const { return current_; }
+
+  /// Composite series over time.
+  [[nodiscard]] const TimeSeries& rates() const { return series_; }
+
+  /// Normalized rate of one component at the last poll.
+  [[nodiscard]] double component_rate(std::size_t i) const;
+
+ private:
+  struct Part {
+    std::shared_ptr<Monitor> monitor;
+    double weight;
+    double nominal_rate;
+    MovingAverage smoothed;
+    double last_normalized = 0.0;
+  };
+
+  const TimeSource* time_;
+  std::size_t smoothing_polls_;
+  std::vector<Part> parts_;
+  TimeSeries series_;
+  double current_ = 0.0;
+};
+
+}  // namespace procap::progress

@@ -1,0 +1,73 @@
+#include "progress/hub.hpp"
+
+#include <stdexcept>
+
+#include "progress/sample.hpp"
+
+namespace procap::progress {
+
+namespace {
+constexpr const char* kPrefix = "progress/";
+}
+
+MonitorHub::MonitorHub(std::shared_ptr<msgbus::SubSocket> sub,
+                       const TimeSource& time_source, Nanos window)
+    : sub_(std::move(sub)),
+      time_(&time_source),
+      window_(window),
+      origin_(time_source.now()) {
+  if (!sub_) {
+    throw std::invalid_argument("MonitorHub: null subscriber socket");
+  }
+  if (window <= 0) {
+    throw std::invalid_argument("MonitorHub: window must be positive");
+  }
+  sub_->subscribe(kPrefix);
+}
+
+void MonitorHub::poll() {
+  while (auto msg = sub_->try_recv()) {
+    const auto sample = decode_sample(msg->payload);
+    if (!sample || msg->topic.size() <= std::string(kPrefix).size()) {
+      ++malformed_;
+      continue;
+    }
+    ++samples_;
+    const std::string app = msg->topic.substr(std::string(kPrefix).size());
+    auto it = apps_.find(app);
+    if (it == apps_.end()) {
+      // New application: align its windows to the hub's origin grid so
+      // different apps' windows are comparable.
+      const Nanos elapsed = msg->timestamp - origin_;
+      const Nanos aligned =
+          origin_ + (elapsed / window_) * window_;
+      it = apps_.try_emplace(app, aligned, window_).first;
+      discovery_order_.push_back(app);
+    }
+    it->second.add(msg->timestamp, sample->amount, sample->phase);
+  }
+  const Nanos now = time_->now();
+  for (auto& [name, windower] : apps_) {
+    windower.close_up_to(now);
+  }
+}
+
+std::vector<std::string> MonitorHub::applications() const {
+  return discovery_order_;
+}
+
+bool MonitorHub::knows(const std::string& app) const {
+  return apps_.contains(app);
+}
+
+const RateWindower* MonitorHub::windower(const std::string& app) const {
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+double MonitorHub::current_rate(const std::string& app) const {
+  const RateWindower* w = windower(app);
+  return w ? w->current_rate() : 0.0;
+}
+
+}  // namespace procap::progress

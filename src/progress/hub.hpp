@@ -1,0 +1,63 @@
+// hub.hpp — auto-discovering progress monitor.
+//
+// A production node resource manager cannot know in advance which
+// instrumented applications will run on its node.  MonitorHub subscribes
+// to the whole "progress/" topic prefix and materializes a windowed rate
+// view per application as its first sample arrives — the multi-tenant
+// generalization of the single-application Monitor, using the same
+// RateWindower arithmetic (so zero windows, phase attribution and window
+// semantics are identical).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msgbus/bus.hpp"
+#include "progress/windower.hpp"
+#include "util/time.hpp"
+
+namespace procap::progress {
+
+/// Monitors every application publishing progress on the bus.
+class MonitorHub {
+ public:
+  /// Subscribes `sub` to the "progress/" prefix.  Each discovered
+  /// application gets windows of `window` ns starting at its first
+  /// sample's window boundary (aligned to the hub's construction time).
+  MonitorHub(std::shared_ptr<msgbus::SubSocket> sub,
+             const TimeSource& time_source, Nanos window = kNanosPerSecond);
+
+  /// Drain pending samples and close elapsed windows for every known app.
+  void poll();
+
+  /// Names of all applications seen so far, in discovery order.
+  [[nodiscard]] std::vector<std::string> applications() const;
+
+  /// True once at least one sample from `app` has arrived.
+  [[nodiscard]] bool knows(const std::string& app) const;
+
+  /// Windowed rates for `app`; nullptr if the app has not been seen.
+  [[nodiscard]] const RateWindower* windower(const std::string& app) const;
+
+  /// Most recent closed-window rate for `app` (0 if unknown).
+  [[nodiscard]] double current_rate(const std::string& app) const;
+
+  /// Samples received / discarded as malformed, across all apps.
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
+
+ private:
+  std::shared_ptr<msgbus::SubSocket> sub_;
+  const TimeSource* time_;
+  Nanos window_;
+  Nanos origin_;
+  std::map<std::string, RateWindower> apps_;
+  std::vector<std::string> discovery_order_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace procap::progress

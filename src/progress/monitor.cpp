@@ -1,0 +1,37 @@
+#include "progress/monitor.hpp"
+
+#include <stdexcept>
+
+namespace procap::progress {
+
+Monitor::Monitor(std::shared_ptr<msgbus::SubSocket> sub,
+                 const std::string& app_name, const TimeSource& time_source,
+                 Nanos window)
+    : sub_(std::move(sub)),
+      time_(&time_source),
+      windower_(time_source.now(), window) {
+  if (!sub_) {
+    throw std::invalid_argument("Monitor: null subscriber socket");
+  }
+  sub_->subscribe(progress_topic(app_name));
+}
+
+void Monitor::poll() {
+  while (auto msg = sub_->try_recv()) {
+    const auto sample = decode_sample(msg->payload);
+    if (!sample) {
+      ++malformed_;
+      continue;
+    }
+    ++samples_;
+    // The windower closes windows up to the sample's own timestamp, so
+    // late polls do not smear old samples into newer windows.
+    windower_.add(msg->timestamp, sample->amount, sample->phase);
+    if (sample->phase != kNoPhase) {
+      last_phase_ = sample->phase;
+    }
+  }
+  windower_.close_up_to(time_->now());
+}
+
+}  // namespace procap::progress

@@ -1,0 +1,91 @@
+// monitor.hpp — the monitoring side: samples in, windowed rates out.
+//
+// The Monitor subscribes to one application's progress topic, buckets the
+// incoming samples into fixed windows (default one second, as the paper
+// aggregates), and closes each window into a rate sample:
+//
+//   rate(window) = sum of reported amounts in the window / window length
+//
+// Windows with no samples close at rate zero — which is exactly how the
+// paper's framework manifested dropped reports as zero progress readings
+// for OpenMC (Section V-C); procap reproduces that by pairing the Monitor
+// with a lossy msgbus link.  The Monitor is polled (poll()), so the same
+// code runs under the simulation engine (engine.every) and on a real
+// thread with a sleep loop.
+//
+// For nodes where the application set is not known in advance (a real
+// NRM deployment), see MonitorHub in progress/hub.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "msgbus/bus.hpp"
+#include "progress/sample.hpp"
+#include "progress/windower.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace procap::progress {
+
+/// Windowed progress-rate monitor for one application.
+class Monitor {
+ public:
+  /// Subscribes `sub` to the application's topic.  `time_source` drives
+  /// window boundaries and must match the clock the bus stamps with.
+  Monitor(std::shared_ptr<msgbus::SubSocket> sub, const std::string& app_name,
+          const TimeSource& time_source, Nanos window = kNanosPerSecond);
+
+  /// Drain pending samples and close any windows that have elapsed.
+  /// Call at least once per window (more often is fine).
+  void poll();
+
+  /// Rate series of all closed windows: one sample per window, stamped at
+  /// the window start, value in work units per second.
+  [[nodiscard]] const TimeSeries& rates() const { return windower_.rates(); }
+
+  /// Rate of the most recently closed window (0 before the first closes).
+  [[nodiscard]] double current_rate() const {
+    return windower_.current_rate();
+  }
+
+  /// Streaming stats over all closed windows' rates.
+  [[nodiscard]] const StreamingStats& rate_stats() const {
+    return windower_.stats();
+  }
+
+  /// Total work units observed (sum of all sample amounts).
+  [[nodiscard]] double total_work() const { return windower_.total_work(); }
+
+  /// Count of samples received / discarded as malformed.
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
+
+  /// Closed windows so far.
+  [[nodiscard]] std::uint64_t windows() const { return windower_.windows(); }
+
+  /// Phase tag observed most recently (kNoPhase if none ever seen).
+  [[nodiscard]] int last_phase() const { return last_phase_; }
+
+  /// Per-phase rate series (only phases that appeared; keyed by phase id).
+  /// Each series gets the window's rate attributed to the dominant phase
+  /// of that window.
+  [[nodiscard]] const std::map<int, TimeSeries>& phase_rates() const {
+    return windower_.phase_rates();
+  }
+
+  /// Window length.
+  [[nodiscard]] Nanos window() const { return windower_.window(); }
+
+ private:
+  std::shared_ptr<msgbus::SubSocket> sub_;
+  const TimeSource* time_;
+  RateWindower windower_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t malformed_ = 0;
+  int last_phase_ = kNoPhase;
+};
+
+}  // namespace procap::progress

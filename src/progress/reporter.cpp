@@ -1,0 +1,25 @@
+#include "progress/reporter.hpp"
+
+#include <stdexcept>
+
+namespace procap::progress {
+
+Reporter::Reporter(std::shared_ptr<msgbus::PubSocket> pub,
+                   ReporterConfig config)
+    : pub_(std::move(pub)),
+      config_(std::move(config)),
+      topic_(progress_topic(config_.app_name)) {
+  if (!pub_) {
+    throw std::invalid_argument("Reporter: null publisher socket");
+  }
+  if (config_.app_name.empty()) {
+    throw std::invalid_argument("Reporter: empty application name");
+  }
+}
+
+void Reporter::report(double amount, int phase) {
+  pub_->publish(topic_, encode_sample(ProgressSample{amount, phase}));
+  ++reports_;
+}
+
+}  // namespace procap::progress

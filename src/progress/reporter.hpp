@@ -1,0 +1,61 @@
+// reporter.hpp — the application-side instrumentation API.
+//
+// This is the piece each application in the paper was instrumented with:
+// a lightweight handle placed at the level of the application's natural
+// work loop (timestep, block, batch, GMRES iteration), publishing one
+// sample per unit of completed work over the pub/sub bus.  Keeping the
+// reporter dumb — no aggregation, no windowing — is deliberate: the rate
+// at which progress is *reported* depends only on the application, and all
+// smoothing happens monitor-side (paper Section IV-B).
+//
+// Typical use in an application main loop:
+//
+//   progress::Reporter reporter(broker.make_pub(), {"lammps", "atom-steps"});
+//   for (int step = 0; step < n_steps; ++step) {
+//     run_timestep();
+//     reporter.report(n_atoms);   // atoms * 1 timestep of work
+//   }
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "msgbus/bus.hpp"
+#include "progress/sample.hpp"
+
+namespace procap::progress {
+
+/// Static description of what an application reports.
+struct ReporterConfig {
+  /// Application name; samples publish on topic "progress/<app_name>".
+  std::string app_name;
+  /// Human-readable unit of `amount` (e.g. "blocks", "atom-steps").
+  std::string unit;
+};
+
+/// Publishes progress samples for one application.
+class Reporter {
+ public:
+  Reporter(std::shared_ptr<msgbus::PubSocket> pub, ReporterConfig config);
+
+  /// Report `amount` units of completed work, optionally tagged with the
+  /// application phase that performed it.
+  void report(double amount, int phase = kNoPhase);
+
+  /// Number of samples published.
+  [[nodiscard]] std::uint64_t reports() const { return reports_; }
+
+  [[nodiscard]] const ReporterConfig& config() const { return config_; }
+
+  /// Topic this reporter publishes on.
+  [[nodiscard]] const std::string& topic() const { return topic_; }
+
+ private:
+  std::shared_ptr<msgbus::PubSocket> pub_;
+  ReporterConfig config_;
+  std::string topic_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace procap::progress

@@ -1,0 +1,35 @@
+#include "progress/sample.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace procap::progress {
+
+std::string progress_topic(const std::string& app_name) {
+  return "progress/" + app_name;
+}
+
+std::string encode_sample(const ProgressSample& sample) {
+  // Compact text encoding: "<amount> <phase>".  %.17g round-trips doubles.
+  char buf[64];
+  const int n =
+      std::snprintf(buf, sizeof(buf), "%.17g %d", sample.amount, sample.phase);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<ProgressSample> decode_sample(const std::string& payload) {
+  ProgressSample sample;
+  const char* begin = payload.data();
+  const char* end = begin + payload.size();
+  auto [amount_end, ec1] = std::from_chars(begin, end, sample.amount);
+  if (ec1 != std::errc{} || amount_end == end || *amount_end != ' ') {
+    return std::nullopt;
+  }
+  auto [phase_end, ec2] = std::from_chars(amount_end + 1, end, sample.phase);
+  if (ec2 != std::errc{} || phase_end != end) {
+    return std::nullopt;
+  }
+  return sample;
+}
+
+}  // namespace procap::progress

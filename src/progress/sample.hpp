@@ -1,0 +1,44 @@
+// sample.hpp — the progress sample and its wire encoding.
+//
+// A progress sample says "this much application-defined work completed".
+// The *unit* of work is chosen per application from the paper's Table V —
+// blocks (QMCPACK), particles (OpenMC), GMRES iterations (AMG), atom
+// timesteps (LAMMPS), epochs (CANDLE), loop iterations (STREAM) — and the
+// monitor side turns samples into a rate (work per second) without needing
+// to know the unit's meaning.  `phase` optionally tags which application
+// phase produced the work (QMCPACK's VMC1/VMC2/DMC, OpenMC's
+// inactive/active); kNoPhase means unphased.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace procap::progress {
+
+/// Phase tag for applications that do not report phases.
+inline constexpr int kNoPhase = -1;
+
+/// One progress report from an instrumented application.
+struct ProgressSample {
+  /// Work completed since the previous report, in application units.
+  double amount = 0.0;
+  /// Application phase that produced the work, or kNoPhase.
+  int phase = kNoPhase;
+
+  friend bool operator==(const ProgressSample&, const ProgressSample&) = default;
+};
+
+/// Topic under which an application publishes: "progress/<app>".
+[[nodiscard]] std::string progress_topic(const std::string& app_name);
+
+/// Encode a sample into a message payload.
+[[nodiscard]] std::string encode_sample(const ProgressSample& sample);
+
+/// Decode a payload; returns nullopt for malformed input (the monitor
+/// counts, but does not crash on, garbage from the bus).
+[[nodiscard]] std::optional<ProgressSample> decode_sample(
+    const std::string& payload);
+
+}  // namespace procap::progress

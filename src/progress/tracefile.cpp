@@ -1,0 +1,152 @@
+#include "progress/tracefile.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "progress/sample.hpp"
+
+namespace procap::progress {
+
+struct TraceWriter::Impl {
+  std::shared_ptr<msgbus::SubSocket> sub;
+  std::ofstream file;
+};
+
+TraceWriter::TraceWriter(std::shared_ptr<msgbus::SubSocket> sub,
+                         const std::string& app_name, const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  if (!sub) {
+    throw std::invalid_argument("TraceWriter: null subscriber socket");
+  }
+  impl_->sub = std::move(sub);
+  impl_->sub->subscribe(progress_topic(app_name));
+  impl_->file.open(path, std::ios::trunc);
+  if (!impl_->file) {
+    throw std::runtime_error("TraceWriter: cannot open " + path);
+  }
+  impl_->file << "t_seconds,amount,phase\n";
+}
+
+TraceWriter::~TraceWriter() = default;
+
+void TraceWriter::poll() {
+  while (auto msg = impl_->sub->try_recv()) {
+    const auto sample = decode_sample(msg->payload);
+    if (!sample) {
+      continue;
+    }
+    impl_->file << to_seconds(msg->timestamp) << "," << sample->amount << ","
+                << sample->phase << "\n";
+    ++written_;
+  }
+  impl_->file.flush();
+}
+
+namespace {
+
+[[noreturn]] void bad_row(const std::string& path, std::size_t line) {
+  throw std::invalid_argument("trace " + path + ": malformed row at line " +
+                              std::to_string(line));
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::istringstream stream(line);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) {
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::vector<TraceSample> load_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("load_trace: cannot read " + path);
+  }
+  std::vector<TraceSample> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line_no == 1 && line.rfind("t_seconds", 0) == 0) {
+      continue;  // header
+    }
+    const auto cells = split_csv(line);
+    if (cells.size() != 3) {
+      bad_row(path, line_no);
+    }
+    try {
+      TraceSample sample;
+      sample.t = to_nanos(std::stod(cells[0]));
+      sample.amount = std::stod(cells[1]);
+      sample.phase = std::stoi(cells[2]);
+      trace.push_back(sample);
+    } catch (const std::exception&) {
+      bad_row(path, line_no);
+    }
+  }
+  return trace;
+}
+
+TimeSeries windowed_rates(const std::vector<TraceSample>& trace,
+                          Nanos window) {
+  if (trace.empty()) {
+    return TimeSeries("rate");
+  }
+  // Snap the first window down onto the absolute window grid, so a
+  // replayed trace reproduces the windows a live monitor (started at the
+  // epoch) would have closed.
+  const Nanos start = (trace.front().t / window) * window;
+  RateWindower windower(start, window);
+  for (const TraceSample& sample : trace) {
+    windower.add(sample.t, sample.amount, sample.phase);
+  }
+  // Close the final (partial) window's predecessors; the open window is
+  // discarded, as a live monitor would not have closed it either.
+  windower.close_up_to(trace.back().t);
+  return windower.rates();
+}
+
+TimeSeries load_rates_csv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("load_rates_csv: cannot read " + path);
+  }
+  TimeSeries series("rate");
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line_no == 1 && line.rfind("t_seconds", 0) == 0) {
+      continue;
+    }
+    const auto cells = split_csv(line);
+    if (cells.size() != 2) {
+      throw std::invalid_argument("rates " + path +
+                                  ": malformed row at line " +
+                                  std::to_string(line_no));
+    }
+    try {
+      series.add(to_nanos(std::stod(cells[0])), std::stod(cells[1]));
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("rates " + path +
+                                  ": malformed row at line " +
+                                  std::to_string(line_no));
+    }
+  }
+  return series;
+}
+
+}  // namespace procap::progress

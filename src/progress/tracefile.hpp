@@ -1,0 +1,78 @@
+// tracefile.hpp — recording and replaying progress traces.
+//
+// A deployment does not analyze progress only live: traces get recorded
+// per run and studied offline (every figure in the paper is such a
+// trace).  This module provides
+//
+//   * TraceWriter — the recording side: subscribes like a Monitor and
+//     appends one CSV row per raw sample ("t_seconds,amount,phase");
+//   * load_trace / windowed_rates — the replay side: read a raw trace
+//     back and re-aggregate it into windowed rates with the same
+//     RateWindower arithmetic the live Monitor uses;
+//   * load_rates_csv — read an already-windowed rate series (the format
+//     the power_policy tool's --csv flag writes).
+//
+// The analyze CLI (tools/analyze.cpp) drives consistency, phase and FOM
+// analysis over either format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msgbus/bus.hpp"
+#include "progress/windower.hpp"
+#include "util/series.hpp"
+
+namespace procap::progress {
+
+/// One raw progress observation as stored in a trace file.
+struct TraceSample {
+  Nanos t = 0;
+  double amount = 0.0;
+  int phase = kNoPhase;
+
+  friend bool operator==(const TraceSample&, const TraceSample&) = default;
+};
+
+/// Records one application's raw progress samples to a CSV file.
+class TraceWriter {
+ public:
+  /// Subscribes `sub` to the application's topic and opens `path` for
+  /// writing (truncating).  Throws std::runtime_error if the file cannot
+  /// be opened.
+  TraceWriter(std::shared_ptr<msgbus::SubSocket> sub,
+              const std::string& app_name, const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Drain pending samples to the file.  Call periodically.
+  void poll();
+
+  /// Rows written so far.
+  [[nodiscard]] std::uint64_t written() const { return written_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t written_ = 0;
+};
+
+/// Read a raw trace written by TraceWriter.  Throws std::runtime_error on
+/// unreadable files, std::invalid_argument on malformed rows.
+[[nodiscard]] std::vector<TraceSample> load_trace(const std::string& path);
+
+/// Re-aggregate raw samples into windowed rates (same semantics as a live
+/// Monitor with the given window; windows sit on the absolute grid, i.e.
+/// multiples of `window` from the epoch).  Samples must be time-ordered.
+[[nodiscard]] TimeSeries windowed_rates(const std::vector<TraceSample>& trace,
+                                        Nanos window = kNanosPerSecond);
+
+/// Read a two-column "t_seconds,<name>" rate series (the power_policy
+/// tool's CSV output format).
+[[nodiscard]] TimeSeries load_rates_csv(const std::string& path);
+
+}  // namespace procap::progress

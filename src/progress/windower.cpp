@@ -1,0 +1,50 @@
+#include "progress/windower.hpp"
+
+#include <stdexcept>
+
+namespace procap::progress {
+
+RateWindower::RateWindower(Nanos start, Nanos window)
+    : window_(window), window_start_(start), rates_("rate") {
+  if (window <= 0) {
+    throw std::invalid_argument("RateWindower: window must be positive");
+  }
+}
+
+void RateWindower::close_up_to(Nanos t) {
+  while (window_start_ + window_ <= t) {
+    const double rate = open_amount_ / to_seconds(window_);
+    rates_.add(window_start_, rate);
+    stats_.add(rate);
+    current_ = rate;
+
+    if (!open_phase_amount_.empty()) {
+      int dominant = kNoPhase;
+      double best = -1.0;
+      for (const auto& [phase, amount] : open_phase_amount_) {
+        if (amount > best) {
+          best = amount;
+          dominant = phase;
+        }
+      }
+      auto [it, inserted] = phase_rates_.try_emplace(
+          dominant, TimeSeries("rate_phase_" + std::to_string(dominant)));
+      it->second.add(window_start_, rate);
+    }
+
+    open_amount_ = 0.0;
+    open_phase_amount_.clear();
+    window_start_ += window_;
+  }
+}
+
+void RateWindower::add(Nanos t, double amount, int phase) {
+  close_up_to(t);
+  open_amount_ += amount;
+  total_ += amount;
+  if (phase != kNoPhase) {
+    open_phase_amount_[phase] += amount;
+  }
+}
+
+}  // namespace procap::progress

@@ -1,0 +1,71 @@
+// windower.hpp — fixed-window rate aggregation.
+//
+// The core arithmetic shared by the single-application Monitor and the
+// auto-discovering MonitorHub: timestamped work amounts in, one rate
+// sample per elapsed window out (empty windows close at rate zero —
+// which is how the paper's framework surfaced dropped reports as zero
+// progress, Section V-C).  Optionally attributes each window to the
+// dominant phase among its samples.
+#pragma once
+
+#include <map>
+
+#include "progress/sample.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+
+namespace procap::progress {
+
+/// Buckets (time, amount) observations into fixed windows.
+class RateWindower {
+ public:
+  /// Windows are [start + k*window, start + (k+1)*window).
+  RateWindower(Nanos start, Nanos window);
+
+  /// Record `amount` units of work at time `t`.  Windows ending at or
+  /// before `t` are closed first, so out-of-poll-order delivery within a
+  /// window is handled but `t` must not precede an already-closed window.
+  void add(Nanos t, double amount, int phase = kNoPhase);
+
+  /// Close every window that ends at or before `t` (zero-filling empty
+  /// ones).
+  void close_up_to(Nanos t);
+
+  /// One sample per closed window, value in units/second.
+  [[nodiscard]] const TimeSeries& rates() const { return rates_; }
+
+  /// Rate of the most recently closed window (0 before the first).
+  [[nodiscard]] double current_rate() const { return current_; }
+
+  /// Stats over all closed windows' rates.
+  [[nodiscard]] const StreamingStats& stats() const { return stats_; }
+
+  /// Total work recorded (closed and open windows).
+  [[nodiscard]] double total_work() const { return total_; }
+
+  /// Closed windows so far.
+  [[nodiscard]] std::uint64_t windows() const { return rates_.size(); }
+
+  /// Per-phase rate series: each closed window's rate attributed to the
+  /// phase with the largest amount in that window (phaseless windows are
+  /// not attributed).
+  [[nodiscard]] const std::map<int, TimeSeries>& phase_rates() const {
+    return phase_rates_;
+  }
+
+  /// Window length.
+  [[nodiscard]] Nanos window() const { return window_; }
+
+ private:
+  Nanos window_;
+  Nanos window_start_;
+  double open_amount_ = 0.0;
+  std::map<int, double> open_phase_amount_;
+  TimeSeries rates_;
+  std::map<int, TimeSeries> phase_rates_;
+  StreamingStats stats_;
+  double current_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace procap::progress

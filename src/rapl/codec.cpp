@@ -1,0 +1,144 @@
+#include "rapl/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace procap::rapl {
+
+namespace {
+constexpr std::uint64_t kPowerMask = 0x7FFF;     // bits 14:0
+constexpr std::uint64_t kEnableBit = 1ULL << 15;
+constexpr std::uint64_t kClampBit = 1ULL << 16;
+constexpr std::uint64_t kLockBit = 1ULL << 63;
+
+double pow2(int n) { return std::ldexp(1.0, n); }
+}  // namespace
+
+RaplUnits RaplUnits::decode(std::uint64_t raw) {
+  RaplUnits units;
+  const auto power_exp = static_cast<int>(raw & 0xF);
+  const auto energy_exp = static_cast<int>((raw >> 8) & 0x1F);
+  const auto time_exp = static_cast<int>((raw >> 16) & 0xF);
+  units.power_unit = 1.0 / pow2(power_exp);
+  units.energy_unit = 1.0 / pow2(energy_exp);
+  units.time_unit = 1.0 / pow2(time_exp);
+  return units;
+}
+
+std::uint64_t RaplUnits::encode(unsigned power_exp, unsigned energy_exp,
+                                unsigned time_exp) {
+  if (power_exp > 0xF || energy_exp > 0x1F || time_exp > 0xF) {
+    throw std::invalid_argument("RaplUnits::encode: exponent out of range");
+  }
+  return static_cast<std::uint64_t>(power_exp) |
+         (static_cast<std::uint64_t>(energy_exp) << 8) |
+         (static_cast<std::uint64_t>(time_exp) << 16);
+}
+
+RaplUnits RaplUnits::skylake() {
+  // Power 1/2^3 W, energy 1/2^14 J, time 1/2^10 s.
+  return decode(encode(3, 14, 10));
+}
+
+std::uint8_t encode_time_window(Seconds seconds, const RaplUnits& units) {
+  if (seconds <= 0.0) {
+    return 0;
+  }
+  const double target = seconds / units.time_unit;
+  double best_err = std::numeric_limits<double>::infinity();
+  std::uint8_t best = 0;
+  for (unsigned y = 0; y < 32; ++y) {
+    for (unsigned z = 0; z < 4; ++z) {
+      const double value = pow2(static_cast<int>(y)) * (1.0 + z / 4.0);
+      const double err = std::abs(value - target);
+      if (err < best_err) {
+        best_err = err;
+        best = static_cast<std::uint8_t>(y | (z << 5));
+      }
+    }
+  }
+  return best;
+}
+
+Seconds decode_time_window(std::uint8_t bits, const RaplUnits& units) {
+  const unsigned y = bits & 0x1F;
+  const unsigned z = (bits >> 5) & 0x3;
+  return pow2(static_cast<int>(y)) * (1.0 + z / 4.0) * units.time_unit;
+}
+
+namespace {
+std::uint64_t encode_half(const PowerLimit& limit, const RaplUnits& units) {
+  const double raw_power = std::clamp(
+      std::round(limit.power / units.power_unit), 0.0,
+      static_cast<double>(kPowerMask));
+  std::uint64_t half = static_cast<std::uint64_t>(raw_power) & kPowerMask;
+  if (limit.enabled) {
+    half |= kEnableBit;
+  }
+  if (limit.clamped) {
+    half |= kClampBit;
+  }
+  half |= static_cast<std::uint64_t>(encode_time_window(limit.time_window,
+                                                        units))
+          << 17;
+  return half;
+}
+
+PowerLimit decode_half(std::uint64_t half, const RaplUnits& units) {
+  PowerLimit limit;
+  limit.power = static_cast<double>(half & kPowerMask) * units.power_unit;
+  limit.enabled = (half & kEnableBit) != 0;
+  limit.clamped = (half & kClampBit) != 0;
+  limit.time_window =
+      decode_time_window(static_cast<std::uint8_t>((half >> 17) & 0x7F), units);
+  return limit;
+}
+}  // namespace
+
+std::uint64_t PkgPowerLimit::encode(const RaplUnits& units) const {
+  std::uint64_t raw = encode_half(pl1, units) | (encode_half(pl2, units) << 32);
+  if (locked) {
+    raw |= kLockBit;
+  }
+  return raw;
+}
+
+PkgPowerLimit PkgPowerLimit::decode(std::uint64_t raw, const RaplUnits& units) {
+  PkgPowerLimit limit;
+  limit.pl1 = decode_half(raw & 0xFFFFFFFFULL, units);
+  limit.pl2 = decode_half((raw >> 32) & 0x7FFFFFFFULL, units);
+  limit.locked = (raw & kLockBit) != 0;
+  return limit;
+}
+
+std::uint32_t encode_energy(Joules joules, const RaplUnits& units) {
+  // Total energy grows without bound; the counter keeps the low 32 bits.
+  const double raw_units = std::floor(joules / units.energy_unit);
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(raw_units) & 0xFFFFFFFFULL);
+}
+
+Joules decode_energy(std::uint32_t raw, const RaplUnits& units) {
+  return static_cast<double>(raw) * units.energy_unit;
+}
+
+Joules EnergyAccumulator::sample(std::uint32_t raw) {
+  if (!primed_) {
+    primed_ = true;
+    last_ = raw;
+    return 0.0;
+  }
+  // Unsigned subtraction handles a single wraparound between samples.
+  const std::uint32_t delta = raw - last_;
+  if (raw < last_) {
+    ++wraps_;
+  }
+  last_ = raw;
+  const Joules joules = decode_energy(delta, units_);
+  total_ += joules;
+  return joules;
+}
+
+}  // namespace procap::rapl

@@ -1,0 +1,107 @@
+// codec.hpp — encode/decode of RAPL register contents.
+//
+// Bit layouts follow the Intel SDM Vol. 3B "Power and Thermal Management"
+// chapter.  These codecs are pure functions of register values, shared by
+// the user-side RaplInterface (decoding what it reads) and the emulated
+// hardware (encoding what it exposes), and are unit-tested by round-trip
+// property sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace procap::rapl {
+
+/// Unit scales advertised in MSR_RAPL_POWER_UNIT.  Each field of the MSR
+/// is an exponent n meaning "one unit = 1 / 2^n" of the base quantity:
+///   bits  3:0  power unit    (watts)
+///   bits 12:8  energy unit   (joules)
+///   bits 19:16 time unit     (seconds)
+struct RaplUnits {
+  Watts power_unit = 0.125;         ///< value of one power LSB
+  Joules energy_unit = 6.103515625e-5;  ///< value of one energy LSB
+  Seconds time_unit = 9.765625e-4;  ///< value of one time LSB
+
+  /// Decode from a raw MSR_RAPL_POWER_UNIT value.
+  [[nodiscard]] static RaplUnits decode(std::uint64_t raw);
+
+  /// Encode exponents into a raw MSR_RAPL_POWER_UNIT value.
+  [[nodiscard]] static std::uint64_t encode(unsigned power_exp,
+                                            unsigned energy_exp,
+                                            unsigned time_exp);
+
+  /// Skylake-server defaults: 1/8 W, ~61 uJ, ~0.98 ms.
+  [[nodiscard]] static RaplUnits skylake();
+};
+
+/// One power limit (PL1 or PL2): a power bound over a time window.
+struct PowerLimit {
+  Watts power = 0.0;
+  Seconds time_window = 0.0;
+  bool enabled = false;
+  /// "Clamping": allow the processor to go below requested P-states.
+  bool clamped = false;
+
+  friend bool operator==(const PowerLimit&, const PowerLimit&) = default;
+};
+
+/// Full MSR_PKG_POWER_LIMIT contents: PL1 (bits 23:0), PL2 (bits 55:32),
+/// lock (bit 63).  Within each half:
+///   bits 14:0  power in power units
+///   bit  15    enable
+///   bit  16    clamping
+///   bits 23:17 time window, encoded as 2^Y * (1 + Z/4) time units with
+///              Y = bits 21:17 and Z = bits 23:22.
+struct PkgPowerLimit {
+  PowerLimit pl1;
+  PowerLimit pl2;
+  bool locked = false;
+
+  [[nodiscard]] std::uint64_t encode(const RaplUnits& units) const;
+  [[nodiscard]] static PkgPowerLimit decode(std::uint64_t raw,
+                                            const RaplUnits& units);
+};
+
+/// Encode a time window into the 7-bit (Y, Z) float format; picks the
+/// closest representable value.  `seconds` <= 0 encodes as 0.
+[[nodiscard]] std::uint8_t encode_time_window(Seconds seconds,
+                                              const RaplUnits& units);
+
+/// Decode the 7-bit (Y, Z) time-window float.
+[[nodiscard]] Seconds decode_time_window(std::uint8_t bits,
+                                         const RaplUnits& units);
+
+/// Convert joules to a 32-bit energy-status counter value (wraps).
+[[nodiscard]] std::uint32_t encode_energy(Joules joules,
+                                          const RaplUnits& units);
+
+/// Convert a raw energy-status counter value to joules.
+[[nodiscard]] Joules decode_energy(std::uint32_t raw, const RaplUnits& units);
+
+/// Tracks a wrapping 32-bit energy counter and accumulates total joules.
+/// Correct as long as it is sampled at least once per wrap period (hours
+/// at node power levels with the default 61 uJ unit).
+class EnergyAccumulator {
+ public:
+  explicit EnergyAccumulator(const RaplUnits& units) : units_(units) {}
+
+  /// Feed the next raw counter reading; returns the joules consumed since
+  /// the previous reading (0 for the first).
+  Joules sample(std::uint32_t raw);
+
+  /// Total joules accumulated across all samples.
+  [[nodiscard]] Joules total() const noexcept { return total_; }
+
+  /// Number of counter wraparounds observed.
+  [[nodiscard]] unsigned wraps() const noexcept { return wraps_; }
+
+ private:
+  RaplUnits units_;
+  bool primed_ = false;
+  std::uint32_t last_ = 0;
+  Joules total_ = 0.0;
+  unsigned wraps_ = 0;
+};
+
+}  // namespace procap::rapl

@@ -1,0 +1,222 @@
+#include "rapl/rapl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "msr/addresses.hpp"
+
+namespace procap::rapl {
+
+namespace {
+constexpr double kBusClockHz = 100e6;  // 100 MHz reference clock
+}
+
+std::uint64_t encode_perf_ctl(Hertz f) {
+  const double ratio = std::clamp(std::round(f / kBusClockHz), 1.0, 255.0);
+  return static_cast<std::uint64_t>(ratio) << 8;
+}
+
+Hertz decode_perf_status(std::uint64_t raw) {
+  return static_cast<double>((raw >> 8) & 0xFF) * kBusClockHz;
+}
+
+std::uint64_t encode_clock_modulation(double duty) {
+  if (duty <= 0.0 || duty > 1.0) {
+    throw std::invalid_argument("encode_clock_modulation: duty out of (0,1]");
+  }
+  if (duty >= 1.0) {
+    return 0;  // modulation disabled
+  }
+  // Extended format: level n in bits 3:0 selects duty n/16; level 0 is
+  // reserved, so the lowest programmable duty is 1/16 = 6.25 %.
+  const auto level = static_cast<std::uint64_t>(
+      std::clamp(std::round(duty * 16.0), 1.0, 15.0));
+  return level | (1ULL << 4);
+}
+
+double decode_clock_modulation(std::uint64_t raw) {
+  if ((raw & (1ULL << 4)) == 0) {
+    return 1.0;
+  }
+  const auto level = raw & 0xF;
+  return level == 0 ? 1.0 : static_cast<double>(level) / 16.0;
+}
+
+RaplInterface::RaplInterface(msr::MsrDevice& device,
+                             const TimeSource& time_source,
+                             std::vector<unsigned> package_leaders)
+    : dev_(device), time_(time_source), leaders_(std::move(package_leaders)) {
+  if (leaders_.empty()) {
+    throw std::invalid_argument("RaplInterface: need at least one package");
+  }
+  state_.reserve(leaders_.size());
+  for (const unsigned cpu : leaders_) {
+    const auto units =
+        RaplUnits::decode(dev_.read(cpu, msr::kMsrRaplPowerUnit));
+    state_.emplace_back(units);
+  }
+  // Prime the energy accumulators and power meters so the first user
+  // reads return deltas from construction, not from a zero sentinel.
+  for (unsigned pkg = 0; pkg < leaders_.size(); ++pkg) {
+    const Joules energy = pkg_energy(pkg);
+    state_[pkg].power_primed = true;
+    state_[pkg].last_power_read = time_.now();
+    state_[pkg].last_power_energy = energy;
+    const Joules dram = dram_energy(pkg);
+    state_[pkg].dram_power_primed = true;
+    state_[pkg].dram_last_read = time_.now();
+    state_[pkg].dram_last_energy = dram;
+  }
+}
+
+void RaplInterface::check_pkg(unsigned pkg) const {
+  if (pkg >= leaders_.size()) {
+    throw std::out_of_range("RaplInterface: package index out of range");
+  }
+}
+
+const RaplUnits& RaplInterface::units(unsigned pkg) const {
+  check_pkg(pkg);
+  return state_[pkg].units;
+}
+
+Joules RaplInterface::pkg_energy(unsigned pkg) {
+  check_pkg(pkg);
+  const auto raw = static_cast<std::uint32_t>(
+      dev_.read(leaders_[pkg], msr::kMsrPkgEnergyStatus) & 0xFFFFFFFFULL);
+  state_[pkg].energy.sample(raw);
+  return state_[pkg].energy.total();
+}
+
+Watts RaplInterface::pkg_power(unsigned pkg) {
+  check_pkg(pkg);
+  const Joules energy = pkg_energy(pkg);
+  const Nanos now = time_.now();
+  PackageState& st = state_[pkg];
+  if (!st.power_primed) {
+    st.power_primed = true;
+    st.last_power_read = now;
+    st.last_power_energy = energy;
+    return 0.0;
+  }
+  const Seconds dt = to_seconds(now - st.last_power_read);
+  const Joules de = energy - st.last_power_energy;
+  st.last_power_read = now;
+  st.last_power_energy = energy;
+  return dt > 0.0 ? de / dt : 0.0;
+}
+
+Joules RaplInterface::dram_energy(unsigned pkg) {
+  check_pkg(pkg);
+  const auto raw = static_cast<std::uint32_t>(
+      dev_.read(leaders_[pkg], msr::kMsrDramEnergyStatus) & 0xFFFFFFFFULL);
+  state_[pkg].dram_energy.sample(raw);
+  return state_[pkg].dram_energy.total();
+}
+
+Watts RaplInterface::dram_power(unsigned pkg) {
+  check_pkg(pkg);
+  const Joules energy = dram_energy(pkg);
+  const Nanos now = time_.now();
+  PackageState& st = state_[pkg];
+  if (!st.dram_power_primed) {
+    st.dram_power_primed = true;
+    st.dram_last_read = now;
+    st.dram_last_energy = energy;
+    return 0.0;
+  }
+  const Seconds dt = to_seconds(now - st.dram_last_read);
+  const Joules de = energy - st.dram_last_energy;
+  st.dram_last_read = now;
+  st.dram_last_energy = energy;
+  return dt > 0.0 ? de / dt : 0.0;
+}
+
+void RaplInterface::set_dram_cap(Watts cap, Seconds window, unsigned pkg) {
+  check_pkg(pkg);
+  if (cap <= 0.0) {
+    throw std::invalid_argument("set_dram_cap: cap must be positive");
+  }
+  PkgPowerLimit limit = dram_limit(pkg);
+  limit.pl1.power = cap;
+  limit.pl1.time_window = window;
+  limit.pl1.enabled = true;
+  limit.pl1.clamped = true;
+  dev_.write(leaders_[pkg], msr::kMsrDramPowerLimit,
+             limit.encode(state_[pkg].units) & 0xFFFFFFFFULL);
+}
+
+void RaplInterface::clear_dram_cap(unsigned pkg) {
+  check_pkg(pkg);
+  PkgPowerLimit limit = dram_limit(pkg);
+  limit.pl1.enabled = false;
+  dev_.write(leaders_[pkg], msr::kMsrDramPowerLimit,
+             limit.encode(state_[pkg].units) & 0xFFFFFFFFULL);
+}
+
+PkgPowerLimit RaplInterface::dram_limit(unsigned pkg) {
+  check_pkg(pkg);
+  return PkgPowerLimit::decode(
+      dev_.read(leaders_[pkg], msr::kMsrDramPowerLimit) & 0xFFFFFFFFULL,
+      state_[pkg].units);
+}
+
+void RaplInterface::set_pkg_cap(Watts cap, Seconds window, unsigned pkg) {
+  check_pkg(pkg);
+  if (cap <= 0.0) {
+    throw std::invalid_argument("set_pkg_cap: cap must be positive");
+  }
+  PkgPowerLimit limit =
+      PkgPowerLimit::decode(dev_.read(leaders_[pkg], msr::kMsrPkgPowerLimit),
+                            state_[pkg].units);
+  limit.pl1.power = cap;
+  limit.pl1.time_window = window;
+  limit.pl1.enabled = true;
+  limit.pl1.clamped = true;
+  dev_.write(leaders_[pkg], msr::kMsrPkgPowerLimit,
+             limit.encode(state_[pkg].units));
+}
+
+void RaplInterface::clear_pkg_cap(unsigned pkg) {
+  check_pkg(pkg);
+  PkgPowerLimit limit =
+      PkgPowerLimit::decode(dev_.read(leaders_[pkg], msr::kMsrPkgPowerLimit),
+                            state_[pkg].units);
+  limit.pl1.enabled = false;
+  limit.pl1.clamped = false;
+  dev_.write(leaders_[pkg], msr::kMsrPkgPowerLimit,
+             limit.encode(state_[pkg].units));
+}
+
+PkgPowerLimit RaplInterface::pkg_limit(unsigned pkg) {
+  check_pkg(pkg);
+  return PkgPowerLimit::decode(
+      dev_.read(leaders_[pkg], msr::kMsrPkgPowerLimit), state_[pkg].units);
+}
+
+void RaplInterface::set_frequency(Hertz f, unsigned pkg) {
+  check_pkg(pkg);
+  // Write the leader; the emulated package applies P-states package-wide,
+  // matching the per-package frequency domains of the paper's Skylake.
+  dev_.write(leaders_[pkg], msr::kIa32PerfCtl, encode_perf_ctl(f));
+}
+
+Hertz RaplInterface::frequency(unsigned pkg) {
+  check_pkg(pkg);
+  return decode_perf_status(dev_.read(leaders_[pkg], msr::kIa32PerfStatus));
+}
+
+void RaplInterface::set_clock_modulation(double duty, unsigned pkg) {
+  check_pkg(pkg);
+  dev_.write(leaders_[pkg], msr::kIa32ClockModulation,
+             encode_clock_modulation(duty));
+}
+
+double RaplInterface::clock_modulation(unsigned pkg) {
+  check_pkg(pkg);
+  return decode_clock_modulation(
+      dev_.read(leaders_[pkg], msr::kIa32ClockModulation));
+}
+
+}  // namespace procap::rapl

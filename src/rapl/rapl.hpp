@@ -1,0 +1,131 @@
+// rapl.hpp — libmsr-style user interface to RAPL and DVFS controls.
+//
+// This is the layer the power-policy daemon talks to: it hides register
+// addresses, unit conversion, energy-counter wraparound and P-state ratio
+// encoding behind watts/hertz/seconds.  It works over any MsrDevice — the
+// emulated one in this repository, or (unchanged) a real msr-safe device.
+//
+// The node is modeled as one or more packages; per-package registers are
+// accessed through the package's first ("leader") logical CPU, as libmsr
+// does on multi-socket nodes.
+#pragma once
+
+#include <vector>
+
+#include "msr/device.hpp"
+#include "rapl/codec.hpp"
+#include "util/time.hpp"
+
+namespace procap::rapl {
+
+/// High-level RAPL + P-state access over an MsrDevice.
+class RaplInterface {
+ public:
+  /// `device` and `time_source` must outlive the interface.
+  /// `package_leaders` lists the first logical CPU of each package;
+  /// defaults to a single package led by CPU 0.
+  RaplInterface(msr::MsrDevice& device, const TimeSource& time_source,
+                std::vector<unsigned> package_leaders = {0});
+
+  /// Number of packages managed.
+  [[nodiscard]] unsigned packages() const {
+    return static_cast<unsigned>(leaders_.size());
+  }
+
+  /// Unit scales advertised by the package (read once and cached).
+  [[nodiscard]] const RaplUnits& units(unsigned pkg = 0) const;
+
+  // -- Energy / power measurement ------------------------------------
+
+  /// Total package energy consumed since construction, wrap-corrected.
+  [[nodiscard]] Joules pkg_energy(unsigned pkg = 0);
+
+  /// Average package power since the previous call to pkg_power() (or
+  /// since construction on the first call).  This is how libmsr-based
+  /// tools derive power: successive energy-counter reads over time.
+  [[nodiscard]] Watts pkg_power(unsigned pkg = 0);
+
+  // -- DRAM domain -------------------------------------------------------
+
+  /// Total DRAM energy consumed since construction, wrap-corrected.
+  [[nodiscard]] Joules dram_energy(unsigned pkg = 0);
+
+  /// Average DRAM power since the previous call to dram_power().
+  [[nodiscard]] Watts dram_power(unsigned pkg = 0);
+
+  /// Program the DRAM-domain limit to `cap` watts.
+  void set_dram_cap(Watts cap, Seconds window = 0.04, unsigned pkg = 0);
+
+  /// Disable the DRAM-domain limit.
+  void clear_dram_cap(unsigned pkg = 0);
+
+  /// Read back the currently programmed DRAM limit.
+  [[nodiscard]] PkgPowerLimit dram_limit(unsigned pkg = 0);
+
+  // -- Power capping ---------------------------------------------------
+
+  /// Program PL1 to `cap` watts over `window` seconds (enabled, clamped).
+  void set_pkg_cap(Watts cap, Seconds window = 0.01, unsigned pkg = 0);
+
+  /// Disable the PL1 power limit (uncapped operation).
+  void clear_pkg_cap(unsigned pkg = 0);
+
+  /// Read back the currently programmed package limit.
+  [[nodiscard]] PkgPowerLimit pkg_limit(unsigned pkg = 0);
+
+  // -- DVFS (P-state) and clock modulation (T-state) --------------------
+
+  /// Request a fixed P-state on every CPU of `pkg`.  The frequency is
+  /// encoded as a 100 MHz bus ratio in IA32_PERF_CTL bits 15:8.
+  void set_frequency(Hertz f, unsigned pkg = 0);
+
+  /// Resolved operating frequency reported by IA32_PERF_STATUS on the
+  /// package leader.
+  [[nodiscard]] Hertz frequency(unsigned pkg = 0);
+
+  /// Program on-demand clock modulation: `duty` in (0, 1]; 1 disables
+  /// modulation.  Uses the extended 6.25 %-granularity encoding.
+  void set_clock_modulation(double duty, unsigned pkg = 0);
+
+  /// Currently programmed clock-modulation duty (1.0 when disabled).
+  [[nodiscard]] double clock_modulation(unsigned pkg = 0);
+
+ private:
+  struct PackageState {
+    RaplUnits units;
+    EnergyAccumulator energy;
+    EnergyAccumulator dram_energy;
+    bool power_primed = false;
+    Nanos last_power_read = 0;
+    Joules last_power_energy = 0.0;
+    bool dram_power_primed = false;
+    Nanos dram_last_read = 0;
+    Joules dram_last_energy = 0.0;
+
+    explicit PackageState(const RaplUnits& u)
+        : units(u), energy(u), dram_energy(u) {}
+  };
+
+  void check_pkg(unsigned pkg) const;
+
+  msr::MsrDevice& dev_;
+  const TimeSource& time_;
+  std::vector<unsigned> leaders_;
+  std::vector<PackageState> state_;
+};
+
+/// Encode a frequency as an IA32_PERF_CTL value (ratio of 100 MHz in
+/// bits 15:8); exposed for tests.
+[[nodiscard]] std::uint64_t encode_perf_ctl(Hertz f);
+
+/// Decode an IA32_PERF_STATUS / PERF_CTL value to a frequency.
+[[nodiscard]] Hertz decode_perf_status(std::uint64_t raw);
+
+/// Encode a duty fraction into IA32_CLOCK_MODULATION (extended format:
+/// enable bit 4, duty level in bits 3:0, granularity 6.25%).
+[[nodiscard]] std::uint64_t encode_clock_modulation(double duty);
+
+/// Decode IA32_CLOCK_MODULATION to a duty fraction (1.0 when disabled).
+[[nodiscard]] double decode_clock_modulation(std::uint64_t raw);
+
+}  // namespace procap::rapl

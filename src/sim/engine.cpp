@@ -1,0 +1,84 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procap::sim {
+
+Engine::Engine(Nanos dt) : dt_(dt) {
+  if (dt <= 0) {
+    throw std::invalid_argument("Engine: dt must be positive");
+  }
+}
+
+void Engine::add(Component& component) { components_.push_back(&component); }
+
+void Engine::at(Nanos t, std::function<void(Nanos)> fn) {
+  if (t < clock_.now()) {
+    throw std::invalid_argument("Engine::at: time in the past");
+  }
+  events_.push(Event{t, next_seq_++, 0, 0, std::move(fn)});
+}
+
+std::uint64_t Engine::every(Nanos period, std::function<void(Nanos)> fn,
+                            Nanos phase) {
+  if (period <= 0) {
+    throw std::invalid_argument("Engine::every: period must be positive");
+  }
+  const std::uint64_t id = next_id_++;
+  events_.push(Event{clock_.now() + phase, next_seq_++, id, period,
+                     std::move(fn)});
+  return id;
+}
+
+void Engine::cancel(std::uint64_t id) {
+  if (id != 0) {
+    cancelled_.push_back(id);
+  }
+}
+
+void Engine::tick() {
+  const Nanos now = clock_.now();
+  // 1. Fire due events.
+  while (!events_.empty() && events_.top().due <= now) {
+    Event ev = events_.top();
+    events_.pop();
+    if (ev.id != 0 &&
+        std::find(cancelled_.begin(), cancelled_.end(), ev.id) !=
+            cancelled_.end()) {
+      continue;  // periodic event cancelled; drop without re-arming
+    }
+    ev.fn(now);
+    if (ev.period > 0) {
+      events_.push(Event{ev.due + ev.period, next_seq_++, ev.id, ev.period,
+                         std::move(ev.fn)});
+    }
+  }
+  // 2. Step components.
+  for (Component* c : components_) {
+    c->step(now, dt_);
+  }
+  // 3. Advance time.
+  clock_.advance(dt_);
+  ++ticks_;
+}
+
+void Engine::run_for(Nanos duration) {
+  const Nanos end = clock_.now() + duration;
+  while (clock_.now() < end) {
+    tick();
+  }
+}
+
+bool Engine::run_until(const std::function<bool()>& stop, Nanos max_duration) {
+  const Nanos end = clock_.now() + max_duration;
+  while (clock_.now() < end) {
+    if (stop()) {
+      return true;
+    }
+    tick();
+  }
+  return stop();
+}
+
+}  // namespace procap::sim

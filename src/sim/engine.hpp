@@ -1,0 +1,100 @@
+// engine.hpp — fixed-step discrete-time simulation engine.
+//
+// The hardware substrate integrates power and executes workload segments
+// in fixed ticks (default 1 ms, matching the granularity of RAPL's own
+// control loop).  The engine owns the simulated clock; everything else —
+// the message bus, progress monitors, the power-policy daemon — takes the
+// clock as a TimeSource, so the identical component code also runs on
+// wall-clock time outside the simulator.
+//
+// Tick semantics at time t:
+//   1. scheduled events with due <= t fire (in due order, FIFO for ties);
+//   2. components step over [t, t + dt), in registration order;
+//   3. the clock advances to t + dt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace procap::sim {
+
+/// Anything stepped by the engine each tick.
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Advance the component over the interval [now, now + dt).
+  virtual void step(Nanos now, Nanos dt) = 0;
+};
+
+/// Fixed-step simulation driver.
+class Engine {
+ public:
+  /// `dt` is the tick length; must be positive.
+  explicit Engine(Nanos dt = msec(1));
+
+  /// Simulation clock, usable anywhere a TimeSource is needed.
+  [[nodiscard]] const TimeSource& time() const { return clock_; }
+
+  /// Current simulation time.
+  [[nodiscard]] Nanos now() const { return clock_.now(); }
+
+  /// Tick length.
+  [[nodiscard]] Nanos dt() const { return dt_; }
+
+  /// Register a component; it is stepped every tick, in registration
+  /// order, for the lifetime of the engine.  Not owned.
+  void add(Component& component);
+
+  /// Schedule `fn` once at absolute time `t` (>= now).
+  void at(Nanos t, std::function<void(Nanos)> fn);
+
+  /// Schedule `fn` every `period` ns, first firing at now + phase.
+  /// Returns an id usable with cancel().
+  std::uint64_t every(Nanos period, std::function<void(Nanos)> fn,
+                      Nanos phase = 0);
+
+  /// Cancel a periodic callback; pending one-shot firings are dropped.
+  void cancel(std::uint64_t id);
+
+  /// Run for `duration` ns of simulated time.
+  void run_for(Nanos duration);
+
+  /// Run until `stop()` returns true (checked each tick) or `max_duration`
+  /// elapses.  Returns true if the predicate stopped the run.
+  bool run_until(const std::function<bool()>& stop, Nanos max_duration);
+
+  /// Total ticks executed.
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  struct Event {
+    Nanos due;
+    std::uint64_t seq;       // FIFO tie-break
+    std::uint64_t id;        // periodic id, 0 for one-shot
+    Nanos period;            // 0 for one-shot
+    std::function<void(Nanos)> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+    }
+  };
+
+  void tick();
+
+  Nanos dt_;
+  ManualTimeSource clock_;
+  std::vector<Component*> components_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace procap::sim

@@ -1,0 +1,47 @@
+// log.hpp — minimal leveled logging.
+//
+// Daemons and monitors report state transitions here; benches run with the
+// default (warning) level so experiment output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace procap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// Stream-style one-shot logger: `Logger(kInfo).stream() << "x=" << x;`
+/// flushes on destruction.
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  ~Logger() { log_message(level_, os_.str()); }
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace procap
+
+#define PROCAP_LOG(level)                      \
+  if (::procap::log_level() <= (level))        \
+  ::procap::detail::Logger(level).stream()
+
+#define PROCAP_DEBUG PROCAP_LOG(::procap::LogLevel::kDebug)
+#define PROCAP_INFO PROCAP_LOG(::procap::LogLevel::kInfo)
+#define PROCAP_WARN PROCAP_LOG(::procap::LogLevel::kWarn)
+#define PROCAP_ERROR PROCAP_LOG(::procap::LogLevel::kError)

@@ -1,0 +1,79 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// Simulation experiments must be exactly reproducible across platforms and
+// standard-library versions, so procap carries its own generator instead of
+// relying on std::mt19937 + distribution implementations:
+//   * SplitMix64 for seeding,
+//   * xoshiro256** (Blackman & Vigna) as the workhorse generator,
+//   * explicit uniform / normal / exponential draws with documented math.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace procap {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed from a single 64-bit value (expanded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal draw (Marsaglia polar method; caches the pair).
+  double normal();
+
+  /// Normal draw with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential draw with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  /// Fork a statistically independent child generator (for per-worker
+  /// streams).  Derived from this generator's output, so a (seed, index)
+  /// pair always produces the same child stream.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace procap

@@ -1,0 +1,106 @@
+#include "util/series.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace procap {
+
+void TimeSeries::add(Nanos t, double value) {
+  if (!samples_.empty() && t < samples_.back().t) {
+    throw std::invalid_argument("TimeSeries::add: time moved backwards");
+  }
+  samples_.push_back(Sample{t, value});
+}
+
+Nanos TimeSeries::start_time() const {
+  if (samples_.empty()) {
+    throw std::out_of_range("TimeSeries::start_time: empty series");
+  }
+  return samples_.front().t;
+}
+
+Nanos TimeSeries::end_time() const {
+  if (samples_.empty()) {
+    throw std::out_of_range("TimeSeries::end_time: empty series");
+  }
+  return samples_.back().t;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(s.value);
+  }
+  return out;
+}
+
+namespace {
+// Iterator range of samples with t in [t0, t1), relying on sorted order.
+auto range_in(const std::vector<Sample>& samples, Nanos t0, Nanos t1) {
+  const auto lo = std::lower_bound(
+      samples.begin(), samples.end(), t0,
+      [](const Sample& s, Nanos t) { return s.t < t; });
+  const auto hi = std::lower_bound(
+      lo, samples.end(), t1, [](const Sample& s, Nanos t) { return s.t < t; });
+  return std::pair{lo, hi};
+}
+}  // namespace
+
+TimeSeries TimeSeries::slice(Nanos t0, Nanos t1) const {
+  TimeSeries out(name_);
+  const auto [lo, hi] = range_in(samples_, t0, t1);
+  for (auto it = lo; it != hi; ++it) {
+    out.samples_.push_back(*it);
+  }
+  return out;
+}
+
+double TimeSeries::sum_in(Nanos t0, Nanos t1) const {
+  const auto [lo, hi] = range_in(samples_, t0, t1);
+  double s = 0.0;
+  for (auto it = lo; it != hi; ++it) {
+    s += it->value;
+  }
+  return s;
+}
+
+double TimeSeries::mean_in(Nanos t0, Nanos t1) const {
+  const auto [lo, hi] = range_in(samples_, t0, t1);
+  if (lo == hi) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (auto it = lo; it != hi; ++it) {
+    s += it->value;
+  }
+  return s / static_cast<double>(hi - lo);
+}
+
+TimeSeries TimeSeries::resample(Nanos window, Reduce reduce) const {
+  if (window <= 0) {
+    throw std::invalid_argument("TimeSeries::resample: window must be positive");
+  }
+  TimeSeries out(name_);
+  if (samples_.empty()) {
+    return out;
+  }
+  const Nanos t0 = start_time();
+  const Nanos t_end = end_time();
+  for (Nanos w = t0; w <= t_end; w += window) {
+    const double v = reduce == Reduce::kSum ? sum_in(w, w + window)
+                                            : mean_in(w, w + window);
+    out.add(w, v);
+  }
+  return out;
+}
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  os << "t_seconds," << name_ << "\n";
+  for (const auto& s : samples_) {
+    os << to_seconds(s.t) << "," << s.value << "\n";
+  }
+}
+
+}  // namespace procap

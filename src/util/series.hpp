@@ -1,0 +1,73 @@
+// series.hpp — timestamped sample series.
+//
+// Every experiment in the paper is a time series: progress samples, power
+// readings, frequency traces, cap schedules.  TimeSeries is the common
+// container; it supports windowed resampling (the paper aggregates progress
+// "once every second"), slicing, and CSV export.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap {
+
+/// One (time, value) observation.
+struct Sample {
+  Nanos t = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+/// Append-only series of timestamped samples (non-decreasing time).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// Construct with a name used as the CSV column header.
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  /// Append a sample; `t` must be >= the last sample's time.
+  void add(Nanos t, double value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// First/last sample time; throws std::out_of_range when empty.
+  [[nodiscard]] Nanos start_time() const;
+  [[nodiscard]] Nanos end_time() const;
+
+  /// Values only (time dropped), e.g. for correlation.
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Samples with t in [t0, t1).
+  [[nodiscard]] TimeSeries slice(Nanos t0, Nanos t1) const;
+
+  /// Sum of sample values in [t0, t1).
+  [[nodiscard]] double sum_in(Nanos t0, Nanos t1) const;
+
+  /// Mean of sample values in [t0, t1); 0 if no samples fall inside.
+  [[nodiscard]] double mean_in(Nanos t0, Nanos t1) const;
+
+  /// Resample into fixed windows of `window` ns starting at start_time().
+  /// Each output sample is stamped at the window start.
+  /// `Reduce` selects between summing the values in the window (rates of
+  /// event counts) and averaging them (already-normalized gauges).
+  enum class Reduce { kSum, kMean };
+  [[nodiscard]] TimeSeries resample(Nanos window, Reduce reduce) const;
+
+  /// Write as two-column CSV ("t_seconds,<name>") to the stream.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string name_ = "value";
+  std::vector<Sample> samples_;
+};
+
+}  // namespace procap

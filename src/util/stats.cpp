@@ -1,0 +1,193 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace procap {
+
+StreamingStats::StreamingStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void StreamingStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ += delta * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double StreamingStats::cv() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? stddev() / std::abs(m) : 0.0;
+}
+
+void StreamingStats::reset() { *this = StreamingStats(); }
+
+MovingAverage::MovingAverage(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("MovingAverage: capacity must be positive");
+  }
+}
+
+void MovingAverage::add(double x) {
+  window_.push_back(x);
+  sum_ += x;
+  if (window_.size() > capacity_) {
+    sum_ -= window_.front();
+    window_.pop_front();
+  }
+}
+
+double MovingAverage::mean() const noexcept {
+  return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+}
+
+namespace {
+double mean_of(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) {
+    s += x;
+  }
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return 0.0;
+  }
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("linear_fit: need two equal-length series");
+  }
+  const double mx = mean_of(x);
+  const double my = mean_of(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double mape(std::span<const double> measured, std::span<const double> predicted,
+            double eps) {
+  if (measured.size() != predicted.size()) {
+    throw std::invalid_argument("mape: size mismatch");
+  }
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    if (std::abs(measured[i]) < eps) {
+      continue;
+    }
+    total += std::abs((predicted[i] - measured[i]) / measured[i]);
+    ++n;
+  }
+  return n ? 100.0 * total / static_cast<double>(n) : 0.0;
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("rmse: size mismatch");
+  }
+  if (a.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double cross_correlation(std::span<const double> x, std::span<const double> y,
+                         std::size_t lag) {
+  if (x.size() != y.size() || x.size() <= lag + 1) {
+    return 0.0;
+  }
+  const std::size_t n = x.size() - lag;
+  std::vector<double> xs(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<double> ys(y.begin() + static_cast<std::ptrdiff_t>(lag), y.end());
+  return pearson(xs, ys);
+}
+
+double quantile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    throw std::invalid_argument("quantile: empty input");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("quantile: p out of [0,1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace procap

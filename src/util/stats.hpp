@@ -1,0 +1,114 @@
+// stats.hpp — streaming and batch statistics used across procap.
+//
+// The progress Monitor, the power-policy daemon and the experiment harness
+// all accumulate long streams of samples; StreamingStats provides O(1)
+// memory single-pass moments (Welford).  The model-evaluation code needs
+// correlation, linear regression and error metrics on small vectors.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace procap {
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm;
+/// numerically stable for long streams).
+class StreamingStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const StreamingStats& other);
+
+  /// Number of observations.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Arithmetic mean; 0 if empty.
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest observation; +inf if empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf if empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Sum of observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Coefficient of variation (stddev / |mean|); 0 when mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+
+  /// Reset to the empty state.
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  StreamingStats();
+};
+
+/// Fixed-window moving average over the most recent `capacity` samples.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t capacity);
+
+  /// Push a sample, evicting the oldest if the window is full.
+  void add(double x);
+
+  /// Mean over the current window; 0 if empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Number of samples currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return window_.size(); }
+  /// Whether the window holds `capacity` samples.
+  [[nodiscard]] bool full() const noexcept { return window_.size() == capacity_; }
+  /// Window capacity.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+/// Result of an ordinary-least-squares line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series has zero variance or fewer than 2 points.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Ordinary least squares fit; requires x.size() == y.size() >= 2.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Mean absolute percentage error of `predicted` against `measured`,
+/// in percent.  Entries where |measured| < eps are skipped.
+[[nodiscard]] double mape(std::span<const double> measured,
+                          std::span<const double> predicted,
+                          double eps = 1e-12);
+
+/// Root-mean-square error.
+[[nodiscard]] double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Normalized cross-correlation of two series at a given non-negative lag
+/// (y delayed by `lag` samples relative to x).  Series are mean-centered.
+[[nodiscard]] double cross_correlation(std::span<const double> x,
+                                       std::span<const double> y,
+                                       std::size_t lag = 0);
+
+/// p-quantile (0 <= p <= 1) with linear interpolation; copies the input.
+[[nodiscard]] double quantile(std::vector<double> values, double p);
+
+}  // namespace procap

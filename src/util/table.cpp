@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace procap {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TablePrinter: need at least one column");
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+struct CsvWriter::Impl {
+  std::ofstream file;
+  std::size_t columns = 0;
+};
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : impl_(new Impl) {
+  impl_->file.open(path);
+  if (!impl_->file) {
+    delete impl_;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  impl_->columns = headers.size();
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    impl_->file << (c == 0 ? "" : ",") << headers[c];
+  }
+  impl_->file << "\n";
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  if (cells.size() != impl_->columns) {
+    throw std::invalid_argument("CsvWriter::row: cell count mismatch");
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    impl_->file << (c == 0 ? "" : ",") << cells[c];
+  }
+  impl_->file << "\n";
+}
+
+}  // namespace procap

@@ -1,0 +1,60 @@
+// table.hpp — aligned text tables and CSV output for benchmark harnesses.
+//
+// Every bench binary reproduces a paper table or figure as rows printed to
+// stdout; TablePrinter keeps the formatting consistent across all of them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace procap {
+
+/// Builds an aligned, pipe-separated text table.  Cells are strings; use
+/// the `num()` helper for consistently formatted numbers.
+class TablePrinter {
+ public:
+  /// Construct with column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header underline to the stream.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment) to the stream.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` digits after the decimal point.
+[[nodiscard]] std::string num(double v, int precision = 2);
+
+/// Format a double in scientific notation with `precision` digits.
+[[nodiscard]] std::string sci(double v, int precision = 2);
+
+/// Simple multi-column CSV writer (header row then data rows).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Write one row of numeric cells.
+  void row(const std::vector<double>& cells);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace procap

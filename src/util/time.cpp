@@ -1,0 +1,28 @@
+#include "util/time.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace procap {
+
+Nanos SteadyTimeSource::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ManualTimeSource::advance(Nanos delta) {
+  if (delta < 0) {
+    throw std::invalid_argument("ManualTimeSource::advance: negative delta");
+  }
+  now_ += delta;
+}
+
+void ManualTimeSource::set(Nanos t) {
+  if (t < now_) {
+    throw std::invalid_argument("ManualTimeSource::set: time moved backwards");
+  }
+  now_ = t;
+}
+
+}  // namespace procap

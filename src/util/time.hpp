@@ -1,0 +1,50 @@
+// time.hpp — time sources.
+//
+// All progress monitoring and power-policy code is written against the
+// abstract `TimeSource`, so the same Reporter/Monitor/Daemon classes run
+// unmodified on wall-clock time (real instrumentation, as in the paper's
+// testbed) and on simulated time (the hardware substrate in src/hw).
+#pragma once
+
+#include <memory>
+
+#include "util/units.hpp"
+
+namespace procap {
+
+/// Abstract monotonic clock.  `now()` never decreases.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  /// Current time in nanoseconds since an arbitrary (per-source) epoch.
+  [[nodiscard]] virtual Nanos now() const = 0;
+
+  /// Convenience: current time in floating-point seconds.
+  [[nodiscard]] Seconds now_seconds() const { return to_seconds(now()); }
+};
+
+/// Wall-clock time source backed by std::chrono::steady_clock.
+class SteadyTimeSource final : public TimeSource {
+ public:
+  [[nodiscard]] Nanos now() const override;
+};
+
+/// Manually advanced time source.  The simulation engine owns one and
+/// advances it in fixed steps; tests use it to script exact timelines.
+class ManualTimeSource final : public TimeSource {
+ public:
+  explicit ManualTimeSource(Nanos start = 0) : now_(start) {}
+
+  [[nodiscard]] Nanos now() const override { return now_; }
+
+  /// Advance the clock by `delta` nanoseconds (must be non-negative).
+  void advance(Nanos delta);
+
+  /// Jump the clock to an absolute time (must not move backwards).
+  void set(Nanos t);
+
+ private:
+  Nanos now_;
+};
+
+}  // namespace procap

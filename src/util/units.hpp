@@ -1,0 +1,49 @@
+// units.hpp — physical unit aliases and conversion helpers.
+//
+// procap deals in power (watts), energy (joules), frequency (hertz) and
+// time (seconds / nanoseconds).  We use plain `double` with descriptive
+// aliases rather than heavyweight unit types: every quantity that crosses
+// a module boundary is named with its unit, and the conversion helpers
+// below keep magic constants out of call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace procap {
+
+/// Power in watts.
+using Watts = double;
+/// Energy in joules.
+using Joules = double;
+/// Frequency in hertz.
+using Hertz = double;
+/// Time span in seconds (floating point, used for model math).
+using Seconds = double;
+/// Time in integer nanoseconds (used for simulation clocks; exact).
+using Nanos = std::int64_t;
+
+/// One second expressed in nanoseconds.
+inline constexpr Nanos kNanosPerSecond = 1'000'000'000;
+
+/// Convert integer nanoseconds to floating-point seconds.
+constexpr Seconds to_seconds(Nanos ns) noexcept {
+  return static_cast<Seconds>(ns) / static_cast<Seconds>(kNanosPerSecond);
+}
+
+/// Convert floating-point seconds to integer nanoseconds (truncating).
+constexpr Nanos to_nanos(Seconds s) noexcept {
+  return static_cast<Nanos>(s * static_cast<Seconds>(kNanosPerSecond));
+}
+
+/// Frequency helpers: the hardware model quotes frequencies in MHz
+/// (as the paper does: 3300 MHz nominal max, 1600 MHz for beta probes).
+constexpr Hertz mhz(double v) noexcept { return v * 1e6; }
+constexpr Hertz ghz(double v) noexcept { return v * 1e9; }
+constexpr double as_mhz(Hertz f) noexcept { return f / 1e6; }
+constexpr double as_ghz(Hertz f) noexcept { return f / 1e9; }
+
+/// Millisecond / microsecond literals for simulation step sizes.
+constexpr Nanos msec(double v) noexcept { return static_cast<Nanos>(v * 1e6); }
+constexpr Nanos usec(double v) noexcept { return static_cast<Nanos>(v * 1e3); }
+
+}  // namespace procap

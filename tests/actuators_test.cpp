@@ -1,0 +1,108 @@
+// Tests for the software power-limiting actuators (DVFS / DDCM feedback
+// controllers) and the PowerLimiter abstraction.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "policy/actuators.hpp"
+
+namespace procap::policy {
+namespace {
+
+class ActuatorTest : public ::testing::Test {
+ protected:
+  ActuatorTest() : app_(apps::lammps()) {
+    sim_app_ = std::make_unique<apps::SimApp>(rig_.package(), rig_.broker(),
+                                              app_.spec, 1);
+  }
+
+  Watts settled_power(Seconds settle = 20.0, Seconds measure = 5.0) {
+    rig_.engine().run_for(to_nanos(settle));
+    const Joules e0 = rig_.package().energy();
+    rig_.engine().run_for(to_nanos(measure));
+    return (rig_.package().energy() - e0) / measure;
+  }
+
+  exp::SimRig rig_;
+  apps::AppModel app_;
+  std::unique_ptr<apps::SimApp> sim_app_;
+};
+
+TEST_F(ActuatorTest, DvfsHoldsReachableTarget) {
+  DvfsPowerLimiter limiter(rig_.rapl());
+  limiter.attach(rig_.engine());
+  limiter.set_target(90.0);
+  EXPECT_NEAR(settled_power(), 90.0, 4.0);
+  EXPECT_LT(limiter.frequency(), 3.7e9);
+}
+
+TEST_F(ActuatorTest, DvfsBottomsOutAtFloor) {
+  DvfsPowerLimiter limiter(rig_.rapl());
+  limiter.attach(rig_.engine());
+  limiter.set_target(10.0);  // below the DVFS-reachable floor (~29 W)
+  rig_.engine().run_for(to_nanos(20.0));
+  EXPECT_DOUBLE_EQ(limiter.frequency(), 1.2e9);
+  EXPECT_GT(settled_power(1.0), 20.0);  // cannot reach 10 W
+}
+
+TEST_F(ActuatorTest, DvfsReleaseRestoresMax) {
+  DvfsPowerLimiter limiter(rig_.rapl());
+  limiter.attach(rig_.engine());
+  limiter.set_target(70.0);
+  rig_.engine().run_for(to_nanos(20.0));
+  ASSERT_LT(limiter.frequency(), 3.0e9);
+  limiter.release();
+  rig_.engine().run_for(to_nanos(1.0));
+  EXPECT_DOUBLE_EQ(rig_.package().frequency(), 3.7e9);
+  EXPECT_NEAR(settled_power(2.0), 150.0, 10.0);
+}
+
+TEST_F(ActuatorTest, DdcmHoldsTargetViaDuty) {
+  DdcmPowerLimiter limiter(rig_.rapl());
+  limiter.attach(rig_.engine());
+  limiter.set_target(80.0);
+  EXPECT_NEAR(settled_power(), 80.0, 5.0);
+  EXPECT_LT(limiter.duty(), 1.0);
+  // Frequency stays at maximum: the knob is purely the duty cycle.
+  EXPECT_DOUBLE_EQ(rig_.package().frequency(), 3.7e9);
+}
+
+TEST_F(ActuatorTest, DdcmReleaseRestoresFullDuty) {
+  DdcmPowerLimiter limiter(rig_.rapl());
+  limiter.attach(rig_.engine());
+  limiter.set_target(60.0);
+  rig_.engine().run_for(to_nanos(20.0));
+  ASSERT_LT(limiter.duty(), 1.0);
+  limiter.release();
+  rig_.engine().run_for(to_nanos(1.0));
+  EXPECT_DOUBLE_EQ(rig_.package().duty(), 1.0);
+}
+
+TEST_F(ActuatorTest, RaplLimiterDelegatesToHardware) {
+  RaplLimiter limiter(rig_.rapl());
+  limiter.set_target(85.0);
+  EXPECT_TRUE(rig_.package().firmware().enforcing());
+  EXPECT_NEAR(settled_power(10.0), 85.0, 4.0);
+  limiter.release();
+  EXPECT_FALSE(rig_.package().firmware().enforcing());
+}
+
+TEST_F(ActuatorTest, TargetsValidated) {
+  DvfsPowerLimiter dvfs(rig_.rapl());
+  DdcmPowerLimiter ddcm(rig_.rapl());
+  EXPECT_THROW(dvfs.set_target(0.0), std::invalid_argument);
+  EXPECT_THROW(ddcm.set_target(-5.0), std::invalid_argument);
+}
+
+TEST_F(ActuatorTest, PolymorphicUseThroughBase) {
+  std::unique_ptr<PowerLimiter> limiter =
+      std::make_unique<DvfsPowerLimiter>(rig_.rapl());
+  EXPECT_STREQ(limiter->name(), "dvfs");
+  limiter->attach(rig_.engine());
+  limiter->set_target(100.0);
+  EXPECT_NEAR(settled_power(), 100.0, 4.0);
+}
+
+}  // namespace
+}  // namespace procap::policy

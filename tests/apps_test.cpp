@@ -1,0 +1,253 @@
+// Tests for the workload specs, the SimApp runtime, and Listing 1.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/listing1.hpp"
+#include "apps/suite.hpp"
+#include "counters/derived.hpp"
+#include "exp/rig.hpp"
+#include "progress/monitor.hpp"
+
+namespace procap::apps {
+namespace {
+
+TEST(Suite, AnalyticBetasMatchTableVI) {
+  const Hertz f_max = hw::CpuSpec::skylake24().f_nominal;
+  EXPECT_NEAR(lammps().spec.analytic_beta(0, f_max), 1.00, 0.01);
+  EXPECT_NEAR(stream().spec.analytic_beta(0, f_max), 0.37, 0.01);
+  EXPECT_NEAR(amg().spec.analytic_beta(0, f_max), 0.52, 0.01);
+  EXPECT_NEAR(qmcpack_dmc().spec.analytic_beta(0, f_max), 0.84, 0.01);
+  EXPECT_NEAR(openmc_active().spec.analytic_beta(0, f_max), 0.93, 0.01);
+}
+
+TEST(Suite, AnalyticMpoMatchesTableVI) {
+  // MPO = (bytes / 64) / instructions, in units of 1e-3.
+  auto mpo = [](const AppModel& m) {
+    const auto& ph = m.spec.phases.at(0);
+    return ph.bytes / 64.0 / (ph.compute_instr + ph.memory_instr) * 1e3;
+  };
+  EXPECT_NEAR(mpo(lammps()), 0.32, 0.05);
+  EXPECT_NEAR(mpo(stream()), 50.9, 2.0);
+  EXPECT_NEAR(mpo(amg()), 30.1, 1.5);
+  EXPECT_NEAR(mpo(qmcpack_dmc()), 3.91, 0.3);
+  EXPECT_NEAR(mpo(openmc_active()), 0.20, 0.05);
+}
+
+TEST(Suite, ExpectedIterationRates) {
+  const Hertz f_max = hw::CpuSpec::skylake24().f_nominal;
+  EXPECT_NEAR(1.0 / lammps().spec.expected_iteration_seconds(0, f_max), 20.0,
+              0.5);
+  EXPECT_NEAR(1.0 / stream().spec.expected_iteration_seconds(0, f_max), 16.0,
+              0.5);
+  EXPECT_NEAR(1.0 / amg().spec.expected_iteration_seconds(0, f_max), 3.0,
+              0.1);
+  EXPECT_NEAR(1.0 / qmcpack_dmc().spec.expected_iteration_seconds(0, f_max),
+              16.0, 0.5);
+  EXPECT_NEAR(
+      1.0 / openmc_active().spec.expected_iteration_seconds(0, f_max), 1.0,
+      0.05);
+}
+
+TEST(Suite, ByNameRoundTrip) {
+  for (const auto& name : suite_names()) {
+    EXPECT_EQ(by_name(name).spec.name, name) << name;
+  }
+  EXPECT_THROW(by_name("hacc"), std::invalid_argument);
+}
+
+TEST(Suite, QmcpackHasThreePhases) {
+  const auto model = qmcpack();
+  ASSERT_EQ(model.spec.phases.size(), 3U);
+  EXPECT_EQ(model.spec.phases[0].name, "VMC1");
+  EXPECT_EQ(model.spec.phases[2].name, "DMC");
+  // Distinct block rates, descending.
+  const Hertz f_max = hw::CpuSpec::skylake24().f_nominal;
+  const double r1 = 1.0 / model.spec.expected_iteration_seconds(0, f_max);
+  const double r2 = 1.0 / model.spec.expected_iteration_seconds(1, f_max);
+  const double r3 = 1.0 / model.spec.expected_iteration_seconds(2, f_max);
+  EXPECT_GT(r1, r2 * 1.15);
+  EXPECT_GT(r2, r3 * 1.15);
+}
+
+TEST(Suite, InterviewTraitsCoverAllNineApps) {
+  EXPECT_EQ(interview_traits().size(), 9U);
+}
+
+TEST(SimApp, RunsToCompletionAndReportsProgress) {
+  exp::SimRig rig;
+  auto model = lammps(40);  // 40 timesteps ~ 2 s
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+  const bool finished =
+      rig.engine().run_until([&] { return app.done(); }, to_nanos(10.0));
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(app.iterations_completed(), 40);
+  EXPECT_DOUBLE_EQ(app.total_progress(), 40.0 * 40000.0);
+  monitor.poll();
+  EXPECT_DOUBLE_EQ(monitor.total_work(), 40.0 * 40000.0);
+}
+
+TEST(SimApp, UncappedRateMatchesAnalytic) {
+  exp::SimRig rig;
+  auto model = lammps();
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(5.0));
+  // Uncapped runs at turbo (3700 MHz): ~22.4 iterations/s for 5 s.
+  EXPECT_NEAR(static_cast<double>(app.iterations_completed()), 112.0, 6.0);
+}
+
+TEST(SimApp, DvfsSlowsProgressPerBeta) {
+  // At 1650 MHz a beta~1 app runs at half speed.
+  exp::SimRig rig;
+  rig.rapl().set_frequency(mhz(1650));
+  auto model = lammps();
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(5.0));
+  EXPECT_NEAR(static_cast<double>(app.iterations_completed()), 50.0, 4.0);
+}
+
+TEST(SimApp, MemoryBoundBarelySlowsUnderDvfs) {
+  exp::SimRig rig;
+  rig.rapl().set_frequency(mhz(1650));
+  auto model = stream();
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(5.0));
+  // Dilation = 0.37 * (2 - 1) + 1 = 1.37 -> ~58 iterations in 5 s.
+  EXPECT_NEAR(static_cast<double>(app.iterations_completed()), 58.0, 5.0);
+}
+
+TEST(SimApp, PhasesAdvanceInOrder) {
+  exp::SimRig rig;
+  auto model = qmcpack();
+  // Shrink phases so the test is fast.
+  model.spec.phases[0].iterations = 30;
+  model.spec.phases[1].iterations = 24;
+  model.spec.phases[2].iterations = 32;
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "qmcpack", rig.time());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+  EXPECT_EQ(app.current_phase(), 0U);
+  const bool finished =
+      rig.engine().run_until([&] { return app.done(); }, to_nanos(20.0));
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(app.iterations_completed(), 30 + 24 + 32);
+  monitor.poll();
+  // All three phase tags observed.
+  EXPECT_TRUE(monitor.phase_rates().contains(0));
+  EXPECT_TRUE(monitor.phase_rates().contains(1));
+  EXPECT_TRUE(monitor.phase_rates().contains(2));
+}
+
+TEST(SimApp, StopRequestEndsAtIterationBoundary) {
+  exp::SimRig rig;
+  auto model = lammps();
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(1.0));
+  app.stop();
+  const bool finished =
+      rig.engine().run_until([&] { return app.done(); }, to_nanos(1.0));
+  EXPECT_TRUE(finished);
+}
+
+TEST(SimApp, EarlyStopBoundsUnboundedPhase) {
+  exp::SimRig rig;
+  auto model = candle();
+  // Speed the epochs up 20x so the test stays fast.
+  model.spec.phases[0].cycles /= 20.0;
+  model.spec.phases[0].mem_stall /= 20.0;
+  model.spec.phases[0].bytes /= 20.0;
+  SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  const bool finished =
+      rig.engine().run_until([&] { return app.done(); }, to_nanos(30.0));
+  EXPECT_TRUE(finished);
+  // Accuracy crosses 0.93 around epoch ~23 (noise makes it vary).
+  EXPECT_GT(app.iterations_completed(), 10);
+  EXPECT_LT(app.iterations_completed(), 60);
+}
+
+TEST(SimApp, WorkerImbalanceBurnsSpinWithoutProgressChange) {
+  // Two rigs: balanced vs imbalanced with the same critical path.
+  exp::SimRig balanced;
+  auto model1 = lammps();
+  SimApp app1(balanced.package(), balanced.broker(), model1.spec, 1);
+  balanced.engine().run_for(to_nanos(4.0));
+
+  exp::SimRig imbalanced;
+  auto model2 = lammps();
+  SimApp app2(imbalanced.package(), imbalanced.broker(), model2.spec, 1);
+  app2.set_worker_scale([](unsigned w) {
+    return (w + 1) / 24.0;  // worker 23 keeps the full load: same critical path
+  });
+  imbalanced.engine().run_for(to_nanos(4.0));
+
+  // Progress (rate) is the same within noise...
+  EXPECT_NEAR(static_cast<double>(app2.iterations_completed()),
+              static_cast<double>(app1.iterations_completed()), 4.0);
+  // ...and although the imbalanced run performs roughly half the useful
+  // work, barrier spin keeps the retired-instruction count (hence MIPS)
+  // close to the balanced run — Table I's MIPS/progress decoupling.
+  const double ins1 = balanced.package().total_counters().instructions;
+  const double ins2 = imbalanced.package().total_counters().instructions;
+  EXPECT_GT(ins2, 0.80 * ins1);
+  const double useful2 = app2.total_progress();
+  const double useful1 = app1.total_progress();
+  EXPECT_NEAR(useful2, useful1, 0.06 * useful1);  // same progress metric
+}
+
+TEST(SimApp, RejectsEmptyWorkload) {
+  exp::SimRig rig;
+  WorkloadSpec empty{"empty", "u", {}, nullptr};
+  EXPECT_THROW(SimApp(rig.package(), rig.broker(), empty, 1),
+               std::invalid_argument);
+}
+
+TEST(Listing1, OneIterationPerSecondRegardlessOfPattern) {
+  for (const auto pattern : {WorkPattern::kEqual, WorkPattern::kUnequal}) {
+    exp::SimRig rig;
+    Listing1App app(rig.package(), rig.broker(), pattern, 5);
+    progress::Monitor monitor(rig.broker().make_sub(), "listing1",
+                              rig.time());
+    rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+    const bool finished =
+        rig.engine().run_until([&] { return app.done(); }, to_nanos(10.0));
+    EXPECT_TRUE(finished);
+    EXPECT_EQ(app.iterations_completed(), 5);
+    // Each iteration took ~1 s (the slowest rank sleeps the full second).
+    EXPECT_NEAR(to_seconds(rig.engine().now()), 5.0, 0.2);
+  }
+}
+
+TEST(Listing1, WorkUnitsHalveUnderImbalance) {
+  exp::SimRig rig;
+  Listing1App equal(rig.package(), rig.broker(), WorkPattern::kEqual);
+  const double units_equal = equal.work_units_per_iteration();
+  exp::SimRig rig2;
+  Listing1App unequal(rig2.package(), rig2.broker(), WorkPattern::kUnequal);
+  const double units_unequal = unequal.work_units_per_iteration();
+  EXPECT_NEAR(units_equal, 24.0e6, 1.0);
+  // Sum of (r+1)/24 for r=0..23 = 12.5 rank-seconds.
+  EXPECT_NEAR(units_unequal, 12.5e6, 1.0);
+  EXPECT_NEAR(units_equal / units_unequal, 1.92, 0.01);
+}
+
+TEST(Listing1, UnequalWorkInflatesMips) {
+  auto measure_mips = [](WorkPattern pattern) {
+    exp::SimRig rig;
+    Listing1App app(rig.package(), rig.broker(), pattern, 3);
+    counters::NodeCounterSource source(rig.node());
+    auto events = counters::make_standard_event_set(source, rig.time());
+    events.start();
+    rig.engine().run_until([&] { return app.done(); }, to_nanos(10.0));
+    return counters::snapshot(events).mips();
+  };
+  const double mips_equal = measure_mips(WorkPattern::kEqual);
+  const double mips_unequal = measure_mips(WorkPattern::kUnequal);
+  // Paper Table I: ~4100 vs ~79700 MIPS — an order of magnitude apart
+  // with identical online performance.
+  EXPECT_NEAR(mips_equal, 4080.0, 500.0);
+  EXPECT_GT(mips_unequal, 10.0 * mips_equal);
+}
+
+}  // namespace
+}  // namespace procap::apps

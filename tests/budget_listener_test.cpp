@@ -1,0 +1,116 @@
+// Tests for bus-carried power-budget directives.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "policy/budget_listener.hpp"
+#include "progress/monitor.hpp"
+
+namespace procap::policy {
+namespace {
+
+TEST(BudgetCodec, RoundTrips) {
+  EXPECT_EQ(encode_budget(std::nullopt), "uncapped");
+  const auto uncapped = decode_budget("uncapped");
+  ASSERT_TRUE(uncapped.has_value());
+  EXPECT_FALSE(uncapped->has_value());
+  const auto capped = decode_budget(encode_budget(Watts{95.5}));
+  ASSERT_TRUE(capped.has_value());
+  ASSERT_TRUE(capped->has_value());
+  EXPECT_NEAR(**capped, 95.5, 1e-9);
+}
+
+TEST(BudgetCodec, RejectsGarbage) {
+  EXPECT_FALSE(decode_budget("").has_value());
+  EXPECT_FALSE(decode_budget("cap").has_value());
+  EXPECT_FALSE(decode_budget("cap ").has_value());
+  EXPECT_FALSE(decode_budget("cap abc").has_value());
+  EXPECT_FALSE(decode_budget("cap -10").has_value());
+  EXPECT_FALSE(decode_budget("cap 10 trailing").has_value());
+  EXPECT_FALSE(decode_budget("CAP 10").has_value());
+}
+
+TEST(BudgetCodec, TopicNaming) {
+  EXPECT_EQ(budget_topic("node07"), "power/budget/node07");
+}
+
+class BudgetListenerTest : public ::testing::Test {
+ protected:
+  BudgetListenerTest()
+      : model_(apps::lammps()),
+        app_(rig_.package(), rig_.broker(), model_.spec, 1),
+        monitor_(rig_.broker().make_sub(), "lammps", rig_.time()),
+        nrm_(rig_.rapl(), monitor_, rig_.time()),
+        listener_(rig_.broker().make_sub(), "node0", nrm_),
+        pub_(rig_.broker().make_pub()) {
+    rig_.engine().every(kNanosPerSecond, [this](Nanos) {
+      listener_.poll();
+      monitor_.poll();
+    });
+  }
+
+  exp::SimRig rig_;
+  apps::AppModel model_;
+  apps::SimApp app_;
+  progress::Monitor monitor_;
+  NodeResourceManager nrm_;
+  BudgetListener listener_;
+  std::shared_ptr<msgbus::PubSocket> pub_;
+};
+
+TEST_F(BudgetListenerTest, AppliesCapAndUncapDirectives) {
+  pub_->publish(budget_topic("node0"), encode_budget(Watts{90.0}));
+  rig_.engine().run_for(to_nanos(2.0));
+  EXPECT_TRUE(rig_.package().firmware().enforcing());
+  EXPECT_NEAR(rig_.package().firmware().limit().pl1.power, 90.0, 0.125);
+  EXPECT_EQ(listener_.applied(), 1U);
+
+  pub_->publish(budget_topic("node0"), encode_budget(std::nullopt));
+  rig_.engine().run_for(to_nanos(2.0));
+  EXPECT_FALSE(rig_.package().firmware().enforcing());
+  EXPECT_EQ(listener_.applied(), 2U);
+}
+
+TEST_F(BudgetListenerTest, IgnoresOtherNodesAndGarbage) {
+  pub_->publish(budget_topic("node1"), encode_budget(Watts{50.0}));
+  pub_->publish(budget_topic("node0"), "total nonsense");
+  rig_.engine().run_for(to_nanos(2.0));
+  EXPECT_FALSE(rig_.package().firmware().enforcing());
+  EXPECT_EQ(listener_.applied(), 0U);
+  EXPECT_EQ(listener_.malformed(), 1U);
+}
+
+TEST_F(BudgetListenerTest, DirectivesApplyInArrivalOrder) {
+  pub_->publish(budget_topic("node0"), encode_budget(Watts{120.0}));
+  pub_->publish(budget_topic("node0"), encode_budget(Watts{80.0}));
+  rig_.engine().run_for(to_nanos(2.0));
+  EXPECT_NEAR(rig_.package().firmware().limit().pl1.power, 80.0, 0.125);
+  EXPECT_EQ(listener_.applied(), 2U);
+  ASSERT_TRUE(listener_.last().has_value());
+  EXPECT_NEAR(**listener_.last(), 80.0, 1e-9);
+}
+
+TEST_F(BudgetListenerTest, EndToEndProgressRespondsToDirective) {
+  rig_.engine().run_for(to_nanos(8.0));
+  const double rate_before = monitor_.rates().mean_in(to_nanos(3.0),
+                                                      to_nanos(8.0));
+  pub_->publish(budget_topic("node0"), encode_budget(Watts{70.0}));
+  rig_.engine().run_for(to_nanos(12.0));
+  monitor_.poll();
+  const double rate_after = monitor_.rates().mean_in(to_nanos(14.0),
+                                                     to_nanos(20.0));
+  EXPECT_LT(rate_after, 0.8 * rate_before);
+}
+
+TEST(BudgetListenerCtor, RejectsNullSocket) {
+  exp::SimRig rig;
+  const auto model = apps::lammps();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  NodeResourceManager nrm(rig.rapl(), monitor, rig.time());
+  EXPECT_THROW(BudgetListener(nullptr, "n", nrm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace procap::policy

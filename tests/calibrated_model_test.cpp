@@ -1,0 +1,115 @@
+// Tests for the calibrated (piecewise-alpha) model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/calibrated.hpp"
+
+namespace procap::model {
+namespace {
+
+ModelParams base_params() {
+  ModelParams p;
+  p.beta = 0.9;
+  p.p_core_max = 150.0;
+  p.r_max = 20.0;
+  return p;
+}
+
+// Ground truth with a regime-dependent alpha, like the simulator's
+// turbo/DVFS split: steep near the top, shallow below.
+double true_alpha(Watts cap) { return cap > 90.0 ? 3.5 : 1.8; }
+
+std::vector<CapObservation> synth_observations() {
+  const ModelParams base = base_params();
+  std::vector<CapObservation> obs;
+  for (Watts cap = 30.0; cap <= 140.0 + 1e-9; cap += 10.0) {
+    ModelParams truth = base;
+    truth.alpha = true_alpha(cap);
+    obs.push_back({cap, delta_progress(truth, cap)});
+  }
+  return obs;
+}
+
+TEST(CalibratedModel, ValidatesInput) {
+  const auto obs = synth_observations();
+  EXPECT_THROW(CalibratedModel(base_params(), obs, 0), std::invalid_argument);
+  EXPECT_THROW(CalibratedModel(base_params(), obs, 20),
+               std::invalid_argument);
+  const std::vector<CapObservation> tiny(obs.begin(), obs.begin() + 1);
+  EXPECT_THROW(CalibratedModel(base_params(), tiny, 1),
+               std::invalid_argument);
+}
+
+TEST(CalibratedModel, BandsAreOrderedAndCoverTheRange) {
+  const auto obs = synth_observations();
+  const CalibratedModel model(base_params(), obs, 3);
+  ASSERT_EQ(model.bands().size(), 3U);
+  EXPECT_DOUBLE_EQ(model.bands().front().lo, 30.0);
+  EXPECT_DOUBLE_EQ(model.bands().back().hi, 140.0);
+  for (std::size_t b = 1; b < model.bands().size(); ++b) {
+    EXPECT_GE(model.bands()[b].lo, model.bands()[b - 1].hi);
+  }
+}
+
+TEST(CalibratedModel, RecoversRegimeAlphas) {
+  const auto obs = synth_observations();
+  const CalibratedModel model(base_params(), obs, 2);
+  // Low band ~1.8, high band ~3.5 (band edges straddle the regime split,
+  // so allow slack).
+  EXPECT_NEAR(model.bands().front().alpha, 1.8, 0.4);
+  EXPECT_NEAR(model.bands().back().alpha, 3.5, 0.6);
+}
+
+TEST(CalibratedModel, BeatsFixedAlphaTwo) {
+  const auto obs = synth_observations();
+  const CalibratedModel calibrated(base_params(), obs, 3);
+  ModelParams fixed = base_params();
+  fixed.alpha = 2.0;
+  const double fixed_mape = summarize(evaluate(fixed, obs)).mape;
+  EXPECT_LT(calibrated.calibration_mape(), 0.5 * fixed_mape);
+}
+
+TEST(CalibratedModel, PredictsHeldOutPoints) {
+  // Calibrate on even caps, test on odd caps.
+  const ModelParams base = base_params();
+  std::vector<CapObservation> train;
+  std::vector<CapObservation> test;
+  for (Watts cap = 30.0; cap <= 140.0 + 1e-9; cap += 5.0) {
+    ModelParams truth = base;
+    truth.alpha = true_alpha(cap);
+    const CapObservation obs{cap, delta_progress(truth, cap)};
+    (static_cast<long>(cap) % 10 == 0 ? train : test).push_back(obs);
+  }
+  const CalibratedModel model(base, train, 3);
+  for (const auto& obs : test) {
+    if (std::abs(obs.p_core_cap - 90.0) <= 10.0) {
+      continue;  // points at the regime discontinuity are band-ambiguous
+    }
+    const double predicted = model.predict_delta(obs.p_core_cap);
+    EXPECT_NEAR(predicted, obs.measured_delta,
+                0.25 * obs.measured_delta + 0.05)
+        << "cap " << obs.p_core_cap;
+  }
+}
+
+TEST(CalibratedModel, OutOfRangeUsesNearestBand) {
+  const auto obs = synth_observations();
+  const CalibratedModel model(base_params(), obs, 2);
+  // Below range: first band's alpha; above: last band's.
+  EXPECT_GT(model.predict_delta(10.0), model.predict_delta(30.0));
+  EXPECT_DOUBLE_EQ(model.predict_rate(200.0), base_params().r_max);
+}
+
+TEST(CalibratedModel, RateAndDeltaAreConsistent) {
+  const auto obs = synth_observations();
+  const CalibratedModel model(base_params(), obs, 3);
+  for (Watts cap = 35.0; cap <= 135.0; cap += 20.0) {
+    EXPECT_NEAR(model.predict_rate(cap) + model.predict_delta(cap),
+                base_params().r_max, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace procap::model

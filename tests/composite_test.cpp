@@ -1,0 +1,166 @@
+// Tests for composite progress (Category-3 applications) and the
+// multi-component workload models.
+#include <gtest/gtest.h>
+
+#include "apps/multi.hpp"
+#include "exp/rig.hpp"
+#include "msgbus/bus.hpp"
+#include "progress/analysis.hpp"
+#include "progress/category.hpp"
+#include "progress/composite.hpp"
+#include "progress/reporter.hpp"
+
+namespace procap {
+namespace {
+
+TEST(CompositeMonitor, ValidatesArguments) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  progress::CompositeMonitor composite(clock);
+  EXPECT_THROW(composite.poll(), std::logic_error);  // no components
+  EXPECT_THROW(composite.add_component(nullptr, 1.0, 1.0),
+               std::invalid_argument);
+  auto monitor = std::make_shared<progress::Monitor>(broker.make_sub(), "a",
+                                                     clock);
+  EXPECT_THROW(composite.add_component(monitor, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(composite.add_component(monitor, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CompositeMonitor, WeightedNormalizedCombination) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  progress::Reporter fast(broker.make_pub(), {"fast", "u"});
+  progress::Reporter slow(broker.make_pub(), {"slow", "u"});
+  progress::CompositeMonitor composite(clock);
+  composite.add_component(
+      std::make_shared<progress::Monitor>(broker.make_sub(), "fast", clock),
+      /*weight=*/0.75, /*nominal=*/30.0);
+  composite.add_component(
+      std::make_shared<progress::Monitor>(broker.make_sub(), "slow", clock),
+      /*weight=*/0.25, /*nominal=*/0.5);
+
+  // One second: fast reports 15 (half its nominal), slow reports 0.5
+  // (exactly nominal).  All samples land strictly inside window [0, 1).
+  for (int i = 0; i < 15; ++i) {
+    clock.advance(to_nanos(0.06));
+    fast.report(1.0);
+  }
+  clock.advance(to_nanos(0.05));
+  slow.report(0.5);
+  clock.advance(to_nanos(0.15));  // now 1.1 s: both windows closed
+  composite.poll();
+  // composite = 0.75 * 0.5 + 0.25 * 1.0 = 0.625.
+  EXPECT_NEAR(composite.composite_rate(), 0.625, 1e-9);
+  EXPECT_NEAR(composite.component_rate(0), 0.5, 1e-9);
+  EXPECT_NEAR(composite.component_rate(1), 1.0, 1e-9);
+  EXPECT_EQ(composite.rates().size(), 1U);
+}
+
+TEST(MultiApp, UrbanModelShape) {
+  const auto model = apps::urban();
+  ASSERT_EQ(model.components.size(), 2U);
+  EXPECT_EQ(model.components[0].cores + model.components[1].cores, 24U);
+  EXPECT_EQ(model.traits.name, "urban");
+  EXPECT_EQ(progress::categorize(model.traits),
+            progress::Category::kCategory3);
+  // Timescales orders of magnitude apart.
+  const Hertz f = hw::CpuSpec::skylake24().f_nominal;
+  const double fast = apps::nominal_rate(model.components[0].spec, f);
+  const double slow = apps::nominal_rate(model.components[1].spec, f);
+  EXPECT_GT(fast / slow, 20.0);
+}
+
+TEST(MultiApp, LaunchRejectsOversizedAllotment) {
+  exp::SimRig rig;
+  auto model = apps::urban();
+  model.components[0].cores = 20;
+  model.components[1].cores = 20;
+  EXPECT_THROW(apps::launch(model, rig.package(), rig.broker(), rig.time(),
+                            hw::CpuSpec::skylake24().f_nominal),
+               std::invalid_argument);
+}
+
+TEST(MultiApp, ComponentsRunConcurrentlyOnDisjointCores) {
+  exp::SimRig rig;
+  const auto model = apps::urban();
+  auto instance = apps::launch(model, rig.package(), rig.broker(),
+                               rig.time(), hw::CpuSpec::skylake24().f_nominal);
+  rig.engine().every(kNanosPerSecond,
+                     [&](Nanos) { instance.composite->poll(); });
+  rig.engine().run_for(to_nanos(12.0));
+  // Both components made progress at very different rates.
+  EXPECT_GT(instance.apps[0]->iterations_completed(), 200);  // CFD ~30/s
+  EXPECT_GT(instance.apps[1]->iterations_completed(), 3);    // EP ~0.5/s
+  EXPECT_LT(instance.apps[1]->iterations_completed(), 12);
+}
+
+TEST(MultiApp, CompositeNearOneUncapped) {
+  exp::SimRig rig;
+  // Pin at nominal so measured rates match the nominal normalization.
+  rig.rapl().set_frequency(hw::CpuSpec::skylake24().f_nominal);
+  const auto model = apps::hacc();
+  auto instance = apps::launch(model, rig.package(), rig.broker(),
+                               rig.time(), hw::CpuSpec::skylake24().f_nominal);
+  TimeSeries composite_series("c");
+  rig.engine().every(kNanosPerSecond, [&](Nanos now) {
+    instance.composite->poll();
+    composite_series.add(now, instance.composite->composite_rate());
+  });
+  rig.engine().run_for(to_nanos(30.0));
+  const double mean = composite_series.mean_in(to_nanos(5.0), to_nanos(30.0));
+  EXPECT_NEAR(mean, 1.0, 0.15);
+}
+
+TEST(MultiApp, CompositeFallsUnderDvfs) {
+  auto run_at = [](Hertz f) {
+    exp::SimRig rig;
+    rig.rapl().set_frequency(f);
+    const auto model = apps::hacc();
+    auto instance = apps::launch(model, rig.package(), rig.broker(),
+                                 rig.time(),
+                                 hw::CpuSpec::skylake24().f_nominal);
+    TimeSeries series("c");
+    rig.engine().every(kNanosPerSecond, [&](Nanos now) {
+      instance.composite->poll();
+      series.add(now, instance.composite->composite_rate());
+    });
+    rig.engine().run_for(to_nanos(25.0));
+    return series.mean_in(to_nanos(5.0), to_nanos(25.0));
+  };
+  const double at_nominal = run_at(hw::CpuSpec::skylake24().f_nominal);
+  const double at_low = run_at(mhz(1600));
+  EXPECT_LT(at_low, 0.75 * at_nominal);
+  EXPECT_GT(at_low, 0.35 * at_nominal);  // not compute-only: beta < 1
+}
+
+TEST(MultiApp, SingleComponentMetricIsUnreliableButCompositeIsUsable) {
+  // The paper's Category-3 argument, quantified: the CFD component's own
+  // windowed rate is too noisy to be a progress metric (demoted to
+  // Category 3), while the weighted composite has materially lower
+  // variation.
+  exp::SimRig rig;
+  const auto model = apps::urban();
+  auto instance = apps::launch(model, rig.package(), rig.broker(),
+                               rig.time(), hw::CpuSpec::skylake24().f_nominal,
+                               /*seed=*/9);
+  TimeSeries composite_series("c");
+  rig.engine().every(kNanosPerSecond, [&](Nanos now) {
+    instance.composite->poll();
+    composite_series.add(now, instance.composite->composite_rate());
+  });
+  rig.engine().run_for(to_nanos(60.0));
+
+  const auto nek_rates = instance.monitors[0]->rates();
+  const auto nek_report = progress::analyze_consistency(nek_rates, 0.10);
+  const auto composite_report =
+      progress::analyze_consistency(composite_series, 0.10);
+  EXPECT_FALSE(nek_report.consistent);
+  EXPECT_LT(composite_report.cv, nek_report.cv * 0.75);
+  EXPECT_EQ(progress::categorize(model.traits, nek_rates, 0.12),
+            progress::Category::kCategory3);
+}
+
+}  // namespace
+}  // namespace procap

@@ -1,0 +1,129 @@
+// Tests for the PAPI-like counters module.
+#include <gtest/gtest.h>
+
+#include "counters/counters.hpp"
+#include "counters/derived.hpp"
+#include "hw/node.hpp"
+#include "util/time.hpp"
+
+namespace procap::counters {
+namespace {
+
+class CountersTest : public ::testing::Test {
+ protected:
+  CountersTest() : source_(node_) {}
+
+  void load_and_run(Seconds seconds) {
+    for (unsigned c = 0; c < node_.cpu_count(); ++c) {
+      node_.core(c).set_idle_callback([this](unsigned core, Nanos) {
+        node_.core(core).push_compute(3.3e7, 6.6e7);       // IPC 2
+        node_.core(core).push_memory(1e-3, 6.4e5, 1e5);    // 10k misses
+      });
+    }
+    run(seconds);
+  }
+
+  void run(Seconds seconds) {
+    for (Nanos t = 0; t < to_nanos(seconds); t += msec(1)) {
+      node_.step(clock_.now(), msec(1));
+      clock_.advance(msec(1));
+    }
+  }
+
+  hw::Node node_;
+  ManualTimeSource clock_;
+  NodeCounterSource source_;
+};
+
+TEST_F(CountersTest, EventNames) {
+  EXPECT_EQ(event_name(Event::kTotInstructions), "PAPI_TOT_INS");
+  EXPECT_EQ(event_name(Event::kL3CacheMisses), "PAPI_L3_TCM");
+  EXPECT_EQ(event_name(Event::kTotCycles), "PAPI_TOT_CYC");
+  EXPECT_EQ(event_name(Event::kRefCycles), "PAPI_REF_CYC");
+}
+
+TEST_F(CountersTest, SourceExposesAllCpus) {
+  EXPECT_EQ(source_.cpu_count(), 24U);
+}
+
+TEST_F(CountersTest, DeltasOverInterval) {
+  EventSet set(source_, clock_);
+  set.add(Event::kTotInstructions);
+  load_and_run(0.1);
+  set.start();
+  const double at_start = set.read(Event::kTotInstructions);
+  EXPECT_DOUBLE_EQ(at_start, 0.0);
+  run(0.1);
+  EXPECT_GT(set.read(Event::kTotInstructions), 0.0);
+}
+
+TEST_F(CountersTest, ElapsedUsesTimeSource) {
+  EventSet set(source_, clock_);
+  set.add(Event::kTotCycles);
+  set.start();
+  clock_.advance(to_nanos(2.0));
+  EXPECT_DOUBLE_EQ(set.elapsed(), 2.0);
+}
+
+TEST_F(CountersTest, ReadBeforeStartThrows) {
+  EventSet set(source_, clock_);
+  set.add(Event::kTotCycles);
+  EXPECT_THROW((void)set.read(), std::logic_error);
+  EXPECT_THROW((void)set.elapsed(), std::logic_error);
+}
+
+TEST_F(CountersTest, AddAfterStartThrows) {
+  EventSet set(source_, clock_);
+  set.add(Event::kTotCycles);
+  set.start();
+  EXPECT_THROW(set.add(Event::kRefCycles), std::logic_error);
+}
+
+TEST_F(CountersTest, ReadUnknownEventThrows) {
+  EventSet set(source_, clock_);
+  set.add(Event::kTotCycles);
+  set.start();
+  EXPECT_THROW((void)set.read(Event::kL3CacheMisses), std::invalid_argument);
+}
+
+TEST_F(CountersTest, CpuSubsetRestrictsCounting) {
+  EventSet all(source_, clock_);
+  all.add(Event::kTotInstructions);
+  EventSet one(source_, clock_, {0});
+  one.add(Event::kTotInstructions);
+  all.start();
+  one.start();
+  load_and_run(0.1);
+  const double everything = all.read(Event::kTotInstructions);
+  const double single = one.read(Event::kTotInstructions);
+  EXPECT_GT(single, 0.0);
+  EXPECT_NEAR(single * 24.0, everything, everything * 0.05);
+}
+
+TEST_F(CountersTest, EmptyCpuSetRejected) {
+  EXPECT_THROW(EventSet(source_, clock_, {}), std::invalid_argument);
+}
+
+TEST_F(CountersTest, DerivedMetricsFromWorkload) {
+  auto set = make_standard_event_set(source_, clock_);
+  set.start();
+  load_and_run(1.0);
+  const DerivedMetrics m = snapshot(set);
+  // Workload: IPC 2 in compute, misses = bytes/64 = 1e4 per iteration.
+  EXPECT_GT(m.ipc(), 1.5);
+  EXPECT_LT(m.ipc(), 2.2);
+  EXPECT_GT(m.mips(), 1000.0);
+  // MPO = 1e4 / 6.61e7 per iteration ~ 1.5e-4.
+  EXPECT_NEAR(m.mpo(), 1.5e-4, 5e-5);
+  EXPECT_NEAR(m.elapsed, 1.0, 1e-9);
+}
+
+TEST(DerivedMetrics, ZeroDenominatorsAreSafe) {
+  const DerivedMetrics m{};
+  EXPECT_DOUBLE_EQ(m.mips(), 0.0);
+  EXPECT_DOUBLE_EQ(m.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mpo(), 0.0);
+}
+
+}  // namespace
+}  // namespace procap::counters

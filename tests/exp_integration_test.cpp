@@ -1,0 +1,217 @@
+// Integration tests across the full stack: app + node + RAPL + policy +
+// progress + model, via the experiment harness.  These are the paper's
+// experimental procedures run end to end at reduced durations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/measure.hpp"
+#include "model/progress_model.hpp"
+#include "policy/schemes.hpp"
+#include "util/stats.hpp"
+
+namespace procap::exp {
+namespace {
+
+TEST(Characterize, LammpsBetaAndMpo) {
+  const auto c = characterize(apps::lammps(), 1.6e9, 10.0);
+  EXPECT_NEAR(c.beta, 1.00, 0.03);
+  EXPECT_NEAR(c.mpo * 1e3, 0.32, 0.08);
+  EXPECT_NEAR(c.power_uncapped, 150.0, 10.0);
+  // Pinned at the 3300 MHz nominal max: 20 timesteps/s.
+  EXPECT_NEAR(c.rate_nominal, 20.0 * 40000.0, 0.06 * 20.0 * 40000.0);
+  // Uncapped (turbo, 3700 MHz) runs faster than nominal.
+  EXPECT_GT(c.rate_uncapped, 1.08 * c.rate_nominal);
+}
+
+TEST(Characterize, StreamBetaAndMpo) {
+  const auto c = characterize(apps::stream(), 1.6e9, 10.0);
+  EXPECT_NEAR(c.beta, 0.37, 0.04);
+  EXPECT_NEAR(c.mpo * 1e3, 50.9, 5.0);
+  // Memory-bound: substantial uncore power.
+  EXPECT_GT(c.power_uncapped, 120.0);
+}
+
+TEST(Characterize, AmgBetaDespiteNoise) {
+  const auto c = characterize(apps::amg(), 1.6e9, 15.0);
+  EXPECT_NEAR(c.beta, 0.52, 0.06);
+  EXPECT_NEAR(c.mpo * 1e3, 30.1, 3.0);
+}
+
+TEST(RunUnderSchedule, ProgressFollowsStepCap) {
+  // Paper Section V-C: "online performance follows the power capping
+  // function being applied."
+  RunOptions options;
+  options.duration = 40.0;
+  auto traces = run_under_schedule(
+      apps::lammps(),
+      std::make_unique<policy::StepCap>(std::nullopt, 80.0, 10.0, 10.0),
+      options);
+  // Uncapped and capped plateaus differ clearly.
+  const double high1 = traces.mean_rate(4.0, 10.0);
+  const double low1 = traces.mean_rate(14.0, 20.0);
+  const double high2 = traces.mean_rate(24.0, 30.0);
+  const double low2 = traces.mean_rate(34.0, 40.0);
+  EXPECT_GT(high1, low1 * 1.10);
+  EXPECT_GT(high2, low2 * 1.10);
+  // And the progress recovers when the cap lifts.
+  EXPECT_NEAR(high2, high1, 0.08 * high1);
+}
+
+TEST(RunUnderSchedule, CapAndProgressCorrelate) {
+  RunOptions options;
+  options.duration = 60.0;
+  auto traces = run_under_schedule(
+      apps::qmcpack_dmc(),
+      std::make_unique<policy::JaggedCap>(150.0, 60.0, 15.0), options);
+  // Sample both series at 1 Hz and correlate: progress tracks the cap.
+  const auto caps = traces.cap.values();
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < traces.progress.size(); ++i) {
+    rates.push_back(traces.progress[i].value);
+  }
+  const std::size_t n = std::min(caps.size(), rates.size());
+  const std::vector<double> c(caps.begin() + 2, caps.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::vector<double> r(rates.begin() + 2, rates.begin() + static_cast<std::ptrdiff_t>(n));
+  EXPECT_GT(pearson(c, r), 0.6);
+}
+
+TEST(RunUnderSchedule, PinnedFrequencyActsAsDvfs) {
+  RunOptions options;
+  options.duration = 10.0;
+  options.pinned_frequency = mhz(1600);
+  auto traces = run_under_schedule(apps::lammps(),
+                                   std::make_unique<policy::UncappedSchedule>(),
+                                   options);
+  EXPECT_NEAR(traces.mean_frequency(2.0, 10.0), 1600.0, 10.0);
+}
+
+TEST(MeasureCapImpact, MildCapSmallDelta) {
+  const auto impact = measure_cap_impact(apps::lammps(), 140.0, 1);
+  EXPECT_NEAR(impact.power_uncapped, 149.0, 10.0);
+  EXPECT_NEAR(impact.power_capped, 140.0, 6.0);
+  EXPECT_LT(impact.delta, 0.12 * impact.rate_uncapped);
+  EXPECT_GE(impact.delta, -0.03 * impact.rate_uncapped);
+}
+
+TEST(MeasureCapImpact, StringentCapLargeDelta) {
+  const auto impact = measure_cap_impact(apps::lammps(), 60.0, 1);
+  EXPECT_GT(impact.delta, 0.3 * impact.rate_uncapped);
+  EXPECT_NEAR(impact.power_capped, 60.0, 5.0);
+}
+
+TEST(MeasureCapImpact, MemoryBoundLosesLessAtEqualRelativeCaps) {
+  // Capping each app to 70 % of its own uncapped power: the low-beta app
+  // loses less progress for the same relative budget cut (Eq. 4).
+  const auto lammps_unc = measure_cap_impact(apps::lammps(), 500.0, 1);
+  const auto stream_unc = measure_cap_impact(apps::stream(), 500.0, 1);
+  const auto lammps_impact =
+      measure_cap_impact(apps::lammps(), 0.7 * lammps_unc.power_uncapped, 1);
+  const auto stream_impact =
+      measure_cap_impact(apps::stream(), 0.7 * stream_unc.power_uncapped, 1);
+  EXPECT_GT(lammps_impact.delta / lammps_impact.rate_uncapped,
+            stream_impact.delta / stream_impact.rate_uncapped);
+}
+
+TEST(ModelValidation, MidRangePredictionWithinPaperErrorBand) {
+  // The paper's model with alpha=2 predicts LAMMPS mid-range impact
+  // within ~13-19 %.  Reproduce that against the simulator.
+  const auto c = characterize(apps::lammps(), 1.6e9, 10.0);
+  model::ModelParams params;
+  params.beta = c.beta;
+  params.alpha = 2.0;
+  params.p_core_max = c.beta * c.power_uncapped;
+  params.r_max = c.rate_uncapped;
+
+  const auto impact = measure_cap_impact(apps::lammps(), 80.0, 1);
+  const double predicted = model::delta_progress(
+      params, model::effective_core_cap(c.beta, 80.0));
+  ASSERT_GT(impact.delta, 0.0);
+  const double err = std::abs(predicted - impact.delta) / impact.delta;
+  EXPECT_LT(err, 0.35);
+}
+
+TEST(ModelValidation, DutyCyclingBreaksTheModelAtStringentCaps) {
+  // Below the DVFS floor the firmware duty-cycles; the DVFS-only model
+  // must underestimate the impact (paper Fig. 4a/4d discussion).
+  const auto c = characterize(apps::lammps(), 1.6e9, 10.0);
+  model::ModelParams params;
+  params.beta = c.beta;
+  params.alpha = 2.0;
+  params.p_core_max = c.beta * c.power_uncapped;
+  params.r_max = c.rate_uncapped;
+
+  const auto impact = measure_cap_impact(apps::lammps(), 26.0, 1);
+  const double predicted = model::delta_progress(
+      params, model::effective_core_cap(c.beta, 26.0));
+  EXPECT_LT(predicted, impact.delta);  // underestimates the damage
+}
+
+TEST(RunUnderSchedule, LossyLinkYieldsZeroWindows) {
+  RunOptions options;
+  options.duration = 30.0;
+  options.link.drop_probability = 0.5;
+  options.link.seed = 11;
+  auto traces = run_under_schedule(apps::openmc_active(),
+                                   std::make_unique<policy::UncappedSchedule>(),
+                                   options);
+  std::size_t zeros = 0;
+  for (std::size_t i = 2; i < traces.progress.size(); ++i) {
+    if (traces.progress[i].value == 0.0) {
+      ++zeros;
+    }
+  }
+  EXPECT_GT(zeros, 3U);
+}
+
+}  // namespace
+}  // namespace procap::exp
+
+namespace procap::exp {
+namespace {
+
+TEST(Determinism, IdenticalSeedsGiveBitIdenticalRuns) {
+  // Everything in the simulator is deterministic: same seed, same traces,
+  // bit for bit.  This is what makes every number in EXPERIMENTS.md
+  // regenerable.
+  auto run = [] {
+    RunOptions options;
+    options.duration = 20.0;
+    options.seed = 1234;
+    return run_under_schedule(
+        apps::amg(), std::make_unique<policy::StepCap>(std::nullopt, 80.0,
+                                                       6.0, 6.0),
+        options);
+  };
+  const RunTraces a = run();
+  const RunTraces b = run();
+  ASSERT_EQ(a.progress.size(), b.progress.size());
+  for (std::size_t i = 0; i < a.progress.size(); ++i) {
+    ASSERT_EQ(a.progress[i], b.progress[i]) << "window " << i;
+  }
+  ASSERT_EQ(a.power.size(), b.power.size());
+  for (std::size_t i = 0; i < a.power.size(); ++i) {
+    ASSERT_EQ(a.power[i], b.power[i]) << "second " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.total_progress, b.total_progress);
+}
+
+TEST(Determinism, DifferentSeedsDifferOnNoisyWorkloads) {
+  // Totals can coincide (iteration counts are small integers); the
+  // window-by-window timing of a noisy workload cannot.
+  auto windows = [](std::uint64_t seed) {
+    RunOptions options;
+    options.duration = 15.0;
+    options.seed = seed;
+    return run_under_schedule(apps::amg(),
+                              std::make_unique<policy::UncappedSchedule>(),
+                              options)
+        .progress.values();
+  };
+  const auto a = windows(1);
+  const auto b = windows(2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace procap::exp

@@ -1,0 +1,145 @@
+// Tests for the auto-discovering MonitorHub and the shared RateWindower.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "progress/hub.hpp"
+#include "progress/reporter.hpp"
+#include "progress/windower.hpp"
+
+namespace procap::progress {
+namespace {
+
+// ---- RateWindower in isolation -----------------------------------------
+
+TEST(RateWindower, RejectsNonPositiveWindow) {
+  EXPECT_THROW(RateWindower(0, 0), std::invalid_argument);
+}
+
+TEST(RateWindower, ClosesWindowsWithZeroFill) {
+  RateWindower w(0, kNanosPerSecond);
+  w.add(to_nanos(0.5), 10.0);
+  w.close_up_to(to_nanos(3.5));
+  ASSERT_EQ(w.windows(), 3U);
+  EXPECT_DOUBLE_EQ(w.rates()[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(w.rates()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(w.rates()[2].value, 0.0);
+  EXPECT_DOUBLE_EQ(w.total_work(), 10.0);
+}
+
+TEST(RateWindower, NonZeroOriginAlignsWindows) {
+  RateWindower w(to_nanos(10.0), kNanosPerSecond);
+  w.add(to_nanos(10.2), 4.0);
+  w.close_up_to(to_nanos(11.0));
+  ASSERT_EQ(w.windows(), 1U);
+  EXPECT_EQ(w.rates()[0].t, to_nanos(10.0));
+  EXPECT_DOUBLE_EQ(w.current_rate(), 4.0);
+}
+
+TEST(RateWindower, PhaseAttributionByDominantAmount) {
+  RateWindower w(0, kNanosPerSecond);
+  w.add(to_nanos(0.2), 1.0, 0);
+  w.add(to_nanos(0.4), 5.0, 1);  // phase 1 dominates
+  w.close_up_to(kNanosPerSecond);
+  ASSERT_TRUE(w.phase_rates().contains(1));
+  EXPECT_FALSE(w.phase_rates().contains(0));
+  EXPECT_DOUBLE_EQ(w.phase_rates().at(1)[0].value, 6.0);
+}
+
+// ---- MonitorHub ---------------------------------------------------------
+
+class HubTest : public ::testing::Test {
+ protected:
+  ManualTimeSource clock_;
+  msgbus::Broker broker_{clock_};
+};
+
+TEST_F(HubTest, ValidatesArguments) {
+  EXPECT_THROW(MonitorHub(nullptr, clock_), std::invalid_argument);
+  EXPECT_THROW(MonitorHub(broker_.make_sub(), clock_, 0),
+               std::invalid_argument);
+}
+
+TEST_F(HubTest, DiscoversApplicationsAsTheyPublish) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  EXPECT_TRUE(hub.applications().empty());
+  Reporter a(broker_.make_pub(), {"alpha", "u"});
+  Reporter b(broker_.make_pub(), {"beta", "u"});
+  clock_.advance(to_nanos(0.5));
+  a.report(2.0);
+  hub.poll();
+  EXPECT_EQ(hub.applications(), (std::vector<std::string>{"alpha"}));
+  clock_.advance(to_nanos(0.2));
+  b.report(3.0);
+  hub.poll();
+  EXPECT_EQ(hub.applications(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_TRUE(hub.knows("alpha"));
+  EXPECT_FALSE(hub.knows("gamma"));
+}
+
+TEST_F(HubTest, PerAppRatesAreIndependent) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  Reporter fast(broker_.make_pub(), {"fast", "u"});
+  Reporter slow(broker_.make_pub(), {"slow", "u"});
+  for (int i = 0; i < 10; ++i) {
+    clock_.advance(to_nanos(0.1));
+    fast.report(1.0);
+    if (i == 4) {
+      slow.report(7.0);
+    }
+  }
+  clock_.advance(to_nanos(0.5));  // now 1.5 s: the first windows closed
+  hub.poll();
+  EXPECT_DOUBLE_EQ(hub.current_rate("fast"), 9.0);  // 9 samples in [0,1)
+  EXPECT_DOUBLE_EQ(hub.current_rate("slow"), 7.0);
+  EXPECT_DOUBLE_EQ(hub.current_rate("unknown"), 0.0);
+  EXPECT_EQ(hub.windower("unknown"), nullptr);
+}
+
+TEST_F(HubTest, WindowsAlignedAcrossApps) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  Reporter early(broker_.make_pub(), {"early", "u"});
+  Reporter late(broker_.make_pub(), {"late", "u"});
+  clock_.advance(to_nanos(0.3));
+  early.report(1.0);
+  clock_.advance(to_nanos(2.4));  // late's first sample at 2.7 s
+  late.report(1.0);
+  clock_.advance(to_nanos(1.0));
+  hub.poll();
+  // Both apps' windows sit on the hub's 1 s grid.
+  ASSERT_NE(hub.windower("early"), nullptr);
+  ASSERT_NE(hub.windower("late"), nullptr);
+  EXPECT_EQ(hub.windower("early")->rates()[0].t, 0);
+  EXPECT_EQ(hub.windower("late")->rates()[0].t, to_nanos(2.0));
+}
+
+TEST_F(HubTest, MalformedAndForeignTopicsCounted) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  auto pub = broker_.make_pub();
+  pub->publish("progress/app", "garbage payload");
+  pub->publish("progress/", encode_sample({1.0, kNoPhase}));  // empty name
+  hub.poll();
+  EXPECT_EQ(hub.malformed(), 2U);
+  EXPECT_EQ(hub.samples(), 0U);
+}
+
+TEST_F(HubTest, TracksTwoSimulatedAppsOnOnePackage) {
+  exp::SimRig rig;
+  const auto lammps = apps::lammps();
+  const auto stream = apps::stream();
+  apps::SimApp app1(rig.package(), rig.broker(), lammps.spec, 1,
+                    apps::CoreRange{0, 12});
+  apps::SimApp app2(rig.package(), rig.broker(), stream.spec, 2,
+                    apps::CoreRange{12, 12});
+  MonitorHub hub(rig.broker().make_sub(), rig.time());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { hub.poll(); });
+  rig.engine().run_for(to_nanos(10.0));
+  hub.poll();
+  ASSERT_EQ(hub.applications().size(), 2U);
+  EXPECT_GT(hub.current_rate("lammps"), 0.0);
+  EXPECT_GT(hub.current_rate("stream"), 0.0);
+}
+
+}  // namespace
+}  // namespace procap::progress

@@ -1,0 +1,197 @@
+// Tests for the simulated core: segment timing under DVFS and duty
+// modulation, counter accounting, spin/idle behaviour.
+#include <gtest/gtest.h>
+
+#include "hw/core.hpp"
+#include "hw/spec.hpp"
+
+namespace procap::hw {
+namespace {
+
+class HwCoreTest : public ::testing::Test {
+ protected:
+  CpuSpec spec_ = CpuSpec::skylake24();
+  Core core_{0, spec_};
+
+  // Step the core for `seconds` at (f, duty), returning summed usage.
+  CoreTickUsage run(Seconds seconds, Hertz f, double duty = 1.0) {
+    CoreTickUsage total;
+    const Nanos dt = msec(1);
+    Nanos now = 0;
+    const Nanos end = to_nanos(seconds);
+    while (now < end) {
+      const CoreTickUsage u = core_.step(now, dt, f, duty);
+      total.compute_active += u.compute_active;
+      total.stall_active += u.stall_active;
+      total.spin_active += u.spin_active;
+      total.gated += u.gated;
+      total.sleeping += u.sleeping;
+      total.idle += u.idle;
+      total.bytes += u.bytes;
+      now += dt;
+    }
+    return total;
+  }
+};
+
+TEST_F(HwCoreTest, ComputeTimeScalesWithFrequency) {
+  // 3.3e9 cycles at 3.3 GHz = 1 second of compute.
+  core_.push_compute(3.3e9, 1e9);
+  const CoreTickUsage u = run(2.0, mhz(3300));
+  EXPECT_NEAR(u.compute_active, 1.0, 0.002);
+  EXPECT_NEAR(u.idle, 1.0, 0.002);
+
+  // The same work at half frequency takes twice as long.
+  core_.push_compute(3.3e9, 1e9);
+  const CoreTickUsage u2 = run(3.0, mhz(1650));
+  EXPECT_NEAR(u2.compute_active, 2.0, 0.002);
+}
+
+TEST_F(HwCoreTest, MemoryStallIsFrequencyInvariant) {
+  core_.push_memory(0.5, 64.0 * 1000, 1e6);
+  const CoreTickUsage u = run(1.0, mhz(3300));
+  EXPECT_NEAR(u.stall_active, 0.5, 0.002);
+
+  core_.push_memory(0.5, 64.0 * 1000, 1e6);
+  const CoreTickUsage u2 = run(1.0, mhz(1200));
+  EXPECT_NEAR(u2.stall_active, 0.5, 0.002);
+}
+
+TEST_F(HwCoreTest, DutyCyclingStretchesComputeAndMemory) {
+  // At duty 0.5, 0.25 s of compute plus 0.25 s of stall takes ~1 s wall.
+  core_.push_compute(0.25 * 3.3e9, 1e6);
+  core_.push_memory(0.25, 0.0, 0.0);
+  const CoreTickUsage u = run(1.0, mhz(3300), 0.5);
+  EXPECT_NEAR(u.compute_active, 0.25, 0.003);
+  EXPECT_NEAR(u.stall_active, 0.25, 0.003);
+  EXPECT_NEAR(u.gated, 0.5, 0.005);
+  EXPECT_LT(u.idle, 0.01);
+}
+
+TEST_F(HwCoreTest, SleepElapsesInWallTimeRegardlessOfDuty) {
+  core_.push_sleep(0.5);
+  const CoreTickUsage u = run(1.0, mhz(1200), 1.0 / 16.0);
+  EXPECT_NEAR(u.sleeping, 0.5, 0.002);
+  EXPECT_NEAR(u.idle, 0.5, 0.05);  // remainder mostly idle (low duty spin-gating none)
+}
+
+TEST_F(HwCoreTest, InstructionsProratedAcrossTicks) {
+  core_.push_compute(3.3e7, 6.6e7);  // 10 ms of work, IPC 2
+  (void)run(0.005, mhz(3300));       // half the segment
+  EXPECT_NEAR(core_.counters().instructions, 3.3e7, 1e5);
+  (void)run(0.01, mhz(3300));  // finish
+  EXPECT_NEAR(core_.counters().instructions, 6.6e7, 1e5);
+}
+
+TEST_F(HwCoreTest, BytesAndMissesAccounted) {
+  const double bytes = 64.0 * 12345;
+  core_.push_memory(0.01, bytes, 0.0);
+  const CoreTickUsage u = run(0.02, mhz(3300));
+  EXPECT_NEAR(u.bytes, bytes, 1.0);
+  EXPECT_NEAR(core_.counters().l3_misses, 12345.0, 0.5);
+}
+
+TEST_F(HwCoreTest, SpinBurnsInstructionsWithoutProgress) {
+  core_.set_spin(true);
+  const CoreTickUsage u = run(1.0, mhz(3300));
+  EXPECT_NEAR(u.spin_active, 1.0, 0.002);
+  // spin_ipc * f * t instructions.
+  EXPECT_NEAR(core_.counters().instructions, spec_.spin_ipc * 3.3e9, 1e7);
+  EXPECT_DOUBLE_EQ(u.bytes, 0.0);
+}
+
+TEST_F(HwCoreTest, SpinRespectsDutyGating) {
+  core_.set_spin(true);
+  const CoreTickUsage u = run(1.0, mhz(3300), 0.25);
+  EXPECT_NEAR(u.spin_active, 0.25, 0.003);
+  EXPECT_NEAR(u.gated, 0.75, 0.003);
+}
+
+TEST_F(HwCoreTest, IdleWhenNoWorkAndNoSpin) {
+  const CoreTickUsage u = run(0.5, mhz(3300));
+  EXPECT_NEAR(u.idle, 0.5, 0.002);
+  EXPECT_DOUBLE_EQ(core_.counters().instructions, 0.0);
+}
+
+TEST_F(HwCoreTest, IdleCallbackSuppliesWork) {
+  int calls = 0;
+  core_.set_idle_callback([&](unsigned id, Nanos) {
+    EXPECT_EQ(id, 0U);
+    if (calls++ == 0) {
+      core_.push_compute(3.3e6, 1000);  // 1 ms of work
+    }
+  });
+  const CoreTickUsage u = run(0.01, mhz(3300));
+  EXPECT_NEAR(u.compute_active, 0.001, 1e-4);
+  EXPECT_GE(calls, 2);  // once to push work, later ticks find nothing
+}
+
+TEST_F(HwCoreTest, ZeroLengthSegmentsBookkeepImmediately) {
+  core_.push_compute(0.0, 500.0);
+  core_.push_memory(0.0, 640.0, 100.0);
+  EXPECT_TRUE(core_.queue_empty());
+  EXPECT_DOUBLE_EQ(core_.counters().instructions, 600.0);
+  EXPECT_DOUBLE_EQ(core_.counters().l3_misses, 10.0);
+}
+
+TEST_F(HwCoreTest, NegativeAmountsRejected) {
+  EXPECT_THROW(core_.push_compute(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(core_.push_memory(-1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(core_.push_sleep(-1.0), std::invalid_argument);
+}
+
+TEST_F(HwCoreTest, ResetCountersZeroes) {
+  core_.push_compute(3.3e6, 1000);
+  (void)run(0.01, mhz(3300));
+  core_.reset_counters();
+  EXPECT_DOUBLE_EQ(core_.counters().instructions, 0.0);
+  EXPECT_DOUBLE_EQ(core_.counters().core_cycles, 0.0);
+}
+
+TEST_F(HwCoreTest, UsageAccountsFullTick) {
+  core_.push_compute(3.3e6, 0.0);
+  core_.push_sleep(0.002);
+  core_.set_spin(true);
+  const CoreTickUsage u = run(0.01, mhz(3300), 0.5);
+  EXPECT_NEAR(u.total(), 0.01, 1e-6);
+}
+
+TEST(CpuSpecTest, FrequencySnapping) {
+  const CpuSpec spec = CpuSpec::skylake24();
+  EXPECT_DOUBLE_EQ(spec.clamp_frequency(mhz(2650)), mhz(2600));
+  EXPECT_DOUBLE_EQ(spec.clamp_frequency(mhz(99999)), mhz(3700));
+  EXPECT_DOUBLE_EQ(spec.clamp_frequency(mhz(100)), mhz(1200));
+}
+
+TEST(CpuSpecTest, DutySnapping) {
+  const CpuSpec spec = CpuSpec::skylake24();
+  EXPECT_DOUBLE_EQ(spec.snap_duty(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.snap_duty(0.49), 0.5);
+  EXPECT_DOUBLE_EQ(spec.snap_duty(0.0), 1.0 / 16.0);
+}
+
+TEST(CpuSpecTest, EffectiveAlphaInRealisticRange) {
+  const CpuSpec spec = CpuSpec::skylake24();
+  const double alpha = spec.effective_alpha(spec.f_min, spec.f_max);
+  // The design point: super-quadratic (the model assumes exactly 2).
+  EXPECT_GT(alpha, 2.1);
+  EXPECT_LT(alpha, 2.8);
+  // ...and the local exponent in the turbo band is much steeper.
+  const double turbo_alpha = spec.effective_alpha(spec.f_nominal, spec.f_max);
+  EXPECT_GT(turbo_alpha, 3.0);
+}
+
+TEST(CpuSpecTest, VoltageMonotoneInFrequency) {
+  const CpuSpec spec = CpuSpec::skylake24();
+  EXPECT_DOUBLE_EQ(spec.voltage(spec.f_min), spec.v_min);
+  EXPECT_DOUBLE_EQ(spec.voltage(spec.f_nominal), spec.v_nominal);
+  EXPECT_DOUBLE_EQ(spec.voltage(spec.f_max), spec.v_turbo);
+  EXPECT_LT(spec.voltage(mhz(2000)), spec.voltage(mhz(3000)));
+  // Turbo segment is steeper than the nominal DVFS segment.
+  const double dvfs_slope = (spec.voltage(mhz(3300)) - spec.voltage(mhz(2300))) / 1.0;
+  const double turbo_slope = (spec.voltage(mhz(3700)) - spec.voltage(mhz(3400))) / 0.3;
+  EXPECT_GT(turbo_slope, dvfs_slope * 1.5);
+}
+
+}  // namespace
+}  // namespace procap::hw

@@ -1,0 +1,124 @@
+// Tests for the DRAM RAPL domain: metering, MSR wiring, and
+// bandwidth-throttling enforcement.
+#include <gtest/gtest.h>
+
+#include "exp/rig.hpp"
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "hw/node.hpp"
+#include "progress/monitor.hpp"
+#include "rapl/rapl.hpp"
+#include "util/time.hpp"
+
+namespace procap::hw {
+namespace {
+
+TEST(DramDomain, IdleDramPowerIsStatic) {
+  Package pkg(CpuSpec::skylake24());
+  for (Nanos t = 0; t < to_nanos(0.2); t += msec(1)) {
+    pkg.step(t, msec(1));
+  }
+  EXPECT_NEAR(pkg.dram_power(), CpuSpec::skylake24().dram_static, 0.1);
+}
+
+TEST(DramDomain, DramPowerScalesWithBandwidth) {
+  exp::SimRig rig;
+  const auto model = apps::stream();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(2.0));
+  // STREAM drives ~100 GB/s: dram ~ 3 + 0.30 * bw averages near 30 W.
+  const Joules e = rig.package().dram_energy();
+  EXPECT_GT(e / 2.0, 20.0);
+  EXPECT_LT(e / 2.0, 45.0);
+}
+
+TEST(DramDomain, EnergyStatusMsrAndInterface) {
+  exp::SimRig rig;
+  const auto model = apps::stream();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(1.0));
+  EXPECT_NEAR(rig.rapl().dram_energy(), rig.package().dram_energy(), 0.01);
+  // The interface derives *mean* power from successive energy reads;
+  // compare against the same mean computed from the package energy
+  // directly (instantaneous dram_power() is bursty for STREAM).
+  const Joules e0 = rig.package().dram_energy();
+  (void)rig.rapl().dram_power();  // establish the measurement origin
+  rig.engine().run_for(to_nanos(2.0));
+  const Watts mean = (rig.package().dram_energy() - e0) / 2.0;
+  EXPECT_NEAR(rig.rapl().dram_power(), mean, 0.5);
+}
+
+TEST(DramDomain, LimitRoundTripThroughMsr) {
+  exp::SimRig rig;
+  rig.rapl().set_dram_cap(22.0);
+  const auto limit = rig.rapl().dram_limit();
+  EXPECT_TRUE(limit.pl1.enabled);
+  EXPECT_NEAR(limit.pl1.power, 22.0, 0.125);
+  EXPECT_TRUE(rig.package().dram_firmware().enforcing());
+  rig.rapl().clear_dram_cap();
+  EXPECT_FALSE(rig.package().dram_firmware().enforcing());
+  EXPECT_DOUBLE_EQ(rig.package().dram_firmware().throttle(), 1.0);
+}
+
+TEST(DramDomain, CapRejectsNonPositive) {
+  exp::SimRig rig;
+  EXPECT_THROW(rig.rapl().set_dram_cap(0.0), std::invalid_argument);
+}
+
+TEST(DramDomain, CapThrottlesMemoryBoundApp) {
+  exp::SimRig rig;
+  const auto model = apps::stream();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "stream", rig.time());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+
+  rig.engine().run_for(to_nanos(10.0));
+  const double rate_uncapped = monitor.rates().mean_in(to_nanos(3.0),
+                                                       to_nanos(10.0));
+  // STREAM's uncapped DRAM power is ~33 W; cap at 18 W.
+  rig.rapl().set_dram_cap(18.0);
+  rig.engine().run_for(to_nanos(15.0));
+  const double rate_capped = monitor.rates().mean_in(to_nanos(15.0),
+                                                     to_nanos(25.0));
+  EXPECT_LT(rig.package().memory_throttle(), 1.0);
+  EXPECT_NEAR(rig.package().dram_firmware().running_average(), 18.0, 2.0);
+  // Memory-bound progress collapses roughly with the bandwidth cut.
+  EXPECT_LT(rate_capped, 0.75 * rate_uncapped);
+}
+
+TEST(DramDomain, CapBarelyAffectsComputeBoundApp) {
+  exp::SimRig rig;
+  const auto model = apps::lammps();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+
+  rig.engine().run_for(to_nanos(10.0));
+  const double rate_uncapped = monitor.rates().mean_in(to_nanos(3.0),
+                                                       to_nanos(10.0));
+  // LAMMPS's DRAM power is near the static floor; the same 18 W cap that
+  // cripples STREAM does nothing here.
+  rig.rapl().set_dram_cap(18.0);
+  rig.engine().run_for(to_nanos(15.0));
+  const double rate_capped = monitor.rates().mean_in(to_nanos(15.0),
+                                                     to_nanos(25.0));
+  EXPECT_GT(rate_capped, 0.97 * rate_uncapped);
+}
+
+TEST(DramDomain, FirmwareThrottleBounds) {
+  CpuSpec spec = CpuSpec::skylake24();
+  DramFirmware fw(spec);
+  rapl::PkgPowerLimit limit;
+  limit.pl1.power = 1.0;  // unreachable: static floor is 3 W
+  limit.pl1.time_window = 0.04;
+  limit.pl1.enabled = true;
+  fw.program(limit);
+  for (int i = 0; i < 5000; ++i) {
+    fw.observe(30.0, msec(1));
+  }
+  EXPECT_GE(fw.throttle(), 1.0 / 16.0 - 1e-12);
+  EXPECT_LT(fw.throttle(), 0.2);
+}
+
+}  // namespace
+}  // namespace procap::hw

@@ -1,0 +1,115 @@
+// Tests for the RAPL firmware controller in isolation (scripted power).
+#include <gtest/gtest.h>
+
+#include "hw/firmware.hpp"
+
+namespace procap::hw {
+namespace {
+
+rapl::PkgPowerLimit make_limit(Watts cap, bool enabled = true,
+                               Seconds window = 0.01) {
+  rapl::PkgPowerLimit limit;
+  limit.pl1.power = cap;
+  limit.pl1.time_window = window;
+  limit.pl1.enabled = enabled;
+  limit.pl1.clamped = true;
+  return limit;
+}
+
+class FirmwareTest : public ::testing::Test {
+ protected:
+  CpuSpec spec_ = CpuSpec::skylake24();
+  RaplFirmware fw_{spec_};
+
+  void feed(Watts power, int steps) {
+    for (int i = 0; i < steps; ++i) {
+      fw_.observe(power, msec(1));
+    }
+  }
+};
+
+TEST_F(FirmwareTest, UncappedByDefault) {
+  EXPECT_FALSE(fw_.enforcing());
+  feed(200.0, 100);
+  EXPECT_DOUBLE_EQ(fw_.frequency_cap(), spec_.f_max);
+  EXPECT_DOUBLE_EQ(fw_.duty_cap(), 1.0);
+}
+
+TEST_F(FirmwareTest, ThrottlesFrequencyWhenOverCap) {
+  fw_.program(make_limit(100.0));
+  feed(150.0, 5);
+  EXPECT_LT(fw_.frequency_cap(), spec_.f_max);
+  EXPECT_DOUBLE_EQ(fw_.duty_cap(), 1.0);  // duty untouched before f_min
+}
+
+TEST_F(FirmwareTest, OneBinPerActuationPeriod) {
+  // Window 10 ms -> one actuation per 5 ms; the first move is immediate.
+  // Eleven 1 ms observations allow moves at t = 1, 6, 11 ms: three bins.
+  fw_.program(make_limit(100.0));
+  feed(150.0, 11);
+  EXPECT_DOUBLE_EQ(fw_.frequency_cap(), spec_.f_max - 3 * spec_.f_step);
+}
+
+TEST_F(FirmwareTest, EngagesDutyCyclingAtFrequencyFloor) {
+  fw_.program(make_limit(30.0));
+  const int bins = static_cast<int>(spec_.frequency_bins());
+  feed(150.0, 5 * (bins + 5) + 5);
+  EXPECT_DOUBLE_EQ(fw_.frequency_cap(), spec_.f_min);
+  EXPECT_LT(fw_.duty_cap(), 1.0);
+}
+
+TEST_F(FirmwareTest, DutyNeverBelowOneSixteenth) {
+  fw_.program(make_limit(1.0));
+  feed(150.0, 500);
+  EXPECT_GE(fw_.duty_cap(), CpuSpec::kDutyStep - 1e-12);
+}
+
+TEST_F(FirmwareTest, RecoversDutyBeforeFrequency) {
+  fw_.program(make_limit(30.0));
+  feed(150.0, 300);  // deep throttle: f_min + duty cycling
+  ASSERT_LT(fw_.duty_cap(), 1.0);
+  // Now power is far below cap: duty must recover to 1.0 before f rises.
+  Watts p = 10.0;
+  while (fw_.duty_cap() < 1.0) {
+    fw_.observe(p, msec(1));
+    EXPECT_DOUBLE_EQ(fw_.frequency_cap(), spec_.f_min);
+  }
+  feed(10.0, 5);
+  EXPECT_GT(fw_.frequency_cap(), spec_.f_min);
+}
+
+TEST_F(FirmwareTest, HoldsWithinHysteresisBand) {
+  fw_.program(make_limit(100.0));
+  feed(99.0, 50);  // inside [cap - margin, cap]: no movement off f_max
+  EXPECT_DOUBLE_EQ(fw_.frequency_cap(), spec_.f_max);
+  EXPECT_DOUBLE_EQ(fw_.duty_cap(), 1.0);
+}
+
+TEST_F(FirmwareTest, DisableReleasesActuators) {
+  fw_.program(make_limit(50.0));
+  feed(150.0, 50);
+  ASSERT_LT(fw_.frequency_cap(), spec_.f_max);
+  fw_.program(make_limit(50.0, /*enabled=*/false));
+  EXPECT_DOUBLE_EQ(fw_.frequency_cap(), spec_.f_max);
+  EXPECT_DOUBLE_EQ(fw_.duty_cap(), 1.0);
+}
+
+TEST_F(FirmwareTest, RunningAverageTracksWindow) {
+  fw_.program(make_limit(100.0, true, 0.02));
+  fw_.observe(200.0, msec(1));  // priming sets avg directly
+  EXPECT_NEAR(fw_.running_average(), 200.0, 1e-9);
+  // A sudden drop moves the average only partially (EMA with 20 ms tau).
+  fw_.observe(0.0, msec(1));
+  EXPECT_GT(fw_.running_average(), 150.0);
+}
+
+TEST_F(FirmwareTest, RecoveryRaisesFrequencyTowardMax) {
+  fw_.program(make_limit(100.0));
+  feed(150.0, 10);
+  const Hertz throttled = fw_.frequency_cap();
+  feed(50.0, 30);  // far under cap
+  EXPECT_GT(fw_.frequency_cap(), throttled);
+}
+
+}  // namespace
+}  // namespace procap::hw

@@ -1,0 +1,254 @@
+// Tests for the package power model, operating-point resolution, RAPL
+// enforcement end-to-end, and the node's MSR wiring.
+#include <gtest/gtest.h>
+
+#include "hw/node.hpp"
+#include "hw/package.hpp"
+#include "msr/addresses.hpp"
+#include "rapl/rapl.hpp"
+#include "util/time.hpp"
+
+namespace procap::hw {
+namespace {
+
+// Keep every core busy with compute work (beta ~ 1 workload).
+void load_compute(Package& pkg) {
+  for (unsigned c = 0; c < pkg.core_count(); ++c) {
+    pkg.core(c).set_idle_callback([&pkg](unsigned core, Nanos) {
+      pkg.core(core).push_compute(3.3e8, 3.3e8);  // ~100 ms chunks
+    });
+  }
+}
+
+// Keep every core mostly stalled with heavy traffic (memory-bound).
+void load_memory(Package& pkg) {
+  for (unsigned c = 0; c < pkg.core_count(); ++c) {
+    pkg.core(c).set_idle_callback([&pkg](unsigned core, Nanos) {
+      pkg.core(core).push_compute(0.37 * 3.3e7, 3.3e7);
+      pkg.core(core).push_memory(0.0063, 4.0e7, 1e5);
+    });
+  }
+}
+
+void run(Package& pkg, Seconds seconds) {
+  const Nanos dt = msec(1);
+  for (Nanos now = 0; now < to_nanos(seconds); now += dt) {
+    pkg.step(now, dt);
+  }
+}
+
+// Per-tick means over a run; bulk-synchronous loads oscillate tick to
+// tick (all cores compute, then all stall), so assertions about power
+// composition must look at averages, not the last tick.
+struct RunAverages {
+  double bandwidth_gbps = 0.0;
+  Watts core_dynamic = 0.0;
+  Watts uncore = 0.0;
+  Watts power = 0.0;
+};
+
+RunAverages run_averaged(Package& pkg, Seconds seconds) {
+  const Nanos dt = msec(1);
+  RunAverages avg;
+  std::size_t ticks = 0;
+  for (Nanos now = 0; now < to_nanos(seconds); now += dt) {
+    pkg.step(now, dt);
+    avg.bandwidth_gbps += pkg.bandwidth_gbps();
+    avg.core_dynamic += pkg.breakdown().core_dynamic;
+    avg.uncore += pkg.breakdown().uncore;
+    avg.power += pkg.power();
+    ++ticks;
+  }
+  const auto n = static_cast<double>(ticks);
+  avg.bandwidth_gbps /= n;
+  avg.core_dynamic /= n;
+  avg.uncore /= n;
+  avg.power /= n;
+  return avg;
+}
+
+TEST(Package, IdlePowerIsStaticFloor) {
+  Package pkg(CpuSpec::skylake24());
+  run(pkg, 0.1);
+  const PowerBreakdown& b = pkg.breakdown();
+  // Idle: near-zero dynamic, full static + uncore idle + base.
+  EXPECT_LT(b.core_dynamic, 6.0);
+  EXPECT_DOUBLE_EQ(b.core_static, 24.0 * 0.4);
+  EXPECT_NEAR(b.uncore, 6.0, 0.5);
+  EXPECT_NEAR(pkg.power(), 24.0, 5.0);
+}
+
+TEST(Package, ComputeBoundPowerNearDesignPoint) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  run(pkg, 0.5);
+  // Design point: ~150 W for a fully compute-bound 24-core load, which
+  // turbos to f_max while uncapped.
+  EXPECT_NEAR(pkg.power(), 150.0, 8.0);
+  EXPECT_DOUBLE_EQ(pkg.frequency(), mhz(3700));
+}
+
+TEST(Package, MemoryBoundBurnsUncorePower) {
+  Package pkg(CpuSpec::skylake24());
+  load_memory(pkg);
+  const RunAverages avg = run_averaged(pkg, 0.5);
+  EXPECT_GT(avg.bandwidth_gbps, 70.0);
+  EXPECT_GT(avg.uncore, 25.0);
+  // Stalled cores still burn most of their dynamic power, but less than
+  // the fully compute-bound case (~129 W at turbo).
+  EXPECT_LT(avg.core_dynamic, 115.0);
+}
+
+TEST(Package, EnergyIntegratesPower) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  run(pkg, 1.0);
+  EXPECT_NEAR(pkg.energy(), pkg.power() * 1.0, pkg.power() * 0.05);
+}
+
+TEST(Package, DvfsRequestLowersFrequencyAndPower) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  run(pkg, 0.2);
+  const Watts p_max = pkg.power();
+  pkg.request_frequency(mhz(1600));
+  run(pkg, 0.2);
+  EXPECT_DOUBLE_EQ(pkg.frequency(), mhz(1600));
+  EXPECT_LT(pkg.power(), p_max * 0.6);
+}
+
+TEST(Package, RaplCapConvergesOntoCap) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  rapl::PkgPowerLimit limit;
+  limit.pl1.power = 100.0;
+  limit.pl1.time_window = 0.01;
+  limit.pl1.enabled = true;
+  pkg.firmware().program(limit);
+  run(pkg, 2.0);
+  EXPECT_NEAR(pkg.firmware().running_average(), 100.0, 3.0);
+  // Settles below the turbo band (uncapped would run at 3700).
+  EXPECT_LT(pkg.frequency(), mhz(3500));
+  EXPECT_GT(pkg.frequency(), mhz(1200));
+}
+
+TEST(Package, ApplicationAwareFrequencyUnderSameCap) {
+  // Paper Fig. 2: under an identical cap, the compute-bound app runs at a
+  // HIGHER frequency than the memory-bound one (whose uncore eats budget).
+  rapl::PkgPowerLimit limit;
+  limit.pl1.power = 100.0;
+  limit.pl1.time_window = 0.01;
+  limit.pl1.enabled = true;
+
+  Package compute_pkg(CpuSpec::skylake24());
+  load_compute(compute_pkg);
+  compute_pkg.firmware().program(limit);
+  run(compute_pkg, 3.0);
+
+  Package memory_pkg(CpuSpec::skylake24());
+  load_memory(memory_pkg);
+  memory_pkg.firmware().program(limit);
+  run(memory_pkg, 3.0);
+
+  EXPECT_GT(compute_pkg.frequency(), memory_pkg.frequency() + mhz(100));
+}
+
+TEST(Package, StringentCapEngagesDutyCycling) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  rapl::PkgPowerLimit limit;
+  // Below the DVFS floor (~29 W) but above the static floor (~21 W),
+  // so duty cycling must engage and can settle on the cap.
+  limit.pl1.power = 25.0;
+  limit.pl1.time_window = 0.01;
+  limit.pl1.enabled = true;
+  pkg.firmware().program(limit);
+  run(pkg, 3.0);
+  EXPECT_DOUBLE_EQ(pkg.frequency(), mhz(1200));
+  EXPECT_LT(pkg.duty(), 1.0);
+  EXPECT_NEAR(pkg.firmware().running_average(), 25.0, 3.0);
+}
+
+TEST(Package, CountersAggregateAcrossCores) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  run(pkg, 0.1);
+  const CoreCounters total = pkg.total_counters();
+  EXPECT_GT(total.instructions, 0.0);
+  EXPECT_GT(total.core_cycles, 0.0);
+  pkg.reset_counters();
+  EXPECT_DOUBLE_EQ(pkg.total_counters().instructions, 0.0);
+}
+
+// ---- Node / MSR wiring -------------------------------------------------
+
+TEST(Node, CpuNumberingAndLeaders) {
+  NodeSpec spec;
+  spec.packages = 2;
+  Node node(spec);
+  EXPECT_EQ(node.cpu_count(), 48U);
+  EXPECT_EQ(node.package_leaders(), (std::vector<unsigned>{0, 24}));
+  EXPECT_EQ(&node.core(25), &node.package(1).core(1));
+}
+
+TEST(Node, EnergyStatusMsrReflectsPackageEnergy) {
+  Node node;
+  ManualTimeSource clock;
+  rapl::RaplInterface rapl(node.msr(), clock, node.package_leaders());
+  for (Nanos t = 0; t < to_nanos(1.0); t += msec(1)) {
+    node.step(t, msec(1));
+  }
+  const Joules j = rapl.pkg_energy();
+  EXPECT_NEAR(j, node.package().energy(), 0.01);
+  EXPECT_GT(j, 10.0);  // idle floor is ~24 W for a second
+}
+
+TEST(Node, PowerLimitWriteReachesFirmware) {
+  Node node;
+  ManualTimeSource clock;
+  rapl::RaplInterface rapl(node.msr(), clock, node.package_leaders());
+  rapl.set_pkg_cap(90.0);
+  EXPECT_TRUE(node.package().firmware().enforcing());
+  EXPECT_NEAR(node.package().firmware().limit().pl1.power, 90.0, 0.125);
+  rapl.clear_pkg_cap();
+  EXPECT_FALSE(node.package().firmware().enforcing());
+}
+
+TEST(Node, PerfCtlWriteSetsRequestedFrequency) {
+  Node node;
+  ManualTimeSource clock;
+  rapl::RaplInterface rapl(node.msr(), clock, node.package_leaders());
+  rapl.set_frequency(mhz(2100));
+  EXPECT_DOUBLE_EQ(node.package().requested_frequency(), mhz(2100));
+  node.step(0, msec(1));
+  EXPECT_DOUBLE_EQ(rapl.frequency(), mhz(2100));
+}
+
+TEST(Node, ClockModulationWriteSetsDuty) {
+  Node node;
+  ManualTimeSource clock;
+  rapl::RaplInterface rapl(node.msr(), clock, node.package_leaders());
+  rapl.set_clock_modulation(0.5);
+  EXPECT_DOUBLE_EQ(node.package().requested_duty(), 0.5);
+}
+
+TEST(Node, AperfMperfRatioTracksEffectiveFrequency) {
+  Node node;
+  node.package().request_frequency(mhz(1650));  // half of nominal max
+  // Load one core with compute so APERF advances.
+  node.core(0).set_idle_callback([&node](unsigned, Nanos) {
+    node.core(0).push_compute(1e9, 1e9);
+  });
+  for (Nanos t = 0; t < to_nanos(0.5); t += msec(1)) {
+    node.step(t, msec(1));
+  }
+  const auto aperf = static_cast<double>(
+      node.msr().read(0, msr::kIa32Aperf));
+  const auto mperf = static_cast<double>(
+      node.msr().read(0, msr::kIa32Mperf));
+  // APERF counts at 1650 MHz while busy; MPERF at the fixed 100 MHz ref.
+  EXPECT_NEAR(aperf / mperf, 16.5, 0.5);
+}
+
+}  // namespace
+}  // namespace procap::hw

@@ -1,0 +1,133 @@
+// Tests for the opt-in thermal model: RC dynamics, temperature-dependent
+// leakage, PROCHOT throttling, the THERM_STATUS MSR, and the thermal-
+// headroom effect of power capping.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "hw/node.hpp"
+#include "msr/addresses.hpp"
+
+namespace procap::hw {
+namespace {
+
+NodeSpec thermal_node() {
+  NodeSpec spec;
+  spec.cpu.thermal_enabled = true;
+  return spec;
+}
+
+void load_compute(Package& pkg) {
+  for (unsigned c = 0; c < pkg.core_count(); ++c) {
+    pkg.core(c).set_idle_callback([&pkg](unsigned core, Nanos) {
+      pkg.core(core).push_compute(3.3e8, 3.3e8);
+    });
+  }
+}
+
+void run(Package& pkg, Seconds seconds) {
+  for (Nanos t = 0; t < to_nanos(seconds); t += msec(1)) {
+    pkg.step(t, msec(1));
+  }
+}
+
+TEST(Thermal, DisabledByDefaultTemperatureStaysAmbient) {
+  Package pkg(CpuSpec::skylake24());
+  load_compute(pkg);
+  run(pkg, 2.0);
+  EXPECT_DOUBLE_EQ(pkg.temperature(), CpuSpec{}.t_ambient);
+  EXPECT_FALSE(pkg.prochot_active());
+  // Leakage untouched: core static is exactly nominal.
+  EXPECT_DOUBLE_EQ(pkg.breakdown().core_static, 24 * 0.4);
+}
+
+TEST(Thermal, ApproachesSteadyStateWithTau) {
+  CpuSpec spec = CpuSpec::skylake24();
+  spec.thermal_enabled = true;
+  Package pkg(spec);
+  load_compute(pkg);
+  // After one tau, ~63% of the way to steady state; after 5 tau, ~there.
+  run(pkg, spec.thermal_tau);
+  const double t_steady =
+      spec.t_ambient + spec.thermal_resistance * pkg.power();
+  const double progress_1tau =
+      (pkg.temperature() - spec.t_ambient) / (t_steady - spec.t_ambient);
+  EXPECT_NEAR(progress_1tau, 0.63, 0.06);
+  run(pkg, 4.0 * spec.thermal_tau);
+  EXPECT_NEAR(pkg.temperature(), t_steady, 1.0);
+  // ~150 W at R = 0.25 C/W over 40 C ambient: ~78 C.
+  EXPECT_NEAR(pkg.temperature(), 78.0, 3.0);
+}
+
+TEST(Thermal, LeakageGrowsWithTemperature) {
+  CpuSpec spec = CpuSpec::skylake24();
+  spec.thermal_enabled = true;
+  Package pkg(spec);
+  load_compute(pkg);
+  run(pkg, 0.05);
+  const Watts static_cold = pkg.breakdown().core_static;  // ~40 C
+  run(pkg, 5.0 * spec.thermal_tau);
+  const Watts static_hot = pkg.breakdown().core_static;  // ~78 C
+  EXPECT_GT(static_hot, static_cold * 1.05);
+  // 0.8%/C * ~38 C above cold, relative to the 70 C reference point.
+  EXPECT_NEAR(static_hot / (24 * 0.4),
+              1.0 + spec.leakage_temp_coeff * (pkg.temperature() - 70.0),
+              0.02);
+}
+
+TEST(Thermal, ProchotClampsAndRecoversWithHysteresis) {
+  CpuSpec spec = CpuSpec::skylake24();
+  spec.thermal_enabled = true;
+  spec.thermal_resistance = 0.45;  // undersized heatsink: 150 W -> ~108 C
+  spec.thermal_tau = 1.0;          // fast, to keep the test short
+  Package pkg(spec);
+  load_compute(pkg);
+  run(pkg, 6.0);
+  // Tripped at some point: frequency clamped to f_min while hot.
+  EXPECT_TRUE(pkg.temperature() < spec.t_prochot + 1.0);
+  // The system self-regulates: at f_min power drops (~30 W -> ~53 C), so
+  // PROCHOT oscillates; observe both states across a window.
+  bool saw_clamp = false;
+  bool saw_release = false;
+  for (int i = 0; i < 20000; ++i) {
+    pkg.step(to_nanos(6.0) + i * msec(1), msec(1));
+    saw_clamp |= pkg.prochot_active() && pkg.frequency() == spec.f_min;
+    saw_release |= !pkg.prochot_active() && pkg.frequency() > spec.f_min;
+  }
+  EXPECT_TRUE(saw_clamp);
+  EXPECT_TRUE(saw_release);
+}
+
+TEST(Thermal, PowerCappingCreatesHeadroom) {
+  // The Section VII (Bhalachandra) mechanism: a cap lowers the steady
+  // temperature, cutting leakage — headroom a smarter policy could spend.
+  auto steady_temp = [](std::optional<Watts> cap) {
+    exp::SimRig rig(thermal_node());
+    const auto model = apps::lammps();
+    apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+    if (cap) {
+      rig.rapl().set_pkg_cap(*cap);
+    }
+    rig.engine().run_for(to_nanos(60.0));
+    return rig.package().temperature();
+  };
+  const double hot = steady_temp(std::nullopt);  // ~150 W
+  const double capped = steady_temp(Watts{90.0});
+  EXPECT_GT(hot, capped + 10.0);  // ~0.25 C/W * 60 W
+}
+
+TEST(Thermal, ThermStatusMsrReadsMarginAndProchot) {
+  exp::SimRig rig(thermal_node());
+  const auto model = apps::lammps();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.engine().run_for(to_nanos(40.0));
+  const std::uint64_t raw =
+      rig.node().msr().read(0, msr::kIa32ThermStatus);
+  const double margin = static_cast<double>((raw >> 16) & 0x7F);
+  EXPECT_NEAR(margin, 100.0 - rig.package().temperature(), 1.0);
+  EXPECT_EQ(raw & 1, 0U);  // not throttling at ~78 C
+}
+
+}  // namespace
+}  // namespace procap::hw

@@ -1,0 +1,195 @@
+// Tests for the job-level substrate: multi-node clusters with
+// manufacturing variability and job-budget distribution policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/suite.hpp"
+#include "job/cluster.hpp"
+#include "job/manager.hpp"
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace procap::job {
+namespace {
+
+ClusterSpec spec_with(unsigned nodes, double cv, std::uint64_t seed = 7) {
+  ClusterSpec spec;
+  spec.nodes = nodes;
+  spec.variability_cv = cv;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Cluster, RejectsZeroNodes) {
+  sim::Engine engine;
+  EXPECT_THROW(Cluster(engine, apps::lammps(), spec_with(0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Cluster, VariabilityIsDeterministicPerSeed) {
+  sim::Engine e1;
+  Cluster a(e1, apps::lammps(), spec_with(4, 0.08, 42));
+  sim::Engine e2;
+  Cluster b(e2, apps::lammps(), spec_with(4, 0.08, 42));
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.node(i).power_efficiency_factor,
+                     b.node(i).power_efficiency_factor);
+  }
+}
+
+TEST(Cluster, VariabilitySpreadsParts) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(8, 0.08));
+  StreamingStats factors;
+  for (unsigned i = 0; i < cluster.size(); ++i) {
+    factors.add(cluster.node(i).power_efficiency_factor);
+  }
+  EXPECT_GT(factors.stddev(), 0.01);
+  EXPECT_NEAR(factors.mean(), 1.0, 0.1);
+}
+
+TEST(Cluster, ZeroVariabilityMeansIdenticalParts) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(3, 0.0));
+  for (unsigned i = 0; i < cluster.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node(i).power_efficiency_factor, 1.0);
+  }
+}
+
+TEST(Cluster, UncappedNodesPerformIdentically) {
+  // Variability is a *power* spread; uncapped, all nodes hit the same
+  // frequency ceiling and progress identically (Rountree's observation:
+  // the spread appears only under a power bound).
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(4, 0.10));
+  engine.run_for(to_nanos(10.0));
+  const auto rates = cluster.rates();
+  const double lo = *std::min_element(rates.begin(), rates.end());
+  const double hi = *std::max_element(rates.begin(), rates.end());
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT((hi - lo) / hi, 0.04);
+}
+
+TEST(Cluster, CappedNodesSpread) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(4, 0.10));
+  for (unsigned i = 0; i < cluster.size(); ++i) {
+    cluster.node(i).rapl->set_pkg_cap(90.0);
+  }
+  engine.run_for(to_nanos(15.0));
+  const auto rates = cluster.rates();
+  const double lo = *std::min_element(rates.begin(), rates.end());
+  const double hi = *std::max_element(rates.begin(), rates.end());
+  EXPECT_GT((hi - lo) / hi, 0.03);  // the power-bound variability effect
+  EXPECT_DOUBLE_EQ(cluster.job_rate(), lo);
+}
+
+TEST(JobManager, UniformSplitSumsToBudget) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(4, 0.05));
+  JobPowerManager manager(cluster, engine.time(), 400.0, {});
+  double total = 0.0;
+  for (const Watts cap : manager.caps()) {
+    EXPECT_DOUBLE_EQ(cap, 100.0);
+    total += cap;
+  }
+  EXPECT_DOUBLE_EQ(total, 400.0);
+}
+
+TEST(JobManager, RejectsInfeasibleBudget) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(4, 0.05));
+  JobManagerConfig config;
+  config.min_node_cap = 50.0;
+  EXPECT_THROW(JobPowerManager(cluster, engine.time(), 100.0, config),
+               std::invalid_argument);
+  EXPECT_THROW(JobPowerManager(cluster, engine.time(), -1.0, {}),
+               std::invalid_argument);
+}
+
+TEST(JobManager, BudgetInvariantHoldsUnderRebalancing) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(4, 0.10));
+  JobManagerConfig config;
+  config.policy = JobPolicy::kCriticalPath;
+  JobPowerManager manager(cluster, engine.time(), 360.0, config);
+  manager.attach(engine);
+  for (int step = 0; step < 30; ++step) {
+    engine.run_for(kNanosPerSecond);
+    double total = 0.0;
+    for (const Watts cap : manager.caps()) {
+      total += cap;
+      EXPECT_GE(cap, config.min_node_cap - 1e-9);
+      EXPECT_LE(cap, config.max_node_cap + 1e-9);
+    }
+    EXPECT_LE(total, 360.0 + 1e-6);
+  }
+}
+
+TEST(JobManager, SetBudgetRescalesProportionally) {
+  sim::Engine engine;
+  Cluster cluster(engine, apps::lammps(), spec_with(2, 0.0));
+  JobPowerManager manager(cluster, engine.time(), 200.0, {});
+  manager.set_budget(150.0);
+  EXPECT_DOUBLE_EQ(manager.budget(), 150.0);
+  for (const Watts cap : manager.caps()) {
+    EXPECT_DOUBLE_EQ(cap, 75.0);
+  }
+  // The node limits were actually programmed.
+  EXPECT_NEAR(cluster.node(0).node->package().firmware().limit().pl1.power,
+              75.0, 0.125);
+}
+
+TEST(JobManager, CriticalPathBeatsUniformOnVariableNodes) {
+  // Same cluster (same seed), same tight budget; the progress-aware
+  // policy shifts watts toward the power-inefficient parts, narrowing
+  // the node-rate spread and lifting the job (slowest-node) rate.
+  struct Outcome {
+    double job_rate = 0.0;
+    double rate_spread = 0.0;  // max - min of per-node mean rates
+    std::vector<Watts> caps;
+    std::vector<double> factors;
+  };
+  auto run_policy = [](JobPolicy policy) {
+    sim::Engine engine;
+    Cluster cluster(engine, apps::lammps(), spec_with(4, 0.15, 42));
+    JobManagerConfig config;
+    config.policy = policy;
+    config.spread_deadband = 0.02;
+    JobPowerManager manager(cluster, engine.time(), 280.0, config);
+    manager.attach(engine);
+    engine.run_for(to_nanos(80.0));
+    Outcome out;
+    out.job_rate =
+        manager.job_rate_series().mean_in(to_nanos(40.0), to_nanos(80.0));
+    std::vector<double> means;
+    for (unsigned i = 0; i < cluster.size(); ++i) {
+      means.push_back(cluster.node(i).monitor->rates().mean_in(
+          to_nanos(40.0), to_nanos(80.0)));
+      out.factors.push_back(cluster.node(i).power_efficiency_factor);
+    }
+    out.rate_spread = *std::max_element(means.begin(), means.end()) -
+                      *std::min_element(means.begin(), means.end());
+    out.caps = manager.caps();
+    return out;
+  };
+  const Outcome uniform = run_policy(JobPolicy::kUniform);
+  const Outcome critical = run_policy(JobPolicy::kCriticalPath);
+
+  // (a) Watts flowed toward the least efficient part...
+  const auto worst = static_cast<std::size_t>(
+      std::max_element(critical.factors.begin(), critical.factors.end()) -
+      critical.factors.begin());
+  const auto best = static_cast<std::size_t>(
+      std::min_element(critical.factors.begin(), critical.factors.end()) -
+      critical.factors.begin());
+  EXPECT_GT(critical.caps[worst], critical.caps[best] + 4.0);
+  // (b) ...narrowing the rate spread...
+  EXPECT_LT(critical.rate_spread, 0.7 * uniform.rate_spread);
+  // (c) ...and lifting (never hurting) the slowest node's rate.
+  EXPECT_GT(critical.job_rate, uniform.job_rate * 1.005);
+}
+
+}  // namespace
+}  // namespace procap::job

@@ -1,0 +1,134 @@
+// Tests for the mini message-passing runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+
+namespace procap::minimpi {
+namespace {
+
+TEST(MiniMpi, RanksSeeCorrectIdentity) {
+  std::vector<std::atomic<int>> seen(8);
+  run_world(8, [&](RankCtx& ctx) {
+    EXPECT_EQ(ctx.size(), 8);
+    seen[static_cast<std::size_t>(ctx.rank())].store(1);
+  });
+  for (const auto& s : seen) {
+    EXPECT_EQ(s.load(), 1);
+  }
+}
+
+TEST(MiniMpi, RejectsNonPositiveSize) {
+  EXPECT_THROW(run_world(0, [](RankCtx&) {}), std::invalid_argument);
+}
+
+TEST(MiniMpi, BarrierSynchronizes) {
+  constexpr int kRanks = 6;
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  run_world(kRanks, [&](RankCtx& ctx) {
+    for (int iter = 0; iter < 20; ++iter) {
+      before.fetch_add(1);
+      ctx.barrier();
+      // After the barrier, every rank must have incremented this round.
+      if (before.load() < (iter + 1) * kRanks) {
+        violated.store(true);
+      }
+      ctx.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, SendRecvPointToPoint) {
+  run_world(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, "hello");
+      EXPECT_EQ(ctx.recv(1, 8), "world");
+    } else {
+      EXPECT_EQ(ctx.recv(0, 7), "hello");
+      ctx.send(0, 8, "world");
+    }
+  });
+}
+
+TEST(MiniMpi, TagsKeepMessagesApart) {
+  run_world(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, "tag-one");
+      ctx.send(1, 2, "tag-two");
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(ctx.recv(0, 2), "tag-two");
+      EXPECT_EQ(ctx.recv(0, 1), "tag-one");
+    }
+  });
+}
+
+TEST(MiniMpi, SendToInvalidRankThrows) {
+  EXPECT_THROW(
+      run_world(2,
+                [](RankCtx& ctx) {
+                  if (ctx.rank() == 0) {
+                    ctx.send(5, 0, "x");
+                  }
+                }),
+      std::invalid_argument);
+}
+
+TEST(MiniMpi, BroadcastFromRoot) {
+  run_world(5, [](RankCtx& ctx) {
+    const double v = ctx.bcast(ctx.rank() == 2 ? 42.0 : -1.0, 2);
+    EXPECT_DOUBLE_EQ(v, 42.0);
+  });
+}
+
+TEST(MiniMpi, AllreduceSum) {
+  constexpr int kRanks = 8;
+  run_world(kRanks, [](RankCtx& ctx) {
+    const double sum = ctx.allreduce(static_cast<double>(ctx.rank()), Op::kSum);
+    EXPECT_DOUBLE_EQ(sum, 28.0);  // 0+1+...+7
+  });
+}
+
+TEST(MiniMpi, AllreduceMinMax) {
+  run_world(4, [](RankCtx& ctx) {
+    const double v = 10.0 + ctx.rank();
+    EXPECT_DOUBLE_EQ(ctx.allreduce(v, Op::kMin), 10.0);
+    EXPECT_DOUBLE_EQ(ctx.allreduce(v, Op::kMax), 13.0);
+  });
+}
+
+TEST(MiniMpi, RepeatedCollectivesStayConsistent) {
+  run_world(4, [](RankCtx& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      const double sum =
+          ctx.allreduce(static_cast<double>(i), Op::kSum);
+      EXPECT_DOUBLE_EQ(sum, 4.0 * i);
+    }
+  });
+}
+
+TEST(MiniMpi, WtimeAdvances) {
+  run_world(2, [](RankCtx& ctx) {
+    const Seconds a = ctx.wtime();
+    ctx.barrier();
+    const Seconds b = ctx.wtime();
+    EXPECT_GE(b, a);
+  });
+}
+
+TEST(MiniMpi, RankExceptionPropagates) {
+  EXPECT_THROW(run_world(3,
+                         [](RankCtx& ctx) {
+                           if (ctx.rank() == 1) {
+                             throw std::runtime_error("rank failure");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace procap::minimpi

@@ -1,0 +1,219 @@
+// Tests for the progress model: Eqs (1)-(7), inversion identities, and
+// alpha fitting, including parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/beta.hpp"
+#include "model/fit.hpp"
+#include "model/progress_model.hpp"
+
+namespace procap::model {
+namespace {
+
+TEST(Beta, TimeDilationIdentityAtFmax) {
+  EXPECT_DOUBLE_EQ(time_dilation(0.7, 3.3e9, 3.3e9), 1.0);
+}
+
+TEST(Beta, ComputeBoundDoublesTimeAtHalfFrequency) {
+  EXPECT_DOUBLE_EQ(time_dilation(1.0, 1.65e9, 3.3e9), 2.0);
+}
+
+TEST(Beta, MemoryBoundIsFrequencyInsensitive) {
+  EXPECT_DOUBLE_EQ(time_dilation(0.0, 1.2e9, 3.3e9), 1.0);
+}
+
+TEST(Beta, FromTimesInvertsDilation) {
+  // Paper procedure: times at 3300 and 1600 MHz.
+  const double beta = 0.52;
+  const Seconds t_max = 10.0;
+  const Seconds t_probe = t_max * time_dilation(beta, 1.6e9, 3.3e9);
+  EXPECT_NEAR(beta_from_times(t_probe, t_max, 1.6e9, 3.3e9), beta, 1e-12);
+}
+
+TEST(Beta, FromRatesMatchesFromTimes) {
+  const double beta = 0.84;
+  const double r_max = 16.0;
+  const double r_probe = r_max / time_dilation(beta, 1.6e9, 3.3e9);
+  EXPECT_NEAR(beta_from_rates(r_probe, r_max, 1.6e9, 3.3e9), beta, 1e-12);
+}
+
+TEST(Beta, ClampedToUnitInterval) {
+  // Noise can push the raw value over 1: T doubled at half frequency+.
+  EXPECT_DOUBLE_EQ(beta_from_times(2.3, 1.0, 1.65e9, 3.3e9), 1.0);
+  EXPECT_DOUBLE_EQ(beta_from_times(0.9, 1.0, 1.65e9, 3.3e9), 0.0);
+}
+
+TEST(Beta, RejectsBadArguments) {
+  EXPECT_THROW((void)beta_from_times(0.0, 1.0, 1e9, 2e9), std::invalid_argument);
+  EXPECT_THROW((void)beta_from_times(1.0, 1.0, 2e9, 2e9), std::invalid_argument);
+  EXPECT_THROW((void)time_dilation(0.5, -1.0, 2e9), std::invalid_argument);
+}
+
+ModelParams params_for(double beta, double alpha = 2.0) {
+  ModelParams p;
+  p.beta = beta;
+  p.alpha = alpha;
+  p.p_core_max = 120.0;
+  p.r_max = 16.0;
+  return p;
+}
+
+TEST(ProgressModel, UncappedPredictsRmax) {
+  const auto p = params_for(0.84);
+  EXPECT_DOUBLE_EQ(progress_at_core_power(p, 120.0), 16.0);
+  EXPECT_DOUBLE_EQ(progress_at_core_power(p, 500.0), 16.0);
+  EXPECT_DOUBLE_EQ(delta_progress(p, 500.0), 0.0);
+}
+
+TEST(ProgressModel, Eq4KnownValue) {
+  // beta=1, alpha=2: halving power scales rate by 1/sqrt(2).
+  const auto p = params_for(1.0);
+  EXPECT_NEAR(progress_at_core_power(p, 60.0), 16.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(ProgressModel, MemoryBoundUnaffected) {
+  const auto p = params_for(0.0);
+  EXPECT_DOUBLE_EQ(progress_at_core_power(p, 10.0), 16.0);
+}
+
+TEST(ProgressModel, Eq5CoreBudgetSplit) {
+  EXPECT_DOUBLE_EQ(effective_core_cap(0.37, 100.0), 37.0);
+  EXPECT_THROW((void)effective_core_cap(1.5, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)effective_core_cap(0.5, -1.0), std::invalid_argument);
+}
+
+TEST(ProgressModel, ValidatesParams) {
+  auto p = params_for(0.5);
+  p.beta = 1.5;
+  EXPECT_THROW((void)progress_at_core_power(p, 50.0), std::invalid_argument);
+  p = params_for(0.5);
+  p.r_max = 0.0;
+  EXPECT_THROW((void)progress_at_core_power(p, 50.0), std::invalid_argument);
+  p = params_for(0.5);
+  EXPECT_THROW((void)progress_at_core_power(p, 0.0), std::invalid_argument);
+}
+
+TEST(ProgressModel, HigherBetaMeansBiggerImpact) {
+  const double delta_compute = delta_progress(params_for(1.0), 60.0);
+  const double delta_memory = delta_progress(params_for(0.3), 60.0);
+  EXPECT_GT(delta_compute, delta_memory);
+}
+
+TEST(ProgressModel, PkgCapWrapperAppliesEq5) {
+  const auto p = params_for(0.5);
+  EXPECT_DOUBLE_EQ(progress_at_pkg_cap(p, 100.0),
+                   progress_at_core_power(p, 50.0));
+}
+
+// Inversion property across the parameter space.
+struct InversionCase {
+  double beta;
+  double alpha;
+  double cap_fraction;
+};
+
+class ModelInversion : public ::testing::TestWithParam<InversionCase> {};
+
+TEST_P(ModelInversion, CapForProgressRoundTrips) {
+  const auto [beta, alpha, frac] = GetParam();
+  ModelParams p = params_for(beta, alpha);
+  const Watts cap = p.p_core_max * frac;
+  const double rate = progress_at_core_power(p, cap);
+  const Watts recovered = core_power_for_progress(p, rate);
+  EXPECT_NEAR(recovered, cap, 1e-6 * cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, ModelInversion,
+    ::testing::Values(InversionCase{1.0, 2.0, 0.5},
+                      InversionCase{1.0, 2.0, 0.25},
+                      InversionCase{0.84, 2.0, 0.6},
+                      InversionCase{0.52, 1.5, 0.4},
+                      InversionCase{0.37, 3.0, 0.7},
+                      InversionCase{0.93, 2.5, 0.33},
+                      InversionCase{0.1, 2.0, 0.8},
+                      InversionCase{0.64, 4.0, 0.9}));
+
+class ModelMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModelMonotonicity, RateIncreasesWithPower) {
+  const auto p = params_for(GetParam());
+  double prev = 0.0;
+  for (Watts w = 10.0; w <= 120.0; w += 10.0) {
+    const double r = progress_at_core_power(p, w);
+    EXPECT_GE(r, prev);
+    EXPECT_LE(r, p.r_max + 1e-12);
+    prev = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, ModelMonotonicity,
+                         ::testing::Values(0.0, 0.2, 0.37, 0.52, 0.84, 0.93,
+                                           1.0));
+
+TEST(ProgressModel, TargetAboveRmaxReturnsPmax) {
+  const auto p = params_for(0.8);
+  EXPECT_DOUBLE_EQ(core_power_for_progress(p, 17.0), 120.0);
+  EXPECT_THROW((void)core_power_for_progress(p, 0.0), std::invalid_argument);
+}
+
+// ---- fit/evaluate ------------------------------------------------------
+
+std::vector<CapObservation> synthetic_observations(double beta, double alpha,
+                                                   double noise = 0.0) {
+  ModelParams truth = params_for(beta, alpha);
+  std::vector<CapObservation> obs;
+  for (Watts cap = 30.0; cap <= 110.0; cap += 10.0) {
+    const double delta = delta_progress(truth, cap);
+    obs.push_back({cap, delta * (1.0 + noise)});
+  }
+  return obs;
+}
+
+TEST(Fit, EvaluateReportsSignedError) {
+  const auto obs = synthetic_observations(0.84, 2.0);
+  const auto points = evaluate(params_for(0.84, 2.0), obs);
+  for (const auto& pt : points) {
+    EXPECT_NEAR(pt.error_pct, 0.0, 1e-9);
+  }
+  const auto summary = summarize(points);
+  EXPECT_NEAR(summary.mape, 0.0, 1e-9);
+  EXPECT_NEAR(summary.rmse, 0.0, 1e-9);
+}
+
+TEST(Fit, BiasSignMatchesDirection) {
+  // Model with too-large alpha underestimates impact -> negative bias.
+  const auto obs = synthetic_observations(1.0, 2.0);
+  const auto under = summarize(evaluate(params_for(1.0, 3.5), obs));
+  EXPECT_LT(under.bias_pct, 0.0);
+  const auto over = summarize(evaluate(params_for(1.0, 1.2), obs));
+  EXPECT_GT(over.bias_pct, 0.0);
+}
+
+TEST(Fit, RecoversTrueAlpha) {
+  for (const double truth : {1.5, 2.0, 2.4, 3.0}) {
+    const auto obs = synthetic_observations(0.84, truth);
+    const AlphaFit fit = fit_alpha(params_for(0.84), obs);
+    EXPECT_NEAR(fit.alpha, truth, 0.05) << "alpha=" << truth;
+    EXPECT_LT(fit.mape, 1.0);
+  }
+}
+
+TEST(Fit, RejectsBadInput) {
+  const std::vector<CapObservation> none;
+  EXPECT_THROW((void)fit_alpha(params_for(0.5), none), std::invalid_argument);
+  const auto obs = synthetic_observations(0.5, 2.0);
+  EXPECT_THROW((void)fit_alpha(params_for(0.5), obs, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Fit, SummaryOfEmptyIsZero) {
+  const std::vector<PointError> none;
+  const auto summary = summarize(none);
+  EXPECT_DOUBLE_EQ(summary.mape, 0.0);
+  EXPECT_DOUBLE_EQ(summary.rmse, 0.0);
+}
+
+}  // namespace
+}  // namespace procap::model

@@ -1,0 +1,157 @@
+// Tests for the in-process pub/sub broker.
+#include <gtest/gtest.h>
+
+#include "msgbus/bus.hpp"
+#include "util/time.hpp"
+
+namespace procap::msgbus {
+namespace {
+
+class MsgbusTest : public ::testing::Test {
+ protected:
+  ManualTimeSource clock_;
+  Broker broker_{clock_};
+};
+
+TEST_F(MsgbusTest, TopicPrefixMatching) {
+  EXPECT_TRUE(topic_matches("progress/lammps", "progress/"));
+  EXPECT_TRUE(topic_matches("progress/lammps", "progress/lammps"));
+  EXPECT_TRUE(topic_matches("anything", ""));
+  EXPECT_FALSE(topic_matches("progress", "progress/"));
+  EXPECT_FALSE(topic_matches("power/x", "progress/"));
+}
+
+TEST_F(MsgbusTest, DeliversMatchingMessages) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  sub->subscribe("progress/");
+  pub->publish("progress/lammps", "hello");
+  const auto msg = sub->try_recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->topic, "progress/lammps");
+  EXPECT_EQ(msg->payload, "hello");
+}
+
+TEST_F(MsgbusTest, NoFiltersReceivesNothing) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  pub->publish("progress/x", "data");
+  EXPECT_FALSE(sub->try_recv().has_value());
+}
+
+TEST_F(MsgbusTest, NonMatchingTopicFiltered) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  sub->subscribe("power/");
+  pub->publish("progress/x", "data");
+  EXPECT_FALSE(sub->try_recv().has_value());
+  EXPECT_EQ(sub->pending(), 0U);
+}
+
+TEST_F(MsgbusTest, UnsubscribeStopsDelivery) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  sub->subscribe("a/");
+  pub->publish("a/1", "x");
+  sub->unsubscribe("a/");
+  pub->publish("a/2", "y");
+  ASSERT_TRUE(sub->try_recv().has_value());
+  EXPECT_FALSE(sub->try_recv().has_value());
+}
+
+TEST_F(MsgbusTest, MessagesStampedWithBusClock) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  sub->subscribe("");
+  clock_.advance(12345);
+  pub->publish("t", "p");
+  const auto msg = sub->try_recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->timestamp, 12345);
+}
+
+TEST_F(MsgbusTest, FifoOrderPreserved) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  sub->subscribe("");
+  pub->publish("t", "1");
+  pub->publish("t", "2");
+  pub->publish("t", "3");
+  EXPECT_EQ(sub->try_recv()->payload, "1");
+  EXPECT_EQ(sub->try_recv()->payload, "2");
+  EXPECT_EQ(sub->try_recv()->payload, "3");
+}
+
+TEST_F(MsgbusTest, FanOutToMultipleSubscribers) {
+  auto pub = broker_.make_pub();
+  auto sub1 = broker_.make_sub();
+  auto sub2 = broker_.make_sub();
+  sub1->subscribe("");
+  sub2->subscribe("");
+  pub->publish("t", "x");
+  EXPECT_TRUE(sub1->try_recv().has_value());
+  EXPECT_TRUE(sub2->try_recv().has_value());
+}
+
+TEST_F(MsgbusTest, DeadSubscribersArePruned) {
+  auto pub = broker_.make_pub();
+  {
+    auto sub = broker_.make_sub();
+    sub->subscribe("");
+  }
+  pub->publish("t", "x");  // must not crash
+  EXPECT_EQ(broker_.routed(), 1U);
+}
+
+TEST_F(MsgbusTest, DelayedDelivery) {
+  auto pub = broker_.make_pub();
+  LinkOptions opts;
+  opts.latency = 1000;
+  auto sub = broker_.make_sub(opts);
+  sub->subscribe("");
+  pub->publish("t", "late");
+  EXPECT_FALSE(sub->try_recv().has_value());  // not yet deliverable
+  EXPECT_EQ(sub->pending(), 1U);
+  clock_.advance(1000);
+  const auto msg = sub->try_recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "late");
+}
+
+TEST_F(MsgbusTest, LossyLinkDropsApproximatelyAtRate) {
+  auto pub = broker_.make_pub();
+  LinkOptions opts;
+  opts.drop_probability = 0.3;
+  opts.seed = 42;
+  auto sub = broker_.make_sub(opts);
+  sub->subscribe("");
+  constexpr int kMessages = 5000;
+  for (int i = 0; i < kMessages; ++i) {
+    pub->publish("t", "x");
+  }
+  const auto dropped = static_cast<double>(sub->dropped());
+  EXPECT_NEAR(dropped / kMessages, 0.3, 0.03);
+  EXPECT_EQ(sub->pending() + sub->dropped(), static_cast<std::size_t>(kMessages));
+}
+
+TEST_F(MsgbusTest, ZeroDropProbabilityLosesNothing) {
+  auto pub = broker_.make_pub();
+  auto sub = broker_.make_sub();
+  sub->subscribe("");
+  for (int i = 0; i < 1000; ++i) {
+    pub->publish("t", "x");
+  }
+  EXPECT_EQ(sub->dropped(), 0U);
+  EXPECT_EQ(sub->pending(), 1000U);
+}
+
+TEST_F(MsgbusTest, PublishCountTracked) {
+  auto pub = broker_.make_pub();
+  pub->publish("a", "1");
+  pub->publish("b", "2");
+  EXPECT_EQ(pub->published(), 2U);
+  EXPECT_EQ(broker_.routed(), 2U);
+}
+
+}  // namespace
+}  // namespace procap::msgbus

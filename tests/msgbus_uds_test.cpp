@@ -1,0 +1,185 @@
+// Tests for the Unix-domain-socket pub/sub transport.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "msgbus/uds.hpp"
+#include "util/time.hpp"
+
+namespace procap::msgbus {
+namespace {
+
+std::string socket_path(const char* tag) {
+  return testing::TempDir() + "/procap_uds_" + tag + ".sock";
+}
+
+void wait_for_connections(const UdsPublisher& pub, std::size_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pub.connections() < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(pub.connections(), n);
+}
+
+TEST(UdsTransport, DeliversMessages) {
+  SteadyTimeSource clock;
+  UdsPublisher pub(socket_path("deliver"), clock);
+  UdsSubscriber sub(pub.path());
+  sub.subscribe("progress/");
+  wait_for_connections(pub, 1);
+
+  pub.publish("progress/app", "payload-1");
+  const auto msg = sub.recv(to_nanos(5.0));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->topic, "progress/app");
+  EXPECT_EQ(msg->payload, "payload-1");
+  EXPECT_GT(msg->timestamp, 0);
+}
+
+TEST(UdsTransport, FiltersByPrefix) {
+  SteadyTimeSource clock;
+  UdsPublisher pub(socket_path("filter"), clock);
+  UdsSubscriber sub(pub.path());
+  sub.subscribe("wanted/");
+  wait_for_connections(pub, 1);
+
+  pub.publish("ignored/x", "no");
+  pub.publish("wanted/y", "yes");
+  const auto msg = sub.recv(to_nanos(5.0));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "yes");
+  EXPECT_FALSE(sub.try_recv().has_value());
+}
+
+TEST(UdsTransport, FanOutToTwoSubscribers) {
+  SteadyTimeSource clock;
+  UdsPublisher pub(socket_path("fanout"), clock);
+  UdsSubscriber sub1(pub.path());
+  UdsSubscriber sub2(pub.path());
+  sub1.subscribe("");
+  sub2.subscribe("");
+  wait_for_connections(pub, 2);
+
+  pub.publish("t", "x");
+  EXPECT_TRUE(sub1.recv(to_nanos(5.0)).has_value());
+  EXPECT_TRUE(sub2.recv(to_nanos(5.0)).has_value());
+}
+
+TEST(UdsTransport, ManyMessagesInOrder) {
+  SteadyTimeSource clock;
+  UdsPublisher pub(socket_path("order"), clock);
+  UdsSubscriber sub(pub.path());
+  sub.subscribe("");
+  wait_for_connections(pub, 1);
+
+  constexpr int kCount = 500;
+  for (int i = 0; i < kCount; ++i) {
+    pub.publish("t", std::to_string(i));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    const auto msg = sub.recv(to_nanos(5.0));
+    ASSERT_TRUE(msg.has_value()) << "lost message " << i;
+    EXPECT_EQ(msg->payload, std::to_string(i));
+  }
+}
+
+TEST(UdsTransport, SubscriberSurvivesPublisherShutdown) {
+  SteadyTimeSource clock;
+  auto pub = std::make_unique<UdsPublisher>(socket_path("shutdown"), clock);
+  UdsSubscriber sub(pub->path());
+  sub.subscribe("");
+  wait_for_connections(*pub, 1);
+  pub->publish("t", "last");
+  pub.reset();  // closes the connection
+  // The already-sent message is still deliverable.
+  const auto msg = sub.recv(to_nanos(5.0));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, "last");
+  // Eventually flagged as disconnected.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sub.connected() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(sub.connected());
+}
+
+TEST(UdsTransport, ConnectToNothingThrows) {
+  EXPECT_THROW(UdsSubscriber(socket_path("absent")), std::runtime_error);
+}
+
+TEST(UdsTransport, PublishWithNoSubscribersIsNoOp) {
+  SteadyTimeSource clock;
+  UdsPublisher pub(socket_path("nosubs"), clock);
+  pub.publish("t", "x");  // must not crash or block
+  EXPECT_EQ(pub.connections(), 0U);
+}
+
+TEST(UdsTransport, EmptyPayloadAndTopicRoundTrip) {
+  SteadyTimeSource clock;
+  UdsPublisher pub(socket_path("empty"), clock);
+  UdsSubscriber sub(pub.path());
+  sub.subscribe("");
+  wait_for_connections(pub, 1);
+  pub.publish("", "");
+  const auto msg = sub.recv(to_nanos(5.0));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->topic, "");
+  EXPECT_EQ(msg->payload, "");
+}
+
+}  // namespace
+}  // namespace procap::msgbus
+
+// ---- true cross-process delivery (fork) --------------------------------
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace procap::msgbus {
+namespace {
+
+TEST(UdsTransport, CrossProcessProgressDelivery) {
+  // The paper's deployment shape: the instrumented application and the
+  // monitoring daemon are separate processes on one node.
+  const std::string path = socket_path("fork");
+  SteadyTimeSource clock;
+  UdsPublisher pub(path, clock);
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: the monitoring daemon.  Exit code reports what it saw.
+    int status = 1;
+    try {
+      UdsSubscriber sub(path);
+      sub.subscribe("progress/");
+      int received = 0;
+      for (int i = 0; i < 50 && received < 20; ++i) {
+        if (sub.recv(to_nanos(0.2)).has_value()) {
+          ++received;
+        }
+      }
+      status = received == 20 ? 0 : 2;
+    } catch (...) {
+      status = 3;
+    }
+    _exit(status);
+  }
+
+  // Parent: the instrumented application.
+  wait_for_connections(pub, 1);
+  for (int i = 0; i < 20; ++i) {
+    pub.publish("progress/app", std::to_string(i));
+  }
+  int status = -1;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "daemon process saw too few samples";
+}
+
+}  // namespace
+}  // namespace procap::msgbus

@@ -1,0 +1,154 @@
+// Tests for the MSR device abstraction and msr-safe allow-list mediation.
+#include <gtest/gtest.h>
+
+#include "msr/addresses.hpp"
+#include "msr/emulated.hpp"
+#include "msr/msrsafe.hpp"
+
+namespace procap::msr {
+namespace {
+
+TEST(EmulatedMsr, DefinedRegisterStoresPerCpu) {
+  EmulatedMsr dev(2);
+  dev.define(0x10, 7);
+  EXPECT_EQ(dev.read(0, 0x10), 7U);
+  dev.write(1, 0x10, 99);
+  EXPECT_EQ(dev.read(1, 0x10), 99U);
+  EXPECT_EQ(dev.read(0, 0x10), 7U);  // other CPU untouched
+}
+
+TEST(EmulatedMsr, UndefinedRegisterThrows) {
+  EmulatedMsr dev(1);
+  EXPECT_THROW((void)dev.read(0, 0x999), MsrError);
+  EXPECT_THROW(dev.write(0, 0x999, 1), MsrError);
+}
+
+TEST(EmulatedMsr, CpuOutOfRangeThrows) {
+  EmulatedMsr dev(2);
+  dev.define(0x10);
+  EXPECT_THROW((void)dev.read(2, 0x10), MsrError);
+  EXPECT_THROW(dev.write(5, 0x10, 0), MsrError);
+}
+
+TEST(EmulatedMsr, ZeroCpusRejected) {
+  EXPECT_THROW(EmulatedMsr(0), MsrError);
+}
+
+TEST(EmulatedMsr, ReadHookOverridesStorage) {
+  EmulatedMsr dev(1);
+  dev.define(0x10, 1);
+  dev.on_read(0x10, [](unsigned) { return 42ULL; });
+  EXPECT_EQ(dev.read(0, 0x10), 42U);
+  EXPECT_EQ(dev.peek(0, 0x10), 1U);  // backdoor sees the stored value
+}
+
+TEST(EmulatedMsr, WriteHookObservesValue) {
+  EmulatedMsr dev(1);
+  dev.define(0x10);
+  std::uint64_t seen = 0;
+  unsigned seen_cpu = 99;
+  dev.on_write(0x10, [&](unsigned cpu, std::uint64_t v) {
+    seen = v;
+    seen_cpu = cpu;
+  });
+  dev.write(0, 0x10, 0xABCD);
+  EXPECT_EQ(seen, 0xABCDU);
+  EXPECT_EQ(seen_cpu, 0U);
+  EXPECT_EQ(dev.peek(0, 0x10), 0xABCDU);  // stored before hook
+}
+
+TEST(EmulatedMsr, PokeDoesNotTriggerHooks) {
+  EmulatedMsr dev(1);
+  dev.define(0x10);
+  bool fired = false;
+  dev.on_write(0x10, [&](unsigned, std::uint64_t) { fired = true; });
+  dev.poke(0, 0x10, 5);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(dev.peek(0, 0x10), 5U);
+}
+
+TEST(EmulatedMsr, RedefineKeepsValue) {
+  EmulatedMsr dev(1);
+  dev.define(0x10, 3);
+  dev.write(0, 0x10, 11);
+  dev.define(0x10, 99);  // no-op: register exists
+  EXPECT_EQ(dev.read(0, 0x10), 11U);
+}
+
+TEST(AllowList, ParseBasicFormat) {
+  const auto list = AllowList::parse(
+      "# comment line\n"
+      "0x610 0x00FFFFFF\n"
+      "0x611 0x0 # trailing comment\n"
+      "\n");
+  EXPECT_EQ(list.size(), 2U);
+  EXPECT_TRUE(list.readable(0x610));
+  EXPECT_EQ(list.write_mask(0x610), 0x00FFFFFFU);
+  EXPECT_TRUE(list.readable(0x611));
+  EXPECT_EQ(list.write_mask(0x611), 0U);
+  EXPECT_FALSE(list.readable(0x612));
+}
+
+TEST(AllowList, ParseRejectsMissingMask) {
+  EXPECT_THROW(AllowList::parse("0x610\n"), MsrError);
+}
+
+TEST(AllowList, ParseRejectsGarbage) {
+  EXPECT_THROW(AllowList::parse("zzz 0x1\n"), MsrError);
+  EXPECT_THROW(AllowList::parse("0x10 0x1 extra\n"), MsrError);
+}
+
+TEST(AllowList, RaplDefaultCoversRaplStack) {
+  const auto list = AllowList::rapl_default();
+  EXPECT_TRUE(list.readable(kMsrRaplPowerUnit));
+  EXPECT_TRUE(list.readable(kMsrPkgEnergyStatus));
+  EXPECT_EQ(list.write_mask(kMsrPkgEnergyStatus), 0U);  // read-only
+  EXPECT_NE(list.write_mask(kMsrPkgPowerLimit), 0U);
+  EXPECT_NE(list.write_mask(kIa32PerfCtl), 0U);
+}
+
+TEST(SafeMsrDevice, DeniesUnlistedRead) {
+  EmulatedMsr inner(1);
+  inner.define(0x10, 1);
+  AllowList list;
+  SafeMsrDevice safe(inner, list);
+  EXPECT_THROW((void)safe.read(0, 0x10), MsrError);
+  EXPECT_EQ(safe.denied(), 1U);
+}
+
+TEST(SafeMsrDevice, AllowsListedRead) {
+  EmulatedMsr inner(1);
+  inner.define(0x10, 77);
+  AllowList list;
+  list.allow(0x10, 0);
+  SafeMsrDevice safe(inner, list);
+  EXPECT_EQ(safe.read(0, 0x10), 77U);
+}
+
+TEST(SafeMsrDevice, MasksWriteBits) {
+  EmulatedMsr inner(1);
+  inner.define(0x10, 0xFF00);
+  AllowList list;
+  list.allow(0x10, 0x00FF);  // only the low byte is writable
+  SafeMsrDevice safe(inner, list);
+  safe.write(0, 0x10, 0x1234);
+  EXPECT_EQ(inner.read(0, 0x10), 0xFF34U);  // high byte preserved
+}
+
+TEST(SafeMsrDevice, WriteToReadOnlyThrows) {
+  EmulatedMsr inner(1);
+  inner.define(0x10, 0);
+  AllowList list;
+  list.allow(0x10, 0);
+  SafeMsrDevice safe(inner, list);
+  EXPECT_THROW(safe.write(0, 0x10, 1), MsrError);
+}
+
+TEST(SafeMsrDevice, ForwardsCpuCount) {
+  EmulatedMsr inner(24);
+  SafeMsrDevice safe(inner, AllowList{});
+  EXPECT_EQ(safe.cpu_count(), 24U);
+}
+
+}  // namespace
+}  // namespace procap::msr

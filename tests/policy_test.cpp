@@ -1,0 +1,176 @@
+// Tests for capping schedules, the power-policy daemon, and the NRM.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "policy/daemon.hpp"
+#include "policy/nrm.hpp"
+#include "policy/schemes.hpp"
+#include "progress/monitor.hpp"
+
+namespace procap::policy {
+namespace {
+
+TEST(Schemes, UncappedAlwaysNull) {
+  UncappedSchedule s;
+  EXPECT_FALSE(s.cap_at(0.0).has_value());
+  EXPECT_FALSE(s.cap_at(1e6).has_value());
+}
+
+TEST(Schemes, ConstantWithDelay) {
+  ConstantCap s(80.0, 5.0);
+  EXPECT_FALSE(s.cap_at(4.9).has_value());
+  EXPECT_EQ(s.cap_at(5.0), 80.0);
+  EXPECT_EQ(s.cap_at(100.0), 80.0);
+}
+
+TEST(Schemes, ConstantRejectsNonPositive) {
+  EXPECT_THROW(ConstantCap(0.0), std::invalid_argument);
+}
+
+TEST(Schemes, LinearDecreasesToFloor) {
+  LinearDecreasingCap s(150.0, 60.0, 10.0, 5.0);
+  EXPECT_FALSE(s.cap_at(2.0).has_value());
+  EXPECT_NEAR(*s.cap_at(5.0), 150.0, 1e-12);
+  EXPECT_NEAR(*s.cap_at(10.0), 100.0, 1e-12);
+  EXPECT_NEAR(*s.cap_at(14.0), 60.0, 1e-12);   // hits the floor
+  EXPECT_NEAR(*s.cap_at(100.0), 60.0, 1e-12);  // holds there
+}
+
+TEST(Schemes, LinearValidation) {
+  EXPECT_THROW(LinearDecreasingCap(50.0, 60.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LinearDecreasingCap(150.0, 60.0, 0.0), std::invalid_argument);
+}
+
+TEST(Schemes, StepAlternates) {
+  StepCap s(std::nullopt, 70.0, 10.0, 10.0);
+  EXPECT_FALSE(s.cap_at(0.0).has_value());
+  EXPECT_FALSE(s.cap_at(9.9).has_value());
+  EXPECT_EQ(s.cap_at(10.0), 70.0);
+  EXPECT_EQ(s.cap_at(19.9), 70.0);
+  EXPECT_FALSE(s.cap_at(20.0).has_value());  // period repeats
+  EXPECT_EQ(s.cap_at(35.0), 70.0);
+}
+
+TEST(Schemes, StepWithHighValue) {
+  StepCap s(Watts{120.0}, 70.0, 5.0, 5.0);
+  EXPECT_EQ(s.cap_at(0.0), 120.0);
+  EXPECT_EQ(s.cap_at(5.0), 70.0);
+}
+
+TEST(Schemes, StepValidation) {
+  EXPECT_THROW(StepCap(Watts{50.0}, 70.0, 5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(StepCap(std::nullopt, 70.0, 0.0, 5.0), std::invalid_argument);
+}
+
+TEST(Schemes, JaggedSawtooth) {
+  JaggedCap s(150.0, 50.0, 10.0);
+  EXPECT_NEAR(*s.cap_at(0.0), 150.0, 1e-12);
+  EXPECT_NEAR(*s.cap_at(5.0), 100.0, 1e-12);
+  EXPECT_NEAR(*s.cap_at(9.999), 50.0, 0.05);
+  EXPECT_NEAR(*s.cap_at(10.0), 150.0, 1e-12);  // snaps back up
+  EXPECT_NEAR(*s.cap_at(15.0), 100.0, 1e-12);
+}
+
+TEST(Schemes, JaggedValidation) {
+  EXPECT_THROW(JaggedCap(50.0, 50.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(JaggedCap(150.0, 50.0, 0.0), std::invalid_argument);
+}
+
+TEST(Daemon, AppliesScheduleOncePerSecond) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
+                           std::make_unique<ConstantCap>(90.0, 3.0));
+  daemon.attach(rig.engine());
+  rig.engine().run_for(to_nanos(8.0));
+  EXPECT_EQ(daemon.ticks(), 8U);
+  ASSERT_TRUE(daemon.current_cap().has_value());
+  EXPECT_DOUBLE_EQ(*daemon.current_cap(), 90.0);
+  // MSR actually programmed.
+  EXPECT_TRUE(rig.package().firmware().enforcing());
+  EXPECT_NEAR(rig.package().firmware().limit().pl1.power, 90.0, 0.125);
+  // Cap series: zeros before 3 s, 90 after.
+  EXPECT_DOUBLE_EQ(daemon.cap_series()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(daemon.cap_series()[5].value, 90.0);
+}
+
+TEST(Daemon, PowerSeriesTracksMeasuredPower) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
+                           std::make_unique<UncappedSchedule>());
+  daemon.attach(rig.engine());
+  rig.engine().run_for(to_nanos(6.0));
+  // After the priming sample, measured power ~ uncapped compute load.
+  EXPECT_NEAR(daemon.power_series().samples().back().value, 149.0, 10.0);
+}
+
+TEST(Daemon, UncappingClearsLimit) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  // Step schedule returns to uncapped after 2 s.
+  PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
+                           std::make_unique<StepCap>(std::nullopt, 70.0,
+                                                     2.0, 2.0));
+  daemon.attach(rig.engine());
+  rig.engine().run_for(to_nanos(3.0));  // in the low phase
+  EXPECT_TRUE(rig.package().firmware().enforcing());
+  rig.engine().run_for(to_nanos(2.0));  // back in the high phase
+  EXPECT_FALSE(rig.package().firmware().enforcing());
+}
+
+TEST(Daemon, NullScheduleRejected) {
+  exp::SimRig rig;
+  EXPECT_THROW(PowerPolicyDaemon(rig.rapl(), rig.time(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Nrm, HardBudgetAppliesImmediately) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  NodeResourceManager nrm(rig.rapl(), monitor, rig.time());
+  nrm.set_power_budget(85.0);
+  EXPECT_TRUE(rig.package().firmware().enforcing());
+  EXPECT_NEAR(rig.package().firmware().limit().pl1.power, 85.0, 0.125);
+  nrm.clear_power_budget();
+  EXPECT_FALSE(rig.package().firmware().enforcing());
+}
+
+TEST(Nrm, ProgressTargetConvergesNearTarget) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  NodeResourceManager nrm(rig.rapl(), monitor, rig.time());
+  nrm.attach(rig.engine());
+
+  // Ask for 80 % of the uncapped rate (~20 iter/s * 40000 = 800k/s).
+  model::ModelParams params;
+  params.beta = 1.0;
+  params.alpha = 2.0;
+  params.p_core_max = 149.0;
+  params.r_max = 800000.0;
+  const double target = 0.8 * params.r_max;
+  nrm.set_progress_target(target, params);
+  rig.engine().run_for(to_nanos(40.0));
+
+  // Measured progress in the last windows is within 10 % of the target
+  // and the node is genuinely capped below uncapped power.
+  const double recent =
+      nrm.progress_series().mean_in(to_nanos(30.0), to_nanos(40.0));
+  EXPECT_NEAR(recent, target, 0.10 * target);
+  ASSERT_TRUE(nrm.current_cap().has_value());
+  EXPECT_LT(*nrm.current_cap(), 145.0);
+}
+
+}  // namespace
+}  // namespace procap::policy

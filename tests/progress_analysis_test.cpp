@@ -1,0 +1,147 @@
+// Tests for consistency analysis, phase detection and categorization.
+#include <gtest/gtest.h>
+
+#include "apps/suite.hpp"
+#include "progress/analysis.hpp"
+#include "progress/category.hpp"
+#include "util/rng.hpp"
+
+namespace procap::progress {
+namespace {
+
+TimeSeries make_rates(const std::vector<double>& values) {
+  TimeSeries s("rate");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.add(static_cast<Nanos>(i) * kNanosPerSecond, values[i]);
+  }
+  return s;
+}
+
+TEST(Consistency, SteadySeriesIsConsistent) {
+  std::vector<double> v(30, 1080.0);
+  const auto report = analyze_consistency(make_rates(v));
+  EXPECT_TRUE(report.consistent);
+  EXPECT_NEAR(report.mean_rate, 1080.0, 1e-9);
+  EXPECT_NEAR(report.cv, 0.0, 1e-12);
+}
+
+TEST(Consistency, NoisySeriesIsInconsistent) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(10.0 + 5.0 * rng.normal());
+  }
+  const auto report = analyze_consistency(make_rates(v), 0.10);
+  EXPECT_FALSE(report.consistent);
+  EXPECT_GT(report.cv, 0.2);
+}
+
+TEST(Consistency, WarmupWindowsExcluded) {
+  std::vector<double> v{0.0, 100.0, 5.0, 5.0, 5.0, 5.0, 5.0};
+  const auto report = analyze_consistency(make_rates(v), 0.10, 2);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_NEAR(report.mean_rate, 5.0, 1e-9);
+}
+
+TEST(Consistency, ZeroWindowsTrackedSeparately) {
+  std::vector<double> v{5.0, 0.0, 5.0, 0.0, 5.0, 5.0};
+  const auto report = analyze_consistency(make_rates(v), 0.10, 0);
+  EXPECT_NEAR(report.zero_fraction, 2.0 / 6.0, 1e-12);
+  EXPECT_TRUE(report.consistent);  // zeros excluded from cv
+}
+
+TEST(PhaseDetection, SinglePhaseSingleSegment) {
+  std::vector<double> v(20, 16.0);
+  const auto segments = detect_phases(make_rates(v));
+  ASSERT_EQ(segments.size(), 1U);
+  EXPECT_NEAR(segments[0].mean_rate, 16.0, 1e-9);
+  EXPECT_EQ(segments[0].windows, 20U);
+}
+
+TEST(PhaseDetection, ThreePhasesDetected) {
+  // QMCPACK-like: 30, 24, 16 blocks/s.
+  std::vector<double> v;
+  for (int i = 0; i < 10; ++i) v.push_back(30.0);
+  for (int i = 0; i < 10; ++i) v.push_back(24.0);  // hmm: only 20% drop
+  for (int i = 0; i < 12; ++i) v.push_back(16.0);
+  const auto segments = detect_phases(make_rates(v), 0.15, 3);
+  ASSERT_EQ(segments.size(), 3U);
+  EXPECT_NEAR(segments[0].mean_rate, 30.0, 0.5);
+  EXPECT_NEAR(segments[1].mean_rate, 24.0, 0.5);
+  EXPECT_NEAR(segments[2].mean_rate, 16.0, 0.5);
+}
+
+TEST(PhaseDetection, BlipsDoNotSplitSegments) {
+  std::vector<double> v(20, 10.0);
+  v[7] = 20.0;   // one-window spike
+  v[13] = 3.0;   // one-window dip
+  const auto segments = detect_phases(make_rates(v), 0.25, 3);
+  EXPECT_EQ(segments.size(), 1U);
+}
+
+TEST(PhaseDetection, ZeroWindowsIgnored) {
+  std::vector<double> v(20, 10.0);
+  v[5] = 0.0;
+  v[6] = 0.0;
+  v[7] = 0.0;
+  const auto segments = detect_phases(make_rates(v), 0.25, 3);
+  EXPECT_EQ(segments.size(), 1U);
+}
+
+TEST(PhaseDetection, EmptySeriesNoSegments) {
+  EXPECT_TRUE(detect_phases(make_rates({})).empty());
+  EXPECT_TRUE(detect_phases(make_rates({0.0, 0.0})).empty());
+}
+
+TEST(Categorize, TraitsOnlyMatchesPaperTableV) {
+  using enum Category;
+  for (const auto& traits : apps::interview_traits()) {
+    const Category c = categorize(traits);
+    if (traits.name == "qmcpack" || traits.name == "openmc" ||
+        traits.name == "lammps" || traits.name == "stream") {
+      EXPECT_EQ(c, kCategory1) << traits.name;
+    } else if (traits.name == "amg" || traits.name == "candle") {
+      EXPECT_EQ(c, kCategory2) << traits.name;
+    } else {
+      EXPECT_EQ(c, kCategory3) << traits.name;
+    }
+  }
+}
+
+TEST(Categorize, UnstableTraceDemotesToCategory3) {
+  auto traits = apps::interview_traits().front();  // qmcpack: Category 1
+  Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 40; ++i) {
+    v.push_back(std::max(0.1, 10.0 + 8.0 * rng.normal()));
+  }
+  EXPECT_EQ(categorize(traits, make_rates(v)), Category::kCategory3);
+}
+
+TEST(Categorize, StableTraceKeepsCategory) {
+  auto traits = apps::interview_traits().front();
+  std::vector<double> v(30, 16.0);
+  EXPECT_EQ(categorize(traits, make_rates(v)), Category::kCategory1);
+}
+
+TEST(Categorize, PhasedTraceIsNotPenalized) {
+  auto traits = apps::interview_traits().front();
+  std::vector<double> v;
+  for (int i = 0; i < 10; ++i) v.push_back(30.0);
+  for (int i = 0; i < 10; ++i) v.push_back(16.0);
+  EXPECT_EQ(categorize(traits, make_rates(v)), Category::kCategory1);
+}
+
+TEST(Categorize, ShortTraceFallsBackToTraits) {
+  auto traits = apps::interview_traits().front();
+  std::vector<double> v{1.0, 100.0};
+  EXPECT_EQ(categorize(traits, make_rates(v)), Category::kCategory1);
+}
+
+TEST(CategoryNames, ToString) {
+  EXPECT_EQ(to_string(Category::kCategory1), "Category 1");
+  EXPECT_EQ(to_string(Category::kCategory3), "Category 3");
+}
+
+}  // namespace
+}  // namespace procap::progress

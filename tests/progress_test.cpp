@@ -1,0 +1,195 @@
+// Tests for the progress sample codec, Reporter and Monitor.
+#include <gtest/gtest.h>
+
+#include "msgbus/bus.hpp"
+#include "progress/monitor.hpp"
+#include "progress/reporter.hpp"
+#include "progress/sample.hpp"
+#include "util/time.hpp"
+
+namespace procap::progress {
+namespace {
+
+TEST(SampleCodec, RoundTrip) {
+  const ProgressSample in{12345.678, 2};
+  const auto out = decode_sample(encode_sample(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->amount, in.amount);
+  EXPECT_EQ(out->phase, in.phase);
+}
+
+TEST(SampleCodec, RoundTripExtremeValues) {
+  for (const double amount : {0.0, 1e-300, 1e300, 40000.0, 0.1}) {
+    const ProgressSample in{amount, kNoPhase};
+    const auto out = decode_sample(encode_sample(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(out->amount, amount);
+  }
+}
+
+TEST(SampleCodec, RejectsGarbage) {
+  EXPECT_FALSE(decode_sample("").has_value());
+  EXPECT_FALSE(decode_sample("abc").has_value());
+  EXPECT_FALSE(decode_sample("1.5").has_value());
+  EXPECT_FALSE(decode_sample("1.5 2 extra").has_value());
+  EXPECT_FALSE(decode_sample("1.5 x").has_value());
+}
+
+TEST(SampleCodec, TopicNaming) {
+  EXPECT_EQ(progress_topic("lammps"), "progress/lammps");
+}
+
+class ProgressTest : public ::testing::Test {
+ protected:
+  ManualTimeSource clock_;
+  msgbus::Broker broker_{clock_};
+};
+
+TEST_F(ProgressTest, ReporterValidatesConfig) {
+  EXPECT_THROW(Reporter(nullptr, {"x", "u"}), std::invalid_argument);
+  EXPECT_THROW(Reporter(broker_.make_pub(), {"", "u"}),
+               std::invalid_argument);
+}
+
+TEST_F(ProgressTest, ReporterPublishesOnAppTopic) {
+  Reporter reporter(broker_.make_pub(), {"lammps", "atom-steps"});
+  auto sub = broker_.make_sub();
+  sub->subscribe("progress/lammps");
+  reporter.report(40000.0);
+  const auto msg = sub->try_recv();
+  ASSERT_TRUE(msg.has_value());
+  const auto sample = decode_sample(msg->payload);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_DOUBLE_EQ(sample->amount, 40000.0);
+  EXPECT_EQ(sample->phase, kNoPhase);
+  EXPECT_EQ(reporter.reports(), 1U);
+}
+
+TEST_F(ProgressTest, MonitorComputesWindowRates) {
+  Reporter reporter(broker_.make_pub(), {"app", "units"});
+  Monitor monitor(broker_.make_sub(), "app", clock_);
+  // 4 reports of 10 units in the first second.
+  for (int i = 0; i < 4; ++i) {
+    clock_.advance(to_nanos(0.2));
+    reporter.report(10.0);
+  }
+  clock_.advance(to_nanos(0.3));  // crosses the 1 s boundary at 1.1 s
+  monitor.poll();
+  ASSERT_EQ(monitor.windows(), 1U);
+  EXPECT_DOUBLE_EQ(monitor.current_rate(), 40.0);
+  EXPECT_DOUBLE_EQ(monitor.total_work(), 40.0);
+}
+
+TEST_F(ProgressTest, EmptyWindowsReadZero) {
+  Reporter reporter(broker_.make_pub(), {"app", "units"});
+  Monitor monitor(broker_.make_sub(), "app", clock_);
+  clock_.advance(to_nanos(0.5));
+  reporter.report(5.0);
+  clock_.advance(to_nanos(2.6));  // windows [0,1) [1,2) [2,3) close
+  monitor.poll();
+  ASSERT_EQ(monitor.windows(), 3U);
+  EXPECT_DOUBLE_EQ(monitor.rates()[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(monitor.rates()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(monitor.rates()[2].value, 0.0);
+}
+
+TEST_F(ProgressTest, LateSamplesLandInTheirOwnWindow) {
+  // A sample published at t=0.9 but polled at t=2.5 must count in the
+  // first window, not the current one.
+  Reporter reporter(broker_.make_pub(), {"app", "units"});
+  Monitor monitor(broker_.make_sub(), "app", clock_);
+  clock_.advance(to_nanos(0.9));
+  reporter.report(7.0);
+  clock_.advance(to_nanos(1.6));  // now 2.5 s
+  monitor.poll();
+  ASSERT_EQ(monitor.windows(), 2U);
+  EXPECT_DOUBLE_EQ(monitor.rates()[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(monitor.rates()[1].value, 0.0);
+}
+
+TEST_F(ProgressTest, MalformedPayloadsCountedNotCrashed) {
+  auto pub = broker_.make_pub();
+  Monitor monitor(broker_.make_sub(), "app", clock_);
+  pub->publish("progress/app", "not a sample");
+  clock_.advance(to_nanos(1.5));
+  monitor.poll();
+  EXPECT_EQ(monitor.malformed(), 1U);
+  EXPECT_EQ(monitor.samples(), 0U);
+}
+
+TEST_F(ProgressTest, CustomWindowLength) {
+  Reporter reporter(broker_.make_pub(), {"app", "units"});
+  Monitor monitor(broker_.make_sub(), "app", clock_, to_nanos(0.5));
+  clock_.advance(to_nanos(0.25));
+  reporter.report(4.0);
+  clock_.advance(to_nanos(0.3));
+  monitor.poll();
+  ASSERT_EQ(monitor.windows(), 1U);
+  EXPECT_DOUBLE_EQ(monitor.current_rate(), 8.0);  // 4 units / 0.5 s
+}
+
+TEST_F(ProgressTest, PhaseAttribution) {
+  Reporter reporter(broker_.make_pub(), {"qmc", "blocks"});
+  Monitor monitor(broker_.make_sub(), "qmc", clock_);
+  clock_.advance(to_nanos(0.5));
+  reporter.report(10.0, 0);  // VMC1
+  clock_.advance(to_nanos(1.0));
+  reporter.report(20.0, 2);  // DMC
+  clock_.advance(to_nanos(1.0));
+  monitor.poll();
+  ASSERT_EQ(monitor.windows(), 2U);
+  EXPECT_EQ(monitor.last_phase(), 2);
+  ASSERT_TRUE(monitor.phase_rates().contains(0));
+  ASSERT_TRUE(monitor.phase_rates().contains(2));
+  EXPECT_DOUBLE_EQ(monitor.phase_rates().at(0)[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(monitor.phase_rates().at(2)[0].value, 20.0);
+}
+
+TEST_F(ProgressTest, LossyLinkManifestsAsZeroWindows) {
+  // The paper's OpenMC zero-progress artifact: dropped reports mean some
+  // 1 s windows close empty and read exactly zero.
+  Reporter reporter(broker_.make_pub(), {"openmc", "particles"});
+  msgbus::LinkOptions lossy;
+  lossy.drop_probability = 0.4;
+  lossy.seed = 7;
+  Monitor monitor(broker_.make_sub(lossy), "openmc", clock_);
+  for (int i = 0; i < 60; ++i) {
+    clock_.advance(kNanosPerSecond);
+    reporter.report(100000.0, 1);  // one batch per second
+    monitor.poll();
+  }
+  clock_.advance(kNanosPerSecond);
+  monitor.poll();
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < monitor.rates().size(); ++i) {
+    if (monitor.rates()[i].value == 0.0) {
+      ++zeros;
+    }
+  }
+  EXPECT_GT(zeros, 10U);
+  EXPECT_LT(zeros, 40U);
+}
+
+TEST_F(ProgressTest, MonitorValidatesArguments) {
+  EXPECT_THROW(Monitor(nullptr, "x", clock_), std::invalid_argument);
+  EXPECT_THROW(Monitor(broker_.make_sub(), "x", clock_, 0),
+               std::invalid_argument);
+}
+
+TEST_F(ProgressTest, RateStatsAggregate) {
+  Reporter reporter(broker_.make_pub(), {"app", "u"});
+  Monitor monitor(broker_.make_sub(), "app", clock_);
+  for (int s = 0; s < 5; ++s) {
+    clock_.advance(to_nanos(0.5));
+    reporter.report(3.0);
+    clock_.advance(to_nanos(0.5));
+    monitor.poll();
+  }
+  clock_.advance(kNanosPerSecond);
+  monitor.poll();
+  EXPECT_GE(monitor.rate_stats().count(), 5U);
+  EXPECT_NEAR(monitor.rate_stats().mean(), 3.0 * 5 / 6, 1.0);
+}
+
+}  // namespace
+}  // namespace procap::progress

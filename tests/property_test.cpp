@@ -1,0 +1,193 @@
+// Cross-module property sweeps (parameterized gtest).
+//
+// Each suite here asserts an *invariant* over a swept parameter space
+// rather than a single example:
+//   * synthetic workloads with a designed beta measure back that beta;
+//   * the RAPL firmware converges onto any reachable cap;
+//   * the Monitor conserves work (sum of window amounts == work reported)
+//     under arbitrary reporting cadences;
+//   * the progress-sample codec round-trips adversarial values;
+//   * the online metric correlates with the end-of-run FOM across
+//     operating points (the paper's objective 2 for the metric).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/measure.hpp"
+#include "exp/rig.hpp"
+#include "hw/firmware.hpp"
+#include "progress/analysis.hpp"
+#include "progress/monitor.hpp"
+#include "progress/reporter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace procap {
+namespace {
+
+// ---- beta is an emergent, measurable property --------------------------
+
+class BetaRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaRoundTrip, DesignedBetaIsMeasuredBack) {
+  const double designed_beta = GetParam();
+  const Hertz f_nom = hw::CpuSpec::skylake24().f_nominal;
+  // Build a workload with iteration time 50 ms at nominal frequency and
+  // the requested compute share.
+  apps::PhaseSpec ph;
+  ph.name = "synthetic";
+  ph.iterations = apps::kUnbounded;
+  const Seconds t_iter = 0.05;
+  ph.cycles = designed_beta * t_iter * f_nom;
+  ph.mem_stall = (1.0 - designed_beta) * t_iter;
+  ph.bytes = 1e6;
+  ph.compute_instr = ph.cycles;
+  ph.progress_per_iter = 1.0;
+  apps::AppModel model{apps::WorkloadSpec{"synthetic", "iters", {ph}, nullptr},
+                       {}};
+
+  const auto c = exp::characterize(model, 1.6e9, 8.0);
+  EXPECT_NEAR(c.beta, designed_beta, 0.03) << "beta=" << designed_beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, BetaRoundTrip,
+                         ::testing::Values(0.05, 0.2, 0.37, 0.5, 0.64, 0.84,
+                                           0.95, 1.0));
+
+// ---- firmware convergence over the reachable cap range ----------------
+
+class FirmwareConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(FirmwareConvergence, RunningAverageSettlesOnCap) {
+  const Watts cap = GetParam();
+  exp::SimRig rig;
+  const auto model = apps::lammps();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 1);
+  rig.rapl().set_pkg_cap(cap, 0.04);
+  rig.engine().run_for(to_nanos(6.0));
+  // Mean power over a settled window, from the energy counter.
+  const Joules e0 = rig.package().energy();
+  rig.engine().run_for(to_nanos(4.0));
+  const Watts mean_power = (rig.package().energy() - e0) / 4.0;
+  EXPECT_NEAR(mean_power, cap, 0.05 * cap) << "cap=" << cap;
+}
+
+// Reachable range for LAMMPS: static floor ~21 W to uncapped ~150 W.
+INSTANTIATE_TEST_SUITE_P(CapSweep, FirmwareConvergence,
+                         ::testing::Values(25.0, 35.0, 50.0, 70.0, 90.0,
+                                           110.0, 130.0, 145.0));
+
+// ---- monitor conserves work under arbitrary cadences -------------------
+
+struct CadenceCase {
+  double mean_interval_s;
+  double amount;
+  int samples;
+};
+
+class MonitorConservation : public ::testing::TestWithParam<CadenceCase> {};
+
+TEST_P(MonitorConservation, WindowSumsEqualReportedWork) {
+  const auto [interval, amount, count] = GetParam();
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  progress::Reporter reporter(broker.make_pub(), {"app", "u"});
+  progress::Monitor monitor(broker.make_sub(), "app", clock);
+  Rng rng(99);
+  double reported = 0.0;
+  for (int i = 0; i < count; ++i) {
+    clock.advance(to_nanos(rng.exponential(1.0 / interval)));
+    reporter.report(amount);
+    reported += amount;
+    if (i % 7 == 0) {
+      monitor.poll();  // interleave polls with reports
+    }
+  }
+  clock.advance(2 * kNanosPerSecond);  // let the last window close
+  monitor.poll();
+  // Conservation: total work equals what was reported, and the window
+  // rates integrate back to the same total.
+  EXPECT_NEAR(monitor.total_work(), reported, 1e-9);
+  double window_integral = 0.0;
+  for (const auto& s : monitor.rates().samples()) {
+    window_integral += s.value * to_seconds(monitor.window());
+  }
+  EXPECT_NEAR(window_integral, reported, 1e-6 * reported + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CadenceSweep, MonitorConservation,
+    ::testing::Values(CadenceCase{0.001, 1.0, 5000},   // 1 kHz reporting
+                      CadenceCase{0.05, 40000.0, 400},  // LAMMPS-like
+                      CadenceCase{0.33, 1.0, 60},       // AMG-like
+                      CadenceCase{1.0, 100000.0, 30},   // OpenMC-like
+                      CadenceCase{3.7, 1.0, 12}));      // slower than window
+
+// ---- codec robustness ---------------------------------------------------
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomSamplesRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    progress::ProgressSample in;
+    in.amount = std::ldexp(rng.uniform(0.0, 1.0),
+                           static_cast<int>(rng.uniform_int(-60, 60)));
+    in.phase = static_cast<int>(rng.uniform_int(-1, 40));
+    const auto out = progress::decode_sample(progress::encode_sample(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(out->amount, in.amount);
+    EXPECT_EQ(out->phase, in.phase);
+  }
+}
+
+TEST_P(CodecFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() ^ 0xdeadbeef);
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 24));
+    for (std::size_t k = 0; k < len; ++k) {
+      garbage.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    }
+    (void)progress::decode_sample(garbage);  // must not throw or crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- online metric correlates with the FOM (paper objective 2) --------
+
+class FomCorrelation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FomCorrelation, OnlineRateTracksFomAcrossOperatingPoints) {
+  const std::string app_name = GetParam();
+  std::vector<double> fom_values;
+  std::vector<double> online_means;
+  for (const double f_mhz : {1600.0, 2200.0, 2800.0, 3300.0}) {
+    exp::SimRig rig;
+    rig.rapl().set_frequency(mhz(f_mhz));
+    const auto model = apps::by_name(app_name);
+    apps::SimApp app(rig.package(), rig.broker(), model.spec, 3);
+    progress::Monitor monitor(rig.broker().make_sub(), model.spec.name,
+                              rig.time());
+    rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+    rig.engine().run_for(to_nanos(20.0));
+    monitor.poll();
+    fom_values.push_back(progress::figure_of_merit(monitor.rates()));
+    // "Online" view: mean of the non-warmup windowed rates.
+    online_means.push_back(
+        monitor.rates().mean_in(to_nanos(2.0), to_nanos(20.0)));
+  }
+  EXPECT_GT(pearson(fom_values, online_means), 0.99);
+  // And both grow with frequency.
+  EXPECT_LT(fom_values.front(), fom_values.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, FomCorrelation,
+                         ::testing::Values("lammps", "stream", "amg",
+                                           "qmcpack-dmc"));
+
+}  // namespace
+}  // namespace procap

@@ -1,0 +1,159 @@
+// Tests for the RAPL register codecs (Intel SDM layouts), including
+// parameterized round-trip property sweeps.
+#include <gtest/gtest.h>
+
+#include "rapl/codec.hpp"
+
+namespace procap::rapl {
+namespace {
+
+TEST(RaplUnits, SkylakeDefaults) {
+  const RaplUnits u = RaplUnits::skylake();
+  EXPECT_DOUBLE_EQ(u.power_unit, 0.125);
+  EXPECT_DOUBLE_EQ(u.energy_unit, 1.0 / 16384.0);
+  EXPECT_DOUBLE_EQ(u.time_unit, 1.0 / 1024.0);
+}
+
+TEST(RaplUnits, DecodeFieldPositions) {
+  // power exp 3 (bits 3:0), energy exp 14 (bits 12:8), time exp 10
+  // (bits 19:16).
+  const std::uint64_t raw = 0x3 | (14ULL << 8) | (10ULL << 16);
+  const RaplUnits u = RaplUnits::decode(raw);
+  EXPECT_DOUBLE_EQ(u.power_unit, 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(u.energy_unit, 1.0 / 16384.0);
+  EXPECT_DOUBLE_EQ(u.time_unit, 1.0 / 1024.0);
+}
+
+TEST(RaplUnits, EncodeDecodeRoundTrip) {
+  const std::uint64_t raw = RaplUnits::encode(3, 16, 10);
+  const RaplUnits u = RaplUnits::decode(raw);
+  EXPECT_DOUBLE_EQ(u.energy_unit, 1.0 / 65536.0);  // Haswell-server style
+}
+
+TEST(RaplUnits, EncodeRejectsOutOfRange) {
+  EXPECT_THROW((void)RaplUnits::encode(16, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)RaplUnits::encode(0, 32, 0), std::invalid_argument);
+  EXPECT_THROW((void)RaplUnits::encode(0, 0, 16), std::invalid_argument);
+}
+
+TEST(PowerLimitCodec, EncodeKnownValue) {
+  const RaplUnits u = RaplUnits::skylake();
+  PkgPowerLimit limit;
+  limit.pl1.power = 100.0;  // 800 power units
+  limit.pl1.enabled = true;
+  limit.pl1.clamped = true;
+  limit.pl1.time_window = 0.0;
+  const std::uint64_t raw = limit.encode(u);
+  EXPECT_EQ(raw & 0x7FFF, 800U);
+  EXPECT_NE(raw & (1ULL << 15), 0U);  // enable
+  EXPECT_NE(raw & (1ULL << 16), 0U);  // clamp
+  EXPECT_EQ(raw >> 32, 0U);           // PL2 untouched
+}
+
+TEST(PowerLimitCodec, LockBit) {
+  const RaplUnits u = RaplUnits::skylake();
+  PkgPowerLimit limit;
+  limit.locked = true;
+  EXPECT_NE(limit.encode(u) & (1ULL << 63), 0U);
+  EXPECT_TRUE(PkgPowerLimit::decode(1ULL << 63, u).locked);
+}
+
+TEST(PowerLimitCodec, TimeWindowFormula) {
+  const RaplUnits u = RaplUnits::skylake();
+  // Y=3, Z=2 -> 2^3 * 1.5 * (1/1024) s = 11.71875 ms.
+  const std::uint8_t bits = 3 | (2 << 5);
+  EXPECT_DOUBLE_EQ(decode_time_window(bits, u), 12.0 / 1024.0);
+}
+
+TEST(PowerLimitCodec, TimeWindowZeroEncodesZero) {
+  const RaplUnits u = RaplUnits::skylake();
+  EXPECT_EQ(encode_time_window(0.0, u), 0);
+  EXPECT_EQ(encode_time_window(-1.0, u), 0);
+}
+
+TEST(EnergyCodec, EncodeDecodeConsistent) {
+  const RaplUnits u = RaplUnits::skylake();
+  const Joules j = 1000.0;
+  const std::uint32_t raw = encode_energy(j, u);
+  EXPECT_NEAR(decode_energy(raw, u), j, u.energy_unit);
+}
+
+TEST(EnergyCodec, CounterWrapsAt32Bits) {
+  const RaplUnits u = RaplUnits::skylake();
+  // 2^32 energy units wrap to zero.
+  const Joules wrap_point = 4294967296.0 * u.energy_unit;
+  EXPECT_EQ(encode_energy(wrap_point, u), 0U);
+  EXPECT_EQ(encode_energy(wrap_point + u.energy_unit, u), 1U);
+}
+
+TEST(EnergyAccumulator, AccumulatesDeltas) {
+  const RaplUnits u = RaplUnits::skylake();
+  EnergyAccumulator acc(u);
+  EXPECT_DOUBLE_EQ(acc.sample(1000), 0.0);  // priming read
+  const Joules d = acc.sample(3000);
+  EXPECT_DOUBLE_EQ(d, 2000.0 * u.energy_unit);
+  EXPECT_DOUBLE_EQ(acc.total(), 2000.0 * u.energy_unit);
+}
+
+TEST(EnergyAccumulator, HandlesWraparound) {
+  const RaplUnits u = RaplUnits::skylake();
+  EnergyAccumulator acc(u);
+  acc.sample(0xFFFFFF00U);
+  const Joules d = acc.sample(0x00000100U);  // wrapped by 0x200 units
+  EXPECT_DOUBLE_EQ(d, 512.0 * u.energy_unit);
+  EXPECT_EQ(acc.wraps(), 1U);
+}
+
+// ---- Parameterized round-trip properties ------------------------------
+
+class PowerLimitRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLimitRoundTrip, PowerSurvivesEncodeDecode) {
+  const RaplUnits u = RaplUnits::skylake();
+  PkgPowerLimit in;
+  in.pl1.power = GetParam();
+  in.pl1.enabled = true;
+  in.pl1.time_window = 0.01;
+  in.pl2.power = GetParam() * 1.2;
+  in.pl2.enabled = false;
+  const PkgPowerLimit out = PkgPowerLimit::decode(in.encode(u), u);
+  EXPECT_NEAR(out.pl1.power, in.pl1.power, u.power_unit / 2.0);
+  EXPECT_NEAR(out.pl2.power, in.pl2.power, u.power_unit / 2.0);
+  EXPECT_EQ(out.pl1.enabled, in.pl1.enabled);
+  EXPECT_EQ(out.pl2.enabled, in.pl2.enabled);
+}
+
+INSTANTIATE_TEST_SUITE_P(CapSweep, PowerLimitRoundTrip,
+                         ::testing::Values(10.0, 25.0, 40.0, 65.5, 80.0,
+                                           100.0, 120.25, 150.0, 200.0,
+                                           250.0));
+
+class TimeWindowRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeWindowRoundTrip, WindowWithinFloatGranularity) {
+  const RaplUnits u = RaplUnits::skylake();
+  const Seconds w = GetParam();
+  const Seconds decoded = decode_time_window(encode_time_window(w, u), u);
+  // (Y, Z) float granularity: consecutive representable values differ by
+  // at most 25 %; encoding picks the closest, so error <= 12.5 % + 1 unit.
+  EXPECT_NEAR(decoded, w, std::max(0.125 * w, u.time_unit));
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSweep, TimeWindowRoundTrip,
+                         ::testing::Values(0.001, 0.00292, 0.01, 0.028, 0.1,
+                                           0.25, 1.0, 2.5, 10.0));
+
+class EnergyRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergyRoundTrip, EnergyWithinOneUnit) {
+  const RaplUnits u = RaplUnits::skylake();
+  const Joules j = GetParam();
+  EXPECT_NEAR(decode_energy(encode_energy(j, u), u), j, u.energy_unit);
+}
+
+INSTANTIATE_TEST_SUITE_P(EnergySweep, EnergyRoundTrip,
+                         ::testing::Values(0.0, 0.001, 1.0, 42.0, 1234.5,
+                                           100000.0, 262143.9));
+
+}  // namespace
+}  // namespace procap::rapl

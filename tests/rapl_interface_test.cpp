@@ -1,0 +1,136 @@
+// Tests for the libmsr-style RaplInterface over an emulated MSR device.
+#include <gtest/gtest.h>
+
+#include "msr/addresses.hpp"
+#include "msr/emulated.hpp"
+#include "rapl/rapl.hpp"
+#include "util/time.hpp"
+
+namespace procap::rapl {
+namespace {
+
+// Minimal hand-wired MSR device (no hw::Node): registers behave as plain
+// storage except energy, which this fixture scripts directly.
+class RaplInterfaceTest : public ::testing::Test {
+ protected:
+  RaplInterfaceTest() : dev_(4) {
+    dev_.define(msr::kMsrRaplPowerUnit, RaplUnits::encode(3, 14, 10));
+    dev_.define(msr::kMsrPkgEnergyStatus, 0);
+    dev_.define(msr::kMsrPkgPowerLimit, 0);
+    dev_.define(msr::kIa32PerfCtl, encode_perf_ctl(3.3e9));
+    dev_.define(msr::kIa32PerfStatus, encode_perf_ctl(3.3e9));
+    dev_.define(msr::kIa32ClockModulation, 0);
+    dev_.define(msr::kMsrDramEnergyStatus, 0);
+    dev_.define(msr::kMsrDramPowerLimit, 0);
+  }
+
+  void set_energy(Joules j) {
+    dev_.poke(0, msr::kMsrPkgEnergyStatus,
+              encode_energy(j, RaplUnits::skylake()));
+  }
+
+  msr::EmulatedMsr dev_;
+  ManualTimeSource clock_;
+};
+
+TEST_F(RaplInterfaceTest, ReadsUnits) {
+  RaplInterface rapl(dev_, clock_);
+  EXPECT_DOUBLE_EQ(rapl.units().power_unit, 0.125);
+}
+
+TEST_F(RaplInterfaceTest, RejectsEmptyPackageList) {
+  EXPECT_THROW(RaplInterface(dev_, clock_, {}), std::invalid_argument);
+}
+
+TEST_F(RaplInterfaceTest, PackageIndexChecked) {
+  RaplInterface rapl(dev_, clock_);
+  EXPECT_THROW((void)rapl.pkg_energy(1), std::out_of_range);
+}
+
+TEST_F(RaplInterfaceTest, EnergyAccumulates) {
+  RaplInterface rapl(dev_, clock_);
+  set_energy(0.0);
+  EXPECT_NEAR(rapl.pkg_energy(), 0.0, 1e-3);
+  set_energy(150.0);
+  EXPECT_NEAR(rapl.pkg_energy(), 150.0, 1e-3);
+}
+
+TEST_F(RaplInterfaceTest, PowerFromEnergyOverTime) {
+  RaplInterface rapl(dev_, clock_);
+  set_energy(0.0);
+  (void)rapl.pkg_power();  // priming read
+  set_energy(100.0);
+  clock_.advance(to_nanos(2.0));
+  EXPECT_NEAR(rapl.pkg_power(), 50.0, 0.1);  // 100 J over 2 s
+}
+
+TEST_F(RaplInterfaceTest, SetCapProgramsPl1) {
+  RaplInterface rapl(dev_, clock_);
+  rapl.set_pkg_cap(95.0, 0.01);
+  const PkgPowerLimit limit = rapl.pkg_limit();
+  EXPECT_NEAR(limit.pl1.power, 95.0, 0.125);
+  EXPECT_TRUE(limit.pl1.enabled);
+  EXPECT_TRUE(limit.pl1.clamped);
+  EXPECT_NEAR(limit.pl1.time_window, 0.01, 0.0025);
+}
+
+TEST_F(RaplInterfaceTest, ClearCapDisablesPl1) {
+  RaplInterface rapl(dev_, clock_);
+  rapl.set_pkg_cap(95.0);
+  rapl.clear_pkg_cap();
+  const PkgPowerLimit limit = rapl.pkg_limit();
+  EXPECT_FALSE(limit.pl1.enabled);
+  // Power value survives the disable (read-modify-write).
+  EXPECT_NEAR(limit.pl1.power, 95.0, 0.125);
+}
+
+TEST_F(RaplInterfaceTest, SetCapRejectsNonPositive) {
+  RaplInterface rapl(dev_, clock_);
+  EXPECT_THROW(rapl.set_pkg_cap(0.0), std::invalid_argument);
+  EXPECT_THROW(rapl.set_pkg_cap(-5.0), std::invalid_argument);
+}
+
+TEST_F(RaplInterfaceTest, FrequencyWriteAndRead) {
+  RaplInterface rapl(dev_, clock_);
+  rapl.set_frequency(2.5e9);
+  // This fixture has no firmware; PERF_STATUS mirrors what we poke.
+  dev_.poke(0, msr::kIa32PerfStatus, dev_.peek(0, msr::kIa32PerfCtl));
+  EXPECT_DOUBLE_EQ(rapl.frequency(), 2.5e9);
+}
+
+TEST_F(RaplInterfaceTest, ClockModulationRoundTrip) {
+  RaplInterface rapl(dev_, clock_);
+  rapl.set_clock_modulation(0.5);
+  EXPECT_DOUBLE_EQ(rapl.clock_modulation(), 0.5);
+  rapl.set_clock_modulation(1.0);
+  EXPECT_DOUBLE_EQ(rapl.clock_modulation(), 1.0);
+}
+
+TEST(PerfCtlCodec, RatioEncoding) {
+  EXPECT_EQ(encode_perf_ctl(3.3e9), 33ULL << 8);
+  EXPECT_DOUBLE_EQ(decode_perf_status(33ULL << 8), 3.3e9);
+  // Rounded to the nearest 100 MHz ratio.
+  EXPECT_DOUBLE_EQ(decode_perf_status(encode_perf_ctl(2.649e9)), 2.6e9);
+}
+
+TEST(ClockModulationCodec, ExtendedFormat) {
+  // duty 0.5 -> level 8, enable bit set.
+  EXPECT_EQ(encode_clock_modulation(0.5), 0x8ULL | (1ULL << 4));
+  EXPECT_DOUBLE_EQ(decode_clock_modulation(0x8ULL | (1ULL << 4)), 0.5);
+  // Disabled -> full duty.
+  EXPECT_EQ(encode_clock_modulation(1.0), 0U);
+  EXPECT_DOUBLE_EQ(decode_clock_modulation(0), 1.0);
+}
+
+TEST(ClockModulationCodec, LowestDutyIsOneSixteenth) {
+  const auto raw = encode_clock_modulation(0.01);
+  EXPECT_DOUBLE_EQ(decode_clock_modulation(raw), 1.0 / 16.0);
+}
+
+TEST(ClockModulationCodec, RejectsOutOfRange) {
+  EXPECT_THROW((void)encode_clock_modulation(0.0), std::invalid_argument);
+  EXPECT_THROW((void)encode_clock_modulation(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace procap::rapl

@@ -1,0 +1,159 @@
+// Tests for the fixed-step simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace procap::sim {
+namespace {
+
+class CountingComponent : public Component {
+ public:
+  void step(Nanos now, Nanos dt) override {
+    steps.push_back(now);
+    last_dt = dt;
+  }
+  std::vector<Nanos> steps;
+  Nanos last_dt = 0;
+};
+
+TEST(Engine, RejectsNonPositiveDt) {
+  EXPECT_THROW(Engine(0), std::invalid_argument);
+  EXPECT_THROW(Engine(-5), std::invalid_argument);
+}
+
+TEST(Engine, RunForAdvancesClock) {
+  Engine engine(msec(1));
+  engine.run_for(msec(10));
+  EXPECT_EQ(engine.now(), msec(10));
+  EXPECT_EQ(engine.ticks(), 10U);
+}
+
+TEST(Engine, ComponentsSteppedEveryTick) {
+  Engine engine(msec(2));
+  CountingComponent c;
+  engine.add(c);
+  engine.run_for(msec(10));
+  ASSERT_EQ(c.steps.size(), 5U);
+  EXPECT_EQ(c.steps.front(), 0);
+  EXPECT_EQ(c.steps.back(), msec(8));
+  EXPECT_EQ(c.last_dt, msec(2));
+}
+
+TEST(Engine, ComponentsSteppedInRegistrationOrder) {
+  Engine engine(msec(1));
+  std::vector<int> order;
+  struct Tagger : Component {
+    Tagger(std::vector<int>& o, int id) : order(&o), id(id) {}
+    void step(Nanos, Nanos) override { order->push_back(id); }
+    std::vector<int>* order;
+    int id;
+  };
+  Tagger a(order, 1);
+  Tagger b(order, 2);
+  engine.add(a);
+  engine.add(b);
+  engine.run_for(msec(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, OneShotEventFiresOnce) {
+  Engine engine(msec(1));
+  int fired = 0;
+  Nanos fire_time = -1;
+  engine.at(msec(5), [&](Nanos t) {
+    ++fired;
+    fire_time = t;
+  });
+  engine.run_for(msec(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fire_time, msec(5));
+}
+
+TEST(Engine, AtRejectsPast) {
+  Engine engine(msec(1));
+  engine.run_for(msec(5));
+  EXPECT_THROW(engine.at(msec(1), [](Nanos) {}), std::invalid_argument);
+}
+
+TEST(Engine, PeriodicEventFiresAtPeriod) {
+  Engine engine(msec(1));
+  std::vector<Nanos> fires;
+  engine.every(msec(3), [&](Nanos t) { fires.push_back(t); });
+  engine.run_for(msec(10));
+  // Fires at 0, 3, 6, 9 ms.
+  EXPECT_EQ(fires, (std::vector<Nanos>{0, msec(3), msec(6), msec(9)}));
+}
+
+TEST(Engine, PeriodicWithPhase) {
+  Engine engine(msec(1));
+  std::vector<Nanos> fires;
+  engine.every(msec(4), [&](Nanos t) { fires.push_back(t); }, msec(2));
+  engine.run_for(msec(11));
+  EXPECT_EQ(fires, (std::vector<Nanos>{msec(2), msec(6), msec(10)}));
+}
+
+TEST(Engine, CancelStopsPeriodic) {
+  Engine engine(msec(1));
+  int fired = 0;
+  const auto id = engine.every(msec(2), [&](Nanos) { ++fired; });
+  engine.run_for(msec(5));  // fires at 0, 2, 4
+  engine.cancel(id);
+  engine.run_for(msec(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, EventsBeforeComponents) {
+  Engine engine(msec(1));
+  CountingComponent c;
+  engine.add(c);
+  bool component_had_stepped_at_event = true;
+  engine.at(0, [&](Nanos) {
+    component_had_stepped_at_event = !c.steps.empty();
+  });
+  engine.run_for(msec(1));
+  EXPECT_FALSE(component_had_stepped_at_event);
+}
+
+TEST(Engine, TieBreakIsFifo) {
+  Engine engine(msec(1));
+  std::vector<int> order;
+  engine.at(msec(2), [&](Nanos) { order.push_back(1); });
+  engine.at(msec(2), [&](Nanos) { order.push_back(2); });
+  engine.run_for(msec(5));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, RunUntilStopsOnPredicate) {
+  Engine engine(msec(1));
+  int count = 0;
+  engine.every(msec(1), [&](Nanos) { ++count; });
+  const bool stopped =
+      engine.run_until([&] { return count >= 5; }, to_nanos(1.0));
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 5);
+  EXPECT_LT(engine.now(), to_nanos(1.0));
+}
+
+TEST(Engine, RunUntilHonorsMaxDuration) {
+  Engine engine(msec(1));
+  const bool stopped = engine.run_until([] { return false; }, msec(20));
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(engine.now(), msec(20));
+}
+
+TEST(Engine, TimeSourceSharesClock) {
+  Engine engine(msec(1));
+  const TimeSource& ts = engine.time();
+  engine.run_for(msec(7));
+  EXPECT_EQ(ts.now(), msec(7));
+}
+
+TEST(Engine, EveryRejectsNonPositivePeriod) {
+  Engine engine(msec(1));
+  EXPECT_THROW(engine.every(0, [](Nanos) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace procap::sim

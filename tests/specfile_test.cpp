@@ -1,0 +1,147 @@
+// Tests for the workload spec file parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "apps/specfile.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+
+namespace procap::apps {
+namespace {
+
+constexpr const char* kValid = R"(
+# toy application
+name = toy
+unit = steps
+
+[phase warmup]
+iterations = 5
+cycles = 1.0e8
+mem_stall = 1e-3
+progress = 2.0
+
+[phase main]
+iterations = unbounded
+cycles = 3.3e8        # one tick at nominal
+mem_stall = 2e-3
+bytes = 6.4e6
+compute_instr = 5e8
+noise_cv = 0.05
+noise_ar1 = 0.9
+interleave = 4
+phase_id = 1
+)";
+
+TEST(SpecFile, ParsesValidSpec) {
+  const WorkloadSpec spec = parse_spec(kValid);
+  EXPECT_EQ(spec.name, "toy");
+  EXPECT_EQ(spec.unit, "steps");
+  ASSERT_EQ(spec.phases.size(), 2U);
+  EXPECT_EQ(spec.phases[0].name, "warmup");
+  EXPECT_EQ(spec.phases[0].iterations, 5);
+  EXPECT_DOUBLE_EQ(spec.phases[0].cycles, 1.0e8);
+  EXPECT_DOUBLE_EQ(spec.phases[0].progress_per_iter, 2.0);
+  EXPECT_EQ(spec.phases[1].iterations, kUnbounded);
+  EXPECT_DOUBLE_EQ(spec.phases[1].noise_ar1, 0.9);
+  EXPECT_EQ(spec.phases[1].interleave, 4U);
+  EXPECT_EQ(spec.phases[1].phase_id, 1);
+}
+
+TEST(SpecFile, DefaultsApplied) {
+  const WorkloadSpec spec = parse_spec(
+      "name = x\n[phase]\ncycles = 1e8\n");
+  EXPECT_EQ(spec.unit, "iterations");
+  EXPECT_EQ(spec.phases[0].name, "phase0");
+  EXPECT_EQ(spec.phases[0].iterations, kUnbounded);
+  EXPECT_DOUBLE_EQ(spec.phases[0].progress_per_iter, 1.0);
+}
+
+TEST(SpecFile, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_spec("name = x\n[phase p]\nwrong_key = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("wrong_key"), std::string::npos);
+  }
+}
+
+TEST(SpecFile, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("name = x\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("[phase p]\ncycles = 1e8\n"),
+               std::invalid_argument);  // missing name
+  EXPECT_THROW((void)parse_spec("name = x\n[phase p]\ncycles = abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("name = x\nbogus = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("name = x\n[phase p\ncycles = 1e8\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("name = x\n[weird p]\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("name = x\n[phase p]\niterations = 0\n"),
+               std::invalid_argument);
+  // A phase with neither cycles nor stall is meaningless.
+  EXPECT_THROW((void)parse_spec("name = x\n[phase p]\nbytes = 10\n"),
+               std::invalid_argument);
+}
+
+TEST(SpecFile, RoundTripsThroughWriteSpec) {
+  const WorkloadSpec original = parse_spec(kValid);
+  std::ostringstream os;
+  write_spec(os, original);
+  const WorkloadSpec reparsed = parse_spec(os.str());
+  ASSERT_EQ(reparsed.phases.size(), original.phases.size());
+  EXPECT_EQ(reparsed.name, original.name);
+  for (std::size_t p = 0; p < original.phases.size(); ++p) {
+    EXPECT_EQ(reparsed.phases[p].iterations, original.phases[p].iterations);
+    EXPECT_DOUBLE_EQ(reparsed.phases[p].cycles, original.phases[p].cycles);
+    EXPECT_DOUBLE_EQ(reparsed.phases[p].mem_stall,
+                     original.phases[p].mem_stall);
+    EXPECT_DOUBLE_EQ(reparsed.phases[p].noise_ar1,
+                     original.phases[p].noise_ar1);
+  }
+}
+
+TEST(SpecFile, SuiteSpecsRoundTrip) {
+  // Every built-in workload survives write -> parse unchanged.
+  for (const auto& name : suite_names()) {
+    const WorkloadSpec original = by_name(name).spec;
+    std::ostringstream os;
+    write_spec(os, original);
+    const WorkloadSpec reparsed = parse_spec(os.str());
+    ASSERT_EQ(reparsed.phases.size(), original.phases.size()) << name;
+    for (std::size_t p = 0; p < original.phases.size(); ++p) {
+      EXPECT_DOUBLE_EQ(reparsed.phases[p].cycles, original.phases[p].cycles)
+          << name;
+      EXPECT_DOUBLE_EQ(reparsed.phases[p].bytes, original.phases[p].bytes)
+          << name;
+    }
+  }
+}
+
+TEST(SpecFile, LoadSpecFromDiskAndRunIt) {
+  const std::string path = testing::TempDir() + "/procap_spec_test.spec";
+  {
+    std::ofstream file(path);
+    file << kValid;
+  }
+  const WorkloadSpec spec = load_spec(path);
+  // The parsed workload actually runs on the simulator.
+  exp::SimRig rig;
+  SimApp app(rig.package(), rig.broker(), spec, 1);
+  rig.engine().run_for(to_nanos(3.0));
+  EXPECT_GT(app.iterations_completed(), 5);  // warmup done, main running
+  std::remove(path.c_str());
+}
+
+TEST(SpecFile, LoadSpecMissingFileThrows) {
+  EXPECT_THROW((void)load_spec("/nonexistent/foo.spec"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace procap::apps

@@ -1,0 +1,128 @@
+// Tests for the system-level power manager (top of the paper's Section II
+// hierarchy) and its cascade through jobs to node RAPL caps.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/suite.hpp"
+#include "job/cluster.hpp"
+#include "job/manager.hpp"
+#include "job/system.hpp"
+#include "sim/engine.hpp"
+
+namespace procap::job {
+namespace {
+
+// Two 2-node LAMMPS jobs on one engine, each with its own manager.
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest() {
+    ClusterSpec spec;
+    spec.nodes = 2;
+    spec.variability_cv = 0.0;
+    cluster_a_ = std::make_unique<Cluster>(engine_, apps::lammps(), spec);
+    spec.seed = 2;
+    cluster_b_ = std::make_unique<Cluster>(engine_, apps::lammps(), spec);
+    JobManagerConfig config;
+    config.min_node_cap = 25.0;
+    manager_a_ = std::make_unique<JobPowerManager>(*cluster_a_,
+                                                   engine_.time(), 300.0,
+                                                   config);
+    manager_b_ = std::make_unique<JobPowerManager>(*cluster_b_,
+                                                   engine_.time(), 300.0,
+                                                   config);
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<Cluster> cluster_a_;
+  std::unique_ptr<Cluster> cluster_b_;
+  std::unique_ptr<JobPowerManager> manager_a_;
+  std::unique_ptr<JobPowerManager> manager_b_;
+};
+
+TEST_F(SystemTest, ValidatesArguments) {
+  EXPECT_THROW(SystemPowerManager(0.0), std::invalid_argument);
+  SystemPowerManager system(500.0);
+  EXPECT_THROW(system.add_job("a", 0, *manager_a_, 60.0, 300.0),
+               std::invalid_argument);
+  EXPECT_THROW(system.add_job("a", 1, *manager_a_, 300.0, 60.0),
+               std::invalid_argument);
+  system.add_job("a", 1, *manager_a_, 60.0, 300.0);
+  EXPECT_THROW(system.add_job("a", 1, *manager_b_, 60.0, 300.0),
+               std::invalid_argument);
+  EXPECT_THROW(system.remove_job("zzz"), std::invalid_argument);
+  EXPECT_THROW((void)system.budget_of("zzz"), std::invalid_argument);
+}
+
+TEST_F(SystemTest, EqualPrioritySplitsEqually) {
+  SystemPowerManager system(400.0);
+  system.add_job("a", 1, *manager_a_, 60.0, 310.0);
+  system.add_job("b", 1, *manager_b_, 60.0, 310.0);
+  EXPECT_DOUBLE_EQ(system.budget_of("a"), 200.0);
+  EXPECT_DOUBLE_EQ(system.budget_of("b"), 200.0);
+  EXPECT_DOUBLE_EQ(system.total_granted(), 400.0);
+  // Cascaded into the job managers.
+  EXPECT_DOUBLE_EQ(manager_a_->budget(), 200.0);
+}
+
+TEST_F(SystemTest, PriorityWeightsTheRemainder) {
+  SystemPowerManager system(460.0);
+  system.add_job("a", 1, *manager_a_, 60.0, 400.0);
+  system.add_job("b", 3, *manager_b_, 60.0, 400.0);
+  // Floors: 120.  Remainder 340 split 1:3 -> 85 / 255.
+  EXPECT_NEAR(system.budget_of("a"), 145.0, 1e-9);
+  EXPECT_NEAR(system.budget_of("b"), 315.0, 1e-9);
+}
+
+TEST_F(SystemTest, CeilingSurplusRespreads) {
+  SystemPowerManager system(500.0);
+  system.add_job("a", 1, *manager_a_, 60.0, 150.0);  // low ceiling
+  system.add_job("b", 1, *manager_b_, 60.0, 400.0);
+  // Naive split would give each 250; a is capped at 150, the surplus
+  // flows to b.
+  EXPECT_DOUBLE_EQ(system.budget_of("a"), 150.0);
+  EXPECT_DOUBLE_EQ(system.budget_of("b"), 350.0);
+}
+
+TEST_F(SystemTest, FloorsProtectAdmission) {
+  SystemPowerManager system(150.0);
+  system.add_job("a", 1, *manager_a_, 100.0, 300.0);
+  EXPECT_THROW(system.add_job("b", 1, *manager_b_, 100.0, 300.0),
+               std::invalid_argument);
+  EXPECT_THROW(system.set_machine_budget(90.0), std::invalid_argument);
+}
+
+TEST_F(SystemTest, HighPriorityArrivalSqueezesRunningJob) {
+  // The paper's Section II scenario, end to end: job A runs alone with a
+  // generous budget; a high-priority job B arrives; A's budget — and its
+  // nodes' caps, and its progress — drop immediately.
+  SystemPowerManager system(380.0);
+  system.add_job("a", 1, *manager_a_, 60.0, 310.0);
+  engine_.run_for(to_nanos(10.0));
+  const double rate_alone = cluster_a_->job_rate();
+  const Watts budget_alone = system.budget_of("a");
+  EXPECT_DOUBLE_EQ(budget_alone, 310.0);  // alone: up to its ceiling
+
+  system.add_job("b", 4, *manager_b_, 60.0, 310.0);
+  EXPECT_LT(system.budget_of("a"), 130.0);  // floors 60+60, 260 split 1:4
+  EXPECT_LE(system.total_granted(), 380.0 + 1e-9);
+  engine_.run_for(to_nanos(15.0));
+  const double rate_squeezed = cluster_a_->job_rate();
+  EXPECT_LT(rate_squeezed, 0.85 * rate_alone);
+  // Each of A's nodes really is capped near budget/2.
+  EXPECT_NEAR(cluster_a_->node(0)
+                  .node->package()
+                  .firmware()
+                  .limit()
+                  .pl1.power,
+              system.budget_of("a") / 2.0, 1.0);
+
+  // Job B finishes: A recovers.
+  system.remove_job("b");
+  EXPECT_DOUBLE_EQ(system.budget_of("a"), 310.0);
+  engine_.run_for(to_nanos(15.0));
+  EXPECT_GT(cluster_a_->job_rate(), 0.95 * rate_alone);
+}
+
+}  // namespace
+}  // namespace procap::job

@@ -1,0 +1,118 @@
+// Tests for progress trace recording and replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "progress/monitor.hpp"
+#include "progress/reporter.hpp"
+#include "progress/tracefile.hpp"
+
+namespace procap::progress {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return testing::TempDir() + "/procap_trace_" + tag + ".csv";
+}
+
+TEST(TraceFile, RecordAndLoadRoundTrip) {
+  const std::string path = temp_path("roundtrip");
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  Reporter reporter(broker.make_pub(), {"app", "u"});
+  {
+    TraceWriter writer(broker.make_sub(), "app", path);
+    clock.advance(to_nanos(0.25));
+    reporter.report(3.0, 1);
+    clock.advance(to_nanos(0.25));
+    reporter.report(4.5, 2);
+    writer.poll();
+    EXPECT_EQ(writer.written(), 2U);
+  }
+  const auto trace = load_trace(path);
+  ASSERT_EQ(trace.size(), 2U);
+  EXPECT_EQ(trace[0], (TraceSample{to_nanos(0.25), 3.0, 1}));
+  EXPECT_EQ(trace[1], (TraceSample{to_nanos(0.5), 4.5, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, WriterValidatesArguments) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  EXPECT_THROW(TraceWriter(nullptr, "x", temp_path("null")),
+               std::invalid_argument);
+  EXPECT_THROW(TraceWriter(broker.make_sub(), "x", "/nonexistent/dir/t.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceFile, LoadRejectsMalformedRows) {
+  const std::string path = temp_path("bad");
+  {
+    std::ofstream file(path);
+    file << "t_seconds,amount,phase\n1.0,2.0\n";  // missing column
+  }
+  EXPECT_THROW((void)load_trace(path), std::invalid_argument);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_trace("/nonexistent/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceFile, ReplayMatchesLiveMonitor) {
+  // The same stream, consumed live by a Monitor and recorded+replayed,
+  // must produce identical windowed rates (the RateWindower is shared).
+  const std::string path = temp_path("replay");
+  exp::SimRig rig;
+  const auto model = apps::amg();
+  apps::SimApp app(rig.package(), rig.broker(), model.spec, 7);
+  Monitor live(rig.broker().make_sub(), "amg", rig.time());
+  TraceWriter writer(rig.broker().make_sub(), "amg", path);
+  rig.engine().every(kNanosPerSecond, [&](Nanos) {
+    live.poll();
+    writer.poll();
+  });
+  rig.engine().run_for(to_nanos(20.0));
+  live.poll();
+  writer.poll();
+
+  const auto replayed = windowed_rates(load_trace(path));
+  // The live monitor's windows start at t=0 (monitor construction); the
+  // replay's at the first sample's window.  Compare overlapping windows.
+  ASSERT_GT(replayed.size(), 10U);
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    const Nanos t = replayed[i].t;
+    bool found = false;
+    for (std::size_t j = 0; j < live.rates().size(); ++j) {
+      if (live.rates()[j].t == t) {
+        EXPECT_DOUBLE_EQ(live.rates()[j].value, replayed[i].value)
+            << "window at " << to_seconds(t);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "live monitor lacks window at " << to_seconds(t);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, WindowedRatesOfEmptyTrace) {
+  EXPECT_TRUE(windowed_rates({}).empty());
+}
+
+TEST(TraceFile, LoadRatesCsv) {
+  const std::string path = temp_path("rates");
+  {
+    std::ofstream file(path);
+    file << "t_seconds,rate\n0,5.5\n1,6.5\n";
+  }
+  const TimeSeries series = load_rates_csv(path);
+  ASSERT_EQ(series.size(), 2U);
+  EXPECT_DOUBLE_EQ(series[0].value, 5.5);
+  EXPECT_EQ(series[1].t, kNanosPerSecond);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace procap::progress

@@ -1,0 +1,100 @@
+// Tests for the timestamped series container.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/series.hpp"
+
+namespace procap {
+namespace {
+
+TEST(TimeSeries, AddAndIndex) {
+  TimeSeries s("x");
+  s.add(10, 1.0);
+  s.add(20, 2.0);
+  EXPECT_EQ(s.size(), 2U);
+  EXPECT_EQ(s[0], (Sample{10, 1.0}));
+  EXPECT_EQ(s[1], (Sample{20, 2.0}));
+  EXPECT_EQ(s.name(), "x");
+}
+
+TEST(TimeSeries, RejectsBackwardsTime) {
+  TimeSeries s;
+  s.add(10, 1.0);
+  EXPECT_THROW(s.add(9, 2.0), std::invalid_argument);
+  s.add(10, 3.0);  // equal timestamps are allowed
+}
+
+TEST(TimeSeries, StartEndThrowWhenEmpty) {
+  TimeSeries s;
+  EXPECT_THROW((void)s.start_time(), std::out_of_range);
+  EXPECT_THROW((void)s.end_time(), std::out_of_range);
+}
+
+TEST(TimeSeries, SliceIsHalfOpen) {
+  TimeSeries s;
+  for (Nanos t = 0; t < 100; t += 10) {
+    s.add(t, static_cast<double>(t));
+  }
+  const TimeSeries sl = s.slice(20, 50);
+  ASSERT_EQ(sl.size(), 3U);
+  EXPECT_EQ(sl[0].t, 20);
+  EXPECT_EQ(sl[2].t, 40);
+}
+
+TEST(TimeSeries, SumAndMeanInWindow) {
+  TimeSeries s;
+  s.add(0, 1.0);
+  s.add(5, 2.0);
+  s.add(10, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum_in(0, 10), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_in(0, 11), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_in(100, 200), 0.0);
+}
+
+TEST(TimeSeries, ResampleSum) {
+  TimeSeries s;
+  // Two events in the first window, one in the second.
+  s.add(0, 1.0);
+  s.add(400, 1.0);
+  s.add(1200, 1.0);
+  const TimeSeries r = s.resample(1000, TimeSeries::Reduce::kSum);
+  ASSERT_EQ(r.size(), 2U);
+  EXPECT_DOUBLE_EQ(r[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(r[1].value, 1.0);
+}
+
+TEST(TimeSeries, ResampleMean) {
+  TimeSeries s;
+  s.add(0, 2.0);
+  s.add(100, 4.0);
+  s.add(1500, 6.0);
+  const TimeSeries r = s.resample(1000, TimeSeries::Reduce::kMean);
+  ASSERT_EQ(r.size(), 2U);
+  EXPECT_DOUBLE_EQ(r[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(r[1].value, 6.0);
+}
+
+TEST(TimeSeries, ResampleRejectsNonPositiveWindow) {
+  TimeSeries s;
+  s.add(0, 1.0);
+  EXPECT_THROW(s.resample(0, TimeSeries::Reduce::kSum), std::invalid_argument);
+}
+
+TEST(TimeSeries, ValuesDropTime) {
+  TimeSeries s;
+  s.add(1, 10.0);
+  s.add(2, 20.0);
+  EXPECT_EQ(s.values(), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(TimeSeries, CsvOutput) {
+  TimeSeries s("power");
+  s.add(kNanosPerSecond, 42.5);
+  std::ostringstream os;
+  s.write_csv(os);
+  EXPECT_EQ(os.str(), "t_seconds,power\n1,42.5\n");
+}
+
+}  // namespace
+}  // namespace procap

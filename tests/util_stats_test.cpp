@@ -1,0 +1,182 @@
+// Tests for streaming and batch statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace procap {
+namespace {
+
+TEST(StreamingStats, EmptyIsZeroed) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownSequence) {
+  StreamingStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  Rng rng(3);
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i < 400 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats a;
+  StreamingStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  StreamingStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_EQ(a.count(), 2U);
+}
+
+TEST(StreamingStats, CvIsRelativeSpread) {
+  StreamingStats s;
+  s.add(9.0);
+  s.add(11.0);
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(MovingAverage, WindowEviction) {
+  MovingAverage ma(3);
+  ma.add(1.0);
+  ma.add(2.0);
+  ma.add(3.0);
+  EXPECT_TRUE(ma.full());
+  EXPECT_DOUBLE_EQ(ma.mean(), 2.0);
+  ma.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(ma.mean(), 5.0);
+  EXPECT_EQ(ma.size(), 3U);
+}
+
+TEST(MovingAverage, RejectsZeroCapacity) {
+  EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RequiresTwoPoints) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)linear_fit(one, one), std::invalid_argument);
+}
+
+TEST(Mape, KnownValue) {
+  const std::vector<double> measured{10.0, 20.0};
+  const std::vector<double> predicted{11.0, 18.0};
+  // |1/10| = 10%, |2/20| = 10% -> mean 10%.
+  EXPECT_NEAR(mape(measured, predicted), 10.0, 1e-12);
+}
+
+TEST(Mape, SkipsNearZeroMeasured) {
+  const std::vector<double> measured{0.0, 10.0};
+  const std::vector<double> predicted{5.0, 11.0};
+  EXPECT_NEAR(mape(measured, predicted), 10.0, 1e-12);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+TEST(CrossCorrelation, DetectsLag) {
+  // y is x delayed by 2 samples.
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng rng(5);
+  std::vector<double> base;
+  for (int i = 0; i < 200; ++i) {
+    base.push_back(rng.normal());
+  }
+  for (int i = 2; i < 200; ++i) {
+    x.push_back(base[static_cast<std::size_t>(i)]);
+    y.push_back(base[static_cast<std::size_t>(i - 2)]);
+  }
+  EXPECT_GT(cross_correlation(x, y, 2), 0.95);
+  EXPECT_LT(std::abs(cross_correlation(x, y, 0)), 0.3);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace procap

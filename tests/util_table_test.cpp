@@ -1,0 +1,72 @@
+// Tests for table and CSV output helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace procap {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvMode) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(NumFormat, FixedPrecision) {
+  EXPECT_EQ(num(3.14159, 2), "3.14");
+  EXPECT_EQ(num(2.0, 0), "2");
+}
+
+TEST(SciFormat, ScientificNotation) {
+  EXPECT_EQ(sci(0.00391, 2), "3.91e-03");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/procap_csv_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.row({1.0, 2.5});
+    w.row({3.0, 4.0});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "x,y\n1,2.5\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongArity) {
+  const std::string path = testing::TempDir() + "/procap_csv_test2.csv";
+  CsvWriter w(path, {"x"});
+  EXPECT_THROW(w.row({1.0, 2.0}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace procap

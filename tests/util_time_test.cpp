@@ -1,0 +1,68 @@
+// Tests for time sources and unit conversions.
+#include <gtest/gtest.h>
+
+#include "util/time.hpp"
+#include "util/units.hpp"
+
+namespace procap {
+namespace {
+
+TEST(Units, SecondsNanosRoundTrip) {
+  EXPECT_EQ(to_nanos(1.0), kNanosPerSecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kNanosPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(to_nanos(0.125)), 0.125);
+}
+
+TEST(Units, FrequencyHelpers) {
+  EXPECT_DOUBLE_EQ(mhz(3300), 3.3e9);
+  EXPECT_DOUBLE_EQ(ghz(1.2), 1.2e9);
+  EXPECT_DOUBLE_EQ(as_mhz(mhz(2500)), 2500.0);
+  EXPECT_DOUBLE_EQ(as_ghz(ghz(2.7)), 2.7);
+}
+
+TEST(Units, MsecUsecHelpers) {
+  EXPECT_EQ(msec(1), 1'000'000);
+  EXPECT_EQ(usec(1), 1'000);
+  EXPECT_EQ(msec(2.5), 2'500'000);
+}
+
+TEST(ManualTimeSource, StartsAtGivenOrigin) {
+  ManualTimeSource t(42);
+  EXPECT_EQ(t.now(), 42);
+}
+
+TEST(ManualTimeSource, AdvanceAccumulates) {
+  ManualTimeSource t;
+  t.advance(10);
+  t.advance(15);
+  EXPECT_EQ(t.now(), 25);
+}
+
+TEST(ManualTimeSource, AdvanceRejectsNegative) {
+  ManualTimeSource t;
+  EXPECT_THROW(t.advance(-1), std::invalid_argument);
+}
+
+TEST(ManualTimeSource, SetRejectsBackwards) {
+  ManualTimeSource t(100);
+  EXPECT_THROW(t.set(99), std::invalid_argument);
+  t.set(100);  // equal is allowed
+  t.set(200);
+  EXPECT_EQ(t.now(), 200);
+}
+
+TEST(ManualTimeSource, NowSecondsMatchesNanos) {
+  ManualTimeSource t;
+  t.advance(to_nanos(2.5));
+  EXPECT_DOUBLE_EQ(t.now_seconds(), 2.5);
+}
+
+TEST(SteadyTimeSource, IsMonotonic) {
+  SteadyTimeSource t;
+  const Nanos a = t.now();
+  const Nanos b = t.now();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace procap

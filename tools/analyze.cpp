@@ -1,0 +1,115 @@
+// analyze — offline analysis of recorded progress traces.
+//
+// Consumes either a raw trace ("t_seconds,amount,phase", written by
+// progress::TraceWriter) or an already-windowed rate series
+// ("t_seconds,<name>", the power_policy tool's --csv output), and runs
+// the paper's characterization over it: windowed rates, consistency
+// (Section IV-C), detected phases, figure of merit, zero-window fraction
+// (the dropped-report artifact of Section V-C), and a trace-based
+// Category verdict.
+//
+// Usage: analyze FILE [--window S] [--cv-threshold X]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "progress/analysis.hpp"
+#include "progress/category.hpp"
+#include "progress/tracefile.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Peek at the header to decide raw-trace vs rate-series format.
+bool is_raw_trace(const std::string& path) {
+  const auto trace = [&] {
+    try {
+      return procap::progress::load_trace(path);
+    } catch (const std::invalid_argument&) {
+      return std::vector<procap::progress::TraceSample>{};
+    }
+  }();
+  return !trace.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace procap;
+  if (argc < 2) {
+    std::cerr << "usage: analyze FILE [--window S] [--cv-threshold X]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  double window_s = 1.0;
+  double cv_threshold = 0.10;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--window" && i + 1 < argc) {
+      window_s = std::atof(argv[++i]);
+    } else if (arg == "--cv-threshold" && i + 1 < argc) {
+      cv_threshold = std::atof(argv[++i]);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  TimeSeries rates;
+  try {
+    if (is_raw_trace(path)) {
+      const auto trace = progress::load_trace(path);
+      std::cout << "raw trace: " << trace.size() << " samples over "
+                << num(to_seconds(trace.back().t - trace.front().t), 1)
+                << " s\n";
+      rates = progress::windowed_rates(trace, to_nanos(window_s));
+    } else {
+      rates = progress::load_rates_csv(path);
+      std::cout << "rate series: " << rates.size() << " windows\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (rates.size() < 2) {
+    std::cerr << "not enough data to analyze\n";
+    return 1;
+  }
+
+  const auto report = progress::analyze_consistency(rates, cv_threshold);
+  const auto segments = progress::detect_phases(rates);
+  const double fom = progress::figure_of_merit(rates);
+
+  std::cout << "figure of merit:  " << num(fom, 2)
+            << " units/s over the whole run\n"
+            << "mean rate:        " << num(report.mean_rate, 2)
+            << " units/s (non-zero windows)\n"
+            << "cv:               " << num(report.cv * 100.0, 1) << "% -> "
+            << (report.consistent ? "consistent" : "fluctuating") << "\n"
+            << "zero windows:     " << num(report.zero_fraction * 100.0, 1)
+            << "% (dropped-report artifact if > 0)\n";
+
+  std::cout << "\ndetected phases:\n";
+  TablePrinter table({"segment", "start s", "end s", "mean rate"});
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    table.add_row({std::to_string(i + 1),
+                   num(to_seconds(segments[i].start), 1),
+                   num(to_seconds(segments[i].end), 1),
+                   num(segments[i].mean_rate, 2)});
+  }
+  table.print(std::cout);
+
+  // Trace-only category verdict: assume the metric was claimed reliable
+  // (the app is instrumented) and let the measurements argue.
+  progress::AppTraits traits;
+  traits.name = path;
+  traits.measurable_online = true;
+  traits.relates_to_science = true;
+  const auto category = progress::categorize(traits, rates);
+  std::cout << "\ntrace-based verdict: " << progress::to_string(category)
+            << (category == progress::Category::kCategory3
+                    ? " (metric too unstable to monitor reliably)"
+                    : "")
+            << "\n";
+  return 0;
+}

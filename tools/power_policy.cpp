@@ -1,0 +1,198 @@
+// power_policy — the paper's power-policy tool (Section V-B).
+//
+// "The power-policy tool runs as a background daemon on the node.  It
+// monitors power usage and applies the selected dynamic power-capping
+// scheme on the package domain once every second."
+//
+// This version runs an application from the procap suite on the simulated
+// node under the selected scheme, and writes the traces (applied cap,
+// measured power, progress rate, effective frequency) as CSV files —
+// everything needed to re-plot the paper's Fig. 3 panels for any
+// app/scheme combination.
+//
+// Usage:
+//   power_policy --app lammps --scheme step --low 70 --high 150
+//                --period 15 --duration 90 --csv /tmp/run
+//
+// Schemes and parameters:
+//   uncapped                   no capping
+//   constant  --low W [--delay S]
+//   linear    --high W --low W --rate W/s [--delay S]
+//   step      --low W [--high W] --period S   (uncapped high if no --high)
+//   jagged    --high W --low W --period S
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apps/specfile.hpp"
+#include "exp/measure.hpp"
+#include "policy/schemes.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace procap;
+
+struct Options {
+  std::string app = "lammps";
+  std::string scheme = "step";
+  double low = 70.0;
+  double high = 0.0;  // 0 = uncapped for step
+  double rate = 2.0;
+  double period = 15.0;
+  double delay = 10.0;
+  double duration = 90.0;
+  std::uint64_t seed = 1;
+  std::string csv_prefix;
+  std::string spec_path;
+};
+
+void usage() {
+  std::cerr
+      << "usage: power_policy [--app NAME] [--scheme uncapped|constant|"
+         "linear|step|jagged]\n"
+         "                    [--low W] [--high W] [--rate W/s] "
+         "[--period S] [--delay S]\n"
+         "                    [--duration S] [--seed N] [--csv PREFIX]\n"
+         "                    [--spec FILE]   (workload spec instead of --app)\n"
+         "apps: ";
+  for (const auto& name : apps::suite_names()) {
+    std::cerr << name << " ";
+  }
+  std::cerr << "\n";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--app" && (value = next())) {
+      opt.app = value;
+    } else if (arg == "--scheme" && (value = next())) {
+      opt.scheme = value;
+    } else if (arg == "--low" && (value = next())) {
+      opt.low = std::atof(value);
+    } else if (arg == "--high" && (value = next())) {
+      opt.high = std::atof(value);
+    } else if (arg == "--rate" && (value = next())) {
+      opt.rate = std::atof(value);
+    } else if (arg == "--period" && (value = next())) {
+      opt.period = std::atof(value);
+    } else if (arg == "--delay" && (value = next())) {
+      opt.delay = std::atof(value);
+    } else if (arg == "--duration" && (value = next())) {
+      opt.duration = std::atof(value);
+    } else if (arg == "--seed" && (value = next())) {
+      opt.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--csv" && (value = next())) {
+      opt.csv_prefix = value;
+    } else if (arg == "--spec" && (value = next())) {
+      opt.spec_path = value;
+    } else {
+      usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<policy::CapSchedule> make_schedule(const Options& opt) {
+  using namespace procap::policy;
+  if (opt.scheme == "uncapped") {
+    return std::make_unique<UncappedSchedule>();
+  }
+  if (opt.scheme == "constant") {
+    return std::make_unique<ConstantCap>(opt.low, opt.delay);
+  }
+  if (opt.scheme == "linear") {
+    const double from = opt.high > 0.0 ? opt.high : 150.0;
+    return std::make_unique<LinearDecreasingCap>(from, opt.low, opt.rate,
+                                                 opt.delay);
+  }
+  if (opt.scheme == "step") {
+    const std::optional<Watts> high =
+        opt.high > 0.0 ? std::optional<Watts>(opt.high) : std::nullopt;
+    return std::make_unique<StepCap>(high, opt.low, opt.period, opt.period);
+  }
+  if (opt.scheme == "jagged") {
+    const double from = opt.high > 0.0 ? opt.high : 150.0;
+    return std::make_unique<JaggedCap>(from, opt.low, opt.period);
+  }
+  return nullptr;
+}
+
+void dump_csv(const std::string& path, const TimeSeries& series) {
+  CsvWriter writer(path, {"t_seconds", series.name()});
+  for (const auto& sample : series.samples()) {
+    writer.row({to_seconds(sample.t), sample.value});
+  }
+  std::cout << "wrote " << path << " (" << series.size() << " rows)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    return 2;
+  }
+  auto schedule = make_schedule(opt);
+  if (!schedule) {
+    std::cerr << "unknown scheme: " << opt.scheme << "\n";
+    usage();
+    return 2;
+  }
+
+  apps::AppModel app;
+  try {
+    if (!opt.spec_path.empty()) {
+      app.spec = apps::load_spec(opt.spec_path);
+      opt.app = app.spec.name;
+    } else {
+      app = apps::by_name(opt.app);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    usage();
+    return 2;
+  }
+
+  std::cout << "power-policy: " << opt.app << " under '" << opt.scheme
+            << "' for " << opt.duration << " s (simulated node)\n";
+  exp::RunOptions run_options;
+  run_options.duration = opt.duration;
+  run_options.seed = opt.seed;
+  const auto traces =
+      exp::run_under_schedule(app, std::move(schedule), run_options);
+
+  // Per-second summary table.
+  TablePrinter table({"t (s)", "cap W", "power W", "freq MHz",
+                      "progress/s"});
+  const auto step = static_cast<int>(std::max(1.0, opt.duration / 30.0));
+  for (int t = 0; t + step <= static_cast<int>(opt.duration); t += step) {
+    const auto t0 = to_nanos(static_cast<double>(t));
+    const auto t1 = to_nanos(static_cast<double>(t + step));
+    table.add_row({std::to_string(t), num(traces.cap.mean_in(t0, t1), 0),
+                   num(traces.power.mean_in(t0, t1), 1),
+                   num(traces.frequency.mean_in(t0, t1), 0),
+                   num(traces.progress.mean_in(t0, t1), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "total progress: " << num(traces.total_progress, 0) << " "
+            << app.spec.unit << "\n";
+
+  if (!opt.csv_prefix.empty()) {
+    dump_csv(opt.csv_prefix + "_cap.csv", traces.cap);
+    dump_csv(opt.csv_prefix + "_power.csv", traces.power);
+    dump_csv(opt.csv_prefix + "_progress.csv", traces.progress);
+    dump_csv(opt.csv_prefix + "_frequency.csv", traces.frequency);
+    dump_csv(opt.csv_prefix + "_duty.csv", traces.duty);
+  }
+  return 0;
+}
