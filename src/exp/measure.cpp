@@ -34,9 +34,23 @@ RunTraces run_under_schedule(const apps::AppModel& app,
     rig.rapl().set_frequency(options.pinned_frequency);
   }
 
+  // Scripted fault injection: wrap the reporter->monitor link and hook
+  // the node's MSR device.  The injectors must outlive the run.
+  std::shared_ptr<fault::LinkFaultInjector> link_injector;
+  std::unique_ptr<fault::MsrFaultInjector> msr_injector;
+  msgbus::LinkOptions link = options.link;
+  if (options.fault_plan) {
+    link_injector =
+        std::make_shared<fault::LinkFaultInjector>(*options.fault_plan);
+    link.fault = link_injector;
+    msr_injector = std::make_unique<fault::MsrFaultInjector>(
+        *options.fault_plan, rig.time());
+    msr_injector->install(rig.node().msr());
+  }
+
   apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, options.seed);
-  progress::Monitor monitor(rig.broker().make_sub(options.link),
-                            app.spec.name, rig.time());
+  progress::Monitor monitor(rig.broker().make_sub(link), app.spec.name,
+                            rig.time());
   policy::PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
                                    std::move(schedule));
   daemon.attach(rig.engine());
@@ -61,6 +75,13 @@ RunTraces run_under_schedule(const apps::AppModel& app,
   traces.duty = std::move(duty_series);
   traces.total_progress = sim_app.total_progress();
   traces.app_finished = sim_app.done();
+  traces.verdicts = monitor.verdicts();
+  if (link_injector) {
+    traces.link_faults = link_injector->stats();
+  }
+  if (msr_injector) {
+    traces.msr_faults = msr_injector->stats();
+  }
   return traces;
 }
 

@@ -13,10 +13,14 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/suite.hpp"
+#include "fault/injectors.hpp"
+#include "fault/plan.hpp"
 #include "msgbus/bus.hpp"
 #include "policy/schemes.hpp"
+#include "progress/health.hpp"
 #include "util/series.hpp"
 
 namespace procap::exp {
@@ -30,6 +34,12 @@ struct RunTraces {
   TimeSeries duty;       ///< effective duty factor, 10 Hz
   double total_progress = 0.0;
   bool app_finished = false;
+  /// Per-window dropped-vs-true-zero verdicts from the monitor's
+  /// telemetry-health layer.
+  std::vector<progress::WindowVerdict> verdicts;
+  /// Fault-injection tallies (all zero when no fault plan was active).
+  fault::LinkFaultStats link_faults;
+  fault::MsrFaultStats msr_faults;
 
   /// Mean progress rate over windows in [from, to) seconds.
   [[nodiscard]] double mean_rate(Seconds from, Seconds to) const;
@@ -49,6 +59,10 @@ struct RunOptions {
   /// Pin the package to this frequency via IA32_PERF_CTL (DVFS instead of
   /// RAPL; 0 = leave at maximum).
   Hertz pinned_frequency = 0.0;
+  /// Scripted fault schedule: link faults wrap the reporter->monitor
+  /// link, MSR faults are installed on the node's emulated MSR device.
+  /// Must outlive the call.  nullptr = no injection.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 /// Run `app` under `schedule` and record traces.

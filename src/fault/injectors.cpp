@@ -1,0 +1,118 @@
+#include "fault/injectors.hpp"
+
+#include <algorithm>
+
+namespace procap::fault {
+
+namespace {
+// Distinct SplitMix64 streams per injector kind so link and MSR faults
+// drawn from the same plan seed are statistically independent.
+constexpr std::uint64_t kLinkStream = 0x11A7ULL;
+constexpr std::uint64_t kMsrStream = 0x3517ULL;
+}  // namespace
+
+LinkFaultInjector::LinkFaultInjector(const FaultPlan& plan)
+    : episodes_(plan.link), rng_(SplitMix64(plan.seed ^ kLinkStream).next()) {}
+
+msgbus::LinkFault::Action LinkFaultInjector::apply(msgbus::Message& msg,
+                                                   Nanos now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Action action;
+  bool delayed = false;
+  for (const LinkEpisode& ep : episodes_) {
+    if (!ep.active(now)) {
+      continue;
+    }
+    if (ep.outage) {
+      ++stats_.outage_dropped;
+      ++stats_.dropped;
+      action.drop = true;
+      return action;
+    }
+    if (ep.drop > 0.0 && rng_.uniform() < ep.drop) {
+      ++stats_.dropped;
+      action.drop = true;
+      return action;
+    }
+    if (ep.duplicate > 0.0 && rng_.uniform() < ep.duplicate) {
+      ++action.copies;
+      ++stats_.duplicated;
+    }
+    if (ep.corrupt > 0.0 && !msg.payload.empty() &&
+        rng_.uniform() < ep.corrupt) {
+      const auto i = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(msg.payload.size()) - 1));
+      const auto mask = static_cast<char>(rng_.uniform_int(1, 255));
+      msg.payload[i] = static_cast<char>(msg.payload[i] ^ mask);
+      ++stats_.corrupted;
+    }
+    if (ep.truncate > 0.0 && !msg.payload.empty() &&
+        rng_.uniform() < ep.truncate) {
+      msg.payload.resize(static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(msg.payload.size()) - 1)));
+      ++stats_.truncated;
+    }
+    if (ep.delay > 0 || ep.jitter > 0) {
+      Nanos extra = ep.delay;
+      if (ep.jitter > 0) {
+        extra += rng_.uniform_int(0, ep.jitter - 1);
+      }
+      action.extra_delay += extra;
+      delayed = true;
+    }
+  }
+  if (delayed) {
+    ++stats_.delayed;
+  }
+  return action;
+}
+
+LinkFaultStats LinkFaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+MsrFaultInjector::MsrFaultInjector(const FaultPlan& plan,
+                                   const TimeSource& time_source)
+    : episodes_(plan.msr),
+      time_(&time_source),
+      rng_(SplitMix64(plan.seed ^ kMsrStream).next()) {}
+
+msr::EmulatedMsr::FaultAction MsrFaultInjector::decide(unsigned /*cpu*/,
+                                                       std::uint32_t reg,
+                                                       bool write) {
+  const Nanos now = time_->now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const MsrEpisode& ep : episodes_) {
+    if (!ep.active(now) || !ep.affects(reg)) {
+      continue;
+    }
+    if (write && ep.stuck) {
+      ++stats_.dropped_writes;
+      return msr::EmulatedMsr::FaultAction::kDropWrite;
+    }
+    const double p = write ? ep.write_fail : ep.read_fail;
+    if (p > 0.0 && rng_.uniform() < p) {
+      if (write) {
+        ++stats_.write_failures;
+      } else {
+        ++stats_.read_failures;
+      }
+      return msr::EmulatedMsr::FaultAction::kFailEio;
+    }
+  }
+  return msr::EmulatedMsr::FaultAction::kNone;
+}
+
+void MsrFaultInjector::install(msr::EmulatedMsr& dev) {
+  dev.set_fault_hook([this](unsigned cpu, std::uint32_t reg, bool write) {
+    return decide(cpu, reg, write);
+  });
+}
+
+MsrFaultStats MsrFaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace procap::fault

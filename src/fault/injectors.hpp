@@ -1,0 +1,96 @@
+// injectors.hpp — runtime fault injectors driven by a FaultPlan.
+//
+// Two injectors translate the scripted episodes of a FaultPlan into the
+// extension points the substrates expose:
+//
+//   * LinkFaultInjector implements msgbus::LinkFault — per-message drop,
+//     duplication, payload corruption/truncation, and delay/jitter (which
+//     reorders deliveries), plus burst outages that drop everything in a
+//     window.  Supersedes the bare LinkOptions::drop_probability.
+//   * MsrFaultInjector produces an EmulatedMsr fault hook — transient
+//     EIO on reads/writes and stuck registers whose writes are silently
+//     swallowed, the observable failure modes of /dev/cpu/*/msr.
+//
+// Each injector owns an Rng stream forked deterministically from the plan
+// seed, so a chaos scenario is bit-reproducible: same plan, same message
+// and MSR access sequence, same faults.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "fault/plan.hpp"
+#include "msgbus/bus.hpp"
+#include "msr/emulated.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace procap::fault {
+
+/// Counters for everything a link injector did.
+struct LinkFaultStats {
+  std::uint64_t dropped = 0;         ///< messages discarded (incl. outages)
+  std::uint64_t outage_dropped = 0;  ///< subset discarded by burst outages
+  std::uint64_t duplicated = 0;      ///< extra copies queued
+  std::uint64_t corrupted = 0;       ///< payloads bit-flipped
+  std::uint64_t truncated = 0;       ///< payloads cut short
+  std::uint64_t delayed = 0;         ///< messages given extra delay
+
+  friend bool operator==(const LinkFaultStats&, const LinkFaultStats&) =
+      default;
+};
+
+/// msgbus::LinkFault implementation scripted by a FaultPlan.  Install one
+/// per subscriber link (LinkOptions::fault); sharing across links works
+/// but entangles their random streams.
+class LinkFaultInjector final : public msgbus::LinkFault {
+ public:
+  explicit LinkFaultInjector(const FaultPlan& plan);
+
+  Action apply(msgbus::Message& msg, Nanos now) override;
+
+  [[nodiscard]] LinkFaultStats stats() const;
+
+ private:
+  std::vector<LinkEpisode> episodes_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  LinkFaultStats stats_;
+};
+
+/// Counters for everything an MSR injector did.
+struct MsrFaultStats {
+  std::uint64_t read_failures = 0;   ///< reads failed with EIO
+  std::uint64_t write_failures = 0;  ///< writes failed with EIO
+  std::uint64_t dropped_writes = 0;  ///< writes swallowed by stuck regs
+
+  friend bool operator==(const MsrFaultStats&, const MsrFaultStats&) = default;
+};
+
+/// EmulatedMsr fault-hook provider scripted by a FaultPlan.  Needs the
+/// clock the episodes are timed against (the simulation clock in sim
+/// runs); `time_source` must outlive the injector, and the injector must
+/// outlive the device it is installed on.
+class MsrFaultInjector {
+ public:
+  MsrFaultInjector(const FaultPlan& plan, const TimeSource& time_source);
+
+  /// Decide one access's fate; usable directly as an EmulatedMsr hook.
+  [[nodiscard]] msr::EmulatedMsr::FaultAction decide(unsigned cpu,
+                                                     std::uint32_t reg,
+                                                     bool write);
+
+  /// Convenience: install decide() as `dev`'s fault hook.
+  void install(msr::EmulatedMsr& dev);
+
+  [[nodiscard]] MsrFaultStats stats() const;
+
+ private:
+  std::vector<MsrEpisode> episodes_;
+  const TimeSource* time_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  MsrFaultStats stats_;
+};
+
+}  // namespace procap::fault

@@ -1,0 +1,170 @@
+#include "fault/plan.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace procap::fault {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: line " + std::to_string(line) +
+                              ": " + why);
+}
+
+double parse_probability(const std::string& token, int line,
+                         const std::string& key) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    fail(line, "bad probability for '" + key + "': " + token);
+  }
+  if (pos != token.size() || p < 0.0 || p > 1.0) {
+    fail(line, "probability for '" + key + "' must be in [0, 1]: " + token);
+  }
+  return p;
+}
+
+Nanos parse_seconds(const std::string& token, int line,
+                    const std::string& key) {
+  if (token == "inf") {
+    return kForever;
+  }
+  std::size_t pos = 0;
+  double s = 0.0;
+  try {
+    s = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    fail(line, "bad time for '" + key + "': " + token);
+  }
+  if (pos != token.size() || s < 0.0) {
+    fail(line, "time for '" + key + "' must be non-negative: " + token);
+  }
+  return to_nanos(s);
+}
+
+std::uint32_t parse_reg(const std::string& token, int line,
+                        const std::string& key) {
+  std::size_t pos = 0;
+  unsigned long reg = 0;
+  try {
+    reg = std::stoul(token, &pos, 0);  // base 0: accepts 0x…, decimal
+  } catch (const std::exception&) {
+    fail(line, "bad register for '" + key + "': " + token);
+  }
+  if (pos != token.size() || reg > 0xFFFFFFFFUL) {
+    fail(line, "bad register for '" + key + "': " + token);
+  }
+  return static_cast<std::uint32_t>(reg);
+}
+
+// Pull the next token; fails if the line ends early.
+std::string need(std::istringstream& is, int line, const std::string& key) {
+  std::string token;
+  if (!(is >> token)) {
+    fail(line, "missing value for '" + key + "'");
+  }
+  return token;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::istream& is) {
+  FaultPlan plan;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::string kind;
+    if (!(line >> kind)) {
+      continue;  // blank or comment-only line
+    }
+    if (kind == "seed") {
+      const std::string token = need(line, line_no, "seed");
+      try {
+        plan.seed = std::stoull(token, nullptr, 0);
+      } catch (const std::exception&) {
+        fail(line_no, "bad seed: " + token);
+      }
+    } else if (kind == "link") {
+      LinkEpisode ep;
+      ep.start = parse_seconds(need(line, line_no, "start"), line_no, "start");
+      ep.end = parse_seconds(need(line, line_no, "end"), line_no, "end");
+      std::string key;
+      while (line >> key) {
+        if (key == "outage") {
+          ep.outage = true;
+        } else if (key == "drop") {
+          ep.drop = parse_probability(need(line, line_no, key), line_no, key);
+        } else if (key == "duplicate") {
+          ep.duplicate =
+              parse_probability(need(line, line_no, key), line_no, key);
+        } else if (key == "corrupt") {
+          ep.corrupt =
+              parse_probability(need(line, line_no, key), line_no, key);
+        } else if (key == "truncate") {
+          ep.truncate =
+              parse_probability(need(line, line_no, key), line_no, key);
+        } else if (key == "delay") {
+          ep.delay = parse_seconds(need(line, line_no, key), line_no, key);
+        } else if (key == "jitter") {
+          ep.jitter = parse_seconds(need(line, line_no, key), line_no, key);
+        } else {
+          fail(line_no, "unknown link fault '" + key + "'");
+        }
+      }
+      if (ep.end <= ep.start) {
+        fail(line_no, "episode end must follow start");
+      }
+      plan.link.push_back(ep);
+    } else if (kind == "msr") {
+      MsrEpisode ep;
+      ep.start = parse_seconds(need(line, line_no, "start"), line_no, "start");
+      ep.end = parse_seconds(need(line, line_no, "end"), line_no, "end");
+      std::string key;
+      while (line >> key) {
+        if (key == "read_fail") {
+          ep.read_fail =
+              parse_probability(need(line, line_no, key), line_no, key);
+        } else if (key == "write_fail") {
+          ep.write_fail =
+              parse_probability(need(line, line_no, key), line_no, key);
+        } else if (key == "stuck") {
+          ep.stuck = true;
+          ep.regs.push_back(parse_reg(need(line, line_no, key), line_no, key));
+        } else if (key == "reg") {
+          // Scope the episode's probabilities to this register (repeat for
+          // several; no 'reg' keys = every register).
+          ep.regs.push_back(parse_reg(need(line, line_no, key), line_no, key));
+        } else {
+          fail(line_no, "unknown msr fault '" + key + "'");
+        }
+      }
+      if (ep.end <= ep.start) {
+        fail(line_no, "episode end must follow start");
+      }
+      plan.msr.push_back(ep);
+    } else {
+      fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("FaultPlan: cannot open " + path);
+  }
+  return parse(is);
+}
+
+}  // namespace procap::fault

@@ -1,0 +1,110 @@
+// plan.hpp — scripted, seed-reproducible fault schedules.
+//
+// The paper's own evaluation hit a telemetry fault in the wild: dropped
+// progress reports surfacing as zero-progress windows (Section V-C).  A
+// FaultPlan makes that class of event a first-class, scriptable input: a
+// schedule of fault episodes over simulation time, covering both the
+// message transport (drop, delay/jitter, duplication, corruption,
+// truncation, burst outages) and the MSR substrate (transient EIO on
+// read/write, stuck registers — the failure modes of /dev/cpu/*/msr).
+// Every random decision an injector makes is drawn from a generator
+// seeded from the plan, so a chaos run is bit-reproducible from
+// (plan, workload seed) alone.
+//
+// Text format, one episode per line (times in seconds, `inf` for open
+// intervals; '#' starts a comment):
+//
+//   seed 42
+//   link 10 20  drop 0.3 delay 0.05 jitter 0.02
+//   link 30 32  outage
+//   link 0 inf  duplicate 0.05 corrupt 0.01 truncate 0.01
+//   msr  40 45  read_fail 0.5 write_fail 0.2
+//   msr  40 45  read_fail 0.5 reg 0x611 reg 0x610   (scoped to registers)
+//   msr  50 60  stuck 0x610
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::fault {
+
+/// Sentinel end time for episodes that never end.
+inline constexpr Nanos kForever = std::numeric_limits<Nanos>::max();
+
+/// One transport-fault episode, active over [start, end).
+struct LinkEpisode {
+  Nanos start = 0;
+  Nanos end = kForever;
+  /// Drop every matching message while active (burst outage).
+  bool outage = false;
+  /// Per-message probabilities in [0, 1].
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;   ///< flip bits in one payload byte
+  double truncate = 0.0;  ///< cut the payload short
+  /// Added delivery delay; jitter adds uniform [0, jitter) on top, which
+  /// reorders messages relative to their publish order.
+  Nanos delay = 0;
+  Nanos jitter = 0;
+
+  [[nodiscard]] bool active(Nanos t) const { return t >= start && t < end; }
+
+  friend bool operator==(const LinkEpisode&, const LinkEpisode&) = default;
+};
+
+/// One MSR-fault episode, active over [start, end).
+struct MsrEpisode {
+  Nanos start = 0;
+  Nanos end = kForever;
+  /// Per-access probability of a transient EIO (MsrError) in [0, 1].
+  double read_fail = 0.0;
+  double write_fail = 0.0;
+  /// Registers whose writes are silently dropped while active ("stuck").
+  /// Empty with stuck == false means the probabilities apply to every
+  /// register; a non-empty list scopes the whole episode to those regs.
+  bool stuck = false;
+  std::vector<std::uint32_t> regs;
+
+  [[nodiscard]] bool active(Nanos t) const { return t >= start && t < end; }
+
+  /// True when the episode applies to `reg` (empty list = all registers).
+  [[nodiscard]] bool affects(std::uint32_t reg) const {
+    if (regs.empty()) {
+      return true;
+    }
+    for (const std::uint32_t r : regs) {
+      if (r == reg) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  friend bool operator==(const MsrEpisode&, const MsrEpisode&) = default;
+};
+
+/// A complete scripted fault scenario.
+struct FaultPlan {
+  /// Seed for every injector RNG stream derived from this plan.
+  std::uint64_t seed = 0x5eed;
+  std::vector<LinkEpisode> link;
+  std::vector<MsrEpisode> msr;
+
+  [[nodiscard]] bool empty() const { return link.empty() && msr.empty(); }
+
+  /// Parse the text format above; throws std::invalid_argument with the
+  /// offending line number on malformed input.
+  [[nodiscard]] static FaultPlan parse(std::istream& is);
+
+  /// Load a plan from a file; throws std::runtime_error if unreadable.
+  [[nodiscard]] static FaultPlan load(const std::string& path);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace procap::fault

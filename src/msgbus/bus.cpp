@@ -33,7 +33,30 @@ void SubSocket::offer(const Message& msg) {
     ++dropped_;
     return;
   }
-  queue_.push_back(Queued{msg, msg.timestamp + opts_.latency});
+  if (!opts_.fault) {
+    enqueue(msg, msg.timestamp + opts_.latency);
+    return;
+  }
+  Message mutated = msg;
+  const LinkFault::Action action = opts_.fault->apply(mutated, broker_->now());
+  if (action.drop) {
+    ++dropped_;
+    return;
+  }
+  const Nanos deliver_at = msg.timestamp + opts_.latency + action.extra_delay;
+  for (unsigned copy = 0; copy < std::max(1u, action.copies); ++copy) {
+    enqueue(mutated, deliver_at);
+  }
+  duplicated_ += std::max(1u, action.copies) - 1;
+}
+
+void SubSocket::enqueue(const Message& msg, Nanos deliver_at) {
+  // Keep the queue sorted by delivery time so jittered delays reorder
+  // deliveries the way a real transport would; stable for equal times.
+  const auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), deliver_at,
+      [](Nanos t, const Queued& q) { return t < q.deliver_at; });
+  queue_.insert(pos, Queued{msg, deliver_at});
 }
 
 std::optional<Message> SubSocket::try_recv() {
@@ -54,6 +77,11 @@ std::size_t SubSocket::pending() const {
 std::uint64_t SubSocket::dropped() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return dropped_;
+}
+
+std::uint64_t SubSocket::duplicated() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return duplicated_;
 }
 
 void PubSocket::publish(const std::string& topic, const std::string& payload) {

@@ -4,10 +4,13 @@
 // Listing-1 examples, where application threads publish and a monitor
 // thread polls) and simulated use (apps in src/apps publish on the sim
 // clock).  Per-subscriber LinkOptions model transport imperfections:
-// message loss and delivery latency.  The paper observed its ZeroMQ-based
-// framework occasionally reporting zero progress for OpenMC (Section V-C);
-// with a lossy link, an aggregation window that loses its samples reads as
-// zero — the same artifact, reproduced as a testable transport property.
+// message loss and delivery latency, plus an optional pluggable LinkFault
+// policy for richer fault models (delay jitter with reordering,
+// duplication, corruption, burst outages — see procap::fault).  The paper
+// observed its ZeroMQ-based framework occasionally reporting zero progress
+// for OpenMC (Section V-C); with a lossy link, an aggregation window that
+// loses its samples reads as zero — the same artifact, reproduced as a
+// testable transport property.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,30 @@
 
 namespace procap::msgbus {
 
+/// Pluggable per-link fault policy, consulted for every matching message.
+/// Implementations may mutate the message in place (payload corruption /
+/// truncation) and return how the transport should treat it.  The stock
+/// implementation is procap::fault::LinkFaultInjector, driven by a
+/// scripted FaultPlan; the interface lives here so the transport has no
+/// dependency on the fault subsystem.
+class LinkFault {
+ public:
+  virtual ~LinkFault() = default;
+
+  struct Action {
+    /// Discard the message entirely (loss or outage).
+    bool drop = false;
+    /// Number of queued deliveries when not dropped (2+ = duplication).
+    unsigned copies = 1;
+    /// Extra delivery delay on top of the link's base latency.  Distinct
+    /// per-message delays reorder deliveries relative to publish order.
+    Nanos extra_delay = 0;
+  };
+
+  /// Decide the fate of `msg` (publish-stamped) at bus time `now`.
+  virtual Action apply(Message& msg, Nanos now) = 0;
+};
+
 /// Per-subscription delivery characteristics.
 struct LinkOptions {
   /// Probability in [0, 1] that a matching message is silently dropped.
@@ -31,6 +58,10 @@ struct LinkOptions {
   Nanos latency = 0;
   /// Seed for the drop decision stream (deterministic per link).
   std::uint64_t seed = 0x5eed;
+  /// Optional generalized fault policy, applied after the plain drop
+  /// check.  Shared so one scripted injector can be inspected by tests
+  /// while the socket holds it alive.
+  std::shared_ptr<LinkFault> fault;
 };
 
 class Broker;
@@ -51,8 +82,12 @@ class SubSocket {
   /// Messages queued (including not-yet-deliverable delayed ones).
   [[nodiscard]] std::size_t pending() const;
 
-  /// Total matching messages dropped by the lossy link so far.
+  /// Total matching messages dropped by the lossy link so far (both the
+  /// plain drop_probability stream and the LinkFault policy).
   [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Extra deliveries queued by LinkFault duplication so far.
+  [[nodiscard]] std::uint64_t duplicated() const;
 
  private:
   friend class Broker;
@@ -64,6 +99,7 @@ class SubSocket {
   };
 
   void offer(const Message& msg);  // called by Broker under its routing pass
+  void enqueue(const Message& msg, Nanos deliver_at);  // sorted by deliver_at
 
   const Broker* broker_;
   LinkOptions opts_;
@@ -72,6 +108,7 @@ class SubSocket {
   std::vector<std::string> filters_;
   std::deque<Queued> queue_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
 };
 
 /// Sending endpoint.  Created by Broker::make_pub(); thread-safe.

@@ -62,6 +62,22 @@ bool recv_all(int fd, void* data, std::size_t len) {
 // Sanity bound on frame sizes to catch stream desync.
 constexpr std::uint32_t kMaxFramePart = 1u << 24;  // 16 MiB
 
+// Connect to `path`; returns the fd or -1 (no throw — used by the
+// reconnect loop where failure is routine).
+int connect_once(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 }  // namespace
 
 UdsPublisher::UdsPublisher(const std::string& path,
@@ -140,15 +156,14 @@ std::size_t UdsPublisher::connections() const {
   return client_fds_.size();
 }
 
-UdsSubscriber::UdsSubscriber(const std::string& path) {
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+UdsSubscriber::UdsSubscriber(const std::string& path,
+                             UdsSubscriberOptions options)
+    : path_(path), options_(options) {
+  // Validate the path length eagerly (make_addr throws) so the reconnect
+  // loop never has to.
+  (void)make_addr(path);
+  fd_ = connect_once(path);
   if (fd_ < 0) {
-    throw std::runtime_error("UdsSubscriber: socket() failed");
-  }
-  const sockaddr_un addr = make_addr(path);
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd_);
     throw std::runtime_error("UdsSubscriber: connect(" + path + ") failed");
   }
   connected_.store(true);
@@ -156,11 +171,21 @@ UdsSubscriber::UdsSubscriber(const std::string& path) {
 }
 
 UdsSubscriber::~UdsSubscriber() {
-  ::shutdown(fd_, SHUT_RDWR);
+  stopping_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(fd_mutex_);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
   if (read_thread_.joinable()) {
     read_thread_.join();
   }
-  ::close(fd_);
+  const std::lock_guard<std::mutex> lock(fd_mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 void UdsSubscriber::subscribe(const std::string& prefix) {
@@ -170,10 +195,10 @@ void UdsSubscriber::subscribe(const std::string& prefix) {
   }
 }
 
-void UdsSubscriber::read_loop() {
+void UdsSubscriber::read_frames(int fd) {
   for (;;) {
     FrameHeader header{};
-    if (!recv_all(fd_, &header, sizeof(header))) {
+    if (!recv_all(fd, &header, sizeof(header))) {
       break;
     }
     if (header.topic_len > kMaxFramePart || header.payload_len > kMaxFramePart) {
@@ -184,8 +209,8 @@ void UdsSubscriber::read_loop() {
     msg.topic.resize(header.topic_len);
     msg.payload.resize(header.payload_len);
     msg.timestamp = header.timestamp;
-    if (!recv_all(fd_, msg.topic.data(), msg.topic.size()) ||
-        !recv_all(fd_, msg.payload.data(), msg.payload.size())) {
+    if (!recv_all(fd, msg.topic.data(), msg.topic.size()) ||
+        !recv_all(fd, msg.payload.data(), msg.payload.size())) {
       break;
     }
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -196,7 +221,55 @@ void UdsSubscriber::read_loop() {
       queue_.push_back(std::move(msg));
     }
   }
-  connected_.store(false);
+}
+
+bool UdsSubscriber::reconnect_with_backoff() {
+  Nanos backoff = options_.backoff_initial;
+  while (!stopping_.load()) {
+    const int fd = connect_once(path_);
+    if (fd >= 0) {
+      const std::lock_guard<std::mutex> lock(fd_mutex_);
+      if (stopping_.load()) {
+        ::close(fd);
+        return false;
+      }
+      if (fd_ >= 0) {
+        ::close(fd_);
+      }
+      fd_ = fd;
+      connected_.store(true);
+      reconnects_.fetch_add(1);
+      return true;
+    }
+    // Sleep the backoff in small chunks so destruction stays prompt.
+    Nanos remaining = backoff;
+    while (remaining > 0 && !stopping_.load()) {
+      const Nanos chunk = std::min<Nanos>(remaining, msec(1));
+      std::this_thread::sleep_for(std::chrono::nanoseconds(chunk));
+      remaining -= chunk;
+    }
+    backoff = std::min(backoff * 2, options_.backoff_max);
+  }
+  return false;
+}
+
+void UdsSubscriber::read_loop() {
+  for (;;) {
+    int fd;
+    {
+      const std::lock_guard<std::mutex> lock(fd_mutex_);
+      fd = fd_;
+    }
+    read_frames(fd);
+    connected_.store(false);
+    if (stopping_.load() || !options_.reconnect) {
+      return;
+    }
+    if (!reconnect_with_backoff()) {
+      return;
+    }
+    PROCAP_DEBUG << "UdsSubscriber: reconnected to " << path_;
+  }
 }
 
 std::optional<Message> UdsSubscriber::try_recv() {

@@ -62,17 +62,31 @@ class UdsPublisher {
   std::vector<int> client_fds_;
 };
 
+/// Reconnection behaviour for UdsSubscriber.
+struct UdsSubscriberOptions {
+  /// When the publisher goes away, keep retrying the socket path with
+  /// exponential backoff instead of going dead.  Messages published while
+  /// disconnected are lost (PUB/SUB slow-joiner semantics), but the feed
+  /// resumes as soon as a publisher rebinds the path.
+  bool reconnect = true;
+  Nanos backoff_initial = msec(10);
+  Nanos backoff_max = msec(500);
+};
+
 /// SUB endpoint connected to a UdsPublisher.  Thread-safe.
 class UdsSubscriber {
  public:
-  /// Connects to `path`; throws std::runtime_error if nothing is listening.
-  explicit UdsSubscriber(const std::string& path);
+  /// Connects to `path`; throws std::runtime_error if nothing is
+  /// listening at construction (reconnection only covers later losses).
+  explicit UdsSubscriber(const std::string& path,
+                         UdsSubscriberOptions options = {});
   ~UdsSubscriber();
 
   UdsSubscriber(const UdsSubscriber&) = delete;
   UdsSubscriber& operator=(const UdsSubscriber&) = delete;
 
   /// Add a topic prefix filter (no filters -> nothing is delivered).
+  /// Filtering is subscriber-local, so filters survive reconnects.
   void subscribe(const std::string& prefix);
 
   /// Pop the oldest received message, if any.
@@ -84,13 +98,27 @@ class UdsSubscriber {
   /// True while the connection to the publisher is alive.
   [[nodiscard]] bool connected() const { return connected_.load(); }
 
+  /// Successful reconnections so far.
+  [[nodiscard]] std::uint64_t reconnects() const {
+    return reconnects_.load();
+  }
+
  private:
   void read_loop();
+  /// Drain frames from `fd` until EOF/error.
+  void read_frames(int fd);
+  /// Retry connect until it succeeds or the subscriber is stopping.
+  bool reconnect_with_backoff();
 
-  int fd_ = -1;
+  std::string path_;
+  UdsSubscriberOptions options_;
+  int fd_ = -1;                  // guarded by fd_mutex_
+  mutable std::mutex fd_mutex_;  // swap/shutdown/close coordination
   std::thread read_thread_;
   std::atomic<bool> connected_{false};
-  mutable std::mutex mutex_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> reconnects_{0};
+  mutable std::mutex mutex_;  // filters + queue
   std::vector<std::string> filters_;
   std::deque<Message> queue_;
 };

@@ -58,6 +58,21 @@ void EmulatedMsr::on_write(std::uint32_t reg, WriteHook hook) {
   find(reg).write_hook = std::move(hook);
 }
 
+void EmulatedMsr::set_fault_hook(FaultHook hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fault_hook_ = std::move(hook);
+}
+
+std::uint64_t EmulatedMsr::faulted_accesses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return faulted_accesses_;
+}
+
+std::uint64_t EmulatedMsr::dropped_writes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_writes_;
+}
+
 void EmulatedMsr::poke(unsigned cpu, std::uint32_t reg, std::uint64_t value) {
   const std::lock_guard<std::mutex> lock(mutex_);
   check_cpu(cpu);
@@ -72,20 +87,49 @@ std::uint64_t EmulatedMsr::peek(unsigned cpu, std::uint32_t reg) const {
 
 std::uint64_t EmulatedMsr::read(unsigned cpu, std::uint32_t reg) {
   ReadHook hook;
+  FaultHook fault;
+  std::uint64_t stored = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     check_cpu(cpu);
     Register& r = find(reg);
-    if (!r.read_hook) {
-      return r.per_cpu[cpu];
-    }
     hook = r.read_hook;
+    stored = r.per_cpu[cpu];
+    fault = fault_hook_;
   }
   // Hooks run outside the lock: they may call back into poke()/peek().
-  return hook(cpu);
+  if (fault && fault(cpu, reg, /*write=*/false) == FaultAction::kFailEio) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++faulted_accesses_;
+    throw MsrError("EmulatedMsr: injected EIO reading " + hex(reg));
+  }
+  return hook ? hook(cpu) : stored;
 }
 
 void EmulatedMsr::write(unsigned cpu, std::uint32_t reg, std::uint64_t value) {
+  FaultHook fault;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    check_cpu(cpu);
+    find(reg);  // validate before consulting the fault hook
+    fault = fault_hook_;
+  }
+  if (fault) {
+    switch (fault(cpu, reg, /*write=*/true)) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kFailEio: {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++faulted_accesses_;
+        throw MsrError("EmulatedMsr: injected EIO writing " + hex(reg));
+      }
+      case FaultAction::kDropWrite: {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++dropped_writes_;
+        return;  // stuck register: the value never lands, no write hook
+      }
+    }
+  }
   WriteHook hook;
   {
     const std::lock_guard<std::mutex> lock(mutex_);

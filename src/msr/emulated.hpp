@@ -5,6 +5,12 @@
 // state (e.g. MSR_PKG_ENERGY_STATUS reads the simulator's accumulated
 // energy) and react to writes (e.g. MSR_PKG_POWER_LIMIT reprograms the
 // RAPL firmware controller).  Unhooked registers behave as plain storage.
+//
+// A fault hook lets the device fail the way /dev/cpu/*/msr does in the
+// wild: any access can raise a transient EIO (MsrError), and writes can
+// be silently swallowed ("stuck" registers).  The hook is consulted
+// before the register is touched, so a failed read never observes the
+// value and a stuck write never lands.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,15 @@ class EmulatedMsr final : public MsrDevice {
   using ReadHook = std::function<std::uint64_t(unsigned cpu)>;
   using WriteHook = std::function<void(unsigned cpu, std::uint64_t value)>;
 
+  /// What an injected fault does to one access.
+  enum class FaultAction {
+    kNone,       ///< access proceeds normally
+    kFailEio,    ///< access throws MsrError (transient EIO)
+    kDropWrite,  ///< write silently ignored (stuck register); reads normal
+  };
+  using FaultHook =
+      std::function<FaultAction(unsigned cpu, std::uint32_t reg, bool write)>;
+
   /// Create a device exposing `cpu_count` logical CPUs.
   explicit EmulatedMsr(unsigned cpu_count);
 
@@ -36,6 +51,16 @@ class EmulatedMsr final : public MsrDevice {
 
   /// Attach a write hook, called after the stored value is updated.
   void on_write(std::uint32_t reg, WriteHook hook);
+
+  /// Install (or clear, with an empty function) the device-wide fault
+  /// hook.  Consulted on every read()/write() before the register is
+  /// accessed; poke()/peek() bypass it (they model backdoor state, not
+  /// bus transactions).
+  void set_fault_hook(FaultHook hook);
+
+  /// Accesses rejected with an injected EIO / writes swallowed as stuck.
+  [[nodiscard]] std::uint64_t faulted_accesses() const;
+  [[nodiscard]] std::uint64_t dropped_writes() const;
 
   /// Direct backdoor for hardware models: set the stored value without
   /// triggering hooks (e.g. to publish PERF_STATUS).
@@ -63,6 +88,9 @@ class EmulatedMsr final : public MsrDevice {
   unsigned cpu_count_;
   mutable std::mutex mutex_;
   std::map<std::uint32_t, Register> registers_;
+  FaultHook fault_hook_;
+  std::uint64_t faulted_accesses_ = 0;
+  std::uint64_t dropped_writes_ = 0;
 };
 
 }  // namespace procap::msr

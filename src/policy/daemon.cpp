@@ -1,7 +1,9 @@
 #include "policy/daemon.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "msr/device.hpp"
 #include "util/log.hpp"
 
 namespace procap::policy {
@@ -9,16 +11,21 @@ namespace procap::policy {
 PowerPolicyDaemon::PowerPolicyDaemon(rapl::RaplInterface& rapl,
                                      const TimeSource& time_source,
                                      std::unique_ptr<CapSchedule> schedule,
-                                     unsigned pkg)
+                                     unsigned pkg, DaemonConfig config)
     : rapl_(&rapl),
       time_(&time_source),
       schedule_(std::move(schedule)),
       pkg_(pkg),
+      config_(config),
       start_(time_source.now()),
       caps_("cap_watts"),
       power_("power_watts") {
   if (!schedule_) {
     throw std::invalid_argument("PowerPolicyDaemon: null schedule");
+  }
+  if (config_.backoff_initial <= 0 ||
+      config_.backoff_max < config_.backoff_initial) {
+    throw std::invalid_argument("PowerPolicyDaemon: bad backoff config");
   }
 }
 
@@ -30,31 +37,85 @@ void PowerPolicyDaemon::set_schedule(std::unique_ptr<CapSchedule> schedule) {
   start_ = time_->now();
 }
 
+void PowerPolicyDaemon::note_failure(Nanos now) {
+  ++consecutive_failures_;
+  Nanos backoff = config_.backoff_initial;
+  for (std::uint64_t i = 1; i < consecutive_failures_ && backoff < config_.backoff_max;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, config_.backoff_max);
+  retry_at_ = now + backoff;
+  PROCAP_DEBUG << "power-policy: RAPL failure #" << consecutive_failures_
+               << ", backing off " << to_seconds(backoff) << " s";
+}
+
 void PowerPolicyDaemon::tick() {
   const Nanos now = time_->now();
-  const Watts measured = rapl_->pkg_power(pkg_);
-  power_.add(now, measured);
+  // Watchdog: count intervals the timer loop failed to deliver.
+  if (interval_ > 0 && last_tick_ >= 0) {
+    const Nanos gap = now - last_tick_;
+    if (static_cast<double>(gap) >
+        config_.watchdog_factor * static_cast<double>(interval_)) {
+      missed_ticks_ += static_cast<std::uint64_t>(gap / interval_) - 1;
+    }
+  }
+  last_tick_ = now;
+  ++ticks_;
+
+  // Honour an open backoff window: no RAPL traffic, but keep the cap
+  // series continuous so plots do not show holes.
+  if (retry_at_ > 0 && now < retry_at_) {
+    ++backoff_skips_;
+    caps_.add(now, applied_.value_or(0.0));
+    return;
+  }
+
+  bool failed = false;
+  try {
+    const Watts measured = rapl_->pkg_power(pkg_);
+    power_.add(now, measured);
+  } catch (const msr::MsrError& e) {
+    ++read_failures_;
+    failed = true;
+    PROCAP_DEBUG << "power-policy: power read failed: " << e.what();
+  }
 
   const Seconds elapsed = to_seconds(now - start_);
   const std::optional<Watts> want = schedule_->cap_at(elapsed);
-  if (want != applied_) {
-    if (want) {
-      // 40 ms averaging window: long enough to ride out application-level
-      // compute/memory alternation, short next to the 1 Hz policy cadence.
-      rapl_->set_pkg_cap(*want, /*window=*/0.04, pkg_);
-      PROCAP_DEBUG << "power-policy: cap " << *want << " W ("
-                   << schedule_->name() << ")";
-    } else {
-      rapl_->clear_pkg_cap(pkg_);
-      PROCAP_DEBUG << "power-policy: uncapped (" << schedule_->name() << ")";
+  if (!failed && want != applied_) {
+    try {
+      if (want) {
+        // 40 ms averaging window: long enough to ride out application-level
+        // compute/memory alternation, short next to the 1 Hz policy cadence.
+        rapl_->set_pkg_cap(*want, /*window=*/0.04, pkg_);
+        PROCAP_DEBUG << "power-policy: cap " << *want << " W ("
+                     << schedule_->name() << ")";
+      } else {
+        rapl_->clear_pkg_cap(pkg_);
+        PROCAP_DEBUG << "power-policy: uncapped (" << schedule_->name() << ")";
+      }
+      applied_ = want;
+    } catch (const msr::MsrError& e) {
+      ++write_failures_;
+      failed = true;
+      PROCAP_DEBUG << "power-policy: cap write failed: " << e.what();
     }
-    applied_ = want;
   }
   caps_.add(now, applied_.value_or(0.0));
-  ++ticks_;
+
+  if (failed) {
+    note_failure(now);
+  } else if (consecutive_failures_ > 0) {
+    ++recoveries_;
+    consecutive_failures_ = 0;
+    retry_at_ = 0;
+    PROCAP_DEBUG << "power-policy: RAPL recovered";
+  }
 }
 
 void PowerPolicyDaemon::attach(sim::Engine& engine, Nanos interval) {
+  interval_ = interval;
   engine.every(interval, [this](Nanos) { tick(); });
 }
 

@@ -10,6 +10,11 @@
 //
 // The daemon is tick-driven; attach() wires it to the simulation engine
 // at 1 Hz, and a real deployment would call tick() from a timer loop.
+//
+// RAPL access on a real node can fail transiently (msr-safe EIO, driver
+// contention); the daemon retries with exponential backoff instead of
+// crashing, and a missed-tick watchdog counts scheduling stalls so that
+// a wedged timer loop is visible in the run record.
 #pragma once
 
 #include <memory>
@@ -23,6 +28,18 @@
 
 namespace procap::policy {
 
+/// Failure-handling knobs for the daemon.
+struct DaemonConfig {
+  /// First retry delay after a RAPL failure; doubles per consecutive
+  /// failure up to backoff_max.
+  Nanos backoff_initial = msec(100);
+  Nanos backoff_max = 2 * kNanosPerSecond;
+  /// A tick arriving later than watchdog_factor * interval after the
+  /// previous one counts the missed intervals (attach() records the
+  /// interval; free-running tick() callers get no watchdog).
+  double watchdog_factor = 1.5;
+};
+
 /// Applies a CapSchedule through a RaplInterface once per interval.
 class PowerPolicyDaemon {
  public:
@@ -30,7 +47,8 @@ class PowerPolicyDaemon {
   /// the schedule.  `pkg` selects the package domain to control.
   PowerPolicyDaemon(rapl::RaplInterface& rapl,
                     const TimeSource& time_source,
-                    std::unique_ptr<CapSchedule> schedule, unsigned pkg = 0);
+                    std::unique_ptr<CapSchedule> schedule, unsigned pkg = 0,
+                    DaemonConfig config = {});
 
   /// Replace the schedule; the elapsed-time origin resets to now.
   void set_schedule(std::unique_ptr<CapSchedule> schedule);
@@ -41,6 +59,10 @@ class PowerPolicyDaemon {
   /// Register with the engine to tick every `interval` (default 1 s, as
   /// in the paper).  Call at most once per engine.
   void attach(sim::Engine& engine, Nanos interval = kNanosPerSecond);
+
+  /// Tell the watchdog the expected tick cadence without attach() — for
+  /// deployments driving tick() from their own timer loop.
+  void set_tick_interval(Nanos interval) { interval_ = interval; }
 
   /// Cap currently applied (nullopt while uncapped).
   [[nodiscard]] std::optional<Watts> current_cap() const { return applied_; }
@@ -55,16 +77,57 @@ class PowerPolicyDaemon {
   /// Ticks executed.
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
 
+  /// RAPL failures survived: power/energy reads that threw, cap writes
+  /// that threw.
+  [[nodiscard]] std::uint64_t read_failures() const { return read_failures_; }
+  [[nodiscard]] std::uint64_t write_failures() const {
+    return write_failures_;
+  }
+
+  /// Ticks skipped because a backoff window was still open.
+  [[nodiscard]] std::uint64_t backoff_skips() const { return backoff_skips_; }
+
+  /// Clean ticks that ended a failure streak.
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+
+  /// Consecutive failures in the current streak (0 when healthy).
+  [[nodiscard]] std::uint64_t consecutive_failures() const {
+    return consecutive_failures_;
+  }
+
+  /// True while a failure backoff window is open.
+  [[nodiscard]] bool backing_off() const {
+    return retry_at_ > 0 && time_->now() < retry_at_;
+  }
+
+  /// Intervals the timer loop failed to deliver (watchdog; requires
+  /// attach()).
+  [[nodiscard]] std::uint64_t missed_ticks() const { return missed_ticks_; }
+
  private:
+  void note_failure(Nanos now);
+
   rapl::RaplInterface* rapl_;
   const TimeSource* time_;
   std::unique_ptr<CapSchedule> schedule_;
   unsigned pkg_;
+  DaemonConfig config_;
   Nanos start_;
   std::optional<Watts> applied_;
   TimeSeries caps_;
   TimeSeries power_;
   std::uint64_t ticks_ = 0;
+  // Failure handling.
+  std::uint64_t read_failures_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t backoff_skips_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t consecutive_failures_ = 0;
+  Nanos retry_at_ = 0;  // 0 = no backoff pending
+  // Watchdog.
+  Nanos interval_ = 0;  // 0 until attach()
+  Nanos last_tick_ = -1;
+  std::uint64_t missed_ticks_ = 0;
 };
 
 }  // namespace procap::policy

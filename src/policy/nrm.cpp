@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "msr/device.hpp"
 #include "util/log.hpp"
 
 namespace procap::policy {
+
+const char* to_string(NodeResourceManager::Mode mode) {
+  switch (mode) {
+    case NodeResourceManager::Mode::kUncapped:
+      return "uncapped";
+    case NodeResourceManager::Mode::kBudget:
+      return "budget";
+    case NodeResourceManager::Mode::kProgressTarget:
+      return "progress-target";
+    case NodeResourceManager::Mode::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
 
 NodeResourceManager::NodeResourceManager(rapl::RaplInterface& rapl,
                                          progress::Monitor& monitor,
@@ -15,35 +30,60 @@ NodeResourceManager::NodeResourceManager(rapl::RaplInterface& rapl,
       time_(&time_source),
       config_(config),
       caps_("nrm_cap_watts"),
-      rates_("nrm_progress") {}
+      rates_("nrm_progress"),
+      modes_("nrm_mode") {}
 
 void NodeResourceManager::apply(std::optional<Watts> cap) {
+  // Invariant: never program a cap above the node budget, whatever mode
+  // asked for it.
+  if (cap && node_budget_) {
+    cap = std::min(*cap, *node_budget_);
+  }
   if (cap == cap_) {
     return;
   }
-  if (cap) {
-    rapl_->set_pkg_cap(*cap);
-  } else {
-    rapl_->clear_pkg_cap();
+  try {
+    if (cap) {
+      rapl_->set_pkg_cap(*cap);
+    } else {
+      rapl_->clear_pkg_cap();
+    }
+  } catch (const msr::MsrError& e) {
+    // Transient EIO: keep the old record so the next tick's apply()
+    // naturally retries the actuation.
+    ++failed_actuations_;
+    PROCAP_DEBUG << "nrm: actuation failed: " << e.what();
+    return;
   }
   cap_ = cap;
 }
 
+void NodeResourceManager::transition(Mode to, std::string reason) {
+  if (to == mode_) {
+    return;
+  }
+  events_.push_back(ModeEvent{time_->now(), mode_, to, reason});
+  PROCAP_INFO << "nrm: " << to_string(mode_) << " -> " << to_string(to)
+              << " (" << reason << ")";
+  mode_ = to;
+}
+
 void NodeResourceManager::set_power_budget(Watts budget) {
-  mode_ = Mode::kBudget;
+  transition(Mode::kBudget, "upper-layer budget directive");
   apply(std::clamp(budget, config_.min_cap, config_.max_cap));
   PROCAP_INFO << "nrm: hard budget " << budget << " W";
 }
 
 void NodeResourceManager::clear_power_budget() {
-  mode_ = Mode::kUncapped;
+  transition(Mode::kUncapped, "budget cleared");
   apply(std::nullopt);
 }
 
 void NodeResourceManager::set_progress_target(
     double rate, std::optional<model::ModelParams> params) {
-  mode_ = Mode::kProgressTarget;
+  transition(Mode::kProgressTarget, "progress target set");
   target_rate_ = rate;
+  healthy_ticks_ = 0;
   if (params) {
     // Model-seeded initial cap (paper Section VI, modeling goal 3), with a
     // little headroom: feedback trims downward cheaply, but starting too
@@ -55,24 +95,62 @@ void NodeResourceManager::set_progress_target(
   }
 }
 
+void NodeResourceManager::set_node_budget(Watts budget) {
+  node_budget_ = budget;
+  // Re-apply so an already-programmed cap above the new ceiling comes
+  // down immediately.
+  if (cap_ && *cap_ > budget) {
+    apply(cap_);
+  }
+}
+
 void NodeResourceManager::tick() {
   const Nanos now = time_->now();
   monitor_->poll();
   const double rate = monitor_->current_rate();
   rates_.add(now, rate);
+  const progress::SignalHealth health = monitor_->health();
 
-  if (mode_ == Mode::kProgressTarget && monitor_->windows() > 0 &&
-      rate > 0.0) {
-    const double low = target_rate_;
-    const double high = target_rate_ * (1.0 + config_.deadband);
-    const Watts current = cap_.value_or(config_.max_cap);
-    if (rate < low) {
-      apply(std::min(current + config_.raise_step, config_.max_cap));
-    } else if (rate > high) {
-      apply(std::max(current - config_.lower_step, config_.min_cap));
+  if (mode_ == Mode::kProgressTarget) {
+    if (health != progress::SignalHealth::kHealthy) {
+      // Closing the loop on an untrustworthy feed chases phantom zeros
+      // (paper Section V-C).  Fall back to open-loop power-only control.
+      transition(Mode::kDegraded,
+                 std::string("progress signal ") + to_string(health));
+      ++degraded_entries_;
+      healthy_ticks_ = 0;
+      if (cap_) {
+        apply(cap_);  // re-clamped to the node budget by apply()
+      } else if (node_budget_) {
+        apply(node_budget_);  // fail safe: bound power while blind
+      }
+    } else if (monitor_->windows() > 0 && rate > 0.0) {
+      const double low = target_rate_;
+      const double high = target_rate_ * (1.0 + config_.deadband);
+      const Watts current = cap_.value_or(config_.max_cap);
+      if (rate < low) {
+        apply(std::min(current + config_.raise_step, config_.max_cap));
+      } else if (rate > high) {
+        apply(std::max(current - config_.lower_step, config_.min_cap));
+      }
+    }
+  } else if (mode_ == Mode::kDegraded) {
+    if (health == progress::SignalHealth::kHealthy) {
+      ++healthy_ticks_;
+      if (healthy_ticks_ >= config_.reengage_after) {
+        // Hysteresis satisfied: the feed has been steady long enough to
+        // trust the loop again.
+        transition(Mode::kProgressTarget, "progress signal recovered");
+        ++reengagements_;
+        healthy_ticks_ = 0;
+      }
+    } else {
+      healthy_ticks_ = 0;
     }
   }
+
   caps_.add(now, cap_.value_or(0.0));
+  modes_.add(now, static_cast<double>(static_cast<int>(mode_)));
 }
 
 void NodeResourceManager::attach(sim::Engine& engine, Nanos interval) {

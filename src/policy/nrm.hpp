@@ -13,10 +13,24 @@
 //   * kProgressTarget mode — hold a target progress rate with the least
 //     power: the model picks the initial cap (Eq. 7 inverted), then a
 //     measured-progress feedback loop trims it, absorbing model error.
+//   * kDegraded mode — entered automatically when the progress signal
+//     stops being trustworthy (Monitor health degraded/lost).  Closing
+//     the loop on a stale or lossy feed would chase phantom zero-progress
+//     readings (the paper's Section V-C failure writ large), so the NRM
+//     falls back to open-loop power-only control: it freezes the cap at
+//     min(current cap, node budget) — or applies the node budget outright
+//     if it was running uncapped — and holds until the signal has been
+//     healthy for `reengage_after` consecutive ticks (hysteresis, so a
+//     flapping link does not flap the controller).
+//
+// Whatever the mode, apply() clamps every programmed cap to the node
+// budget: the NRM never programs a cap above it.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "model/progress_model.hpp"
 #include "progress/monitor.hpp"
@@ -38,11 +52,25 @@ struct NrmConfig {
   /// Cap bounds.
   Watts min_cap = 20.0;
   Watts max_cap = 300.0;
+  /// Consecutive healthy ticks required to leave degraded mode.
+  unsigned reengage_after = 3;
 };
 
 /// Node resource manager: one package, one application's progress feed.
 class NodeResourceManager {
  public:
+  enum class Mode { kUncapped, kBudget, kProgressTarget, kDegraded };
+
+  /// One recorded mode transition.
+  struct ModeEvent {
+    Nanos t = 0;
+    Mode from = Mode::kUncapped;
+    Mode to = Mode::kUncapped;
+    std::string reason;
+
+    friend bool operator==(const ModeEvent&, const ModeEvent&) = default;
+  };
+
   /// All references must outlive the manager.
   NodeResourceManager(rapl::RaplInterface& rapl, progress::Monitor& monitor,
                       const TimeSource& time_source, NrmConfig config = {});
@@ -60,6 +88,10 @@ class NodeResourceManager {
   void set_progress_target(double rate,
                            std::optional<model::ModelParams> params);
 
+  /// Hard node-level ceiling: no cap programmed by this NRM will ever
+  /// exceed it, and degraded mode falls back to it when running uncapped.
+  void set_node_budget(Watts budget);
+
   /// One control cycle (call at 1 Hz; progress windows are 1 s).
   void tick();
 
@@ -75,10 +107,38 @@ class NodeResourceManager {
   /// Measured progress rate over time, as the NRM saw it.
   [[nodiscard]] const TimeSeries& progress_series() const { return rates_; }
 
- private:
-  enum class Mode { kUncapped, kBudget, kProgressTarget };
+  /// Control mode right now.
+  [[nodiscard]] Mode mode() const { return mode_; }
 
+  /// Node budget ceiling, if one is set.
+  [[nodiscard]] std::optional<Watts> node_budget() const {
+    return node_budget_;
+  }
+
+  /// Mode over time, one sample per tick (value = static_cast<int>(Mode)),
+  /// alongside the discrete transition record in mode_events().
+  [[nodiscard]] const TimeSeries& mode_series() const { return modes_; }
+
+  /// Every mode transition, in order, with the reason it happened.
+  [[nodiscard]] const std::vector<ModeEvent>& mode_events() const {
+    return events_;
+  }
+
+  /// Times the controller fell back to / recovered from degraded mode.
+  [[nodiscard]] std::uint64_t degraded_entries() const {
+    return degraded_entries_;
+  }
+  [[nodiscard]] std::uint64_t reengagements() const { return reengagements_; }
+
+  /// Cap programmings that failed with a transient MSR error (each is
+  /// retried on the next tick).
+  [[nodiscard]] std::uint64_t failed_actuations() const {
+    return failed_actuations_;
+  }
+
+ private:
   void apply(std::optional<Watts> cap);
+  void transition(Mode to, std::string reason);
 
   rapl::RaplInterface* rapl_;
   progress::Monitor* monitor_;
@@ -87,9 +147,18 @@ class NodeResourceManager {
 
   Mode mode_ = Mode::kUncapped;
   std::optional<Watts> cap_;
+  std::optional<Watts> node_budget_;
   double target_rate_ = 0.0;
+  unsigned healthy_ticks_ = 0;  // consecutive, while degraded
+  std::uint64_t degraded_entries_ = 0;
+  std::uint64_t reengagements_ = 0;
+  std::uint64_t failed_actuations_ = 0;
   TimeSeries caps_;
   TimeSeries rates_;
+  TimeSeries modes_;
+  std::vector<ModeEvent> events_;
 };
+
+[[nodiscard]] const char* to_string(NodeResourceManager::Mode mode);
 
 }  // namespace procap::policy

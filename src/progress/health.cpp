@@ -1,0 +1,172 @@
+#include "progress/health.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procap::progress {
+
+const char* to_string(SignalHealth health) {
+  switch (health) {
+    case SignalHealth::kHealthy:
+      return "healthy";
+    case SignalHealth::kDegraded:
+      return "degraded";
+    case SignalHealth::kLost:
+      return "lost";
+  }
+  return "?";
+}
+
+const char* to_string(WindowLabel label) {
+  switch (label) {
+    case WindowLabel::kPending:
+      return "pending";
+    case WindowLabel::kProgress:
+      return "progress";
+    case WindowLabel::kTrueZero:
+      return "true-zero";
+    case WindowLabel::kDropped:
+      return "dropped";
+  }
+  return "?";
+}
+
+HealthTracker::HealthTracker(Nanos start, HealthConfig config)
+    : config_(config), start_(start), last_time_(start) {
+  if (config_.cadence_gain <= 0.0 || config_.cadence_gain > 1.0) {
+    throw std::invalid_argument("HealthTracker: cadence_gain not in (0, 1]");
+  }
+  if (config_.default_cadence <= 0) {
+    throw std::invalid_argument("HealthTracker: default_cadence must be > 0");
+  }
+  if (config_.lost_after < config_.degraded_after) {
+    throw std::invalid_argument(
+        "HealthTracker: lost_after must be >= degraded_after");
+  }
+}
+
+void HealthTracker::on_sample(Nanos t, std::uint64_t seq) {
+  ++samples_;
+  if (seq != 0) {
+    if (seq > last_seq_ + 1) {
+      // seq jumped: the reports in between were in flight somewhere in
+      // (last_time_, t) and never arrived.  Covers the first sample too
+      // (last_seq_ 0, reporters start at 1): loss since tracker start.
+      Gap gap;
+      gap.start = last_time_;
+      gap.end = std::max(t, last_time_);
+      gap.first = last_seq_ + 1;
+      gap.last = seq - 1;
+      gap.count = seq - last_seq_ - 1;
+      missing_ += gap.count;
+      gaps_.push_back(gap);
+    } else if (last_seq_ != 0 && seq <= last_seq_) {
+      // Late (reordered) or duplicated arrival.  If it fills a recorded
+      // gap, the report was delayed, not lost.
+      ++reordered_;
+      for (auto it = gaps_.begin(); it != gaps_.end(); ++it) {
+        if (seq >= it->first && seq <= it->last && it->count > 0) {
+          --it->count;
+          --missing_;
+          if (it->count == 0) {
+            gaps_.erase(it);
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (t > last_time_) {
+    const auto dt = static_cast<double>(t - last_time_);
+    if (samples_ > 1) {
+      cadence_ = have_cadence_
+                     ? (1.0 - config_.cadence_gain) * cadence_ +
+                           config_.cadence_gain * dt
+                     : dt;
+      have_cadence_ = true;
+    }
+    last_time_ = t;
+  }
+  last_seq_ = std::max(last_seq_, seq);
+}
+
+Nanos HealthTracker::expected_cadence() const {
+  if (!have_cadence_) {
+    return config_.default_cadence;
+  }
+  return std::max(static_cast<Nanos>(cadence_), config_.min_cadence);
+}
+
+Nanos HealthTracker::staleness(Nanos now) const {
+  return now > last_time_ ? now - last_time_ : 0;
+}
+
+SignalHealth HealthTracker::health(Nanos now) const {
+  const auto age = static_cast<double>(staleness(now));
+  const auto expected = static_cast<double>(expected_cadence());
+  if (age > config_.lost_after * expected) {
+    return SignalHealth::kLost;
+  }
+  if (age > config_.degraded_after * expected) {
+    return SignalHealth::kDegraded;
+  }
+  return SignalHealth::kHealthy;
+}
+
+bool HealthTracker::lossy_in(Nanos t0, Nanos t1) const {
+  for (const Gap& gap : gaps_) {
+    if (gap.count > 0 && gap.start < t1 && gap.end > t0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ZeroWindowClassifier::ZeroWindowClassifier(const HealthTracker& tracker)
+    : tracker_(&tracker) {}
+
+void ZeroWindowClassifier::on_window(Nanos start, Nanos end, double rate) {
+  WindowVerdict verdict{start, end, rate, WindowLabel::kPending};
+  if (rate > 0.0) {
+    verdict.label = WindowLabel::kProgress;
+    ++progress_;
+  } else {
+    ++pending_;
+  }
+  verdicts_.push_back(verdict);
+}
+
+void ZeroWindowClassifier::resolve() {
+  // Evidence horizon: an in-order sample this far past a window's end
+  // proves no report for the window is still plausibly in flight.
+  const Nanos grace = tracker_->expected_cadence();
+  bool all_settled = true;
+  for (std::size_t i = first_pending_; i < verdicts_.size(); ++i) {
+    WindowVerdict& v = verdicts_[i];
+    if (v.label != WindowLabel::kPending) {
+      if (all_settled) {
+        first_pending_ = i + 1;
+      }
+      continue;
+    }
+    if (tracker_->lossy_in(v.start, v.end)) {
+      v.label = WindowLabel::kDropped;
+      ++dropped_;
+      --pending_;
+    } else if (tracker_->last_sample_time() >= v.end + grace) {
+      // A sample arrived beyond the window with no loss recorded over it:
+      // the link was clean and the application genuinely reported nothing.
+      v.label = WindowLabel::kTrueZero;
+      ++true_zero_;
+      --pending_;
+    } else {
+      all_settled = false;
+      continue;
+    }
+    if (all_settled) {
+      first_pending_ = i + 1;
+    }
+  }
+}
+
+}  // namespace procap::progress

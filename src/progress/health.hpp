@@ -1,0 +1,166 @@
+// health.hpp — telemetry-health layer: staleness, loss, and the
+// dropped-vs-true-zero classifier.
+//
+// The paper's framework "occasionally reported zero progress" for OpenMC
+// (Section V-C) and could not tell whether the application had stalled or
+// the reports had been lost in transit.  This layer resolves that
+// ambiguity programmatically with two mechanisms:
+//
+//   * HealthTracker — per-application staleness tracking.  It learns the
+//     application's reporting cadence online (EWMA of inter-arrival
+//     times), tracks the age of the newest sample against that heartbeat
+//     expectation, and grades the signal kHealthy / kDegraded / kLost.
+//     Reporter-side sequence numbers let it additionally record *loss
+//     intervals*: a gap between consecutive sequence numbers brackets
+//     exactly when the missing reports would have been in flight.
+//
+//   * ZeroWindowClassifier — labels every zero-rate monitoring window as
+//     kDropped (a recorded loss interval overlaps it), kTrueZero (an
+//     in-order sample arrived beyond the window, proving the link was
+//     clean and the application simply did no work), or kPending until
+//     evidence arrives.  Classification is deliberately retrospective:
+//     during a burst outage nothing can be known, and labels firm up when
+//     traffic resumes and the sequence numbers reveal what happened.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::progress {
+
+/// Verdict on a progress signal's trustworthiness at a point in time.
+enum class SignalHealth { kHealthy, kDegraded, kLost };
+
+[[nodiscard]] const char* to_string(SignalHealth health);
+
+/// Tuning for staleness grading.
+struct HealthConfig {
+  /// Cadence assumed before enough samples have arrived to learn one.
+  Nanos default_cadence = kNanosPerSecond;
+  /// EWMA gain for the inter-arrival estimate (0 < gain <= 1).
+  double cadence_gain = 0.2;
+  /// Floor for the learned cadence (guards against bursty reporters
+  /// driving the expectation to ~0 and flagging everything stale).
+  Nanos min_cadence = msec(10);
+  /// Staleness thresholds, in multiples of the expected cadence.
+  double degraded_after = 2.5;
+  double lost_after = 6.0;
+};
+
+/// Per-application staleness and loss tracking.
+class HealthTracker {
+ public:
+  /// `start` anchors staleness before the first sample arrives.
+  explicit HealthTracker(Nanos start, HealthConfig config = {});
+
+  /// Record an accepted sample at time `t` with reporter sequence number
+  /// `seq` (0 = unsequenced; staleness still updates, loss cannot).
+  void on_sample(Nanos t, std::uint64_t seq = 0);
+
+  /// Grade the signal at time `now`.
+  [[nodiscard]] SignalHealth health(Nanos now) const;
+
+  /// Age of the newest sample (age of the tracker if none arrived).
+  [[nodiscard]] Nanos staleness(Nanos now) const;
+
+  /// Current heartbeat expectation: learned cadence, or the configured
+  /// default before one is learned.
+  [[nodiscard]] Nanos expected_cadence() const;
+
+  /// Samples observed / sequence numbers still missing (gaps net of late
+  /// arrivals) / late or duplicate arrivals that filled a gap.
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t missing() const { return missing_; }
+  [[nodiscard]] std::uint64_t reordered() const { return reordered_; }
+
+  /// One loss interval: `count` reports with sequence numbers in
+  /// (first-1, last+1) went missing between the samples observed at
+  /// `start` and `end`.
+  struct Gap {
+    Nanos start = 0;
+    Nanos end = 0;
+    std::uint64_t first = 0;  ///< lowest missing sequence number
+    std::uint64_t last = 0;   ///< highest missing sequence number
+    std::uint64_t count = 0;  ///< still-missing count (late fills decrement)
+  };
+
+  /// Unresolved loss intervals, in detection order.
+  [[nodiscard]] const std::vector<Gap>& gaps() const { return gaps_; }
+
+  /// True when a still-missing report's in-flight interval overlaps
+  /// [t0, t1) — the evidence the zero-window classifier keys on.
+  [[nodiscard]] bool lossy_in(Nanos t0, Nanos t1) const;
+
+  /// Time of the newest sample (start time if none arrived).
+  [[nodiscard]] Nanos last_sample_time() const { return last_time_; }
+
+  [[nodiscard]] const HealthConfig& config() const { return config_; }
+
+ private:
+  HealthConfig config_;
+  Nanos start_;
+  Nanos last_time_;
+  std::uint64_t last_seq_ = 0;
+  bool have_cadence_ = false;
+  double cadence_ = 0.0;  // EWMA of inter-arrival, in ns
+  std::uint64_t samples_ = 0;
+  std::uint64_t missing_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::vector<Gap> gaps_;
+};
+
+/// Label attached to each closed monitoring window.
+enum class WindowLabel {
+  kPending,   ///< zero-rate window awaiting evidence
+  kProgress,  ///< non-zero rate: work was observed
+  kTrueZero,  ///< link proven clean; the application did no work
+  kDropped,   ///< reports overlapping the window were lost in transit
+};
+
+[[nodiscard]] const char* to_string(WindowLabel label);
+
+/// One classified window.
+struct WindowVerdict {
+  Nanos start = 0;
+  Nanos end = 0;
+  double rate = 0.0;
+  WindowLabel label = WindowLabel::kPending;
+
+  friend bool operator==(const WindowVerdict&, const WindowVerdict&) = default;
+};
+
+/// Streams closed windows through the evidence in a HealthTracker and
+/// labels each one.  The tracker must outlive the classifier.
+class ZeroWindowClassifier {
+ public:
+  explicit ZeroWindowClassifier(const HealthTracker& tracker);
+
+  /// Feed each closed window, in order.
+  void on_window(Nanos start, Nanos end, double rate);
+
+  /// Re-examine pending windows against the tracker's current evidence.
+  void resolve();
+
+  [[nodiscard]] const std::vector<WindowVerdict>& verdicts() const {
+    return verdicts_;
+  }
+
+  /// Counts by label over all windows fed so far.
+  [[nodiscard]] std::uint64_t progress_windows() const { return progress_; }
+  [[nodiscard]] std::uint64_t dropped_windows() const { return dropped_; }
+  [[nodiscard]] std::uint64_t true_zero_windows() const { return true_zero_; }
+  [[nodiscard]] std::uint64_t pending_windows() const { return pending_; }
+
+ private:
+  const HealthTracker* tracker_;
+  std::vector<WindowVerdict> verdicts_;
+  std::size_t first_pending_ = 0;  // verdicts before this are all settled
+  std::uint64_t progress_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t true_zero_ = 0;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace procap::progress

@@ -11,11 +11,13 @@ constexpr const char* kPrefix = "progress/";
 }
 
 MonitorHub::MonitorHub(std::shared_ptr<msgbus::SubSocket> sub,
-                       const TimeSource& time_source, Nanos window)
+                       const TimeSource& time_source, Nanos window,
+                       HealthConfig health_config)
     : sub_(std::move(sub)),
       time_(&time_source),
       window_(window),
-      origin_(time_source.now()) {
+      origin_(time_source.now()),
+      health_config_(health_config) {
   if (!sub_) {
     throw std::invalid_argument("MonitorHub: null subscriber socket");
   }
@@ -26,29 +28,47 @@ MonitorHub::MonitorHub(std::shared_ptr<msgbus::SubSocket> sub,
 }
 
 void MonitorHub::poll() {
+  const std::size_t prefix_len = std::string(kPrefix).size();
   while (auto msg = sub_->try_recv()) {
+    const bool has_app = msg->topic.size() > prefix_len;
     const auto sample = decode_sample(msg->payload);
-    if (!sample || msg->topic.size() <= std::string(kPrefix).size()) {
+    if (!sample || !has_app) {
       ++malformed_;
+      // Attribute the bad payload to its app when the topic names one we
+      // already know; a topic with no app name only counts hub-wide.
+      if (has_app) {
+        const std::string app = msg->topic.substr(prefix_len);
+        if (const auto it = apps_.find(app); it != apps_.end()) {
+          ++it->second.malformed;
+        }
+      }
       continue;
     }
     ++samples_;
-    const std::string app = msg->topic.substr(std::string(kPrefix).size());
+    const std::string app = msg->topic.substr(prefix_len);
     auto it = apps_.find(app);
     if (it == apps_.end()) {
       // New application: align its windows to the hub's origin grid so
       // different apps' windows are comparable.
       const Nanos elapsed = msg->timestamp - origin_;
-      const Nanos aligned =
-          origin_ + (elapsed / window_) * window_;
-      it = apps_.try_emplace(app, aligned, window_).first;
+      const Nanos aligned = origin_ + (elapsed / window_) * window_;
+      it = apps_
+               .try_emplace(app, aligned, window_, aligned, health_config_)
+               .first;
       discovery_order_.push_back(app);
     }
-    it->second.add(msg->timestamp, sample->amount, sample->phase);
+    it->second.tracker.on_sample(msg->timestamp, sample->seq);
+    it->second.windower.add(msg->timestamp, sample->amount, sample->phase);
   }
   const Nanos now = time_->now();
-  for (auto& [name, windower] : apps_) {
-    windower.close_up_to(now);
+  for (auto& [name, app] : apps_) {
+    app.windower.close_up_to(now);
+    const TimeSeries& rates = app.windower.rates();
+    for (; app.classified < rates.size(); ++app.classified) {
+      const auto& s = rates.samples()[app.classified];
+      app.classifier.on_window(s.t, s.t + window_, s.value);
+    }
+    app.classifier.resolve();
   }
 }
 
@@ -60,14 +80,60 @@ bool MonitorHub::knows(const std::string& app) const {
   return apps_.contains(app);
 }
 
-const RateWindower* MonitorHub::windower(const std::string& app) const {
+const MonitorHub::AppState* MonitorHub::state(const std::string& app) const {
   const auto it = apps_.find(app);
   return it == apps_.end() ? nullptr : &it->second;
 }
 
+const RateWindower* MonitorHub::windower(const std::string& app) const {
+  const AppState* s = state(app);
+  return s ? &s->windower : nullptr;
+}
+
+std::optional<double> MonitorHub::rate_of(const std::string& app) const {
+  const AppState* s = state(app);
+  if (!s) {
+    return std::nullopt;
+  }
+  return s->windower.current_rate();
+}
+
+bool MonitorHub::has_rate(const std::string& app) const {
+  const AppState* s = state(app);
+  return s && s->windower.windows() > 0;
+}
+
 double MonitorHub::current_rate(const std::string& app) const {
-  const RateWindower* w = windower(app);
-  return w ? w->current_rate() : 0.0;
+  return rate_of(app).value_or(0.0);
+}
+
+SignalHealth MonitorHub::health(const std::string& app) const {
+  const AppState* s = state(app);
+  return s ? s->tracker.health(time_->now()) : SignalHealth::kLost;
+}
+
+std::optional<Nanos> MonitorHub::staleness(const std::string& app) const {
+  const AppState* s = state(app);
+  if (!s) {
+    return std::nullopt;
+  }
+  return s->tracker.staleness(time_->now());
+}
+
+const HealthTracker* MonitorHub::tracker(const std::string& app) const {
+  const AppState* s = state(app);
+  return s ? &s->tracker : nullptr;
+}
+
+const ZeroWindowClassifier* MonitorHub::classifier(
+    const std::string& app) const {
+  const AppState* s = state(app);
+  return s ? &s->classifier : nullptr;
+}
+
+std::uint64_t MonitorHub::malformed_of(const std::string& app) const {
+  const AppState* s = state(app);
+  return s ? s->malformed : 0;
 }
 
 }  // namespace procap::progress

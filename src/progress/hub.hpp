@@ -6,16 +6,23 @@
 // view per application as its first sample arrives — the multi-tenant
 // generalization of the single-application Monitor, using the same
 // RateWindower arithmetic (so zero windows, phase attribution and window
-// semantics are identical).
+// semantics are identical) and the same telemetry-health layer (per-app
+// staleness grades and dropped-vs-true-zero window verdicts).
+//
+// The hub distinguishes "no such application" from "application known but
+// currently reading zero": rate_of() returns std::nullopt for unknown
+// apps, so callers never mistake an absent feed for an idle one.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "msgbus/bus.hpp"
+#include "progress/health.hpp"
 #include "progress/windower.hpp"
 #include "util/time.hpp"
 
@@ -28,7 +35,8 @@ class MonitorHub {
   /// application gets windows of `window` ns starting at its first
   /// sample's window boundary (aligned to the hub's construction time).
   MonitorHub(std::shared_ptr<msgbus::SubSocket> sub,
-             const TimeSource& time_source, Nanos window = kNanosPerSecond);
+             const TimeSource& time_source, Nanos window = kNanosPerSecond,
+             HealthConfig health_config = {});
 
   /// Drain pending samples and close elapsed windows for every known app.
   void poll();
@@ -42,19 +50,69 @@ class MonitorHub {
   /// Windowed rates for `app`; nullptr if the app has not been seen.
   [[nodiscard]] const RateWindower* windower(const std::string& app) const;
 
-  /// Most recent closed-window rate for `app` (0 if unknown).
+  /// Most recent closed-window rate for `app`, or std::nullopt if the app
+  /// has never been seen — a true zero rate is distinguishable from an
+  /// unknown application.
+  [[nodiscard]] std::optional<double> rate_of(const std::string& app) const;
+
+  /// True when `app` is known and has at least one closed window.
+  [[nodiscard]] bool has_rate(const std::string& app) const;
+
+  /// Most recent closed-window rate for `app` (0 if unknown).  Prefer
+  /// rate_of(), which does not conflate unknown with idle.
   [[nodiscard]] double current_rate(const std::string& app) const;
+
+  /// Signal grade for `app` right now; kLost for unknown applications
+  /// (no feed at all is the definition of a lost signal).
+  [[nodiscard]] SignalHealth health(const std::string& app) const;
+
+  /// Age of `app`'s newest sample; std::nullopt if the app is unknown.
+  [[nodiscard]] std::optional<Nanos> staleness(const std::string& app) const;
+
+  /// Staleness/loss evidence for `app`; nullptr if unknown.
+  [[nodiscard]] const HealthTracker* tracker(const std::string& app) const;
+
+  /// Per-window dropped-vs-true-zero verdicts for `app`; nullptr if
+  /// unknown.
+  [[nodiscard]] const ZeroWindowClassifier* classifier(
+      const std::string& app) const;
 
   /// Samples received / discarded as malformed, across all apps.
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
 
+  /// Malformed payloads attributed to `app` (0 if unknown; payloads whose
+  /// topic carries no app name are counted only in the hub-wide total).
+  [[nodiscard]] std::uint64_t malformed_of(const std::string& app) const;
+
  private:
+  /// Per-application state.  Non-movable (the classifier holds a
+  /// reference to the tracker); std::map node stability keeps the
+  /// references valid across rehash-free inserts.
+  struct AppState {
+    AppState(Nanos aligned_start, Nanos window, Nanos tracker_start,
+             const HealthConfig& config)
+        : windower(aligned_start, window),
+          tracker(tracker_start, config),
+          classifier(tracker) {}
+    AppState(const AppState&) = delete;
+    AppState& operator=(const AppState&) = delete;
+
+    RateWindower windower;
+    HealthTracker tracker;
+    ZeroWindowClassifier classifier;
+    std::size_t classified = 0;  // windows already fed to the classifier
+    std::uint64_t malformed = 0;
+  };
+
+  [[nodiscard]] const AppState* state(const std::string& app) const;
+
   std::shared_ptr<msgbus::SubSocket> sub_;
   const TimeSource* time_;
   Nanos window_;
   Nanos origin_;
-  std::map<std::string, RateWindower> apps_;
+  HealthConfig health_config_;
+  std::map<std::string, AppState> apps_;
   std::vector<std::string> discovery_order_;
   std::uint64_t samples_ = 0;
   std::uint64_t malformed_ = 0;

@@ -6,10 +6,12 @@ namespace procap::progress {
 
 Monitor::Monitor(std::shared_ptr<msgbus::SubSocket> sub,
                  const std::string& app_name, const TimeSource& time_source,
-                 Nanos window)
+                 Nanos window, HealthConfig health_config)
     : sub_(std::move(sub)),
       time_(&time_source),
-      windower_(time_source.now(), window) {
+      windower_(time_source.now(), window),
+      tracker_(time_source.now(), health_config),
+      classifier_(tracker_) {
   if (!sub_) {
     throw std::invalid_argument("Monitor: null subscriber socket");
   }
@@ -24,6 +26,7 @@ void Monitor::poll() {
       continue;
     }
     ++samples_;
+    tracker_.on_sample(msg->timestamp, sample->seq);
     // The windower closes windows up to the sample's own timestamp, so
     // late polls do not smear old samples into newer windows.
     windower_.add(msg->timestamp, sample->amount, sample->phase);
@@ -32,6 +35,14 @@ void Monitor::poll() {
     }
   }
   windower_.close_up_to(time_->now());
+  // Feed newly closed windows to the classifier, then let it re-grade any
+  // still-pending verdicts against the evidence that just arrived.
+  const TimeSeries& rates = windower_.rates();
+  for (; classified_ < rates.size(); ++classified_) {
+    const auto& s = rates.samples()[classified_];
+    classifier_.on_window(s.t, s.t + windower_.window(), s.value);
+  }
+  classifier_.resolve();
 }
 
 }  // namespace procap::progress

@@ -13,6 +13,13 @@
 // code runs under the simulation engine (engine.every) and on a real
 // thread with a sleep loop.
 //
+// The Monitor does not blindly trust its feed: a HealthTracker grades the
+// signal (healthy/degraded/lost) from sample staleness against the
+// observed reporting cadence, and a ZeroWindowClassifier labels each
+// zero-rate window as dropped-in-transit vs true zero progress using
+// reporter sequence numbers — the programmatic resolution of the paper's
+// Section V-C ambiguity.
+//
 // For nodes where the application set is not known in advance (a real
 // NRM deployment), see MonitorHub in progress/hub.hpp.
 #pragma once
@@ -22,6 +29,7 @@
 #include <memory>
 
 #include "msgbus/bus.hpp"
+#include "progress/health.hpp"
 #include "progress/sample.hpp"
 #include "progress/windower.hpp"
 #include "util/series.hpp"
@@ -36,7 +44,8 @@ class Monitor {
   /// Subscribes `sub` to the application's topic.  `time_source` drives
   /// window boundaries and must match the clock the bus stamps with.
   Monitor(std::shared_ptr<msgbus::SubSocket> sub, const std::string& app_name,
-          const TimeSource& time_source, Nanos window = kNanosPerSecond);
+          const TimeSource& time_source, Nanos window = kNanosPerSecond,
+          HealthConfig health_config = {});
 
   /// Drain pending samples and close any windows that have elapsed.
   /// Call at least once per window (more often is fine).
@@ -79,10 +88,36 @@ class Monitor {
   /// Window length.
   [[nodiscard]] Nanos window() const { return windower_.window(); }
 
+  /// Signal grade right now: is the progress feed trustworthy?
+  [[nodiscard]] SignalHealth health() const {
+    return tracker_.health(time_->now());
+  }
+
+  /// Age of the newest accepted sample.
+  [[nodiscard]] Nanos staleness() const {
+    return tracker_.staleness(time_->now());
+  }
+
+  /// Staleness/loss evidence (cadence, gaps, missing counts).
+  [[nodiscard]] const HealthTracker& tracker() const { return tracker_; }
+
+  /// Per-window dropped-vs-true-zero verdicts (paper Section V-C).
+  [[nodiscard]] const std::vector<WindowVerdict>& verdicts() const {
+    return classifier_.verdicts();
+  }
+
+  /// The classifier behind verdicts(), for its per-label counters.
+  [[nodiscard]] const ZeroWindowClassifier& classifier() const {
+    return classifier_;
+  }
+
  private:
   std::shared_ptr<msgbus::SubSocket> sub_;
   const TimeSource* time_;
   RateWindower windower_;
+  HealthTracker tracker_;
+  ZeroWindowClassifier classifier_;
+  std::size_t classified_ = 0;  // windows already fed to the classifier
   std::uint64_t samples_ = 0;
   std::uint64_t malformed_ = 0;
   int last_phase_ = kNoPhase;

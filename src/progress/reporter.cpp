@@ -18,7 +18,10 @@ Reporter::Reporter(std::shared_ptr<msgbus::PubSocket> pub,
 }
 
 void Reporter::report(double amount, int phase) {
-  pub_->publish(topic_, encode_sample(ProgressSample{amount, phase}));
+  // Sequence numbers start at 1; the monitor-side health layer uses gaps
+  // to distinguish transport loss from a genuinely idle application.
+  pub_->publish(topic_,
+                encode_sample(ProgressSample{amount, phase, reports_ + 1}));
   ++reports_;
 }
 

@@ -10,10 +10,19 @@ std::string progress_topic(const std::string& app_name) {
 }
 
 std::string encode_sample(const ProgressSample& sample) {
-  // Compact text encoding: "<amount> <phase>".  %.17g round-trips doubles.
-  char buf[64];
-  const int n =
-      std::snprintf(buf, sizeof(buf), "%.17g %d", sample.amount, sample.phase);
+  // Compact text encoding: "<amount> <phase>[ <seq>]".  %.17g round-trips
+  // doubles; the sequence field is omitted for unsequenced samples so old
+  // payloads and new decoders stay mutually compatible.
+  char buf[96];
+  int n;
+  if (sample.seq != 0) {
+    n = std::snprintf(buf, sizeof(buf), "%.17g %d %llu", sample.amount,
+                      sample.phase,
+                      static_cast<unsigned long long>(sample.seq));
+  } else {
+    n = std::snprintf(buf, sizeof(buf), "%.17g %d", sample.amount,
+                      sample.phase);
+  }
   return std::string(buf, static_cast<std::size_t>(n));
 }
 
@@ -26,7 +35,17 @@ std::optional<ProgressSample> decode_sample(const std::string& payload) {
     return std::nullopt;
   }
   auto [phase_end, ec2] = std::from_chars(amount_end + 1, end, sample.phase);
-  if (ec2 != std::errc{} || phase_end != end) {
+  if (ec2 != std::errc{}) {
+    return std::nullopt;
+  }
+  if (phase_end == end) {
+    return sample;  // two-field legacy sample, seq stays 0
+  }
+  if (*phase_end != ' ') {
+    return std::nullopt;
+  }
+  auto [seq_end, ec3] = std::from_chars(phase_end + 1, end, sample.seq);
+  if (ec3 != std::errc{} || seq_end != end) {
     return std::nullopt;
   }
   return sample;

@@ -10,6 +10,7 @@
 // inactive/active); kNoPhase means unphased.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -26,6 +27,12 @@ struct ProgressSample {
   double amount = 0.0;
   /// Application phase that produced the work, or kNoPhase.
   int phase = kNoPhase;
+  /// Per-reporter sequence number, starting at 1 and incrementing by one
+  /// per report; 0 means unsequenced (legacy encodings).  The monitor's
+  /// health layer uses gaps in the sequence to tell dropped reports from
+  /// true zero-progress windows — resolving the paper's Section V-C
+  /// ambiguity programmatically.
+  std::uint64_t seq = 0;
 
   friend bool operator==(const ProgressSample&, const ProgressSample&) = default;
 };

@@ -56,6 +56,9 @@ class RateWindower {
   /// Window length.
   [[nodiscard]] Nanos window() const { return window_; }
 
+  /// Start of the currently open (not yet closed) window.
+  [[nodiscard]] Nanos open_window_start() const { return window_start_; }
+
  private:
   Nanos window_;
   Nanos window_start_;

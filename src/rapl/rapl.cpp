@@ -89,6 +89,11 @@ Joules RaplInterface::pkg_energy(unsigned pkg) {
   return state_[pkg].energy.total();
 }
 
+unsigned RaplInterface::pkg_energy_wraps(unsigned pkg) const {
+  check_pkg(pkg);
+  return state_[pkg].energy.wraps();
+}
+
 Watts RaplInterface::pkg_power(unsigned pkg) {
   check_pkg(pkg);
   const Joules energy = pkg_energy(pkg);

@@ -45,6 +45,11 @@ class RaplInterface {
   /// tools derive power: successive energy-counter reads over time.
   [[nodiscard]] Watts pkg_power(unsigned pkg = 0);
 
+  /// Package energy-counter wraparounds observed so far.  A failed MSR
+  /// read never touches the accumulator, so a retry spanning a wrap still
+  /// counts it exactly once.
+  [[nodiscard]] unsigned pkg_energy_wraps(unsigned pkg = 0) const;
+
   // -- DRAM domain -------------------------------------------------------
 
   /// Total DRAM energy consumed since construction, wrap-corrected.

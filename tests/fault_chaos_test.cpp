@@ -1,0 +1,307 @@
+// Chaos suite (ctest label: chaos): end-to-end fault scenarios driving
+// the full stack — simulated app, lossy msgbus link, injected MSR
+// failures, health-aware NRM, and the power-policy daemon.  The
+// acceptance properties from the robustness issue live here:
+//
+//   * under 30 % report drop plus a 2 s burst outage plus transient MSR
+//     EIO, the NRM enters degraded mode within two monitoring windows,
+//     never programs a cap above the node budget, and re-engages
+//     closed-loop control after the faults clear;
+//   * the zero-window classifier labels outage-emptied windows kDropped
+//     on the lossy link and never labels kDropped on a clean link;
+//   * a chaos run is bit-reproducible from the fault plan seed;
+//   * the daemon survives RAPL EIO streaks with backoff and counts
+//     scheduler stalls via the missed-tick watchdog.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "fault/injectors.hpp"
+#include "fault/plan.hpp"
+#include "model/progress_model.hpp"
+#include "policy/daemon.hpp"
+#include "policy/nrm.hpp"
+#include "policy/schemes.hpp"
+#include "progress/health.hpp"
+#include "progress/monitor.hpp"
+
+namespace procap {
+namespace {
+
+using policy::NodeResourceManager;
+using Mode = NodeResourceManager::Mode;
+
+model::ModelParams lammps_params() {
+  model::ModelParams params;
+  params.beta = 1.0;
+  params.alpha = 2.0;
+  params.p_core_max = 149.0;
+  params.r_max = 800000.0;
+  return params;
+}
+
+fault::FaultPlan chaos_plan() {
+  std::istringstream is(
+      "seed 4242\n"
+      "link 20 30  drop 0.3\n"
+      "link 30 32  outage\n"
+      "msr  20 30  read_fail 0.3 write_fail 0.3 reg 0x610\n");
+  return fault::FaultPlan::parse(is);
+}
+
+constexpr Watts kNodeBudget = 120.0;
+
+// Everything observable about one chaos run, for reproducibility checks.
+struct ChaosRun {
+  std::vector<Nanos> cap_times;
+  std::vector<double> cap_values;
+  std::vector<double> mode_values;
+  std::vector<NodeResourceManager::ModeEvent> events;
+  std::vector<progress::WindowVerdict> verdicts;
+  fault::LinkFaultStats link_stats;
+  fault::MsrFaultStats msr_stats;
+  std::uint64_t degraded_entries = 0;
+  std::uint64_t reengagements = 0;
+  Mode final_mode = Mode::kUncapped;
+  double late_rate = 0.0;  // mean measured rate over the recovery tail
+};
+
+ChaosRun run_chaos_scenario() {
+  const fault::FaultPlan plan = chaos_plan();
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+
+  // Progress reports reach the monitor over the faulty link; RAPL
+  // accesses go through the faulty MSR device.
+  auto link_injector = std::make_shared<fault::LinkFaultInjector>(plan);
+  msgbus::LinkOptions link;
+  link.fault = link_injector;
+  fault::MsrFaultInjector msr_injector(plan, rig.time());
+  msr_injector.install(rig.node().msr());
+
+  progress::Monitor monitor(rig.broker().make_sub(link), "lammps",
+                            rig.time());
+  NodeResourceManager nrm(rig.rapl(), monitor, rig.time());
+  nrm.attach(rig.engine());
+  nrm.set_node_budget(kNodeBudget);
+  nrm.set_progress_target(0.6 * lammps_params().r_max, lammps_params());
+
+  rig.engine().run_for(to_nanos(48.0));
+  rig.node().msr().set_fault_hook({});  // injector dies before the rig
+
+  ChaosRun out;
+  for (const auto& s : nrm.cap_series().samples()) {
+    out.cap_times.push_back(s.t);
+    out.cap_values.push_back(s.value);
+  }
+  for (const auto& s : nrm.mode_series().samples()) {
+    out.mode_values.push_back(s.value);
+  }
+  out.events = nrm.mode_events();
+  out.verdicts = monitor.verdicts();
+  out.link_stats = link_injector->stats();
+  out.msr_stats = msr_injector.stats();
+  out.degraded_entries = nrm.degraded_entries();
+  out.reengagements = nrm.reengagements();
+  out.final_mode = nrm.mode();
+  out.late_rate = nrm.progress_series().mean_in(to_nanos(40.0),
+                                               to_nanos(48.0));
+  return out;
+}
+
+TEST(Chaos, NrmSurvivesLossAndOutageWithinBudget) {
+  const ChaosRun run = run_chaos_scenario();
+
+  // The faults actually fired: the drop phase and the outage discarded
+  // reports, and the scoped MSR episode produced EIOs or swallowed none
+  // (probabilistic per actuation, but drops are certain in the outage).
+  EXPECT_GT(run.link_stats.dropped, 0U);
+  EXPECT_GT(run.link_stats.outage_dropped, 0U);
+
+  // Invariant: no programmed cap ever exceeded the node budget, and the
+  // controller was never running uncapped (cap 0 is the uncapped
+  // sentinel in the series).
+  ASSERT_FALSE(run.cap_values.empty());
+  for (std::size_t i = 0; i < run.cap_values.size(); ++i) {
+    EXPECT_GT(run.cap_values[i], 0.0) << "uncapped at tick " << i;
+    EXPECT_LE(run.cap_values[i], kNodeBudget + 1e-9)
+        << "budget exceeded at tick " << i;
+  }
+
+  // Degraded within two monitoring windows of the burst outage: the
+  // outage runs [30 s, 32 s), so by the t = 32 s tick the controller
+  // must have fallen back to open-loop control.
+  ASSERT_EQ(run.cap_times.size(), run.mode_values.size());
+  bool checked = false;
+  for (std::size_t i = 0; i < run.cap_times.size(); ++i) {
+    if (run.cap_times[i] == to_nanos(32.0)) {
+      EXPECT_EQ(run.mode_values[i], static_cast<double>(Mode::kDegraded));
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked) << "no tick recorded at t = 32 s";
+  EXPECT_GE(run.degraded_entries, 1U);
+
+  // After the faults clear the signal heals and the loop re-engages
+  // (hysteresis: three consecutive healthy ticks), and stays engaged.
+  EXPECT_GE(run.reengagements, 1U);
+  EXPECT_EQ(run.final_mode, Mode::kProgressTarget);
+
+  // Re-converged: the recovery tail tracks the progress target again.
+  const double target = 0.6 * lammps_params().r_max;
+  EXPECT_NEAR(run.late_rate, target, 0.20 * target);
+}
+
+TEST(Chaos, ScenarioIsBitReproducibleFromPlanSeed) {
+  const ChaosRun a = run_chaos_scenario();
+  const ChaosRun b = run_chaos_scenario();
+  EXPECT_EQ(a.cap_times, b.cap_times);
+  EXPECT_EQ(a.cap_values, b.cap_values);
+  EXPECT_EQ(a.mode_values, b.mode_values);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.link_stats, b.link_stats);
+  EXPECT_EQ(a.msr_stats, b.msr_stats);
+  EXPECT_EQ(a.degraded_entries, b.degraded_entries);
+  EXPECT_EQ(a.reengagements, b.reengagements);
+  EXPECT_DOUBLE_EQ(a.late_rate, b.late_rate);
+}
+
+// Classifier accuracy: run one application into two monitors — one over
+// a clean link, one over a link with scripted outages and random drops.
+// Every window the lossy monitor saw as zero while the clean monitor saw
+// progress was emptied by injected loss, and must be labelled kDropped.
+// The clean monitor must never label kDropped.
+TEST(Chaos, ClassifierSeparatesDroppedFromTrueZero) {
+  std::istringstream is(
+      "seed 99\n"
+      "link 0 inf  drop 0.2\n"
+      "link 5 8    outage\n"
+      "link 12 16  outage\n"
+      "link 20 22  outage\n");
+  const fault::FaultPlan plan = fault::FaultPlan::parse(is);
+
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+
+  progress::Monitor clean(rig.broker().make_sub(), "lammps", rig.time());
+  auto injector = std::make_shared<fault::LinkFaultInjector>(plan);
+  msgbus::LinkOptions link;
+  link.fault = injector;
+  progress::Monitor lossy(rig.broker().make_sub(link), "lammps", rig.time());
+
+  rig.engine().every(kNanosPerSecond, [&](Nanos) {
+    clean.poll();
+    lossy.poll();
+  });
+  rig.engine().run_for(to_nanos(30.0));
+
+  // Ground truth: windows zeroed on the lossy link while the clean link
+  // proved the application was progressing.
+  const auto& clean_v = clean.verdicts();
+  const auto& lossy_v = lossy.verdicts();
+  ASSERT_FALSE(lossy_v.empty());
+  std::uint64_t injected_zero = 0;
+  std::uint64_t labelled_dropped = 0;
+  for (const auto& v : lossy_v) {
+    if (v.rate != 0.0) {
+      continue;
+    }
+    for (const auto& c : clean_v) {
+      if (c.start == v.start && c.rate > 0.0) {
+        ++injected_zero;
+        if (v.label == progress::WindowLabel::kDropped) {
+          ++labelled_dropped;
+        }
+        break;
+      }
+    }
+  }
+  // The three outages (3 s + 4 s + 2 s) must have emptied several
+  // windows, and >= 90 % of them must carry the kDropped label.
+  ASSERT_GE(injected_zero, 5U);
+  EXPECT_GE(static_cast<double>(labelled_dropped),
+            0.9 * static_cast<double>(injected_zero));
+
+  // Zero false positives on the clean link.
+  EXPECT_EQ(clean.classifier().dropped_windows(), 0U);
+  for (const auto& v : clean_v) {
+    EXPECT_NE(v.label, progress::WindowLabel::kDropped);
+  }
+}
+
+// Daemon backoff: a certain-EIO episode on the package-energy register
+// makes every power read in [5 s, 9 s) fail.  With a 1.5 s initial
+// backoff the daemon alternates attempt/skip through the episode, then
+// recovers cleanly — and never stops recording its cap series.
+TEST(Chaos, DaemonBacksOffThroughEioStreakAndRecovers) {
+  std::istringstream is(
+      "seed 7\n"
+      "msr 5 9 read_fail 1.0 reg 0x611\n");
+  const fault::FaultPlan plan = fault::FaultPlan::parse(is);
+
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  fault::MsrFaultInjector injector(plan, rig.time());
+  injector.install(rig.node().msr());
+
+  policy::DaemonConfig config;
+  config.backoff_initial = msec(1500);
+  config.backoff_max = 2 * kNanosPerSecond;
+  policy::PowerPolicyDaemon daemon(
+      rig.rapl(), rig.time(),
+      std::make_unique<policy::ConstantCap>(90.0, 2.0), 0, config);
+  daemon.attach(rig.engine());
+  rig.engine().run_for(to_nanos(12.0));
+  rig.node().msr().set_fault_hook({});  // injector dies before the rig
+
+  // Ticks at 5 s and 7 s fail (EIO certain); 6 s and 8 s land inside
+  // the 1.5 s / 2 s backoff windows and are skipped; 9 s succeeds.
+  EXPECT_EQ(daemon.read_failures(), 2U);
+  EXPECT_EQ(daemon.backoff_skips(), 2U);
+  EXPECT_EQ(daemon.recoveries(), 1U);
+  EXPECT_EQ(daemon.consecutive_failures(), 0U);
+  EXPECT_FALSE(daemon.backing_off());
+
+  // The cap survived the streak and the series never lost a tick.
+  EXPECT_EQ(daemon.ticks(), 12U);
+  EXPECT_EQ(daemon.cap_series().size(), 12U);
+  ASSERT_TRUE(daemon.current_cap().has_value());
+  EXPECT_DOUBLE_EQ(*daemon.current_cap(), 90.0);
+  EXPECT_NEAR(rig.package().firmware().limit().pl1.power, 90.0, 0.125);
+}
+
+// Watchdog: ticks driven by hand with a stalled interval in the middle.
+TEST(Chaos, DaemonWatchdogCountsMissedIntervals) {
+  exp::SimRig rig;
+  policy::PowerPolicyDaemon daemon(
+      rig.rapl(), rig.time(), std::make_unique<policy::UncappedSchedule>());
+  daemon.set_tick_interval(kNanosPerSecond);
+
+  rig.engine().run_for(kNanosPerSecond);
+  daemon.tick();
+  rig.engine().run_for(kNanosPerSecond);
+  daemon.tick();
+  EXPECT_EQ(daemon.missed_ticks(), 0U);
+
+  // The timer loop wedges for 3.5 s: two whole intervals went missing.
+  rig.engine().run_for(to_nanos(3.5));
+  daemon.tick();
+  EXPECT_EQ(daemon.missed_ticks(), 2U);
+
+  // Back on cadence: no further counts.
+  rig.engine().run_for(kNanosPerSecond);
+  daemon.tick();
+  EXPECT_EQ(daemon.missed_ticks(), 2U);
+}
+
+}  // namespace
+}  // namespace procap

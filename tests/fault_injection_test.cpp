@@ -1,0 +1,372 @@
+// Unit tests for the fault-injection framework: FaultPlan parsing, the
+// link fault injector (drop / duplicate / corrupt / truncate / outage /
+// jitter reordering), the MSR fault injector (transient EIO, stuck
+// registers), and RAPL energy wraparound correctness under injected read
+// failures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/injectors.hpp"
+#include "fault/plan.hpp"
+#include "msgbus/bus.hpp"
+#include "msr/addresses.hpp"
+#include "msr/emulated.hpp"
+#include "rapl/rapl.hpp"
+#include "util/time.hpp"
+
+namespace procap::fault {
+namespace {
+
+// ---------------------------------------------------------------- plan --
+
+TEST(FaultPlan, ParsesFullScenario) {
+  std::istringstream is(
+      "# chaos scenario\n"
+      "seed 42\n"
+      "link 10 20 drop 0.3 delay 0.05 jitter 0.02\n"
+      "link 30 32 outage\n"
+      "link 0 inf duplicate 0.05 corrupt 0.01 truncate 0.01\n"
+      "msr 40 45 read_fail 0.5 write_fail 0.2\n"
+      "msr 50 60 stuck 0x610\n"
+      "msr 70 80 read_fail 1.0 reg 0x611 reg 0x610\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  EXPECT_EQ(plan.seed, 42U);
+  ASSERT_EQ(plan.link.size(), 3U);
+  EXPECT_EQ(plan.link[0].start, to_nanos(10.0));
+  EXPECT_EQ(plan.link[0].end, to_nanos(20.0));
+  EXPECT_DOUBLE_EQ(plan.link[0].drop, 0.3);
+  EXPECT_EQ(plan.link[0].delay, to_nanos(0.05));
+  EXPECT_EQ(plan.link[0].jitter, to_nanos(0.02));
+  EXPECT_TRUE(plan.link[1].outage);
+  EXPECT_EQ(plan.link[2].end, kForever);
+  EXPECT_DOUBLE_EQ(plan.link[2].duplicate, 0.05);
+  ASSERT_EQ(plan.msr.size(), 3U);
+  EXPECT_DOUBLE_EQ(plan.msr[0].read_fail, 0.5);
+  EXPECT_DOUBLE_EQ(plan.msr[0].write_fail, 0.2);
+  EXPECT_TRUE(plan.msr[0].affects(0x123));  // unscoped
+  EXPECT_TRUE(plan.msr[1].stuck);
+  ASSERT_EQ(plan.msr[1].regs.size(), 1U);
+  EXPECT_EQ(plan.msr[1].regs[0], 0x610U);
+  EXPECT_TRUE(plan.msr[2].affects(0x611));
+  EXPECT_FALSE(plan.msr[2].affects(0x123));  // scoped by 'reg'
+}
+
+TEST(FaultPlan, EmptyInputYieldsEmptyPlan) {
+  std::istringstream is("\n# only comments\n\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  const std::vector<std::string> bad = {
+      "link 5 2 drop 0.5",       // end before start
+      "link 0 10 drop 1.5",      // probability out of range
+      "link 0 10 frobnicate",    // unknown link fault
+      "link 0",                  // missing end time
+      "msr 0 10 stuck zz",       // bad register
+      "msr 0 10 read_fail",      // missing value
+      "teleport 0 10",           // unknown directive
+      "seed banana",             // bad seed
+  };
+  for (const std::string& text : bad) {
+    std::istringstream is(text);
+    EXPECT_THROW((void)FaultPlan::parse(is), std::invalid_argument)
+        << "accepted: " << text;
+  }
+}
+
+TEST(FaultPlan, RoundTripsThroughParse) {
+  std::istringstream a("seed 7\nlink 1 2 drop 0.25\nmsr 3 4 stuck 0x611\n");
+  std::istringstream b("seed 7\nlink 1 2 drop 0.25\nmsr 3 4 stuck 0x611\n");
+  EXPECT_EQ(FaultPlan::parse(a), FaultPlan::parse(b));
+}
+
+// ------------------------------------------------------- link injector --
+
+FaultPlan make_link_plan(const std::string& episode_line) {
+  std::istringstream is("seed 99\n" + episode_line + "\n");
+  return FaultPlan::parse(is);
+}
+
+struct LinkRig {
+  explicit LinkRig(const FaultPlan& plan)
+      : broker(clock), injector(std::make_shared<LinkFaultInjector>(plan)) {
+    msgbus::LinkOptions opts;
+    opts.fault = injector;
+    sub = broker.make_sub(opts);
+    sub->subscribe("t/");
+    pub = broker.make_pub();
+  }
+
+  ManualTimeSource clock;
+  msgbus::Broker broker;
+  std::shared_ptr<LinkFaultInjector> injector;
+  std::shared_ptr<msgbus::SubSocket> sub;
+  std::shared_ptr<msgbus::PubSocket> pub;
+};
+
+TEST(LinkFaultInjectorTest, CertainDropDiscardsEverything) {
+  LinkRig rig(make_link_plan("link 0 inf drop 1.0"));
+  for (int i = 0; i < 10; ++i) {
+    rig.pub->publish("t/x", "payload");
+  }
+  EXPECT_FALSE(rig.sub->try_recv().has_value());
+  EXPECT_EQ(rig.sub->dropped(), 10U);
+  EXPECT_EQ(rig.injector->stats().dropped, 10U);
+  EXPECT_EQ(rig.injector->stats().outage_dropped, 0U);
+}
+
+TEST(LinkFaultInjectorTest, OutageDropsOnlyInsideWindow) {
+  LinkRig rig(make_link_plan("link 1 2 outage"));
+  rig.pub->publish("t/x", "before");  // t = 0
+  rig.clock.advance(to_nanos(1.5));
+  rig.pub->publish("t/x", "during");
+  rig.clock.advance(to_nanos(1.0));  // t = 2.5
+  rig.pub->publish("t/x", "after");
+
+  std::vector<std::string> got;
+  while (auto msg = rig.sub->try_recv()) {
+    got.push_back(msg->payload);
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"before", "after"}));
+  EXPECT_EQ(rig.injector->stats().outage_dropped, 1U);
+  EXPECT_EQ(rig.injector->stats().dropped, 1U);
+}
+
+TEST(LinkFaultInjectorTest, CertainDuplicationDeliversTwice) {
+  LinkRig rig(make_link_plan("link 0 inf duplicate 1.0"));
+  rig.pub->publish("t/x", "one");
+  int copies = 0;
+  while (auto msg = rig.sub->try_recv()) {
+    EXPECT_EQ(msg->payload, "one");
+    ++copies;
+  }
+  EXPECT_EQ(copies, 2);
+  EXPECT_EQ(rig.sub->duplicated(), 1U);
+  EXPECT_EQ(rig.injector->stats().duplicated, 1U);
+}
+
+TEST(LinkFaultInjectorTest, CorruptionMutatesPayloadInFlight) {
+  LinkRig rig(make_link_plan("link 0 inf corrupt 1.0"));
+  const std::string original = "0123456789";
+  rig.pub->publish("t/x", original);
+  const auto msg = rig.sub->try_recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload.size(), original.size());
+  EXPECT_NE(msg->payload, original);  // xor mask is never zero
+  EXPECT_EQ(rig.injector->stats().corrupted, 1U);
+}
+
+TEST(LinkFaultInjectorTest, TruncationShortensPayload) {
+  LinkRig rig(make_link_plan("link 0 inf truncate 1.0"));
+  const std::string original = "0123456789";
+  rig.pub->publish("t/x", original);
+  const auto msg = rig.sub->try_recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_LT(msg->payload.size(), original.size());
+  EXPECT_EQ(rig.injector->stats().truncated, 1U);
+}
+
+TEST(LinkFaultInjectorTest, JitterDelaysAndReordersDeliveries) {
+  // 0.2 s of jitter across messages published 10 ms apart: some later
+  // messages must overtake earlier ones (deterministic for a fixed seed).
+  LinkRig rig(make_link_plan("link 0 inf delay 0.01 jitter 0.2"));
+  constexpr int kCount = 30;
+  for (int i = 0; i < kCount; ++i) {
+    rig.pub->publish("t/x", std::to_string(i));
+    rig.clock.advance(msec(10));
+  }
+  rig.clock.advance(to_nanos(1.0));  // past every possible deliver_at
+
+  std::vector<int> order;
+  while (auto msg = rig.sub->try_recv()) {
+    order.push_back(std::stoi(msg->payload));
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kCount));  // none lost
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));   // reordered
+  EXPECT_EQ(rig.injector->stats().delayed, static_cast<std::uint64_t>(kCount));
+}
+
+TEST(LinkFaultInjectorTest, SameSeedSameFaultSequence) {
+  const FaultPlan plan =
+      make_link_plan("link 0 inf drop 0.4 duplicate 0.2 corrupt 0.1");
+  auto run = [&plan] {
+    LinkRig rig(plan);
+    std::vector<std::string> got;
+    for (int i = 0; i < 200; ++i) {
+      rig.pub->publish("t/x", "m" + std::to_string(i));
+    }
+    while (auto msg = rig.sub->try_recv()) {
+      got.push_back(msg->payload);
+    }
+    return std::make_pair(got, rig.injector->stats());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second.dropped, 0U);
+  EXPECT_GT(a.second.duplicated, 0U);
+}
+
+TEST(LinkFaultInjectorTest, DifferentSeedsDiverge) {
+  auto run = [](std::uint64_t seed) {
+    std::istringstream is("seed " + std::to_string(seed) +
+                          "\nlink 0 inf drop 0.5\n");
+    const FaultPlan plan = FaultPlan::parse(is);
+    LinkRig rig(plan);
+    std::vector<std::string> got;
+    for (int i = 0; i < 100; ++i) {
+      rig.pub->publish("t/x", std::to_string(i));
+    }
+    while (auto msg = rig.sub->try_recv()) {
+      got.push_back(msg->payload);
+    }
+    return got;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+// -------------------------------------------------------- msr injector --
+
+TEST(MsrFaultInjectorTest, CertainReadFailureThrowsEio) {
+  std::istringstream is("msr 0 inf read_fail 1.0\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  ManualTimeSource clock;
+  MsrFaultInjector injector(plan, clock);
+  msr::EmulatedMsr dev(1);
+  dev.define(0x611, 7);
+  injector.install(dev);
+
+  EXPECT_THROW((void)dev.read(0, 0x611), msr::MsrError);
+  EXPECT_EQ(injector.stats().read_failures, 1U);
+  EXPECT_EQ(dev.faulted_accesses(), 1U);
+  // Writes are unaffected by read_fail.
+  dev.write(0, 0x611, 9);
+  EXPECT_EQ(dev.peek(0, 0x611), 9U);
+}
+
+TEST(MsrFaultInjectorTest, StuckRegisterSwallowsWritesInWindow) {
+  std::istringstream is("msr 1 2 stuck 0x610\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  ManualTimeSource clock;
+  MsrFaultInjector injector(plan, clock);
+  msr::EmulatedMsr dev(1);
+  dev.define(0x610, 100);
+  dev.define(0x611, 0);
+  injector.install(dev);
+
+  dev.write(0, 0x610, 200);  // t = 0: before the episode
+  EXPECT_EQ(dev.peek(0, 0x610), 200U);
+
+  clock.advance(to_nanos(1.5));       // inside [1, 2)
+  dev.write(0, 0x610, 300);           // silently swallowed
+  EXPECT_EQ(dev.peek(0, 0x610), 200U);
+  EXPECT_EQ(dev.read(0, 0x610), 200U);  // reads still work
+  dev.write(0, 0x611, 42);              // other registers unaffected
+  EXPECT_EQ(dev.peek(0, 0x611), 42U);
+  EXPECT_EQ(injector.stats().dropped_writes, 1U);
+  EXPECT_EQ(dev.dropped_writes(), 1U);
+
+  clock.advance(to_nanos(1.0));  // t = 2.5: episode over
+  dev.write(0, 0x610, 400);
+  EXPECT_EQ(dev.peek(0, 0x610), 400U);
+}
+
+TEST(MsrFaultInjectorTest, RegScopingLimitsFailures) {
+  std::istringstream is("msr 0 inf read_fail 1.0 reg 0x611\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  ManualTimeSource clock;
+  MsrFaultInjector injector(plan, clock);
+  msr::EmulatedMsr dev(1);
+  dev.define(0x610, 1);
+  dev.define(0x611, 2);
+  injector.install(dev);
+
+  EXPECT_EQ(dev.read(0, 0x610), 1U);  // unscoped register unaffected
+  EXPECT_THROW((void)dev.read(0, 0x611), msr::MsrError);
+}
+
+// ------------------------------------------- wraparound under failures --
+
+class WrapUnderEioTest : public ::testing::Test {
+ protected:
+  WrapUnderEioTest() : dev_(1) {
+    dev_.define(msr::kMsrRaplPowerUnit, rapl::RaplUnits::encode(3, 14, 10));
+    dev_.define(msr::kMsrPkgEnergyStatus, 0);
+    dev_.define(msr::kMsrPkgPowerLimit, 0);
+    dev_.define(msr::kIa32PerfCtl, 0);
+    dev_.define(msr::kIa32PerfStatus, 0);
+    dev_.define(msr::kIa32ClockModulation, 0);
+    dev_.define(msr::kMsrDramEnergyStatus, 0);
+    dev_.define(msr::kMsrDramPowerLimit, 0);
+  }
+
+  msr::EmulatedMsr dev_;
+  ManualTimeSource clock_;
+};
+
+TEST_F(WrapUnderEioTest, RetryAfterEioCountsWrapOnce) {
+  rapl::RaplInterface rapl(dev_, clock_);  // primes at raw counter 0
+
+  // Move the counter close to the 32-bit wrap point and sample it.
+  dev_.poke(0, msr::kMsrPkgEnergyStatus, 0xFFFFFF00U);
+  const Joules before = rapl.pkg_energy();
+  EXPECT_EQ(rapl.pkg_energy_wraps(), 0U);
+
+  // Energy reads fail with EIO over [1, 2) s.
+  std::istringstream is("msr 1 2 read_fail 1.0 reg 0x611\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  MsrFaultInjector injector(plan, clock_);
+  injector.install(dev_);
+
+  // The counter wraps while reads are failing.
+  clock_.advance(to_nanos(1.5));
+  dev_.poke(0, msr::kMsrPkgEnergyStatus, 0x00000100U);
+  EXPECT_THROW((void)rapl.pkg_energy(), msr::MsrError);
+  EXPECT_THROW((void)rapl.pkg_energy(), msr::MsrError);
+  // Failed reads never touched the accumulator.
+  EXPECT_EQ(rapl.pkg_energy_wraps(), 0U);
+
+  // Retry after the episode: exactly one wrap, and the energy delta is
+  // the true modular distance — not double-counted by the retries.
+  clock_.advance(to_nanos(1.0));
+  const Joules after = rapl.pkg_energy();
+  EXPECT_EQ(rapl.pkg_energy_wraps(), 1U);
+  const double unit = rapl.units().energy_unit;
+  const double expected_delta =
+      (static_cast<double>(0x100000000ULL) - 0xFFFFFF00U + 0x100U) * unit;
+  EXPECT_NEAR(after - before, expected_delta, 1e-9);
+
+  // A further read without counter movement adds nothing.
+  EXPECT_NEAR(rapl.pkg_energy() - after, 0.0, 1e-12);
+  EXPECT_EQ(rapl.pkg_energy_wraps(), 1U);
+}
+
+TEST_F(WrapUnderEioTest, PowerMeterSpansFailureGap) {
+  rapl::RaplInterface rapl(dev_, clock_);
+  const double unit = rapl.units().energy_unit;
+  (void)rapl.pkg_power();  // prime
+
+  std::istringstream is("msr 1 2 read_fail 1.0 reg 0x611\n");
+  const FaultPlan plan = FaultPlan::parse(is);
+  MsrFaultInjector injector(plan, clock_);
+  injector.install(dev_);
+
+  clock_.advance(to_nanos(1.5));
+  EXPECT_THROW((void)rapl.pkg_power(), msr::MsrError);
+
+  // 200 J consumed over the full 4 s window -> 50 W average, with the
+  // failed read contributing neither a sample nor a timestamp.
+  clock_.advance(to_nanos(2.5));
+  dev_.poke(0, msr::kMsrPkgEnergyStatus,
+            static_cast<std::uint64_t>(200.0 / unit));
+  EXPECT_NEAR(rapl.pkg_power(), 50.0, 0.1);
+}
+
+}  // namespace
+}  // namespace procap::fault

@@ -124,6 +124,71 @@ TEST_F(HubTest, MalformedAndForeignTopicsCounted) {
   EXPECT_EQ(hub.samples(), 0U);
 }
 
+TEST_F(HubTest, UnknownAppDistinctFromIdleApp) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  Reporter idle(broker_.make_pub(), {"idle", "u"});
+  clock_.advance(to_nanos(0.2));
+  idle.report(1.0);  // one sample, then silence
+  clock_.advance(to_nanos(2.8));
+  hub.poll();
+
+  // Known app reading zero: rate_of() is engaged and zero.
+  ASSERT_TRUE(hub.rate_of("idle").has_value());
+  EXPECT_DOUBLE_EQ(*hub.rate_of("idle"), 0.0);
+  EXPECT_TRUE(hub.has_rate("idle"));
+  EXPECT_DOUBLE_EQ(hub.current_rate("idle"), 0.0);
+
+  // Unknown app: no value at all, not a zero.
+  EXPECT_FALSE(hub.rate_of("ghost").has_value());
+  EXPECT_FALSE(hub.has_rate("ghost"));
+  EXPECT_DOUBLE_EQ(hub.current_rate("ghost"), 0.0);  // legacy conflation
+}
+
+TEST_F(HubTest, HealthAndStalenessPerApp) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  Reporter app(broker_.make_pub(), {"app", "u"});
+  // Steady 100 ms cadence teaches the tracker a heartbeat.
+  for (int i = 0; i < 20; ++i) {
+    clock_.advance(msec(100));
+    app.report(1.0);
+  }
+  hub.poll();
+  EXPECT_EQ(hub.health("app"), SignalHealth::kHealthy);
+  ASSERT_TRUE(hub.staleness("app").has_value());
+  EXPECT_EQ(*hub.staleness("app"), 0);
+  ASSERT_NE(hub.tracker("app"), nullptr);
+  ASSERT_NE(hub.classifier("app"), nullptr);
+
+  // Silence long past the learned cadence degrades, then loses, the feed.
+  clock_.advance(to_nanos(10.0));
+  EXPECT_EQ(hub.health("app"), SignalHealth::kLost);
+  EXPECT_EQ(*hub.staleness("app"), to_nanos(10.0));
+
+  // An application that never published has no staleness and grades
+  // lost — no feed at all is the definition of a lost signal.
+  EXPECT_EQ(hub.health("ghost"), SignalHealth::kLost);
+  EXPECT_FALSE(hub.staleness("ghost").has_value());
+  EXPECT_EQ(hub.tracker("ghost"), nullptr);
+  EXPECT_EQ(hub.classifier("ghost"), nullptr);
+}
+
+TEST_F(HubTest, MalformedPayloadsAttributedPerApp) {
+  MonitorHub hub(broker_.make_sub(), clock_);
+  Reporter good(broker_.make_pub(), {"good", "u"});
+  auto pub = broker_.make_pub();
+  clock_.advance(to_nanos(0.1));
+  good.report(1.0);
+  hub.poll();  // "good" is now a known app
+  pub->publish("progress/good", "garbage");
+  pub->publish("progress/good", "more garbage");
+  pub->publish("progress/", "nameless garbage");
+  hub.poll();
+  EXPECT_EQ(hub.malformed(), 3U);
+  EXPECT_EQ(hub.malformed_of("good"), 2U);
+  EXPECT_EQ(hub.malformed_of("ghost"), 0U);
+  EXPECT_EQ(hub.samples(), 1U);
+}
+
 TEST_F(HubTest, TracksTwoSimulatedAppsOnOnePackage) {
   exp::SimRig rig;
   const auto lammps = apps::lammps();

@@ -29,6 +29,7 @@
 
 #include "apps/specfile.hpp"
 #include "exp/measure.hpp"
+#include "fault/plan.hpp"
 #include "policy/schemes.hpp"
 #include "util/table.hpp"
 
@@ -48,6 +49,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::string csv_prefix;
   std::string spec_path;
+  std::string fault_plan_path;
 };
 
 void usage() {
@@ -58,6 +60,7 @@ void usage() {
          "[--period S] [--delay S]\n"
          "                    [--duration S] [--seed N] [--csv PREFIX]\n"
          "                    [--spec FILE]   (workload spec instead of --app)\n"
+         "                    [--fault-plan FILE]  (scripted link/MSR faults)\n"
          "apps: ";
   for (const auto& name : apps::suite_names()) {
     std::cerr << name << " ";
@@ -94,6 +97,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.csv_prefix = value;
     } else if (arg == "--spec" && (value = next())) {
       opt.spec_path = value;
+    } else if (arg == "--fault-plan" && (value = next())) {
+      opt.fault_plan_path = value;
     } else {
       usage();
       return false;
@@ -163,11 +168,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::cout << "power-policy: " << opt.app << " under '" << opt.scheme
-            << "' for " << opt.duration << " s (simulated node)\n";
+  fault::FaultPlan fault_plan;
   exp::RunOptions run_options;
   run_options.duration = opt.duration;
   run_options.seed = opt.seed;
+  if (!opt.fault_plan_path.empty()) {
+    try {
+      fault_plan = fault::FaultPlan::load(opt.fault_plan_path);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    run_options.fault_plan = &fault_plan;
+  }
+
+  std::cout << "power-policy: " << opt.app << " under '" << opt.scheme
+            << "' for " << opt.duration << " s (simulated node)\n";
   const auto traces =
       exp::run_under_schedule(app, std::move(schedule), run_options);
 
@@ -186,6 +202,30 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "total progress: " << num(traces.total_progress, 0) << " "
             << app.spec.unit << "\n";
+
+  if (!opt.fault_plan_path.empty()) {
+    const auto& lf = traces.link_faults;
+    const auto& mf = traces.msr_faults;
+    std::cout << "fault injection: dropped " << lf.dropped << " (outage "
+              << lf.outage_dropped << "), duplicated " << lf.duplicated
+              << ", corrupted " << lf.corrupted << ", truncated "
+              << lf.truncated << ", delayed " << lf.delayed
+              << "; msr EIO reads " << mf.read_failures << ", EIO writes "
+              << mf.write_failures << ", stuck writes " << mf.dropped_writes
+              << "\n";
+    std::uint64_t progress_w = 0, dropped_w = 0, true_zero_w = 0, pending_w = 0;
+    for (const auto& v : traces.verdicts) {
+      switch (v.label) {
+        case progress::WindowLabel::kProgress: ++progress_w; break;
+        case progress::WindowLabel::kDropped: ++dropped_w; break;
+        case progress::WindowLabel::kTrueZero: ++true_zero_w; break;
+        case progress::WindowLabel::kPending: ++pending_w; break;
+      }
+    }
+    std::cout << "zero-window classification: " << progress_w << " progress, "
+              << dropped_w << " dropped, " << true_zero_w << " true-zero, "
+              << pending_w << " pending\n";
+  }
 
   if (!opt.csv_prefix.empty()) {
     dump_csv(opt.csv_prefix + "_cap.csv", traces.cap);
