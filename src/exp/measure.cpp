@@ -53,6 +53,10 @@ RunTraces run_under_schedule(const apps::AppModel& app,
                             rig.time());
   policy::PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
                                    std::move(schedule));
+  if (options.trace) {
+    daemon.set_trace(options.trace);
+    monitor.set_trace(options.trace);
+  }
   daemon.attach(rig.engine());
   rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
 
@@ -76,6 +80,7 @@ RunTraces run_under_schedule(const apps::AppModel& app,
   traces.total_progress = sim_app.total_progress();
   traces.app_finished = sim_app.done();
   traces.verdicts = monitor.verdicts();
+  traces.health = monitor.health_report();
   if (link_injector) {
     traces.link_faults = link_injector->stats();
   }

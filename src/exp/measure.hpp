@@ -19,6 +19,7 @@
 #include "fault/injectors.hpp"
 #include "fault/plan.hpp"
 #include "msgbus/bus.hpp"
+#include "obs/trace.hpp"
 #include "policy/schemes.hpp"
 #include "progress/health.hpp"
 #include "util/series.hpp"
@@ -40,6 +41,8 @@ struct RunTraces {
   /// Fault-injection tallies (all zero when no fault plan was active).
   fault::LinkFaultStats link_faults;
   fault::MsrFaultStats msr_faults;
+  /// End-of-run signal-health snapshot from the monitor.
+  progress::HealthReport health;
 
   /// Mean progress rate over windows in [from, to) seconds.
   [[nodiscard]] double mean_rate(Seconds from, Seconds to) const;
@@ -63,6 +66,10 @@ struct RunOptions {
   /// link, MSR faults are installed on the node's emulated MSR device.
   /// Must outlive the call.  nullptr = no injection.
   const fault::FaultPlan* fault_plan = nullptr;
+  /// Span collector wired through the daemon and monitor, recording cap
+  /// changes, actuations, ticks and progress windows (and therefore the
+  /// cap-to-effect flow).  Must outlive the call.  nullptr = no tracing.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Run `app` under `schedule` and record traces.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace procap::msgbus {
 
 SubSocket::SubSocket(const Broker* broker, LinkOptions opts)
@@ -20,6 +22,9 @@ void SubSocket::unsubscribe(const std::string& prefix) {
 }
 
 void SubSocket::offer(const Message& msg) {
+  PROCAP_OBS_COUNTER(dropped_total, "bus.dropped");
+  PROCAP_OBS_COUNTER(delivered_total, "bus.delivered");
+  PROCAP_OBS_COUNTER(duplicated_total, "bus.duplicated");
   const std::lock_guard<std::mutex> lock(mutex_);
   const bool matches =
       std::any_of(filters_.begin(), filters_.end(), [&](const std::string& f) {
@@ -31,23 +36,28 @@ void SubSocket::offer(const Message& msg) {
   if (opts_.drop_probability > 0.0 &&
       drop_rng_.uniform() < opts_.drop_probability) {
     ++dropped_;
+    dropped_total.inc();
     return;
   }
   if (!opts_.fault) {
     enqueue(msg, msg.timestamp + opts_.latency);
+    delivered_total.inc();
     return;
   }
   Message mutated = msg;
   const LinkFault::Action action = opts_.fault->apply(mutated, broker_->now());
   if (action.drop) {
     ++dropped_;
+    dropped_total.inc();
     return;
   }
   const Nanos deliver_at = msg.timestamp + opts_.latency + action.extra_delay;
   for (unsigned copy = 0; copy < std::max(1u, action.copies); ++copy) {
     enqueue(mutated, deliver_at);
+    delivered_total.inc();
   }
   duplicated_ += std::max(1u, action.copies) - 1;
+  duplicated_total.inc(std::max(1u, action.copies) - 1);
 }
 
 void SubSocket::enqueue(const Message& msg, Nanos deliver_at) {
@@ -85,6 +95,8 @@ std::uint64_t SubSocket::duplicated() const {
 }
 
 void PubSocket::publish(const std::string& topic, const std::string& payload) {
+  PROCAP_OBS_COUNTER(published_total, "bus.published");
+  published_total.inc();
   ++published_;
   broker_->route(topic, payload);
 }
@@ -106,6 +118,8 @@ std::uint64_t Broker::routed() const {
 }
 
 void Broker::route(const std::string& topic, const std::string& payload) {
+  PROCAP_OBS_COUNTER(routed_total, "bus.routed");
+  routed_total.inc();
   Message msg{topic, payload, time_.now()};
   const std::lock_guard<std::mutex> lock(mutex_);
   ++routed_;

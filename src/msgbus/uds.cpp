@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace procap::msgbus {
@@ -132,6 +133,8 @@ void UdsPublisher::accept_loop() {
 
 void UdsPublisher::publish(const std::string& topic,
                            const std::string& payload) {
+  PROCAP_OBS_COUNTER(published_total, "uds.published");
+  published_total.inc();
   const FrameHeader header{static_cast<std::uint32_t>(topic.size()),
                            static_cast<std::uint32_t>(payload.size()),
                            time_.now()};
@@ -196,6 +199,7 @@ void UdsSubscriber::subscribe(const std::string& prefix) {
 }
 
 void UdsSubscriber::read_frames(int fd) {
+  PROCAP_OBS_COUNTER(frames_total, "uds.frames");
   for (;;) {
     FrameHeader header{};
     if (!recv_all(fd, &header, sizeof(header))) {
@@ -213,6 +217,7 @@ void UdsSubscriber::read_frames(int fd) {
         !recv_all(fd, msg.payload.data(), msg.payload.size())) {
       break;
     }
+    frames_total.inc();
     const std::lock_guard<std::mutex> lock(mutex_);
     const bool matches = std::any_of(
         filters_.begin(), filters_.end(),
@@ -239,6 +244,8 @@ bool UdsSubscriber::reconnect_with_backoff() {
       fd_ = fd;
       connected_.store(true);
       reconnects_.fetch_add(1);
+      PROCAP_OBS_COUNTER(reconnects_total, "uds.reconnects");
+      reconnects_total.inc();
       return true;
     }
     // Sleep the backoff in small chunks so destruction stays prompt.

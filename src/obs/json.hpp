@@ -1,0 +1,58 @@
+// json.hpp — minimal JSON parser for the observability artifacts.
+//
+// procap emits Chrome trace-event JSON and JSONL event dumps; this is the
+// matching in-repo reader, so `obs_report` and `analyze` can consume the
+// same artifacts the daemon writes, and tests can validate the exporters
+// without an external dependency.  It is a strict recursive-descent
+// parser over the full JSON grammar (RFC 8259 minus \uXXXX surrogate
+// pairs, which our exporters never emit: non-ASCII is escaped as-is to
+// \u00xx by the writer).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace procap::obs::json {
+
+/// One parsed JSON value (tree-owning).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered object members.
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Typed member access with defaults (missing/mistyped → default).
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string fallback) const;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+/// Throws std::invalid_argument with a byte offset on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// True iff `text` parses as a single JSON document.
+[[nodiscard]] bool valid(std::string_view text);
+
+/// Escape a string for embedding in JSON output (quotes not included).
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace procap::obs::json

@@ -1,0 +1,291 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace procap::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), cells_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be ascending");
+    }
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!detail::enabled()) {
+    return;
+  }
+  // Linear scan: bucket lists are short (≤ ~20) and the branch pattern is
+  // predictable for clustered observations; binary search buys nothing.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) {
+    ++i;
+  }
+  cells_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j <= std::min(i, bounds_.size()); ++j) {
+    total += cells_[j].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const std::uint64_t cell = cells_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cum + cell) >= target) {
+      // Interpolate within [lo, hi); the +Inf bucket reports its lower
+      // edge (no finite upper bound to interpolate toward).
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i == bounds_.size() || cell == 0) {
+        return lo;
+      }
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(cell);
+      return lo + frac * (bounds_[i] - lo);
+    }
+    cum += cell;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& cell : cells_) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> latency_buckets_ns() {
+  // 1 µs .. 10 s, roughly 1-2.5-5 per decade: covers daemon tick wall
+  // cost (µs) through cap-to-effect latency (s) in one edge set.
+  return {1e3,  2.5e3, 5e3,  1e4,  2.5e4, 5e4,  1e5,  2.5e5, 5e5,
+          1e6,  2.5e6, 5e6,  1e7,  2.5e7, 5e7,  1e8,  2.5e8, 5e8,
+          1e9,  2.5e9, 5e9,  1e10};
+}
+
+std::vector<double> seconds_buckets() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+}
+
+struct Registry::Entry {
+  std::string name;
+  std::string labels;
+  int type;  // 0 counter, 1 gauge, 2 histogram
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const std::string& labels,
+                                          int type) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) {
+      if (entry->type != type) {
+        throw std::invalid_argument("Registry: '" + name +
+                                    "' already registered with another type");
+      }
+      return *entry;
+    }
+  }
+  entries_.push_back(std::make_unique<Entry>());
+  Entry& entry = *entries_.back();
+  entry.name = name;
+  entry.labels = labels;
+  entry.type = type;
+  return entry;
+}
+
+Counter& Registry::counter(const std::string& name,
+                           const std::string& labels) {
+  Entry& entry = find_or_create(name, labels, 0);
+  if (!entry.counter) {
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  Entry& entry = find_or_create(name, labels, 1);
+  if (!entry.gauge) {
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& labels) {
+  Entry& entry = find_or_create(name, labels, 2);
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; dots become
+/// underscores and everything gets the procap_ prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "procap_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string with_labels(const std::string& name, const std::string& labels,
+                        const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) {
+    return name;
+  }
+  std::string out = name + "{" + labels;
+  if (!labels.empty() && !extra.empty()) {
+    out += ",";
+  }
+  out += extra + "}";
+  return out;
+}
+
+void write_double(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string last_typed;
+  for (const auto& entry : entries_) {
+    const std::string pname = prometheus_name(entry->name);
+    const char* type = entry->type == 0   ? "counter"
+                       : entry->type == 1 ? "gauge"
+                                          : "histogram";
+    if (pname != last_typed) {
+      os << "# TYPE " << pname << " " << type << "\n";
+      last_typed = pname;
+    }
+    switch (entry->type) {
+      case 0:
+        os << with_labels(pname, entry->labels) << " "
+           << entry->counter->value() << "\n";
+        break;
+      case 1: {
+        os << with_labels(pname, entry->labels) << " ";
+        write_double(os, entry->gauge->value());
+        os << "\n";
+        break;
+      }
+      default: {
+        const Histogram& h = *entry->histogram;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          os << with_labels(pname + "_bucket", entry->labels,
+                            "le=\"" + std::to_string(h.bounds()[i]) + "\"")
+             << " " << h.cumulative(i) << "\n";
+        }
+        os << with_labels(pname + "_bucket", entry->labels, "le=\"+Inf\"")
+           << " " << h.count() << "\n";
+        os << with_labels(pname + "_sum", entry->labels) << " ";
+        write_double(os, h.sum());
+        os << "\n";
+        os << with_labels(pname + "_count", entry->labels) << " " << h.count()
+           << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->type) {
+      case 0:
+        entry->counter->reset();
+        break;
+      case 1:
+        entry->gauge->reset();
+        break;
+      default:
+        entry->histogram->reset();
+        break;
+    }
+  }
+}
+
+std::vector<std::string> Registry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.push_back(entry->labels.empty()
+                      ? entry->name
+                      : entry->name + "{" + entry->labels + "}");
+  }
+  return out;
+}
+
+double Registry::self_cost_ns() {
+  // Micro-benchmark one enabled increment; min of a few rounds rejects
+  // scheduler noise.  ~µs total, safe to call at export time.
+  static Counter probe;
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  double best = 1e18;
+  constexpr int kRounds = 5;
+  constexpr int kIters = 20000;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      probe.inc();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        kIters;
+    best = std::min(best, ns);
+  }
+  set_enabled(was_enabled);
+  return best;
+}
+
+}  // namespace procap::obs

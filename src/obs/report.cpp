@@ -1,0 +1,251 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace procap::obs {
+
+double TraceReport::self_overhead_us() const {
+  const auto it = meta.find("self_ns_per_event");
+  if (it == meta.end()) {
+    return 0.0;
+  }
+  const double per_event = std::atof(it->second.c_str());
+  return per_event * static_cast<double>(events) / 1e3;
+}
+
+TraceReport summarize_chrome_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("obs_report: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const json::Value root = json::parse(buffer.str());
+
+  const json::Value* events = root.find("traceEvents");
+  if (!events || !events->is_array()) {
+    throw std::invalid_argument("obs_report: " + path +
+                                ": no traceEvents array");
+  }
+
+  TraceReport report;
+  double min_ts = 1e300;
+  double max_ts = -1e300;
+  // NRM occupancy: integrate time between consecutive mode events; the
+  // first event's "from" mode covers the span from trace start.
+  struct ModeEdge {
+    double ts_us;
+    std::string from, to;
+  };
+  std::vector<ModeEdge> mode_edges;
+
+  for (const json::Value& ev : events->array) {
+    if (!ev.is_object()) {
+      throw std::invalid_argument("obs_report: non-object trace event");
+    }
+    const std::string ph = ev.string_or("ph", "");
+    if (ph == "M") {
+      continue;  // metadata (thread names)
+    }
+    ++report.events;
+    const std::string name = ev.string_or("name", "");
+    const double ts_us = ev.number_or("ts", 0.0);
+    min_ts = std::min(min_ts, ts_us);
+    max_ts = std::max(max_ts, ts_us + ev.number_or("dur", 0.0));
+    const json::Value* args = ev.find("args");
+
+    if (name == "daemon.tick") {
+      ++report.daemon_ticks;
+      if (args) {
+        report.tick_wall_ns.push_back(args->number_or("wall_ns", 0.0));
+      }
+    } else if (name == "cap.change") {
+      ++report.cap_changes;
+    } else if (name == "rapl.actuate") {
+      ++report.actuations;
+      if (args && args->find("ok") && !args->find("ok")->boolean) {
+        ++report.failed_actuations;
+      }
+    } else if (name == "cap.effect") {
+      if (args) {
+        report.cap_effect_s.push_back(args->number_or("latency_ns", 0.0) /
+                                      1e9);
+      }
+    } else if (name == "progress.window") {
+      if (args) {
+        ++report.windows_by_app[args->string_or("app", "?")];
+      }
+    } else if (name == "nrm.mode") {
+      ++report.mode_changes;
+      if (args) {
+        mode_edges.push_back(ModeEdge{ts_us, args->string_or("from", "?"),
+                                      args->string_or("to", "?")});
+      }
+    }
+  }
+
+  if (report.events > 0) {
+    report.start_s = min_ts / 1e6;
+    report.end_s = max_ts / 1e6;
+  }
+
+  std::sort(mode_edges.begin(), mode_edges.end(),
+            [](const ModeEdge& a, const ModeEdge& b) { return a.ts_us < b.ts_us; });
+  double prev_us = min_ts;
+  std::string current;
+  for (const ModeEdge& edge : mode_edges) {
+    if (current.empty()) {
+      current = edge.from;
+    }
+    report.mode_occupancy_s[current] += (edge.ts_us - prev_us) / 1e6;
+    prev_us = edge.ts_us;
+    current = edge.to;
+  }
+  if (!current.empty()) {
+    report.mode_occupancy_s[current] += (max_ts - prev_us) / 1e6;
+  }
+
+  const json::Value* other = root.find("otherData");
+  if (other && other->is_object()) {
+    for (const auto& [key, value] : other->object) {
+      if (value.is_string()) {
+        report.meta[key] = value.string;
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+/// Fixed-width text histogram over [min, max] in `bins` equal buckets.
+void text_histogram(std::ostream& os, const std::vector<double>& v,
+                    const char* unit, double scale) {
+  if (v.empty()) {
+    os << "  (no samples)\n";
+    return;
+  }
+  const double lo = *std::min_element(v.begin(), v.end()) * scale;
+  const double hi = *std::max_element(v.begin(), v.end()) * scale;
+  constexpr int kBins = 8;
+  constexpr int kBarWidth = 40;
+  std::vector<std::uint64_t> bins(kBins, 0);
+  const double width = hi > lo ? (hi - lo) / kBins : 1.0;
+  for (const double x : v) {
+    auto bin = static_cast<int>((x * scale - lo) / width);
+    bins[std::clamp(bin, 0, kBins - 1)] += 1;
+  }
+  const std::uint64_t peak = *std::max_element(bins.begin(), bins.end());
+  for (int i = 0; i < kBins; ++i) {
+    char label[64];
+    std::snprintf(label, sizeof label, "  [%8.3f, %8.3f) %s |", lo + i * width,
+                  lo + (i + 1) * width, unit);
+    os << label;
+    const auto bar =
+        static_cast<int>(bins[i] * kBarWidth / std::max<std::uint64_t>(peak, 1));
+    for (int j = 0; j < bar; ++j) {
+      os << '#';
+    }
+    os << " " << bins[i] << "\n";
+  }
+}
+
+void stats_line(std::ostream& os, const char* what,
+                const std::vector<double>& v, const char* unit,
+                double scale) {
+  if (v.empty()) {
+    os << what << ": no samples\n";
+    return;
+  }
+  const double mean =
+      std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s: n=%zu  mean=%.3f  p50=%.3f  p95=%.3f  max=%.3f %s\n",
+                what, v.size(), mean * scale, percentile(v, 0.5) * scale,
+                percentile(v, 0.95) * scale,
+                *std::max_element(v.begin(), v.end()) * scale, unit);
+  os << buf;
+}
+
+}  // namespace
+
+void print_report(const TraceReport& report, std::ostream& os) {
+  os << "trace: " << report.events << " events over "
+     << report.end_s - report.start_s << " s ([" << report.start_s << ", "
+     << report.end_s << "] s)\n";
+  for (const auto& [key, value] : report.meta) {
+    if (key != "self_ns_per_event") {
+      os << "  " << key << ": " << value << "\n";
+    }
+  }
+
+  os << "\ncontrol loop: " << report.daemon_ticks << " daemon ticks, "
+     << report.cap_changes << " cap changes, " << report.actuations
+     << " actuations (" << report.failed_actuations << " failed)\n";
+  stats_line(os, "tick wall latency", report.tick_wall_ns, "us", 1e-3);
+  text_histogram(os, report.tick_wall_ns, "us", 1e-3);
+
+  os << "\ncap-to-effect latency (cap change -> first reflecting progress "
+        "window):\n";
+  stats_line(os, "latency", report.cap_effect_s, "s", 1.0);
+  text_histogram(os, report.cap_effect_s, "s ", 1.0);
+
+  if (!report.mode_occupancy_s.empty()) {
+    os << "\nnrm mode occupancy (" << report.mode_changes
+       << " transitions):\n";
+    double total = 0.0;
+    for (const auto& [mode, seconds] : report.mode_occupancy_s) {
+      total += seconds;
+    }
+    for (const auto& [mode, seconds] : report.mode_occupancy_s) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "  %-16s %8.2f s  (%.1f%%)\n",
+                    mode.c_str(), seconds,
+                    total > 0 ? 100.0 * seconds / total : 0.0);
+      os << buf;
+    }
+  }
+
+  if (!report.windows_by_app.empty()) {
+    os << "\nprogress windows:\n";
+    for (const auto& [app, count] : report.windows_by_app) {
+      os << "  " << app << ": " << count << "\n";
+    }
+  }
+
+  const double overhead = report.self_overhead_us();
+  if (overhead > 0.0) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "\nobserver self-overhead: ~%.1f us total (%s ns/event x "
+                  "%llu events)\n",
+                  overhead, report.meta.at("self_ns_per_event").c_str(),
+                  static_cast<unsigned long long>(report.events));
+    os << buf;
+  }
+}
+
+}  // namespace procap::obs

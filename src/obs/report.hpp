@@ -1,0 +1,65 @@
+// report.hpp — offline summary of a recorded Chrome trace.
+//
+// The reading side of the observability pipeline: load the trace-event
+// JSON a `power_policy --trace-out` run emitted, and reduce it to the
+// numbers the paper's methodology needs — tick-latency distribution,
+// actuation counts, the cap-to-effect latency histogram (from the flow
+// events), degraded-mode occupancy, per-app window/health totals, and
+// the tracer's own measured overhead.  tools/obs_report prints it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::obs {
+
+/// Everything obs_report prints about one trace.
+struct TraceReport {
+  std::uint64_t events = 0;
+
+  // Control loop.
+  std::uint64_t daemon_ticks = 0;
+  std::vector<double> tick_wall_ns;  ///< per-tick daemon wall cost
+
+  // Actuation.
+  std::uint64_t cap_changes = 0;
+  std::uint64_t actuations = 0;
+  std::uint64_t failed_actuations = 0;
+
+  // Cap-to-effect flows (seconds, one per closed flow).
+  std::vector<double> cap_effect_s;
+
+  // NRM mode occupancy (seconds in each mode, integrated between mode
+  // events; empty when the trace has no NRM).
+  std::map<std::string, double> mode_occupancy_s;
+  std::uint64_t mode_changes = 0;
+
+  // Progress windows per application.
+  std::map<std::string, std::uint64_t> windows_by_app;
+
+  // Timeline extent.
+  Seconds start_s = 0.0;
+  Seconds end_s = 0.0;
+
+  // Run metadata (otherData), including exporter-stamped self-overhead.
+  std::map<std::string, std::string> meta;
+
+  /// Tracer self-overhead estimate: events × measured ns/event, from the
+  /// "self_ns_per_event" meta key; 0 when the exporter did not stamp it.
+  [[nodiscard]] double self_overhead_us() const;
+};
+
+/// Parse and reduce a Chrome trace-event file (as written by
+/// TraceCollector::write_chrome).  Throws std::runtime_error on
+/// unreadable files, std::invalid_argument on malformed JSON.
+[[nodiscard]] TraceReport summarize_chrome_trace(const std::string& path);
+
+/// Print a human-readable summary with text histograms.
+void print_report(const TraceReport& report, std::ostream& os);
+
+}  // namespace procap::obs

@@ -1,0 +1,316 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace procap::obs {
+
+void TraceCollector::cap_change(Nanos ts, std::optional<double> from,
+                                std::optional<double> to,
+                                const std::string& scheme) {
+  PROCAP_OBS_COUNTER(changes, "obs.trace.cap_changes");
+  changes.inc();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kCapChange;
+  ev.ts = ts;
+  ev.a = from.value_or(0.0);
+  ev.b = to.value_or(0.0);
+  ev.flow = next_flow_++;
+  ev.s1 = scheme;
+  // A still-pending (never-actuated) flow from a failed write is
+  // superseded by this retry; keep at most one un-actuated flow open.
+  std::erase_if(open_flows_, [](const OpenFlow& f) { return !f.actuated; });
+  open_flows_.push_back(OpenFlow{ev.flow, ts, false});
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::actuation(Nanos ts, const std::string& op, double watts,
+                               bool ok) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kActuation;
+  ev.ts = ts;
+  ev.b = watts;
+  ev.ok = ok;
+  ev.s1 = op;
+  for (auto& flow : open_flows_) {
+    if (!flow.actuated) {
+      if (ok) {
+        flow.actuated = true;
+        ev.flow = flow.id;
+      }
+      break;
+    }
+  }
+  if (!ok) {
+    std::erase_if(open_flows_, [](const OpenFlow& f) { return !f.actuated; });
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::daemon_tick(Nanos ts, double wall_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kDaemonTick;
+  ev.ts = ts;
+  ev.a = wall_ns;
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::progress_window(Nanos start, Nanos end, double rate,
+                                     const std::string& app) {
+  PROCAP_OBS_HISTOGRAM(latency_hist, "obs.cap_to_effect_ns",
+                       latency_buckets_ns());
+  std::vector<Nanos> closed;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kProgressWindow;
+    ev.ts = start;
+    ev.ts_end = end;
+    ev.a = rate;
+    ev.s1 = app;
+    // The first window extending past an actuated cap change is the
+    // earliest moment the progress signal can reflect it.
+    for (auto it = open_flows_.begin(); it != open_flows_.end();) {
+      if (it->actuated && it->change_ts < end) {
+        const Nanos latency = end - it->change_ts;
+        TraceEvent effect;
+        effect.kind = TraceEvent::Kind::kCapEffect;
+        effect.ts = end;
+        effect.a = static_cast<double>(latency);
+        effect.flow = it->id;
+        effect.s1 = app;
+        latencies_.push_back(latency);
+        closed.push_back(latency);
+        if (ev.flow == 0) {
+          ev.flow = it->id;  // bind the window slice into the flow
+        }
+        events_.push_back(std::move(effect));
+        it = open_flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Insert the window before its cap.effect events chronologically?
+    // Both carry explicit timestamps; viewers sort by ts, so append
+    // order only needs to be stable, not sorted.
+    events_.push_back(std::move(ev));
+  }
+  for (const Nanos latency : closed) {
+    latency_hist.observe(static_cast<double>(latency));
+  }
+}
+
+void TraceCollector::mode_change(Nanos ts, const std::string& from,
+                                 const std::string& to,
+                                 const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kModeChange;
+  ev.ts = ts;
+  ev.s1 = from;
+  ev.s2 = to;
+  ev.s3 = reason;
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::mark(Nanos ts, const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kMark;
+  ev.ts = ts;
+  ev.s1 = name;
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::set_meta(const std::string& key,
+                              const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  meta_[key] = value;
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceCollector::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<Nanos> TraceCollector::cap_effect_latencies() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return latencies_;
+}
+
+namespace {
+
+/// Microsecond timestamp for Chrome's "ts" field.
+std::string us(Nanos ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// One Chrome trace event line.  `extra` is appended raw inside the
+/// object (already JSON, leading comma included by caller convention).
+void chrome_event(std::ostream& os, bool& first, const std::string& name,
+                  const char* cat, const char* ph, Nanos ts, int tid,
+                  const std::string& extra) {
+  os << (first ? "\n  " : ",\n  ");
+  first = false;
+  os << "{\"name\":\"" << json::escape(name) << "\",\"cat\":\"" << cat
+     << "\",\"ph\":\"" << ph << "\",\"ts\":" << us(ts)
+     << ",\"pid\":1,\"tid\":" << tid << extra << "}";
+}
+
+constexpr int kDaemonTid = 1;
+constexpr int kMonitorTid = 2;
+constexpr int kNrmTid = 3;
+
+}  // namespace
+
+void TraceCollector::write_chrome(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Track names so Perfetto shows daemon / monitor / nrm lanes.
+  for (const auto& [tid, label] :
+       {std::pair<int, const char*>{kDaemonTid, "daemon"},
+        {kMonitorTid, "monitor"},
+        {kNrmTid, "nrm"}}) {
+    os << (first ? "\n  " : ",\n  ");
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << label << "\"}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    switch (ev.kind) {
+      case TraceEvent::Kind::kCapChange: {
+        chrome_event(os, first, "cap.change", "policy", "X", ev.ts, kDaemonTid,
+                     ",\"dur\":0,\"args\":{\"from_w\":" + num(ev.a) +
+                         ",\"to_w\":" + num(ev.b) + ",\"scheme\":\"" +
+                         json::escape(ev.s1) + "\"}");
+        if (ev.flow != 0) {
+          chrome_event(os, first, "cap-to-effect", "flow", "s", ev.ts,
+                       kDaemonTid, ",\"id\":" + std::to_string(ev.flow));
+        }
+        break;
+      }
+      case TraceEvent::Kind::kActuation: {
+        chrome_event(os, first, "rapl.actuate", "rapl", "X", ev.ts, kDaemonTid,
+                     ",\"dur\":0,\"args\":{\"op\":\"" + json::escape(ev.s1) +
+                         "\",\"watts\":" + num(ev.b) + ",\"ok\":" +
+                         (ev.ok ? "true" : "false") + "}");
+        if (ev.flow != 0) {
+          chrome_event(os, first, "cap-to-effect", "flow", "t", ev.ts,
+                       kDaemonTid, ",\"id\":" + std::to_string(ev.flow));
+        }
+        break;
+      }
+      case TraceEvent::Kind::kDaemonTick:
+        chrome_event(os, first, "daemon.tick", "policy", "X", ev.ts,
+                     kDaemonTid,
+                     ",\"dur\":0,\"args\":{\"wall_ns\":" + num(ev.a) + "}");
+        break;
+      case TraceEvent::Kind::kProgressWindow: {
+        chrome_event(os, first, "progress.window", "progress", "X", ev.ts,
+                     kMonitorTid,
+                     ",\"dur\":" + us(ev.ts_end - ev.ts) +
+                         ",\"args\":{\"rate\":" + num(ev.a) + ",\"app\":\"" +
+                         json::escape(ev.s1) + "\"}");
+        break;
+      }
+      case TraceEvent::Kind::kCapEffect: {
+        chrome_event(os, first, "cap.effect", "flow", "i", ev.ts, kMonitorTid,
+                     ",\"s\":\"t\",\"args\":{\"latency_ns\":" + num(ev.a) +
+                         ",\"app\":\"" + json::escape(ev.s1) + "\"}");
+        chrome_event(os, first, "cap-to-effect", "flow", "f", ev.ts,
+                     kMonitorTid,
+                     ",\"bp\":\"e\",\"id\":" + std::to_string(ev.flow));
+        break;
+      }
+      case TraceEvent::Kind::kModeChange:
+        chrome_event(os, first, "nrm.mode", "policy", "i", ev.ts, kNrmTid,
+                     ",\"s\":\"t\",\"args\":{\"from\":\"" +
+                         json::escape(ev.s1) + "\",\"to\":\"" +
+                         json::escape(ev.s2) + "\",\"reason\":\"" +
+                         json::escape(ev.s3) + "\"}");
+        break;
+      case TraceEvent::Kind::kMark:
+        chrome_event(os, first, ev.s1, "mark", "i", ev.ts, kDaemonTid,
+                     ",\"s\":\"t\"");
+        break;
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  bool first_meta = true;
+  for (const auto& [key, value] : meta_) {
+    os << (first_meta ? "" : ",");
+    first_meta = false;
+    os << "\"" << json::escape(key) << "\":\"" << json::escape(value) << "\"";
+  }
+  os << "}}\n";
+}
+
+void TraceCollector::write_jsonl(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, value] : meta_) {
+    os << "{\"kind\":\"meta\",\"key\":\"" << json::escape(key)
+       << "\",\"value\":\"" << json::escape(value) << "\"}\n";
+  }
+  for (const TraceEvent& ev : events_) {
+    const std::string t = num(to_seconds(ev.ts));
+    switch (ev.kind) {
+      case TraceEvent::Kind::kCapChange:
+        os << "{\"kind\":\"cap_change\",\"t_s\":" << t
+           << ",\"from_w\":" << num(ev.a) << ",\"to_w\":" << num(ev.b)
+           << ",\"scheme\":\"" << json::escape(ev.s1) << "\"}\n";
+        break;
+      case TraceEvent::Kind::kActuation:
+        os << "{\"kind\":\"actuation\",\"t_s\":" << t << ",\"op\":\""
+           << json::escape(ev.s1) << "\",\"watts\":" << num(ev.b)
+           << ",\"ok\":" << (ev.ok ? "true" : "false") << "}\n";
+        break;
+      case TraceEvent::Kind::kDaemonTick:
+        os << "{\"kind\":\"daemon_tick\",\"t_s\":" << t
+           << ",\"wall_ns\":" << num(ev.a) << "}\n";
+        break;
+      case TraceEvent::Kind::kProgressWindow:
+        os << "{\"kind\":\"progress_window\",\"t_s\":" << t
+           << ",\"end_s\":" << num(to_seconds(ev.ts_end))
+           << ",\"rate\":" << num(ev.a) << ",\"app\":\""
+           << json::escape(ev.s1) << "\"}\n";
+        break;
+      case TraceEvent::Kind::kCapEffect:
+        os << "{\"kind\":\"cap_effect\",\"t_s\":" << t
+           << ",\"latency_s\":" << num(ev.a / 1e9) << ",\"app\":\""
+           << json::escape(ev.s1) << "\"}\n";
+        break;
+      case TraceEvent::Kind::kModeChange:
+        os << "{\"kind\":\"mode\",\"t_s\":" << t << ",\"from\":\""
+           << json::escape(ev.s1) << "\",\"to\":\"" << json::escape(ev.s2)
+           << "\",\"reason\":\"" << json::escape(ev.s3) << "\"}\n";
+        break;
+      case TraceEvent::Kind::kMark:
+        os << "{\"kind\":\"mark\",\"t_s\":" << t << ",\"name\":\""
+           << json::escape(ev.s1) << "\"}\n";
+        break;
+    }
+  }
+}
+
+}  // namespace procap::obs

@@ -1,0 +1,129 @@
+// trace.hpp — control-loop span tracer for the cap→actuation→progress
+// pipeline.
+//
+// The paper's core question is one of timing and attribution: when did
+// the cap change, when did RAPL act, and when did the progress signal
+// move?  The TraceCollector records those moments as semantic events on
+// the *simulation/monotonic timeline* (all timestamps are caller-passed
+// Nanos from the run's TimeSource) and lowers them to two artifacts:
+//
+//   * Chrome trace-event JSON (write_chrome) — loadable in
+//     chrome://tracing / Perfetto.  Each cap change opens a *flow*: a
+//     "s" arrow at the cap.change slice, a "t" step at the rapl.actuate
+//     slice, and an "f" finish at the first progress.window slice whose
+//     interval extends past the actuation — so the cap-to-effect path is
+//     a visible arrow across the trace, and the latency distribution a
+//     measured quantity (cap.effect events, cap_effect_latencies()).
+//   * JSONL event dump (write_jsonl) — one JSON object per line, the
+//     same semantic events in a grep/stream-friendly form that
+//     tools/analyze accepts as a third input format.
+//
+// Recording is mutex-guarded: producers are the 1 Hz control loops
+// (daemon tick, monitor window close, NRM mode changes), so hot-path
+// cost is irrelevant here — the lock-free budget lives in metrics.hpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::obs {
+
+/// One semantic event on the pipeline timeline.
+struct TraceEvent {
+  enum class Kind {
+    kCapChange,       ///< daemon decided a new cap (a=from W, b=to W; 0=uncapped)
+    kActuation,       ///< RAPL write attempted (s1=op, b=W, ok=result)
+    kDaemonTick,      ///< one daemon cycle (a=wall-clock cost ns)
+    kProgressWindow,  ///< closed monitor window (ts..ts_end, a=rate, s1=app)
+    kCapEffect,       ///< flow closed (a=latency ns, flow id links arrows)
+    kModeChange,      ///< NRM transition (s1=from, s2=to, s3=reason)
+    kMark,            ///< free-form instant (s1=name)
+  };
+
+  Kind kind;
+  Nanos ts = 0;
+  Nanos ts_end = 0;      ///< progress windows only
+  double a = 0.0;
+  double b = 0.0;
+  bool ok = true;
+  std::uint64_t flow = 0;  ///< nonzero links cap change → actuation → effect
+  std::string s1, s2, s3;
+};
+
+/// Collects pipeline events and exports Chrome-trace / JSONL artifacts.
+/// Thread-safe; timestamps are caller-provided (pass the run's
+/// TimeSource::now() so sim and wall-clock deployments both work).
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+
+  // -- Recording (called by instrumented components) -------------------
+
+  /// Daemon decided to change the cap; opens a flow.  `from`/`to` use
+  /// nullopt for uncapped.
+  void cap_change(Nanos ts, std::optional<double> from,
+                  std::optional<double> to, const std::string& scheme);
+
+  /// RAPL actuation attempt for the pending cap change.  A failed write
+  /// abandons the pending flow (the retry opens a fresh one).
+  void actuation(Nanos ts, const std::string& op, double watts, bool ok);
+
+  /// One daemon control cycle costing `wall_ns` of real time.
+  void daemon_tick(Nanos ts, double wall_ns);
+
+  /// A monitor window [start, end) closed at `rate` for `app`.  Closes
+  /// every open cap flow whose actuation precedes `end`, emitting a
+  /// cap.effect event with latency end - change_ts per flow.
+  void progress_window(Nanos start, Nanos end, double rate,
+                       const std::string& app);
+
+  /// NRM mode transition.
+  void mode_change(Nanos ts, const std::string& from, const std::string& to,
+                   const std::string& reason);
+
+  /// Free-form instant marker.
+  void mark(Nanos ts, const std::string& name);
+
+  /// Attach run metadata (app, scheme, self-overhead…) exported into the
+  /// Chrome trace's otherData and a JSONL meta line.
+  void set_meta(const std::string& key, const std::string& value);
+
+  // -- Introspection ----------------------------------------------------
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Measured cap-to-effect latencies (ns), one per closed flow.
+  [[nodiscard]] std::vector<Nanos> cap_effect_latencies() const;
+
+  // -- Export ------------------------------------------------------------
+
+  /// Chrome trace-event JSON ({"traceEvents": [...], "otherData": {...}}).
+  void write_chrome(std::ostream& os) const;
+
+  /// JSONL: one event object per line, meta lines first.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  struct OpenFlow {
+    std::uint64_t id = 0;
+    Nanos change_ts = 0;
+    bool actuated = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<OpenFlow> open_flows_;
+  std::vector<Nanos> latencies_;
+  std::map<std::string, std::string> meta_;
+  std::uint64_t next_flow_ = 1;
+};
+
+}  // namespace procap::obs

@@ -1,9 +1,11 @@
 #include "policy/daemon.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "msr/device.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace procap::policy {
@@ -51,6 +53,18 @@ void PowerPolicyDaemon::note_failure(Nanos now) {
 }
 
 void PowerPolicyDaemon::tick() {
+  PROCAP_OBS_COUNTER(ticks_total, "daemon.ticks");
+  PROCAP_OBS_COUNTER(read_failures_total, "daemon.read_failures");
+  PROCAP_OBS_COUNTER(write_failures_total, "daemon.write_failures");
+  PROCAP_OBS_COUNTER(backoff_skips_total, "daemon.backoff_skips");
+  PROCAP_OBS_COUNTER(cap_changes_total, "daemon.cap_changes");
+  PROCAP_OBS_HISTOGRAM(tick_wall, "daemon.tick_wall_ns",
+                       ::procap::obs::latency_buckets_ns());
+  // Wall-clock (not sim-time) cost of this control cycle; recorded in the
+  // histogram and on the trace span so the run artifact carries the
+  // daemon's own latency distribution.
+  const auto wall_start = std::chrono::steady_clock::now();
+  ticks_total.inc();
   const Nanos now = time_->now();
   // Watchdog: count intervals the timer loop failed to deliver.
   if (interval_ > 0 && last_tick_ >= 0) {
@@ -67,7 +81,16 @@ void PowerPolicyDaemon::tick() {
   // series continuous so plots do not show holes.
   if (retry_at_ > 0 && now < retry_at_) {
     ++backoff_skips_;
+    backoff_skips_total.inc();
     caps_.add(now, applied_.value_or(0.0));
+    const double wall_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    tick_wall.observe(wall_ns);
+    if (trace_ != nullptr) {
+      trace_->daemon_tick(now, wall_ns);
+    }
     return;
   }
 
@@ -77,6 +100,7 @@ void PowerPolicyDaemon::tick() {
     power_.add(now, measured);
   } catch (const msr::MsrError& e) {
     ++read_failures_;
+    read_failures_total.inc();
     failed = true;
     PROCAP_DEBUG << "power-policy: power read failed: " << e.what();
   }
@@ -84,6 +108,14 @@ void PowerPolicyDaemon::tick() {
   const Seconds elapsed = to_seconds(now - start_);
   const std::optional<Watts> want = schedule_->cap_at(elapsed);
   if (!failed && want != applied_) {
+    cap_changes_total.inc();
+    if (trace_ != nullptr) {
+      trace_->cap_change(now,
+                         applied_ ? std::optional<double>(*applied_)
+                                  : std::nullopt,
+                         want ? std::optional<double>(*want) : std::nullopt,
+                         schedule_->name());
+    }
     try {
       if (want) {
         // 40 ms averaging window: long enough to ride out application-level
@@ -96,10 +128,19 @@ void PowerPolicyDaemon::tick() {
         PROCAP_DEBUG << "power-policy: uncapped (" << schedule_->name() << ")";
       }
       applied_ = want;
+      if (trace_ != nullptr) {
+        trace_->actuation(time_->now(), want ? "set_cap" : "clear_cap",
+                          want.value_or(0.0), /*ok=*/true);
+      }
     } catch (const msr::MsrError& e) {
       ++write_failures_;
+      write_failures_total.inc();
       failed = true;
       PROCAP_DEBUG << "power-policy: cap write failed: " << e.what();
+      if (trace_ != nullptr) {
+        trace_->actuation(time_->now(), want ? "set_cap" : "clear_cap",
+                          want.value_or(0.0), /*ok=*/false);
+      }
     }
   }
   caps_.add(now, applied_.value_or(0.0));
@@ -111,6 +152,15 @@ void PowerPolicyDaemon::tick() {
     consecutive_failures_ = 0;
     retry_at_ = 0;
     PROCAP_DEBUG << "power-policy: RAPL recovered";
+  }
+
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  tick_wall.observe(wall_ns);
+  if (trace_ != nullptr) {
+    trace_->daemon_tick(now, wall_ns);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "policy/schemes.hpp"
 #include "rapl/rapl.hpp"
 #include "sim/engine.hpp"
@@ -63,6 +64,11 @@ class PowerPolicyDaemon {
   /// Tell the watchdog the expected tick cadence without attach() — for
   /// deployments driving tick() from their own timer loop.
   void set_tick_interval(Nanos interval) { interval_ = interval; }
+
+  /// Attach a span collector; cap changes, actuations and tick spans are
+  /// recorded there.  Pass nullptr to detach; `trace` must outlive the
+  /// daemon while attached.
+  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
 
   /// Cap currently applied (nullopt while uncapped).
   [[nodiscard]] std::optional<Watts> current_cap() const { return applied_; }
@@ -128,6 +134,7 @@ class PowerPolicyDaemon {
   Nanos interval_ = 0;  // 0 until attach()
   Nanos last_tick_ = -1;
   std::uint64_t missed_ticks_ = 0;
+  obs::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace procap::policy

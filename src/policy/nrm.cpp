@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "msr/device.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace procap::policy {
@@ -52,6 +53,8 @@ void NodeResourceManager::apply(std::optional<Watts> cap) {
     // Transient EIO: keep the old record so the next tick's apply()
     // naturally retries the actuation.
     ++failed_actuations_;
+    PROCAP_OBS_COUNTER(failed_total, "nrm.failed_actuations");
+    failed_total.inc();
     PROCAP_DEBUG << "nrm: actuation failed: " << e.what();
     return;
   }
@@ -62,7 +65,15 @@ void NodeResourceManager::transition(Mode to, std::string reason) {
   if (to == mode_) {
     return;
   }
+  PROCAP_OBS_COUNTER(transitions_total, "nrm.transitions");
+  PROCAP_OBS_GAUGE(mode_gauge, "nrm.mode");
+  transitions_total.inc();
+  mode_gauge.set(static_cast<double>(static_cast<int>(to)));
   events_.push_back(ModeEvent{time_->now(), mode_, to, reason});
+  if (trace_ != nullptr) {
+    trace_->mode_change(time_->now(), to_string(mode_), to_string(to),
+                        reason);
+  }
   PROCAP_INFO << "nrm: " << to_string(mode_) << " -> " << to_string(to)
               << " (" << reason << ")";
   mode_ = to;
@@ -118,6 +129,8 @@ void NodeResourceManager::tick() {
       transition(Mode::kDegraded,
                  std::string("progress signal ") + to_string(health));
       ++degraded_entries_;
+      PROCAP_OBS_COUNTER(degraded_total, "nrm.degraded_entries");
+      degraded_total.inc();
       healthy_ticks_ = 0;
       if (cap_) {
         apply(cap_);  // re-clamped to the node budget by apply()
@@ -142,6 +155,8 @@ void NodeResourceManager::tick() {
         // trust the loop again.
         transition(Mode::kProgressTarget, "progress signal recovered");
         ++reengagements_;
+        PROCAP_OBS_COUNTER(reengage_total, "nrm.reengagements");
+        reengage_total.inc();
         healthy_ticks_ = 0;
       }
     } else {

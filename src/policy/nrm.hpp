@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "model/progress_model.hpp"
+#include "obs/trace.hpp"
 #include "progress/monitor.hpp"
 #include "rapl/rapl.hpp"
 #include "sim/engine.hpp"
@@ -98,6 +99,10 @@ class NodeResourceManager {
   /// Register with the engine at `interval`.
   void attach(sim::Engine& engine, Nanos interval = kNanosPerSecond);
 
+  /// Attach a span collector; mode transitions are recorded there.  Pass
+  /// nullptr to detach; `trace` must outlive the manager while attached.
+  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
+
   /// Cap currently applied (nullopt = uncapped).
   [[nodiscard]] std::optional<Watts> current_cap() const { return cap_; }
 
@@ -157,6 +162,7 @@ class NodeResourceManager {
   TimeSeries rates_;
   TimeSeries modes_;
   std::vector<ModeEvent> events_;
+  obs::TraceCollector* trace_ = nullptr;
 };
 
 [[nodiscard]] const char* to_string(NodeResourceManager::Mode mode);

@@ -113,6 +113,18 @@ SignalHealth HealthTracker::health(Nanos now) const {
   return SignalHealth::kHealthy;
 }
 
+HealthReport HealthTracker::report(Nanos now) const {
+  HealthReport r;
+  r.grade = health(now);
+  r.staleness = staleness(now);
+  r.expected_cadence = expected_cadence();
+  r.samples = samples_;
+  r.missing = missing_;
+  r.reordered = reordered_;
+  r.open_gaps = gaps_.size();
+  return r;
+}
+
 bool HealthTracker::lossy_in(Nanos t0, Nanos t1) const {
   for (const Gap& gap : gaps_) {
     if (gap.count > 0 && gap.start < t1 && gap.end > t0) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/units.hpp"
@@ -34,6 +35,28 @@ namespace procap::progress {
 enum class SignalHealth { kHealthy, kDegraded, kLost };
 
 [[nodiscard]] const char* to_string(SignalHealth health);
+
+/// Snapshot of one application's signal health, with per-app totals that
+/// tools (power_policy, obs_report) print directly.  The tracker fills
+/// the signal half (HealthTracker::report); the owning monitor adds the
+/// app name and its classifier's window-label totals.
+struct HealthReport {
+  std::string app;
+  SignalHealth grade = SignalHealth::kHealthy;
+  Nanos staleness = 0;
+  Nanos expected_cadence = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t open_gaps = 0;
+  // Window-label totals from the zero-window classifier.
+  std::uint64_t progress_windows = 0;
+  std::uint64_t true_zero_windows = 0;
+  std::uint64_t dropped_windows = 0;
+  std::uint64_t pending_windows = 0;
+
+  friend bool operator==(const HealthReport&, const HealthReport&) = default;
+};
 
 /// Tuning for staleness grading.
 struct HealthConfig {
@@ -95,6 +118,10 @@ class HealthTracker {
 
   /// Time of the newest sample (start time if none arrived).
   [[nodiscard]] Nanos last_sample_time() const { return last_time_; }
+
+  /// Snapshot the signal half of a HealthReport at time `now` (app name
+  /// and window totals are the owning monitor's to fill).
+  [[nodiscard]] HealthReport report(Nanos now) const;
 
   [[nodiscard]] const HealthConfig& config() const { return config_; }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "progress/sample.hpp"
 
 namespace procap::progress {
@@ -28,12 +29,15 @@ MonitorHub::MonitorHub(std::shared_ptr<msgbus::SubSocket> sub,
 }
 
 void MonitorHub::poll() {
+  PROCAP_OBS_COUNTER(samples_total, "hub.samples");
+  PROCAP_OBS_COUNTER(malformed_total, "hub.malformed");
   const std::size_t prefix_len = std::string(kPrefix).size();
   while (auto msg = sub_->try_recv()) {
     const bool has_app = msg->topic.size() > prefix_len;
     const auto sample = decode_sample(msg->payload);
     if (!sample || !has_app) {
       ++malformed_;
+      malformed_total.inc();
       // Attribute the bad payload to its app when the topic names one we
       // already know; a topic with no app name only counts hub-wide.
       if (has_app) {
@@ -45,6 +49,7 @@ void MonitorHub::poll() {
       continue;
     }
     ++samples_;
+    samples_total.inc();
     const std::string app = msg->topic.substr(prefix_len);
     auto it = apps_.find(app);
     if (it == apps_.end()) {
@@ -134,6 +139,21 @@ const ZeroWindowClassifier* MonitorHub::classifier(
 std::uint64_t MonitorHub::malformed_of(const std::string& app) const {
   const AppState* s = state(app);
   return s ? s->malformed : 0;
+}
+
+std::optional<HealthReport> MonitorHub::health_report(
+    const std::string& app) const {
+  const AppState* s = state(app);
+  if (!s) {
+    return std::nullopt;
+  }
+  HealthReport r = s->tracker.report(time_->now());
+  r.app = app;
+  r.progress_windows = s->classifier.progress_windows();
+  r.true_zero_windows = s->classifier.true_zero_windows();
+  r.dropped_windows = s->classifier.dropped_windows();
+  r.pending_windows = s->classifier.pending_windows();
+  return r;
 }
 
 }  // namespace procap::progress

@@ -85,6 +85,11 @@ class MonitorHub {
   /// topic carries no app name are counted only in the hub-wide total).
   [[nodiscard]] std::uint64_t malformed_of(const std::string& app) const;
 
+  /// Full health snapshot for `app` (signal grade + window-label totals);
+  /// std::nullopt if the app is unknown.
+  [[nodiscard]] std::optional<HealthReport> health_report(
+      const std::string& app) const;
+
  private:
   /// Per-application state.  Non-movable (the classifier holds a
   /// reference to the tracker); std::map node stability keeps the

@@ -2,12 +2,15 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace procap::progress {
 
 Monitor::Monitor(std::shared_ptr<msgbus::SubSocket> sub,
                  const std::string& app_name, const TimeSource& time_source,
                  Nanos window, HealthConfig health_config)
     : sub_(std::move(sub)),
+      app_name_(app_name),
       time_(&time_source),
       windower_(time_source.now(), window),
       tracker_(time_source.now(), health_config),
@@ -18,14 +21,44 @@ Monitor::Monitor(std::shared_ptr<msgbus::SubSocket> sub,
   sub_->subscribe(progress_topic(app_name));
 }
 
+void Monitor::publish_health_gauges() {
+#if !defined(PROCAP_OBS_DISABLED)
+  // Per-app instances of the health metrics, labelled by app name.  The
+  // registry returns stable references; bind once per monitor.
+  if (!obs::Registry::enabled()) {
+    return;
+  }
+  if (g_cadence_ == nullptr) {
+    auto& reg = obs::Registry::global();
+    const std::string labels = "app=\"" + app_name_ + "\"";
+    g_cadence_ = &reg.gauge("progress.health.cadence_ns", labels);
+    g_staleness_ = &reg.gauge("progress.health.staleness_ns", labels);
+    g_grade_ = &reg.gauge("progress.health.grade", labels);
+    g_missing_ = &reg.gauge("progress.health.missing", labels);
+    g_gaps_ = &reg.gauge("progress.health.open_gaps", labels);
+  }
+  const Nanos now = time_->now();
+  g_cadence_->set(static_cast<double>(tracker_.expected_cadence()));
+  g_staleness_->set(static_cast<double>(tracker_.staleness(now)));
+  g_grade_->set(static_cast<double>(static_cast<int>(tracker_.health(now))));
+  g_missing_->set(static_cast<double>(tracker_.missing()));
+  g_gaps_->set(static_cast<double>(tracker_.gaps().size()));
+#endif
+}
+
 void Monitor::poll() {
+  PROCAP_OBS_COUNTER(samples_total, "progress.samples");
+  PROCAP_OBS_COUNTER(malformed_total, "progress.malformed");
+  PROCAP_OBS_COUNTER(windows_total, "progress.windows");
   while (auto msg = sub_->try_recv()) {
     const auto sample = decode_sample(msg->payload);
     if (!sample) {
       ++malformed_;
+      malformed_total.inc();
       continue;
     }
     ++samples_;
+    samples_total.inc();
     tracker_.on_sample(msg->timestamp, sample->seq);
     // The windower closes windows up to the sample's own timestamp, so
     // late polls do not smear old samples into newer windows.
@@ -41,8 +74,24 @@ void Monitor::poll() {
   for (; classified_ < rates.size(); ++classified_) {
     const auto& s = rates.samples()[classified_];
     classifier_.on_window(s.t, s.t + windower_.window(), s.value);
+    windows_total.inc();
+    if (trace_ != nullptr) {
+      trace_->progress_window(s.t, s.t + windower_.window(), s.value,
+                              app_name_);
+    }
   }
   classifier_.resolve();
+  publish_health_gauges();
+}
+
+HealthReport Monitor::health_report() const {
+  HealthReport r = tracker_.report(time_->now());
+  r.app = app_name_;
+  r.progress_windows = classifier_.progress_windows();
+  r.true_zero_windows = classifier_.true_zero_windows();
+  r.dropped_windows = classifier_.dropped_windows();
+  r.pending_windows = classifier_.pending_windows();
+  return r;
 }
 
 }  // namespace procap::progress

@@ -27,8 +27,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "msgbus/bus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "progress/health.hpp"
 #include "progress/sample.hpp"
 #include "progress/windower.hpp"
@@ -111,8 +114,23 @@ class Monitor {
     return classifier_;
   }
 
+  /// Full health snapshot (signal grade + per-app window totals) for
+  /// tools to print.
+  [[nodiscard]] HealthReport health_report() const;
+
+  /// Attach a span collector; every closed window is recorded there
+  /// (closing cap-change flows → cap-to-effect latency).  Pass nullptr
+  /// to detach; `trace` must outlive the monitor while attached.
+  void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
+
+  /// Application name this monitor subscribes to.
+  [[nodiscard]] const std::string& app_name() const { return app_name_; }
+
  private:
+  void publish_health_gauges();
+
   std::shared_ptr<msgbus::SubSocket> sub_;
+  std::string app_name_;
   const TimeSource* time_;
   RateWindower windower_;
   HealthTracker tracker_;
@@ -121,6 +139,15 @@ class Monitor {
   std::uint64_t samples_ = 0;
   std::uint64_t malformed_ = 0;
   int last_phase_ = kNoPhase;
+  obs::TraceCollector* trace_ = nullptr;
+  // Per-app health gauges, bound lazily on first publish (the registry
+  // returns stable references; unused when instrumentation is compiled
+  // out).
+  obs::Gauge* g_cadence_ = nullptr;
+  obs::Gauge* g_staleness_ = nullptr;
+  obs::Gauge* g_grade_ = nullptr;
+  obs::Gauge* g_missing_ = nullptr;
+  obs::Gauge* g_gaps_ = nullptr;
 };
 
 }  // namespace procap::progress

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "msr/addresses.hpp"
+#include "obs/metrics.hpp"
 
 namespace procap::rapl {
 
@@ -83,9 +84,13 @@ const RaplUnits& RaplInterface::units(unsigned pkg) const {
 
 Joules RaplInterface::pkg_energy(unsigned pkg) {
   check_pkg(pkg);
+  PROCAP_OBS_COUNTER(reads_total, "rapl.energy_reads");
+  PROCAP_OBS_GAUGE(wraps_gauge, "rapl.energy_wraps");
   const auto raw = static_cast<std::uint32_t>(
       dev_.read(leaders_[pkg], msr::kMsrPkgEnergyStatus) & 0xFFFFFFFFULL);
+  reads_total.inc();
   state_[pkg].energy.sample(raw);
+  wraps_gauge.set(static_cast<double>(state_[pkg].energy.wraps()));
   return state_[pkg].energy.total();
 }
 
@@ -96,6 +101,8 @@ unsigned RaplInterface::pkg_energy_wraps(unsigned pkg) const {
 
 Watts RaplInterface::pkg_power(unsigned pkg) {
   check_pkg(pkg);
+  PROCAP_OBS_COUNTER(reads_total, "rapl.power_reads");
+  reads_total.inc();
   const Joules energy = pkg_energy(pkg);
   const Nanos now = time_.now();
   PackageState& st = state_[pkg];
@@ -181,6 +188,8 @@ void RaplInterface::set_pkg_cap(Watts cap, Seconds window, unsigned pkg) {
   limit.pl1.clamped = true;
   dev_.write(leaders_[pkg], msr::kMsrPkgPowerLimit,
              limit.encode(state_[pkg].units));
+  PROCAP_OBS_COUNTER(writes_total, "rapl.cap_writes");
+  writes_total.inc();
 }
 
 void RaplInterface::clear_pkg_cap(unsigned pkg) {
@@ -192,6 +201,8 @@ void RaplInterface::clear_pkg_cap(unsigned pkg) {
   limit.pl1.clamped = false;
   dev_.write(leaders_[pkg], msr::kMsrPkgPowerLimit,
              limit.encode(state_[pkg].units));
+  PROCAP_OBS_COUNTER(clears_total, "rapl.cap_clears");
+  clears_total.inc();
 }
 
 PkgPowerLimit RaplInterface::pkg_limit(unsigned pkg) {
@@ -205,6 +216,8 @@ void RaplInterface::set_frequency(Hertz f, unsigned pkg) {
   // Write the leader; the emulated package applies P-states package-wide,
   // matching the per-package frequency domains of the paper's Skylake.
   dev_.write(leaders_[pkg], msr::kIa32PerfCtl, encode_perf_ctl(f));
+  PROCAP_OBS_COUNTER(sets_total, "rapl.freq_sets");
+  sets_total.inc();
 }
 
 Hertz RaplInterface::frequency(unsigned pkg) {

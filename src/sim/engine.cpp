@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace procap::sim {
 
 Engine::Engine(Nanos dt) : dt_(dt) {
@@ -48,6 +50,7 @@ void Engine::tick() {
             cancelled_.end()) {
       continue;  // periodic event cancelled; drop without re-arming
     }
+    ++events_fired_;
     ev.fn(now);
     if (ev.period > 0) {
       events_.push(Event{ev.due + ev.period, next_seq_++, ev.id, ev.period,
@@ -61,6 +64,21 @@ void Engine::tick() {
   // 3. Advance time.
   clock_.advance(dt_);
   ++ticks_;
+  // The tick loop runs at ~MHz in simulation; per-tick atomic counter
+  // traffic would dominate it (the perf-labelled overhead test caught
+  // exactly that).  Batch into plain members and flush deltas rarely.
+  if ((ticks_ & (kObsFlushTicks - 1)) == 0) {
+    flush_obs();
+  }
+}
+
+void Engine::flush_obs() {
+  PROCAP_OBS_COUNTER(ticks_total, "sim.ticks");
+  PROCAP_OBS_COUNTER(events_total, "sim.events");
+  ticks_total.inc(ticks_ - obs_flushed_ticks_);
+  events_total.inc(events_fired_ - obs_flushed_events_);
+  obs_flushed_ticks_ = ticks_;
+  obs_flushed_events_ = events_fired_;
 }
 
 void Engine::run_for(Nanos duration) {
@@ -68,17 +86,21 @@ void Engine::run_for(Nanos duration) {
   while (clock_.now() < end) {
     tick();
   }
+  flush_obs();
 }
 
 bool Engine::run_until(const std::function<bool()>& stop, Nanos max_duration) {
   const Nanos end = clock_.now() + max_duration;
+  bool stopped = false;
   while (clock_.now() < end) {
     if (stop()) {
-      return true;
+      stopped = true;
+      break;
     }
     tick();
   }
-  return stop();
+  flush_obs();
+  return stopped || stop();
 }
 
 }  // namespace procap::sim

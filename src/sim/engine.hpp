@@ -86,6 +86,12 @@ class Engine {
   };
 
   void tick();
+  /// Publish batched tick/event deltas to the metrics registry.
+  void flush_obs();
+
+  /// Flush cadence for batched counters (power of two; the hot loop
+  /// tests `ticks_ & (kObsFlushTicks - 1)`).
+  static constexpr std::uint64_t kObsFlushTicks = 4096;
 
   Nanos dt_;
   ManualTimeSource clock_;
@@ -95,6 +101,9 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t ticks_ = 0;
+  std::uint64_t events_fired_ = 0;
+  std::uint64_t obs_flushed_ticks_ = 0;
+  std::uint64_t obs_flushed_events_ = 0;
 };
 
 }  // namespace procap::sim

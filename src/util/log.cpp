@@ -1,14 +1,14 @@
 #include "util/log.hpp"
 
-#include <atomic>
 #include <iostream>
 #include <mutex>
+#include <utility>
 
 namespace procap {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogSink g_sink;  // guarded by g_mutex; empty = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,15 +27,20 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-
-LogLevel log_level() { return g_level.load(); }
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) {
+  if (level < log_level()) {
     return;
   }
   const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   std::cerr << "[procap " << level_name(level) << "] " << msg << "\n";
 }
 

@@ -2,8 +2,16 @@
 //
 // Daemons and monitors report state transitions here; benches run with the
 // default (warning) level so experiment output stays clean.
+//
+// Concurrency: the level lives in a relaxed atomic read exactly once per
+// PROCAP_LOG expansion, so concurrent set_log_level() races cleanly under
+// TSan (logging is statistical, not synchronizing).  Tests and exporters
+// can capture lines structurally via set_log_sink() instead of scraping
+// stderr.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,12 +19,32 @@ namespace procap {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are dropped.
-void set_log_level(LogLevel level);
-[[nodiscard]] LogLevel log_level();
+namespace detail {
+/// Level storage, inline so the macro's filter check is a single relaxed
+/// load with no cross-TU call.
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace detail
 
-/// Emit one line to stderr with a level prefix (thread-safe).
+/// Global minimum level; messages below it are dropped.
+inline void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+[[nodiscard]] inline LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+/// Emit one line with a level prefix (thread-safe).  Respects the level
+/// filter and the installed sink.
 void log_message(LogLevel level, const std::string& msg);
+
+/// Capture hook: while installed, formatted lines go to `sink` instead
+/// of stderr (still level-filtered).  Pass nullptr to restore stderr.
+/// The sink is invoked under the logging mutex: keep it cheap and never
+/// log from inside it.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 /// Stream-style one-shot logger: `Logger(kInfo).stream() << "x=" << x;`
@@ -37,6 +65,8 @@ class Logger {
 
 }  // namespace procap
 
+// The level is read once (relaxed) per expansion; the Logger body only
+// runs when the line passes the filter.
 #define PROCAP_LOG(level)                      \
   if (::procap::log_level() <= (level))        \
   ::procap::detail::Logger(level).stream()

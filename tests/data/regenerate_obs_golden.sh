@@ -1,0 +1,45 @@
+#!/bin/sh
+# Regenerate obs_golden_trace.json after an *intentional* change to the
+# Chrome trace exporter's output format.  The canonical trace here must
+# stay in sync with fill_canonical_trace() in tests/obs_trace_test.cpp.
+set -e
+root=$(cd "$(dirname "$0")/../.." && pwd)
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/gen.cpp" <<'EOF'
+#include <iostream>
+#include "obs/trace.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using procap::to_nanos;
+  procap::obs::TraceCollector trace;
+  trace.set_meta("app", "stream");
+  trace.set_meta("scheme", "step");
+
+  trace.daemon_tick(to_nanos(1.0), 1200.0);
+  trace.cap_change(to_nanos(1.0), std::nullopt, 80.0, "step");
+  trace.actuation(to_nanos(1.0), "set_cap", 80.0, true);
+  trace.progress_window(to_nanos(1.0), to_nanos(2.0), 95.0, "stream");
+
+  trace.daemon_tick(to_nanos(2.0), 900.0);
+  trace.mode_change(to_nanos(2.0), "budget", "degraded", "stale telemetry");
+  trace.mark(to_nanos(2.5), "phase:solve");
+
+  trace.cap_change(to_nanos(3.0), 80.0, 110.0, "step");
+  trace.actuation(to_nanos(3.0), "set_cap", 110.0, false);
+  trace.cap_change(to_nanos(4.0), 80.0, 110.0, "step");
+  trace.actuation(to_nanos(4.0), "set_cap", 110.0, true);
+  trace.progress_window(to_nanos(4.0), to_nanos(5.0), 120.0, "stream");
+
+  trace.write_chrome(std::cout);
+  return 0;
+}
+EOF
+
+c++ -std=c++20 -I "$root/src" "$tmp/gen.cpp" \
+    "$root/src/obs/trace.cpp" "$root/src/obs/json.cpp" \
+    "$root/src/obs/metrics.cpp" -o "$tmp/gen"
+"$tmp/gen" > "$root/tests/data/obs_golden_trace.json"
+echo "wrote $root/tests/data/obs_golden_trace.json"

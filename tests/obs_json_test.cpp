@@ -1,0 +1,89 @@
+// Tests for the minimal in-repo JSON parser behind the trace validator,
+// obs_report and the JSONL input of tools/analyze.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using procap::obs::json::escape;
+using procap::obs::json::parse;
+using procap::obs::json::valid;
+using procap::obs::json::Value;
+
+TEST(ObsJson, ParsesScalars) {
+  EXPECT_EQ(parse("null").type, Value::Type::kNull);
+  EXPECT_TRUE(parse("true").boolean);
+  EXPECT_FALSE(parse("false").boolean);
+  EXPECT_DOUBLE_EQ(parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3").number, -1500.0);
+  EXPECT_EQ(parse("\"hi\"").string, "hi");
+}
+
+TEST(ObsJson, ParsesNestedStructure) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[2].find("b")->string, "c");
+  EXPECT_EQ(v.find("d")->find("e")->type, Value::Type::kNull);
+}
+
+TEST(ObsJson, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("Aé")").string, "A\xc3\xa9");
+}
+
+TEST(ObsJson, AccessorsWithDefaults) {
+  const Value v = parse(R"({"n": 7, "s": "x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -1.0), -1.0);
+  EXPECT_EQ(v.string_or("s", ""), "x");
+  EXPECT_EQ(v.string_or("missing", "dflt"), "dflt");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ObsJson, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated",
+        "{\"a\":1,}", "[1 2]", "{\"a\" 1}", "\"bad\\x\"", "1e", "nul"}) {
+    EXPECT_THROW((void)parse(bad), std::invalid_argument) << bad;
+    EXPECT_FALSE(valid(bad)) << bad;
+  }
+}
+
+TEST(ObsJson, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)parse("{} extra"), std::invalid_argument);
+  EXPECT_NO_THROW((void)parse("  {}  "));
+}
+
+TEST(ObsJson, RejectsSurrogatePairs) {
+  // BMP-only decoder: \u-escaped surrogate halves are out of scope and
+  // must not silently produce garbage.  Raw UTF-8 passes through.
+  EXPECT_THROW((void)parse("\"\\uD83D\\uDE00\""), std::invalid_argument);
+  EXPECT_EQ(parse(R"("😀")").string, "😀");
+}
+
+TEST(ObsJson, EscapeRoundTrips) {
+  const std::string original = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  const Value v = parse("\"" + escape(original) + "\"");
+  EXPECT_EQ(v.string, original);
+}
+
+TEST(ObsJson, ErrorsCarryOffset) {
+  try {
+    (void)parse("[1, oops]");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Tests for the control-loop span tracer: flow semantics (cap change →
+// actuation → first reflecting progress window), exporter validity via
+// the in-repo JSON parser, the summarize round-trip, and a golden-file
+// check that the Chrome exporter's byte output stays stable.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using procap::Nanos;
+using procap::obs::TraceCollector;
+using procap::obs::TraceEvent;
+using procap::to_nanos;
+
+// A deterministic little run: two cap changes, one failed + retried
+// actuation, windows that close the flows, a mode change and a marker.
+// Shared by the exporter tests and the golden-file generator.
+void fill_canonical_trace(TraceCollector& trace) {
+  trace.set_meta("app", "stream");
+  trace.set_meta("scheme", "step");
+
+  trace.daemon_tick(to_nanos(1.0), 1200.0);
+  trace.cap_change(to_nanos(1.0), std::nullopt, 80.0, "step");
+  trace.actuation(to_nanos(1.0), "set_cap", 80.0, true);
+  trace.progress_window(to_nanos(1.0), to_nanos(2.0), 95.0, "stream");
+
+  trace.daemon_tick(to_nanos(2.0), 900.0);
+  trace.mode_change(to_nanos(2.0), "budget", "degraded", "stale telemetry");
+  trace.mark(to_nanos(2.5), "phase:solve");
+
+  // A failed write abandons the flow; the retry opens a fresh one.
+  trace.cap_change(to_nanos(3.0), 80.0, 110.0, "step");
+  trace.actuation(to_nanos(3.0), "set_cap", 110.0, false);
+  trace.cap_change(to_nanos(4.0), 80.0, 110.0, "step");
+  trace.actuation(to_nanos(4.0), "set_cap", 110.0, true);
+  trace.progress_window(to_nanos(4.0), to_nanos(5.0), 120.0, "stream");
+}
+
+TEST(ObsTrace, FlowClosesOnFirstReflectingWindow) {
+  TraceCollector trace;
+  trace.cap_change(to_nanos(1.0), std::nullopt, 80.0, "step");
+  trace.actuation(to_nanos(1.0), "set_cap", 80.0, true);
+  // Window ending before the change does not close the flow.
+  trace.progress_window(to_nanos(0.0), to_nanos(1.0), 50.0, "a");
+  EXPECT_TRUE(trace.cap_effect_latencies().empty());
+  // First window extending past the change closes it: latency = end - change.
+  trace.progress_window(to_nanos(1.0), to_nanos(2.0), 60.0, "a");
+  const std::vector<Nanos> lat = trace.cap_effect_latencies();
+  ASSERT_EQ(lat.size(), 1u);
+  EXPECT_EQ(lat[0], to_nanos(1.0));
+  // The flow is closed; later windows add no further effects.
+  trace.progress_window(to_nanos(2.0), to_nanos(3.0), 60.0, "a");
+  EXPECT_EQ(trace.cap_effect_latencies().size(), 1u);
+}
+
+TEST(ObsTrace, FailedActuationAbandonsFlow) {
+  TraceCollector trace;
+  trace.cap_change(to_nanos(1.0), std::nullopt, 80.0, "step");
+  trace.actuation(to_nanos(1.0), "set_cap", 80.0, false);
+  trace.progress_window(to_nanos(1.0), to_nanos(2.0), 60.0, "a");
+  EXPECT_TRUE(trace.cap_effect_latencies().empty());
+}
+
+TEST(ObsTrace, RetrySupersedesUnactuatedFlow) {
+  TraceCollector trace;
+  // Decided but never actuated; the next decision replaces it.
+  trace.cap_change(to_nanos(1.0), std::nullopt, 80.0, "step");
+  trace.cap_change(to_nanos(3.0), std::nullopt, 80.0, "step");
+  trace.actuation(to_nanos(3.0), "set_cap", 80.0, true);
+  trace.progress_window(to_nanos(3.0), to_nanos(4.0), 60.0, "a");
+  const std::vector<Nanos> lat = trace.cap_effect_latencies();
+  ASSERT_EQ(lat.size(), 1u);
+  // Latency measured from the *superseding* change, not the stale one.
+  EXPECT_EQ(lat[0], to_nanos(1.0));
+}
+
+TEST(ObsTrace, OneWindowClosesEveryActuatedFlow) {
+  TraceCollector trace;
+  trace.cap_change(to_nanos(1.0), std::nullopt, 80.0, "step");
+  trace.actuation(to_nanos(1.0), "set_cap", 80.0, true);
+  trace.cap_change(to_nanos(2.0), 80.0, 90.0, "step");
+  trace.actuation(to_nanos(2.0), "set_cap", 90.0, true);
+  trace.progress_window(to_nanos(2.0), to_nanos(3.0), 60.0, "a");
+  EXPECT_EQ(trace.cap_effect_latencies().size(), 2u);
+}
+
+TEST(ObsTrace, ChromeOutputIsValidJsonWithFlowEvents) {
+  TraceCollector trace;
+  fill_canonical_trace(trace);
+  std::ostringstream os;
+  trace.write_chrome(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(procap::obs::json::valid(text)) << text;
+
+  const auto root = procap::obs::json::parse(text);
+  const auto* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  int flow_start = 0, flow_step = 0, flow_finish = 0;
+  for (const auto& ev : events->array) {
+    const std::string ph = ev.string_or("ph", "");
+    if (ph == "s") ++flow_start;
+    if (ph == "t") ++flow_step;
+    if (ph == "f") ++flow_finish;
+  }
+  // Three flows opened (one abandoned by the failed write, one
+  // superseded), two actuated and finished.
+  EXPECT_EQ(flow_start, 3);
+  EXPECT_EQ(flow_step, 2);
+  EXPECT_EQ(flow_finish, 2);
+  const auto* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->string_or("app", ""), "stream");
+}
+
+TEST(ObsTrace, JsonlLinesEachParse) {
+  TraceCollector trace;
+  fill_canonical_trace(trace);
+  std::ostringstream os;
+  trace.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0, metas = 0, windows = 0, effects = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    const auto obj = procap::obs::json::parse(line);  // throws on bad line
+    ASSERT_TRUE(obj.is_object()) << line;
+    const std::string kind = obj.string_or("kind", "");
+    EXPECT_FALSE(kind.empty()) << line;
+    if (kind == "meta") ++metas;
+    if (kind == "progress_window") ++windows;
+    if (kind == "cap_effect") ++effects;
+  }
+  EXPECT_EQ(metas, 2u);
+  EXPECT_EQ(windows, 2u);
+  EXPECT_EQ(effects, 2u);
+  EXPECT_EQ(lines, metas + trace.size());
+}
+
+TEST(ObsTrace, SummarizeRoundTrip) {
+  const std::string path = ::testing::TempDir() + "obs_trace_roundtrip.json";
+  {
+    TraceCollector trace;
+    fill_canonical_trace(trace);
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open());
+    trace.write_chrome(out);
+  }
+  const auto report = procap::obs::summarize_chrome_trace(path);
+  EXPECT_EQ(report.daemon_ticks, 2u);
+  EXPECT_EQ(report.cap_changes, 3u);
+  EXPECT_EQ(report.actuations, 3u);
+  EXPECT_EQ(report.failed_actuations, 1u);
+  ASSERT_EQ(report.cap_effect_s.size(), 2u);
+  EXPECT_NEAR(report.cap_effect_s[0], 1.0, 1e-6);
+  EXPECT_EQ(report.mode_changes, 1u);
+  EXPECT_EQ(report.windows_by_app.at("stream"), 2u);
+  EXPECT_EQ(report.meta.at("scheme"), "step");
+  ASSERT_EQ(report.tick_wall_ns.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.tick_wall_ns[0], 1200.0);
+}
+
+// Golden file: the Chrome exporter's byte output for the canonical trace
+// is part of the contract (Perfetto users diff traces).  Regenerate with
+// tests/data/regenerate_obs_golden.sh after an intentional format change.
+TEST(ObsTrace, ChromeOutputMatchesGolden) {
+  std::ifstream golden(std::string(PROCAP_TESTS_DIR) +
+                       "/data/obs_golden_trace.json");
+  ASSERT_TRUE(golden.is_open())
+      << "missing tests/data/obs_golden_trace.json";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+
+  TraceCollector trace;
+  fill_canonical_trace(trace);
+  std::ostringstream actual;
+  trace.write_chrome(actual);
+  EXPECT_EQ(actual.str(), expected.str());
+}
+
+}  // namespace

@@ -48,16 +48,67 @@ TEST(TraceFile, WriterValidatesArguments) {
                std::runtime_error);
 }
 
+TEST(TraceFile, PhaseMarkersSurviveRoundTrip) {
+  // Phase transitions (and the unphased default) must replay exactly:
+  // the analyze CLI's phase detection depends on the recorded markers.
+  const std::string path = temp_path("phases");
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  Reporter reporter(broker.make_pub(), {"app", "u"});
+  {
+    TraceWriter writer(broker.make_sub(), "app", path);
+    clock.advance(to_nanos(0.5));
+    reporter.report(1.0);  // unphased
+    clock.advance(to_nanos(0.5));
+    reporter.report(2.0, 1);  // enter phase 1
+    clock.advance(to_nanos(0.5));
+    reporter.report(3.0, 1);
+    clock.advance(to_nanos(0.5));
+    reporter.report(4.0, 2);  // phase transition
+    writer.poll();
+    EXPECT_EQ(writer.written(), 4U);
+  }
+  const auto trace = load_trace(path);
+  ASSERT_EQ(trace.size(), 4U);
+  EXPECT_EQ(trace[0].phase, kNoPhase);
+  EXPECT_EQ(trace[1].phase, 1);
+  EXPECT_EQ(trace[2].phase, 1);
+  EXPECT_EQ(trace[3].phase, 2);
+  std::remove(path.c_str());
+}
+
 TEST(TraceFile, LoadRejectsMalformedRows) {
   const std::string path = temp_path("bad");
-  {
-    std::ofstream file(path);
-    file << "t_seconds,amount,phase\n1.0,2.0\n";  // missing column
+  const char* kBadBodies[] = {
+      "1.0,2.0\n",         // missing column
+      "1.0,2.0,1,9\n",     // extra column
+      "abc,2.0,1\n",       // non-numeric time
+      "1.0,xyz,1\n",       // non-numeric amount
+      "1.0,2.0,one\n",     // non-numeric phase
+      "1.0,2.0,\n",        // empty phase cell
+  };
+  for (const char* body : kBadBodies) {
+    {
+      std::ofstream file(path);
+      file << "t_seconds,amount,phase\n" << body;
+    }
+    EXPECT_THROW((void)load_trace(path), std::invalid_argument) << body;
   }
-  EXPECT_THROW((void)load_trace(path), std::invalid_argument);
   std::remove(path.c_str());
   EXPECT_THROW((void)load_trace("/nonexistent/trace.csv"),
                std::runtime_error);
+}
+
+TEST(TraceFile, LoadSkipsBlankLinesAndHeader) {
+  const std::string path = temp_path("blanks");
+  {
+    std::ofstream file(path);
+    file << "t_seconds,amount,phase\n\n0.5,1.5,3\n\n";
+  }
+  const auto trace = load_trace(path);
+  ASSERT_EQ(trace.size(), 1U);
+  EXPECT_EQ(trace[0], (TraceSample{to_nanos(0.5), 1.5, 3}));
+  std::remove(path.c_str());
 }
 
 TEST(TraceFile, ReplayMatchesLiveMonitor) {

@@ -1,0 +1,90 @@
+// Tests for leveled logging: sink capture, level filtering, and
+// restoring the stderr default.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using procap::LogLevel;
+
+// Install a capturing sink for the test's lifetime; restore defaults on
+// the way out so other tests see stderr logging at the default level.
+class UtilLog : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = procap::log_level();
+    procap::set_log_sink(
+        [this](LogLevel level, const std::string& line) {
+          captured_.emplace_back(level, line);
+        });
+  }
+  void TearDown() override {
+    procap::set_log_sink(nullptr);
+    procap::set_log_level(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(UtilLog, SinkCapturesFormattedLines) {
+  procap::set_log_level(LogLevel::kInfo);
+  PROCAP_INFO << "cap set to " << 80 << " W";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "cap set to 80 W");
+}
+
+TEST_F(UtilLog, LevelFilterDropsBelowThreshold) {
+  procap::set_log_level(LogLevel::kWarn);
+  PROCAP_DEBUG << "invisible";
+  PROCAP_INFO << "also invisible";
+  PROCAP_WARN << "visible";
+  PROCAP_ERROR << "also visible";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "visible");
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(UtilLog, OffSilencesEverything) {
+  procap::set_log_level(LogLevel::kOff);
+  PROCAP_ERROR << "nothing gets through";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(UtilLog, LevelRoundTrips) {
+  procap::set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(procap::log_level(), LogLevel::kDebug);
+  procap::set_log_level(LogLevel::kError);
+  EXPECT_EQ(procap::log_level(), LogLevel::kError);
+}
+
+TEST_F(UtilLog, FilterSkipsStreamEvaluation) {
+  procap::set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  PROCAP_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits below the level
+  PROCAP_WARN << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(UtilLog, NullSinkRestoresStderr) {
+  procap::set_log_level(LogLevel::kError);
+  procap::set_log_sink(nullptr);
+  ::testing::internal::CaptureStderr();
+  PROCAP_ERROR << "to stderr";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("to stderr"), std::string::npos);
+  EXPECT_TRUE(captured_.empty());  // the old sink is fully detached
+}
+
+}  // namespace

@@ -1,18 +1,22 @@
 // analyze — offline analysis of recorded progress traces.
 //
-// Consumes either a raw trace ("t_seconds,amount,phase", written by
-// progress::TraceWriter) or an already-windowed rate series
-// ("t_seconds,<name>", the power_policy tool's --csv output), and runs
-// the paper's characterization over it: windowed rates, consistency
-// (Section IV-C), detected phases, figure of merit, zero-window fraction
-// (the dropped-report artifact of Section V-C), and a trace-based
-// Category verdict.
+// Consumes a raw trace ("t_seconds,amount,phase", written by
+// progress::TraceWriter), an already-windowed rate series
+// ("t_seconds,<name>", the power_policy tool's --csv output), or a JSONL
+// event dump (power_policy --events-out; progress_window events carry the
+// rates), and runs the paper's characterization over it: windowed rates,
+// consistency (Section IV-C), detected phases, figure of merit,
+// zero-window fraction (the dropped-report artifact of Section V-C), and
+// a trace-based Category verdict.
 //
 // Usage: analyze FILE [--window S] [--cv-threshold X]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
+#include "obs/json.hpp"
 #include "progress/analysis.hpp"
 #include "progress/category.hpp"
 #include "progress/tracefile.hpp"
@@ -30,6 +34,50 @@ bool is_raw_trace(const std::string& path) {
     }
   }();
   return !trace.empty();
+}
+
+// JSONL dumps start with a JSON object on the first line; CSV inputs
+// start with a header word.
+bool is_jsonl(const std::string& path) {
+  std::ifstream file(path);
+  char c = 0;
+  while (file.get(c)) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+      return c == '{';
+    }
+  }
+  return false;
+}
+
+// Extract the progress_window rate series from a JSONL event dump.
+procap::TimeSeries load_jsonl_rates(const std::string& path) {
+  using procap::obs::json::Value;
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("analyze: cannot read " + path);
+  }
+  procap::TimeSeries rates("rate");
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    Value obj;
+    try {
+      obj = procap::obs::json::parse(line);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("analyze: " + path + ":" +
+                                  std::to_string(line_no) + ": " + e.what());
+    }
+    if (obj.string_or("kind", "") != "progress_window") {
+      continue;
+    }
+    rates.add(procap::to_nanos(obj.number_or("t_s", 0.0)),
+              obj.number_or("rate", 0.0));
+  }
+  return rates;
 }
 
 }  // namespace
@@ -57,7 +105,11 @@ int main(int argc, char** argv) {
 
   TimeSeries rates;
   try {
-    if (is_raw_trace(path)) {
+    if (is_jsonl(path)) {
+      rates = load_jsonl_rates(path);
+      std::cout << "jsonl event dump: " << rates.size()
+                << " progress windows\n";
+    } else if (is_raw_trace(path)) {
       const auto trace = progress::load_trace(path);
       std::cout << "raw trace: " << trace.size() << " samples over "
                 << num(to_seconds(trace.back().t - trace.front().t), 1)

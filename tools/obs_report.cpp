@@ -1,0 +1,32 @@
+// obs_report — summarize a Chrome trace produced by power_policy
+// --trace-out.
+//
+// Reads the trace back through the in-repo JSON parser (the same one the
+// golden-file test validates against) and prints the run's control-loop
+// story: daemon tick-latency histogram, cap-change and actuation counts,
+// the cap-to-effect latency distribution measured by the flow events,
+// NRM degraded-mode occupancy, per-app progress-window counts, and the
+// observer's own estimated overhead.
+//
+// Usage: obs_report TRACE.json
+#include <exception>
+#include <iostream>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: obs_report TRACE.json\n"
+                 "  TRACE.json: Chrome trace-event file from power_policy "
+                 "--trace-out\n";
+    return 2;
+  }
+  try {
+    const auto report = procap::obs::summarize_chrome_trace(argv[1]);
+    procap::obs::print_report(report, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,15 @@
 //   power_policy --app lammps --scheme step --low 70 --high 150
 //                --period 15 --duration 90 --csv /tmp/run
 //
+// Observability outputs (any combination):
+//   --trace-out run.json    Chrome trace-event JSON with cap→effect flow
+//                           arrows; open at https://ui.perfetto.dev or
+//                           chrome://tracing, or summarize with obs_report
+//   --events-out run.jsonl  the same events as line-delimited JSON
+//                           (tools/analyze reads this directly)
+//   --metrics-out run.prom  Prometheus text exposition of every counter,
+//                           gauge and histogram the run touched
+//
 // Schemes and parameters:
 //   uncapped                   no capping
 //   constant  --low W [--delay S]
@@ -22,6 +31,7 @@
 //   jagged    --high W --low W --period S
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -30,6 +40,8 @@
 #include "apps/specfile.hpp"
 #include "exp/measure.hpp"
 #include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "policy/schemes.hpp"
 #include "util/table.hpp"
 
@@ -50,6 +62,9 @@ struct Options {
   std::string csv_prefix;
   std::string spec_path;
   std::string fault_plan_path;
+  std::string trace_out;
+  std::string events_out;
+  std::string metrics_out;
 };
 
 void usage() {
@@ -61,6 +76,9 @@ void usage() {
          "                    [--duration S] [--seed N] [--csv PREFIX]\n"
          "                    [--spec FILE]   (workload spec instead of --app)\n"
          "                    [--fault-plan FILE]  (scripted link/MSR faults)\n"
+         "                    [--trace-out FILE.json]   (Chrome/Perfetto trace)\n"
+         "                    [--events-out FILE.jsonl] (JSONL event dump)\n"
+         "                    [--metrics-out FILE.prom] (Prometheus text)\n"
          "apps: ";
   for (const auto& name : apps::suite_names()) {
     std::cerr << name << " ";
@@ -99,6 +117,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.spec_path = value;
     } else if (arg == "--fault-plan" && (value = next())) {
       opt.fault_plan_path = value;
+    } else if (arg == "--trace-out" && (value = next())) {
+      opt.trace_out = value;
+    } else if (arg == "--events-out" && (value = next())) {
+      opt.events_out = value;
+    } else if (arg == "--metrics-out" && (value = next())) {
+      opt.metrics_out = value;
     } else {
       usage();
       return false;
@@ -182,6 +206,16 @@ int main(int argc, char** argv) {
     run_options.fault_plan = &fault_plan;
   }
 
+  obs::TraceCollector trace;
+  const bool want_trace = !opt.trace_out.empty() || !opt.events_out.empty();
+  if (want_trace) {
+    trace.set_meta("app", opt.app);
+    trace.set_meta("scheme", opt.scheme);
+    trace.set_meta("self_ns_per_event",
+                   num(obs::Registry::self_cost_ns(), 1));
+    run_options.trace = &trace;
+  }
+
   std::cout << "power-policy: " << opt.app << " under '" << opt.scheme
             << "' for " << opt.duration << " s (simulated node)\n";
   const auto traces =
@@ -227,12 +261,50 @@ int main(int argc, char** argv) {
               << pending_w << " pending\n";
   }
 
+  const auto& health = traces.health;
+  std::cout << "signal health: " << progress::to_string(health.grade) << ", "
+            << health.samples << " samples, " << health.missing
+            << " missing, " << health.reordered << " reordered, cadence "
+            << num(to_seconds(health.expected_cadence), 2) << " s\n";
+
   if (!opt.csv_prefix.empty()) {
     dump_csv(opt.csv_prefix + "_cap.csv", traces.cap);
     dump_csv(opt.csv_prefix + "_power.csv", traces.power);
     dump_csv(opt.csv_prefix + "_progress.csv", traces.progress);
     dump_csv(opt.csv_prefix + "_frequency.csv", traces.frequency);
     dump_csv(opt.csv_prefix + "_duty.csv", traces.duty);
+  }
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << opt.trace_out << "\n";
+      return 1;
+    }
+    trace.write_chrome(out);
+    std::cout << "wrote " << opt.trace_out << " (" << trace.size()
+              << " events, "
+              << trace.cap_effect_latencies().size()
+              << " cap-to-effect flows); open at https://ui.perfetto.dev "
+                 "or summarize with obs_report\n";
+  }
+  if (!opt.events_out.empty()) {
+    std::ofstream out(opt.events_out);
+    if (!out) {
+      std::cerr << "cannot write " << opt.events_out << "\n";
+      return 1;
+    }
+    trace.write_jsonl(out);
+    std::cout << "wrote " << opt.events_out << " (" << trace.size()
+              << " events)\n";
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream out(opt.metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << opt.metrics_out << "\n";
+      return 1;
+    }
+    obs::Registry::global().write_prometheus(out);
+    std::cout << "wrote " << opt.metrics_out << "\n";
   }
   return 0;
 }
