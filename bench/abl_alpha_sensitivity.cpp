@@ -6,24 +6,32 @@
 // the power cap being applied".  This bench fits alpha per application
 // over the full cap range and separately over the mild and stringent
 // halves, and reports the error of the fixed alpha = 2 choice against the
-// best fit.
+// best fit.  The (app x cap x seed) measurement grid runs through
+// exp::sweep_cap_impact (one SimRig per trial, --threads workers).
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "exp/measure.hpp"
+#include "exp/sweep.hpp"
+#include "harness.hpp"
 #include "model/calibrated.hpp"
 #include "model/fit.hpp"
 #include "shape_check.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procap;
   using bench::shape_check;
+  const auto options = bench::parse_harness_args(argc, argv);
+  bench::BenchReport report("abl_alpha_sensitivity", options);
+  const auto sweep_opt = bench::sweep_options(options);
+  const int seeds = options.short_grid ? 1 : 3;
+  const double cap_step = options.short_grid ? 20.0 : 10.0;
   std::cout << "== Ablation: alpha sensitivity of the progress model ==\n"
             << "Best-fit alpha via grid + golden-section on MAPE of\n"
-            << "delta-progress; 3 seeds per cap.\n\n";
+            << "delta-progress; " << seeds << " seed(s) per cap.\n\n";
 
   const std::vector<std::string> names = {"lammps", "amg", "qmcpack-dmc",
                                           "stream"};
@@ -37,11 +45,19 @@ int main() {
   };
   std::vector<std::pair<std::string, AppData>> all_observations;
 
+  const auto characterizations = exp::sweep<exp::Characterization>(
+      names.size(),
+      [&names](std::size_t i) {
+        return exp::characterize(apps::by_name(names[i]), 1.6e9, 10.0);
+      },
+      sweep_opt);
+  report.record_sweep(characterizations);
+
   bool all_fits_in_range = true;
   bool fit_beats_fixed_somewhere = false;
-  for (const auto& name : names) {
-    const auto app = apps::by_name(name);
-    const auto c = exp::characterize(app, 1.6e9, 10.0);
+  for (std::size_t app_index = 0; app_index < names.size(); ++app_index) {
+    const std::string& name = names[app_index];
+    const auto& c = characterizations.at(app_index);
 
     model::ModelParams params;
     params.beta = c.beta;
@@ -49,15 +65,27 @@ int main() {
     params.p_core_max = c.beta * c.power_uncapped;
     params.r_max = c.rate_uncapped;
 
+    exp::CapImpactGrid grid;
+    grid.app = apps::by_name(name);
+    for (Watts cap = 50.0; cap <= 140.0 + 1e-9; cap += cap_step) {
+      grid.caps.push_back(cap);
+    }
+    for (int seed = 1; seed <= seeds; ++seed) {
+      grid.seeds.push_back(static_cast<std::uint64_t>(seed));
+    }
+    const auto impacts = exp::sweep_cap_impact(grid, sweep_opt);
+    report.record_sweep(impacts);
+
     std::vector<model::CapObservation> all;
     std::vector<model::CapObservation> mild;
     std::vector<model::CapObservation> stringent;
-    for (Watts cap = 50.0; cap <= 140.0 + 1e-9; cap += 10.0) {
+    for (std::size_t cap_index = 0; cap_index < grid.caps.size();
+         ++cap_index) {
+      const Watts cap = grid.caps[cap_index];
       StreamingStats stats;
-      for (int seed = 1; seed <= 3; ++seed) {
-        stats.add(exp::measure_cap_impact(app, cap,
-                                          static_cast<std::uint64_t>(seed))
-                      .delta);
+      for (std::size_t seed_index = 0; seed_index < grid.seeds.size();
+           ++seed_index) {
+        stats.add(impacts.at(grid.index(cap_index, seed_index)).delta);
       }
       const model::CapObservation obs{
           model::effective_core_cap(c.beta, cap), stats.mean()};
@@ -82,6 +110,8 @@ int main() {
     table.add_row({name, num(fit_all.alpha, 2), num(fit_mild.alpha, 2),
                    num(fit_str.alpha, 2), num(mape_fixed, 1),
                    num(fit_all.mape, 1)});
+    report.metric(name + ".alpha_fit", fit_all.alpha);
+    report.metric(name + ".mape_fixed_pct", mape_fixed);
     all_fits_in_range &= fit_all.alpha >= 1.0 && fit_all.alpha <= 4.0;
     fit_beats_fixed_somewhere |= fit_all.mape < mape_fixed - 1.0;
     all_observations.emplace_back(name, AppData{params, all});
@@ -130,5 +160,5 @@ int main() {
               calibrated_never_worse);
   shape_check("...and substantially better for at least one app",
               calibrated_much_better_somewhere);
-  return bench::shape_summary();
+  return report.finish();
 }

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "apps/suite.hpp"
+#include "exp/sweep.hpp"
+#include "harness.hpp"
 #include "job/cluster.hpp"
 #include "job/manager.hpp"
 #include "shape_check.hpp"
@@ -71,15 +73,35 @@ double spread(const std::vector<double>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using bench::shape_check;
+  const auto options = bench::parse_harness_args(argc, argv);
+  bench::BenchReport report("abl_job_variability", options);
   std::cout << "== Extension: node variability under a job power budget ==\n"
             << "8 LAMMPS nodes, 12% part-to-part power variability, job\n"
             << "budget 560 W (70 W/node).\n\n";
 
-  const Outcome uncapped = run(job::JobPolicy::kUniform, std::nullopt);
-  const Outcome uniform = run(job::JobPolicy::kUniform, Watts{560.0});
-  const Outcome critical = run(job::JobPolicy::kCriticalPath, Watts{560.0});
+  // Three independent cluster configurations — a bespoke trial shape, so
+  // use the generic sweep directly (each trial owns its engine+cluster).
+  struct Config {
+    job::JobPolicy policy;
+    std::optional<Watts> budget;
+  };
+  const std::vector<Config> configs = {
+      {job::JobPolicy::kUniform, std::nullopt},
+      {job::JobPolicy::kUniform, Watts{560.0}},
+      {job::JobPolicy::kCriticalPath, Watts{560.0}},
+  };
+  const auto outcomes = exp::sweep<Outcome>(
+      configs.size(),
+      [&configs](std::size_t i) {
+        return run(configs[i].policy, configs[i].budget);
+      },
+      bench::sweep_options(options));
+  report.record_sweep(outcomes);
+  const Outcome& uncapped = outcomes.at(0);
+  const Outcome& uniform = outcomes.at(1);
+  const Outcome& critical = outcomes.at(2);
 
   TablePrinter table({"node", "uncapped rate", "uniform@70W rate",
                       "critical-path rate", "critical-path cap W"});
@@ -110,5 +132,9 @@ int main() {
       std::accumulate(critical.caps.begin(), critical.caps.end(), 0.0);
   shape_check("budget invariant holds (sum of caps <= 560 W)",
               cap_total <= 560.0 + 1e-6);
-  return bench::shape_summary();
+  report.metric("uniform_spread_pct", spread(uniform.node_rates) * 100.0);
+  report.metric("critical_spread_pct", spread(critical.node_rates) * 100.0);
+  report.metric("job_rate_gain_pct",
+                (critical.job_rate / uniform.job_rate - 1.0) * 100.0);
+  return report.finish();
 }

@@ -8,6 +8,11 @@
 //   * model prediction: Eq. (7) with alpha = 2 and
 //     P_corecap = beta * P_cap (Eq. 5), P_coremax = beta * P_uncapped.
 //
+// The (app x cap x seed) grid runs through exp::sweep_cap_impact — one
+// independent SimRig per trial, sharded across --threads workers; the
+// per-trial results are bit-identical to the serial loops this harness
+// replaced (tests/exp_sweep_test.cpp pins that contract).
+//
 // The paper's error structure to reproduce:
 //   * LAMMPS: good mid-range (<15%), underestimates at stringent caps;
 //   * QMCPACK / AMG: model overestimates the impact (positive bias);
@@ -20,6 +25,8 @@
 #include <vector>
 
 #include "exp/measure.hpp"
+#include "exp/sweep.hpp"
+#include "harness.hpp"
 #include "model/fit.hpp"
 #include "shape_check.hpp"
 #include "util/stats.hpp"
@@ -52,16 +59,35 @@ constexpr int kSeeds = 5;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procap;
   using bench::shape_check;
+  const auto options = bench::parse_harness_args(argc, argv);
+  bench::BenchReport report("fig4_model_vs_measured", options);
+  const auto sweep_opt = bench::sweep_options(options);
+  // CI smoke grid: half the caps, 2 seeds; the full run keeps the
+  // paper's 5 measurements per cap.
+  const double step_scale = options.short_grid ? 2.0 : 1.0;
+  const int seeds = options.short_grid ? 2 : kSeeds;
+
   std::cout << "== Figure 4: measured vs predicted change in progress ==\n"
-            << kSeeds << " measurements per cap; model: Eq. (7), alpha=2,\n"
+            << seeds << " measurements per cap; model: Eq. (7), alpha=2,\n"
             << "P_corecap = beta * P_cap.\n";
 
-  for (const AppSweep& sweep : kSweeps) {
-    const auto app = apps::by_name(sweep.name);
-    const auto c = exp::characterize(app, 1.6e9, 12.0);
+  // Characterize the suite first — one independent trial per app.
+  const auto characterizations = exp::sweep<exp::Characterization>(
+      std::size(kSweeps),
+      [](std::size_t i) {
+        return exp::characterize(apps::by_name(kSweeps[i].name), 1.6e9,
+                                 12.0);
+      },
+      sweep_opt);
+  report.record_sweep(characterizations);
+
+  for (std::size_t app_index = 0; app_index < std::size(kSweeps);
+       ++app_index) {
+    const AppSweep& sweep = kSweeps[app_index];
+    const auto& c = characterizations.at(app_index);
 
     model::ModelParams params;
     params.beta = c.beta;
@@ -73,19 +99,32 @@ int main() {
               << " P_uncapped=" << num(c.power_uncapped, 1)
               << " W  r_max=" << num(c.rate_uncapped, 1) << "/s --\n";
 
+    exp::CapImpactGrid grid;
+    grid.app = apps::by_name(sweep.name);
+    for (Watts cap = sweep.cap_lo; cap <= sweep.cap_hi + 1e-9;
+         cap += sweep.cap_step * step_scale) {
+      grid.caps.push_back(cap);
+    }
+    for (int seed = 1; seed <= seeds; ++seed) {
+      grid.seeds.push_back(static_cast<std::uint64_t>(seed));
+    }
+    grid.uncapped_for = sweep.uncapped_for;
+    grid.capped_for = sweep.capped_for;
+    const auto impacts = exp::sweep_cap_impact(grid, sweep_opt);
+    report.record_sweep(impacts);
+
     TablePrinter table({"P_cap (W)", "P_corecap (W)", "measured dProgress",
                         "+/- stddev", "predicted dProgress", "error %"});
     std::vector<model::CapObservation> observations;
     std::vector<double> errors_mid;   // caps in the upper half of the sweep
     std::vector<double> errors_low;   // stringent caps (lower quarter)
-    for (Watts cap = sweep.cap_lo; cap <= sweep.cap_hi + 1e-9;
-         cap += sweep.cap_step) {
+    for (std::size_t cap_index = 0; cap_index < grid.caps.size();
+         ++cap_index) {
+      const Watts cap = grid.caps[cap_index];
       StreamingStats delta_stats;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
-        const auto impact = exp::measure_cap_impact(
-            app, cap, static_cast<std::uint64_t>(seed), sweep.uncapped_for,
-            sweep.capped_for);
-        delta_stats.add(impact.delta);
+      for (std::size_t seed_index = 0; seed_index < grid.seeds.size();
+           ++seed_index) {
+        delta_stats.add(impacts.at(grid.index(cap_index, seed_index)).delta);
       }
       const double measured = delta_stats.mean();
       const Watts core_cap = model::effective_core_cap(c.beta, cap);
@@ -112,6 +151,8 @@ int main() {
     std::cout << "summary: MAPE=" << num(summary.mape, 1)
               << "%  bias=" << num(summary.bias_pct, 1)
               << "%  max|err|=" << num(summary.max_abs_pct, 1) << "%\n";
+    report.metric(std::string(sweep.name) + ".mape_pct", summary.mape);
+    report.metric(std::string(sweep.name) + ".bias_pct", summary.bias_pct);
 
     auto mean_of = [](const std::vector<double>& v) {
       double s = 0.0;
@@ -152,5 +193,5 @@ int main() {
                   band_mape < 30.0);
     }
   }
-  return bench::shape_summary();
+  return report.finish();
 }

@@ -1,0 +1,184 @@
+// harness.hpp — shared CLI and machine-readable reporting for benches.
+//
+// Every ported bench binary accepts the same flag pair:
+//
+//   --threads N        concurrent trial executors for exp::sweep
+//                      (default: one per hardware thread)
+//   --bench-json PATH  write a BENCH_<name>.json report for trend
+//                      tracking (tools/check_bench.py gates CI on it)
+//   --short            CI smoke grid: fewer caps/seeds, shape checks
+//                      reported but not enforced (grids that small are
+//                      not the shapes the full run asserts)
+//
+// The JSON schema (all keys stable, consumed by tools/check_bench.py):
+//
+//   {
+//     "bench": "fig4_model_vs_measured",
+//     "threads": 8, "trials": 330,
+//     "wall_s": 1.23, "trials_per_s": 268.3,
+//     "short_grid": false, "shape_failures": 0,
+//     "metrics": {"lammps.mape_pct": 23.1, ...}
+//   }
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "shape_check.hpp"
+
+namespace procap::bench {
+
+/// Options shared by every bench binary.
+struct HarnessOptions {
+  unsigned threads = 0;     ///< 0 = hardware concurrency
+  std::string bench_json;   ///< empty = no report written
+  bool short_grid = false;  ///< CI smoke grid
+};
+
+inline void print_harness_usage(const char* argv0) {
+  std::cout << "usage: " << argv0
+            << " [--threads N] [--bench-json PATH] [--short]\n";
+}
+
+/// Parse the shared flags; exits with status 2 on bad usage.
+inline HarnessOptions parse_harness_args(int argc, char** argv) {
+  HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      const long n = std::atol(value("--threads").c_str());
+      if (n < 1) {
+        std::cerr << argv[0] << ": --threads must be >= 1\n";
+        std::exit(2);
+      }
+      options.threads = static_cast<unsigned>(n);
+    } else if (arg == "--bench-json") {
+      options.bench_json = value("--bench-json");
+    } else if (arg == "--short") {
+      options.short_grid = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_harness_usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::cerr << argv[0] << ": unknown flag " << arg << "\n";
+      print_harness_usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Sweep options derived from the CLI flags.
+inline exp::SweepOptions sweep_options(const HarnessOptions& options) {
+  exp::SweepOptions sweep;
+  sweep.threads = options.threads;
+  return sweep;
+}
+
+/// Accumulates headline metrics and sweep stats; writes the JSON report.
+class BenchReport {
+ public:
+  BenchReport(std::string name, HarnessOptions options)
+      : name_(std::move(name)),
+        options_(std::move(options)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Record one headline metric (figure-level summary, not per-row data).
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Account one sweep's trials/threads into the totals.
+  template <class R>
+  void record_sweep(const exp::SweepResult<R>& result) {
+    trials_ += result.size();
+    threads_ = std::max(threads_, result.threads);
+    for (const exp::TrialFailure& failure : result.failures) {
+      std::cerr << name_ << ": trial " << failure.index
+                << " failed: " << failure.message << "\n";
+      ++trial_failures_;
+    }
+  }
+
+  [[nodiscard]] const HarnessOptions& options() const { return options_; }
+
+  /// Finish the bench: print the wall/trial summary, write the JSON
+  /// report if requested, and fold shape-check results into the exit
+  /// code (short grids report but do not enforce shape checks).
+  int finish() {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start_;
+    const double wall_s = wall.count();
+    const int shape_exit = shape_summary();
+    std::cout << "bench: " << trials_ << " trials in " << wall_s << " s ("
+              << (wall_s > 0.0 ? static_cast<double>(trials_) / wall_s
+                               : 0.0)
+              << " trials/s, " << threads_ << " threads)\n";
+    if (!options_.bench_json.empty() && !write_json(wall_s)) {
+      std::cerr << name_ << ": cannot write " << options_.bench_json
+                << "\n";
+      return 1;
+    }
+    if (trial_failures_ > 0) {
+      return 1;
+    }
+    if (options_.short_grid && shape_exit != 0) {
+      std::cout << "short grid: shape checks reported, not enforced\n";
+      return 0;
+    }
+    return shape_exit;
+  }
+
+ private:
+  [[nodiscard]] bool write_json(double wall_s) const {
+    std::ostringstream body;
+    body << "{\n"
+         << "  \"bench\": \"" << name_ << "\",\n"
+         << "  \"threads\": " << threads_ << ",\n"
+         << "  \"trials\": " << trials_ << ",\n"
+         << "  \"wall_s\": " << wall_s << ",\n"
+         << "  \"trials_per_s\": "
+         << (wall_s > 0.0 ? static_cast<double>(trials_) / wall_s : 0.0)
+         << ",\n"
+         << "  \"short_grid\": " << (options_.short_grid ? "true" : "false")
+         << ",\n"
+         << "  \"shape_failures\": " << g_failures << ",\n"
+         << "  \"trial_failures\": " << trial_failures_ << ",\n"
+         << "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      body << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
+           << "\": " << metrics_[i].second;
+    }
+    body << (metrics_.empty() ? "" : "\n  ") << "}\n}\n";
+    std::ofstream out(options_.bench_json);
+    if (!out) {
+      return false;
+    }
+    out << body.str();
+    return static_cast<bool>(out);
+  }
+
+  std::string name_;
+  HarnessOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::size_t trials_ = 0;
+  std::size_t trial_failures_ = 0;
+  unsigned threads_ = 1;
+};
+
+}  // namespace procap::bench

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "exp/measure.hpp"
+#include "exp/sweep.hpp"
+#include "harness.hpp"
 #include "shape_check.hpp"
 #include "util/table.hpp"
 
@@ -32,20 +34,33 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace procap;
+  const auto options = bench::parse_harness_args(argc, argv);
+  bench::BenchReport report("tbl6_beta_mpo", options);
   std::cout << "== Table VI: beta and MPO metrics for selected applications ==\n"
             << "beta from progress rates at 3300 vs 1600 MHz (Eq. 1); MPO =\n"
             << "PAPI_L3_TCM / PAPI_TOT_INS at 3300 MHz.\n\n";
+
+  // One independent characterization trial per application.
+  const auto characterizations = exp::sweep<exp::Characterization>(
+      std::size(kPaper),
+      [](std::size_t i) {
+        return exp::characterize(apps::by_name(kPaper[i].app), 1.6e9, 12.0);
+      },
+      bench::sweep_options(options));
+  report.record_sweep(characterizations);
 
   TablePrinter table({"Application", "beta (measured)", "beta (paper)",
                       "MPO x1e-3 (measured)", "MPO x1e-3 (paper)"});
   std::vector<double> measured_beta;
   std::vector<double> measured_mpo;
-  for (const PaperRow& row : kPaper) {
-    const auto c = exp::characterize(apps::by_name(row.app), 1.6e9, 12.0);
+  for (std::size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& row = kPaper[i];
+    const auto& c = characterizations.at(i);
     measured_beta.push_back(c.beta);
     measured_mpo.push_back(c.mpo * 1e3);
+    report.metric(std::string(row.app) + ".beta", c.beta);
     table.add_row({row.label, num(c.beta, 2), num(row.beta_paper, 2),
                    num(c.mpo * 1e3, 2), num(row.mpo_paper_e3, 2)});
   }
@@ -68,5 +83,5 @@ int main() {
                   measured_mpo[2] > measured_mpo[0] &&  // AMG > QMCPACK
                   measured_beta[3] > measured_beta[0] &&  // LAMMPS > QMCPACK
                   measured_beta[0] > measured_beta[2]);   // QMCPACK > AMG
-  return bench::shape_summary();
+  return report.finish();
 }

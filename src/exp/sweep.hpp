@@ -1,0 +1,194 @@
+// sweep.hpp — parallel trial scheduler for experiment sweeps.
+//
+// Every figure/table reproduction runs a grid of independent trials
+// (app × cap × seed); each trial builds its own SimRig, so nothing is
+// shared between trials and the grid is embarrassingly parallel.  This
+// module expresses that shape declaratively and shards the trials across
+// a minithread::ThreadPool with dynamic scheduling:
+//
+//   exp::CapImpactGrid grid;
+//   grid.app = apps::by_name("lammps");
+//   grid.caps = {60.0, 80.0, 100.0};
+//   grid.seeds = {1, 2, 3};
+//   const auto swept = exp::sweep_cap_impact(grid, {.threads = 8});
+//   swept.at(grid.index(0, 1));  // cap 60 W, seed 2
+//
+// Contracts (asserted by tests/exp_sweep_test.cpp):
+//   * Determinism — results land in grid order regardless of completion
+//     order, and each trial's result is bit-identical to the serial run
+//     of the same (trial, seed): trials share no mutable state (the only
+//     cross-trial state, the obs registry, never feeds back into
+//     results), so thread count and schedule cannot perturb values.
+//   * Trial isolation — each trial constructs everything it needs
+//     (SimRig, app, monitor, daemon) inside the trial function; the
+//     sweep machinery never shares components across trials.
+//   * Failure capture — a throwing trial is recorded as a TrialFailure
+//     and leaves a nullopt slot; the sweep continues and the other
+//     trials' results are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/measure.hpp"
+#include "minithread/minithread.hpp"
+
+namespace procap::exp {
+
+/// Execution options for a sweep.
+struct SweepOptions {
+  /// Concurrent trial executors, counting the calling thread (1 = run
+  /// serially on the caller; 0 = one per hardware thread).
+  unsigned threads = 0;
+  /// Trial-to-worker assignment.  kDynamic (the default) load-balances
+  /// unequal trial durations; kStatic pins contiguous ranges.
+  minithread::ThreadPool::Schedule schedule =
+      minithread::ThreadPool::Schedule::kDynamic;
+  /// Trials grabbed per dynamic dispatch (ignored for kStatic).
+  std::size_t chunk = 1;
+  /// Invoked after each trial completes with (done, total).  Serialized
+  /// by the sweep: the callback never runs concurrently with itself, so
+  /// it need not be thread-safe (it may run on any worker thread).
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
+};
+
+/// One failed trial: its grid index and the exception message.
+struct TrialFailure {
+  std::size_t index = 0;
+  std::string message;
+};
+
+namespace detail {
+
+/// Measured execution stats of one sweep.
+struct SweepStats {
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+};
+
+/// Run trial(i) for every i in [0, n) across the pool.  `trial` must not
+/// throw (the typed wrapper below catches per-trial); progress gauges
+/// and the user callback are wired here.
+SweepStats run_trials(std::size_t n,
+                      const std::function<void(std::size_t)>& trial,
+                      const SweepOptions& options);
+
+}  // namespace detail
+
+/// Results of a sweep, in grid order (index i = trial i, whatever order
+/// trials finished in).
+template <class R>
+struct SweepResult {
+  std::vector<std::optional<R>> trials;  ///< nullopt where the trial threw
+  std::vector<TrialFailure> failures;    ///< ascending by index
+  unsigned threads = 1;                  ///< executors actually used
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::size_t size() const { return trials.size(); }
+  [[nodiscard]] double trials_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(trials.size()) / wall_seconds
+               : 0.0;
+  }
+  /// Result of trial i; throws std::runtime_error with the trial's
+  /// failure message if it did not produce one.
+  [[nodiscard]] const R& at(std::size_t i) const {
+    if (i >= trials.size()) {
+      throw std::out_of_range("SweepResult::at: index out of range");
+    }
+    if (!trials[i]) {
+      for (const TrialFailure& f : failures) {
+        if (f.index == i) {
+          throw std::runtime_error("SweepResult::at: trial " +
+                                   std::to_string(i) + " failed: " +
+                                   f.message);
+        }
+      }
+      throw std::runtime_error("SweepResult::at: trial " +
+                               std::to_string(i) + " missing");
+    }
+    return *trials[i];
+  }
+};
+
+/// Run `trial(i)` for every i in [0, n) and collect the results in grid
+/// order.  The workhorse behind the typed grids below; use it directly
+/// for bespoke trial shapes (see bench/abl_job_variability.cpp).
+template <class R>
+[[nodiscard]] SweepResult<R> sweep(
+    std::size_t n, const std::function<R(std::size_t)>& trial,
+    const SweepOptions& options = {}) {
+  SweepResult<R> result;
+  result.trials.resize(n);
+  // One slot per trial: written by exactly one executor, read only after
+  // the barrier in run_trials — no locking needed.
+  std::vector<std::string> errors(n);
+  std::vector<unsigned char> failed(n, 0);
+  const detail::SweepStats stats = detail::run_trials(
+      n,
+      [&](std::size_t i) {
+        try {
+          result.trials[i] = trial(i);
+        } catch (const std::exception& e) {
+          failed[i] = 1;
+          errors[i] = e.what();
+        } catch (...) {
+          failed[i] = 1;
+          errors[i] = "unknown exception";
+        }
+      },
+      options);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (failed[i]) {
+      result.failures.push_back(TrialFailure{i, std::move(errors[i])});
+    }
+  }
+  result.threads = stats.threads;
+  result.wall_seconds = stats.wall_seconds;
+  return result;
+}
+
+/// One declarative trial of a schedule sweep: workload, capping schedule
+/// and run options (seed lives in RunOptions).  The factory is invoked
+/// inside the trial so each trial gets a fresh schedule instance.
+struct ScheduleTrial {
+  apps::AppModel app;
+  std::function<std::unique_ptr<policy::CapSchedule>()> make_schedule;
+  RunOptions options;
+};
+
+/// Run every trial through exp::run_under_schedule across the pool.
+[[nodiscard]] SweepResult<RunTraces> sweep_runs(
+    const std::vector<ScheduleTrial>& trials,
+    const SweepOptions& options = {});
+
+/// Declarative (cap × seed) grid of exp::measure_cap_impact trials for
+/// one workload — the Fig. 4 shape.  Grid order is cap-major,
+/// seed-minor: trial index = cap_index * seeds.size() + seed_index.
+struct CapImpactGrid {
+  apps::AppModel app;
+  std::vector<Watts> caps;
+  std::vector<std::uint64_t> seeds;
+  Seconds uncapped_for = 14.0;
+  Seconds capped_for = 24.0;
+  Seconds settle = 6.0;
+
+  [[nodiscard]] std::size_t size() const {
+    return caps.size() * seeds.size();
+  }
+  [[nodiscard]] std::size_t index(std::size_t cap_index,
+                                  std::size_t seed_index) const {
+    return cap_index * seeds.size() + seed_index;
+  }
+};
+
+/// Run the grid; result i corresponds to grid.index(cap, seed).
+[[nodiscard]] SweepResult<CapImpact> sweep_cap_impact(
+    const CapImpactGrid& grid, const SweepOptions& options = {});
+
+}  // namespace procap::exp

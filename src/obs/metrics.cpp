@@ -104,10 +104,13 @@ Registry& Registry::global() {
   return instance;
 }
 
+// Caller must hold mutex_: the returned Entry's instrument pointer is
+// check-then-set by the public accessors, and concurrent registration of
+// the same name+labels (e.g. two sweep trials monitoring the same app)
+// must not race on it.
 Registry::Entry& Registry::find_or_create(const std::string& name,
                                           const std::string& labels,
                                           int type) {
-  const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& entry : entries_) {
     if (entry->name == name && entry->labels == labels) {
       if (entry->type != type) {
@@ -127,6 +130,7 @@ Registry::Entry& Registry::find_or_create(const std::string& name,
 
 Counter& Registry::counter(const std::string& name,
                            const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = find_or_create(name, labels, 0);
   if (!entry.counter) {
     entry.counter = std::make_unique<Counter>();
@@ -135,6 +139,7 @@ Counter& Registry::counter(const std::string& name,
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = find_or_create(name, labels, 1);
   if (!entry.gauge) {
     entry.gauge = std::make_unique<Gauge>();
@@ -145,6 +150,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds,
                                const std::string& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = find_or_create(name, labels, 2);
   if (!entry.histogram) {
     entry.histogram = std::make_unique<Histogram>(std::move(bounds));

@@ -162,6 +162,8 @@ class Registry {
   Registry() = default;
 
   struct Entry;
+  /// Requires mutex_ held: the caller check-then-sets the instrument
+  /// pointer on the returned entry.
   Entry& find_or_create(const std::string& name, const std::string& labels,
                         int type);
 

@@ -13,6 +13,17 @@ Engine::Engine(Nanos dt) : dt_(dt) {
   }
 }
 
+Engine::~Engine() {
+  // Belt and braces for runs that end between flush boundaries: without
+  // this, a destroyed engine leaves up to kObsFlushTicks - 1 ticks (and
+  // their events) unreported.
+  try {
+    flush_obs();
+  } catch (...) {
+    // Registering the counters can allocate; never throw from a dtor.
+  }
+}
+
 void Engine::add(Component& component) { components_.push_back(&component); }
 
 void Engine::at(Nanos t, std::function<void(Nanos)> fn) {

@@ -37,6 +37,13 @@ class Engine {
   /// `dt` is the tick length; must be positive.
   explicit Engine(Nanos dt = msec(1));
 
+  /// Flushes any residual batched obs deltas (short runs, manual stops)
+  /// so tick/event counters never under-report.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Simulation clock, usable anywhere a TimeSource is needed.
   [[nodiscard]] const TimeSource& time() const { return clock_; }
 
@@ -92,6 +99,10 @@ class Engine {
   /// Flush cadence for batched counters (power of two; the hot loop
   /// tests `ticks_ & (kObsFlushTicks - 1)`).
   static constexpr std::uint64_t kObsFlushTicks = 4096;
+  static_assert(kObsFlushTicks != 0 &&
+                    (kObsFlushTicks & (kObsFlushTicks - 1)) == 0,
+                "kObsFlushTicks must be a power of two: the tick loop "
+                "masks with (kObsFlushTicks - 1)");
 
   Nanos dt_;
   ManualTimeSource clock_;

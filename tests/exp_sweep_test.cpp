@@ -1,0 +1,221 @@
+// Tests for exp::sweep — the parallel trial scheduler.
+//
+// The load-bearing contract: a parallel sweep's per-trial results are
+// bit-identical to the serial path for the same seeds (trials share no
+// mutable state), results land in grid order whatever the completion
+// order, and a throwing trial is captured without sinking the sweep.
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "apps/suite.hpp"
+#include "policy/schemes.hpp"
+
+namespace procap::exp {
+namespace {
+
+using minithread::ThreadPool;
+
+// A short but real measurement grid: every trial builds a full SimRig.
+CapImpactGrid small_grid() {
+  CapImpactGrid grid;
+  grid.app = apps::by_name("lammps");
+  grid.caps = {60.0, 100.0};
+  grid.seeds = {1, 2, 3};
+  grid.uncapped_for = 6.0;
+  grid.capped_for = 8.0;
+  grid.settle = 2.0;
+  return grid;
+}
+
+void expect_identical(const SweepResult<CapImpact>& a,
+                      const SweepResult<CapImpact>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, not approximately equal: same trial code, same
+    // seeds, no shared state — thread count must not perturb anything.
+    EXPECT_EQ(a.at(i).delta, b.at(i).delta) << "trial " << i;
+    EXPECT_EQ(a.at(i).rate_uncapped, b.at(i).rate_uncapped) << "trial " << i;
+    EXPECT_EQ(a.at(i).rate_capped, b.at(i).rate_capped) << "trial " << i;
+    EXPECT_EQ(a.at(i).power_uncapped, b.at(i).power_uncapped) << "trial " << i;
+    EXPECT_EQ(a.at(i).power_capped, b.at(i).power_capped) << "trial " << i;
+  }
+}
+
+TEST(ExpSweep, ParallelEqualsSerialAcrossSeeds) {
+  const CapImpactGrid grid = small_grid();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 8;
+  const auto serial_result = sweep_cap_impact(grid, serial);
+  const auto parallel_result = sweep_cap_impact(grid, parallel);
+  EXPECT_EQ(serial_result.threads, 1u);
+  EXPECT_EQ(parallel_result.threads, 6u);  // clamped to the 6 trials
+  expect_identical(serial_result, parallel_result);
+}
+
+TEST(ExpSweep, StaticScheduleMatchesDynamic) {
+  const CapImpactGrid grid = small_grid();
+  SweepOptions dynamic;
+  dynamic.threads = 4;
+  dynamic.schedule = ThreadPool::Schedule::kDynamic;
+  SweepOptions fixed;
+  fixed.threads = 4;
+  fixed.schedule = ThreadPool::Schedule::kStatic;
+  expect_identical(sweep_cap_impact(grid, dynamic),
+                   sweep_cap_impact(grid, fixed));
+}
+
+TEST(ExpSweep, DeterministicGridOrderUnderDynamicScheduling) {
+  // Trials finish out of order (early indices do more work); results
+  // must still land at their grid index.
+  SweepOptions options;
+  options.threads = 8;
+  options.schedule = ThreadPool::Schedule::kDynamic;
+  constexpr std::size_t kTrials = 96;
+  const std::function<double(std::size_t)> trial = [](std::size_t i) {
+    double x = static_cast<double>(kTrials - i);
+    for (int k = 0; k < 1000 * static_cast<int>(kTrials - i); ++k) {
+      x = std::sqrt(x * x + 1e-9);
+    }
+    return x + static_cast<double>(i) * 1000.0;
+  };
+  const auto parallel = sweep<double>(kTrials, trial, options);
+  options.threads = 1;
+  const auto serial = sweep<double>(kTrials, trial, options);
+  ASSERT_EQ(parallel.size(), kTrials);
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(parallel.at(i), serial.at(i)) << "trial " << i;
+  }
+}
+
+TEST(ExpSweep, PerTrialExceptionIsCapturedAndSweepContinues) {
+  SweepOptions options;
+  options.threads = 4;
+  const auto result = sweep<int>(
+      9,
+      [](std::size_t i) -> int {
+        if (i % 3 == 0) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+        return static_cast<int>(i) * 10;
+      },
+      options);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.failures.size(), 3u);
+  EXPECT_EQ(result.failures[0].index, 0u);
+  EXPECT_EQ(result.failures[1].index, 3u);
+  EXPECT_EQ(result.failures[2].index, 6u);
+  EXPECT_EQ(result.failures[1].message, "boom 3");
+  // Surviving trials are unaffected by their neighbours' failures.
+  EXPECT_EQ(result.at(1), 10);
+  EXPECT_EQ(result.at(8), 80);
+  EXPECT_FALSE(result.trials[0].has_value());
+  EXPECT_THROW((void)result.at(0), std::runtime_error);
+  EXPECT_THROW((void)result.at(99), std::out_of_range);
+}
+
+TEST(ExpSweep, ProgressCallbackIsSerializedAndComplete) {
+  SweepOptions options;
+  options.threads = 8;
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  options.on_progress = [&calls](std::size_t done, std::size_t total) {
+    calls.emplace_back(done, total);  // serialized: no lock needed here
+  };
+  constexpr std::size_t kTrials = 40;
+  const auto result = sweep<int>(
+      kTrials, [](std::size_t i) { return static_cast<int>(i); }, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(calls.size(), kTrials);
+  for (const auto& [done, total] : calls) {
+    EXPECT_GE(done, 1u);
+    EXPECT_LE(done, kTrials);
+    EXPECT_EQ(total, kTrials);
+  }
+  EXPECT_EQ(calls.back().first, kTrials);
+}
+
+TEST(ExpSweep, SweepRunsMatchesDirectCall) {
+  std::vector<ScheduleTrial> trials;
+  for (const std::uint64_t seed : {1u, 7u}) {
+    ScheduleTrial trial;
+    trial.app = apps::by_name("stream");
+    trial.make_schedule = [] {
+      return std::make_unique<policy::ConstantCap>(80.0, 4.0);
+    };
+    trial.options.duration = 10.0;
+    trial.options.seed = seed;
+    trials.push_back(std::move(trial));
+  }
+  SweepOptions options;
+  options.threads = 2;
+  const auto swept = sweep_runs(trials, options);
+  ASSERT_TRUE(swept.ok());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    RunOptions direct_options;
+    direct_options.duration = 10.0;
+    direct_options.seed = trials[i].options.seed;
+    const RunTraces direct = run_under_schedule(
+        trials[i].app, std::make_unique<policy::ConstantCap>(80.0, 4.0),
+        direct_options);
+    EXPECT_EQ(swept.at(i).total_progress, direct.total_progress);
+    EXPECT_EQ(swept.at(i).progress.size(), direct.progress.size());
+    EXPECT_EQ(swept.at(i).mean_power(5.0, 10.0),
+              direct.mean_power(5.0, 10.0));
+  }
+}
+
+TEST(ExpSweep, MissingScheduleFactoryIsATrialFailure) {
+  const auto result = sweep_runs(std::vector<ScheduleTrial>(1), {});
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].message.find("no schedule factory"),
+            std::string::npos);
+}
+
+// The tsan target case: a full-width sweep of real SimRig trials at 8
+// threads.  Run under the tsan preset (ctest -L tsan in build-tsan) this
+// proves trial isolation — no data race between concurrent rigs, the
+// obs registry, or the progress plumbing.
+TEST(ExpSweep, EightThreadSimRigSweepIsRaceFree) {
+  SweepOptions options;
+  options.threads = 8;
+  options.schedule = ThreadPool::Schedule::kDynamic;
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  const auto result = sweep<double>(
+      24,
+      [&](std::size_t i) {
+        const int now = live.fetch_add(1, std::memory_order_acq_rel) + 1;
+        int seen = peak.load(std::memory_order_relaxed);
+        while (now > seen &&
+               !peak.compare_exchange_weak(seen, now,
+                                           std::memory_order_relaxed)) {
+        }
+        RunOptions run_options;
+        run_options.duration = 5.0;
+        run_options.seed = i + 1;
+        const RunTraces traces = run_under_schedule(
+            apps::by_name(i % 2 == 0 ? "lammps" : "stream"),
+            std::make_unique<policy::ConstantCap>(70.0, 2.0), run_options);
+        live.fetch_sub(1, std::memory_order_acq_rel);
+        return traces.total_progress;
+      },
+      options);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_GT(result.at(i), 0.0) << "trial " << i;
+  }
+  EXPECT_LE(peak.load(), 8);
+}
+
+}  // namespace
+}  // namespace procap::exp

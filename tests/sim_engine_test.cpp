@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace procap::sim {
@@ -154,6 +155,20 @@ TEST(Engine, EveryRejectsNonPositivePeriod) {
   Engine engine(msec(1));
   EXPECT_THROW(engine.every(0, [](Nanos) {}), std::invalid_argument);
 }
+
+#if !defined(PROCAP_OBS_DISABLED)
+TEST(Engine, ShortRunsReportEveryTickOnDestruction) {
+  // Runs far shorter than the batched flush cadence must still land in
+  // the registry once the engine goes away (destructor flush).
+  auto& ticks_total = obs::Registry::global().counter("sim.ticks");
+  const std::uint64_t before = ticks_total.value();
+  {
+    Engine engine(msec(1));
+    engine.run_for(msec(25));
+  }
+  EXPECT_GE(ticks_total.value() - before, 25u);
+}
+#endif
 
 }  // namespace
 }  // namespace procap::sim

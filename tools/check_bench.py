@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a committed baseline.
+
+Every bench binary built on bench/harness.hpp emits a BENCH_<name>.json
+with wall time, trials/s, thread count and the figure's headline metrics
+(see the schema comment in bench/harness.hpp).  CI runs the short grid,
+then gates on throughput:
+
+    python3 tools/check_bench.py BENCH_fig4.json \
+        bench/baselines/BENCH_fig4.json --max-regression 15
+
+Exit status: 0 when trials/s is within the allowed regression of the
+baseline (the delta is printed either way), 1 on a regression beyond the
+threshold or a failed trial, 2 on usage/schema errors.
+
+To update a baseline after an intentional perf change, rerun the bench
+with --bench-json pointed at bench/baselines/ and commit the diff (the
+README "CI" section documents the procedure).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"check_bench: cannot read {path}: {err}")
+    for key in ("bench", "trials", "trials_per_s"):
+        if key not in report:
+            sys.exit(f"check_bench: {path} missing key '{key}'")
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate a bench JSON report against a baseline.")
+    parser.add_argument("candidate", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed bench/baselines/*.json")
+    parser.add_argument(
+        "--max-regression", type=float, default=15.0, metavar="PCT",
+        help="maximum allowed trials/s drop vs baseline (default 15%%)")
+    args = parser.parse_args()
+
+    candidate = load(args.candidate)
+    baseline = load(args.baseline)
+    if candidate["bench"] != baseline["bench"]:
+        sys.exit(f"check_bench: bench mismatch: candidate is "
+                 f"'{candidate['bench']}', baseline is '{baseline['bench']}'")
+
+    name = candidate["bench"]
+    failures = int(candidate.get("trial_failures", 0))
+    if failures:
+        print(f"{name}: {failures} trial(s) failed — FAIL")
+        return 1
+
+    new = float(candidate["trials_per_s"])
+    old = float(baseline["trials_per_s"])
+    if old <= 0:
+        sys.exit(f"check_bench: baseline trials_per_s must be positive")
+    delta_pct = (new - old) / old * 100.0
+    direction = "faster" if delta_pct >= 0 else "slower"
+    print(f"{name}: {new:.2f} trials/s vs baseline {old:.2f} "
+          f"({delta_pct:+.1f}%, {direction}; threads "
+          f"{candidate.get('threads', '?')} vs {baseline.get('threads', '?')})")
+
+    # Headline metric drift is informational: values legitimately move
+    # when the model or substrate changes; the committed baseline update
+    # is the review point.
+    shared = sorted(set(candidate.get("metrics", {}))
+                    & set(baseline.get("metrics", {})))
+    for key in shared:
+        new_m = float(candidate["metrics"][key])
+        old_m = float(baseline["metrics"][key])
+        drift = new_m - old_m
+        if abs(drift) > 1e-9:
+            print(f"  metric {key}: {new_m:.4g} (baseline {old_m:.4g}, "
+                  f"{drift:+.4g})")
+
+    if delta_pct < -args.max_regression:
+        print(f"{name}: throughput regression beyond "
+              f"{args.max_regression:.0f}% — FAIL")
+        return 1
+    print(f"{name}: within the {args.max_regression:.0f}% gate — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# ci_local.sh — reproduce the CI matrix (.github/workflows/ci.yml) on a
+# dev box: same presets, same labels, same gates.  Green here means green
+# in CI (modulo runner hardware for the perf/bench gates).
+#
+# usage: tools/ci_local.sh [--preset NAME]... [--skip-format] [--skip-bench]
+#   --preset NAME   run only the named preset(s) (default, asan, tsan,
+#                   noobs); may repeat.  Default: all four.
+#   --skip-format   skip the clang-format check
+#   --skip-bench    skip the bench smoke + regression gate
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=()
+skip_format=0
+skip_bench=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset) presets+=("$2"); shift 2 ;;
+    --skip-format) skip_format=1; shift ;;
+    --skip-bench) skip_bench=1; shift ;;
+    *) echo "ci_local.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+if [[ ${#presets[@]} -eq 0 ]]; then
+  presets=(default asan tsan noobs)
+fi
+
+jobs="$(nproc)"
+failed=()
+
+run_step() {
+  local name="$1"; shift
+  echo
+  echo "=== ${name} ==="
+  if "$@"; then
+    echo "=== ${name}: OK ==="
+  else
+    echo "=== ${name}: FAILED ==="
+    failed+=("${name}")
+  fi
+}
+
+# --- format job -----------------------------------------------------------
+if [[ ${skip_format} -eq 0 ]]; then
+  if command -v clang-format >/dev/null 2>&1; then
+    check_format() {
+      find src tests bench tools \( -name '*.cpp' -o -name '*.hpp' \) \
+        -print0 | xargs -0 clang-format --dry-run -Werror
+    }
+    run_step "format (clang-format)" check_format
+  else
+    echo "format: clang-format not installed, skipping (CI will run it)"
+  fi
+fi
+
+# --- build + test matrix --------------------------------------------------
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+for preset in "${presets[@]}"; do
+  run_step "configure ${preset}" cmake --preset "${preset}" "${launcher[@]}"
+  run_step "build ${preset}" cmake --build --preset "${preset}" -j "${jobs}"
+  run_step "ctest ${preset}" ctest --preset "${preset}" -j "${jobs}"
+done
+
+# --- perf-labelled gates (timing sensitive: no -j) ------------------------
+if [[ " ${presets[*]} " == *" default "* ]]; then
+  run_step "perf gate (ctest --preset perf)" ctest --preset perf
+fi
+
+# --- bench smoke + regression gate ----------------------------------------
+if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
+  bench_gate() {
+    ./build/bench/fig4_model_vs_measured --short --threads 8 \
+      --bench-json /tmp/BENCH_fig4.json &&
+      python3 tools/check_bench.py /tmp/BENCH_fig4.json \
+        bench/baselines/BENCH_fig4.json --max-regression 15
+  }
+  run_step "bench gate (fig4 short grid)" bench_gate
+fi
+
+echo
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "ci_local: ${#failed[@]} step(s) FAILED:"
+  printf '  - %s\n' "${failed[@]}"
+  exit 1
+fi
+echo "ci_local: all steps green"
