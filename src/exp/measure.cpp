@@ -1,6 +1,8 @@
 #include "exp/measure.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "apps/app.hpp"
 #include "counters/derived.hpp"
@@ -66,6 +68,27 @@ RunTraces run_under_schedule(const apps::AppModel& app,
     freq_series.add(now, as_mhz(rig.package().frequency()));
     duty_series.add(now, rig.package().duty());
   });
+
+  // Pacing: hold the simulation to `pace` simulated seconds per wall
+  // second by sleeping at a 20 ms cadence (fine enough that live viewers
+  // see smooth motion, coarse enough to stay off the tick loop).
+  if (options.pace > 0.0) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const Nanos sim_start = rig.time().now();
+    rig.engine().every(msec(20), [&options, wall_start, sim_start](Nanos now) {
+      const double wall_target =
+          to_seconds(now - sim_start) / options.pace;
+      std::this_thread::sleep_until(
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(wall_target)));
+    });
+  }
+
+  if (options.on_setup) {
+    LiveRun live{rig.engine(), rig.broker(), monitor, daemon};
+    options.on_setup(live);
+  }
 
   rig.engine().run_until([&] { return sim_app.done(); },
                          to_nanos(options.duration));

@@ -11,6 +11,7 @@
 //     uncapped state, step down to a cap, measure the change in progress.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,7 +25,28 @@
 #include "progress/health.hpp"
 #include "util/series.hpp"
 
+namespace procap::sim {
+class Engine;
+}
+namespace procap::policy {
+class PowerPolicyDaemon;
+}
+namespace procap::progress {
+class Monitor;
+}
+
 namespace procap::exp {
+
+/// The wired-up innards of one live run, handed to RunOptions::on_setup
+/// before the first tick so callers can attach live tooling (samplers,
+/// HTTP endpoints, alert plumbing) to the run's own components.  All
+/// references are valid for the duration of the run only.
+struct LiveRun {
+  sim::Engine& engine;
+  msgbus::Broker& broker;
+  progress::Monitor& monitor;
+  policy::PowerPolicyDaemon& daemon;
+};
 
 /// Time-series record of one simulated run.
 struct RunTraces {
@@ -70,6 +92,12 @@ struct RunOptions {
   /// changes, actuations, ticks and progress windows (and therefore the
   /// cap-to-effect flow).  Must outlive the call.  nullptr = no tracing.
   obs::TraceCollector* trace = nullptr;
+  /// Pace the simulation against the wall clock: simulated seconds
+  /// advanced per wall second (0 = free-running, as fast as possible).
+  /// 1.0 makes live endpoints watchable in real time.
+  double pace = 0.0;
+  /// Invoked once after the rig is wired but before the first tick.
+  std::function<void(LiveRun&)> on_setup;
 };
 
 /// Run `app` under `schedule` and record traces.

@@ -32,4 +32,11 @@ struct Message {
          topic.compare(0, filter.size(), filter) == 0;
 }
 
+/// Topic prefix carrying alert-engine transitions; subscribe to
+/// alert_topic() for everything, or alert_topic("telemetry_health") for
+/// one rule.  Payloads are obs::AlertTransition::to_json().
+[[nodiscard]] inline std::string alert_topic(const std::string& rule = "") {
+  return rule.empty() ? "alert/" : "alert/" + rule;
+}
+
 }  // namespace procap::msgbus

@@ -1,0 +1,323 @@
+#include "obs/alert.hpp"
+
+#include <exception>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace procap::obs {
+
+const char* to_string(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "?";
+}
+
+namespace {
+
+std::optional<AlertState> state_from(std::string_view text) {
+  if (text == "inactive") {
+    return AlertState::kInactive;
+  }
+  if (text == "pending") {
+    return AlertState::kPending;
+  }
+  if (text == "firing") {
+    return AlertState::kFiring;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string AlertTransition::to_json() const {
+  std::ostringstream os;
+  os << "{\"rule\":\"" << json::escape(rule) << "\",\"labels\":\""
+     << json::escape(labels) << "\",\"severity\":\"" << json::escape(severity)
+     << "\",\"from\":\"" << to_string(from) << "\",\"to\":\"" << to_string(to)
+     << "\",\"t\":" << to_seconds(t) << ",\"value\":" << value
+     << ",\"degrades_control\":" << (degrades_control ? "true" : "false")
+     << "}";
+  return os.str();
+}
+
+std::optional<AlertTransition> parse_alert_payload(std::string_view payload) {
+  json::Value root;
+  try {
+    root = json::parse(payload);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!root.is_object()) {
+    return std::nullopt;
+  }
+  const auto from = state_from(root.string_or("from", ""));
+  const auto to = state_from(root.string_or("to", ""));
+  const std::string rule = root.string_or("rule", "");
+  if (!from || !to || rule.empty()) {
+    return std::nullopt;
+  }
+  AlertTransition transition;
+  transition.rule = rule;
+  transition.labels = root.string_or("labels", "");
+  transition.severity = root.string_or("severity", "");
+  transition.from = *from;
+  transition.to = *to;
+  transition.t = to_nanos(root.number_or("t", 0.0));
+  transition.value = root.number_or("value", 0.0);
+  const json::Value* degrades = root.find("degrades_control");
+  transition.degrades_control = degrades != nullptr && degrades->boolean;
+  return transition;
+}
+
+std::vector<AlertRule> builtin_rules(const BuiltinRuleConfig& config) {
+  std::vector<AlertRule> rules;
+
+  AlertRule stall;
+  stall.name = "progress_stall";
+  stall.metric = "progress.rate";
+  stall.kind = AlertRule::Kind::kThreshold;
+  stall.op = AlertRule::Op::kBelow;
+  stall.stat = RuleStat::kValue;
+  stall.threshold = config.stall_rate;
+  stall.hold = config.stall_hold;
+  stall.severity = "critical";
+  stall.description = "application progress rate stuck at zero";
+  rules.push_back(std::move(stall));
+
+  AlertRule slo;
+  slo.name = "cap_effect_slo";
+  slo.metric = "obs.cap_to_effect_ns";
+  slo.kind = AlertRule::Kind::kThreshold;
+  slo.op = AlertRule::Op::kAbove;
+  slo.stat = RuleStat::kP95;
+  slo.threshold = config.cap_effect_slo * 1e9;
+  slo.severity = "warning";
+  slo.description = "p95 cap-to-effect latency above SLO";
+  rules.push_back(std::move(slo));
+
+  AlertRule overshoot;
+  overshoot.name = "power_overshoot";
+  overshoot.metric = "daemon.power_over_cap_watts";
+  overshoot.kind = AlertRule::Kind::kThreshold;
+  overshoot.op = AlertRule::Op::kAbove;
+  overshoot.stat = RuleStat::kValue;
+  overshoot.threshold = config.overshoot_watts;
+  overshoot.hold = config.overshoot_hold;
+  overshoot.severity = "warning";
+  overshoot.description = "measured node power above the programmed cap";
+  rules.push_back(std::move(overshoot));
+
+  AlertRule health;
+  health.name = "telemetry_health";
+  health.metric = "progress.health.grade";
+  health.kind = AlertRule::Kind::kThreshold;
+  health.op = AlertRule::Op::kAbove;
+  health.stat = RuleStat::kValue;
+  health.threshold = 0.5;  // grade 1 = degraded, 2 = lost (§V-C)
+  health.hold = config.health_hold;
+  health.severity = "critical";
+  health.description = "progress signal degraded or lost";
+  health.degrades_control = true;
+  rules.push_back(std::move(health));
+
+  AlertRule absent;
+  absent.name = "telemetry_absent";
+  absent.metric = "progress.samples";
+  absent.kind = AlertRule::Kind::kAbsence;
+  absent.absence_window = config.absence_window;
+  absent.severity = "critical";
+  absent.description = "no progress samples accepted over the window";
+  absent.degrades_control = true;
+  rules.push_back(std::move(absent));
+
+  return rules;
+}
+
+AlertEngine::AlertEngine(const TimeSeriesStore& store) : store_(&store) {}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(Tracked{std::move(rule), {}});
+}
+
+void AlertEngine::add_builtin_rules(const BuiltinRuleConfig& config) {
+  for (AlertRule& rule : builtin_rules(config)) {
+    add_rule(std::move(rule));
+  }
+}
+
+std::size_t AlertEngine::rule_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rules_.size();
+}
+
+void AlertEngine::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void AlertEngine::step(Tracked& tracked, Instance& instance, bool condition,
+                       double value, Nanos now) {
+  instance.value = value;
+  const auto transition = [&](AlertState to) {
+    AlertTransition record;
+    record.t = now;
+    record.rule = tracked.rule.name;
+    record.labels = instance.labels;
+    record.severity = tracked.rule.severity;
+    record.from = instance.state;
+    record.to = to;
+    record.value = value;
+    record.degrades_control = tracked.rule.degrades_control;
+    instance.state = to;
+    instance.since = now;
+    transitions_.push_back(record);
+    if (sink_ && (record.fired() || record.resolved())) {
+      sink_(record);
+    }
+  };
+  if (condition) {
+    if (instance.state == AlertState::kInactive) {
+      transition(AlertState::kPending);
+    }
+    if (instance.state == AlertState::kPending &&
+        now - instance.since >= tracked.rule.hold) {
+      transition(AlertState::kFiring);
+    }
+  } else if (instance.state != AlertState::kInactive) {
+    transition(AlertState::kInactive);
+  }
+}
+
+void AlertEngine::evaluate(Nanos now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Tracked& tracked : rules_) {
+    const AlertRule& rule = tracked.rule;
+    for (const SeriesView& view : store_->series(rule.metric)) {
+      if (view.points.empty()) {
+        continue;
+      }
+      Instance* instance = nullptr;
+      for (Instance& candidate : tracked.instances) {
+        if (candidate.labels == view.labels) {
+          instance = &candidate;
+          break;
+        }
+      }
+      if (instance == nullptr) {
+        tracked.instances.push_back(Instance{view.labels,
+                                             AlertState::kInactive, now, 0.0});
+        instance = &tracked.instances.back();
+      }
+
+      bool condition = false;
+      double value = 0.0;
+      const TsPoint& newest = view.points.back();
+      if (rule.kind == AlertRule::Kind::kAbsence) {
+        // Evidence-based absence: compare the newest value against the
+        // last point old enough to bracket the window.  Without such a
+        // point (short history) nothing can be concluded yet.
+        const TsPoint* baseline = nullptr;
+        for (const TsPoint& point : view.points) {
+          if (point.t <= now - rule.absence_window) {
+            baseline = &point;
+          } else {
+            break;
+          }
+        }
+        if (baseline != nullptr) {
+          value = newest.value - baseline->value;
+          condition = value <= 0.0;
+        }
+      } else {
+        const RuleStat stat =
+            rule.kind == AlertRule::Kind::kRate ? RuleStat::kRate : rule.stat;
+        switch (stat) {
+          case RuleStat::kValue:
+            value = newest.value;
+            break;
+          case RuleStat::kRate:
+            value = newest.rate;
+            break;
+          case RuleStat::kP50:
+            value = newest.p50;
+            break;
+          case RuleStat::kP95:
+            value = newest.p95;
+            break;
+          case RuleStat::kP99:
+            value = newest.p99;
+            break;
+        }
+        condition = rule.op == AlertRule::Op::kAbove ? value > rule.threshold
+                                                     : value < rule.threshold;
+      }
+      step(tracked, *instance, condition, value, now);
+    }
+  }
+}
+
+std::vector<Alert> AlertEngine::alerts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Alert> out;
+  for (const Tracked& tracked : rules_) {
+    for (const Instance& instance : tracked.instances) {
+      Alert alert;
+      alert.rule = tracked.rule.name;
+      alert.labels = instance.labels;
+      alert.severity = tracked.rule.severity;
+      alert.description = tracked.rule.description;
+      alert.degrades_control = tracked.rule.degrades_control;
+      alert.state = instance.state;
+      alert.since = instance.since;
+      alert.value = instance.value;
+      out.push_back(std::move(alert));
+    }
+  }
+  return out;
+}
+
+std::vector<Alert> AlertEngine::firing() const {
+  std::vector<Alert> out;
+  for (Alert& alert : alerts()) {
+    if (alert.state == AlertState::kFiring) {
+      out.push_back(std::move(alert));
+    }
+  }
+  return out;
+}
+
+std::vector<AlertTransition> AlertEngine::transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
+void AlertEngine::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"rules\":" << rules_.size() << ",\"alerts\":[";
+  bool first = true;
+  for (const Tracked& tracked : rules_) {
+    for (const Instance& instance : tracked.instances) {
+      os << (first ? "" : ",") << "{\"rule\":\""
+         << json::escape(tracked.rule.name) << "\",\"labels\":\""
+         << json::escape(instance.labels) << "\",\"severity\":\""
+         << json::escape(tracked.rule.severity) << "\",\"state\":\""
+         << to_string(instance.state)
+         << "\",\"since\":" << to_seconds(instance.since)
+         << ",\"value\":" << instance.value << ",\"description\":\""
+         << json::escape(tracked.rule.description) << "\"}";
+      first = false;
+    }
+  }
+  os << "],\"transitions\":" << transitions_.size() << "}";
+}
+
+}  // namespace procap::obs

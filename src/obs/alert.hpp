@@ -1,0 +1,179 @@
+// alert.hpp — declarative alert rules over the live time-series.
+//
+// The reacting half of observability stage two: rules are evaluated
+// against the TimeSeriesStore's retained samples and move through the
+// Prometheus-style state machine inactive → pending → firing, with a
+// `for:`-style hold duration before a pending condition fires and a
+// firing→inactive "resolved" transition when the condition clears.
+//
+// Three rule kinds cover the paper's live-control needs:
+//   * threshold — a chosen statistic of the newest sample (value, rate
+//     or a histogram quantile) compared against a bound;
+//   * rate — shorthand for threshold on the per-second rate;
+//   * absence — the metric stopped moving: no increase over a window
+//     (dead reporter, lost telemetry link).
+//
+// A rule's `metric` names a registry instrument; every label set of that
+// instrument gets its own alert instance (one per app, etc.).  Rules
+// flagged `degrades_control` signal that closed-loop controllers should
+// fall back to open-loop while firing — NodeResourceManager and
+// PowerPolicyDaemon subscribe to those transitions over the msgbus
+// (msgbus::alert_topic) and feed their PR-1 degraded-mode logic.
+//
+// AlertEngine is mutex-protected: the simulation thread evaluates while
+// the HTTP thread serializes /alerts.json.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "util/units.hpp"
+
+namespace procap::obs {
+
+/// Which retained statistic a threshold rule reads.
+enum class RuleStat { kValue, kRate, kP50, kP95, kP99 };
+
+/// One declarative rule.
+struct AlertRule {
+  enum class Kind { kThreshold, kRate, kAbsence };
+  enum class Op { kAbove, kBelow };
+
+  std::string name;    ///< alert identity, e.g. "telemetry_health"
+  std::string metric;  ///< instrument name; every label set matches
+  Kind kind = Kind::kThreshold;
+  Op op = Op::kAbove;
+  RuleStat stat = RuleStat::kValue;  ///< threshold rules (kRate forces rate)
+  double threshold = 0.0;
+  /// `for:` hold — the condition must hold this long before firing.
+  Nanos hold = 0;
+  /// Absence rules: fire when the metric did not increase over this
+  /// window (needs evidence ≥ one retained point older than the window).
+  Nanos absence_window = 5 * kNanosPerSecond;
+  std::string severity = "warning";
+  std::string description;
+  /// Firing means closed-loop controllers should fall back open-loop.
+  bool degrades_control = false;
+};
+
+enum class AlertState { kInactive, kPending, kFiring };
+
+[[nodiscard]] const char* to_string(AlertState state);
+
+/// One rule × one label set, with its current state.
+struct Alert {
+  std::string rule;
+  std::string labels;
+  std::string severity;
+  std::string description;
+  bool degrades_control = false;
+  AlertState state = AlertState::kInactive;
+  Nanos since = 0;     ///< when the current state was entered
+  double value = 0.0;  ///< statistic at the last evaluation
+};
+
+/// One recorded state change.
+struct AlertTransition {
+  Nanos t = 0;
+  std::string rule;
+  std::string labels;
+  std::string severity;
+  AlertState from = AlertState::kInactive;
+  AlertState to = AlertState::kInactive;
+  double value = 0.0;
+  bool degrades_control = false;
+
+  [[nodiscard]] bool fired() const { return to == AlertState::kFiring; }
+  [[nodiscard]] bool resolved() const {
+    return from == AlertState::kFiring && to == AlertState::kInactive;
+  }
+
+  /// Payload published on the msgbus (topic msgbus::alert_topic(rule)).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Parse a msgbus alert payload back into a transition; nullopt on junk
+/// (subscribers on a corrupting link must not crash).
+[[nodiscard]] std::optional<AlertTransition> parse_alert_payload(
+    std::string_view payload);
+
+/// Tuning for the built-in rule catalog.
+struct BuiltinRuleConfig {
+  /// progress_stall: rate below this for stall_hold (app produced no work).
+  double stall_rate = 1e-9;
+  Nanos stall_hold = 5 * kNanosPerSecond;
+  /// cap_effect_slo: p95 cap-to-effect latency above this (seconds).
+  Seconds cap_effect_slo = 8.0;
+  /// power_overshoot: measured power above the cap by this many watts.
+  Watts overshoot_watts = 8.0;
+  Nanos overshoot_hold = 3 * kNanosPerSecond;
+  /// telemetry_health: health grade at or above degraded for this long.
+  Nanos health_hold = 2 * kNanosPerSecond;
+  /// telemetry_absent: no accepted samples over this window.
+  Nanos absence_window = 5 * kNanosPerSecond;
+};
+
+/// The built-in catalog (§V-C and the ISSUE's SLOs): progress_stall,
+/// cap_effect_slo, power_overshoot, telemetry_health, telemetry_absent.
+[[nodiscard]] std::vector<AlertRule> builtin_rules(
+    const BuiltinRuleConfig& config = {});
+
+/// Evaluates rules against a TimeSeriesStore and tracks alert state.
+class AlertEngine {
+ public:
+  /// `store` must outlive the engine.
+  explicit AlertEngine(const TimeSeriesStore& store);
+
+  void add_rule(AlertRule rule);
+  void add_builtin_rules(const BuiltinRuleConfig& config = {});
+  [[nodiscard]] std::size_t rule_count() const;
+
+  /// Sink invoked (from evaluate's thread) on firing and resolved
+  /// transitions — the msgbus publishing seam.
+  using Sink = std::function<void(const AlertTransition&)>;
+  void set_sink(Sink sink);
+
+  /// Evaluate every rule at time `now`; call at the control cadence
+  /// (1 Hz).  Series the store has not sampled yet are skipped.
+  void evaluate(Nanos now);
+
+  /// Snapshot of every alert instance / only the firing ones.
+  [[nodiscard]] std::vector<Alert> alerts() const;
+  [[nodiscard]] std::vector<Alert> firing() const;
+
+  /// Every recorded transition, in order.
+  [[nodiscard]] std::vector<AlertTransition> transitions() const;
+
+  /// The /alerts.json document.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Instance {
+    std::string labels;
+    AlertState state = AlertState::kInactive;
+    Nanos since = 0;
+    double value = 0.0;
+  };
+  struct Tracked {
+    AlertRule rule;
+    std::vector<Instance> instances;
+  };
+
+  void step(Tracked& tracked, Instance& instance, bool condition, double value,
+            Nanos now);
+
+  const TimeSeriesStore* store_;
+  mutable std::mutex mutex_;
+  std::vector<Tracked> rules_;
+  std::vector<AlertTransition> transitions_;
+  Sink sink_;
+};
+
+}  // namespace procap::obs

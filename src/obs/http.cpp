@@ -1,0 +1,268 @@
+#include "obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace procap::obs {
+
+namespace {
+
+constexpr int kRequestTimeoutMs = 2000;
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Write the whole buffer, tolerating short writes; false on error.
+bool write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler handler) {
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpServer::start(const std::string& host, std::uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return false;  // already running
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    ::close(fd);
+    return false;
+  }
+  if (::pipe(wake_fds_) < 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  const char byte = 'q';
+  (void)!::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+std::uint64_t HttpServer::requests_served() const {
+  return served_.load(std::memory_order_relaxed);
+}
+
+void HttpServer::serve_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      return;  // stop() wrote the wake byte
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::serve_one(int client_fd) {
+  // Read until the end of the request head; GET requests carry no body.
+  std::string request;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kRequestTimeoutMs) <= 0) {
+      return;
+    }
+    char buf[2048];
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::size_t m_end = request.find(' ');
+  const std::size_t t_end =
+      m_end == std::string::npos ? std::string::npos
+                                 : request.find(' ', m_end + 1);
+  if (t_end == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    const std::string method = request.substr(0, m_end);
+    std::string target = request.substr(m_end + 1, t_end - m_end - 1);
+    std::string query;
+    if (const std::size_t q = target.find('?'); q != std::string::npos) {
+      query = target.substr(q + 1);
+      target.resize(q);
+    }
+    if (method != "GET") {
+      response = {405, "text/plain; charset=utf-8", "GET only\n"};
+    } else {
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+      for (const auto& [path, handler] : handlers_) {
+        if (path == target) {
+          response = handler(query);
+          break;
+        }
+      }
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     reason_phrase(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (write_all(client_fd, head.data(), head.size())) {
+    (void)write_all(client_fd, response.body.data(), response.body.size());
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
+                                   const std::string& path, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return std::nullopt;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string raw;
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) {
+      break;
+    }
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 NNN ...\r\n" headers "\r\n\r\n" body.
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    return std::nullopt;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || raw.size() < sp + 4) {
+    return std::nullopt;
+  }
+  HttpResult result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return std::nullopt;
+  }
+  result.body = raw.substr(head_end + 4);
+  return result;
+}
+
+}  // namespace procap::obs

@@ -1,0 +1,94 @@
+// http.hpp — minimal blocking HTTP/1.1 server for the live endpoints.
+//
+// Serves the pull side of observability stage two: /metrics (Prometheus
+// text exposition), /timeseries.json, /alerts.json and /healthz, each
+// backed by a registered handler.  Deliberately tiny — GET only, one
+// request per connection (Connection: close), loopback by default, a
+// single accept-and-serve thread woken through a self-pipe so stop() is
+// prompt.  No external dependencies: plain POSIX sockets + poll.
+//
+// Handlers run on the server thread while the simulation runs on the
+// main thread, so anything a handler touches must be thread-safe
+// (Registry, TimeSeriesStore and AlertEngine are; raw sim state is not —
+// snapshot it into a mutex-protected copy first, as power_policy does
+// for /healthz).
+//
+// The matching http_get() client exists for tests and procap_top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace procap::obs {
+
+/// What a handler returns.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// What http_get() returns (headers already consumed).
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Single-threaded embedded HTTP server.
+class HttpServer {
+ public:
+  /// Handler for one exact path; `query` is the raw string after '?'
+  /// ("" when absent).
+  using Handler = std::function<HttpResponse(const std::string& query)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register `handler` for GET `path` (exact match, no trailing-slash
+  /// games).  Call before start(); not thread-safe afterwards.
+  void handle(std::string path, Handler handler);
+
+  /// Bind `host:port` (port 0 picks an ephemeral port) and launch the
+  /// serve thread.  Returns false (with no thread) when binding fails.
+  [[nodiscard]] bool start(const std::string& host = "127.0.0.1",
+                           std::uint16_t port = 0);
+
+  /// Stop the serve thread and close the socket; idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+
+  /// The bound port (the chosen one when start() was given port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Requests answered so far (any status).
+  [[nodiscard]] std::uint64_t requests_served() const;
+
+ private:
+  void serve_loop();
+  void serve_one(int client_fd);
+
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by stop
+  std::uint16_t port_ = 0;
+  std::atomic<std::uint64_t> served_{0};
+};
+
+/// Blocking GET against a local/remote server; nullopt on connect/IO
+/// failure or timeout.  Used by procap_top and the endpoint tests.
+[[nodiscard]] std::optional<HttpResult> http_get(const std::string& host,
+                                                 std::uint16_t port,
+                                                 const std::string& path,
+                                                 int timeout_ms = 2000);
+
+}  // namespace procap::obs

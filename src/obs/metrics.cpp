@@ -90,6 +90,35 @@ std::vector<double> seconds_buckets() {
           0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
 }
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prometheus_label(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += "\"";
+  return out;
+}
+
 struct Registry::Entry {
   std::string name;
   std::string labels;
@@ -254,6 +283,38 @@ void Registry::reset_values() {
         break;
     }
   }
+}
+
+std::vector<InstrumentSnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<InstrumentSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    InstrumentSnapshot snap;
+    snap.name = entry->name;
+    snap.labels = entry->labels;
+    snap.type = entry->type;
+    switch (entry->type) {
+      case 0:
+        snap.value = static_cast<double>(entry->counter->value());
+        break;
+      case 1:
+        snap.value = entry->gauge->value();
+        break;
+      default: {
+        const Histogram& h = *entry->histogram;
+        snap.count = h.count();
+        snap.sum = h.sum();
+        snap.value = static_cast<double>(snap.count);
+        snap.p50 = h.quantile(0.50);
+        snap.p95 = h.quantile(0.95);
+        snap.p99 = h.quantile(0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
 }
 
 std::vector<std::string> Registry::names() const {

@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace procap::obs {
@@ -117,6 +118,32 @@ class Histogram {
 [[nodiscard]] std::vector<double> latency_buckets_ns();
 [[nodiscard]] std::vector<double> seconds_buckets();
 
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline become \\, \" and \n.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Build one `key="value"` label pair with the value escaped.  Every
+/// instrument registered with a runtime-derived label value (app names
+/// from spec files, paths, ...) must go through this, or the exposition
+/// breaks on hostile values.
+[[nodiscard]] std::string prometheus_label(std::string_view key,
+                                           std::string_view value);
+
+/// Point-in-time copy of one instrument's exported state — the read path
+/// of the time-series sampler (obs/timeseries.hpp).
+struct InstrumentSnapshot {
+  std::string name;
+  std::string labels;
+  int type = 0;             ///< 0 counter, 1 gauge, 2 histogram
+  double value = 0.0;       ///< counter cumulative / gauge value
+  std::uint64_t count = 0;  ///< histogram observations
+  double sum = 0.0;         ///< histogram sum
+  /// Bucket-interpolated quantiles (histograms only).
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Process-wide registry of named instruments.  Names use dotted paths
 /// ("daemon.ticks"); an optional Prometheus-style label set ("app=\"x\"")
 /// distinguishes per-entity instances of one metric.
@@ -152,6 +179,9 @@ class Registry {
 
   /// Registered instrument names ("name{labels}"), registration order.
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Snapshot every instrument's current value, registration order.
+  [[nodiscard]] std::vector<InstrumentSnapshot> snapshot() const;
 
   /// Measured wall cost of one enabled Counter::inc, in nanoseconds —
   /// the registry's own hot-path price, micro-benchmarked on demand so

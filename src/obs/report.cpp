@@ -181,12 +181,13 @@ void stats_line(std::ostream& os, const char* what,
   }
   const double mean =
       std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "%s: n=%zu  mean=%.3f  p50=%.3f  p95=%.3f  max=%.3f %s\n",
-                what, v.size(), mean * scale, percentile(v, 0.5) * scale,
-                percentile(v, 0.95) * scale,
-                *std::max_element(v.begin(), v.end()) * scale, unit);
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s: n=%zu  mean=%.3f  p50=%.3f  p95=%.3f  p99=%.3f  max=%.3f %s\n",
+      what, v.size(), mean * scale, percentile(v, 0.5) * scale,
+      percentile(v, 0.95) * scale, percentile(v, 0.99) * scale,
+      *std::max_element(v.begin(), v.end()) * scale, unit);
   os << buf;
 }
 

@@ -1,0 +1,239 @@
+#include "obs/timeseries.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace procap::obs {
+
+RingBuffer::RingBuffer(std::size_t capacity) : data_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RingBuffer: capacity must be positive");
+  }
+}
+
+void RingBuffer::push(const TsPoint& point) {
+  data_[head_] = point;
+  head_ = (head_ + 1) % data_.size();
+  if (size_ < data_.size()) {
+    ++size_;
+  }
+  ++pushed_;
+}
+
+const TsPoint& RingBuffer::at(std::size_t i) const {
+  if (i >= size_) {
+    throw std::out_of_range("RingBuffer::at: index past size");
+  }
+  // head_ points one past the newest; the oldest sits size_ slots back.
+  const std::size_t oldest = (head_ + data_.size() - size_) % data_.size();
+  return data_[(oldest + i) % data_.size()];
+}
+
+const TsPoint& RingBuffer::latest() const { return at(size_ - 1); }
+
+const char* to_string(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kGauge:
+      return "gauge";
+    case SeriesKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+SeriesKind kind_of(int registry_type) {
+  switch (registry_type) {
+    case 0:
+      return SeriesKind::kCounter;
+    case 1:
+      return SeriesKind::kGauge;
+    default:
+      return SeriesKind::kHistogram;
+  }
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(Registry& registry, std::size_t capacity)
+    : registry_(&registry), capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TimeSeriesStore: capacity must be positive");
+  }
+}
+
+void TimeSeriesStore::sample(Nanos now) {
+  // Snapshot outside the store lock: the registry has its own mutex and
+  // the copy is cheap next to the sampling interval.
+  const std::vector<InstrumentSnapshot> snaps = registry_->snapshot();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t slot = 0;
+  for (const InstrumentSnapshot& snap : snaps) {
+    // The registry only appends, in registration order; walk both lists
+    // in lockstep and create rings for instruments that are new since
+    // the previous round.
+    while (slot < slots_.size() && (slots_[slot].name != snap.name ||
+                                    slots_[slot].labels != snap.labels)) {
+      ++slot;
+    }
+    if (slot == slots_.size()) {
+      slots_.push_back(Slot{snap.name, snap.labels, kind_of(snap.type),
+                            RingBuffer(capacity_)});
+    }
+    Slot& s = slots_[slot];
+    TsPoint point;
+    point.t = now;
+    point.value = snap.value;
+    if (s.kind != SeriesKind::kGauge && !s.ring.empty()) {
+      const TsPoint& prev = s.ring.latest();
+      if (now > prev.t) {
+        point.rate = (point.value - prev.value) /
+                     to_seconds(now - prev.t);
+      }
+    }
+    if (s.kind == SeriesKind::kHistogram) {
+      point.p50 = snap.p50;
+      point.p95 = snap.p95;
+      point.p99 = snap.p99;
+    }
+    s.ring.push(point);
+    ++slot;
+  }
+  ++samples_;
+}
+
+std::uint64_t TimeSeriesStore::samples_taken() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+std::optional<TsPoint> TimeSeriesStore::latest(const std::string& name,
+                                               const std::string& labels)
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Slot& slot : slots_) {
+    if (slot.name == name && slot.labels == labels && !slot.ring.empty()) {
+      return slot.ring.latest();
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<SeriesView> TimeSeriesStore::series(
+    const std::string& name_filter, Nanos since) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesView> out;
+  for (const Slot& slot : slots_) {
+    if (!name_filter.empty() && slot.name != name_filter) {
+      continue;
+    }
+    SeriesView view;
+    view.name = slot.name;
+    view.labels = slot.labels;
+    view.kind = slot.kind;
+    for (std::size_t i = 0; i < slot.ring.size(); ++i) {
+      const TsPoint& point = slot.ring.at(i);
+      if (point.t >= since) {
+        view.points.push_back(point);
+      }
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+void TimeSeriesStore::set_meta(const std::string& key,
+                               const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  meta_[key] = value;
+}
+
+void TimeSeriesStore::write_json(std::ostream& os, Nanos since) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta_) {
+    os << (first ? "" : ",") << "\"" << json::escape(key) << "\":\""
+       << json::escape(value) << "\"";
+    first = false;
+  }
+  os << "},\"samples\":" << samples_ << ",\"series\":[";
+  first = true;
+  for (const Slot& slot : slots_) {
+    os << (first ? "" : ",") << "{\"name\":\"" << json::escape(slot.name)
+       << "\",\"labels\":\"" << json::escape(slot.labels) << "\",\"kind\":\""
+       << to_string(slot.kind) << "\",\"points\":[";
+    first = false;
+    bool first_point = true;
+    for (std::size_t i = 0; i < slot.ring.size(); ++i) {
+      const TsPoint& point = slot.ring.at(i);
+      if (point.t < since) {
+        continue;
+      }
+      os << (first_point ? "" : ",") << "{\"t\":" << to_seconds(point.t)
+         << ",\"v\":" << point.value << ",\"rate\":" << point.rate;
+      if (slot.kind == SeriesKind::kHistogram) {
+        os << ",\"p50\":" << point.p50 << ",\"p95\":" << point.p95
+           << ",\"p99\":" << point.p99;
+      }
+      os << "}";
+      first_point = false;
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+namespace {
+/// Process-wide flush hook; relaxed is enough (install/uninstall happen
+/// on run setup/teardown, not concurrently with flushes that matter).
+std::atomic<Sampler*> g_sampler{nullptr};
+}  // namespace
+
+Sampler::Sampler(TimeSeriesStore& store, Nanos interval)
+    : store_(&store), interval_(interval) {
+  if (interval <= 0) {
+    throw std::invalid_argument("Sampler: interval must be positive");
+  }
+}
+
+Sampler::~Sampler() { uninstall(); }
+
+void Sampler::install() { g_sampler.store(this, std::memory_order_release); }
+
+void Sampler::uninstall() {
+  Sampler* expected = this;
+  g_sampler.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+void Sampler::on_flush(Nanos now) {
+  if (primed_ && now < next_due_) {
+    return;
+  }
+  store_->sample(now);
+  ++samples_;
+  primed_ = true;
+  next_due_ = now + interval_;
+}
+
+#if !defined(PROCAP_OBS_DISABLED)
+void notify_flush(Nanos now) {
+  Sampler* sampler = g_sampler.load(std::memory_order_acquire);
+  if (sampler != nullptr) {
+    sampler->on_flush(now);
+  }
+}
+#endif
+
+}  // namespace procap::obs

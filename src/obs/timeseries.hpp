@@ -1,0 +1,192 @@
+// timeseries.hpp — live retention for the metrics registry.
+//
+// Stage two of the observability layer: instead of scraping the registry
+// once at exit, a Sampler periodically snapshots every registered
+// Counter/Gauge/Histogram into per-instrument fixed-capacity ring
+// buffers.  Each retained point carries the cumulative value, the
+// per-second rate since the previous sample (counters and histogram
+// counts), and bucket-interpolated p50/p95/p99 (histograms) — everything
+// the HTTP endpoints (/timeseries.json), the alert engine and the
+// procap_top dashboard read.
+//
+// Overhead contract: sampling is driven from the sim engine's existing
+// batched-flush point (Engine::flush_obs → notify_flush), so the hot
+// tick loop pays exactly what it already paid — one masked branch — and
+// the registry walk happens at the flush cadence (every kObsFlushTicks
+// ticks, ~4 s of simulated time at the default dt), far off the hot
+// path.  The ≤3 % perf gate (tests/obs_overhead_test.cpp) covers the
+// combination.
+//
+// Threading: TimeSeriesStore is mutex-protected — the simulation thread
+// samples while the HTTP server thread serializes snapshots.  Sampler is
+// single-threaded (driven by the engine that owns the flush point).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/units.hpp"
+
+namespace procap::obs {
+
+/// One retained sample of one instrument.
+struct TsPoint {
+  Nanos t = 0;
+  double value = 0.0;  ///< counter cumulative / gauge value / histogram count
+  double rate = 0.0;   ///< per-second delta since the previous sample
+  /// Bucket-interpolated quantiles (histograms; 0 otherwise).
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  friend bool operator==(const TsPoint&, const TsPoint&) = default;
+};
+
+/// Fixed-capacity ring of TsPoints; pushing beyond capacity evicts the
+/// oldest point.  Index 0 is always the oldest retained point.
+class RingBuffer {
+ public:
+  /// Throws std::invalid_argument when capacity is zero.
+  explicit RingBuffer(std::size_t capacity);
+
+  void push(const TsPoint& point);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Oldest-first access; throws std::out_of_range past size().
+  [[nodiscard]] const TsPoint& at(std::size_t i) const;
+
+  /// Newest retained point; requires !empty().
+  [[nodiscard]] const TsPoint& latest() const;
+
+  /// Total points ever pushed (>= size() once the ring has wrapped).
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  std::vector<TsPoint> data_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+/// Series kind, mirroring the registry's instrument types.
+enum class SeriesKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(SeriesKind kind);
+
+/// Owning copy of one series, as returned to readers.
+struct SeriesView {
+  std::string name;
+  std::string labels;
+  SeriesKind kind = SeriesKind::kCounter;
+  std::vector<TsPoint> points;  ///< oldest first
+};
+
+/// Per-instrument ring buffers filled by sample().  One store retains
+/// one run's live history; readers get consistent copies.
+class TimeSeriesStore {
+ public:
+  /// `registry` must outlive the store; `capacity` is points per series.
+  explicit TimeSeriesStore(Registry& registry, std::size_t capacity = 512);
+
+  /// Snapshot every registered instrument at time `now`.  Instruments
+  /// registered since the last call get a fresh ring; counter rates are
+  /// derived against the previous retained point.
+  void sample(Nanos now);
+
+  /// Sampling rounds completed.
+  [[nodiscard]] std::uint64_t samples_taken() const;
+
+  /// Series currently retained.
+  [[nodiscard]] std::size_t series_count() const;
+
+  /// Newest point of the series with exactly this name+labels.
+  [[nodiscard]] std::optional<TsPoint> latest(const std::string& name,
+                                              const std::string& labels =
+                                                  "") const;
+
+  /// Copies of every series whose name equals `name_filter` (empty =
+  /// all), restricted to points with t >= since.
+  [[nodiscard]] std::vector<SeriesView> series(
+      const std::string& name_filter = "", Nanos since = 0) const;
+
+  /// Run metadata echoed into the JSON document (app, scheme, ...).
+  void set_meta(const std::string& key, const std::string& value);
+
+  /// The /timeseries.json document: {"meta":{...},"samples":N,
+  /// "series":[{"name","labels","kind","points":[{"t","v","rate",...}]}]}.
+  /// Timestamps are emitted in seconds.
+  void write_json(std::ostream& os, Nanos since = 0) const;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::string labels;
+    SeriesKind kind;
+    RingBuffer ring;
+  };
+
+  Registry* registry_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::map<std::string, std::string> meta_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Drives a TimeSeriesStore from the engine's batched-flush point: call
+/// install() and every Engine::flush_obs() (or any other notify_flush()
+/// caller) takes a sample once `interval` has elapsed since the last
+/// one.  Install at most one sampler per process at a time.
+class Sampler {
+ public:
+  /// `store` must outlive the sampler.
+  explicit Sampler(TimeSeriesStore& store, Nanos interval = kNanosPerSecond);
+
+  /// Uninstalls automatically if still installed.
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Register as the process-wide flush hook (replaces any previous).
+  void install();
+
+  /// Deregister (no-op when another sampler took the hook meanwhile).
+  void uninstall();
+
+  /// Sample if `interval` has elapsed since the last sample (always
+  /// samples on the first call).  Callable directly in tests.
+  void on_flush(Nanos now);
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+  [[nodiscard]] Nanos interval() const { return interval_; }
+
+ private:
+  TimeSeriesStore* store_;
+  Nanos interval_;
+  Nanos next_due_ = 0;
+  bool primed_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+#if !defined(PROCAP_OBS_DISABLED)
+/// Invoke the installed sampler, if any.  Called from the sim engine's
+/// batched obs flush; one relaxed pointer load when no sampler is
+/// installed.
+void notify_flush(Nanos now);
+#else
+/// Compiled-out stub: the noobs build pays nothing at the flush point.
+inline void notify_flush(Nanos) {}
+#endif
+
+}  // namespace procap::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "msr/device.hpp"
+#include "obs/alert.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -52,6 +53,33 @@ void PowerPolicyDaemon::note_failure(Nanos now) {
                << ", backing off " << to_seconds(backoff) << " s";
 }
 
+void PowerPolicyDaemon::watch_alerts(std::shared_ptr<msgbus::SubSocket> sub) {
+  if (sub) {
+    sub->subscribe(msgbus::alert_topic());
+  }
+  alerts_ = std::move(sub);
+}
+
+void PowerPolicyDaemon::drain_alerts() {
+  if (!alerts_) {
+    return;
+  }
+  while (const auto msg = alerts_->try_recv()) {
+    const auto transition = obs::parse_alert_payload(msg->payload);
+    if (!transition) {
+      continue;  // corrupted link; ignore junk
+    }
+    if (transition->rule == "power_overshoot" && transition->fired() &&
+        applied_) {
+      // Measured power exceeded the programmed cap for the rule's hold:
+      // assume the actuator lost the setting and program it again.
+      reapply_cap_ = true;
+      PROCAP_INFO << "power-policy: power_overshoot alert firing, will "
+                     "reprogram cap";
+    }
+  }
+}
+
 void PowerPolicyDaemon::tick() {
   PROCAP_OBS_COUNTER(ticks_total, "daemon.ticks");
   PROCAP_OBS_COUNTER(read_failures_total, "daemon.read_failures");
@@ -60,11 +88,17 @@ void PowerPolicyDaemon::tick() {
   PROCAP_OBS_COUNTER(cap_changes_total, "daemon.cap_changes");
   PROCAP_OBS_HISTOGRAM(tick_wall, "daemon.tick_wall_ns",
                        ::procap::obs::latency_buckets_ns());
+  // Live-control gauges: the alert engine's power_overshoot rule and the
+  // procap_top dashboard read these from the time-series store.
+  PROCAP_OBS_GAUGE(cap_gauge, "daemon.cap_watts");
+  PROCAP_OBS_GAUGE(power_gauge, "daemon.power_watts");
+  PROCAP_OBS_GAUGE(over_gauge, "daemon.power_over_cap_watts");
   // Wall-clock (not sim-time) cost of this control cycle; recorded in the
   // histogram and on the trace span so the run artifact carries the
   // daemon's own latency distribution.
   const auto wall_start = std::chrono::steady_clock::now();
   ticks_total.inc();
+  drain_alerts();
   const Nanos now = time_->now();
   // Watchdog: count intervals the timer loop failed to deliver.
   if (interval_ > 0 && last_tick_ >= 0) {
@@ -98,6 +132,8 @@ void PowerPolicyDaemon::tick() {
   try {
     const Watts measured = rapl_->pkg_power(pkg_);
     power_.add(now, measured);
+    power_gauge.set(measured);
+    over_gauge.set(applied_ ? std::max(0.0, measured - *applied_) : 0.0);
   } catch (const msr::MsrError& e) {
     ++read_failures_;
     read_failures_total.inc();
@@ -107,8 +143,13 @@ void PowerPolicyDaemon::tick() {
 
   const Seconds elapsed = to_seconds(now - start_);
   const std::optional<Watts> want = schedule_->cap_at(elapsed);
-  if (!failed && want != applied_) {
-    cap_changes_total.inc();
+  // A firing power_overshoot alert forces reprogramming of an unchanged
+  // cap (the actuator may have lost it).
+  const bool forced = reapply_cap_ && want.has_value() && want == applied_;
+  if (!failed && (want != applied_ || forced)) {
+    if (want != applied_) {
+      cap_changes_total.inc();
+    }
     if (trace_ != nullptr) {
       trace_->cap_change(now,
                          applied_ ? std::optional<double>(*applied_)
@@ -128,6 +169,12 @@ void PowerPolicyDaemon::tick() {
         PROCAP_DEBUG << "power-policy: uncapped (" << schedule_->name() << ")";
       }
       applied_ = want;
+      if (forced) {
+        ++alert_reactuations_;
+        PROCAP_OBS_COUNTER(reactuations_total, "daemon.alert_reactuations");
+        reactuations_total.inc();
+      }
+      reapply_cap_ = false;
       if (trace_ != nullptr) {
         trace_->actuation(time_->now(), want ? "set_cap" : "clear_cap",
                           want.value_or(0.0), /*ok=*/true);
@@ -144,6 +191,7 @@ void PowerPolicyDaemon::tick() {
     }
   }
   caps_.add(now, applied_.value_or(0.0));
+  cap_gauge.set(applied_.value_or(0.0));
 
   if (failed) {
     note_failure(now);

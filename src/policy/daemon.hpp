@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 
+#include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
 #include "policy/schemes.hpp"
 #include "rapl/rapl.hpp"
@@ -70,6 +71,18 @@ class PowerPolicyDaemon {
   /// daemon while attached.
   void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
 
+  /// Listen for alert-engine transitions (msgbus::alert_topic) on `sub`;
+  /// the daemon subscribes and drains it each tick.  A firing
+  /// power_overshoot alert forces the current cap to be reprogrammed even
+  /// though the schedule did not change — the actuator may have silently
+  /// lost it (e.g. a BIOS/firmware reset of PL1).
+  void watch_alerts(std::shared_ptr<msgbus::SubSocket> sub);
+
+  /// Caps reprogrammed because an alert demanded it.
+  [[nodiscard]] std::uint64_t alert_reactuations() const {
+    return alert_reactuations_;
+  }
+
   /// Cap currently applied (nullopt while uncapped).
   [[nodiscard]] std::optional<Watts> current_cap() const { return applied_; }
 
@@ -112,6 +125,7 @@ class PowerPolicyDaemon {
 
  private:
   void note_failure(Nanos now);
+  void drain_alerts();
 
   rapl::RaplInterface* rapl_;
   const TimeSource* time_;
@@ -135,6 +149,10 @@ class PowerPolicyDaemon {
   Nanos last_tick_ = -1;
   std::uint64_t missed_ticks_ = 0;
   obs::TraceCollector* trace_ = nullptr;
+  // Alert feedback.
+  std::shared_ptr<msgbus::SubSocket> alerts_;
+  bool reapply_cap_ = false;
+  std::uint64_t alert_reactuations_ = 0;
 };
 
 }  // namespace procap::policy

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "msr/device.hpp"
+#include "obs/alert.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -115,12 +116,46 @@ void NodeResourceManager::set_node_budget(Watts budget) {
   }
 }
 
+void NodeResourceManager::watch_alerts(std::shared_ptr<msgbus::SubSocket> sub) {
+  if (sub) {
+    sub->subscribe(msgbus::alert_topic());
+  }
+  alerts_ = std::move(sub);
+}
+
+void NodeResourceManager::drain_alerts() {
+  if (!alerts_) {
+    return;
+  }
+  while (const auto msg = alerts_->try_recv()) {
+    const auto tr = obs::parse_alert_payload(msg->payload);
+    if (!tr || !tr->degrades_control) {
+      continue;
+    }
+    if (tr->fired()) {
+      if (degrading_.insert(tr->rule).second) {
+        PROCAP_OBS_COUNTER(alert_degraded_total, "nrm.alert_degraded");
+        alert_degraded_total.inc();
+        PROCAP_INFO << "nrm: degrading alert firing: " << tr->rule;
+      }
+    } else if (tr->resolved()) {
+      degrading_.erase(tr->rule);
+    }
+  }
+}
+
 void NodeResourceManager::tick() {
   const Nanos now = time_->now();
+  drain_alerts();
   monitor_->poll();
   const double rate = monitor_->current_rate();
   rates_.add(now, rate);
-  const progress::SignalHealth health = monitor_->health();
+  progress::SignalHealth health = monitor_->health();
+  // A firing degrades_control alert overrides a locally-healthy signal:
+  // the alert engine watches failure modes the Monitor cannot see.
+  if (!degrading_.empty() && health == progress::SignalHealth::kHealthy) {
+    health = progress::SignalHealth::kDegraded;
+  }
 
   if (mode_ == Mode::kProgressTarget) {
     if (health != progress::SignalHealth::kHealthy) {

@@ -29,10 +29,12 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "model/progress_model.hpp"
+#include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
 #include "progress/monitor.hpp"
 #include "rapl/rapl.hpp"
@@ -103,6 +105,20 @@ class NodeResourceManager {
   /// nullptr to detach; `trace` must outlive the manager while attached.
   void set_trace(obs::TraceCollector* trace) { trace_ = trace; }
 
+  /// Listen for alert-engine transitions (msgbus::alert_topic) on `sub`;
+  /// the manager subscribes and drains it each tick.  While any rule
+  /// flagged degrades_control is firing, progress-target mode falls back
+  /// to kDegraded exactly as for an unhealthy Monitor signal, and
+  /// reengagement is blocked until the alert resolves — the alert engine
+  /// may see trouble (e.g. a stalled sampler) the local health check
+  /// cannot.
+  void watch_alerts(std::shared_ptr<msgbus::SubSocket> sub);
+
+  /// Rules flagged degrades_control currently firing, per the alert feed.
+  [[nodiscard]] std::size_t degrading_alerts() const {
+    return degrading_.size();
+  }
+
   /// Cap currently applied (nullopt = uncapped).
   [[nodiscard]] std::optional<Watts> current_cap() const { return cap_; }
 
@@ -144,6 +160,7 @@ class NodeResourceManager {
  private:
   void apply(std::optional<Watts> cap);
   void transition(Mode to, std::string reason);
+  void drain_alerts();
 
   rapl::RaplInterface* rapl_;
   progress::Monitor* monitor_;
@@ -163,6 +180,9 @@ class NodeResourceManager {
   TimeSeries modes_;
   std::vector<ModeEvent> events_;
   obs::TraceCollector* trace_ = nullptr;
+  // Alert feedback.
+  std::shared_ptr<msgbus::SubSocket> alerts_;
+  std::set<std::string> degrading_;  // firing degrades_control rules
 };
 
 [[nodiscard]] const char* to_string(NodeResourceManager::Mode mode);

@@ -30,12 +30,15 @@ void Monitor::publish_health_gauges() {
   }
   if (g_cadence_ == nullptr) {
     auto& reg = obs::Registry::global();
-    const std::string labels = "app=\"" + app_name_ + "\"";
+    // App names come from the outside world — escape them rather than
+    // trust them to be exposition-safe.
+    const std::string labels = obs::prometheus_label("app", app_name_);
     g_cadence_ = &reg.gauge("progress.health.cadence_ns", labels);
     g_staleness_ = &reg.gauge("progress.health.staleness_ns", labels);
     g_grade_ = &reg.gauge("progress.health.grade", labels);
     g_missing_ = &reg.gauge("progress.health.missing", labels);
     g_gaps_ = &reg.gauge("progress.health.open_gaps", labels);
+    g_rate_ = &reg.gauge("progress.rate", labels);
   }
   const Nanos now = time_->now();
   g_cadence_->set(static_cast<double>(tracker_.expected_cadence()));
@@ -43,6 +46,7 @@ void Monitor::publish_health_gauges() {
   g_grade_->set(static_cast<double>(static_cast<int>(tracker_.health(now))));
   g_missing_->set(static_cast<double>(tracker_.missing()));
   g_gaps_->set(static_cast<double>(tracker_.gaps().size()));
+  g_rate_->set(current_rate());
 #endif
 }
 

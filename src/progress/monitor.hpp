@@ -148,6 +148,7 @@ class Monitor {
   obs::Gauge* g_grade_ = nullptr;
   obs::Gauge* g_missing_ = nullptr;
   obs::Gauge* g_gaps_ = nullptr;
+  obs::Gauge* g_rate_ = nullptr;
 };
 
 }  // namespace procap::progress

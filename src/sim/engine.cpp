@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace procap::sim {
 
@@ -90,6 +91,10 @@ void Engine::flush_obs() {
   events_total.inc(events_fired_ - obs_flushed_events_);
   obs_flushed_ticks_ = ticks_;
   obs_flushed_events_ = events_fired_;
+  // Give the live time-series sampler a chance to retain a snapshot; a
+  // no-op (one atomic load) unless a Sampler is installed, and compiled
+  // out entirely under PROCAP_OBS=OFF.
+  obs::notify_flush(clock_.now());
 }
 
 void Engine::run_for(Nanos duration) {

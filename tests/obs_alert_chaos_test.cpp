@@ -1,0 +1,115 @@
+// Chaos coverage for the live alert pipeline (ctest labels: chaos;obs):
+// a fault-injected telemetry outage on the reporter->monitor link must
+// raise the degrades_control health alerts (telemetry_health via the
+// graded signal, telemetry_absent via the stopped sample counter) while
+// the outage lasts, publish only firing/resolved transitions through the
+// sink, and resolve everything once the link heals.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/suite.hpp"
+#include "exp/measure.hpp"
+#include "fault/plan.hpp"
+#include "obs/alert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "policy/schemes.hpp"
+#include "progress/health.hpp"
+#include "sim/engine.hpp"
+
+namespace procap {
+namespace {
+
+#if !defined(PROCAP_OBS_DISABLED)
+
+TEST(AlertChaos, TelemetryOutageRaisesAndResolvesHealthAlerts) {
+  obs::Registry::set_enabled(true);
+  obs::Registry::global().reset_values();
+
+  // One 10 s burst outage in the middle of the run: long enough for the
+  // absence rule to gather evidence at the ~4 s flush-driven sampling
+  // cadence, with a healthy tail for every alert to resolve.
+  std::istringstream is(
+      "seed 31\n"
+      "link 10 20 outage\n");
+  const fault::FaultPlan plan = fault::FaultPlan::parse(is);
+
+  obs::TimeSeriesStore store(obs::Registry::global(), 256);
+  obs::Sampler sampler(store, kNanosPerSecond);
+  obs::AlertEngine alerts(store);
+  alerts.add_builtin_rules();
+  std::vector<obs::AlertTransition> sunk;
+  alerts.set_sink(
+      [&sunk](const obs::AlertTransition& tr) { sunk.push_back(tr); });
+
+  exp::RunOptions options;
+  options.duration = 48.0;
+  options.fault_plan = &plan;
+  options.on_setup = [&](exp::LiveRun& live) {
+    sampler.install();
+    live.engine.every(kNanosPerSecond,
+                      [&alerts](Nanos now) { alerts.evaluate(now); });
+  };
+  const exp::RunTraces traces = exp::run_under_schedule(
+      apps::lammps(), std::make_unique<policy::ConstantCap>(100.0, 2.0),
+      options);
+  sampler.uninstall();
+
+  // The outage actually emptied the link.
+  EXPECT_GT(traces.link_faults.outage_dropped, 0u);
+
+  // Both degrades_control alerts fired during the outage and resolved
+  // after it.
+  Nanos health_fired_at = -1;
+  Nanos health_resolved_at = -1;
+  bool absent_fired = false;
+  bool absent_resolved = false;
+  for (const auto& tr : sunk) {
+    if (tr.rule == "telemetry_health") {
+      if (tr.fired() && health_fired_at < 0) {
+        health_fired_at = tr.t;
+        EXPECT_TRUE(tr.degrades_control);
+      }
+      if (tr.resolved()) {
+        health_resolved_at = tr.t;
+      }
+    } else if (tr.rule == "telemetry_absent") {
+      absent_fired = absent_fired || tr.fired();
+      absent_resolved = absent_resolved || tr.resolved();
+    }
+  }
+  ASSERT_GE(health_fired_at, 0) << "telemetry_health never fired";
+  EXPECT_GE(health_fired_at, to_nanos(10.0));
+  EXPECT_LT(health_fired_at, to_nanos(30.0));
+  ASSERT_GE(health_resolved_at, 0) << "telemetry_health never resolved";
+  EXPECT_GT(health_resolved_at, health_fired_at);
+  EXPECT_TRUE(absent_fired);
+  EXPECT_TRUE(absent_resolved);
+
+  // Sink contract: only firing / resolved transitions reach the bus —
+  // pending never leaks to the controllers.
+  for (const auto& tr : sunk) {
+    EXPECT_TRUE(tr.fired() || tr.resolved())
+        << tr.rule << " " << obs::to_string(tr.from) << " -> "
+        << obs::to_string(tr.to);
+  }
+
+  // Quiet again by the end of the run: nothing firing, signal healthy.
+  EXPECT_TRUE(alerts.firing().empty());
+  EXPECT_EQ(traces.health.grade, progress::SignalHealth::kHealthy);
+}
+
+#else  // PROCAP_OBS_DISABLED
+
+TEST(AlertChaos, DisabledBuildSkips) {
+  GTEST_SKIP() << "observability compiled out (PROCAP_OBS=OFF)";
+}
+
+#endif  // PROCAP_OBS_DISABLED
+
+}  // namespace
+}  // namespace procap

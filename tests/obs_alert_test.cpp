@@ -1,0 +1,456 @@
+// Tests for the declarative alert engine: the pending/firing/resolved
+// state machine with `for:` holds, the three rule kinds, per-label alert
+// instances, msgbus payload round-trips, the built-in rule catalog, the
+// /alerts.json document, and the alert feedback paths into
+// NodeResourceManager (degraded mode) and PowerPolicyDaemon (forced cap
+// reprogramming).
+#include "obs/alert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/rig.hpp"
+#include "model/progress_model.hpp"
+#include "msgbus/message.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "policy/daemon.hpp"
+#include "policy/nrm.hpp"
+#include "policy/schemes.hpp"
+#include "progress/monitor.hpp"
+
+namespace procap {
+namespace {
+
+using obs::Alert;
+using obs::AlertEngine;
+using obs::AlertRule;
+using obs::AlertState;
+using obs::AlertTransition;
+using obs::Registry;
+using obs::TimeSeriesStore;
+
+TEST(AlertPayload, RoundTripsThroughJson) {
+  AlertTransition tr;
+  tr.t = 12 * kNanosPerSecond;
+  tr.rule = "telemetry_health";
+  tr.labels = "app=\"lammps\"";
+  tr.severity = "critical";
+  tr.from = AlertState::kPending;
+  tr.to = AlertState::kFiring;
+  tr.value = 2.0;
+  tr.degrades_control = true;
+  const auto parsed = obs::parse_alert_payload(tr.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rule, tr.rule);
+  EXPECT_EQ(parsed->labels, tr.labels);
+  EXPECT_EQ(parsed->severity, tr.severity);
+  EXPECT_EQ(parsed->from, tr.from);
+  EXPECT_EQ(parsed->to, tr.to);
+  EXPECT_EQ(parsed->t, tr.t);
+  EXPECT_DOUBLE_EQ(parsed->value, tr.value);
+  EXPECT_TRUE(parsed->degrades_control);
+  EXPECT_TRUE(parsed->fired());
+  EXPECT_FALSE(parsed->resolved());
+}
+
+TEST(AlertPayload, RejectsJunkWithoutThrowing) {
+  EXPECT_FALSE(obs::parse_alert_payload("").has_value());
+  EXPECT_FALSE(obs::parse_alert_payload("{not json").has_value());
+  EXPECT_FALSE(obs::parse_alert_payload("[1,2,3]").has_value());
+  EXPECT_FALSE(obs::parse_alert_payload("{}").has_value());
+  // Valid JSON, bogus states.
+  EXPECT_FALSE(obs::parse_alert_payload(
+                   "{\"rule\":\"r\",\"from\":\"hot\",\"to\":\"cold\"}")
+                   .has_value());
+  // States fine, rule missing.
+  EXPECT_FALSE(obs::parse_alert_payload(
+                   "{\"from\":\"pending\",\"to\":\"firing\"}")
+                   .has_value());
+}
+
+TEST(AlertCatalog, BuiltinRulesCoverTheLiveControlNeeds) {
+  const std::vector<AlertRule> rules = obs::builtin_rules();
+  ASSERT_EQ(rules.size(), 5u);
+  std::vector<std::string> names;
+  names.reserve(rules.size());
+  for (const AlertRule& rule : rules) {
+    names.push_back(rule.name);
+  }
+  for (const char* expected :
+       {"progress_stall", "cap_effect_slo", "power_overshoot",
+        "telemetry_health", "telemetry_absent"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // The telemetry rules are the ones that push controllers open-loop.
+  for (const AlertRule& rule : rules) {
+    EXPECT_EQ(rule.degrades_control, rule.name == "telemetry_health" ||
+                                         rule.name == "telemetry_absent")
+        << rule.name;
+  }
+}
+
+TEST(AlertCatalog, StateNamesAreStable) {
+  EXPECT_STREQ(obs::to_string(AlertState::kInactive), "inactive");
+  EXPECT_STREQ(obs::to_string(AlertState::kPending), "pending");
+  EXPECT_STREQ(obs::to_string(AlertState::kFiring), "firing");
+}
+
+#if !defined(PROCAP_OBS_DISABLED)
+
+// The registry is process-global; each test uses its own metric names.
+class AlertEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::set_enabled(true);
+    Registry::global().reset_values();
+  }
+};
+
+AlertRule gauge_rule(const std::string& name, const std::string& metric,
+                     double threshold, Nanos hold = 0) {
+  AlertRule rule;
+  rule.name = name;
+  rule.metric = metric;
+  rule.kind = AlertRule::Kind::kThreshold;
+  rule.op = AlertRule::Op::kAbove;
+  rule.threshold = threshold;
+  rule.hold = hold;
+  return rule;
+}
+
+TEST_F(AlertEngineTest, ThresholdHoldsThenFiresThenResolves) {
+  auto& gauge = Registry::global().gauge("alert_test.hold_gauge");
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  engine.add_rule(gauge_rule("hold_rule", "alert_test.hold_gauge", 10.0,
+                             2 * kNanosPerSecond));
+  EXPECT_EQ(engine.rule_count(), 1u);
+
+  gauge.set(20.0);
+  store.sample(0);
+  engine.evaluate(0);
+  auto alerts = engine.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].state, AlertState::kPending);
+  EXPECT_TRUE(engine.firing().empty());
+
+  engine.evaluate(kNanosPerSecond);  // hold not yet satisfied
+  EXPECT_EQ(engine.alerts()[0].state, AlertState::kPending);
+
+  engine.evaluate(2 * kNanosPerSecond);  // held for 2 s: fire
+  alerts = engine.alerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].state, AlertState::kFiring);
+  EXPECT_EQ(alerts[0].since, 2 * kNanosPerSecond);
+  EXPECT_DOUBLE_EQ(alerts[0].value, 20.0);
+  EXPECT_EQ(engine.firing().size(), 1u);
+
+  gauge.set(5.0);
+  store.sample(3 * kNanosPerSecond);
+  engine.evaluate(3 * kNanosPerSecond);
+  EXPECT_EQ(engine.alerts()[0].state, AlertState::kInactive);
+  EXPECT_TRUE(engine.firing().empty());
+
+  const auto transitions = engine.transitions();
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].to, AlertState::kPending);
+  EXPECT_TRUE(transitions[1].fired());
+  EXPECT_TRUE(transitions[2].resolved());
+}
+
+TEST_F(AlertEngineTest, ZeroHoldFiresWithinOneEvaluation) {
+  auto& gauge = Registry::global().gauge("alert_test.instant_gauge");
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  engine.add_rule(gauge_rule("instant", "alert_test.instant_gauge", 1.0));
+  gauge.set(2.0);
+  store.sample(kNanosPerSecond);
+  engine.evaluate(kNanosPerSecond);
+  ASSERT_EQ(engine.firing().size(), 1u);
+  // pending and firing recorded in the same evaluation round
+  const auto transitions = engine.transitions();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].t, transitions[1].t);
+}
+
+TEST_F(AlertEngineTest, RateRuleComparesPerSecondDelta) {
+  auto& counter = Registry::global().counter("alert_test.rate_counter");
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  AlertRule rule;
+  rule.name = "hot_counter";
+  rule.metric = "alert_test.rate_counter";
+  rule.kind = AlertRule::Kind::kRate;
+  rule.op = AlertRule::Op::kAbove;
+  rule.threshold = 50.0;
+  engine.add_rule(rule);
+
+  counter.inc(10);
+  store.sample(0);  // first sample: rate 0
+  engine.evaluate(0);
+  EXPECT_TRUE(engine.firing().empty());
+
+  counter.inc(200);
+  store.sample(kNanosPerSecond);  // 200/s
+  engine.evaluate(kNanosPerSecond);
+  ASSERT_EQ(engine.firing().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.firing()[0].value, 200.0);
+
+  store.sample(2 * kNanosPerSecond);  // no increments: rate 0
+  engine.evaluate(2 * kNanosPerSecond);
+  EXPECT_TRUE(engine.firing().empty());
+  EXPECT_TRUE(engine.transitions().back().resolved());
+}
+
+TEST_F(AlertEngineTest, AbsenceNeedsEvidenceThenFiresAndResolves) {
+  auto& counter = Registry::global().counter("alert_test.absent_counter");
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  AlertRule rule;
+  rule.name = "gone_quiet";
+  rule.metric = "alert_test.absent_counter";
+  rule.kind = AlertRule::Kind::kAbsence;
+  rule.absence_window = 4 * kNanosPerSecond;
+  engine.add_rule(rule);
+
+  // Short history: no retained point older than the window yet, so the
+  // rule cannot conclude absence even though nothing is moving.
+  counter.inc();
+  store.sample(0);
+  engine.evaluate(0);
+  EXPECT_TRUE(engine.firing().empty());
+
+  counter.inc();
+  store.sample(kNanosPerSecond);
+  for (int s = 2; s <= 5; ++s) {
+    store.sample(s * kNanosPerSecond);  // flat: the counter stopped
+  }
+  engine.evaluate(5 * kNanosPerSecond);
+  // Baseline at t = 1 s (<= now - window), newest at 5 s, delta 0: fire.
+  ASSERT_EQ(engine.firing().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.firing()[0].value, 0.0);
+
+  counter.inc();
+  store.sample(6 * kNanosPerSecond);
+  engine.evaluate(6 * kNanosPerSecond);
+  EXPECT_TRUE(engine.firing().empty());
+  EXPECT_TRUE(engine.transitions().back().resolved());
+}
+
+TEST_F(AlertEngineTest, QuantileStatReadsHistogramP95) {
+  auto& hist = Registry::global().histogram("alert_test.latency_hist",
+                                            {1e3, 1e6, 1e9});
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  AlertRule rule = gauge_rule("slow_p95", "alert_test.latency_hist", 1e3);
+  rule.stat = obs::RuleStat::kP95;
+  engine.add_rule(rule);
+
+  for (int i = 0; i < 100; ++i) {
+    hist.observe(5e5);  // all in the (1e3, 1e6] bucket
+  }
+  store.sample(kNanosPerSecond);
+  engine.evaluate(kNanosPerSecond);
+  ASSERT_EQ(engine.firing().size(), 1u);
+  EXPECT_GT(engine.firing()[0].value, 1e3);
+  EXPECT_LE(engine.firing()[0].value, 1e6);
+}
+
+TEST_F(AlertEngineTest, SinkSeesOnlyFiredAndResolvedTransitions) {
+  auto& gauge = Registry::global().gauge("alert_test.sink_gauge");
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  engine.add_rule(gauge_rule("sink_rule", "alert_test.sink_gauge", 10.0,
+                             2 * kNanosPerSecond));
+  std::vector<AlertTransition> sunk;
+  engine.set_sink([&sunk](const AlertTransition& tr) { sunk.push_back(tr); });
+
+  gauge.set(20.0);
+  store.sample(0);
+  engine.evaluate(0);                    // -> pending: no sink call
+  engine.evaluate(2 * kNanosPerSecond);  // -> firing
+  gauge.set(0.0);
+  store.sample(3 * kNanosPerSecond);
+  engine.evaluate(3 * kNanosPerSecond);  // -> resolved
+
+  ASSERT_EQ(sunk.size(), 2u);
+  EXPECT_TRUE(sunk[0].fired());
+  EXPECT_TRUE(sunk[1].resolved());
+  EXPECT_EQ(engine.transitions().size(), 3u);
+  // The sink payload survives the msgbus round-trip intact.
+  const auto parsed = obs::parse_alert_payload(sunk[0].to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rule, "sink_rule");
+  EXPECT_TRUE(parsed->fired());
+}
+
+TEST_F(AlertEngineTest, EveryLabelSetGetsItsOwnAlertInstance) {
+  const std::string label_a = obs::prometheus_label("app", "a");
+  const std::string label_b = obs::prometheus_label("app", "b");
+  auto& gauge_a = Registry::global().gauge("alert_test.labelled", label_a);
+  auto& gauge_b = Registry::global().gauge("alert_test.labelled", label_b);
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  engine.add_rule(gauge_rule("per_app", "alert_test.labelled", 10.0));
+
+  gauge_a.set(20.0);
+  gauge_b.set(5.0);
+  store.sample(kNanosPerSecond);
+  engine.evaluate(kNanosPerSecond);
+
+  EXPECT_EQ(engine.alerts().size(), 2u);
+  const auto firing = engine.firing();
+  ASSERT_EQ(firing.size(), 1u);
+  EXPECT_EQ(firing[0].labels, label_a);
+}
+
+TEST_F(AlertEngineTest, UnsampledMetricsAreSkipped) {
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  engine.add_rule(gauge_rule("ghost", "alert_test.never_sampled", 1.0));
+  engine.evaluate(kNanosPerSecond);
+  EXPECT_TRUE(engine.alerts().empty());
+  EXPECT_TRUE(engine.transitions().empty());
+}
+
+TEST_F(AlertEngineTest, WriteJsonProducesAValidDocument) {
+  auto& gauge = Registry::global().gauge("alert_test.json_gauge");
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  engine.add_rule(gauge_rule("json_rule", "alert_test.json_gauge", 1.0));
+  gauge.set(2.0);
+  store.sample(kNanosPerSecond);
+  engine.evaluate(kNanosPerSecond);
+
+  std::ostringstream os;
+  engine.write_json(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(obs::json::valid(text)) << text;
+  const auto doc = obs::json::parse(text);
+  EXPECT_DOUBLE_EQ(doc.number_or("rules", 0.0), 1.0);
+  EXPECT_GE(doc.number_or("transitions", 0.0), 2.0);
+  const auto* alerts = doc.find("alerts");
+  ASSERT_NE(alerts, nullptr);
+  ASSERT_EQ(alerts->array.size(), 1u);
+  EXPECT_EQ(alerts->array[0].string_or("rule", ""), "json_rule");
+  EXPECT_EQ(alerts->array[0].string_or("state", ""), "firing");
+}
+
+#endif  // !PROCAP_OBS_DISABLED
+
+// --- Alert feedback into the controllers (msgbus::alert_topic) ---------
+
+using Mode = policy::NodeResourceManager::Mode;
+
+model::ModelParams lammps_params() {
+  model::ModelParams params;
+  params.beta = 1.0;
+  params.alpha = 2.0;
+  params.p_core_max = 149.0;
+  params.r_max = 800000.0;
+  return params;
+}
+
+AlertTransition health_transition(Nanos t, AlertState from, AlertState to) {
+  AlertTransition tr;
+  tr.t = t;
+  tr.rule = "telemetry_health";
+  tr.labels = "app=\"lammps\"";
+  tr.severity = "critical";
+  tr.from = from;
+  tr.to = to;
+  tr.degrades_control = true;
+  return tr;
+}
+
+TEST(AlertFeedback, NrmDegradesWhileAlertFiresAndReengagesOnResolve) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  policy::NodeResourceManager nrm(rig.rapl(), monitor, rig.time());
+  nrm.attach(rig.engine());
+  nrm.watch_alerts(rig.broker().make_sub());
+  nrm.set_node_budget(120.0);
+  nrm.set_progress_target(0.6 * lammps_params().r_max, lammps_params());
+
+  rig.engine().run_for(to_nanos(10.0));
+  ASSERT_EQ(nrm.mode(), Mode::kProgressTarget);
+  EXPECT_EQ(nrm.degrading_alerts(), 0u);
+
+  auto pub = rig.broker().make_pub();
+  // A firing alert without degrades_control must not move the mode.
+  AlertTransition benign = health_transition(
+      rig.time().now(), AlertState::kPending, AlertState::kFiring);
+  benign.rule = "power_overshoot";
+  benign.degrades_control = false;
+  pub->publish(msgbus::alert_topic(benign.rule), benign.to_json());
+  rig.engine().run_for(to_nanos(2.0));
+  EXPECT_EQ(nrm.mode(), Mode::kProgressTarget);
+
+  // The degrading alert fires: open-loop fallback, exactly as for a
+  // locally unhealthy signal.
+  const AlertTransition fire = health_transition(
+      rig.time().now(), AlertState::kPending, AlertState::kFiring);
+  pub->publish(msgbus::alert_topic(fire.rule), fire.to_json());
+  rig.engine().run_for(to_nanos(3.0));
+  EXPECT_EQ(nrm.mode(), Mode::kDegraded);
+  EXPECT_EQ(nrm.degrading_alerts(), 1u);
+  EXPECT_GE(nrm.degraded_entries(), 1u);
+  ASSERT_TRUE(nrm.current_cap().has_value());
+  EXPECT_LE(*nrm.current_cap(), 120.0);
+
+  // Resolution unblocks the reengagement hysteresis.
+  const AlertTransition resolve = health_transition(
+      rig.time().now(), AlertState::kFiring, AlertState::kInactive);
+  pub->publish(msgbus::alert_topic(resolve.rule), resolve.to_json());
+  rig.engine().run_for(to_nanos(6.0));
+  EXPECT_EQ(nrm.degrading_alerts(), 0u);
+  EXPECT_EQ(nrm.mode(), Mode::kProgressTarget);
+  EXPECT_GE(nrm.reengagements(), 1u);
+}
+
+TEST(AlertFeedback, DaemonReprogramsCapOnPowerOvershootAlert) {
+  exp::SimRig rig;
+  auto app = apps::lammps();
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 1);
+  policy::PowerPolicyDaemon daemon(
+      rig.rapl(), rig.time(),
+      std::make_unique<policy::ConstantCap>(90.0, 2.0));
+  daemon.attach(rig.engine());
+  daemon.watch_alerts(rig.broker().make_sub());
+
+  rig.engine().run_for(to_nanos(6.0));
+  ASSERT_TRUE(daemon.current_cap().has_value());
+  EXPECT_EQ(daemon.alert_reactuations(), 0u);
+
+  auto pub = rig.broker().make_pub();
+  // Junk on the alert topic must be ignored, not crash the daemon.
+  pub->publish(msgbus::alert_topic("power_overshoot"), "{not json");
+  AlertTransition fire;
+  fire.t = rig.time().now();
+  fire.rule = "power_overshoot";
+  fire.severity = "warning";
+  fire.from = AlertState::kPending;
+  fire.to = AlertState::kFiring;
+  pub->publish(msgbus::alert_topic(fire.rule), fire.to_json());
+
+  rig.engine().run_for(to_nanos(2.0));
+  // Exactly one forced reprogram of the (unchanged) cap.
+  EXPECT_EQ(daemon.alert_reactuations(), 1u);
+  ASSERT_TRUE(daemon.current_cap().has_value());
+  EXPECT_DOUBLE_EQ(*daemon.current_cap(), 90.0);
+}
+
+}  // namespace
+}  // namespace procap

@@ -1,0 +1,127 @@
+// Tests for the embedded HTTP server and client: round-trips on an
+// ephemeral port, handler dispatch, query strings, 404/405 behaviour,
+// concurrent requests against thread-safe handlers, and clean restart.
+#include "obs/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using procap::obs::HttpResponse;
+using procap::obs::HttpServer;
+using procap::obs::http_get;
+
+TEST(ObsHttp, ServesRegisteredHandlerOnEphemeralPort) {
+  HttpServer server;
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+  const auto result = http_get("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->body, "pong\n");
+  EXPECT_GE(server.requests_served(), 1u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ObsHttp, DispatchesByExactPathAndPassesQuery) {
+  HttpServer server;
+  std::string seen_query;
+  server.handle("/a", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "handler-a"};
+  });
+  server.handle("/b", [&seen_query](const std::string& query) {
+    seen_query = query;
+    return HttpResponse{200, "text/plain", "handler-b"};
+  });
+  ASSERT_TRUE(server.start());
+  const auto a = http_get("127.0.0.1", server.port(), "/a");
+  const auto b = http_get("127.0.0.1", server.port(), "/b?since=5&x=1");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->body, "handler-a");
+  EXPECT_EQ(b->body, "handler-b");
+  EXPECT_EQ(seen_query, "since=5&x=1");
+}
+
+TEST(ObsHttp, UnknownPathIs404) {
+  HttpServer server;
+  server.handle("/known", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.start());
+  const auto result = http_get("127.0.0.1", server.port(), "/unknown");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 404);
+  // Exact match: a prefix of a registered path is still unknown.
+  const auto prefix = http_get("127.0.0.1", server.port(), "/kno");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->status, 404);
+}
+
+TEST(ObsHttp, SequentialAndConcurrentRequestsAllAnswered) {
+  HttpServer server;
+  std::atomic<int> calls{0};
+  server.handle("/count", [&calls](const std::string&) {
+    calls.fetch_add(1);
+    return HttpResponse{200, "text/plain", "counted"};
+  });
+  ASSERT_TRUE(server.start());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto r = http_get("127.0.0.1", server.port(), "/count");
+        if (r && r->status == 200) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(calls.load(), kThreads * kPerThread);
+}
+
+TEST(ObsHttp, ClientReportsFailureWhenNothingListens) {
+  // Grab an ephemeral port, then close it so nothing is listening.
+  std::uint16_t dead_port = 0;
+  {
+    HttpServer probe;
+    ASSERT_TRUE(probe.start());
+    dead_port = probe.port();
+    probe.stop();
+  }
+  const auto result = http_get("127.0.0.1", dead_port, "/", 500);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(ObsHttp, StopIsIdempotentAndServerRestartable) {
+  HttpServer server;
+  server.handle("/x", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "x"};
+  });
+  ASSERT_TRUE(server.start());
+  server.stop();
+  server.stop();  // no-op
+  ASSERT_TRUE(server.start());
+  const auto r = http_get("127.0.0.1", server.port(), "/x");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  server.stop();
+}
+
+}  // namespace

@@ -162,6 +162,88 @@ TEST_F(ObsMetrics, SelfCostIsMeasuredAndSane) {
   EXPECT_LT(ns, 10000.0);
 }
 
+TEST_F(ObsMetrics, EscapeLabelValueHandlesHostileCharacters) {
+  using procap::obs::escape_label_value;
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  // All three at once, in exposition-breaking order.
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(escape_label_value(""), "");
+}
+
+TEST_F(ObsMetrics, PrometheusLabelBuildsEscapedPair) {
+  using procap::obs::prometheus_label;
+  EXPECT_EQ(prometheus_label("app", "lammps"), "app=\"lammps\"");
+  EXPECT_EQ(prometheus_label("app", "we\"ird\napp\\"),
+            "app=\"we\\\"ird\\napp\\\\\"");
+}
+
+TEST_F(ObsMetrics, HostileLabelValuesSurviveExposition) {
+  // A label value carrying every character the exposition format escapes
+  // must come out as one well-formed metric line, not a broken document.
+  const std::string labels =
+      procap::obs::prometheus_label("app", "bad\"app\nwith\\stuff");
+  Gauge& g = Registry::global().gauge("test.hostile_label", labels);
+  g.set(7.0);
+  std::ostringstream os;
+  Registry::global().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(
+      text.find(
+          "procap_test_hostile_label{app=\"bad\\\"app\\nwith\\\\stuff\"} 7"),
+      std::string::npos)
+      << text;
+  // No line may contain an unescaped interior quote run that would break
+  // a Prometheus parser: every non-comment line is NAME{...} VALUE or
+  // NAME VALUE.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    EXPECT_NE(line.find(' '), std::string::npos) << "no value: " << line;
+  }
+}
+
+TEST_F(ObsMetrics, SnapshotCoversAllInstrumentKinds) {
+  Registry::global().counter("test.snap_counter").inc(5);
+  Registry::global().gauge("test.snap_gauge").set(2.5);
+  Histogram& h = Registry::global().histogram("test.snap_hist",
+                                              {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) {
+    h.observe(5.0);
+  }
+  const auto snaps = Registry::global().snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& snap : snaps) {
+    if (snap.name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(snap.type, 0);
+      EXPECT_DOUBLE_EQ(snap.value, 5.0);
+    } else if (snap.name == "test.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(snap.type, 1);
+      EXPECT_DOUBLE_EQ(snap.value, 2.5);
+    } else if (snap.name == "test.snap_hist") {
+      saw_hist = true;
+      EXPECT_EQ(snap.type, 2);
+      EXPECT_EQ(snap.count, 100u);
+      EXPECT_DOUBLE_EQ(snap.sum, 500.0);
+      EXPECT_DOUBLE_EQ(snap.value, 100.0);
+      // All observations sit in the (1, 10] bucket; the interpolated
+      // quantiles must too.
+      EXPECT_GT(snap.p50, 1.0);
+      EXPECT_LE(snap.p50, 10.0);
+      EXPECT_LE(snap.p50, snap.p95);
+      EXPECT_LE(snap.p95, snap.p99);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
 #else  // PROCAP_OBS_DISABLED
 
 TEST(ObsMetricsDisabled, MacrosAreInert) {

@@ -1,0 +1,242 @@
+// Tests for live time-series retention: ring-buffer wraparound, store
+// sampling semantics (rates, quantiles, late-registered instruments),
+// the Sampler's interval gating, the engine flush hook, sampler
+// determinism on the simulated clock, and JSON output validity.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using procap::Nanos;
+using procap::kNanosPerSecond;
+using procap::obs::Registry;
+using procap::obs::RingBuffer;
+using procap::obs::Sampler;
+using procap::obs::SeriesKind;
+using procap::obs::TimeSeriesStore;
+using procap::obs::TsPoint;
+
+TsPoint point_at(Nanos t, double value) {
+  TsPoint p;
+  p.t = t;
+  p.value = value;
+  return p;
+}
+
+TEST(RingBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, FillsThenWrapsEvictingOldest) {
+  RingBuffer ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 10; ++i) {
+    ring.push(point_at(i, static_cast<double>(i)));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  // Oldest-first: points 6, 7, 8, 9 survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(ring.at(i).value, static_cast<double>(6 + i)) << i;
+  }
+  EXPECT_DOUBLE_EQ(ring.latest().value, 9.0);
+  EXPECT_THROW((void)ring.at(4), std::out_of_range);
+}
+
+TEST(RingBufferTest, PartialFillKeepsInsertionOrder) {
+  RingBuffer ring(8);
+  ring.push(point_at(1, 10.0));
+  ring.push(point_at(2, 20.0));
+  ring.push(point_at(3, 30.0));
+  ASSERT_EQ(ring.size(), 3u);
+  EXPECT_DOUBLE_EQ(ring.at(0).value, 10.0);
+  EXPECT_DOUBLE_EQ(ring.at(2).value, 30.0);
+}
+
+#if !defined(PROCAP_OBS_DISABLED)
+
+class TimeSeriesStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::set_enabled(true);
+    Registry::global().reset_values();
+  }
+};
+
+TEST_F(TimeSeriesStoreTest, SamplesCountersWithRates) {
+  auto& counter = Registry::global().counter("ts_test.rate_counter");
+  TimeSeriesStore store(Registry::global(), 16);
+  counter.inc(100);
+  store.sample(0);
+  counter.inc(300);
+  store.sample(2 * kNanosPerSecond);
+
+  const auto latest = store.latest("ts_test.rate_counter");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 400.0);
+  // 300 increments over 2 s.
+  EXPECT_DOUBLE_EQ(latest->rate, 150.0);
+}
+
+TEST_F(TimeSeriesStoreTest, GaugesCarryNoRate) {
+  auto& gauge = Registry::global().gauge("ts_test.gauge");
+  TimeSeriesStore store(Registry::global(), 16);
+  gauge.set(5.0);
+  store.sample(0);
+  gauge.set(50.0);
+  store.sample(kNanosPerSecond);
+  const auto latest = store.latest("ts_test.gauge");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 50.0);
+  EXPECT_DOUBLE_EQ(latest->rate, 0.0);
+}
+
+TEST_F(TimeSeriesStoreTest, HistogramsCarryQuantiles) {
+  auto& hist = Registry::global().histogram("ts_test.hist",
+                                            {1.0, 10.0, 100.0});
+  TimeSeriesStore store(Registry::global(), 16);
+  for (int i = 0; i < 100; ++i) {
+    hist.observe(5.0);
+  }
+  store.sample(kNanosPerSecond);
+  const auto latest = store.latest("ts_test.hist");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->value, 100.0);  // count
+  EXPECT_GT(latest->p50, 1.0);
+  EXPECT_LE(latest->p50, 10.0);
+  EXPECT_LE(latest->p95, latest->p99);
+}
+
+TEST_F(TimeSeriesStoreTest, InstrumentsRegisteredLateGetTheirOwnRing) {
+  TimeSeriesStore store(Registry::global(), 16);
+  Registry::global().counter("ts_test.early").inc();
+  store.sample(0);
+  const auto early_count = store.series_count();
+  Registry::global().counter("ts_test.late_arrival").inc();
+  store.sample(kNanosPerSecond);
+  EXPECT_GT(store.series_count(), early_count);
+  const auto late = store.latest("ts_test.late_arrival");
+  ASSERT_TRUE(late.has_value());
+  EXPECT_DOUBLE_EQ(late->value, 1.0);
+}
+
+TEST_F(TimeSeriesStoreTest, SeriesFilterAndSince) {
+  auto& counter = Registry::global().counter("ts_test.filtered");
+  TimeSeriesStore store(Registry::global(), 16);
+  for (int i = 0; i < 5; ++i) {
+    counter.inc();
+    store.sample(i * kNanosPerSecond);
+  }
+  const auto all = store.series("ts_test.filtered");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].points.size(), 5u);
+  EXPECT_EQ(all[0].kind, SeriesKind::kCounter);
+  const auto recent = store.series("ts_test.filtered", 3 * kNanosPerSecond);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].points.size(), 2u);
+}
+
+TEST_F(TimeSeriesStoreTest, WriteJsonIsValidAndCarriesMeta) {
+  Registry::global().counter("ts_test.json_counter").inc(7);
+  Registry::global().histogram("ts_test.json_hist", {1.0, 2.0}).observe(1.5);
+  TimeSeriesStore store(Registry::global(), 16);
+  store.set_meta("app", "we\"ird\napp");
+  store.sample(kNanosPerSecond);
+  std::ostringstream os;
+  store.write_json(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(procap::obs::json::valid(text)) << text;
+  const auto doc = procap::obs::json::parse(text);
+  const auto* meta = doc.find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->string_or("app", ""), "we\"ird\napp");
+  EXPECT_GE(doc.number_or("samples", 0.0), 1.0);
+  const auto* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_FALSE(series->array.empty());
+}
+
+TEST_F(TimeSeriesStoreTest, SamplerGatesOnInterval) {
+  TimeSeriesStore store(Registry::global(), 16);
+  Sampler sampler(store, kNanosPerSecond);
+  sampler.on_flush(0);  // first call always samples
+  sampler.on_flush(kNanosPerSecond / 2);
+  EXPECT_EQ(sampler.samples_taken(), 1u);
+  sampler.on_flush(kNanosPerSecond);
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  sampler.on_flush(kNanosPerSecond + 1);
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+  EXPECT_EQ(store.samples_taken(), 2u);
+}
+
+TEST_F(TimeSeriesStoreTest, EngineFlushDrivesInstalledSampler) {
+  TimeSeriesStore store(Registry::global(), 64);
+  Sampler sampler(store, kNanosPerSecond);
+  sampler.install();
+  {
+    procap::sim::Engine engine;
+    engine.run_for(10 * kNanosPerSecond);
+  }
+  // Flushes land every 4096 ticks (~4.1 s at 1 ms dt) plus the run-end
+  // flush: at least two samples over 10 s.
+  EXPECT_GE(sampler.samples_taken(), 2u);
+  const auto ticks = store.latest("sim.ticks");
+  ASSERT_TRUE(ticks.has_value());
+  sampler.uninstall();
+  const auto before = sampler.samples_taken();
+  {
+    procap::sim::Engine engine;
+    engine.run_for(5 * kNanosPerSecond);
+  }
+  EXPECT_EQ(sampler.samples_taken(), before);
+}
+
+TEST_F(TimeSeriesStoreTest, SamplerIsDeterministicOnSimClock) {
+  // Two identical runs must sample at identical simulated timestamps
+  // with identical sim-deterministic rates (cumulative values differ —
+  // the registry is process-global — but deltas cannot).
+  auto run_once = [](std::vector<TsPoint>& out) {
+    TimeSeriesStore store(Registry::global(), 64);
+    Sampler sampler(store, kNanosPerSecond);
+    sampler.install();
+    {
+      procap::sim::Engine engine;
+      engine.run_for(10 * kNanosPerSecond);
+    }
+    sampler.uninstall();
+    const auto series = store.series("sim.ticks");
+    ASSERT_EQ(series.size(), 1u);
+    out = series[0].points;
+  };
+  std::vector<TsPoint> first, second;
+  run_once(first);
+  run_once(second);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].t, second[i].t) << i;
+    EXPECT_DOUBLE_EQ(first[i].rate, second[i].rate) << i;
+  }
+}
+
+#else  // PROCAP_OBS_DISABLED
+
+TEST(TimeSeriesDisabled, NotifyFlushIsInertStub) {
+  // The noobs build must compile and run the flush hook as a no-op.
+  procap::obs::notify_flush(kNanosPerSecond);
+  SUCCEED();
+}
+
+#endif  // PROCAP_OBS_DISABLED
+
+}  // namespace

@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a bench JSON report against a committed baseline.
+"""Compare bench JSON reports against committed baselines.
 
 Every bench binary built on bench/harness.hpp emits a BENCH_<name>.json
 with wall time, trials/s, thread count and the figure's headline metrics
 (see the schema comment in bench/harness.hpp).  CI runs the short grid,
-then gates on throughput:
+then gates on throughput.
+
+Single-report mode:
 
     python3 tools/check_bench.py BENCH_fig4.json \
         bench/baselines/BENCH_fig4.json --max-regression 15
 
+Directory mode — every BENCH_*.json in the baseline directory is gated
+against the same-named report in the candidate directory (a missing
+candidate is a failure: the bench silently dropping out of CI must not
+pass the gate):
+
+    python3 tools/check_bench.py bench_out/ bench/baselines/
+
 Exit status: 0 when trials/s is within the allowed regression of the
-baseline (the delta is printed either way), 1 on a regression beyond the
-threshold or a failed trial, 2 on usage/schema errors.
+baseline for every gated report (the deltas are printed either way), 1 on
+a regression beyond the threshold, a failed trial, or a missing
+candidate, 2 on usage/schema errors.
 
 To update a baseline after an intentional perf change, rerun the bench
 with --bench-json pointed at bench/baselines/ and commit the diff (the
@@ -20,6 +30,7 @@ README "CI" section documents the procedure).
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -35,18 +46,10 @@ def load(path):
     return report
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Gate a bench JSON report against a baseline.")
-    parser.add_argument("candidate", help="freshly produced BENCH_*.json")
-    parser.add_argument("baseline", help="committed bench/baselines/*.json")
-    parser.add_argument(
-        "--max-regression", type=float, default=15.0, metavar="PCT",
-        help="maximum allowed trials/s drop vs baseline (default 15%%)")
-    args = parser.parse_args()
-
-    candidate = load(args.candidate)
-    baseline = load(args.baseline)
+def check_one(candidate_path, baseline_path, max_regression):
+    """Gate one report; returns 0 (ok) or 1 (fail)."""
+    candidate = load(candidate_path)
+    baseline = load(baseline_path)
     if candidate["bench"] != baseline["bench"]:
         sys.exit(f"check_bench: bench mismatch: candidate is "
                  f"'{candidate['bench']}', baseline is '{baseline['bench']}'")
@@ -60,7 +63,7 @@ def main():
     new = float(candidate["trials_per_s"])
     old = float(baseline["trials_per_s"])
     if old <= 0:
-        sys.exit(f"check_bench: baseline trials_per_s must be positive")
+        sys.exit("check_bench: baseline trials_per_s must be positive")
     delta_pct = (new - old) / old * 100.0
     direction = "faster" if delta_pct >= 0 else "slower"
     print(f"{name}: {new:.2f} trials/s vs baseline {old:.2f} "
@@ -80,12 +83,54 @@ def main():
             print(f"  metric {key}: {new_m:.4g} (baseline {old_m:.4g}, "
                   f"{drift:+.4g})")
 
-    if delta_pct < -args.max_regression:
+    if delta_pct < -max_regression:
         print(f"{name}: throughput regression beyond "
-              f"{args.max_regression:.0f}% — FAIL")
+              f"{max_regression:.0f}% — FAIL")
         return 1
-    print(f"{name}: within the {args.max_regression:.0f}% gate — OK")
+    print(f"{name}: within the {max_regression:.0f}% gate — OK")
     return 0
+
+
+def check_dirs(candidate_dir, baseline_dir, max_regression):
+    """Gate every baseline BENCH_*.json against the candidate directory."""
+    names = sorted(n for n in os.listdir(baseline_dir)
+                   if n.startswith("BENCH_") and n.endswith(".json"))
+    if not names:
+        sys.exit(f"check_bench: no BENCH_*.json baselines in {baseline_dir}")
+    status = 0
+    for name in names:
+        candidate_path = os.path.join(candidate_dir, name)
+        if not os.path.exists(candidate_path):
+            print(f"{name}: no candidate report in {candidate_dir} — FAIL")
+            status = 1
+            continue
+        status |= check_one(candidate_path, os.path.join(baseline_dir, name),
+                            max_regression)
+    print(f"checked {len(names)} baseline(s): "
+          f"{'FAIL' if status else 'all OK'}")
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench JSON reports against baselines.")
+    parser.add_argument("candidate",
+                        help="freshly produced BENCH_*.json, or a directory "
+                             "of them")
+    parser.add_argument("baseline",
+                        help="committed bench/baselines/*.json, or the "
+                             "baselines directory")
+    parser.add_argument(
+        "--max-regression", type=float, default=15.0, metavar="PCT",
+        help="maximum allowed trials/s drop vs baseline (default 15%%)")
+    args = parser.parse_args()
+
+    if os.path.isdir(args.candidate) != os.path.isdir(args.baseline):
+        sys.exit("check_bench: candidate and baseline must both be files or "
+                 "both be directories")
+    if os.path.isdir(args.candidate):
+        return check_dirs(args.candidate, args.baseline, args.max_regression)
+    return check_one(args.candidate, args.baseline, args.max_regression)
 
 
 if __name__ == "__main__":

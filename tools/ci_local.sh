@@ -74,12 +74,22 @@ fi
 # --- bench smoke + regression gate ----------------------------------------
 if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
   bench_gate() {
+    local out=/tmp/bench_out
+    mkdir -p "${out}"
     ./build/bench/fig4_model_vs_measured --short --threads 8 \
-      --bench-json /tmp/BENCH_fig4.json &&
-      python3 tools/check_bench.py /tmp/BENCH_fig4.json \
-        bench/baselines/BENCH_fig4.json --max-regression 15
+      --bench-json "${out}/BENCH_fig4.json" &&
+      ./build/bench/tbl6_beta_mpo --short --threads 8 \
+        --bench-json "${out}/BENCH_tbl6_beta_mpo.json" &&
+      ./build/bench/abl_alpha_sensitivity --short --threads 8 \
+        --bench-json "${out}/BENCH_abl_alpha_sensitivity.json" &&
+      ./build/bench/abl_cap_tracking --short --threads 8 \
+        --bench-json "${out}/BENCH_abl_cap_tracking.json" &&
+      ./build/bench/abl_job_variability --short --threads 8 \
+        --bench-json "${out}/BENCH_abl_job_variability.json" &&
+      python3 tools/check_bench.py "${out}" bench/baselines \
+        --max-regression 15
   }
-  run_step "bench gate (fig4 short grid)" bench_gate
+  run_step "bench gate (short grid vs baselines)" bench_gate
 fi
 
 echo

@@ -23,6 +23,15 @@
 //   --metrics-out run.prom  Prometheus text exposition of every counter,
 //                           gauge and histogram the run touched
 //
+// Live mode:
+//   --serve-obs PORT   serve /metrics, /timeseries.json, /alerts.json and
+//                      /healthz on 127.0.0.1:PORT while the run executes
+//                      (0 picks an ephemeral port, printed on stdout);
+//                      implies --pace 1 unless --pace is given.  Watch it
+//                      live with `procap_top --port PORT`.
+//   --pace X           advance X simulated seconds per wall second
+//                      (0 = free-running)
+//
 // Schemes and parameters:
 //   uncapped                   no capping
 //   constant  --low W [--delay S]
@@ -37,12 +46,23 @@
 #include <memory>
 #include <string>
 
+#include <mutex>
+#include <sstream>
+
 #include "apps/specfile.hpp"
 #include "exp/measure.hpp"
 #include "fault/plan.hpp"
+#include "msgbus/bus.hpp"
+#include "obs/alert.hpp"
+#include "obs/http.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "policy/daemon.hpp"
 #include "policy/schemes.hpp"
+#include "progress/monitor.hpp"
+#include "sim/engine.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -65,6 +85,8 @@ struct Options {
   std::string trace_out;
   std::string events_out;
   std::string metrics_out;
+  int serve_port = -1;  // -1 = no server, 0 = ephemeral
+  double pace = -1.0;   // -1 = default (0, or 1 when serving)
 };
 
 void usage() {
@@ -79,6 +101,10 @@ void usage() {
          "                    [--trace-out FILE.json]   (Chrome/Perfetto trace)\n"
          "                    [--events-out FILE.jsonl] (JSONL event dump)\n"
          "                    [--metrics-out FILE.prom] (Prometheus text)\n"
+         "                    [--serve-obs PORT]  (live HTTP endpoints; "
+         "0 = ephemeral)\n"
+         "                    [--pace X]  (simulated seconds per wall "
+         "second; 0 = free-run)\n"
          "apps: ";
   for (const auto& name : apps::suite_names()) {
     std::cerr << name << " ";
@@ -123,6 +149,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.events_out = value;
     } else if (arg == "--metrics-out" && (value = next())) {
       opt.metrics_out = value;
+    } else if (arg == "--serve-obs" && (value = next())) {
+      opt.serve_port = std::atoi(value);
+    } else if (arg == "--pace" && (value = next())) {
+      opt.pace = std::atof(value);
     } else {
       usage();
       return false;
@@ -216,10 +246,102 @@ int main(int argc, char** argv) {
     run_options.trace = &trace;
   }
 
+  // Live observability: a time-series store sampled from the engine's
+  // flush point, an alert engine evaluated at 1 Hz, and an HTTP server
+  // exposing both plus /metrics and /healthz.  Everything is wired inside
+  // on_setup so it attaches to the run's own engine/broker/daemon;
+  // declaration order makes the server stop before the stores die.
+  obs::TimeSeriesStore ts_store(obs::Registry::global());
+  obs::Sampler sampler(ts_store);
+  obs::AlertEngine alert_engine(ts_store);
+  struct HealthCache {
+    std::mutex mutex;
+    progress::HealthReport report;
+  };
+  const auto health_cache = std::make_shared<HealthCache>();
+  obs::HttpServer server;
+  if (opt.serve_port >= 0) {
+    run_options.pace = opt.pace < 0.0 ? 1.0 : opt.pace;
+    ts_store.set_meta("app", opt.app);
+    ts_store.set_meta("scheme", opt.scheme);
+    alert_engine.add_builtin_rules();
+    run_options.on_setup = [&](exp::LiveRun& live) {
+      sampler.install();
+      // Alert transitions go out over the run's msgbus; the daemon
+      // listens so a firing power_overshoot forces cap reprogramming.
+      const auto pub = live.broker.make_pub();
+      alert_engine.set_sink([pub](const obs::AlertTransition& tr) {
+        pub->publish(msgbus::alert_topic(tr.rule), tr.to_json());
+      });
+      live.daemon.watch_alerts(live.broker.make_sub());
+      progress::Monitor* monitor = &live.monitor;
+      live.engine.every(kNanosPerSecond, [&, monitor](Nanos now) {
+        alert_engine.evaluate(now);
+        // The Monitor is not thread-safe; snapshot its health report on
+        // the sim thread for the HTTP thread to serve.
+        const auto report = monitor->health_report();
+        const std::lock_guard<std::mutex> lock(health_cache->mutex);
+        health_cache->report = report;
+      });
+    };
+    server.handle("/metrics", [](const std::string&) {
+      std::ostringstream os;
+      obs::Registry::global().write_prometheus(os);
+      return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+    });
+    server.handle("/timeseries.json", [&ts_store](const std::string&) {
+      std::ostringstream os;
+      ts_store.write_json(os);
+      return obs::HttpResponse{200, "application/json", os.str()};
+    });
+    server.handle("/alerts.json", [&alert_engine](const std::string&) {
+      std::ostringstream os;
+      alert_engine.write_json(os);
+      return obs::HttpResponse{200, "application/json", os.str()};
+    });
+    server.handle("/healthz", [health_cache](const std::string&) {
+      progress::HealthReport report;
+      {
+        const std::lock_guard<std::mutex> lock(health_cache->mutex);
+        report = health_cache->report;
+      }
+      std::ostringstream os;
+      os << "{\"app\":\"" << obs::json::escape(report.app)
+         << "\",\"grade\":\""
+         << progress::to_string(report.grade)
+         << "\",\"samples\":" << report.samples
+         << ",\"missing\":" << report.missing
+         << ",\"reordered\":" << report.reordered
+         << ",\"open_gaps\":" << report.open_gaps << ",\"staleness_s\":"
+         << to_seconds(report.staleness) << ",\"progress_windows\":"
+         << report.progress_windows << ",\"dropped_windows\":"
+         << report.dropped_windows << "}";
+      return obs::HttpResponse{200, "application/json", os.str()};
+    });
+    if (!server.start("127.0.0.1",
+                      static_cast<std::uint16_t>(opt.serve_port))) {
+      std::cerr << "cannot bind 127.0.0.1:" << opt.serve_port << "\n";
+      return 1;
+    }
+    std::cout << "obs: serving http on 127.0.0.1:" << server.port()
+              << std::endl;
+  } else if (opt.pace > 0.0) {
+    run_options.pace = opt.pace;
+  }
+
   std::cout << "power-policy: " << opt.app << " under '" << opt.scheme
             << "' for " << opt.duration << " s (simulated node)\n";
   const auto traces =
       exp::run_under_schedule(app, std::move(schedule), run_options);
+  server.stop();
+  sampler.uninstall();
+  if (opt.serve_port >= 0) {
+    std::cout << "obs: served " << server.requests_served()
+              << " http requests, retained " << ts_store.series_count()
+              << " series (" << ts_store.samples_taken() << " samples), "
+              << alert_engine.transitions().size()
+              << " alert transitions\n";
+  }
 
   // Per-second summary table.
   TablePrinter table({"t (s)", "cap W", "power W", "freq MHz",

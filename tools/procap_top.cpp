@@ -1,0 +1,264 @@
+// procap_top — live terminal dashboard for a serving power_policy run.
+//
+// Attach to a `power_policy --serve-obs PORT` process and watch the run
+// as it happens: cap and measured power, per-app progress rate and
+// signal health, daemon activity, sparkline history from the retained
+// time-series, and the alert table with firing/pending states.
+//
+// Usage:
+//   procap_top --port 9464 [--host 127.0.0.1] [--interval MS]
+//              [--frames N] [--once]
+//
+// --once renders a single frame without ANSI cursor control (useful in
+// pipes and the smoke test); otherwise the screen redraws every
+// --interval milliseconds until the server goes away or --frames runs
+// out.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using procap::obs::HttpResult;
+using procap::obs::http_get;
+namespace json = procap::obs::json;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int interval_ms = 1000;
+  int frames = 0;  // 0 = until the server disappears
+  bool once = false;
+};
+
+void usage() {
+  std::cerr << "usage: procap_top --port PORT [--host HOST] "
+               "[--interval MS] [--frames N] [--once]\n";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--host" && (value = next())) {
+      opt.host = value;
+    } else if (arg == "--port" && (value = next())) {
+      opt.port = std::atoi(value);
+    } else if (arg == "--interval" && (value = next())) {
+      opt.interval_ms = std::atoi(value);
+    } else if (arg == "--frames" && (value = next())) {
+      opt.frames = std::atoi(value);
+    } else if (arg == "--once") {
+      opt.once = true;
+    } else {
+      usage();
+      return false;
+    }
+  }
+  return opt.port > 0;
+}
+
+/// Render `points` as a fixed-width unicode sparkline (newest right).
+std::string sparkline(const std::vector<double>& points, std::size_t width) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  const std::size_t n = points.size();
+  const std::size_t take = n < width ? n : width;
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t i = n - take; i < n; ++i) {
+    if (i == n - take || points[i] < lo) {
+      lo = points[i];
+    }
+    if (i == n - take || points[i] > hi) {
+      hi = points[i];
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < width - take; ++i) {
+    out += " ";
+  }
+  for (std::size_t i = n - take; i < n; ++i) {
+    const double span = hi - lo;
+    const int level =
+        span <= 0.0 ? 4
+                    : static_cast<int>((points[i] - lo) / span * 8.0 + 0.5);
+    out += kLevels[level < 0 ? 0 : (level > 8 ? 8 : level)];
+  }
+  return out;
+}
+
+std::string fixed(double v, int precision = 1) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string pad(std::string s, std::size_t width) {
+  while (s.size() < width) {
+    s += " ";
+  }
+  return s;
+}
+
+struct Series {
+  std::string name;
+  std::string labels;
+  double latest = 0.0;
+  double rate = 0.0;
+  std::vector<double> values;
+};
+
+/// One fetched-and-parsed frame of server state.
+struct Frame {
+  std::vector<Series> series;
+  json::Value alerts;
+  json::Value health;
+  std::string meta_app;
+  std::string meta_scheme;
+  double now_s = 0.0;
+  std::uint64_t samples = 0;
+};
+
+std::optional<Frame> fetch(const Options& opt) {
+  const auto ts = http_get(opt.host, static_cast<std::uint16_t>(opt.port),
+                           "/timeseries.json");
+  const auto alerts = http_get(opt.host, static_cast<std::uint16_t>(opt.port),
+                               "/alerts.json");
+  const auto health = http_get(opt.host, static_cast<std::uint16_t>(opt.port),
+                               "/healthz");
+  if (!ts || ts->status != 200 || !alerts || !health) {
+    return std::nullopt;
+  }
+  Frame frame;
+  try {
+    const json::Value doc = json::parse(ts->body);
+    if (const json::Value* meta = doc.find("meta")) {
+      frame.meta_app = meta->string_or("app", "");
+      frame.meta_scheme = meta->string_or("scheme", "");
+    }
+    frame.samples = static_cast<std::uint64_t>(doc.number_or("samples", 0.0));
+    if (const json::Value* series = doc.find("series")) {
+      for (const json::Value& s : series->array) {
+        Series out;
+        out.name = s.string_or("name", "");
+        out.labels = s.string_or("labels", "");
+        if (const json::Value* points = s.find("points")) {
+          for (const json::Value& p : points->array) {
+            out.values.push_back(p.number_or("v", 0.0));
+            out.latest = p.number_or("v", 0.0);
+            out.rate = p.number_or("rate", 0.0);
+            frame.now_s = p.number_or("t", frame.now_s);
+          }
+        }
+        frame.series.push_back(std::move(out));
+      }
+    }
+    frame.alerts = json::parse(alerts->body);
+    frame.health = json::parse(health->body);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return frame;
+}
+
+void render(const Frame& frame, bool ansi) {
+  std::ostringstream out;
+  if (ansi) {
+    out << "\x1b[H\x1b[J";  // home + clear to end of screen
+  }
+  out << "procap_top — " << (frame.meta_app.empty() ? "?" : frame.meta_app)
+      << " under '" << (frame.meta_scheme.empty() ? "?" : frame.meta_scheme)
+      << "'  t=" << fixed(frame.now_s, 0) << "s  samples=" << frame.samples
+      << "\n\n";
+
+  constexpr std::size_t kSpark = 40;
+  const struct {
+    const char* metric;
+    const char* label;
+    const char* unit;
+  } kRows[] = {
+      {"daemon.cap_watts", "cap", "W"},
+      {"daemon.power_watts", "power", "W"},
+      {"progress.rate", "progress", "/s"},
+      {"progress.health.grade", "health grade", ""},
+      {"daemon.ticks", "daemon ticks", ""},
+      {"sim.ticks", "sim ticks", ""},
+  };
+  out << pad("metric", 16) << pad("value", 12) << pad("rate/s", 12)
+      << "history\n";
+  for (const auto& row : kRows) {
+    for (const Series& s : frame.series) {
+      if (s.name != row.metric) {
+        continue;
+      }
+      out << pad(row.label, 16) << pad(fixed(s.latest) + row.unit, 12)
+          << pad(fixed(s.rate), 12) << sparkline(s.values, kSpark) << "\n";
+    }
+  }
+
+  out << "\nsignal: " << frame.health.string_or("grade", "?") << "  samples="
+      << fixed(frame.health.number_or("samples", 0.0), 0) << "  missing="
+      << fixed(frame.health.number_or("missing", 0.0), 0) << "  staleness="
+      << fixed(frame.health.number_or("staleness_s", 0.0), 2) << "s\n";
+
+  out << "\nalerts (" << fixed(frame.alerts.number_or("rules", 0.0), 0)
+      << " rules, " << fixed(frame.alerts.number_or("transitions", 0.0), 0)
+      << " transitions)\n";
+  out << pad("rule", 20) << pad("state", 10) << pad("value", 12)
+      << "labels\n";
+  if (const json::Value* alerts = frame.alerts.find("alerts")) {
+    for (const json::Value& a : alerts->array) {
+      const std::string state = a.string_or("state", "?");
+      const char* color = state == "firing"    ? "\x1b[31m"
+                          : state == "pending" ? "\x1b[33m"
+                                               : "\x1b[32m";
+      out << pad(a.string_or("rule", "?"), 20) << (ansi ? color : "")
+          << pad(state, 10) << (ansi ? "\x1b[0m" : "")
+          << pad(fixed(a.number_or("value", 0.0)), 12)
+          << a.string_or("labels", "") << "\n";
+    }
+  }
+  std::cout << out.str() << std::flush;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    return 2;
+  }
+  int rendered = 0;
+  for (;;) {
+    const auto frame = fetch(opt);
+    if (!frame) {
+      if (rendered == 0) {
+        std::cerr << "procap_top: no server at " << opt.host << ":"
+                  << opt.port << "\n";
+        return 1;
+      }
+      std::cout << "\nprocap_top: server went away after " << rendered
+                << " frames\n";
+      return 0;
+    }
+    render(*frame, !opt.once);
+    ++rendered;
+    if (opt.once || (opt.frames > 0 && rendered >= opt.frames)) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+  }
+}
