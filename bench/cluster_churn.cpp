@@ -1,0 +1,176 @@
+// Cluster-churn benchmark: how fast the cluster power hierarchy turns
+// over node state, and how long a redistribution decision takes, while
+// the cluster is actively churning (crashes with rejoin, heartbeat
+// loss, slow nodes) under every shipped strategy.
+//
+// Reported metrics:
+//   node_steps_per_s     — SimNode::step throughput across the sweep
+//                          (the scaling headline: nodes x ticks / wall);
+//   redistribute_us_mean — mean wall cost of one strategy decision;
+//   redistribute_us_max  — worst observed decision;
+//   deaths / rejoins     — churn actually exercised (shape-checked > 0);
+//   invariant_violations — must be 0 (shape-checked).
+//
+// Each trial owns its whole cluster and runs its manager single-threaded;
+// the sweep shards trials across the pool, so `--threads` scales the
+// bench without nesting pools.  Two trials per (strategy, seed) pair run
+// the identical config and must produce identical allocation-trace
+// hashes — the determinism contract, enforced even on the short grid.
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "exp/sweep.hpp"
+#include "harness.hpp"
+#include "shape_check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct TrialResult {
+  double node_steps = 0.0;
+  double redistribute_us_sum = 0.0;
+  double redistribute_us_max = 0.0;
+  std::size_t redistributions = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t trace_hash = 0;
+};
+
+procap::fault::FaultPlan churn_plan(std::uint64_t seed) {
+  std::istringstream text(
+      "seed " + std::to_string(seed) + "\n"
+      "node 6 14   crash frac 0.10\n"   // 10% die, rejoin at 14 s
+      "node 20 inf crash frac 0.05\n"   // 5% die for good
+      "node 4 24   hbloss frac 0.05\n"  // telemetry plane flaps
+      "node 0 inf  slow frac 0.10 factor 0.6\n"
+      "node 10 18  hang id 3\n");
+  return procap::fault::FaultPlan::parse(text);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace procap;
+  using bench::shape_check;
+  const auto options = bench::parse_harness_args(argc, argv);
+  bench::BenchReport report("cluster_churn", options);
+
+  const unsigned nodes = options.short_grid ? 128 : 384;
+  const unsigned epochs = options.short_grid ? 24 : 40;
+  const std::vector<std::uint64_t> seeds =
+      options.short_grid ? std::vector<std::uint64_t>{11, 12}
+                         : std::vector<std::uint64_t>{11, 12, 13, 14};
+  const std::vector<std::string> strategies = {"uniform", "demand",
+                                               "progress"};
+  constexpr std::size_t kRepeats = 2;  // identical pairs, hash-compared
+
+  std::cout << "== Cluster churn: redistribution under node failure ==\n"
+            << nodes << " nodes, " << epochs << " epochs, "
+            << strategies.size() << " strategies x " << seeds.size()
+            << " seeds x " << kRepeats << " repeats\n\n";
+
+  const std::size_t grid = strategies.size() * seeds.size() * kRepeats;
+  const auto swept = exp::sweep<TrialResult>(
+      grid,
+      [&](std::size_t i) {
+        const std::size_t pair = i / kRepeats;
+        cluster::ClusterConfig config;
+        config.nodes = nodes;
+        config.global_budget = 120.0 * nodes;
+        config.jobs = nodes / 8;
+        config.strategy = strategies[pair / seeds.size()];
+        config.seed = seeds[pair % seeds.size()];
+        config.threads = 1;  // the sweep already owns the parallelism
+        config.plan = churn_plan(config.seed);
+        cluster::ClusterPowerManager manager(config);
+        manager.run(epochs);
+
+        TrialResult r;
+        r.node_steps = static_cast<double>(manager.node_count()) *
+                       config.ticks_per_epoch * epochs;
+        for (const cluster::EpochRecord& rec : manager.records()) {
+          if (!rec.held && rec.redistribute_us > 0.0) {
+            r.redistribute_us_sum += rec.redistribute_us;
+            r.redistribute_us_max =
+                std::max(r.redistribute_us_max, rec.redistribute_us);
+            ++r.redistributions;
+          }
+        }
+        r.deaths = manager.deaths();
+        r.rejoins = manager.rejoins();
+        r.violations = manager.invariant_violations();
+        r.trace_hash = manager.trace_hash();
+        return r;
+      },
+      bench::sweep_options(options));
+  report.record_sweep(swept);
+  if (!swept.ok()) {
+    return report.finish();
+  }
+
+  double node_steps = 0.0;
+  double redis_sum = 0.0;
+  double redis_max = 0.0;
+  std::size_t redis_n = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t violations = 0;
+  bool deterministic = true;
+  TablePrinter table({"strategy", "seed", "deaths", "rejoins", "redis us",
+                      "identical"});
+  for (std::size_t pair = 0; pair < grid / kRepeats; ++pair) {
+    const TrialResult& a = swept.at(pair * kRepeats);
+    const TrialResult& b = swept.at(pair * kRepeats + 1);
+    const bool identical = a.trace_hash == b.trace_hash;
+    deterministic &= identical;
+    for (const TrialResult* r : {&a, &b}) {
+      node_steps += r->node_steps;
+      redis_sum += r->redistribute_us_sum;
+      redis_max = std::max(redis_max, r->redistribute_us_max);
+      redis_n += r->redistributions;
+      deaths += r->deaths;
+      rejoins += r->rejoins;
+      violations += r->violations;
+    }
+    table.add_row({strategies[pair / seeds.size()],
+                   std::to_string(seeds[pair % seeds.size()]),
+                   std::to_string(a.deaths), std::to_string(a.rejoins),
+                   num(a.redistributions > 0
+                           ? a.redistribute_us_sum /
+                                 static_cast<double>(a.redistributions)
+                           : 0.0,
+                       1),
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  const double node_steps_per_s =
+      swept.wall_seconds > 0.0 ? node_steps / swept.wall_seconds : 0.0;
+  const double redis_mean =
+      redis_n > 0 ? redis_sum / static_cast<double>(redis_n) : 0.0;
+  std::cout << "\nnode steps/s: " << num(node_steps_per_s, 0)
+            << "  redistribution: mean " << num(redis_mean, 1) << " us, max "
+            << num(redis_max, 1) << " us\n";
+  report.metric("node_steps_per_s", node_steps_per_s);
+  report.metric("redistribute_us_mean", redis_mean);
+  report.metric("redistribute_us_max", redis_max);
+  report.metric("deaths", static_cast<double>(deaths));
+  report.metric("rejoins", static_cast<double>(rejoins));
+  report.metric("invariant_violations", static_cast<double>(violations));
+
+  std::cout << "\nShape checks:\n";
+  shape_check("churn exercised: nodes died and rejoined",
+              deaths > 0 && rejoins > 0);
+  shape_check("conservation: no invariant violations", violations == 0);
+  shape_check("repeat runs produce identical allocation traces",
+              deterministic);
+  // Determinism is a correctness property, not a shape: enforce it even
+  // on the short grid (finish() relaxes shape checks there).
+  if (!deterministic) {
+    return 1;
+  }
+  return report.finish();
+}

@@ -1,0 +1,126 @@
+#include "cluster/jobmix.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace procap::cluster {
+
+namespace {
+
+/// App-class shapes, after the paper's workload set: alpha is the
+/// progress-vs-power sensitivity (Section VI), demand the per-node draw.
+struct AppClass {
+  const char* name;
+  double alpha;
+  Watts node_demand;
+  double cpu_share;
+  double nominal_rate;
+};
+
+constexpr AppClass kClasses[] = {
+    {"lammps", 0.85, 185.0, 0.85, 120.0},   // compute-bound
+    {"qmcpack", 0.75, 170.0, 0.80, 90.0},   //
+    {"openmc", 0.65, 160.0, 0.75, 110.0},   //
+    {"amg", 0.45, 150.0, 0.65, 70.0},       // bandwidth-sensitive
+    {"stream", 0.25, 140.0, 0.55, 60.0},    // memory-bound
+};
+
+constexpr std::uint64_t kMixStream = 0x316bULL;
+
+}  // namespace
+
+std::vector<JobSpec> synthesize_mix(unsigned jobs, unsigned nodes,
+                                    std::uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ kMixStream).next());
+  std::vector<JobSpec> mix;
+  mix.reserve(jobs);
+  Nanos arrival = 0;
+  for (unsigned i = 0; i < jobs; ++i) {
+    const AppClass& app =
+        kClasses[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(std::size(kClasses)) - 1))];
+    JobSpec spec;
+    spec.name = app.name + std::string("-") + std::to_string(i);
+    spec.priority = static_cast<int>(rng.uniform_int(1, 4));
+    // Job sizes span 1/32 to 1/4 of the cluster, at least one node.
+    const unsigned lo = std::max(1u, nodes / 32);
+    const unsigned hi = std::max(lo, nodes / 4);
+    spec.nodes = static_cast<unsigned>(
+        rng.uniform_int(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi)));
+    spec.arrival = arrival;
+    // Poisson-ish arrivals, mean 4 s apart; first job at t = 0.
+    arrival += to_nanos(rng.exponential(0.25));
+    spec.duration = to_nanos(rng.uniform(30.0, 120.0));
+    spec.node_demand = app.node_demand * rng.uniform(0.95, 1.05);
+    spec.demand_amplitude = rng.uniform(0.1, 0.3);
+    spec.phase_period = rng.uniform(12.0, 35.0);
+    spec.alpha = app.alpha;
+    spec.nominal_rate = app.nominal_rate;
+    spec.cpu_share = app.cpu_share;
+    mix.push_back(std::move(spec));
+  }
+  return mix;
+}
+
+JobTable::JobTable(std::vector<JobSpec> specs) {
+  jobs_.reserve(specs.size());
+  for (JobSpec& spec : specs) {
+    jobs_.push_back(Job{std::move(spec), JobState::kPending, 0, {}});
+  }
+}
+
+JobTable::Changes JobTable::advance(Nanos now,
+                                    std::vector<unsigned>& free_nodes) {
+  Changes changes;
+  // Completions first, so a wave of finishing jobs frees nodes for the
+  // arrivals processed below in the same call.
+  for (Job& job : jobs_) {
+    if (job.state == JobState::kRunning && job.spec.duration > 0 &&
+        now >= job.started_at + job.spec.duration) {
+      job.state = JobState::kDone;
+      for (const unsigned node : job.nodes) {
+        changes.unbind.push_back(node);
+        free_nodes.push_back(node);
+      }
+      job.nodes.clear();
+    }
+  }
+  std::sort(free_nodes.begin(), free_nodes.end());
+  // Arrivals in mix order (already ascending by arrival time).
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    Job& job = jobs_[j];
+    if (job.state != JobState::kPending || now < job.spec.arrival) {
+      continue;
+    }
+    if (free_nodes.size() < job.spec.nodes) {
+      continue;  // stays pending until churn frees capacity
+    }
+    job.state = JobState::kRunning;
+    job.started_at = now;
+    job.nodes.assign(free_nodes.begin(),
+                     free_nodes.begin() + job.spec.nodes);
+    free_nodes.erase(free_nodes.begin(),
+                     free_nodes.begin() + job.spec.nodes);
+    for (const unsigned node : job.nodes) {
+      changes.bind.emplace_back(node, static_cast<int>(j));
+    }
+  }
+  return changes;
+}
+
+void JobTable::release_node(int job, unsigned node) {
+  auto& nodes = jobs_.at(static_cast<std::size_t>(job)).nodes;
+  nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+}
+
+std::size_t JobTable::running() const {
+  std::size_t n = 0;
+  for (const Job& job : jobs_) {
+    n += job.state == JobState::kRunning ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace procap::cluster

@@ -1,0 +1,96 @@
+// jobmix.hpp — a dynamic job mix for the cluster simulation.
+//
+// The cluster's scaling axis is node count × jobs: a stream of jobs with
+// different power sensitivities (the paper's app classes) arrives,
+// claims nodes, runs for a while and leaves.  synthesize_mix() draws a
+// reproducible mix from a seed; JobTable runs the arrival/placement/
+// completion lifecycle against whatever nodes the manager reports free.
+//
+// Placement is deliberately simple (first-fit over the free list in
+// ascending node order): the object of study is the power hierarchy
+// above it, and a deterministic scheduler keeps cluster runs
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::cluster {
+
+/// One job's workload parameters (the per-node demand/progress model).
+struct JobSpec {
+  std::string name;
+  int priority = 1;          ///< >= 1, weights cluster-level division
+  unsigned nodes = 4;        ///< nodes the job needs to start
+  Nanos arrival = 0;
+  Nanos duration = 0;        ///< runtime once started (0 = forever)
+  Watts node_demand = 150.0; ///< per-node peak demand
+  double demand_amplitude = 0.2;  ///< phase wave depth, fraction of peak
+  Seconds phase_period = 20.0;    ///< demand wave period
+  double alpha = 0.7;        ///< progress ~ (granted/demand)^alpha
+  double nominal_rate = 100.0;    ///< progress units/s at full demand
+  double cpu_share = 0.8;    ///< demand split between CPU and DRAM
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// Draw `jobs` jobs for a cluster of `nodes` from the paper's app-class
+/// shapes (compute-bound high-alpha through memory-bound low-alpha).
+/// Deterministic in (jobs, nodes, seed).
+[[nodiscard]] std::vector<JobSpec> synthesize_mix(unsigned jobs,
+                                                  unsigned nodes,
+                                                  std::uint64_t seed);
+
+/// Arrival/placement/completion lifecycle over a synthesized mix.
+class JobTable {
+ public:
+  enum class JobState { kPending, kRunning, kDone };
+
+  explicit JobTable(std::vector<JobSpec> specs);
+
+  /// Node/job binding changes decided by one advance() call.
+  struct Changes {
+    /// (node, job) pairs to bind, in placement order.
+    std::vector<std::pair<unsigned, int>> bind;
+    /// Nodes released by completed jobs.
+    std::vector<unsigned> unbind;
+  };
+
+  /// Advance the lifecycle to `now`: complete jobs whose duration
+  /// elapsed, then start pending jobs whose arrival is due while enough
+  /// free nodes exist (first-fit from `free_nodes`, which the caller
+  /// keeps sorted ascending).  Jobs that cannot be placed stay pending —
+  /// they start when churn frees capacity.
+  [[nodiscard]] Changes advance(Nanos now, std::vector<unsigned>& free_nodes);
+
+  /// A dead node dropped out of `job`; the job keeps running on its
+  /// surviving nodes.
+  void release_node(int job, unsigned node);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] const JobSpec& spec(int job) const {
+    return jobs_.at(static_cast<std::size_t>(job)).spec;
+  }
+  [[nodiscard]] JobState state(int job) const {
+    return jobs_.at(static_cast<std::size_t>(job)).state;
+  }
+  [[nodiscard]] const std::vector<unsigned>& nodes_of(int job) const {
+    return jobs_.at(static_cast<std::size_t>(job)).nodes;
+  }
+  [[nodiscard]] std::size_t running() const;
+
+ private:
+  struct Job {
+    JobSpec spec;
+    JobState state = JobState::kPending;
+    Nanos started_at = 0;
+    std::vector<unsigned> nodes;
+  };
+
+  std::vector<Job> jobs_;
+};
+
+}  // namespace procap::cluster

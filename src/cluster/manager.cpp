@@ -1,0 +1,319 @@
+#include "cluster/manager.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace procap::cluster {
+
+namespace {
+
+/// Domain-separation constant for the cluster's random streams.
+constexpr std::uint64_t kClusterStream = 0xC105ULL;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (v >> (8 * byte)) & 0xFFULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ClusterPowerManager::ClusterPowerManager(ClusterConfig config)
+    : config_(std::move(config)),
+      strategy_(make_strategy(config_.strategy)),
+      injector_(config_.plan, config_.nodes),
+      detector_(config_.nodes, config_.membership, 0),
+      jobs_(synthesize_mix(config_.jobs, config_.nodes, config_.seed)),
+      join_rng_(0),
+      latch_(config_.reengage_epochs),
+      trace_hash_(kFnvOffset) {
+  if (config_.nodes == 0) {
+    throw std::invalid_argument("cluster: need at least one node");
+  }
+  if (config_.global_budget <= 0.0) {
+    throw std::invalid_argument("cluster: global budget must be positive");
+  }
+  if (config_.tick <= 0 || config_.ticks_per_epoch == 0) {
+    throw std::invalid_argument("cluster: tick and ticks_per_epoch must be "
+                                "positive");
+  }
+  if (config_.min_node_cap < 0.0 ||
+      config_.max_node_cap < config_.min_node_cap) {
+    throw std::invalid_argument("cluster: need 0 <= min_node_cap <= "
+                                "max_node_cap");
+  }
+
+  // Per-node streams fork in index order from the cluster root, so node
+  // i's noise never depends on cluster size changes behind it; the join
+  // stream forks last and serves post-start joins in join order.
+  Rng root(SplitMix64(config_.seed ^ kClusterStream).next());
+  nodes_.reserve(config_.nodes);
+  for (unsigned i = 0; i < config_.nodes; ++i) {
+    nodes_.emplace_back(i, config_.node_spec, root.fork());
+  }
+  join_rng_ = root.fork();
+
+  left_.assign(config_.nodes, 0);
+  heartbeat_.assign(config_.nodes, 0);
+  caps_.assign(config_.nodes, 0.0);
+  free_nodes_.resize(config_.nodes);
+  std::iota(free_nodes_.begin(), free_nodes_.end(), 0u);
+
+  pool_ = std::make_unique<minithread::ThreadPool>(
+      resolve_threads(config_.threads));
+
+  // Start in a sane state: jobs due at t = 0 placed, budget divided.
+  apply_jobs();
+  redistribute();
+}
+
+void ClusterPowerManager::watch_alerts(
+    std::shared_ptr<msgbus::SubSocket> sub) {
+  alert_watch_.watch(std::move(sub));
+}
+
+void ClusterPowerManager::step_ticks() {
+  for (unsigned t = 0; t < config_.ticks_per_epoch; ++t) {
+    // Parallel section: each index touches only its own node's state and
+    // its own heartbeat_ slot, so any sharding is bit-identical to a
+    // serial pass.
+    pool_->parallel_for(nodes_.size(), [&](std::size_t i) {
+      heartbeat_[i] = 0;
+      if (left_[i]) {
+        return;
+      }
+      const auto fs = injector_.state(static_cast<unsigned>(i), now_);
+      nodes_[i].step(now_, config_.tick, caps_[i], fs);
+      heartbeat_[i] = fs.heartbeating() ? 1 : 0;
+    });
+    now_ += config_.tick;
+    // Serial collection in index order: heartbeats stamp the tick's end,
+    // when the node would report.
+    for (unsigned i = 0; i < nodes_.size(); ++i) {
+      if (heartbeat_[i]) {
+        detector_.heartbeat(i, now_);
+      }
+    }
+  }
+}
+
+void ClusterPowerManager::apply_liveness(EpochRecord& rec) {
+  const FailureDetector::Events events = detector_.advance(now_);
+  for (const unsigned i : events.died) {
+    ++deaths_;
+    rec.reclaimed += caps_[i];
+    caps_[i] = 0.0;  // reclaim in the detection epoch, before redistribution
+    const int job = nodes_[i].job();
+    if (job >= 0) {
+      jobs_.release_node(job, i);
+      nodes_[i].unbind_job();
+    } else {
+      free_nodes_.erase(
+          std::remove(free_nodes_.begin(), free_nodes_.end(), i),
+          free_nodes_.end());
+    }
+    PROCAP_INFO << "cluster: node " << i << " dead, reclaimed its cap";
+  }
+  for (const unsigned i : events.rejoined) {
+    ++rejoins_;
+    nodes_[i].rejoin(now_);
+    free_nodes_.push_back(i);
+    PROCAP_INFO << "cluster: node " << i << " rejoined";
+  }
+}
+
+void ClusterPowerManager::apply_jobs() {
+  const JobTable::Changes changes = jobs_.advance(now_, free_nodes_);
+  for (const unsigned i : changes.unbind) {
+    nodes_[i].unbind_job();
+  }
+  for (const auto& [i, job] : changes.bind) {
+    nodes_[i].bind_job(job, jobs_.spec(job), now_);
+  }
+}
+
+void ClusterPowerManager::redistribute() {
+  // Frozen shares first: a suspect node's telemetry is stale, so neither
+  // raising nor lowering its cap is justified — it keeps what it has.
+  Watts frozen = 0.0;
+  std::vector<NodeView> eligible;
+  std::vector<unsigned> eligible_ids;
+  eligible.reserve(nodes_.size());
+  for (unsigned i = 0; i < nodes_.size(); ++i) {
+    switch (detector_.liveness(i)) {
+      case Liveness::kDead:
+        caps_[i] = 0.0;
+        break;
+      case Liveness::kSuspect:
+        frozen += caps_[i];
+        break;
+      case Liveness::kAlive: {
+        NodeView view;
+        view.id = i;
+        view.demand = nodes_[i].telemetry().demand;
+        view.rate = nodes_[i].telemetry().rate;
+        const int job = nodes_[i].job();
+        if (job >= 0) {
+          view.nominal_rate = jobs_.spec(job).nominal_rate;
+          view.priority = jobs_.spec(job).priority;
+        }
+        eligible.push_back(view);
+        eligible_ids.push_back(i);
+        break;
+      }
+    }
+  }
+  std::vector<Watts> grants;
+  strategy_->distribute(eligible,
+                        std::max(0.0, config_.global_budget - frozen),
+                        CapBounds{config_.min_node_cap, config_.max_node_cap},
+                        grants);
+  for (std::size_t k = 0; k < eligible_ids.size(); ++k) {
+    caps_[eligible_ids[k]] = grants[k];
+  }
+}
+
+const EpochRecord& ClusterPowerManager::run_epoch() {
+  EpochRecord rec;
+  rec.epoch = epoch_++;
+
+  step_ticks();
+  rec.t = now_;
+
+  apply_liveness(rec);
+
+  // Alert feed: a firing degrades_control rule holds the last safe
+  // allocation; the hold lifts after reengage_epochs quiet epochs.
+  (void)alert_watch_.drain();
+  if (alert_watch_.any_firing()) {
+    if (!latch_.degraded()) {
+      ++holds_;
+      PROCAP_WARN << "cluster: degrading alert firing, holding allocation";
+    }
+    latch_.degrade();
+  } else if (latch_.observe(true)) {
+    PROCAP_INFO << "cluster: alert feed quiet for " << latch_.reengage_after()
+                << " epochs, redistribution re-engaged";
+  }
+  rec.held = latch_.degraded();
+
+  // Job lifecycle runs even under a hold — arrivals and completions are
+  // facts, not power decisions — but new bindings only receive fresh
+  // budget once the hold lifts.
+  apply_jobs();
+
+  if (!rec.held) {
+    const auto t0 = std::chrono::steady_clock::now();
+    redistribute();
+    rec.redistribute_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  // Conservation invariant: never promise more than the facility grants.
+  rec.assigned = assigned();
+  if (rec.assigned > config_.global_budget * (1.0 + 1e-9) + 1e-6) {
+    ++invariant_violations_;
+    PROCAP_OBS_COUNTER(violations_total, "cluster.invariant_violations");
+    violations_total.inc();
+    PROCAP_ERROR << "cluster: INVARIANT VIOLATION: assigned " << rec.assigned
+                 << " W > budget " << config_.global_budget << " W at epoch "
+                 << rec.epoch;
+  }
+
+  // Chained allocation-trace hash: any divergence in any epoch's cap
+  // vector changes every subsequent hash.
+  trace_hash_ = fnv_mix(trace_hash_, rec.epoch);
+  for (const Watts cap : caps_) {
+    trace_hash_ = fnv_mix(trace_hash_, std::bit_cast<std::uint64_t>(cap));
+  }
+  rec.trace_hash = trace_hash_;
+
+  rec.alive = detector_.alive();
+  rec.suspect = detector_.suspect();
+  rec.dead = detector_.dead();
+  rec.running_jobs = jobs_.running();
+
+  PROCAP_OBS_GAUGE(alive_gauge, "cluster.nodes_alive");
+  PROCAP_OBS_GAUGE(suspect_gauge, "cluster.nodes_suspect");
+  PROCAP_OBS_GAUGE(dead_gauge, "cluster.nodes_dead");
+  PROCAP_OBS_GAUGE(assigned_gauge, "cluster.assigned_watts");
+  PROCAP_OBS_GAUGE(jobs_gauge, "cluster.running_jobs");
+  PROCAP_OBS_COUNTER(epochs_total, "cluster.epochs");
+  alive_gauge.set(rec.alive);
+  suspect_gauge.set(rec.suspect);
+  dead_gauge.set(rec.dead);
+  assigned_gauge.set(rec.assigned);
+  jobs_gauge.set(static_cast<double>(rec.running_jobs));
+  epochs_total.inc();
+
+  records_.push_back(rec);
+  return records_.back();
+}
+
+void ClusterPowerManager::run(unsigned epochs) {
+  for (unsigned i = 0; i < epochs; ++i) {
+    (void)run_epoch();
+  }
+}
+
+unsigned ClusterPowerManager::add_node() {
+  const unsigned id = detector_.add_node(now_);
+  nodes_.emplace_back(id, config_.node_spec, join_rng_.fork());
+  left_.push_back(0);
+  heartbeat_.push_back(0);
+  caps_.push_back(0.0);
+  free_nodes_.push_back(id);
+  std::sort(free_nodes_.begin(), free_nodes_.end());
+  PROCAP_INFO << "cluster: node " << id << " joined";
+  return id;
+}
+
+void ClusterPowerManager::remove_node(unsigned node) {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("cluster: remove_node: no such node");
+  }
+  if (left_.at(node)) {
+    return;
+  }
+  left_[node] = 1;
+  const int job = nodes_[node].job();
+  if (job >= 0) {
+    jobs_.release_node(job, node);
+    nodes_[node].unbind_job();
+  } else {
+    free_nodes_.erase(
+        std::remove(free_nodes_.begin(), free_nodes_.end(), node),
+        free_nodes_.end());
+  }
+  detector_.force_dead(node, now_);
+  caps_[node] = 0.0;
+  PROCAP_INFO << "cluster: node " << node << " left (administrative)";
+}
+
+Watts ClusterPowerManager::assigned() const {
+  return std::accumulate(caps_.begin(), caps_.end(), 0.0);
+}
+
+}  // namespace procap::cluster

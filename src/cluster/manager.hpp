@@ -1,0 +1,174 @@
+// manager.hpp — ClusterPowerManager: a global budget over churning nodes.
+//
+// The cluster layer closes the paper's hierarchy from the top: a single
+// global power budget divides over hundreds of nodes running a dynamic
+// job mix, and the division must survive the cluster being a cluster —
+// nodes crash, hang, stop heartbeating, slow down, leave and rejoin.
+// The manager runs a two-rate loop:
+//
+//   tick  (default 250 ms) — every node steps its power/progress model
+//          under its current cap (sharded over a minithread::ThreadPool)
+//          and heartbeats are collected serially in node-index order;
+//   epoch (default 4 ticks) — the failure detector re-evaluates
+//          liveness, the job table binds/unbinds nodes, and the budget
+//          is redistributed by the configured strategy.
+//
+// Robustness contract (what the chaos suite asserts):
+//   * conservation — sum(assigned caps) never exceeds the global budget,
+//     at every epoch, under any churn; violations are counted, never
+//     silently tolerated;
+//   * reclamation — a node declared dead has its cap zeroed in the same
+//     epoch, and the freed watts are redistributable immediately;
+//   * degradation — a suspect node (stale telemetry) keeps its frozen
+//     share: its telemetry cannot justify giving it more or less.  A
+//     firing degrades_control alert holds the whole cluster in its last
+//     safe allocation (dead caps still zero — that only lowers the sum)
+//     until the feed has been quiet for `reengage_epochs` epochs;
+//   * determinism — with a fixed (config, plan, seed), the allocation
+//     trace is bit-identical across runs and thread counts: every random
+//     draw comes from a per-node stream forked in index order, parallel
+//     sections write disjoint state, and all cross-node reads/reductions
+//     happen serially in index order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/jobmix.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/node.hpp"
+#include "cluster/strategy.hpp"
+#include "fault/injectors.hpp"
+#include "fault/plan.hpp"
+#include "minithread/minithread.hpp"
+#include "msgbus/bus.hpp"
+#include "policy/latch.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace procap::cluster {
+
+/// Everything that defines a cluster run.  Deterministic given this
+/// struct: two managers built from equal configs produce bit-identical
+/// allocation traces, whatever `threads` is.
+struct ClusterConfig {
+  unsigned nodes = 64;          ///< initial cluster size
+  Watts global_budget = 8000.0; ///< watts the facility grants the cluster
+  Nanos tick = msec(250);       ///< node model step
+  unsigned ticks_per_epoch = 4; ///< redistribution period, in ticks
+  NodeSpec node_spec;           ///< per-node power envelope
+  MembershipConfig membership;  ///< failure-detection timeouts
+  std::string strategy = "demand";  ///< uniform | demand | progress
+  Watts min_node_cap = 30.0;    ///< floor per live node (shrinks if needed)
+  Watts max_node_cap = 205.0;   ///< ceiling per node
+  unsigned jobs = 16;           ///< synthesized job-mix size
+  std::uint64_t seed = 42;      ///< master seed (mix, node noise, faults)
+  unsigned threads = 0;         ///< pool width (0 = hardware_concurrency)
+  unsigned reengage_epochs = 3; ///< quiet epochs before an alert hold lifts
+  fault::FaultPlan plan;        ///< scripted churn (node episodes)
+};
+
+/// One epoch's outcome, appended to the manager's trace.
+struct EpochRecord {
+  std::uint64_t epoch = 0;     ///< 0-based epoch index
+  Nanos t = 0;                 ///< simulation time at the epoch boundary
+  Watts assigned = 0.0;        ///< sum of caps after this epoch's decisions
+  Watts reclaimed = 0.0;       ///< watts taken back from newly dead nodes
+  unsigned alive = 0;
+  unsigned suspect = 0;
+  unsigned dead = 0;
+  std::size_t running_jobs = 0;
+  bool held = false;           ///< allocation frozen by a degrading alert
+  std::uint64_t trace_hash = 0;  ///< chained FNV-1a over the cap vector
+  /// Wall-clock cost of the redistribution decision, microseconds
+  /// (measured, excluded from trace_hash; 0 when held).
+  double redistribute_us = 0.0;
+};
+
+/// Global-budget power manager over a churning simulated cluster.
+class ClusterPowerManager {
+ public:
+  /// Throws std::invalid_argument on nonsensical config (no nodes,
+  /// non-positive budget/tick, min_cap > max_cap, unknown strategy) and
+  /// whatever FailureDetector rejects.
+  explicit ClusterPowerManager(ClusterConfig config);
+
+  /// Adopt `sub` as the degrades_control alert feed (policy::
+  /// DegradeAlertWatch semantics); nullptr detaches.
+  void watch_alerts(std::shared_ptr<msgbus::SubSocket> sub);
+
+  /// Advance one epoch (ticks_per_epoch node steps, then liveness, job
+  /// lifecycle and redistribution) and return its record.
+  const EpochRecord& run_epoch();
+
+  /// Convenience: run_epoch() `epochs` times.
+  void run(unsigned epochs);
+
+  /// A new node joins the cluster (alive, idle, eligible next epoch).
+  /// Returns its index.
+  unsigned add_node();
+
+  /// Administrative leave: `node` is released from its job, its cap is
+  /// reclaimed next epoch, and it is treated as dead until (if ever) the
+  /// fault plan has it heartbeat again — which, for a left node, never
+  /// happens because it no longer steps.
+  void remove_node(unsigned node);
+
+  [[nodiscard]] Nanos now() const { return now_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const SimNode& node(unsigned i) const { return nodes_.at(i); }
+  [[nodiscard]] Liveness liveness(unsigned i) const {
+    return detector_.liveness(i);
+  }
+  [[nodiscard]] const std::vector<Watts>& caps() const { return caps_; }
+  [[nodiscard]] Watts assigned() const;
+  [[nodiscard]] const std::vector<EpochRecord>& records() const {
+    return records_;
+  }
+  /// Chained allocation-trace hash over every epoch so far: the
+  /// determinism fingerprint (equal configs => equal hashes).
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
+  [[nodiscard]] const JobTable& jobs() const { return jobs_; }
+  [[nodiscard]] std::uint64_t deaths() const { return deaths_; }
+  [[nodiscard]] std::uint64_t rejoins() const { return rejoins_; }
+  [[nodiscard]] std::uint64_t holds() const { return holds_; }
+  [[nodiscard]] bool held() const { return latch_.degraded(); }
+  /// Conservation-invariant breaches observed (must stay 0).
+  [[nodiscard]] std::uint64_t invariant_violations() const {
+    return invariant_violations_;
+  }
+
+ private:
+  void step_ticks();
+  void apply_liveness(EpochRecord& rec);
+  void apply_jobs();
+  void redistribute();
+
+  ClusterConfig config_;
+  std::unique_ptr<Strategy> strategy_;
+  fault::NodeFaultInjector injector_;
+  FailureDetector detector_;
+  JobTable jobs_;
+  std::vector<SimNode> nodes_;
+  std::vector<char> left_;        ///< administratively removed
+  std::vector<char> heartbeat_;   ///< per-tick scratch, written in parallel
+  std::vector<Watts> caps_;
+  std::vector<unsigned> free_nodes_;  ///< idle nodes, kept sorted
+  Rng join_rng_;                  ///< stream for nodes added after start
+  std::unique_ptr<minithread::ThreadPool> pool_;
+  policy::ReengageLatch latch_;
+  policy::DegradeAlertWatch alert_watch_{"cluster"};
+  Nanos now_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t trace_hash_;
+  std::vector<EpochRecord> records_;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t holds_ = 0;
+  std::uint64_t invariant_violations_ = 0;
+};
+
+}  // namespace procap::cluster

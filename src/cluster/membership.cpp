@@ -1,0 +1,96 @@
+#include "cluster/membership.hpp"
+
+#include <stdexcept>
+
+namespace procap::cluster {
+
+const char* to_string(Liveness liveness) {
+  switch (liveness) {
+    case Liveness::kAlive:
+      return "alive";
+    case Liveness::kSuspect:
+      return "suspect";
+    case Liveness::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+FailureDetector::FailureDetector(unsigned nodes, MembershipConfig config,
+                                 Nanos now)
+    : config_(config) {
+  if (config_.suspect_after <= 0 || config_.dead_after <= config_.suspect_after) {
+    throw std::invalid_argument(
+        "membership: need 0 < suspect_after < dead_after");
+  }
+  state_.resize(nodes, NodeState{now, Liveness::kAlive});
+}
+
+void FailureDetector::heartbeat(unsigned node, Nanos now) {
+  NodeState& st = state_.at(node);
+  if (now > st.last_hb) {
+    st.last_hb = now;
+  }
+}
+
+FailureDetector::Events FailureDetector::advance(Nanos now) {
+  Events events;
+  for (unsigned i = 0; i < state_.size(); ++i) {
+    NodeState& st = state_[i];
+    const Nanos age = now - st.last_hb;
+    Liveness next = Liveness::kAlive;
+    if (age >= config_.dead_after) {
+      next = Liveness::kDead;
+    } else if (age >= config_.suspect_after) {
+      next = Liveness::kSuspect;
+    }
+    if (next == st.liveness) {
+      continue;
+    }
+    const Liveness prev = st.liveness;
+    st.liveness = next;
+    switch (next) {
+      case Liveness::kAlive:
+        (prev == Liveness::kDead ? events.rejoined : events.recovered)
+            .push_back(i);
+        break;
+      case Liveness::kSuspect:
+        // A dead node whose heartbeat age lands in the suspect window can
+        // only mean the clock jumped; treat it as still dead until a
+        // fresh heartbeat proves life.
+        if (prev == Liveness::kDead) {
+          st.liveness = Liveness::kDead;
+        } else {
+          events.suspected.push_back(i);
+        }
+        break;
+      case Liveness::kDead:
+        events.died.push_back(i);
+        break;
+    }
+  }
+  return events;
+}
+
+unsigned FailureDetector::add_node(Nanos now) {
+  state_.push_back(NodeState{now, Liveness::kAlive});
+  return static_cast<unsigned>(state_.size()) - 1;
+}
+
+void FailureDetector::force_dead(unsigned node, Nanos now) {
+  NodeState& st = state_.at(node);
+  st.liveness = Liveness::kDead;
+  // Age the heartbeat past the dead window so advance() keeps the node
+  // dead until a genuine heartbeat arrives.
+  st.last_hb = now - config_.dead_after;
+}
+
+unsigned FailureDetector::count(Liveness liveness) const {
+  unsigned n = 0;
+  for (const NodeState& st : state_) {
+    n += st.liveness == liveness ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace procap::cluster

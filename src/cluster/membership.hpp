@@ -1,0 +1,98 @@
+// membership.hpp — heartbeat-based node liveness tracking.
+//
+// The cluster manager never trusts a node's telemetry beyond its last
+// heartbeat.  Each node's age (now - last heartbeat) drives a three-state
+// liveness ladder:
+//
+//   kAlive ──(age >= suspect_after)──> kSuspect ──(age >= dead_after)──> kDead
+//     ^                                                                   │
+//     └────────────────────── heartbeat arrives ──────────────────────────┘
+//
+// Suspect is the graceful-degradation window: telemetry is stale but the
+// node may still be drawing power, so the manager freezes its share
+// rather than reclaiming it.  Dead means the node's budget is reclaimed;
+// a heartbeat from a dead node is a rejoin.
+//
+// The detector is deliberately passive — heartbeat() records arrivals,
+// advance() applies the ladder to every node in index order and reports
+// the transitions — so a serial call sequence yields the same events on
+// every run (the cluster determinism contract).
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::cluster {
+
+/// Node liveness as seen by the failure detector.
+enum class Liveness { kAlive, kSuspect, kDead };
+
+[[nodiscard]] const char* to_string(Liveness liveness);
+
+/// Failure-detection timeouts.
+struct MembershipConfig {
+  /// Heartbeat age at which a node turns suspect (telemetry stale).
+  Nanos suspect_after = 3 * kNanosPerSecond;
+  /// Heartbeat age at which a node is declared dead (budget reclaimed).
+  /// Must exceed suspect_after.
+  Nanos dead_after = 8 * kNanosPerSecond;
+};
+
+/// Tracks liveness for a growable set of nodes.
+class FailureDetector {
+ public:
+  /// Start tracking `nodes` nodes, all alive with a heartbeat at `now`
+  /// (construction grants a full grace window before suspicion).
+  FailureDetector(unsigned nodes, MembershipConfig config, Nanos now);
+
+  /// Record a heartbeat from `node` at `now`.
+  void heartbeat(unsigned node, Nanos now);
+
+  /// Liveness transitions decided by one advance() call, each in
+  /// ascending node order.
+  struct Events {
+    std::vector<unsigned> suspected;  ///< alive -> suspect
+    std::vector<unsigned> died;       ///< suspect (or alive) -> dead
+    std::vector<unsigned> rejoined;   ///< dead -> alive
+    std::vector<unsigned> recovered;  ///< suspect -> alive
+
+    [[nodiscard]] bool empty() const {
+      return suspected.empty() && died.empty() && rejoined.empty() &&
+             recovered.empty();
+    }
+  };
+
+  /// Re-evaluate every node's liveness at `now` and report transitions.
+  [[nodiscard]] Events advance(Nanos now);
+
+  /// Track one more node (joined at `now`, alive).  Returns its index.
+  unsigned add_node(Nanos now);
+
+  /// Administratively declare `node` dead at `now` (planned leave); it
+  /// rejoins on its next heartbeat like any other dead node.
+  void force_dead(unsigned node, Nanos now);
+
+  [[nodiscard]] Liveness liveness(unsigned node) const {
+    return state_.at(node).liveness;
+  }
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(state_.size());
+  }
+  [[nodiscard]] unsigned alive() const { return count(Liveness::kAlive); }
+  [[nodiscard]] unsigned suspect() const { return count(Liveness::kSuspect); }
+  [[nodiscard]] unsigned dead() const { return count(Liveness::kDead); }
+
+ private:
+  struct NodeState {
+    Nanos last_hb = 0;
+    Liveness liveness = Liveness::kAlive;
+  };
+
+  [[nodiscard]] unsigned count(Liveness liveness) const;
+
+  MembershipConfig config_;
+  std::vector<NodeState> state_;
+};
+
+}  // namespace procap::cluster

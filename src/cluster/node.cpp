@@ -1,0 +1,80 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace procap::cluster {
+
+namespace {
+constexpr double kTau = 6.283185307179586;
+}  // namespace
+
+SimNode::SimNode(unsigned id, NodeSpec spec, Rng rng)
+    : id_(id), spec_(spec), rng_(rng) {
+  phase_offset_ = rng_.uniform();
+}
+
+void SimNode::bind_job(int job, const JobSpec& spec, Nanos now) {
+  job_ = job;
+  job_spec_ = spec;
+  job_bound_at_ = now;
+}
+
+void SimNode::unbind_job() {
+  job_ = -1;
+  job_spec_ = JobSpec{};
+}
+
+void SimNode::rejoin(Nanos now) {
+  unbind_job();
+  progress_ = 0.0;
+  telem_ = NodeTelemetry{};
+  job_bound_at_ = now;
+}
+
+void SimNode::step(Nanos now, Nanos dt, Watts cap,
+                   const fault::NodeFaultState& fault) {
+  if (!fault.powered()) {
+    // Crashed: dark.  Telemetry zeroes so a rejoin starts clean.
+    telem_ = NodeTelemetry{};
+    return;
+  }
+  if (fault.hung) {
+    // Wedged: the last grant keeps dissipating, progress stops.
+    telem_.rate = 0.0;
+    return;
+  }
+
+  // Demand: idle floor, or the bound job's phase wave plus a little
+  // per-tick wobble from this node's own stream (one draw per live
+  // step, whatever branch follows).
+  const double wobble = 1.0 + 0.02 * (rng_.uniform() - 0.5);
+  Watts demand = spec_.idle_power;
+  if (job_ >= 0) {
+    const double t = to_seconds(now - job_bound_at_) / job_spec_.phase_period +
+                     phase_offset_;
+    const double wave =
+        1.0 - job_spec_.demand_amplitude * (0.5 + 0.5 * std::sin(kTau * t));
+    demand = std::max(spec_.idle_power, job_spec_.node_demand * wave);
+  }
+  demand = std::min(demand * wobble, spec_.max_power);
+
+  const Watts granted = std::max(0.0, std::min(cap, demand));
+  const double cpu_share = job_ >= 0 ? job_spec_.cpu_share : 0.7;
+  telem_.demand = demand;
+  telem_.power = granted;
+  telem_.cpu = DevicePower{demand * cpu_share, granted * cpu_share};
+  telem_.dram =
+      DevicePower{demand * (1.0 - cpu_share), granted * (1.0 - cpu_share)};
+
+  double rate = 0.0;
+  if (job_ >= 0 && demand > 0.0) {
+    const double ratio = std::clamp(granted / demand, 0.0, 1.0);
+    rate = job_spec_.nominal_rate * std::pow(ratio, job_spec_.alpha) *
+           fault.slow_factor;
+  }
+  telem_.rate = rate;
+  progress_ += rate * to_seconds(dt);
+}
+
+}  // namespace procap::cluster

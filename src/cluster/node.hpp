@@ -1,0 +1,98 @@
+// node.hpp — a lightweight simulated node for cluster-scale runs.
+//
+// The single-node simulator (src/hw) models a package at 1 ms RAPL
+// granularity; stepping hundreds of those to study *budget division*
+// would spend nearly all its cycles below the level the cluster layer
+// can observe.  SimNode is the scale-out counterpart: an analytic node
+// whose power and progress respond to its cap at the cluster manager's
+// tick (hundreds of ms), calibrated to the same shape the paper
+// establishes — progress follows (granted/demand)^alpha, so memory-bound
+// jobs (small alpha) lose little under a cap while compute-bound jobs
+// (alpha near 1) track it directly.
+//
+// The node carries the bottom of the job→node→device hierarchy: its cap
+// splits over the CPU and DRAM device domains in proportion to the
+// bound job's demand mix, mirroring flux-power-monitor's device-level
+// powercaps.
+//
+// Determinism: every random draw comes from the node's own Rng stream
+// (forked from the cluster seed at construction), and step() touches
+// nothing but this node's state — so the manager may step any subset of
+// nodes concurrently and the results are bit-identical to a serial pass.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/jobmix.hpp"
+#include "fault/injectors.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace procap::cluster {
+
+/// Static description of one node model.
+struct NodeSpec {
+  Watts idle_power = 35.0;  ///< draw with no job bound
+  Watts max_power = 205.0;  ///< demand ceiling (uncapped full load)
+};
+
+/// One device domain's share of the node's demand and grant.
+struct DevicePower {
+  Watts demand = 0.0;
+  Watts granted = 0.0;
+
+  friend bool operator==(const DevicePower&, const DevicePower&) = default;
+};
+
+/// What the node reports upward each tick (the telemetry plane).
+struct NodeTelemetry {
+  Watts power = 0.0;   ///< actual draw over the last tick
+  Watts demand = 0.0;  ///< watts the node could have used
+  double rate = 0.0;   ///< progress units/s over the last tick
+  DevicePower cpu;
+  DevicePower dram;
+
+  friend bool operator==(const NodeTelemetry&, const NodeTelemetry&) =
+      default;
+};
+
+/// Analytic node simulation at cluster-tick granularity.
+class SimNode {
+ public:
+  SimNode(unsigned id, NodeSpec spec, Rng rng);
+
+  [[nodiscard]] unsigned id() const { return id_; }
+
+  /// Bind `job` (index into the mix) with its workload parameters.
+  void bind_job(int job, const JobSpec& spec, Nanos now);
+
+  /// Return to idle (job completed or node left the job).
+  void unbind_job();
+
+  /// Fresh state after a rejoin: progress history and any bound job are
+  /// gone (the scheduler re-places work later).
+  void rejoin(Nanos now);
+
+  /// Advance over [now, now + dt) under `cap` and the scripted fault
+  /// state.  Crashed nodes draw nothing; hung nodes keep drawing their
+  /// last grant but stop progressing; slow nodes progress at
+  /// `fault.slow_factor`.
+  void step(Nanos now, Nanos dt, Watts cap, const fault::NodeFaultState& fault);
+
+  [[nodiscard]] const NodeTelemetry& telemetry() const { return telem_; }
+  [[nodiscard]] int job() const { return job_; }
+  [[nodiscard]] double progress() const { return progress_; }
+
+ private:
+  unsigned id_;
+  NodeSpec spec_;
+  Rng rng_;
+  int job_ = -1;
+  JobSpec job_spec_{};
+  Nanos job_bound_at_ = 0;
+  double phase_offset_ = 0.0;  ///< de-synchronizes per-node demand waves
+  double progress_ = 0.0;
+  NodeTelemetry telem_;
+};
+
+}  // namespace procap::cluster

@@ -1,0 +1,110 @@
+#include "cluster/strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "job/waterfill.hpp"
+
+namespace procap::cluster {
+
+namespace {
+
+/// Shared water-filling plumbing: floors (shrunk to fit), ceilings, then
+/// the remainder split by the weights the concrete strategy computed.
+void fill(const std::vector<NodeView>& nodes, Watts budget, CapBounds bounds,
+          const std::vector<double>& weights, std::vector<Watts>& caps) {
+  caps.assign(nodes.size(), 0.0);
+  if (nodes.empty() || budget <= 0.0) {
+    return;
+  }
+  // When the budget cannot cover every floor, shrink the floors evenly:
+  // over-committing would break the cluster conservation invariant, and
+  // starving an arbitrary subset would be worse than brown-out for all.
+  const Watts floor =
+      std::min(bounds.min_cap, budget / static_cast<double>(nodes.size()));
+  std::vector<job::WaterfillItem> items(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    items[i].weight = std::max(weights[i], 1e-9);
+    items[i].floor = floor;
+    items[i].ceiling = std::max(floor, bounds.max_cap);
+  }
+  (void)job::waterfill(items, budget);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    caps[i] = items[i].granted;
+  }
+}
+
+class UniformStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "uniform"; }
+
+  void distribute(const std::vector<NodeView>& nodes, Watts budget,
+                  CapBounds bounds, std::vector<Watts>& caps) const override {
+    fill(nodes, budget, bounds, std::vector<double>(nodes.size(), 1.0), caps);
+  }
+};
+
+class DemandProportionalStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "demand"; }
+
+  void distribute(const std::vector<NodeView>& nodes, Watts budget,
+                  CapBounds bounds, std::vector<Watts>& caps) const override {
+    std::vector<double> weights(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      weights[i] = std::max(nodes[i].demand, 1.0);
+    }
+    fill(nodes, budget, bounds, weights, caps);
+  }
+};
+
+class ProgressAwareStrategy final : public Strategy {
+ public:
+  const char* name() const override { return "progress"; }
+
+  void distribute(const std::vector<NodeView>& nodes, Watts budget,
+                  CapBounds bounds, std::vector<Watts>& caps) const override {
+    std::vector<double> weights(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeView& n = nodes[i];
+      if (n.priority <= 0 || n.nominal_rate <= 0.0) {
+        // Idle node: the floor covers it; keep its pull on the remainder
+        // nominal so busy nodes win the contested watts.
+        weights[i] = 0.1;
+        continue;
+      }
+      // Deficit in [0, 1]: how far the node runs behind its full-power
+      // rate.  Even a caught-up node keeps a baseline share so the
+      // division never starves a healthy job outright.
+      const double deficit =
+          std::clamp(1.0 - n.rate / n.nominal_rate, 0.0, 1.0);
+      weights[i] = static_cast<double>(n.priority) * (0.25 + deficit);
+    }
+    fill(nodes, budget, bounds, weights, caps);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_strategy(std::string_view name) {
+  if (name == "uniform") {
+    return std::make_unique<UniformStrategy>();
+  }
+  if (name == "demand") {
+    return std::make_unique<DemandProportionalStrategy>();
+  }
+  if (name == "progress") {
+    return std::make_unique<ProgressAwareStrategy>();
+  }
+  throw std::invalid_argument("cluster: unknown strategy '" +
+                              std::string(name) +
+                              "' (want uniform|demand|progress)");
+}
+
+const std::vector<std::string>& strategy_names() {
+  static const std::vector<std::string> names = {"uniform", "demand",
+                                                 "progress"};
+  return names;
+}
+
+}  // namespace procap::cluster

@@ -1,0 +1,67 @@
+// strategy.hpp — cluster-level budget redistribution strategies.
+//
+// Each epoch the manager hands a strategy the set of nodes eligible for
+// fresh budget (alive nodes — suspects are frozen, dead nodes zeroed)
+// and the watts left after frozen shares are set aside.  The strategy
+// answers with one cap per node.  All three shipped strategies are
+// weighted water-filling (job::waterfill) with different weights:
+//
+//   * uniform             — every node weighs the same;
+//   * demand-proportional — weight = reported demand, so nodes asking
+//     for more power receive proportionally more of the remainder;
+//   * progress-aware      — weight = job priority x progress deficit,
+//     steering watts toward high-priority jobs running behind their
+//     nominal rate (the paper's progress-as-first-class-signal stance).
+//
+// Strategies are pure functions of their inputs — no internal state, no
+// random draws — so the cluster determinism guarantee never depends on
+// which strategy is plugged in.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::cluster {
+
+/// One eligible node as a strategy sees it.
+struct NodeView {
+  unsigned id = 0;
+  Watts demand = 0.0;        ///< last reported demand
+  double rate = 0.0;         ///< last reported progress rate (units/s)
+  double nominal_rate = 0.0; ///< bound job's full-power rate (0 = idle)
+  int priority = 0;          ///< bound job's priority (0 = idle)
+};
+
+/// Per-node cap bounds a strategy must respect.
+struct CapBounds {
+  Watts min_cap = 0.0;  ///< floor (scaled down if the budget cannot cover it)
+  Watts max_cap = 0.0;  ///< ceiling per node
+};
+
+/// Divides a budget over eligible nodes.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Write one cap per `nodes` entry into `caps` (resized to match).
+  /// The caps must sum to <= budget; floors shrink to budget / n when
+  /// the budget cannot cover every node's min_cap.
+  virtual void distribute(const std::vector<NodeView>& nodes, Watts budget,
+                          CapBounds bounds,
+                          std::vector<Watts>& caps) const = 0;
+};
+
+/// Build a strategy by name: "uniform", "demand" or "progress".
+/// Throws std::invalid_argument for anything else.
+[[nodiscard]] std::unique_ptr<Strategy> make_strategy(std::string_view name);
+
+/// Names accepted by make_strategy, for CLI help text.
+[[nodiscard]] const std::vector<std::string>& strategy_names();
+
+}  // namespace procap::cluster

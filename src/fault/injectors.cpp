@@ -1,6 +1,7 @@
 #include "fault/injectors.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace procap::fault {
 
@@ -9,6 +10,7 @@ namespace {
 // drawn from the same plan seed are statistically independent.
 constexpr std::uint64_t kLinkStream = 0x11A7ULL;
 constexpr std::uint64_t kMsrStream = 0x3517ULL;
+constexpr std::uint64_t kNodeStream = 0x40DEULL;
 }  // namespace
 
 LinkFaultInjector::LinkFaultInjector(const FaultPlan& plan)
@@ -113,6 +115,72 @@ void MsrFaultInjector::install(msr::EmulatedMsr& dev) {
 MsrFaultStats MsrFaultInjector::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+NodeFaultInjector::NodeFaultInjector(const FaultPlan& plan, unsigned nodes)
+    : nodes_(nodes) {
+  // One root stream per plan; each frac episode forks a child in episode
+  // order, so inserting an explicit-id episode does not shift the draws
+  // of the frac episodes after it.
+  Rng root(SplitMix64(plan.seed ^ kNodeStream).next());
+  bound_.reserve(plan.node.size());
+  for (const NodeEpisode& ep : plan.node) {
+    Bound bound{ep, {}};
+    if (ep.fraction > 0.0) {
+      // Hit max(1, round(frac * n)) distinct nodes via a partial
+      // Fisher-Yates shuffle on the episode's own child stream.
+      const auto count = static_cast<std::size_t>(std::max<long long>(
+          1, std::llround(ep.fraction * static_cast<double>(nodes))));
+      std::vector<unsigned> pool(nodes);
+      for (unsigned i = 0; i < nodes; ++i) {
+        pool[i] = i;
+      }
+      Rng child = root.fork();
+      for (std::size_t i = 0; i < count && i < pool.size(); ++i) {
+        const auto j = static_cast<std::size_t>(child.uniform_int(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(pool.size()) - 1));
+        std::swap(pool[i], pool[j]);
+        bound.targets.push_back(pool[i]);
+      }
+      std::sort(bound.targets.begin(), bound.targets.end());
+    } else if (ep.node >= 0 && static_cast<unsigned>(ep.node) < nodes) {
+      bound.targets.push_back(static_cast<unsigned>(ep.node));
+    }
+    // Explicit ids beyond the cluster size resolve to no targets: the
+    // plan stays usable across cluster sizes.
+    bound_.push_back(std::move(bound));
+  }
+}
+
+NodeFaultState NodeFaultInjector::state(unsigned node, Nanos t) const {
+  NodeFaultState state;
+  for (const Bound& bound : bound_) {
+    if (!bound.episode.active(t) ||
+        !std::binary_search(bound.targets.begin(), bound.targets.end(),
+                            node)) {
+      continue;
+    }
+    switch (bound.episode.fault) {
+      case NodeFault::kCrash:
+        state.crashed = true;
+        break;
+      case NodeFault::kHang:
+        state.hung = true;
+        break;
+      case NodeFault::kHbLoss:
+        state.hb_lost = true;
+        break;
+      case NodeFault::kSlow:
+        state.slow_factor *= bound.episode.factor;
+        break;
+    }
+  }
+  return state;
+}
+
+const std::vector<unsigned>& NodeFaultInjector::targets(std::size_t i) const {
+  return bound_.at(i).targets;
 }
 
 }  // namespace procap::fault

@@ -10,6 +10,9 @@
 //   * MsrFaultInjector produces an EmulatedMsr fault hook — transient
 //     EIO on reads/writes and stuck registers whose writes are silently
 //     swallowed, the observable failure modes of /dev/cpu/*/msr.
+//   * NodeFaultInjector scripts cluster churn — crash (with rejoin at a
+//     finite episode end), hang, heartbeat loss and slow-node — as pure
+//     per-(node, time) state queries for the cluster layer.
 //
 // Each injector owns an Rng stream forked deterministically from the plan
 // seed, so a chaos scenario is bit-reproducible: same plan, same message
@@ -91,6 +94,57 @@ class MsrFaultInjector {
   mutable std::mutex mutex_;
   Rng rng_;
   MsrFaultStats stats_;
+};
+
+/// Per-node fault state at one instant, as the cluster layer consumes it.
+struct NodeFaultState {
+  bool crashed = false;
+  bool hung = false;
+  bool hb_lost = false;
+  /// Product of every active slow episode's factor (1.0 = full speed).
+  double slow_factor = 1.0;
+
+  /// Node is executing its workload (possibly slowed).
+  [[nodiscard]] bool progressing() const { return !crashed && !hung; }
+  /// Node's heartbeats reach the cluster manager.
+  [[nodiscard]] bool heartbeating() const {
+    return !crashed && !hung && !hb_lost;
+  }
+  /// Node draws power: crash cuts it, a hang leaves it stuck.
+  [[nodiscard]] bool powered() const { return !crashed; }
+
+  friend bool operator==(const NodeFaultState&, const NodeFaultState&) =
+      default;
+};
+
+/// Scripted node churn for a cluster of known size.  Binding resolves
+/// every `frac` episode to a concrete target set, drawn once from an Rng
+/// stream forked from the plan seed in episode order — so (plan, size)
+/// fully determines who fails when, and state() is a pure lookup that
+/// any worker thread may call concurrently.
+class NodeFaultInjector {
+ public:
+  NodeFaultInjector(const FaultPlan& plan, unsigned nodes);
+
+  /// Fault state of `node` at time `t`.  Thread-safe (const, no locks).
+  [[nodiscard]] NodeFaultState state(unsigned node, Nanos t) const;
+
+  /// Resolved target nodes of episode `i` (sorted; explicit-id episodes
+  /// have one entry).  For tests and churn reporting.
+  [[nodiscard]] const std::vector<unsigned>& targets(std::size_t i) const;
+
+  [[nodiscard]] std::size_t episodes() const { return bound_.size(); }
+
+  [[nodiscard]] unsigned nodes() const { return nodes_; }
+
+ private:
+  struct Bound {
+    NodeEpisode episode;
+    std::vector<unsigned> targets;  // sorted ascending
+  };
+
+  std::vector<Bound> bound_;
+  unsigned nodes_ = 0;
 };
 
 }  // namespace procap::fault

@@ -70,7 +70,51 @@ std::string need(std::istringstream& is, int line, const std::string& key) {
   return token;
 }
 
+NodeFault parse_node_fault(const std::string& token, int line) {
+  if (token == "crash") {
+    return NodeFault::kCrash;
+  }
+  if (token == "hang") {
+    return NodeFault::kHang;
+  }
+  if (token == "hbloss") {
+    return NodeFault::kHbLoss;
+  }
+  if (token == "slow") {
+    return NodeFault::kSlow;
+  }
+  fail(line, "unknown node fault '" + token + "'");
+}
+
+int parse_node_id(const std::string& token, int line) {
+  std::size_t pos = 0;
+  long id = 0;
+  try {
+    id = std::stol(token, &pos);
+  } catch (const std::exception&) {
+    fail(line, "bad node id: " + token);
+  }
+  if (pos != token.size() || id < 0) {
+    fail(line, "node id must be a non-negative integer: " + token);
+  }
+  return static_cast<int>(id);
+}
+
 }  // namespace
+
+const char* to_string(NodeFault fault) {
+  switch (fault) {
+    case NodeFault::kCrash:
+      return "crash";
+    case NodeFault::kHang:
+      return "hang";
+    case NodeFault::kHbLoss:
+      return "hbloss";
+    case NodeFault::kSlow:
+      return "slow";
+  }
+  return "?";
+}
 
 FaultPlan FaultPlan::parse(std::istream& is) {
   FaultPlan plan;
@@ -152,6 +196,62 @@ FaultPlan FaultPlan::parse(std::istream& is) {
         fail(line_no, "episode end must follow start");
       }
       plan.msr.push_back(ep);
+    } else if (kind == "node") {
+      NodeEpisode ep;
+      ep.start = parse_seconds(need(line, line_no, "start"), line_no, "start");
+      ep.end = parse_seconds(need(line, line_no, "end"), line_no, "end");
+      ep.fault = parse_node_fault(need(line, line_no, "fault"), line_no);
+      bool has_target = false;
+      bool has_factor = false;
+      std::string key;
+      while (line >> key) {
+        if (key == "id") {
+          if (has_target) {
+            fail(line_no, "episode already has a target");
+          }
+          ep.node = parse_node_id(need(line, line_no, key), line_no);
+          has_target = true;
+        } else if (key == "frac") {
+          if (has_target) {
+            fail(line_no, "episode already has a target");
+          }
+          ep.fraction =
+              parse_probability(need(line, line_no, key), line_no, key);
+          if (ep.fraction <= 0.0) {
+            fail(line_no, "frac must be in (0, 1]");
+          }
+          has_target = true;
+        } else if (key == "factor") {
+          ep.factor =
+              parse_probability(need(line, line_no, key), line_no, key);
+          if (ep.factor <= 0.0) {
+            fail(line_no, "factor must be in (0, 1]");
+          }
+          has_factor = true;
+        } else {
+          fail(line_no, "unknown node fault key '" + key + "'");
+        }
+      }
+      if (!has_target) {
+        fail(line_no, "node episode needs 'id N' or 'frac P'");
+      }
+      if (has_factor && ep.fault != NodeFault::kSlow) {
+        fail(line_no, "'factor' only applies to 'slow'");
+      }
+      if (ep.end <= ep.start) {
+        fail(line_no, "episode end must follow start");
+      }
+      // Same-kind overlap on one explicit node is ambiguous: the
+      // injector could not decide which episode governs the window.
+      for (const NodeEpisode& prior : plan.node) {
+        if (prior.node >= 0 && prior.node == ep.node &&
+            prior.fault == ep.fault && ep.start < prior.end &&
+            prior.start < ep.end) {
+          fail(line_no, std::string("overlapping '") + to_string(ep.fault) +
+                            "' episodes for node " + std::to_string(ep.node));
+        }
+      }
+      plan.node.push_back(ep);
     } else {
       fail(line_no, "unknown directive '" + kind + "'");
     }

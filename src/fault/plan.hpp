@@ -21,6 +21,25 @@
 //   msr  40 45  read_fail 0.5 write_fail 0.2
 //   msr  40 45  read_fail 0.5 reg 0x611 reg 0x610   (scoped to registers)
 //   msr  50 60  stuck 0x610
+//
+// Node-level faults (the cluster layer's churn vocabulary) use the same
+// line shape.  Every node episode names one fault kind and one target —
+// either an explicit node (`id N`) or a seeded random fraction of the
+// cluster (`frac P`, drawn once per episode from the plan seed).  An
+// episode with a finite end models recovery: a crashed node *rejoins* at
+// the end time with fresh state.
+//
+//   node 10 20   crash id 5        # node 5 dies at 10 s, rejoins at 20 s
+//   node 30 inf  crash frac 0.10   # a random 10% of nodes die for good
+//   node 10 40   hang id 7         # no progress, no heartbeats, power stuck
+//   node 15 25   hbloss frac 0.05  # heartbeats lost; node keeps running
+//   node 0 inf   slow id 2 factor 0.5   # node 2 progresses at half speed
+//
+// Parse-time validation rejects malformed lines (unknown fault kinds,
+// missing/duplicate targets, probabilities outside (0, 1]), episodes
+// whose end does not follow their start, and overlapping same-kind
+// episodes that target the same explicit node (the injector could not
+// decide which one governs).
 #pragma once
 
 #include <cstdint>
@@ -88,14 +107,45 @@ struct MsrEpisode {
   friend bool operator==(const MsrEpisode&, const MsrEpisode&) = default;
 };
 
+/// Node-level fault kinds (cluster churn).
+enum class NodeFault {
+  kCrash,   ///< node vanishes: no progress, no heartbeats, no power
+  kHang,    ///< wedged: no progress, no heartbeats, power stays stuck
+  kHbLoss,  ///< telemetry plane only: heartbeats lost, node keeps running
+  kSlow,    ///< progresses at `factor` of nominal speed
+};
+
+[[nodiscard]] const char* to_string(NodeFault fault);
+
+/// One node-fault episode, active over [start, end).  A finite end means
+/// the fault clears then — for kCrash that is the node rejoining.
+struct NodeEpisode {
+  Nanos start = 0;
+  Nanos end = kForever;
+  NodeFault fault = NodeFault::kCrash;
+  /// Explicit target node, or -1 when `fraction` selects the targets.
+  int node = -1;
+  /// Seeded random fraction of the cluster to hit (0 = use `node`).
+  double fraction = 0.0;
+  /// kSlow only: progress multiplier in (0, 1].
+  double factor = 1.0;
+
+  [[nodiscard]] bool active(Nanos t) const { return t >= start && t < end; }
+
+  friend bool operator==(const NodeEpisode&, const NodeEpisode&) = default;
+};
+
 /// A complete scripted fault scenario.
 struct FaultPlan {
   /// Seed for every injector RNG stream derived from this plan.
   std::uint64_t seed = 0x5eed;
   std::vector<LinkEpisode> link;
   std::vector<MsrEpisode> msr;
+  std::vector<NodeEpisode> node;
 
-  [[nodiscard]] bool empty() const { return link.empty() && msr.empty(); }
+  [[nodiscard]] bool empty() const {
+    return link.empty() && msr.empty() && node.empty();
+  }
 
   /// Parse the text format above; throws std::invalid_argument with the
   /// offending line number on malformed input.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "job/waterfill.hpp"
 #include "util/log.hpp"
 
 namespace procap::job {
@@ -94,44 +95,18 @@ Watts SystemPowerManager::total_granted() const {
 }
 
 void SystemPowerManager::rebalance() {
-  // Start from the floors.
-  Watts remaining = machine_budget_;
-  for (auto& [name, job] : jobs_) {
-    job.granted = job.min_budget;
-    remaining -= job.min_budget;
+  // Floors first, remainder water-filled by priority weight.
+  std::vector<WaterfillItem> items;
+  items.reserve(jobs_.size());
+  for (const auto& [name, job] : jobs_) {
+    items.push_back(WaterfillItem{static_cast<double>(job.priority),
+                                  job.min_budget, job.max_budget, 0.0});
   }
-  // Water-fill the remainder by priority weight; jobs that hit their
-  // ceiling drop out and their share re-spreads.
-  std::vector<Job*> open;
+  waterfill(items, machine_budget_);
+  // Cascade to the job managers (jobs_ is ordered, items parallel it).
+  std::size_t i = 0;
   for (auto& [name, job] : jobs_) {
-    open.push_back(&job);
-  }
-  while (remaining > 1e-9 && !open.empty()) {
-    double weight_sum = 0.0;
-    for (const Job* job : open) {
-      weight_sum += job->priority;
-    }
-    const Watts pool = remaining;
-    remaining = 0.0;
-    std::vector<Job*> still_open;
-    for (Job* job : open) {
-      const Watts share = pool * job->priority / weight_sum;
-      const Watts headroom = job->max_budget - job->granted;
-      if (share >= headroom) {
-        job->granted = job->max_budget;
-        remaining += share - headroom;  // surplus re-spreads
-      } else {
-        job->granted += share;
-        still_open.push_back(job);
-      }
-    }
-    if (still_open.size() == open.size()) {
-      break;  // nobody saturated: the pool is fully distributed
-    }
-    open = std::move(still_open);
-  }
-  // Cascade to the job managers.
-  for (auto& [name, job] : jobs_) {
+    job.granted = items[i++].granted;
     job.manager->set_budget(job.granted);
     PROCAP_DEBUG << "system: " << name << " -> " << job.granted << " W";
   }

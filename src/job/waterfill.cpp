@@ -1,0 +1,50 @@
+#include "job/waterfill.hpp"
+
+namespace procap::job {
+
+Watts waterfill(std::vector<WaterfillItem>& items, Watts budget) {
+  Watts remaining = budget;
+  std::vector<WaterfillItem*> open;
+  open.reserve(items.size());
+  for (WaterfillItem& item : items) {
+    item.granted = item.floor;
+    remaining -= item.floor;
+    open.push_back(&item);
+  }
+  // Split the remainder by weight; items that hit their ceiling drop out
+  // and their share re-spreads over whoever is still open.
+  while (remaining > 1e-9 && !open.empty()) {
+    double weight_sum = 0.0;
+    for (const WaterfillItem* item : open) {
+      weight_sum += item->weight;
+    }
+    if (weight_sum <= 0.0) {
+      break;
+    }
+    const Watts pool = remaining;
+    remaining = 0.0;
+    std::vector<WaterfillItem*> still_open;
+    for (WaterfillItem* item : open) {
+      const Watts share = pool * item->weight / weight_sum;
+      const Watts headroom = item->ceiling - item->granted;
+      if (share >= headroom) {
+        item->granted = item->ceiling;
+        remaining += share - headroom;  // surplus re-spreads
+      } else {
+        item->granted += share;
+        still_open.push_back(item);
+      }
+    }
+    if (still_open.size() == open.size()) {
+      break;  // nobody saturated: the pool is fully distributed
+    }
+    open = std::move(still_open);
+  }
+  Watts total = 0.0;
+  for (const WaterfillItem& item : items) {
+    total += item.granted;
+  }
+  return total;
+}
+
+}  // namespace procap::job

@@ -1,0 +1,32 @@
+// waterfill.hpp — weighted water-filling under floors and ceilings.
+//
+// The budget-division primitive every layer of the hierarchy shares:
+// give each item its floor, split the remainder in proportion to weight,
+// and when an item saturates at its ceiling re-spread the surplus over
+// the items still open.  SystemPowerManager uses it to divide a machine
+// budget over jobs (weight = priority); the cluster layer's strategies
+// use it to divide a cluster budget over nodes (weight = demand or
+// progress deficit).
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace procap::job {
+
+/// One participant in a water-filling round.
+struct WaterfillItem {
+  double weight = 1.0;   ///< share of the remainder (> 0)
+  Watts floor = 0.0;     ///< granted unconditionally first
+  Watts ceiling = 0.0;   ///< grant never exceeds this
+  Watts granted = 0.0;   ///< output
+};
+
+/// Distribute `budget` over `items` (grants written in place); returns
+/// the total granted, <= budget up to floating-point error.  Floors are
+/// honoured even when they exceed the budget — validating that floors
+/// fit is the caller's admission decision, as in SystemPowerManager.
+Watts waterfill(std::vector<WaterfillItem>& items, Watts budget);
+
+}  // namespace procap::job

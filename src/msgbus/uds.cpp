@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 
@@ -159,9 +160,36 @@ std::size_t UdsPublisher::connections() const {
   return client_fds_.size();
 }
 
+Nanos decorrelated_backoff(Nanos prev, Rng& rng,
+                           const UdsSubscriberOptions& options) {
+  const Nanos lo = std::max<Nanos>(options.backoff_initial, 1);
+  // Widening window [initial, 3 * prev]: random within it decorrelates
+  // retry phases across subscribers while still growing toward the cap.
+  const Nanos hi = std::max(lo, std::min(options.backoff_max,
+                                         prev > options.backoff_max / 3
+                                             ? options.backoff_max
+                                             : 3 * prev));
+  return rng.uniform_int(lo, hi);
+}
+
+namespace {
+
+/// Per-subscriber jitter seed when the options leave it to us: distinct
+/// per object and per construction instant, which is all the herd needs.
+std::uint64_t auto_backoff_seed(const void* self) {
+  const auto t = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return SplitMix64(t ^ reinterpret_cast<std::uintptr_t>(self)).next();
+}
+
+}  // namespace
+
 UdsSubscriber::UdsSubscriber(const std::string& path,
                              UdsSubscriberOptions options)
-    : path_(path), options_(options) {
+    : path_(path),
+      options_(options),
+      backoff_rng_(options.backoff_seed != 0 ? options.backoff_seed
+                                             : auto_backoff_seed(this)) {
   // Validate the path length eagerly (make_addr throws) so the reconnect
   // loop never has to.
   (void)make_addr(path);
@@ -255,7 +283,7 @@ bool UdsSubscriber::reconnect_with_backoff() {
       std::this_thread::sleep_for(std::chrono::nanoseconds(chunk));
       remaining -= chunk;
     }
-    backoff = std::min(backoff * 2, options_.backoff_max);
+    backoff = decorrelated_backoff(backoff, backoff_rng_, options_);
   }
   return false;
 }

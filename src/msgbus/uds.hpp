@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "msgbus/message.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace procap::msgbus {
@@ -65,13 +66,27 @@ class UdsPublisher {
 /// Reconnection behaviour for UdsSubscriber.
 struct UdsSubscriberOptions {
   /// When the publisher goes away, keep retrying the socket path with
-  /// exponential backoff instead of going dead.  Messages published while
-  /// disconnected are lost (PUB/SUB slow-joiner semantics), but the feed
-  /// resumes as soon as a publisher rebinds the path.
+  /// randomized (decorrelated-jitter) backoff instead of going dead.
+  /// Messages published while disconnected are lost (PUB/SUB slow-joiner
+  /// semantics), but the feed resumes as soon as a publisher rebinds the
+  /// path.
   bool reconnect = true;
   Nanos backoff_initial = msec(10);
   Nanos backoff_max = msec(500);
+  /// Seed for the backoff jitter stream; 0 (the default) derives a
+  /// per-subscriber seed from entropy, so a herd of subscribers losing
+  /// one publisher does not retry in lockstep.  Tests pin it.
+  std::uint64_t backoff_seed = 0;
 };
+
+/// Decorrelated-jitter backoff step: the next sleep is drawn uniformly
+/// from [backoff_initial, 3 * prev], clamped to backoff_max.  Unlike
+/// plain doubling, consecutive sleeps are randomized over a widening
+/// window, so subscribers that disconnected together (one publisher
+/// death = a whole herd) spread their retries instead of hammering the
+/// socket in synchronized waves.
+[[nodiscard]] Nanos decorrelated_backoff(Nanos prev, Rng& rng,
+                                         const UdsSubscriberOptions& options);
 
 /// SUB endpoint connected to a UdsPublisher.  Thread-safe.
 class UdsSubscriber {
@@ -118,6 +133,7 @@ class UdsSubscriber {
   std::atomic<bool> connected_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> reconnects_{0};
+  Rng backoff_rng_;  // touched only by the read thread
   mutable std::mutex mutex_;  // filters + queue
   std::vector<std::string> filters_;
   std::deque<Message> queue_;

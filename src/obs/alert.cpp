@@ -1,5 +1,6 @@
 #include "obs/alert.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <ostream>
 #include <sstream>
@@ -201,10 +202,15 @@ void AlertEngine::evaluate(Nanos now) {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Tracked& tracked : rules_) {
     const AlertRule& rule = tracked.rule;
-    for (const SeriesView& view : store_->series(rule.metric)) {
+    const std::vector<SeriesView> views = store_->series(rule.metric);
+    bool metric_present = false;
+    std::vector<const std::string*> seen_labels;
+    for (const SeriesView& view : views) {
       if (view.points.empty()) {
         continue;
       }
+      metric_present = true;
+      seen_labels.push_back(&view.labels);
       Instance* instance = nullptr;
       for (Instance& candidate : tracked.instances) {
         if (candidate.labels == view.labels) {
@@ -261,6 +267,47 @@ void AlertEngine::evaluate(Nanos now) {
                                                      : value < rule.threshold;
       }
       step(tracked, *instance, condition, value, now);
+    }
+    if (rule.kind != AlertRule::Kind::kAbsence) {
+      continue;
+    }
+    if (!metric_present) {
+      // The watched instrument has no series at all — it was never
+      // registered (or never produced a point).  Previously this fell
+      // through the series loop and the rule stayed silently inactive:
+      // a reporter that never came up was indistinguishable from one
+      // being watched with no rule.  The store's first sample time is
+      // the evidence anchor: once sampling has covered a full absence
+      // window with still no series, the metric is absent, not merely
+      // unobserved yet.
+      const std::optional<Nanos> first = store_->first_sample_time();
+      if (first && *first + rule.absence_window <= now) {
+        Instance* instance = nullptr;
+        for (Instance& candidate : tracked.instances) {
+          if (candidate.labels.empty()) {
+            instance = &candidate;
+            break;
+          }
+        }
+        if (instance == nullptr) {
+          tracked.instances.push_back(
+              Instance{"", AlertState::kInactive, now, 0.0});
+          instance = &tracked.instances.back();
+        }
+        step(tracked, *instance, true, 0.0, now);
+      }
+    } else {
+      // The metric exists now; resolve any instance left over from the
+      // never-registered phase whose label set has no series (e.g. the
+      // instrument finally registered under per-app labels).
+      for (Instance& instance : tracked.instances) {
+        const bool seen = std::any_of(
+            seen_labels.begin(), seen_labels.end(),
+            [&](const std::string* l) { return *l == instance.labels; });
+        if (!seen) {
+          step(tracked, instance, false, instance.value, now);
+        }
+      }
     }
   }
 }

@@ -104,7 +104,18 @@ void TimeSeriesStore::sample(Nanos now) {
     s.ring.push(point);
     ++slot;
   }
+  if (samples_ == 0) {
+    first_sample_t_ = now;
+  }
   ++samples_;
+}
+
+std::optional<Nanos> TimeSeriesStore::first_sample_time() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_ == 0) {
+    return std::nullopt;
+  }
+  return first_sample_t_;
 }
 
 std::uint64_t TimeSeriesStore::samples_taken() const {

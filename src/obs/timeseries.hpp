@@ -106,6 +106,11 @@ class TimeSeriesStore {
   /// Sampling rounds completed.
   [[nodiscard]] std::uint64_t samples_taken() const;
 
+  /// Time of the first sampling round, nullopt before any.  Evidence
+  /// anchor for absence alerts: "sampling since t0 and still no series"
+  /// is a statement about the world, "no samples yet" is not.
+  [[nodiscard]] std::optional<Nanos> first_sample_time() const;
+
   /// Series currently retained.
   [[nodiscard]] std::size_t series_count() const;
 
@@ -141,6 +146,7 @@ class TimeSeriesStore {
   std::vector<Slot> slots_;
   std::map<std::string, std::string> meta_;
   std::uint64_t samples_ = 0;
+  Nanos first_sample_t_ = 0;
 };
 
 /// Drives a TimeSeriesStore from the engine's batched-flush point: call

@@ -1,0 +1,37 @@
+#include "policy/latch.hpp"
+
+#include "obs/alert.hpp"
+#include "util/log.hpp"
+
+namespace procap::policy {
+
+void DegradeAlertWatch::watch(std::shared_ptr<msgbus::SubSocket> sub) {
+  if (sub) {
+    sub->subscribe(msgbus::alert_topic());
+  }
+  sub_ = std::move(sub);
+}
+
+std::size_t DegradeAlertWatch::drain() {
+  if (!sub_) {
+    return 0;
+  }
+  std::size_t newly_fired = 0;
+  while (const auto msg = sub_->try_recv()) {
+    const auto tr = obs::parse_alert_payload(msg->payload);
+    if (!tr || !tr->degrades_control) {
+      continue;
+    }
+    if (tr->fired()) {
+      if (firing_.insert(tr->rule).second) {
+        ++newly_fired;
+        PROCAP_INFO << who_ << ": degrading alert firing: " << tr->rule;
+      }
+    } else if (tr->resolved()) {
+      firing_.erase(tr->rule);
+    }
+  }
+  return newly_fired;
+}
+
+}  // namespace procap::policy

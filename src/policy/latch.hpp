@@ -1,0 +1,99 @@
+// latch.hpp — shared degraded-mode building blocks.
+//
+// PR 1 established the degraded-mode pattern: a controller falls back
+// when its input stops being trustworthy, and re-engages only after the
+// input has been healthy for a hysteresis interval, so a flapping signal
+// does not flap the controller.  PR 4 added the alert-feed trigger: a
+// firing rule flagged degrades_control forces the fallback from outside.
+// The NRM, the daemon and the cluster power manager all need exactly the
+// same two pieces, so they live here:
+//
+//   * ReengageLatch — consecutive-healthy-observations hysteresis;
+//   * DegradeAlertWatch — tracks which degrades_control rules are firing
+//     according to a msgbus alert feed (msgbus::alert_topic).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "msgbus/bus.hpp"
+
+namespace procap::policy {
+
+/// Degraded/engaged state with re-engage hysteresis: once degraded, the
+/// caller must report `reengage_after` consecutive healthy observations
+/// before the latch re-engages.
+class ReengageLatch {
+ public:
+  explicit ReengageLatch(unsigned reengage_after)
+      : after_(reengage_after == 0 ? 1 : reengage_after) {}
+
+  /// Enter (or stay in) the degraded state; resets the healthy streak.
+  void degrade() {
+    degraded_ = true;
+    streak_ = 0;
+  }
+
+  /// Force the engaged state without hysteresis (a fresh control target
+  /// supersedes the old degradation).
+  void reset() {
+    degraded_ = false;
+    streak_ = 0;
+  }
+
+  /// Report one observation while degraded.  Returns true exactly when
+  /// this observation completes the hysteresis and re-engages the latch.
+  /// A no-op (false) when already engaged.
+  bool observe(bool healthy) {
+    if (!degraded_) {
+      return false;
+    }
+    if (!healthy) {
+      streak_ = 0;
+      return false;
+    }
+    if (++streak_ >= after_) {
+      degraded_ = false;
+      streak_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] unsigned healthy_streak() const { return streak_; }
+  [[nodiscard]] unsigned reengage_after() const { return after_; }
+
+ private:
+  unsigned after_;
+  bool degraded_ = false;
+  unsigned streak_ = 0;  // consecutive healthy observations while degraded
+};
+
+/// Tracks firing degrades_control alert rules from a msgbus alert feed.
+/// Junk payloads (the feed may cross a corrupting link) are ignored.
+class DegradeAlertWatch {
+ public:
+  /// `who` prefixes log lines ("nrm", "cluster", ...).
+  explicit DegradeAlertWatch(std::string who) : who_(std::move(who)) {}
+
+  /// Subscribe `sub` to the alert topic and adopt it as the feed; pass
+  /// nullptr to detach.
+  void watch(std::shared_ptr<msgbus::SubSocket> sub);
+
+  /// Drain the feed, applying fired/resolved transitions of
+  /// degrades_control rules.  Returns how many rules newly fired.
+  std::size_t drain();
+
+  [[nodiscard]] bool any_firing() const { return !firing_.empty(); }
+  [[nodiscard]] std::size_t firing_count() const { return firing_.size(); }
+
+ private:
+  std::string who_;
+  std::shared_ptr<msgbus::SubSocket> sub_;
+  std::set<std::string> firing_;  // rule names currently firing
+};
+
+}  // namespace procap::policy

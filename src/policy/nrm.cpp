@@ -31,6 +31,7 @@ NodeResourceManager::NodeResourceManager(rapl::RaplInterface& rapl,
       monitor_(&monitor),
       time_(&time_source),
       config_(config),
+      latch_(config.reengage_after),
       caps_("nrm_cap_watts"),
       rates_("nrm_progress"),
       modes_("nrm_mode") {}
@@ -95,7 +96,7 @@ void NodeResourceManager::set_progress_target(
     double rate, std::optional<model::ModelParams> params) {
   transition(Mode::kProgressTarget, "progress target set");
   target_rate_ = rate;
-  healthy_ticks_ = 0;
+  latch_.reset();
   if (params) {
     // Model-seeded initial cap (paper Section VI, modeling goal 3), with a
     // little headroom: feedback trims downward cheaply, but starting too
@@ -117,30 +118,14 @@ void NodeResourceManager::set_node_budget(Watts budget) {
 }
 
 void NodeResourceManager::watch_alerts(std::shared_ptr<msgbus::SubSocket> sub) {
-  if (sub) {
-    sub->subscribe(msgbus::alert_topic());
-  }
-  alerts_ = std::move(sub);
+  alert_watch_.watch(std::move(sub));
 }
 
 void NodeResourceManager::drain_alerts() {
-  if (!alerts_) {
-    return;
-  }
-  while (const auto msg = alerts_->try_recv()) {
-    const auto tr = obs::parse_alert_payload(msg->payload);
-    if (!tr || !tr->degrades_control) {
-      continue;
-    }
-    if (tr->fired()) {
-      if (degrading_.insert(tr->rule).second) {
-        PROCAP_OBS_COUNTER(alert_degraded_total, "nrm.alert_degraded");
-        alert_degraded_total.inc();
-        PROCAP_INFO << "nrm: degrading alert firing: " << tr->rule;
-      }
-    } else if (tr->resolved()) {
-      degrading_.erase(tr->rule);
-    }
+  const std::size_t newly_fired = alert_watch_.drain();
+  if (newly_fired > 0) {
+    PROCAP_OBS_COUNTER(alert_degraded_total, "nrm.alert_degraded");
+    alert_degraded_total.inc(newly_fired);
   }
 }
 
@@ -153,7 +138,7 @@ void NodeResourceManager::tick() {
   progress::SignalHealth health = monitor_->health();
   // A firing degrades_control alert overrides a locally-healthy signal:
   // the alert engine watches failure modes the Monitor cannot see.
-  if (!degrading_.empty() && health == progress::SignalHealth::kHealthy) {
+  if (alert_watch_.any_firing() && health == progress::SignalHealth::kHealthy) {
     health = progress::SignalHealth::kDegraded;
   }
 
@@ -166,7 +151,7 @@ void NodeResourceManager::tick() {
       ++degraded_entries_;
       PROCAP_OBS_COUNTER(degraded_total, "nrm.degraded_entries");
       degraded_total.inc();
-      healthy_ticks_ = 0;
+      latch_.degrade();
       if (cap_) {
         apply(cap_);  // re-clamped to the node budget by apply()
       } else if (node_budget_) {
@@ -183,19 +168,13 @@ void NodeResourceManager::tick() {
       }
     }
   } else if (mode_ == Mode::kDegraded) {
-    if (health == progress::SignalHealth::kHealthy) {
-      ++healthy_ticks_;
-      if (healthy_ticks_ >= config_.reengage_after) {
-        // Hysteresis satisfied: the feed has been steady long enough to
-        // trust the loop again.
-        transition(Mode::kProgressTarget, "progress signal recovered");
-        ++reengagements_;
-        PROCAP_OBS_COUNTER(reengage_total, "nrm.reengagements");
-        reengage_total.inc();
-        healthy_ticks_ = 0;
-      }
-    } else {
-      healthy_ticks_ = 0;
+    if (latch_.observe(health == progress::SignalHealth::kHealthy)) {
+      // Hysteresis satisfied: the feed has been steady long enough to
+      // trust the loop again.
+      transition(Mode::kProgressTarget, "progress signal recovered");
+      ++reengagements_;
+      PROCAP_OBS_COUNTER(reengage_total, "nrm.reengagements");
+      reengage_total.inc();
     }
   }
 

@@ -29,13 +29,13 @@
 
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "model/progress_model.hpp"
 #include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
+#include "policy/latch.hpp"
 #include "progress/monitor.hpp"
 #include "rapl/rapl.hpp"
 #include "sim/engine.hpp"
@@ -116,7 +116,7 @@ class NodeResourceManager {
 
   /// Rules flagged degrades_control currently firing, per the alert feed.
   [[nodiscard]] std::size_t degrading_alerts() const {
-    return degrading_.size();
+    return alert_watch_.firing_count();
   }
 
   /// Cap currently applied (nullopt = uncapped).
@@ -171,7 +171,7 @@ class NodeResourceManager {
   std::optional<Watts> cap_;
   std::optional<Watts> node_budget_;
   double target_rate_ = 0.0;
-  unsigned healthy_ticks_ = 0;  // consecutive, while degraded
+  ReengageLatch latch_;  // degraded-mode hysteresis
   std::uint64_t degraded_entries_ = 0;
   std::uint64_t reengagements_ = 0;
   std::uint64_t failed_actuations_ = 0;
@@ -180,9 +180,8 @@ class NodeResourceManager {
   TimeSeries modes_;
   std::vector<ModeEvent> events_;
   obs::TraceCollector* trace_ = nullptr;
-  // Alert feedback.
-  std::shared_ptr<msgbus::SubSocket> alerts_;
-  std::set<std::string> degrading_;  // firing degrades_control rules
+  // Alert feedback: firing degrades_control rules force kDegraded.
+  DegradeAlertWatch alert_watch_{"nrm"};
 };
 
 [[nodiscard]] const char* to_string(NodeResourceManager::Mode mode);

@@ -1,0 +1,144 @@
+// Cluster chaos suite: 256 nodes, a scripted plan that kills 10% of the
+// cluster mid-run, crashes another 5% temporarily and silences the
+// heartbeats of 5% more — the acceptance scenario for the cluster power
+// hierarchy's robustness contract:
+//
+//   (a) conservation — sum(assigned caps) never exceeds the global
+//       budget at any epoch;
+//   (b) reclamation — every node the detector declares dead has its cap
+//       zeroed within that same epoch (checked after every epoch, not
+//       just at the end);
+//   (c) re-integration — nodes whose fault episodes end rejoin and
+//       return to the division with a live share;
+//   (d) determinism — the chained allocation-trace hash is bit-identical
+//       across reruns with the same seed and thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "cluster/manager.hpp"
+
+namespace procap::cluster {
+namespace {
+
+constexpr unsigned kNodes = 256;
+constexpr unsigned kEpochs = 30;
+
+ClusterConfig chaos_config(unsigned threads) {
+  ClusterConfig config;
+  config.nodes = kNodes;
+  config.global_budget = 120.0 * kNodes;
+  config.jobs = kNodes / 8;
+  config.seed = 1337;
+  config.threads = threads;
+  // 10% of the cluster dies for good at t = 5 s; 5% crashes at t = 6 s
+  // and rejoins at t = 18 s; 5% stops heartbeating over [8 s, 20 s) —
+  // long enough to be declared (falsely) dead and later rejoin; 10%
+  // runs slow throughout.
+  std::istringstream plan(
+      "seed 99\n"
+      "node 5 inf crash frac 0.10\n"
+      "node 6 18  crash frac 0.05\n"
+      "node 8 20  hbloss frac 0.05\n"
+      "node 0 inf slow frac 0.10 factor 0.6\n");
+  config.plan = fault::FaultPlan::parse(plan);
+  return config;
+}
+
+struct RunResult {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t deaths = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t violations = 0;
+  unsigned final_alive = 0;
+  unsigned final_dead = 0;
+  double total_reclaimed = 0.0;
+};
+
+/// One full chaos run, asserting the per-epoch invariants as it goes.
+/// Out-parameter because ASSERT_* needs a void-returning function.
+void run_chaos(unsigned threads, RunResult& out) {
+  const ClusterConfig config = chaos_config(threads);
+  ClusterPowerManager manager(config);
+
+  for (unsigned e = 0; e < kEpochs; ++e) {
+    const EpochRecord& rec = manager.run_epoch();
+
+    // (a) conservation, at every epoch, not just at the end.
+    ASSERT_LE(rec.assigned, config.global_budget + 1e-6)
+        << "over-committed at epoch " << rec.epoch;
+
+    // (b) reclamation within the detection epoch: no node the detector
+    // considers dead may still hold budget after the epoch's decisions.
+    for (unsigned i = 0; i < manager.node_count(); ++i) {
+      if (manager.liveness(i) == Liveness::kDead) {
+        ASSERT_EQ(manager.caps()[i], 0.0)
+            << "dead node " << i << " holds budget at epoch " << rec.epoch;
+      }
+    }
+
+    // Accounting stays closed under churn.
+    ASSERT_EQ(rec.alive + rec.suspect + rec.dead, manager.node_count());
+  }
+
+  out.trace_hash = manager.trace_hash();
+  out.deaths = manager.deaths();
+  out.rejoins = manager.rejoins();
+  out.violations = manager.invariant_violations();
+  const EpochRecord& last = manager.records().back();
+  out.final_alive = last.alive;
+  out.final_dead = last.dead;
+  for (const EpochRecord& rec : manager.records()) {
+    out.total_reclaimed += rec.reclaimed;
+  }
+
+  // (c) re-integration: by t = 30 s every non-permanent fault episode has
+  // ended and its victims have rejoined — only the permanently crashed
+  // group may still be dead, and every alive node holds a live share.
+  ASSERT_FALSE(manager.config().plan.node.empty());
+  EXPECT_LE(out.final_dead, static_cast<unsigned>(kNodes * 0.10 + 1));
+  EXPECT_EQ(out.final_alive + out.final_dead,
+            static_cast<unsigned>(kNodes));  // nobody left in limbo
+  for (unsigned i = 0; i < manager.node_count(); ++i) {
+    if (manager.liveness(i) == Liveness::kAlive) {
+      EXPECT_GT(manager.caps()[i], 0.0) << "alive node " << i << " starved";
+    }
+  }
+}
+
+TEST(ClusterChaos, SurvivesKilling10PercentMidRun) {
+  RunResult result;
+  run_chaos(4, result);
+
+  EXPECT_EQ(result.violations, 0u);
+
+  // The permanent group alone is 10% of the cluster; the temporary
+  // crash and heartbeat-loss groups die on top of it.
+  EXPECT_GE(result.deaths, static_cast<std::uint64_t>(kNodes * 0.10));
+  EXPECT_GT(result.total_reclaimed, 0.0);
+
+  // (c) the temporary groups came back.
+  EXPECT_GE(result.rejoins, 1u);
+  EXPECT_GE(result.final_alive,
+            static_cast<unsigned>(kNodes * 0.85));
+}
+
+TEST(ClusterChaos, RerunsAreBitIdenticalUnderAFixedSeed) {
+  // (d) same seed, same thread count => the same allocation trace, bit
+  // for bit, epoch for epoch — chaos included.
+  RunResult first, second, serial;
+  run_chaos(4, first);
+  run_chaos(4, second);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.deaths, second.deaths);
+  EXPECT_EQ(first.rejoins, second.rejoins);
+
+  // And the trace is also invariant to how the node stepping is sharded.
+  run_chaos(1, serial);
+  EXPECT_EQ(first.trace_hash, serial.trace_hash);
+}
+
+}  // namespace
+}  // namespace procap::cluster

@@ -1,0 +1,473 @@
+// Cluster power hierarchy unit tests: redistribution strategies, the
+// heartbeat failure detector, and the ClusterPowerManager's robustness
+// contract — conservation, reclamation, suspect freeze, alert holds and
+// thread-count-invariant determinism.  The 256-node chaos scenario lives
+// in cluster_chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/strategy.hpp"
+#include "msgbus/bus.hpp"
+#include "obs/alert.hpp"
+#include "util/time.hpp"
+
+namespace procap::cluster {
+namespace {
+
+// ------------------------------------------------------- strategies --
+
+CapBounds bounds(Watts lo = 30.0, Watts hi = 205.0) { return {lo, hi}; }
+
+NodeView view(unsigned id, Watts demand, double rate = 0.0,
+              double nominal = 0.0, int priority = 0) {
+  NodeView v;
+  v.id = id;
+  v.demand = demand;
+  v.rate = rate;
+  v.nominal_rate = nominal;
+  v.priority = priority;
+  return v;
+}
+
+double sum(const std::vector<Watts>& caps) {
+  double total = 0.0;
+  for (const Watts c : caps) {
+    total += c;
+  }
+  return total;
+}
+
+TEST(ClusterStrategy, MakeStrategyKnowsExactlyTheAdvertisedNames) {
+  for (const std::string& name : strategy_names()) {
+    EXPECT_EQ(make_strategy(name)->name(), name);
+  }
+  EXPECT_THROW((void)make_strategy("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)make_strategy(""), std::invalid_argument);
+}
+
+TEST(ClusterStrategy, UniformSplitsEvenly) {
+  const std::vector<NodeView> nodes = {view(0, 150), view(1, 80),
+                                       view(2, 10), view(3, 200)};
+  std::vector<Watts> caps;
+  make_strategy("uniform")->distribute(nodes, 400.0, bounds(), caps);
+  ASSERT_EQ(caps.size(), 4u);
+  for (const Watts c : caps) {
+    EXPECT_NEAR(c, 100.0, 1e-9);
+  }
+}
+
+TEST(ClusterStrategy, CeilingCapsEveryNodeUnderAmpleBudget) {
+  const std::vector<NodeView> nodes = {view(0, 300), view(1, 300)};
+  std::vector<Watts> caps;
+  make_strategy("demand")->distribute(nodes, 10000.0, bounds(), caps);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_DOUBLE_EQ(caps[0], 205.0);
+  EXPECT_DOUBLE_EQ(caps[1], 205.0);
+}
+
+TEST(ClusterStrategy, DemandProportionalFavorsTheHungrierNode) {
+  const std::vector<NodeView> nodes = {view(0, 50.0), view(1, 150.0)};
+  std::vector<Watts> caps;
+  make_strategy("demand")->distribute(nodes, 160.0, bounds(0.0, 205.0),
+                                      caps);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_GT(caps[1], caps[0]);
+  EXPECT_LE(sum(caps), 160.0 + 1e-9);
+}
+
+TEST(ClusterStrategy, ProgressAwareSteersWattsTowardBehindSchedule) {
+  // Node 0: high-priority job at 10% of its nominal rate (far behind).
+  // Node 1: low-priority job on track.  Same demand either way.
+  const std::vector<NodeView> nodes = {view(0, 150, 10.0, 100.0, 4),
+                                       view(1, 150, 100.0, 100.0, 1)};
+  std::vector<Watts> caps;
+  make_strategy("progress")->distribute(nodes, 200.0, bounds(0.0, 205.0),
+                                        caps);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_GT(caps[0], caps[1]);
+  EXPECT_LE(sum(caps), 200.0 + 1e-9);
+}
+
+TEST(ClusterStrategy, FloorsShrinkInsteadOfOverCommitting) {
+  // 10 nodes x 30 W floor = 300 W of floors against an 100 W budget: the
+  // floor must shrink to budget / n, never push the sum past the budget.
+  std::vector<NodeView> nodes;
+  for (unsigned i = 0; i < 10; ++i) {
+    nodes.push_back(view(i, 150));
+  }
+  for (const char* name : {"uniform", "demand", "progress"}) {
+    std::vector<Watts> caps;
+    make_strategy(name)->distribute(nodes, 100.0, bounds(), caps);
+    ASSERT_EQ(caps.size(), 10u) << name;
+    EXPECT_LE(sum(caps), 100.0 + 1e-9) << name;
+    for (const Watts c : caps) {
+      EXPECT_GT(c, 0.0) << name;
+    }
+  }
+}
+
+TEST(ClusterStrategy, EmptyClusterYieldsEmptyCaps) {
+  std::vector<Watts> caps = {1.0, 2.0};
+  make_strategy("uniform")->distribute({}, 100.0, bounds(), caps);
+  EXPECT_TRUE(caps.empty());
+}
+
+// -------------------------------------------------- failure detector --
+
+MembershipConfig timeouts() {
+  MembershipConfig config;
+  config.suspect_after = 3 * kNanosPerSecond;
+  config.dead_after = 8 * kNanosPerSecond;
+  return config;
+}
+
+TEST(FailureDetectorTest, RejectsNonsensicalTimeouts) {
+  MembershipConfig zero;
+  zero.suspect_after = 0;
+  EXPECT_THROW(FailureDetector(2, zero, 0), std::invalid_argument);
+  MembershipConfig inverted;
+  inverted.suspect_after = 8 * kNanosPerSecond;
+  inverted.dead_after = 3 * kNanosPerSecond;
+  EXPECT_THROW(FailureDetector(2, inverted, 0), std::invalid_argument);
+  MembershipConfig equal;
+  equal.suspect_after = equal.dead_after = 3 * kNanosPerSecond;
+  EXPECT_THROW(FailureDetector(2, equal, 0), std::invalid_argument);
+}
+
+TEST(FailureDetectorTest, ClimbsTheLivenessLadderAsHeartbeatsAge) {
+  FailureDetector detector(2, timeouts(), 0);
+  EXPECT_EQ(detector.alive(), 2u);
+
+  EXPECT_TRUE(detector.advance(2 * kNanosPerSecond).empty());
+
+  const auto at3 = detector.advance(3 * kNanosPerSecond);
+  EXPECT_EQ(at3.suspected, (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(detector.suspect(), 2u);
+
+  const auto at8 = detector.advance(8 * kNanosPerSecond);
+  EXPECT_EQ(at8.died, (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(detector.dead(), 2u);
+  EXPECT_EQ(detector.alive(), 0u);
+}
+
+TEST(FailureDetectorTest, HeartbeatRecoversASuspect) {
+  FailureDetector detector(2, timeouts(), 0);
+  detector.heartbeat(0, 2 * kNanosPerSecond);
+  const auto at4 = detector.advance(4 * kNanosPerSecond);
+  EXPECT_EQ(at4.suspected, (std::vector<unsigned>{1}));
+  EXPECT_EQ(detector.liveness(0), Liveness::kAlive);
+
+  detector.heartbeat(0, 5 * kNanosPerSecond);
+  detector.heartbeat(1, 5 * kNanosPerSecond);
+  const auto at5 = detector.advance(5 * kNanosPerSecond);
+  EXPECT_EQ(at5.recovered, (std::vector<unsigned>{1}));
+  EXPECT_EQ(detector.alive(), 2u);
+}
+
+TEST(FailureDetectorTest, DeadStaysDeadUntilAFreshHeartbeatRejoins) {
+  FailureDetector detector(1, timeouts(), 0);
+  (void)detector.advance(8 * kNanosPerSecond);
+  ASSERT_EQ(detector.liveness(0), Liveness::kDead);
+
+  // More advances must not demote dead back to suspect.
+  EXPECT_TRUE(detector.advance(9 * kNanosPerSecond).empty());
+  EXPECT_EQ(detector.liveness(0), Liveness::kDead);
+
+  detector.heartbeat(0, 10 * kNanosPerSecond);
+  const auto events = detector.advance(10 * kNanosPerSecond);
+  EXPECT_EQ(events.rejoined, (std::vector<unsigned>{0}));
+  EXPECT_EQ(detector.liveness(0), Liveness::kAlive);
+}
+
+TEST(FailureDetectorTest, ForceDeadSticksWithoutHeartbeats) {
+  FailureDetector detector(2, timeouts(), 0);
+  detector.force_dead(0, kNanosPerSecond);
+  EXPECT_EQ(detector.liveness(0), Liveness::kDead);
+  // The kill must survive advance(): a forced-dead node has no fresh
+  // heartbeat to resurrect it.
+  EXPECT_TRUE(detector.advance(kNanosPerSecond + 1).empty());
+  EXPECT_EQ(detector.liveness(0), Liveness::kDead);
+  detector.heartbeat(0, 2 * kNanosPerSecond);
+  const auto events = detector.advance(2 * kNanosPerSecond);
+  EXPECT_EQ(events.rejoined, (std::vector<unsigned>{0}));
+}
+
+TEST(FailureDetectorTest, AddedNodeStartsAliveWithAFullGraceWindow) {
+  FailureDetector detector(1, timeouts(), 0);
+  const unsigned id = detector.add_node(10 * kNanosPerSecond);
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(detector.size(), 2u);
+  EXPECT_EQ(detector.liveness(1), Liveness::kAlive);
+  // Node 0's heartbeat is 12 s stale; node 1's only 2 s.
+  const auto events = detector.advance(12 * kNanosPerSecond);
+  EXPECT_EQ(events.died, (std::vector<unsigned>{0}));
+  EXPECT_EQ(detector.liveness(1), Liveness::kAlive);
+}
+
+// ----------------------------------------------------- manager core --
+
+fault::FaultPlan plan_of(const std::string& text) {
+  std::istringstream is(text);
+  return fault::FaultPlan::parse(is);
+}
+
+ClusterConfig small_config(unsigned nodes = 16) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.global_budget = 120.0 * nodes;
+  config.jobs = nodes / 4;
+  config.seed = 7;
+  config.threads = 1;
+  return config;
+}
+
+TEST(ClusterManagerTest, RejectsNonsensicalConfigs) {
+  {
+    ClusterConfig c = small_config();
+    c.nodes = 0;
+    EXPECT_THROW(ClusterPowerManager{c}, std::invalid_argument);
+  }
+  {
+    ClusterConfig c = small_config();
+    c.global_budget = 0.0;
+    EXPECT_THROW(ClusterPowerManager{c}, std::invalid_argument);
+  }
+  {
+    ClusterConfig c = small_config();
+    c.ticks_per_epoch = 0;
+    EXPECT_THROW(ClusterPowerManager{c}, std::invalid_argument);
+  }
+  {
+    ClusterConfig c = small_config();
+    c.min_node_cap = 300.0;  // > max_node_cap
+    EXPECT_THROW(ClusterPowerManager{c}, std::invalid_argument);
+  }
+  {
+    ClusterConfig c = small_config();
+    c.strategy = "bogus";
+    EXPECT_THROW(ClusterPowerManager{c}, std::invalid_argument);
+  }
+}
+
+TEST(ClusterManagerTest, ConservesBudgetUnderChurnForEveryStrategy) {
+  for (const std::string& strategy : strategy_names()) {
+    ClusterConfig config = small_config();
+    config.strategy = strategy;
+    config.plan = plan_of(
+        "seed 3\n"
+        "node 2 10 crash frac 0.2\n"
+        "node 3 9  hbloss frac 0.1\n"
+        "node 0 inf slow frac 0.2 factor 0.5\n");
+    ClusterPowerManager manager(config);
+    manager.run(15);
+    for (const EpochRecord& rec : manager.records()) {
+      EXPECT_LE(rec.assigned, config.global_budget + 1e-6)
+          << strategy << " epoch " << rec.epoch;
+    }
+    EXPECT_EQ(manager.invariant_violations(), 0u) << strategy;
+    EXPECT_GT(manager.deaths(), 0u) << strategy;
+  }
+}
+
+TEST(ClusterManagerTest, ReclaimsADeadNodesCapInTheDetectionEpoch) {
+  ClusterConfig config = small_config();
+  config.plan = plan_of("node 2 inf crash id 5\n");
+  ClusterPowerManager manager(config);
+
+  bool death_seen = false;
+  for (unsigned e = 0; e < 15 && !death_seen; ++e) {
+    const EpochRecord& rec = manager.run_epoch();
+    if (rec.dead > 0) {
+      death_seen = true;
+      // The reclaim happens in the same epoch the detector declares the
+      // death, before redistribution — never a stale cap on a dead node.
+      EXPECT_EQ(manager.liveness(5), Liveness::kDead);
+      EXPECT_DOUBLE_EQ(manager.caps()[5], 0.0);
+      EXPECT_GT(rec.reclaimed, 0.0);
+    }
+  }
+  EXPECT_TRUE(death_seen);
+  EXPECT_EQ(manager.deaths(), 1u);
+  EXPECT_EQ(manager.invariant_violations(), 0u);
+}
+
+TEST(ClusterManagerTest, FreezesASuspectNodesShareUntilItRecovers) {
+  ClusterConfig config = small_config();
+  config.plan = plan_of("node 2 7 hbloss id 3\n");
+  ClusterPowerManager manager(config);
+
+  // Heartbeats from node 3 stop at t = 2 s; with the default 3 s suspect
+  // timeout the node turns suspect at the t = 5 s epoch boundary.
+  manager.run(5);
+  ASSERT_EQ(manager.liveness(3), Liveness::kSuspect);
+  const Watts frozen = manager.caps()[3];
+  EXPECT_GT(frozen, 0.0);
+
+  // While suspect, redistribution must not touch the frozen share.
+  manager.run(1);
+  ASSERT_EQ(manager.liveness(3), Liveness::kSuspect);
+  EXPECT_DOUBLE_EQ(manager.caps()[3], frozen);
+
+  // The episode ends at t = 7 s; fresh heartbeats recover the node well
+  // before the 8 s death timeout — a blip never costs the node its
+  // budget share.
+  manager.run(3);
+  EXPECT_EQ(manager.liveness(3), Liveness::kAlive);
+  EXPECT_EQ(manager.deaths(), 0u);
+  EXPECT_EQ(manager.invariant_violations(), 0u);
+}
+
+TEST(ClusterManagerTest, CrashedNodeRejoinsWhenItsEpisodeEnds) {
+  ClusterConfig config = small_config();
+  config.plan = plan_of("node 2 12 crash id 4\n");
+  ClusterPowerManager manager(config);
+
+  manager.run(15);
+  EXPECT_EQ(manager.deaths(), 1u);
+  EXPECT_EQ(manager.rejoins(), 1u);
+  EXPECT_EQ(manager.liveness(4), Liveness::kAlive);
+  // Re-integrated: the rejoined node is back in the division.
+  EXPECT_GT(manager.caps()[4], 0.0);
+  EXPECT_EQ(manager.invariant_violations(), 0u);
+}
+
+TEST(ClusterManagerTest, AllocationTraceIsThreadCountInvariant) {
+  const auto trace = [](unsigned threads) {
+    ClusterConfig config = small_config(32);
+    config.threads = threads;
+    config.plan = plan_of(
+        "seed 9\n"
+        "node 2 8  crash frac 0.15\n"
+        "node 3 10 hbloss frac 0.1\n");
+    ClusterPowerManager manager(config);
+    manager.run(12);
+    return manager.trace_hash();
+  };
+  const std::uint64_t serial = trace(1);
+  EXPECT_EQ(serial, trace(4));
+  EXPECT_EQ(serial, trace(3));
+}
+
+TEST(ClusterManagerTest, SeedChangesTheTrace) {
+  const auto trace = [](std::uint64_t seed) {
+    ClusterConfig config = small_config();
+    config.seed = seed;
+    ClusterPowerManager manager(config);
+    manager.run(6);
+    return manager.trace_hash();
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  EXPECT_NE(trace(7), trace(8));
+}
+
+TEST(ClusterManagerTest, DegradingAlertHoldsAllocationWithHysteresis) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+
+  ClusterConfig config = small_config();
+  config.reengage_epochs = 3;
+  ClusterPowerManager manager(config);
+  manager.watch_alerts(broker.make_sub());
+  auto pub = broker.make_pub();
+
+  manager.run(3);
+  ASSERT_FALSE(manager.held());
+  const std::vector<Watts> safe = manager.caps();
+
+  obs::AlertTransition fire;
+  fire.rule = "telemetry_absent";
+  fire.severity = "critical";
+  fire.from = obs::AlertState::kPending;
+  fire.to = obs::AlertState::kFiring;
+  fire.degrades_control = true;
+  pub->publish(msgbus::alert_topic(fire.rule), fire.to_json());
+
+  const EpochRecord& held = manager.run_epoch();
+  EXPECT_TRUE(held.held);
+  EXPECT_TRUE(manager.held());
+  EXPECT_EQ(manager.holds(), 1u);
+  // The cluster sits in its last safe allocation, bit for bit.
+  EXPECT_EQ(manager.caps(), safe);
+
+  // Still held while the alert fires.
+  manager.run(1);
+  EXPECT_TRUE(manager.held());
+  EXPECT_EQ(manager.caps(), safe);
+  EXPECT_EQ(manager.holds(), 1u);  // one hold episode, not one per epoch
+
+  obs::AlertTransition resolve = fire;
+  resolve.from = obs::AlertState::kFiring;
+  resolve.to = obs::AlertState::kInactive;
+  pub->publish(msgbus::alert_topic(resolve.rule), resolve.to_json());
+
+  // Hysteresis: the hold lifts only after reengage_epochs quiet epochs.
+  EXPECT_TRUE(manager.run_epoch().held);
+  EXPECT_TRUE(manager.run_epoch().held);
+  EXPECT_FALSE(manager.run_epoch().held);
+  EXPECT_FALSE(manager.held());
+  EXPECT_EQ(manager.invariant_violations(), 0u);
+}
+
+TEST(ClusterManagerTest, BenignAlertsDoNotHold) {
+  ManualTimeSource clock;
+  msgbus::Broker broker(clock);
+  ClusterPowerManager manager(small_config());
+  manager.watch_alerts(broker.make_sub());
+  auto pub = broker.make_pub();
+
+  obs::AlertTransition fire;
+  fire.rule = "cap_effect_slo";
+  fire.severity = "warning";
+  fire.from = obs::AlertState::kPending;
+  fire.to = obs::AlertState::kFiring;
+  fire.degrades_control = false;  // advisory only
+  pub->publish(msgbus::alert_topic(fire.rule), fire.to_json());
+  pub->publish(msgbus::alert_topic("junk"), "{not json");
+
+  EXPECT_FALSE(manager.run_epoch().held);
+  EXPECT_EQ(manager.holds(), 0u);
+}
+
+// --------------------------------------------------- join and leave --
+
+TEST(ClusterManagerTest, JoinedNodeEntersTheDivisionNextEpoch) {
+  ClusterPowerManager manager(small_config(8));
+  manager.run(2);
+  const unsigned id = manager.add_node();
+  EXPECT_EQ(id, 8u);
+  EXPECT_EQ(manager.node_count(), 9u);
+  EXPECT_DOUBLE_EQ(manager.caps()[id], 0.0);  // nothing until the epoch
+
+  manager.run(1);
+  EXPECT_EQ(manager.liveness(id), Liveness::kAlive);
+  EXPECT_GT(manager.caps()[id], 0.0);
+  EXPECT_LE(manager.assigned(), manager.config().global_budget + 1e-6);
+}
+
+TEST(ClusterManagerTest, RemovedNodeStaysGoneAndItsShareIsReclaimed) {
+  ClusterPowerManager manager(small_config(8));
+  manager.run(2);
+  ASSERT_GT(manager.caps()[2], 0.0);
+
+  manager.remove_node(2);
+  EXPECT_DOUBLE_EQ(manager.caps()[2], 0.0);
+  EXPECT_EQ(manager.liveness(2), Liveness::kDead);
+  manager.remove_node(2);  // idempotent
+
+  manager.run(6);
+  // A left node no longer steps, so it never heartbeats its way back.
+  EXPECT_EQ(manager.liveness(2), Liveness::kDead);
+  EXPECT_DOUBLE_EQ(manager.caps()[2], 0.0);
+  EXPECT_EQ(manager.rejoins(), 0u);
+  EXPECT_LE(manager.assigned(), manager.config().global_budget + 1e-6);
+
+  EXPECT_THROW(manager.remove_node(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace procap::cluster

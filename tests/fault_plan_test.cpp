@@ -1,0 +1,261 @@
+// FaultPlan parser error paths and node-fault coverage.
+//
+// fault_injection_test.cpp exercises the happy paths; this suite pins
+// down the parser's rejection behaviour — malformed lines, out-of-order
+// timestamps, overlapping episodes, bad targets — and the node-fault
+// syntax the cluster layer scripts its churn with, including the
+// NodeFaultInjector's seeded fraction-target resolution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "fault/injectors.hpp"
+#include "fault/plan.hpp"
+
+namespace procap::fault {
+namespace {
+
+FaultPlan parse(const std::string& text) {
+  std::istringstream is(text);
+  return FaultPlan::parse(is);
+}
+
+/// Expect parse() to throw and the message to mention `needle` plus the
+/// offending line number.
+void expect_reject(const std::string& text, const std::string& needle,
+                   int line) {
+  try {
+    (void)parse(text);
+    FAIL() << "accepted: " << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "message '" << what << "' lacks '" << needle << "'";
+    EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+        << "message '" << what << "' lacks the line number " << line;
+  }
+}
+
+// ------------------------------------------------------ node episodes --
+
+TEST(FaultPlanNode, ParsesEveryFaultKindAndTargetForm) {
+  const FaultPlan plan = parse(
+      "seed 7\n"
+      "node 10 20  crash id 5\n"
+      "node 30 inf crash frac 0.10\n"
+      "node 10 40  hang id 7\n"
+      "node 15 25  hbloss frac 0.05\n"
+      "node 0 inf  slow id 2 factor 0.5\n");
+  ASSERT_EQ(plan.node.size(), 5u);
+  EXPECT_EQ(plan.node[0].fault, NodeFault::kCrash);
+  EXPECT_EQ(plan.node[0].node, 5);
+  EXPECT_EQ(plan.node[0].start, 10 * kNanosPerSecond);
+  EXPECT_EQ(plan.node[0].end, 20 * kNanosPerSecond);
+  EXPECT_EQ(plan.node[1].end, kForever);
+  EXPECT_DOUBLE_EQ(plan.node[1].fraction, 0.10);
+  EXPECT_EQ(plan.node[1].node, -1);
+  EXPECT_EQ(plan.node[2].fault, NodeFault::kHang);
+  EXPECT_EQ(plan.node[3].fault, NodeFault::kHbLoss);
+  EXPECT_EQ(plan.node[4].fault, NodeFault::kSlow);
+  EXPECT_DOUBLE_EQ(plan.node[4].factor, 0.5);
+}
+
+TEST(FaultPlanNode, RoundTripsThroughEquality) {
+  const std::string text =
+      "seed 99\n"
+      "node 1 9 crash id 0\n"
+      "node 2 8 slow frac 0.25 factor 0.75\n";
+  EXPECT_EQ(parse(text), parse(text));
+}
+
+TEST(FaultPlanNode, RejectsUnknownFaultKind) {
+  expect_reject("node 0 10 explode id 1\n", "unknown node fault", 1);
+}
+
+TEST(FaultPlanNode, RejectsMissingTarget) {
+  expect_reject("node 0 10 crash\n", "needs 'id N' or 'frac P'", 1);
+}
+
+TEST(FaultPlanNode, RejectsDuplicateTargets) {
+  expect_reject("node 0 10 crash id 1 frac 0.5\n",
+                "already has a target", 1);
+  expect_reject("node 0 10 crash id 1 id 2\n", "already has a target", 1);
+}
+
+TEST(FaultPlanNode, RejectsBadNodeId) {
+  expect_reject("node 0 10 crash id -3\n", "node id", 1);
+  expect_reject("node 0 10 crash id banana\n", "bad node id", 1);
+}
+
+TEST(FaultPlanNode, RejectsFractionOutOfRange) {
+  expect_reject("node 0 10 crash frac 0\n", "frac", 1);
+  expect_reject("node 0 10 crash frac 1.5\n", "frac", 1);
+}
+
+TEST(FaultPlanNode, RejectsFactorOnNonSlowFault) {
+  expect_reject("node 0 10 crash id 1 factor 0.5\n",
+                "'factor' only applies to 'slow'", 1);
+}
+
+TEST(FaultPlanNode, RejectsFactorOutOfRange) {
+  expect_reject("node 0 10 slow id 1 factor 0\n", "factor", 1);
+  expect_reject("node 0 10 slow id 1 factor 2\n", "factor", 1);
+}
+
+TEST(FaultPlanNode, RejectsOutOfOrderTimestamps) {
+  expect_reject("node 20 10 crash id 1\n", "end must follow start", 1);
+  expect_reject("node 5 5 crash id 1\n", "end must follow start", 1);
+}
+
+TEST(FaultPlanNode, RejectsOverlappingSameKindEpisodesOnOneNode) {
+  expect_reject(
+      "node 0 20 crash id 4\n"
+      "node 10 30 crash id 4\n",
+      "overlapping 'crash' episodes for node 4", 2);
+}
+
+TEST(FaultPlanNode, AllowsOverlapAcrossKindsNodesAndFractions) {
+  // Different fault kinds on one node, the same kind on different nodes,
+  // and fraction-targeted episodes (resolved per episode) may overlap.
+  const FaultPlan plan = parse(
+      "node 0 20 crash id 4\n"
+      "node 10 30 hang id 4\n"
+      "node 10 30 crash id 5\n"
+      "node 0 20 crash frac 0.5\n"
+      "node 5 25 crash frac 0.5\n");
+  EXPECT_EQ(plan.node.size(), 5u);
+}
+
+TEST(FaultPlanNode, RejectsTruncatedLines) {
+  expect_reject("node 0\n", "line 1", 1);
+  expect_reject("node 0 10\n", "line 1", 1);
+  expect_reject("node 0 10 crash id\n", "line 1", 1);
+  expect_reject("node 0 10 crash frac\n", "line 1", 1);
+}
+
+// ------------------------------------------- general parser error paths --
+
+TEST(FaultPlanErrors, ReportsTheOffendingLineNumber) {
+  expect_reject(
+      "seed 1\n"
+      "link 0 10 drop 0.5\n"
+      "node 0 10 crash id 1 bogus 3\n",
+      "unknown node fault key 'bogus'", 3);
+}
+
+TEST(FaultPlanErrors, RejectsUnknownDirective) {
+  expect_reject("gpu 0 10 crash id 1\n", "unknown directive", 1);
+}
+
+TEST(FaultPlanErrors, RejectsBadSeed) {
+  expect_reject("seed banana\n", "bad seed", 1);
+}
+
+TEST(FaultPlanErrors, RejectsOutOfOrderLinkAndMsrEpisodes) {
+  expect_reject("link 20 10 drop 0.5\n", "end must follow start", 1);
+  expect_reject("msr 9 3 read_fail 0.5\n", "end must follow start", 1);
+}
+
+TEST(FaultPlanErrors, CommentsAndBlankLinesAreIgnored) {
+  const FaultPlan plan = parse(
+      "# header comment\n"
+      "\n"
+      "node 0 10 crash id 1  # trailing comment\n"
+      "   \n");
+  EXPECT_EQ(plan.node.size(), 1u);
+}
+
+// ------------------------------------------------- NodeFaultInjector --
+
+TEST(NodeFaultInjectorTest, ExplicitIdHitsExactlyThatNode) {
+  const FaultPlan plan = parse("node 10 20 crash id 5\n");
+  const NodeFaultInjector injector(plan, 16);
+  for (unsigned n = 0; n < 16; ++n) {
+    EXPECT_EQ(injector.state(n, to_nanos(15.0)).crashed, n == 5);
+  }
+  // Outside the window nobody is crashed, including node 5 (rejoin).
+  EXPECT_FALSE(injector.state(5, to_nanos(9.9)).crashed);
+  EXPECT_FALSE(injector.state(5, to_nanos(20.0)).crashed);
+}
+
+TEST(NodeFaultInjectorTest, FractionResolvesToSeededTargetCount) {
+  const FaultPlan plan = parse(
+      "seed 21\n"
+      "node 0 inf crash frac 0.25\n");
+  const NodeFaultInjector injector(plan, 64);
+  ASSERT_EQ(injector.episodes(), 1u);
+  EXPECT_EQ(injector.targets(0).size(), 16u);
+  unsigned crashed = 0;
+  for (unsigned n = 0; n < 64; ++n) {
+    crashed += injector.state(n, to_nanos(1.0)).crashed ? 1 : 0;
+  }
+  EXPECT_EQ(crashed, 16u);
+}
+
+TEST(NodeFaultInjectorTest, SamePlanSameTargets) {
+  const std::string text =
+      "seed 33\n"
+      "node 0 inf hbloss frac 0.3\n"
+      "node 5 15 crash frac 0.2\n";
+  const NodeFaultInjector a(parse(text), 100);
+  const NodeFaultInjector b(parse(text), 100);
+  ASSERT_EQ(a.episodes(), b.episodes());
+  for (std::size_t e = 0; e < a.episodes(); ++e) {
+    EXPECT_EQ(a.targets(e), b.targets(e));
+  }
+}
+
+TEST(NodeFaultInjectorTest, InsertingIdEpisodeDoesNotShiftFracDraws) {
+  // frac episodes fork their own child stream per episode, so adding an
+  // explicit-id episode between them must not change who frac selects.
+  const NodeFaultInjector before(parse("seed 5\n"
+                                       "node 0 10 crash frac 0.2\n"
+                                       "node 20 30 hang frac 0.2\n"),
+                                 50);
+  const NodeFaultInjector after(parse("seed 5\n"
+                                      "node 0 10 crash frac 0.2\n"
+                                      "node 12 18 crash id 7\n"
+                                      "node 20 30 hang frac 0.2\n"),
+                                50);
+  EXPECT_EQ(before.targets(0), after.targets(0));
+  EXPECT_EQ(before.targets(1), after.targets(2));
+}
+
+TEST(NodeFaultInjectorTest, SlowFactorsCompose) {
+  // An explicit-id slow and a cluster-wide frac slow overlapping on the
+  // same node multiply: the node runs at the product of the factors.
+  const FaultPlan plan = parse(
+      "node 0 inf slow id 3 factor 0.5\n"
+      "node 0 inf slow frac 1.0 factor 0.5\n");
+  const NodeFaultInjector injector(plan, 8);
+  EXPECT_DOUBLE_EQ(injector.state(3, to_nanos(1.0)).slow_factor, 0.25);
+  EXPECT_DOUBLE_EQ(injector.state(0, to_nanos(1.0)).slow_factor, 0.5);
+  EXPECT_TRUE(injector.state(3, to_nanos(1.0)).progressing());
+}
+
+TEST(NodeFaultInjectorTest, StatesCombineAcrossKinds) {
+  const FaultPlan plan = parse(
+      "node 0 inf hbloss id 2\n"
+      "node 0 inf slow id 2 factor 0.5\n");
+  const NodeFaultInjector injector(plan, 8);
+  const NodeFaultState st = injector.state(2, to_nanos(1.0));
+  EXPECT_TRUE(st.hb_lost);
+  EXPECT_FALSE(st.crashed);
+  EXPECT_DOUBLE_EQ(st.slow_factor, 0.5);
+  EXPECT_TRUE(st.progressing());
+  EXPECT_FALSE(st.heartbeating());
+  EXPECT_TRUE(st.powered());
+}
+
+TEST(NodeFaultInjectorTest, ExplicitIdBeyondClusterSizeIsInert) {
+  const FaultPlan plan = parse("node 0 inf crash id 99\n");
+  const NodeFaultInjector injector(plan, 8);
+  for (unsigned n = 0; n < 8; ++n) {
+    EXPECT_FALSE(injector.state(n, to_nanos(1.0)).crashed);
+  }
+}
+
+}  // namespace
+}  // namespace procap::fault

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "msgbus/uds.hpp"
 #include "util/time.hpp"
@@ -105,6 +107,89 @@ TEST(UdsTransport, SubscriberSurvivesPublisherShutdown) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_FALSE(sub.connected());
+}
+
+TEST(UdsBackoff, StaysWithinConfiguredBounds) {
+  UdsSubscriberOptions options;
+  options.backoff_initial = msec(10);
+  options.backoff_max = msec(500);
+  Rng rng(7);
+  Nanos backoff = options.backoff_initial;
+  for (int i = 0; i < 200; ++i) {
+    backoff = decorrelated_backoff(backoff, rng, options);
+    EXPECT_GE(backoff, options.backoff_initial);
+    EXPECT_LE(backoff, options.backoff_max);
+  }
+}
+
+TEST(UdsBackoff, WindowWidensFromPreviousSleep) {
+  // The draw window is [initial, 3 * prev]: from the initial sleep the
+  // next one can never exceed triple it, however unlucky the draw.
+  UdsSubscriberOptions options;
+  options.backoff_initial = msec(10);
+  options.backoff_max = msec(500);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(decorrelated_backoff(options.backoff_initial, rng, options),
+              3 * options.backoff_initial);
+  }
+}
+
+TEST(UdsBackoff, DifferentStreamsSpreadTheHerd) {
+  // The anti-thundering-herd property: subscribers that disconnected at
+  // the same instant (same starting backoff) must not retry in lockstep.
+  // Simulate a herd of 16 subscribers, each with its own stream, walking
+  // five rounds of backoff; assert the sleeps actually spread out.
+  UdsSubscriberOptions options;
+  options.backoff_initial = msec(10);
+  options.backoff_max = msec(500);
+  constexpr int kHerd = 16;
+  constexpr int kRounds = 5;
+  std::vector<Rng> rngs;
+  for (int s = 0; s < kHerd; ++s) {
+    rngs.emplace_back(1000 + static_cast<std::uint64_t>(s));
+  }
+  std::vector<Nanos> backoff(kHerd, options.backoff_initial);
+  for (int round = 0; round < kRounds; ++round) {
+    std::set<Nanos> distinct;
+    for (int s = 0; s < kHerd; ++s) {
+      backoff[s] = decorrelated_backoff(backoff[s], rngs[s], options);
+      distinct.insert(backoff[s]);
+    }
+    // Plain exponential backoff would put the whole herd on one value
+    // every round; jitter must keep (nearly) everyone distinct.
+    EXPECT_GE(distinct.size(), kHerd - 2)
+        << "round " << round << " collapsed to " << distinct.size()
+        << " distinct sleeps";
+  }
+  // And the cumulative retry instants diverge: no two subscribers share
+  // the same total sleep after five rounds.
+  std::set<Nanos> totals;
+  for (int s = 0; s < kHerd; ++s) {
+    Nanos total = 0;
+    Rng rng(2000 + static_cast<std::uint64_t>(s));
+    Nanos b = options.backoff_initial;
+    for (int round = 0; round < kRounds; ++round) {
+      b = decorrelated_backoff(b, rng, options);
+      total += b;
+    }
+    totals.insert(total);
+  }
+  EXPECT_EQ(totals.size(), kHerd);
+}
+
+TEST(UdsBackoff, FixedSeedIsReproducible) {
+  UdsSubscriberOptions options;
+  options.backoff_seed = 42;
+  Rng a(options.backoff_seed);
+  Rng b(options.backoff_seed);
+  Nanos ba = options.backoff_initial;
+  Nanos bb = options.backoff_initial;
+  for (int i = 0; i < 50; ++i) {
+    ba = decorrelated_backoff(ba, a, options);
+    bb = decorrelated_backoff(bb, b, options);
+    EXPECT_EQ(ba, bb);
+  }
 }
 
 TEST(UdsTransport, ConnectToNothingThrows) {

@@ -247,6 +247,50 @@ TEST_F(AlertEngineTest, AbsenceNeedsEvidenceThenFiresAndResolves) {
   EXPECT_TRUE(engine.transitions().back().resolved());
 }
 
+TEST_F(AlertEngineTest, AbsenceFiresForNeverRegisteredInstrument) {
+  // Regression: an absence rule watching an instrument that never
+  // registered used to stay silently inactive forever — the engine only
+  // iterated existing series, so "reporter never came up" looked exactly
+  // like "nothing to watch".  With the store's first sample time as the
+  // evidence anchor, a full window of sampling with no series must fire.
+  TimeSeriesStore store(Registry::global(), 32);
+  AlertEngine engine(store);
+  AlertRule rule;
+  rule.name = "never_came_up";
+  rule.metric = "alert_test.never_registered";
+  rule.kind = AlertRule::Kind::kAbsence;
+  rule.absence_window = 4 * kNanosPerSecond;
+  engine.add_rule(rule);
+
+  // No samples at all: the store has observed nothing, so nothing can be
+  // concluded — same evidence bar as the dropped-series case.
+  engine.evaluate(10 * kNanosPerSecond);
+  EXPECT_TRUE(engine.alerts().empty());
+
+  for (int s = 0; s <= 3; ++s) {
+    store.sample(s * kNanosPerSecond);
+    engine.evaluate(s * kNanosPerSecond);
+    EXPECT_TRUE(engine.firing().empty())
+        << "fired before sampling covered the window";
+  }
+
+  store.sample(4 * kNanosPerSecond);
+  engine.evaluate(4 * kNanosPerSecond);  // sampling since 0, window 4 s
+  ASSERT_EQ(engine.firing().size(), 1u);
+  EXPECT_EQ(engine.firing()[0].rule, "never_came_up");
+
+  // The instrument finally registers (under per-app labels, so the
+  // synthesized instance's label set never gains a series of its own);
+  // the never-registered alert must resolve.
+  auto& counter = Registry::global().counter(
+      "alert_test.never_registered", obs::prometheus_label("app", "late"));
+  counter.inc();
+  store.sample(5 * kNanosPerSecond);
+  engine.evaluate(5 * kNanosPerSecond);
+  EXPECT_TRUE(engine.firing().empty());
+  EXPECT_TRUE(engine.transitions().back().resolved());
+}
+
 TEST_F(AlertEngineTest, QuantileStatReadsHistogramP95) {
   auto& hist = Registry::global().histogram("alert_test.latency_hist",
                                             {1e3, 1e6, 1e9});

@@ -66,6 +66,12 @@ for preset in "${presets[@]}"; do
   run_step "ctest ${preset}" ctest --preset "${preset}" -j "${jobs}"
 done
 
+# --- chaos-labelled suites under ASan -------------------------------------
+if [[ " ${presets[*]} " == *" asan "* ]]; then
+  run_step "chaos gate under asan (ctest --preset chaos-asan)" \
+    ctest --preset chaos-asan -j "${jobs}"
+fi
+
 # --- perf-labelled gates (timing sensitive: no -j) ------------------------
 if [[ " ${presets[*]} " == *" default "* ]]; then
   run_step "perf gate (ctest --preset perf)" ctest --preset perf
@@ -86,6 +92,8 @@ if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
         --bench-json "${out}/BENCH_abl_cap_tracking.json" &&
       ./build/bench/abl_job_variability --short --threads 8 \
         --bench-json "${out}/BENCH_abl_job_variability.json" &&
+      ./build/bench/cluster_churn --short --threads 8 \
+        --bench-json "${out}/BENCH_cluster_churn.json" &&
       python3 tools/check_bench.py "${out}" bench/baselines \
         --max-regression 15
   }
