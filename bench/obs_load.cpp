@@ -1,0 +1,278 @@
+// Scrape-load benchmark: the telemetry plane under production scrape
+// pressure.  N concurrent keep-alive scrapers (bench/obs_load defaults
+// to 32, the acceptance floor) hammer an event-loop HttpServer exposing
+// M registered instruments (default 200) through /metrics and
+// /timeseries.json, and the bench reports end-to-end scrape latency
+// (p50/p99 through an obs::Sketch) and sustained requests/s.
+//
+// This is the SLO gate for the server rewrite: the committed baseline
+// (bench/baselines/BENCH_obs_load.json) carries both the throughput
+// floor (trials/s, gated by tools/check_bench.py like every bench) and
+// the latency ceiling — p99 over --slo-ms fails the bench outright,
+// even on the short grid, because a scrape plane that stalls its
+// scrapers is broken at any grid size.
+//
+//   obs_load [--scrapers N] [--instruments M] [--seconds S]
+//            [--slo-ms MS] [--threads N] [--bench-json PATH] [--short]
+//
+// --threads is accepted for CI-harness compatibility and treated as
+// --scrapers; scrape concurrency is the bench's real axis.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
+#include "obs/timeseries.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  unsigned scrapers = 32;
+  unsigned instruments = 200;
+  double seconds = 3.0;
+  double slo_ms = 250.0;  // p99 scrape-latency ceiling
+  std::string bench_json;
+  bool short_grid = false;
+};
+
+void usage(const char* argv0) {
+  std::cout << "usage: " << argv0
+            << " [--scrapers N] [--instruments M] [--seconds S]"
+               " [--slo-ms MS] [--threads N] [--bench-json PATH]"
+               " [--short]\n";
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scrapers" || arg == "--threads") {
+      opt.scrapers = static_cast<unsigned>(std::atol(value("N").c_str()));
+    } else if (arg == "--instruments") {
+      opt.instruments = static_cast<unsigned>(std::atol(value("M").c_str()));
+    } else if (arg == "--seconds") {
+      opt.seconds = std::atof(value("S").c_str());
+    } else if (arg == "--slo-ms") {
+      opt.slo_ms = std::atof(value("MS").c_str());
+    } else if (arg == "--bench-json") {
+      opt.bench_json = value("PATH");
+    } else if (arg == "--short") {
+      opt.short_grid = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::cerr << argv[0] << ": unknown flag " << arg << "\n";
+      usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  // The acceptance floor: at least 32 keep-alive scrapers against at
+  // least 200 instruments.  Smaller asks are rounded up, not honored —
+  // a thinner grid would gate nothing.
+  opt.scrapers = std::max(opt.scrapers, 32u);
+  opt.instruments = std::max(opt.instruments, 200u);
+  if (opt.short_grid) {
+    opt.seconds = std::min(opt.seconds, 1.5);
+  }
+  return opt;
+}
+
+/// Register `count` mixed instruments with plausible values, so the
+/// exposition the scrapers pull has production weight.
+void populate_registry(procap::obs::Registry& registry, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) {
+    const std::string labels = "app=\"load\",idx=\"" + std::to_string(i) +
+                               "\"";
+    switch (i % 4) {
+      case 0:
+        registry.counter("load.events", labels).inc(i * 17 + 3);
+        break;
+      case 1:
+        registry.gauge("load.level", labels).set(0.5 * i);
+        break;
+      case 2: {
+        auto& hist = registry.histogram(
+            "load.wait_seconds", procap::obs::seconds_buckets(), labels);
+        for (unsigned k = 0; k < 8; ++k) {
+          hist.observe(1e-4 * (i + 1) * (k + 1));
+        }
+        break;
+      }
+      default: {
+        auto& sketch = registry.sketch("load.size_bytes", labels);
+        for (unsigned k = 0; k < 8; ++k) {
+          sketch.observe(64.0 * (i + 1) + 7.0 * k);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace procap;
+  const Options opt = parse(argc, argv);
+
+  obs::Registry& registry = obs::Registry::global();
+  populate_registry(registry, opt.instruments);
+  obs::TimeSeriesStore ts_store(registry);
+  ts_store.set_meta("app", "obs_load");
+  for (int round = 0; round < 32; ++round) {
+    ts_store.sample(round * kNanosPerSecond);
+  }
+
+  obs::HttpServerOptions server_options;
+  server_options.max_connections = opt.scrapers * 2 + 16;
+  obs::HttpServer server(server_options);
+  server.handle("/metrics", [&registry](const std::string&) {
+    std::ostringstream os;
+    registry.write_prometheus(os);
+    return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+  });
+  server.handle("/timeseries.json", [&ts_store](const std::string&) {
+    std::ostringstream os;
+    ts_store.write_json(os);
+    return obs::HttpResponse{200, "application/json", os.str()};
+  });
+  if (!server.start()) {
+    std::cerr << "obs_load: cannot start server\n";
+    return 1;
+  }
+
+  std::cout << "== Telemetry scrape load: " << opt.scrapers
+            << " keep-alive scrapers x " << opt.instruments
+            << " instruments for " << opt.seconds << " s ==\n";
+
+  // Latency sketch shared across scrapers (observe() is lock-free);
+  // spans 1 us .. 100 s with 1% relative error.
+  obs::Sketch latency(0.01, 1e-6, 100.0);
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<bool> stop{false};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(opt.scrapers);
+  for (unsigned s = 0; s < opt.scrapers; ++s) {
+    scrapers.emplace_back([&, s] {
+      obs::HttpClient client("127.0.0.1", server.port());
+      unsigned i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Production scrape mix: mostly exposition pulls, every fourth
+        // request the heavier JSON document.
+        const std::string& path = (++i % 4 == 0)
+                                      ? std::string("/timeseries.json")
+                                      : std::string("/metrics");
+        const auto start = Clock::now();
+        const auto result = client.get(path);
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (result && result->status == 200 && !result->body.empty()) {
+          latency.observe(elapsed);
+          requests.fetch_add(1, std::memory_order_relaxed);
+          bytes.fetch_add(result->body.size(), std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      (void)s;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  stop.store(true);
+  for (std::thread& t : scrapers) {
+    t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.stop();
+
+  const std::uint64_t total = requests.load();
+  const std::uint64_t failed = failures.load();
+  const double rps = wall_s > 0.0 ? static_cast<double>(total) / wall_s : 0.0;
+  const double p50_ms = latency.quantile(0.50) * 1e3;
+  const double p99_ms = latency.quantile(0.99) * 1e3;
+  const double mib_per_s =
+      wall_s > 0.0 ? static_cast<double>(bytes.load()) / wall_s / 1048576.0
+                   : 0.0;
+
+  std::cout << "requests: " << total << " ok, " << failed << " failed ("
+            << static_cast<std::uint64_t>(rps) << " req/s, " << mib_per_s
+            << " MiB/s)\n"
+            << "scrape latency: p50 " << p50_ms << " ms, p99 " << p99_ms
+            << " ms (SLO " << opt.slo_ms << " ms)\n"
+            << "server: " << server.requests_served() << " served, "
+            << server.connections_accepted() << " connections, "
+            << server.connections_rejected() << " rejected, "
+            << server.idle_evictions() << " idle evictions\n";
+
+  // The SLO assertion — enforced on every grid.
+  bool ok = true;
+  if (failed > 0) {
+    std::cout << "FAIL: " << failed << " scrapes failed\n";
+    ok = false;
+  }
+  if (total == 0) {
+    std::cout << "FAIL: no successful scrapes\n";
+    ok = false;
+  }
+  if (p99_ms > opt.slo_ms) {
+    std::cout << "FAIL: p99 " << p99_ms << " ms over SLO " << opt.slo_ms
+              << " ms\n";
+    ok = false;
+  }
+
+  std::cout << "bench: " << total << " trials in " << wall_s << " s ("
+            << rps << " trials/s, " << opt.scrapers << " threads)\n";
+
+  if (!opt.bench_json.empty()) {
+    std::ofstream out(opt.bench_json);
+    if (!out) {
+      std::cerr << "obs_load: cannot write " << opt.bench_json << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"obs_load\",\n"
+        << "  \"threads\": " << opt.scrapers << ",\n"
+        << "  \"trials\": " << total << ",\n"
+        << "  \"wall_s\": " << wall_s << ",\n"
+        << "  \"trials_per_s\": " << rps << ",\n"
+        << "  \"short_grid\": " << (opt.short_grid ? "true" : "false")
+        << ",\n"
+        << "  \"shape_failures\": " << (ok ? 0 : 1) << ",\n"
+        << "  \"trial_failures\": " << failed << ",\n"
+        << "  \"metrics\": {\n"
+        << "    \"p50_ms\": " << p50_ms << ",\n"
+        << "    \"p99_ms\": " << p99_ms << ",\n"
+        << "    \"slo_p99_ms\": " << opt.slo_ms << ",\n"
+        << "    \"requests_per_s\": " << rps << ",\n"
+        << "    \"mib_per_s\": " << mib_per_s << ",\n"
+        << "    \"scrapers\": " << opt.scrapers << ",\n"
+        << "    \"instruments\": " << opt.instruments << "\n"
+        << "  }\n}\n";
+  }
+  return ok ? 0 : 1;
+}

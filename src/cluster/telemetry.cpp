@@ -1,0 +1,205 @@
+#include "cluster/telemetry.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
+#include "util/units.hpp"
+
+namespace procap::cluster {
+
+namespace {
+
+/// Fold one value into a Roll being accumulated (call finish() after).
+struct RollAcc {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::size_t n = 0;
+
+  void add(double v) {
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    ++n;
+  }
+
+  [[nodiscard]] Roll finish() const {
+    Roll roll;
+    roll.sum = sum;
+    if (n > 0) {
+      roll.mean = sum / static_cast<double>(n);
+      roll.min = min;
+      roll.max = max;
+    }
+    return roll;
+  }
+};
+
+void write_roll(std::ostream& os, const char* key, const Roll& roll) {
+  os << "\"" << key << "\":{\"sum\":" << roll.sum << ",\"mean\":" << roll.mean
+     << ",\"min\":" << roll.min << ",\"max\":" << roll.max << "}";
+}
+
+}  // namespace
+
+ClusterTelemetry::ClusterTelemetry(obs::Registry& registry)
+    : registry_(&registry) {}
+
+void ClusterTelemetry::update(const ClusterPowerManager& manager) {
+  ClusterSnapshot snap;
+  snap.t = manager.now();
+  snap.budget = manager.config().global_budget;
+  snap.running_jobs = manager.jobs().running();
+  snap.held = manager.held();
+  snap.invariant_violations = manager.invariant_violations();
+  if (!manager.records().empty()) {
+    snap.epoch = manager.records().back().epoch;
+  }
+
+  const std::size_t n = manager.node_count();
+  snap.nodes.reserve(n);
+  RollAcc power, granted, demand, rate, progress;
+  obs::Sketch& rate_dist =
+      registry_->sketch("cluster.node.rate_dist", "", 0.01);
+  for (unsigned i = 0; i < n; ++i) {
+    const SimNode& node = manager.node(i);
+    const NodeTelemetry& telem = node.telemetry();
+    NodeSample sample;
+    sample.id = i;
+    sample.liveness = manager.liveness(i);
+    sample.cap = manager.caps()[i];
+    sample.power = telem.power;
+    sample.demand = telem.demand;
+    sample.rate = telem.rate;
+    sample.progress = node.progress();
+    sample.job = node.job();
+    sample.deficit = telem.demand - sample.cap;
+    switch (sample.liveness) {
+      case Liveness::kAlive:
+        ++snap.alive;
+        break;
+      case Liveness::kSuspect:
+        ++snap.suspect;
+        break;
+      case Liveness::kDead:
+        ++snap.dead;
+        break;
+    }
+    power.add(sample.power);
+    granted.add(sample.cap);
+    demand.add(sample.demand);
+    rate.add(sample.rate);
+    progress.add(sample.progress);
+    rate_dist.observe(sample.rate);
+    snap.nodes.push_back(sample);
+  }
+  snap.power = power.finish();
+  snap.granted = granted.finish();
+  snap.demand = demand.finish();
+  snap.rate = rate.finish();
+  snap.progress = progress.finish();
+
+  // Cluster-level gauges: the TimeSeriesStore retains these, the alert
+  // engine can watch them, and /metrics exposes them — for free.
+  registry_->gauge("cluster.budget").set(snap.budget);
+  registry_->gauge("cluster.power.sum").set(snap.power.sum);
+  registry_->gauge("cluster.power.mean").set(snap.power.mean);
+  registry_->gauge("cluster.power.max").set(snap.power.max);
+  registry_->gauge("cluster.granted.sum").set(snap.granted.sum);
+  registry_->gauge("cluster.demand.sum").set(snap.demand.sum);
+  registry_->gauge("cluster.rate.sum").set(snap.rate.sum);
+  registry_->gauge("cluster.progress.sum").set(snap.progress.sum);
+  registry_->gauge("cluster.alive").set(snap.alive);
+  registry_->gauge("cluster.suspect").set(snap.suspect);
+  registry_->gauge("cluster.dead").set(snap.dead);
+  registry_->gauge("cluster.jobs.running")
+      .set(static_cast<double>(snap.running_jobs));
+  registry_->gauge("cluster.held").set(snap.held ? 1.0 : 0.0);
+  registry_->counter("cluster.epochs.observed").inc();
+
+  // Per-node gauges, labeled node="i" so /timeseries.json?node=i can
+  // drill down.  Lazily created once per node, then pointer-cached.
+  for (unsigned i = 0; i < n; ++i) {
+    if (i >= node_power_.size()) {
+      const std::string label = "node=\"" + std::to_string(i) + "\"";
+      node_power_.push_back(&registry_->gauge("cluster.node.power", label));
+      node_granted_.push_back(
+          &registry_->gauge("cluster.node.granted", label));
+      node_rate_.push_back(&registry_->gauge("cluster.node.rate", label));
+    }
+    node_power_[i]->set(snap.nodes[i].power);
+    node_granted_[i]->set(snap.nodes[i].cap);
+    node_rate_[i]->set(snap.nodes[i].rate);
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_ = std::move(snap);
+  ++updates_;
+}
+
+ClusterSnapshot ClusterTelemetry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+std::uint64_t ClusterTelemetry::updates() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return updates_;
+}
+
+void ClusterTelemetry::write_cluster_json(std::ostream& os,
+                                          std::size_t topk) const {
+  const ClusterSnapshot snap = snapshot();
+  // Full double precision: the conservation check (sum of node caps ==
+  // granted.sum) must survive the round-trip through JSON text.
+  const auto old_precision = os.precision(15);
+  os << "{\"epoch\":" << snap.epoch << ",\"t\":" << to_seconds(snap.t)
+     << ",\"budget\":" << snap.budget << ",\"alive\":" << snap.alive
+     << ",\"suspect\":" << snap.suspect << ",\"dead\":" << snap.dead
+     << ",\"running_jobs\":" << snap.running_jobs
+     << ",\"held\":" << (snap.held ? "true" : "false")
+     << ",\"invariant_violations\":" << snap.invariant_violations << ",";
+  write_roll(os, "power", snap.power);
+  os << ",";
+  write_roll(os, "granted", snap.granted);
+  os << ",";
+  write_roll(os, "demand", snap.demand);
+  os << ",";
+  write_roll(os, "rate", snap.rate);
+  os << ",";
+  write_roll(os, "progress", snap.progress);
+
+  std::vector<const NodeSample*> rows;
+  rows.reserve(snap.nodes.size());
+  for (const NodeSample& node : snap.nodes) {
+    rows.push_back(&node);
+  }
+  if (topk > 0 && topk < rows.size()) {
+    // Top-k by deficit: the nodes hurting most under the current split.
+    std::partial_sort(rows.begin(), rows.begin() + topk, rows.end(),
+                      [](const NodeSample* a, const NodeSample* b) {
+                        if (a->deficit != b->deficit) {
+                          return a->deficit > b->deficit;
+                        }
+                        return a->id < b->id;  // deterministic tie-break
+                      });
+    rows.resize(topk);
+  }
+  os << ",\"nodes\":[";
+  bool first = true;
+  for (const NodeSample* node : rows) {
+    os << (first ? "" : ",") << "{\"id\":" << node->id << ",\"liveness\":\""
+       << to_string(node->liveness) << "\",\"cap\":" << node->cap
+       << ",\"power\":" << node->power << ",\"demand\":" << node->demand
+       << ",\"rate\":" << node->rate << ",\"progress\":" << node->progress
+       << ",\"job\":" << node->job << ",\"deficit\":" << node->deficit << "}";
+    first = false;
+  }
+  os << "]}";
+  os.precision(old_precision);
+}
+
+}  // namespace procap::cluster

@@ -1,0 +1,126 @@
+// telemetry.hpp — cluster-level roll-ups for the scrape plane.
+//
+// A 256-node cluster exposes 256 of everything; a scraper that wants
+// "cluster power" should not have to pull every node series and sum
+// client-side.  ClusterTelemetry rolls the per-node view of a
+// ClusterPowerManager into cluster series server-side, once per epoch:
+//
+//   * aggregate sum/mean/min/max over live-node power, granted budget,
+//     demand, progress rate and total progress;
+//   * liveness counts (alive/suspect/dead), running jobs, hold state and
+//     the conservation pair (granted sum vs. global budget) — the
+//     invariant a remote dashboard can check without trusting us;
+//   * per-node drill-down samples (cap, power, demand, rate, progress,
+//     deficit = demand − cap) for the /cluster.json node table and the
+//     procap_top cluster pane's top-k-by-deficit view.
+//
+// update() also publishes the roll-ups into the obs::Registry — cluster
+// gauges (cluster.power.sum, ...), per-node gauges labeled node="i"
+// (which the /timeseries.json?node=i filter selects), and an obs::Sketch
+// of the per-node rate distribution — so the existing TimeSeriesStore /
+// Sampler / alert machinery retains cluster history with zero new
+// plumbing.
+//
+// Threading: update() runs on the simulation thread (after run_epoch());
+// snapshot() and write_cluster_json() run on the HTTP serve thread.  The
+// snapshot swap is mutex-protected; registry instruments are already
+// thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "cluster/membership.hpp"
+#include "util/units.hpp"
+
+namespace procap::obs {
+class Registry;
+class Gauge;
+}  // namespace procap::obs
+
+namespace procap::cluster {
+
+/// sum/mean/min/max over one per-node quantity.
+struct Roll {
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One node's drill-down sample.
+struct NodeSample {
+  unsigned id = 0;
+  Liveness liveness = Liveness::kAlive;
+  Watts cap = 0.0;
+  Watts power = 0.0;
+  Watts demand = 0.0;
+  double rate = 0.0;
+  double progress = 0.0;
+  int job = -1;
+  /// demand − cap: how many watts short of satisfied this node is.  The
+  /// cluster pane ranks nodes by it.
+  Watts deficit = 0.0;
+};
+
+/// One epoch's cluster-level view.
+struct ClusterSnapshot {
+  std::uint64_t epoch = 0;
+  Nanos t = 0;
+  Watts budget = 0.0;
+  Roll power;     ///< actual draw
+  Roll granted;   ///< assigned caps (granted.sum == manager assigned())
+  Roll demand;
+  Roll rate;      ///< progress units/s
+  Roll progress;  ///< cumulative progress
+  unsigned alive = 0;
+  unsigned suspect = 0;
+  unsigned dead = 0;
+  std::size_t running_jobs = 0;
+  bool held = false;
+  std::uint64_t invariant_violations = 0;
+  std::vector<NodeSample> nodes;  ///< index order
+};
+
+/// Rolls a ClusterPowerManager into cluster series + registry gauges.
+class ClusterTelemetry {
+ public:
+  /// `registry` must outlive the telemetry object.  Per-node registry
+  /// gauges are created lazily on first update().
+  explicit ClusterTelemetry(obs::Registry& registry);
+
+  ClusterTelemetry(const ClusterTelemetry&) = delete;
+  ClusterTelemetry& operator=(const ClusterTelemetry&) = delete;
+
+  /// Roll the manager's current state into a fresh snapshot and publish
+  /// the registry series.  Call on the sim thread after run_epoch().
+  void update(const ClusterPowerManager& manager);
+
+  /// Copy of the latest snapshot (empty before the first update()).
+  [[nodiscard]] ClusterSnapshot snapshot() const;
+
+  /// Updates applied so far.
+  [[nodiscard]] std::uint64_t updates() const;
+
+  /// The /cluster.json document.  `topk` > 0 restricts the node table to
+  /// the k nodes with the largest deficit (descending); 0 emits all
+  /// nodes in index order.
+  void write_cluster_json(std::ostream& os, std::size_t topk = 0) const;
+
+ private:
+  obs::Registry* registry_;
+  mutable std::mutex mutex_;
+  ClusterSnapshot snapshot_;
+  std::uint64_t updates_ = 0;
+  /// Lazily grown per-node gauge caches, index == node id.  Raw
+  /// pointers are stable: the registry never relocates instruments.
+  std::vector<obs::Gauge*> node_power_;
+  std::vector<obs::Gauge*> node_granted_;
+  std::vector<obs::Gauge*> node_rate_;
+};
+
+}  // namespace procap::cluster

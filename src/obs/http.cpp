@@ -1,23 +1,28 @@
 #include "obs/http.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
 
 namespace procap::obs {
 
 namespace {
 
-constexpr int kRequestTimeoutMs = 2000;
-constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+using Clock = std::chrono::steady_clock;
 
 const char* reason_phrase(int status) {
   switch (status) {
@@ -29,16 +34,28 @@ const char* reason_phrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Internal Server Error";
   }
 }
 
-/// Write the whole buffer, tolerating short writes; false on error.
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+/// Write the whole buffer on a blocking fd, tolerating short writes;
+/// false on error.  (Clients only — the server writes non-blocking.)
 bool write_all(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
+    // MSG_NOSIGNAL: a peer that already closed must surface as EPIPE,
+    // not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -50,7 +67,120 @@ bool write_all(int fd, const char* data, std::size_t len) {
   return true;
 }
 
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// One parsed request head.
+struct RequestHead {
+  bool malformed = false;
+  std::string method;
+  std::string target;
+  std::string version;
+  bool connection_close = false;
+  bool connection_keepalive = false;  ///< explicit keep-alive (HTTP/1.0)
+  std::size_t content_length = 0;
+};
+
+/// Parse `head` (request line + headers, excluding the final CRLFCRLF).
+RequestHead parse_head(std::string_view head) {
+  RequestHead out;
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t m_end = line.find(' ');
+  const std::size_t t_end =
+      m_end == std::string_view::npos ? std::string_view::npos
+                                      : line.find(' ', m_end + 1);
+  if (t_end == std::string_view::npos || t_end + 1 >= line.size()) {
+    out.malformed = true;
+    return out;
+  }
+  out.method = std::string(line.substr(0, m_end));
+  out.target = std::string(line.substr(m_end + 1, t_end - m_end - 1));
+  out.version = std::string(trim(line.substr(t_end + 1)));
+  if (out.method.empty() || out.target.empty() ||
+      out.version.rfind("HTTP/", 0) != 0) {
+    out.malformed = true;
+    return out;
+  }
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) {
+      end = head.size();
+    }
+    const std::string_view header = head.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view key = trim(header.substr(0, colon));
+    const std::string_view value = trim(header.substr(colon + 1));
+    if (iequals(key, "connection")) {
+      if (iequals(value, "close")) {
+        out.connection_close = true;
+      } else if (iequals(value, "keep-alive")) {
+        out.connection_keepalive = true;
+      }
+    } else if (iequals(key, "content-length")) {
+      out.content_length = static_cast<std::size_t>(
+          std::strtoull(std::string(value).c_str(), nullptr, 10));
+    }
+  }
+  return out;
+}
+
+/// Serialize one response with an exact Content-Length — on every
+/// status, including the error ones.
+std::string serialize(const HttpResponse& response, bool close_after) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     reason_phrase(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) + "\r\n";
+  if (response.status == 405) {
+    head += "Allow: GET\r\n";
+  }
+  head += close_after ? "Connection: close\r\n\r\n"
+                      : "Connection: keep-alive\r\n\r\n";
+  return head + response.body;
+}
+
 }  // namespace
+
+/// Per-connection state machine: bytes in, responses out.
+struct HttpServer::Connection {
+  int fd = -1;
+  std::string in;        ///< unread request bytes
+  std::string out;       ///< serialized responses pending write
+  std::size_t out_off = 0;
+  bool close_after_write = false;
+  bool dead = false;
+  Clock::time_point last_activity{};
+};
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -75,7 +205,7 @@ bool HttpServer::start(const std::string& host, std::uint16_t port) {
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 16) < 0) {
+      ::listen(fd, 64) < 0 || !set_nonblocking(fd)) {
     ::close(fd);
     return false;
   }
@@ -109,113 +239,479 @@ void HttpServer::stop() {
   ::close(wake_fds_[1]);
   listen_fd_ = -1;
   wake_fds_[0] = wake_fds_[1] = -1;
+  open_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t HttpServer::requests_served() const {
   return served_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t HttpServer::connections_accepted() const {
+  return accepted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t HttpServer::connections_rejected() const {
+  return rejected_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t HttpServer::idle_evictions() const {
+  return idle_evicted_.load(std::memory_order_relaxed);
+}
+
+std::size_t HttpServer::open_connections() const {
+  return open_.load(std::memory_order_relaxed);
+}
+
 void HttpServer::serve_loop() {
+  std::vector<Connection> conns;
+  std::vector<pollfd> fds;
   for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) {
-        continue;
+    fds.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t polled = conns.size();  // accepts below grow conns
+    for (const Connection& conn : conns) {
+      short events = POLLIN;
+      if (conn.out_off < conn.out.size()) {
+        events |= POLLOUT;
       }
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    // Poll until the nearest idle deadline (or forever without
+    // connections; the self-pipe still wakes us).
+    int timeout = -1;
+    if (!conns.empty()) {
+      const auto now = Clock::now();
+      for (const Connection& conn : conns) {
+        const auto deadline =
+            conn.last_activity +
+            std::chrono::milliseconds(options_.idle_timeout_ms);
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count();
+        const int left_ms = static_cast<int>(std::max<long long>(0, left));
+        timeout = timeout < 0 ? left_ms : std::min(timeout, left_ms);
+      }
+      // +1 so we wake just past the deadline, not a hair before it.
+      timeout += 1;
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      drain_on_stop(conns);
       return;
     }
+
+    // New arrivals: admit into the table, or answer 503 when full.
     if ((fds[1].revents & POLLIN) != 0) {
-      return;  // stop() wrote the wake byte
+      for (;;) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+          break;
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (!set_nonblocking(client)) {
+          ::close(client);
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (conns.size() >= options_.max_connections) {
+          // Saturated: a best-effort direct 503 (it is tiny and almost
+          // always fits the fresh socket buffer), then close.  The
+          // table recovers as existing connections drain.
+          PROCAP_OBS_COUNTER(rejects, "obs.http.rejected");
+          rejects.inc();
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          served_.fetch_add(1, std::memory_order_relaxed);
+          const std::string reply = serialize(
+              {503, "text/plain; charset=utf-8", "connection table full\n"},
+              true);
+          (void)!::send(client, reply.data(), reply.size(), MSG_NOSIGNAL);
+          ::close(client);
+          continue;
+        }
+        Connection conn;
+        conn.fd = client;
+        conn.last_activity = Clock::now();
+        conns.push_back(std::move(conn));
+        open_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    if ((fds[0].revents & POLLIN) == 0) {
-      continue;
+
+    // Connection events, in the same order the pollfds were built
+    // (freshly accepted connections were not polled this round).
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& conn = conns[i];
+      const short revents = fds[i + 2].revents;
+      if (conn.dead || revents == 0) {
+        continue;
+      }
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        conn.dead = true;
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP)) != 0 && !on_readable(conn)) {
+        conn.dead = true;
+        continue;
+      }
+      if (conn.out_off < conn.out.size() && !on_writable(conn)) {
+        conn.dead = true;
+        continue;
+      }
     }
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      continue;
+
+    // Idle eviction: no buffered request, nothing left to write, and
+    // quiet past the timeout.
+    const auto now = Clock::now();
+    for (Connection& conn : conns) {
+      if (conn.dead || conn.out_off < conn.out.size()) {
+        continue;
+      }
+      if (now - conn.last_activity >
+          std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        PROCAP_OBS_COUNTER(evictions, "obs.http.idle_evictions");
+        evictions.inc();
+        idle_evicted_.fetch_add(1, std::memory_order_relaxed);
+        conn.dead = true;
+      }
     }
-    serve_one(client);
-    ::close(client);
+
+    for (Connection& conn : conns) {
+      if (conn.dead && conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+        open_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Connection& c) { return c.dead; }),
+                conns.end());
   }
 }
 
-void HttpServer::serve_one(int client_fd) {
-  // Read until the end of the request head; GET requests carry no body.
-  std::string request;
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    pollfd pfd{client_fd, POLLIN, 0};
-    if (::poll(&pfd, 1, kRequestTimeoutMs) <= 0) {
-      return;
+/// Read whatever is available; false closes the connection.
+bool HttpServer::on_readable(Connection& conn) {
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      conn.last_activity = Clock::now();
+      continue;
     }
-    char buf[2048];
-    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      return;
+    if (n == 0) {
+      // Peer closed its half.  Anything already queued still drains
+      // (close_after_write); with nothing queued the connection is done.
+      return conn.out_off < conn.out.size() &&
+             (conn.close_after_write = true);
     }
-    request.append(buf, static_cast<std::size_t>(n));
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;
   }
+  process_buffer(conn);
+  // Oversized head with no end in sight: answer 431 rather than
+  // buffering without bound or silently closing.
+  if (!conn.close_after_write && conn.in.size() > options_.max_request_bytes) {
+    enqueue_response(conn,
+                     {431, "text/plain; charset=utf-8",
+                      "request head too large\n"},
+                     true);
+    conn.in.clear();
+  }
+  if (conn.out_off < conn.out.size()) {
+    return on_writable(conn);  // optimistic write saves a poll round
+  }
+  return !(conn.close_after_write && conn.out_off >= conn.out.size());
+}
 
-  HttpResponse response;
-  // Request line: METHOD SP TARGET SP VERSION.
-  const std::size_t m_end = request.find(' ');
-  const std::size_t t_end =
-      m_end == std::string::npos ? std::string::npos
-                                 : request.find(' ', m_end + 1);
-  if (t_end == std::string::npos) {
-    response = {400, "text/plain; charset=utf-8", "bad request\n"};
-  } else {
-    const std::string method = request.substr(0, m_end);
-    std::string target = request.substr(m_end + 1, t_end - m_end - 1);
-    std::string query;
-    if (const std::size_t q = target.find('?'); q != std::string::npos) {
-      query = target.substr(q + 1);
-      target.resize(q);
+/// Consume every complete request in the buffer (pipelining-safe).
+void HttpServer::process_buffer(Connection& conn) {
+  while (!conn.close_after_write) {
+    const std::size_t head_end = conn.in.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      return;
     }
-    if (method != "GET") {
-      response = {405, "text/plain; charset=utf-8", "GET only\n"};
+    // A head over the limit is rejected even when it arrived complete;
+    // otherwise one large write would sail past the configured bound.
+    if (head_end > options_.max_request_bytes) {
+      enqueue_response(conn,
+                       {431, "text/plain; charset=utf-8",
+                        "request head too large\n"},
+                       true);
+      conn.in.clear();
+      return;
+    }
+    const RequestHead head =
+        parse_head(std::string_view(conn.in).substr(0, head_end));
+    // A request body (GET never carries one, but a misbehaving client
+    // might) is consumed and ignored — bounded by the same head limit.
+    const std::size_t body_len =
+        std::min(head.content_length, options_.max_request_bytes);
+    const std::size_t consumed = head_end + 4 + body_len;
+    if (conn.in.size() < consumed) {
+      return;  // wait for the rest of the body
+    }
+    conn.in.erase(0, consumed);
+
+    const auto t0 = Clock::now();
+    HttpResponse response;
+    bool close_after = false;
+    if (head.malformed) {
+      response = {400, "text/plain; charset=utf-8", "bad request\n"};
+      close_after = true;
     } else {
-      response = {404, "text/plain; charset=utf-8", "not found\n"};
-      for (const auto& [path, handler] : handlers_) {
-        if (path == target) {
-          response = handler(query);
-          break;
+      // HTTP/1.1 defaults to keep-alive; HTTP/1.0 must ask for it.
+      close_after = head.connection_close ||
+                    (head.version == "HTTP/1.0" && !head.connection_keepalive);
+      if (head.method != "GET") {
+        response = {405, "text/plain; charset=utf-8", "GET only\n"};
+      } else {
+        std::string target = head.target;
+        std::string query;
+        if (const std::size_t q = target.find('?');
+            q != std::string::npos) {
+          query = target.substr(q + 1);
+          target.resize(q);
+        }
+        response = {404, "text/plain; charset=utf-8", "not found\n"};
+        for (const auto& [path, handler] : handlers_) {
+          if (path == target) {
+            try {
+              response = handler(query);
+            } catch (const std::exception&) {
+              response = {500, "text/plain; charset=utf-8",
+                          "handler error\n"};
+            }
+            break;
+          }
         }
       }
     }
+    enqueue_response(conn, response, close_after);
+    PROCAP_OBS_SKETCH(latency, "obs.http.handle_seconds");
+    latency.observe(
+        std::chrono::duration<double>(Clock::now() - t0).count());
+    if (close_after) {
+      conn.in.clear();  // later pipelined requests die with the connection
+    }
   }
+}
 
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     reason_phrase(response.status) +
-                     "\r\nContent-Type: " + response.content_type +
-                     "\r\nContent-Length: " +
-                     std::to_string(response.body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  if (write_all(client_fd, head.data(), head.size())) {
-    (void)write_all(client_fd, response.body.data(), response.body.size());
-  }
+void HttpServer::enqueue_response(Connection& conn,
+                                  const HttpResponse& response,
+                                  bool close_after) {
+  PROCAP_OBS_COUNTER(requests, "obs.http.requests");
+  requests.inc();
+  conn.out += serialize(response, close_after);
+  conn.close_after_write = conn.close_after_write || close_after;
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
-                                   const std::string& path, int timeout_ms) {
+/// Drain as much of the out buffer as the socket accepts; false closes.
+bool HttpServer::on_writable(Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.last_activity = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // poll will report POLLOUT when there is room
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  return !conn.close_after_write;
+}
+
+/// Bounded final flush: give in-flight responses shutdown_drain_ms to
+/// reach the wire, then close everything.
+void HttpServer::drain_on_stop(std::vector<Connection>& conns) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.shutdown_drain_ms);
+  for (;;) {
+    std::vector<pollfd> fds;
+    for (Connection& conn : conns) {
+      if (!conn.dead && conn.out_off < conn.out.size()) {
+        fds.push_back({conn.fd, POLLOUT, 0});
+      }
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (fds.empty() || left <= 0) {
+      break;
+    }
+    if (::poll(fds.data(), fds.size(), static_cast<int>(left)) <= 0) {
+      break;
+    }
+    std::size_t i = 0;
+    for (Connection& conn : conns) {
+      if (conn.dead || conn.out_off >= conn.out.size()) {
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0 && !on_writable(conn)) {
+        conn.dead = true;
+      }
+      ++i;
+    }
+  }
+  for (Connection& conn : conns) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+    }
+  }
+  conns.clear();
+}
+
+namespace {
+
+/// Read one full HTTP response off `fd`, reusing `buffer` for bytes
+/// already read past the previous response.  Returns nullopt on
+/// timeout/error/premature close.
+std::optional<HttpResult> read_response(int fd, std::string& buffer,
+                                        int timeout_ms, bool* server_closed) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  *server_closed = false;
+  bool eof = false;
+
+  const auto fill = [&]() -> bool {  // one read, respecting the deadline
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) {
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left)) <= 0) {
+      return false;
+    }
+    char buf[8192];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      return errno == EINTR;
+    }
+    if (n == 0) {
+      eof = true;
+      *server_closed = true;
+      return true;
+    }
+    buffer.append(buf, static_cast<std::size_t>(n));
+    return true;
+  };
+
+  std::size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (eof || !fill()) {
+      return std::nullopt;
+    }
+  }
+
+  const std::string_view head = std::string_view(buffer).substr(0, head_end);
+  if (head.rfind("HTTP/1.", 0) != 0) {
+    return std::nullopt;
+  }
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string_view::npos || head.size() < sp + 4) {
+    return std::nullopt;
+  }
+  HttpResult result;
+  result.status = std::atoi(std::string(head.substr(sp + 1, 3)).c_str());
+
+  // Content-Length is how keep-alive knows where the body ends; a
+  // response without one is read to EOF (the server always sends it,
+  // but the one-shot client tolerates others).
+  std::size_t content_length = std::string::npos;
+  bool close_connection = false;
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string_view::npos && pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos + 2);
+    if (end == std::string_view::npos) {
+      end = head.size();
+    }
+    const std::string_view header = head.substr(pos + 2, end - pos - 2);
+    pos = end;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view key = trim(header.substr(0, colon));
+    const std::string_view value = trim(header.substr(colon + 1));
+    if (iequals(key, "content-length")) {
+      content_length = static_cast<std::size_t>(
+          std::strtoull(std::string(value).c_str(), nullptr, 10));
+    } else if (iequals(key, "connection") && iequals(value, "close")) {
+      close_connection = true;
+    }
+  }
+
+  const std::size_t body_start = head_end + 4;
+  if (content_length == std::string::npos) {
+    while (!eof) {
+      if (!fill()) {
+        return std::nullopt;
+      }
+    }
+    result.body = buffer.substr(body_start);
+    buffer.clear();
+    *server_closed = true;
+    return result;
+  }
+  while (buffer.size() < body_start + content_length) {
+    if (eof || !fill()) {
+      return std::nullopt;
+    }
+  }
+  result.body = buffer.substr(body_start, content_length);
+  buffer.erase(0, body_start + content_length);
+  if (close_connection) {
+    *server_closed = true;
+  }
+  return result;
+}
+
+int connect_to(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return std::nullopt;
+    return -1;
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return std::nullopt;
+    return -1;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
+                                   const std::string& path, int timeout_ms) {
+  const int fd = connect_to(host, port);
+  if (fd < 0) {
     return std::nullopt;
   }
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
@@ -224,45 +720,90 @@ std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
     ::close(fd);
     return std::nullopt;
   }
-  std::string raw;
-  for (;;) {
-    pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, timeout_ms) <= 0) {
-      ::close(fd);
-      return std::nullopt;
-    }
-    char buf[4096];
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
-      return std::nullopt;
-    }
-    if (n == 0) {
-      break;
-    }
-    raw.append(buf, static_cast<std::size_t>(n));
-  }
+  std::string buffer;
+  bool server_closed = false;
+  const auto result = read_response(fd, buffer, timeout_ms, &server_closed);
   ::close(fd);
-
-  // "HTTP/1.1 NNN ...\r\n" headers "\r\n\r\n" body.
-  if (raw.rfind("HTTP/1.", 0) != 0) {
-    return std::nullopt;
-  }
-  const std::size_t sp = raw.find(' ');
-  if (sp == std::string::npos || raw.size() < sp + 4) {
-    return std::nullopt;
-  }
-  HttpResult result;
-  result.status = std::atoi(raw.c_str() + sp + 1);
-  const std::size_t head_end = raw.find("\r\n\r\n");
-  if (head_end == std::string::npos) {
-    return std::nullopt;
-  }
-  result.body = raw.substr(head_end + 4);
   return result;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { close(); }
+
+bool HttpClient::connect(int /*timeout_ms*/) {
+  close();
+  fd_ = connect_to(host_, port_);
+  return fd_ >= 0;
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::optional<HttpResult> HttpClient::get(const std::string& path,
+                                          int timeout_ms) {
+  if (fd_ < 0 && !connect(timeout_ms)) {
+    return std::nullopt;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host_ + "\r\n\r\n";
+  if (!write_all(fd_, request.data(), request.size())) {
+    close();
+    return std::nullopt;
+  }
+  bool server_closed = false;
+  auto result = read_response(fd_, buffer_, timeout_ms, &server_closed);
+  if (!result || server_closed) {
+    close();
+  }
+  return result;
+}
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  const auto decode = [](std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '+') {
+        out.push_back(' ');
+      } else if (raw[i] == '%' && i + 2 < raw.size() &&
+                 std::isxdigit(static_cast<unsigned char>(raw[i + 1])) &&
+                 std::isxdigit(static_cast<unsigned char>(raw[i + 2]))) {
+        out.push_back(static_cast<char>(
+            std::stoi(std::string(raw.substr(i + 1, 2)), nullptr, 16)));
+        i += 2;
+      } else {
+        out.push_back(raw[i]);
+      }
+    }
+    return out;
+  };
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = query.size();
+    }
+    const std::string_view pair =
+        std::string_view(query).substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out[decode(pair)] = "";
+      } else {
+        out[decode(pair.substr(0, eq))] = decode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
 }
 
 }  // namespace procap::obs

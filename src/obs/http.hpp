@@ -1,24 +1,46 @@
-// http.hpp — minimal blocking HTTP/1.1 server for the live endpoints.
+// http.hpp — event-loop HTTP/1.1 server for the live endpoints.
 //
-// Serves the pull side of observability stage two: /metrics (Prometheus
-// text exposition), /timeseries.json, /alerts.json and /healthz, each
-// backed by a registered handler.  Deliberately tiny — GET only, one
-// request per connection (Connection: close), loopback by default, a
-// single accept-and-serve thread woken through a self-pipe so stop() is
-// prompt.  No external dependencies: plain POSIX sockets + poll.
+// Serves the pull side of observability: /metrics (Prometheus text
+// exposition), /timeseries.json, /cluster.json, /alerts.json and
+// /healthz, each backed by a registered handler.  Built for a cluster
+// of scrapers, not one dashboard: a single serve thread runs a poll()
+// event loop over non-blocking sockets with
 //
-// Handlers run on the server thread while the simulation runs on the
+//   * HTTP/1.1 keep-alive — one connection serves many sequential
+//     (or pipelined) requests, each response carrying an exact
+//     Content-Length; a request's `Connection: close` is honored;
+//   * a per-connection state machine (reading head → writing response →
+//     reading again) with bounded buffers: request heads past
+//     max_request_bytes answer 431, non-GET methods answer 405, and
+//     malformed request lines answer 400 — always with a body and a
+//     correct Content-Length, never a silent close;
+//   * a bounded connection table — connections past max_connections are
+//     answered 503 + Connection: close and the table recovers as
+//     existing connections finish;
+//   * idle-timeout eviction, so scrapers that stall or vanish without a
+//     FIN cannot pin table slots;
+//   * graceful shutdown through the existing self-pipe: stop() wakes the
+//     loop, in-flight responses get a bounded drain, then everything
+//     closes.
+//
+// Still dependency-free POSIX (sockets + poll), and the Handler seam is
+// unchanged, so power_policy --serve-obs, cluster_sim --serve-obs and
+// procap_top work against either generation of the server.
+//
+// Handlers run on the serve thread while the simulation runs on the
 // main thread, so anything a handler touches must be thread-safe
-// (Registry, TimeSeriesStore and AlertEngine are; raw sim state is not —
-// snapshot it into a mutex-protected copy first, as power_policy does
-// for /healthz).
+// (Registry, TimeSeriesStore, AlertEngine and ClusterTelemetry are; raw
+// sim state is not — snapshot it into a mutex-protected copy first, as
+// power_policy does for /healthz).
 //
-// The matching http_get() client exists for tests and procap_top.
+// The matching clients: http_get() for one-shot requests and HttpClient
+// for keep-alive scraping (bench/obs_load, procap_top).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,13 +55,27 @@ struct HttpResponse {
   std::string body;
 };
 
-/// What http_get() returns (headers already consumed).
+/// What the clients return (headers already consumed).
 struct HttpResult {
   int status = 0;
   std::string body;
 };
 
-/// Single-threaded embedded HTTP server.
+/// Event-loop tuning; the defaults serve a 256-node cluster's scrape
+/// plane comfortably.
+struct HttpServerOptions {
+  /// Concurrent connections; further arrivals answer 503 and close.
+  std::size_t max_connections = 128;
+  /// A connection idle (no request bytes, nothing to write) this long
+  /// is evicted.
+  int idle_timeout_ms = 5000;
+  /// Request heads past this answer 431 and close.
+  std::size_t max_request_bytes = 16 * 1024;
+  /// Drain budget for in-flight responses during stop().
+  int shutdown_drain_ms = 250;
+};
+
+/// Poll-based embedded HTTP server; one serve thread, many connections.
 class HttpServer {
  public:
   /// Handler for one exact path; `query` is the raw string after '?'
@@ -47,6 +83,7 @@ class HttpServer {
   using Handler = std::function<HttpResponse(const std::string& query)>;
 
   HttpServer() = default;
+  explicit HttpServer(HttpServerOptions options) : options_(options) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -61,7 +98,8 @@ class HttpServer {
   [[nodiscard]] bool start(const std::string& host = "127.0.0.1",
                            std::uint16_t port = 0);
 
-  /// Stop the serve thread and close the socket; idempotent.
+  /// Stop the serve thread and close every connection; idempotent.
+  /// In-flight responses get options().shutdown_drain_ms to finish.
   void stop();
 
   [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
@@ -69,26 +107,87 @@ class HttpServer {
   /// The bound port (the chosen one when start() was given port 0).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  /// Requests answered so far (any status).
+  [[nodiscard]] const HttpServerOptions& options() const { return options_; }
+
+  /// Requests answered so far (any status, including 503 rejects).
   [[nodiscard]] std::uint64_t requests_served() const;
+  /// Connections accepted so far (including ones later evicted).
+  [[nodiscard]] std::uint64_t connections_accepted() const;
+  /// Connections answered 503 because the table was full.
+  [[nodiscard]] std::uint64_t connections_rejected() const;
+  /// Connections evicted by the idle timeout.
+  [[nodiscard]] std::uint64_t idle_evictions() const;
+  /// Connections currently in the table (racy read; tests poll it).
+  [[nodiscard]] std::size_t open_connections() const;
 
  private:
-  void serve_loop();
-  void serve_one(int client_fd);
+  struct Connection;
 
+  void serve_loop();
+  bool on_readable(Connection& conn);
+  bool on_writable(Connection& conn);
+  void process_buffer(Connection& conn);
+  void enqueue_response(Connection& conn, const HttpResponse& response,
+                        bool close_after);
+  void drain_on_stop(std::vector<Connection>& conns);
+
+  HttpServerOptions options_;
   std::vector<std::pair<std::string, Handler>> handlers_;
   std::thread thread_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by stop
   std::uint16_t port_ = 0;
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> idle_evicted_{0};
+  std::atomic<std::size_t> open_{0};
 };
 
-/// Blocking GET against a local/remote server; nullopt on connect/IO
-/// failure or timeout.  Used by procap_top and the endpoint tests.
+/// Blocking one-shot GET (Connection: close) against a local/remote
+/// server; nullopt on connect/IO failure or timeout.
 [[nodiscard]] std::optional<HttpResult> http_get(const std::string& host,
                                                  std::uint16_t port,
                                                  const std::string& path,
                                                  int timeout_ms = 2000);
+
+/// Keep-alive HTTP/1.1 client: one TCP connection, many sequential
+/// GETs.  This is what a real scraper does, and what bench/obs_load
+/// measures.  Not thread-safe; use one per scraper thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connect (or reconnect after close()/server loss); false on failure.
+  [[nodiscard]] bool connect(int timeout_ms = 2000);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// One GET over the persistent connection.  Reads exactly
+  /// Content-Length body bytes, so the connection stays usable for the
+  /// next call.  On server-side close or error the socket is dropped
+  /// (connected() goes false) and nullopt returns — call connect() to
+  /// resume.  Automatically connects on first use.
+  [[nodiscard]] std::optional<HttpResult> get(const std::string& path,
+                                              int timeout_ms = 2000);
+
+  void close();
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the previous response
+};
+
+/// Split a raw query string ("a=1&b=x%20y") into decoded key→value
+/// pairs; repeated keys keep the last value.  %XX and '+' decode per
+/// application/x-www-form-urlencoded.
+[[nodiscard]] std::map<std::string, std::string> parse_query(
+    const std::string& query);
 
 }  // namespace procap::obs

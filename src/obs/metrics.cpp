@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/sketch.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -122,10 +124,11 @@ std::string prometheus_label(std::string_view key, std::string_view value) {
 struct Registry::Entry {
   std::string name;
   std::string labels;
-  int type;  // 0 counter, 1 gauge, 2 histogram
+  int type;  // 0 counter, 1 gauge, 2 histogram, 3 sketch
   std::unique_ptr<Counter> counter;
   std::unique_ptr<Gauge> gauge;
   std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<Sketch> sketch;
 };
 
 Registry& Registry::global() {
@@ -187,6 +190,16 @@ Histogram& Registry::histogram(const std::string& name,
   return *entry.histogram;
 }
 
+Sketch& Registry::sketch(const std::string& name, const std::string& labels,
+                         double relative_error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = find_or_create(name, labels, 3);
+  if (!entry.sketch) {
+    entry.sketch = std::make_unique<Sketch>(relative_error);
+  }
+  return *entry.sketch;
+}
+
 namespace {
 
 /// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; dots become
@@ -232,7 +245,8 @@ void Registry::write_prometheus(std::ostream& os) const {
     const std::string pname = prometheus_name(entry->name);
     const char* type = entry->type == 0   ? "counter"
                        : entry->type == 1 ? "gauge"
-                                          : "histogram";
+                       : entry->type == 2 ? "histogram"
+                                          : "summary";
     if (pname != last_typed) {
       os << "# TYPE " << pname << " " << type << "\n";
       last_typed = pname;
@@ -248,7 +262,7 @@ void Registry::write_prometheus(std::ostream& os) const {
         os << "\n";
         break;
       }
-      default: {
+      case 2: {
         const Histogram& h = *entry->histogram;
         for (std::size_t i = 0; i < h.bounds().size(); ++i) {
           os << with_labels(pname + "_bucket", entry->labels,
@@ -261,6 +275,24 @@ void Registry::write_prometheus(std::ostream& os) const {
         write_double(os, h.sum());
         os << "\n";
         os << with_labels(pname + "_count", entry->labels) << " " << h.count()
+           << "\n";
+        break;
+      }
+      default: {
+        // Sketches expose as Prometheus summaries: pre-computed
+        // quantiles, plus _sum/_count.
+        const Sketch& s = *entry->sketch;
+        for (const double q : {0.5, 0.95, 0.99}) {
+          os << with_labels(pname, entry->labels,
+                            "quantile=\"" + std::to_string(q) + "\"")
+             << " ";
+          write_double(os, s.quantile(q));
+          os << "\n";
+        }
+        os << with_labels(pname + "_sum", entry->labels) << " ";
+        write_double(os, s.sum());
+        os << "\n";
+        os << with_labels(pname + "_count", entry->labels) << " " << s.count()
            << "\n";
         break;
       }
@@ -278,8 +310,11 @@ void Registry::reset_values() {
       case 1:
         entry->gauge->reset();
         break;
-      default:
+      case 2:
         entry->histogram->reset();
+        break;
+      default:
+        entry->sketch->reset();
         break;
     }
   }
@@ -301,7 +336,7 @@ std::vector<InstrumentSnapshot> Registry::snapshot() const {
       case 1:
         snap.value = entry->gauge->value();
         break;
-      default: {
+      case 2: {
         const Histogram& h = *entry->histogram;
         snap.count = h.count();
         snap.sum = h.sum();
@@ -309,6 +344,16 @@ std::vector<InstrumentSnapshot> Registry::snapshot() const {
         snap.p50 = h.quantile(0.50);
         snap.p95 = h.quantile(0.95);
         snap.p99 = h.quantile(0.99);
+        break;
+      }
+      default: {
+        const Sketch& s = *entry->sketch;
+        snap.count = s.count();
+        snap.sum = s.sum();
+        snap.value = static_cast<double>(snap.count);
+        snap.p50 = s.quantile(0.50);
+        snap.p95 = s.quantile(0.95);
+        snap.p99 = s.quantile(0.99);
         break;
       }
     }

@@ -118,6 +118,11 @@ class Histogram {
 [[nodiscard]] std::vector<double> latency_buckets_ns();
 [[nodiscard]] std::vector<double> seconds_buckets();
 
+/// Log-bucketed quantile sketch (obs/sketch.hpp); registered alongside
+/// the fixed-bucket instruments for quantities whose scale is unknown
+/// up front.
+class Sketch;
+
 /// Escape a Prometheus label *value* per the text exposition format:
 /// backslash, double quote and newline become \\, \" and \n.
 [[nodiscard]] std::string escape_label_value(std::string_view value);
@@ -134,11 +139,12 @@ class Histogram {
 struct InstrumentSnapshot {
   std::string name;
   std::string labels;
-  int type = 0;             ///< 0 counter, 1 gauge, 2 histogram
+  int type = 0;             ///< 0 counter, 1 gauge, 2 histogram, 3 sketch
   double value = 0.0;       ///< counter cumulative / gauge value
-  std::uint64_t count = 0;  ///< histogram observations
-  double sum = 0.0;         ///< histogram sum
-  /// Bucket-interpolated quantiles (histograms only).
+  std::uint64_t count = 0;  ///< histogram/sketch observations
+  double sum = 0.0;         ///< histogram/sketch sum
+  /// Estimated quantiles (histograms: bucket-interpolated; sketches:
+  /// relative-error bounded).
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
@@ -162,6 +168,11 @@ class Registry {
   [[nodiscard]] Histogram& histogram(const std::string& name,
                                      std::vector<double> bounds,
                                      const std::string& labels = "");
+  /// Sketch accuracy is fixed by the first registration, like histogram
+  /// bounds.
+  [[nodiscard]] Sketch& sketch(const std::string& name,
+                               const std::string& labels = "",
+                               double relative_error = 0.01);
 
   /// Kill switch: disabled instruments drop mutations (reads still work).
   static void set_enabled(bool on) noexcept {

@@ -1,0 +1,120 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::obs {
+
+Sketch::Sketch(double relative_error, double min_value, double max_value)
+    : alpha_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  if (!(relative_error > 0.0) || !(relative_error < 1.0)) {
+    throw std::invalid_argument("Sketch: relative_error must be in (0,1)");
+  }
+  if (!(min_value > 0.0) || !(min_value < max_value)) {
+    throw std::invalid_argument(
+        "Sketch: need 0 < min_value < max_value");
+  }
+  min_index_ = static_cast<std::int32_t>(
+      std::ceil(std::log(min_value) * inv_log_gamma_));
+  const auto max_index = static_cast<std::int32_t>(
+      std::ceil(std::log(max_value) * inv_log_gamma_));
+  cells_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(max_index - min_index_ + 1));
+}
+
+std::size_t Sketch::index_of(double v) const noexcept {
+  const auto raw = static_cast<std::int64_t>(
+      std::ceil(std::log(v) * inv_log_gamma_));
+  const std::int64_t clamped =
+      std::clamp<std::int64_t>(raw - min_index_, 0,
+                               static_cast<std::int64_t>(cells_.size()) - 1);
+  return static_cast<std::size_t>(clamped);
+}
+
+double Sketch::value_of(std::size_t cell) const noexcept {
+  // Midpoint estimator: values in bucket i lie in (γ^(i-1), γ^i]; the
+  // point 2γ^i/(γ+1) is within α of every one of them.
+  const double exponent =
+      static_cast<double>(min_index_ + static_cast<std::int32_t>(cell));
+  return 2.0 * std::pow(gamma_, exponent) / (gamma_ + 1.0);
+}
+
+void Sketch::observe(double v) noexcept {
+  if (!detail::enabled()) {
+    return;
+  }
+  if (!(v > 0.0)) {  // zero, negative, NaN
+    zero_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cells_[index_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(std::isfinite(v) ? v : 0.0, std::memory_order_relaxed);
+}
+
+double Sketch::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // DDSketch rank convention: the q-quantile is the value whose rank is
+  // q * (n - 1) in the sorted stream.
+  const double rank = q * static_cast<double>(n - 1);
+  std::uint64_t cum = zero_.load(std::memory_order_relaxed);
+  if (static_cast<double>(cum) > rank) {
+    return 0.0;
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cum += cells_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cum) > rank) {
+      return value_of(i);
+    }
+  }
+  // Concurrent observers may have bumped count_ before their cell write
+  // landed; answer with the top non-empty bucket.
+  for (std::size_t i = cells_.size(); i-- > 0;) {
+    if (cells_[i].load(std::memory_order_relaxed) > 0) {
+      return value_of(i);
+    }
+  }
+  return 0.0;
+}
+
+bool Sketch::mergeable(const Sketch& other) const {
+  return alpha_ == other.alpha_ && min_index_ == other.min_index_ &&
+         cells_.size() == other.cells_.size();
+}
+
+void Sketch::merge(const Sketch& other) {
+  if (!mergeable(other)) {
+    throw std::invalid_argument(
+        "Sketch::merge: parameter mismatch (relative_error/span)");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const std::uint64_t v = other.cells_[i].load(std::memory_order_relaxed);
+    if (v != 0) {
+      cells_[i].fetch_add(v, std::memory_order_relaxed);
+    }
+  }
+  zero_.fetch_add(other.zero_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+void Sketch::reset() noexcept {
+  for (auto& cell : cells_) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+  zero_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace procap::obs

@@ -1,5 +1,6 @@
 #include "obs/timeseries.hpp"
 
+#include <charconv>
 #include <ostream>
 #include <stdexcept>
 
@@ -41,6 +42,8 @@ const char* to_string(SeriesKind kind) {
       return "gauge";
     case SeriesKind::kHistogram:
       return "histogram";
+    case SeriesKind::kSketch:
+      return "sketch";
   }
   return "?";
 }
@@ -53,9 +56,25 @@ SeriesKind kind_of(int registry_type) {
       return SeriesKind::kCounter;
     case 1:
       return SeriesKind::kGauge;
-    default:
+    case 2:
       return SeriesKind::kHistogram;
+    default:
+      return SeriesKind::kSketch;
   }
+}
+
+bool labels_match(const std::string& labels, const std::string& filter) {
+  return filter.empty() || labels.find(filter) != std::string::npos;
+}
+
+/// Append `v` in shortest round-trip form.  std::to_chars is an order
+/// of magnitude faster than ostream double formatting, and the JSON
+/// document is mostly doubles — at scrape scale (hundreds of series,
+/// hundreds of points each) the formatter IS the serving cost.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
 }
 
 }  // namespace
@@ -96,7 +115,7 @@ void TimeSeriesStore::sample(Nanos now) {
                      to_seconds(now - prev.t);
       }
     }
-    if (s.kind == SeriesKind::kHistogram) {
+    if (s.kind == SeriesKind::kHistogram || s.kind == SeriesKind::kSketch) {
       point.p50 = snap.p50;
       point.p95 = snap.p95;
       point.p99 = snap.p99;
@@ -141,11 +160,15 @@ std::optional<TsPoint> TimeSeriesStore::latest(const std::string& name,
 }
 
 std::vector<SeriesView> TimeSeriesStore::series(
-    const std::string& name_filter, Nanos since) const {
+    const std::string& name_filter, Nanos since,
+    const std::string& labels_filter) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<SeriesView> out;
   for (const Slot& slot : slots_) {
     if (!name_filter.empty() && slot.name != name_filter) {
+      continue;
+    }
+    if (!labels_match(slot.labels, labels_filter)) {
       continue;
     }
     SeriesView view;
@@ -169,40 +192,73 @@ void TimeSeriesStore::set_meta(const std::string& key,
   meta_[key] = value;
 }
 
-void TimeSeriesStore::write_json(std::ostream& os, Nanos since) const {
+void TimeSeriesStore::write_json(std::ostream& os, Nanos since,
+                                 const std::string& name_filter,
+                                 const std::string& labels_filter) const {
+  // Serialized into a string with to_chars, then streamed out in one
+  // write: this document is the scrape plane's heaviest response and
+  // ostream-formatted doubles were its bottleneck (see bench/obs_load).
+  std::string out;
   const std::lock_guard<std::mutex> lock(mutex_);
-  os << "{\"meta\":{";
+  out.reserve(256 + slots_.size() * (64 + capacity_ * 48));
+  out += "{\"meta\":{";
   bool first = true;
   for (const auto& [key, value] : meta_) {
-    os << (first ? "" : ",") << "\"" << json::escape(key) << "\":\""
-       << json::escape(value) << "\"";
+    out += first ? "\"" : ",\"";
+    out += json::escape(key);
+    out += "\":\"";
+    out += json::escape(value);
+    out += "\"";
     first = false;
   }
-  os << "},\"samples\":" << samples_ << ",\"series\":[";
+  out += "},\"samples\":";
+  out += std::to_string(samples_);
+  out += ",\"series\":[";
   first = true;
   for (const Slot& slot : slots_) {
-    os << (first ? "" : ",") << "{\"name\":\"" << json::escape(slot.name)
-       << "\",\"labels\":\"" << json::escape(slot.labels) << "\",\"kind\":\""
-       << to_string(slot.kind) << "\",\"points\":[";
+    if (!name_filter.empty() && slot.name != name_filter) {
+      continue;
+    }
+    if (!labels_match(slot.labels, labels_filter)) {
+      continue;
+    }
+    out += first ? "{\"name\":\"" : ",{\"name\":\"";
+    out += json::escape(slot.name);
+    out += "\",\"labels\":\"";
+    out += json::escape(slot.labels);
+    out += "\",\"kind\":\"";
+    out += to_string(slot.kind);
+    out += "\",\"points\":[";
     first = false;
     bool first_point = true;
+    const bool quantiles = slot.kind == SeriesKind::kHistogram ||
+                           slot.kind == SeriesKind::kSketch;
     for (std::size_t i = 0; i < slot.ring.size(); ++i) {
       const TsPoint& point = slot.ring.at(i);
       if (point.t < since) {
         continue;
       }
-      os << (first_point ? "" : ",") << "{\"t\":" << to_seconds(point.t)
-         << ",\"v\":" << point.value << ",\"rate\":" << point.rate;
-      if (slot.kind == SeriesKind::kHistogram) {
-        os << ",\"p50\":" << point.p50 << ",\"p95\":" << point.p95
-           << ",\"p99\":" << point.p99;
+      out += first_point ? "{\"t\":" : ",{\"t\":";
+      append_double(out, to_seconds(point.t));
+      out += ",\"v\":";
+      append_double(out, point.value);
+      out += ",\"rate\":";
+      append_double(out, point.rate);
+      if (quantiles) {
+        out += ",\"p50\":";
+        append_double(out, point.p50);
+        out += ",\"p95\":";
+        append_double(out, point.p95);
+        out += ",\"p99\":";
+        append_double(out, point.p99);
       }
-      os << "}";
+      out += "}";
       first_point = false;
     }
-    os << "]}";
+    out += "]}";
   }
-  os << "]}";
+  out += "]}";
+  os << out;
 }
 
 namespace {

@@ -79,7 +79,7 @@ class RingBuffer {
 };
 
 /// Series kind, mirroring the registry's instrument types.
-enum class SeriesKind { kCounter, kGauge, kHistogram };
+enum class SeriesKind { kCounter, kGauge, kHistogram, kSketch };
 
 [[nodiscard]] const char* to_string(SeriesKind kind);
 
@@ -120,17 +120,24 @@ class TimeSeriesStore {
                                                   "") const;
 
   /// Copies of every series whose name equals `name_filter` (empty =
-  /// all), restricted to points with t >= since.
+  /// all) and whose label set contains `labels_filter` as a substring
+  /// (empty = all), restricted to points with t >= since.  The label
+  /// filter is how the HTTP endpoints drill down to one entity, e.g.
+  /// labels_filter = "node=\"17\"" selects node 17's cluster series.
   [[nodiscard]] std::vector<SeriesView> series(
-      const std::string& name_filter = "", Nanos since = 0) const;
+      const std::string& name_filter = "", Nanos since = 0,
+      const std::string& labels_filter = "") const;
 
   /// Run metadata echoed into the JSON document (app, scheme, ...).
   void set_meta(const std::string& key, const std::string& value);
 
   /// The /timeseries.json document: {"meta":{...},"samples":N,
   /// "series":[{"name","labels","kind","points":[{"t","v","rate",...}]}]}.
-  /// Timestamps are emitted in seconds.
-  void write_json(std::ostream& os, Nanos since = 0) const;
+  /// Timestamps are emitted in seconds.  `name_filter`/`labels_filter`
+  /// restrict the emitted series exactly as series() does.
+  void write_json(std::ostream& os, Nanos since = 0,
+                  const std::string& name_filter = "",
+                  const std::string& labels_filter = "") const;
 
  private:
   struct Slot {

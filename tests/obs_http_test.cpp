@@ -1,20 +1,109 @@
 // Tests for the embedded HTTP server and client: round-trips on an
 // ephemeral port, handler dispatch, query strings, 404/405 behaviour,
-// concurrent requests against thread-safe handlers, and clean restart.
+// concurrent requests against thread-safe handlers, clean restart, and
+// the event-loop guarantees — keep-alive reuse, pipelining, partial and
+// malformed request bytes, oversized-head 431, idle-timeout eviction,
+// connection-table saturation, and stop() under load.
 #include "obs/http.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace {
 
+using procap::obs::HttpClient;
 using procap::obs::HttpResponse;
 using procap::obs::HttpServer;
+using procap::obs::HttpServerOptions;
 using procap::obs::http_get;
+using procap::obs::parse_query;
+
+/// Raw TCP connection to the server, for tests that need byte-level
+/// control over what goes on the wire (pipelining, partial writes,
+/// malformed requests) instead of the well-behaved clients.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool raw_send(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Read until `want` occurrences of `needle` arrived, EOF, or timeout.
+std::string raw_read_until(int fd, const std::string& needle,
+                           std::size_t want = 1, int timeout_ms = 2000) {
+  std::string buffer;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (count_occurrences(buffer, needle) < want) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) {
+      break;
+    }
+    char chunk[1024];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;  // EOF or error
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return buffer;
+}
+
+/// True when the peer closed: read() reports EOF within the timeout.
+bool raw_at_eof(int fd, int timeout_ms = 2000) {
+  pollfd pfd{fd, POLLIN, 0};
+  if (::poll(&pfd, 1, timeout_ms) <= 0) {
+    return false;
+  }
+  char chunk[64];
+  return ::read(fd, chunk, sizeof(chunk)) == 0;
+}
 
 TEST(ObsHttp, ServesRegisteredHandlerOnEphemeralPort) {
   HttpServer server;
@@ -107,6 +196,271 @@ TEST(ObsHttp, ClientReportsFailureWhenNothingListens) {
   }
   const auto result = http_get("127.0.0.1", dead_port, "/", 500);
   EXPECT_FALSE(result.has_value());
+}
+
+TEST(ObsHttp, KeepAliveClientReusesOneConnection) {
+  HttpServer server;
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  HttpClient client("127.0.0.1", server.port());
+  constexpr int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto r = client.get("/ping");
+    ASSERT_TRUE(r.has_value()) << i;
+    EXPECT_EQ(r->status, 200);
+    EXPECT_EQ(r->body, "pong\n");
+  }
+  // The point of keep-alive: many requests, one accepted connection.
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kRequests));
+  client.close();
+  server.stop();
+}
+
+TEST(ObsHttp, ConnectionCloseRequestIsHonored) {
+  HttpServer server;
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_send(fd,
+                       "GET /ping HTTP/1.1\r\nHost: t\r\n"
+                       "Connection: close\r\n\r\n"));
+  const std::string reply = raw_read_until(fd, "pong\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Connection: close"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Content-Length: 5"), std::string::npos) << reply;
+  // The server, not just the header, closes the connection.
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, PipelinedRequestsAnsweredInOrder) {
+  HttpServer server;
+  server.handle("/a", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "handler-a"};
+  });
+  server.handle("/b", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "handler-b"};
+  });
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  // Both requests in one write; two responses must come back, in order.
+  ASSERT_TRUE(raw_send(fd,
+                       "GET /a HTTP/1.1\r\nHost: t\r\n\r\n"
+                       "GET /b HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string reply = raw_read_until(fd, "HTTP/1.1 200", 2);
+  const std::size_t a = reply.find("handler-a");
+  const std::size_t b = reply.find("handler-b");
+  ASSERT_NE(a, std::string::npos) << reply;
+  ASSERT_NE(b, std::string::npos) << reply;
+  EXPECT_LT(a, b);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, PartialRequestBytesAssembleAcrossWrites) {
+  HttpServer server;
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  // The request trickles in over three writes; the per-connection state
+  // machine must buffer until the head completes.
+  for (const std::string chunk :
+       {std::string("GET /pi"), std::string("ng HTTP/1.1\r\nHo"),
+        std::string("st: t\r\n\r\n")}) {
+    ASSERT_TRUE(raw_send(fd, chunk));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const std::string reply = raw_read_until(fd, "pong\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos) << reply;
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, MalformedRequestLineAnswers400AndCloses) {
+  HttpServer server;
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_send(fd, "this is not http\r\n\r\n"));
+  const std::string reply = raw_read_until(fd, "bad request\n");
+  EXPECT_NE(reply.find("HTTP/1.1 400"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Content-Length: 12"), std::string::npos) << reply;
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, NonGetAnswers405WithAllowAndKeepsConnection) {
+  HttpServer server;
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_send(fd, "POST /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string reply = raw_read_until(fd, "GET only\n");
+  EXPECT_NE(reply.find("HTTP/1.1 405"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Allow: GET"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Content-Length: 9"), std::string::npos) << reply;
+  // 405 is an answer, not a hangup: the connection still serves GETs.
+  ASSERT_TRUE(raw_send(fd, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n"));
+  const std::string next = raw_read_until(fd, "pong\n");
+  EXPECT_NE(next.find("HTTP/1.1 200"), std::string::npos) << next;
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, OversizedRequestHeadAnswers431) {
+  HttpServerOptions options;
+  options.max_request_bytes = 256;
+  HttpServer server(options);
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  // A head that keeps growing past the limit without ever terminating.
+  std::string head = "GET /ping HTTP/1.1\r\nX-Pad: ";
+  head.append(1024, 'x');
+  ASSERT_TRUE(raw_send(fd, head));
+  const std::string reply = raw_read_until(fd, "request head too large\n");
+  EXPECT_NE(reply.find("HTTP/1.1 431"), std::string::npos) << reply;
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, CompleteOversizedHeadAlsoAnswers431) {
+  HttpServerOptions options;
+  options.max_request_bytes = 256;
+  HttpServer server(options);
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  // The whole head, terminator included, lands in one write; the size
+  // limit must still apply or it is no limit for well-formed clients.
+  std::string head = "GET /ping HTTP/1.1\r\nX-Pad: ";
+  head.append(1024, 'x');
+  head += "\r\n\r\n";
+  ASSERT_TRUE(raw_send(fd, head));
+  const std::string reply = raw_read_until(fd, "request head too large\n");
+  EXPECT_NE(reply.find("HTTP/1.1 431"), std::string::npos) << reply;
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, IdleConnectionsAreEvicted) {
+  HttpServerOptions options;
+  options.idle_timeout_ms = 100;
+  HttpServer server(options);
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  // Connected but silent: the idle timer must reclaim the slot.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.idle_evictions() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.idle_evictions(), 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ObsHttp, SaturatedConnectionTableAnswers503ThenRecovers) {
+  HttpServerOptions options;
+  options.max_connections = 2;
+  HttpServer server(options);
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  // Fill the table with two established keep-alive connections.
+  HttpClient first("127.0.0.1", server.port());
+  HttpClient second("127.0.0.1", server.port());
+  ASSERT_TRUE(first.get("/ping").has_value());
+  ASSERT_TRUE(second.get("/ping").has_value());
+  // The third arrival is answered 503, not silently dropped.
+  const auto rejected = http_get("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status, 503);
+  EXPECT_EQ(rejected->body, "connection table full\n");
+  EXPECT_GE(server.connections_rejected(), 1u);
+  // Freeing a slot recovers the table.
+  first.close();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  bool recovered = false;
+  while (!recovered && std::chrono::steady_clock::now() < deadline) {
+    const auto r = http_get("127.0.0.1", server.port(), "/ping");
+    recovered = r.has_value() && r->status == 200;
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(recovered);
+  second.close();
+  server.stop();
+}
+
+TEST(ObsHttp, StopUnderLoadShutsDownCleanly) {
+  HttpServer server;
+  server.handle("/ping", [](const std::string&) {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(server.start());
+  const std::uint16_t port = server.port();
+  std::atomic<bool> done{false};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&] {
+      // Failures after stop() are expected; hangs and crashes are not.
+      while (!done.load()) {
+        const auto r = http_get("127.0.0.1", port, "/ping", 500);
+        if (r && r->status == 200) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server.stop();
+  done.store(true);
+  for (auto& t : scrapers) {
+    t.join();
+  }
+  EXPECT_FALSE(server.running());
+  EXPECT_GT(ok.load(), 0);
+}
+
+TEST(ObsHttp, ParseQueryDecodesPairs) {
+  EXPECT_TRUE(parse_query("").empty());
+  const auto q = parse_query("a=1&b=x%20y&c=1+2&flag");
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.at("a"), "1");
+  EXPECT_EQ(q.at("b"), "x y");
+  EXPECT_EQ(q.at("c"), "1 2");
+  EXPECT_EQ(q.at("flag"), "");
+  // Repeated keys keep the last value.
+  EXPECT_EQ(parse_query("k=1&k=2").at("k"), "2");
 }
 
 TEST(ObsHttp, StopIsIdempotentAndServerRestartable) {

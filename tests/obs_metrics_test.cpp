@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/sketch.hpp"
+
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
@@ -78,6 +80,22 @@ TEST_F(ObsMetrics, HistogramBucketsObservations) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST_F(ObsMetrics, HistogramQuantileEmptyAndClampedArguments) {
+  // Regression guards for the quantile edge cases the dashboards lean
+  // on: an empty histogram answers 0 (not NaN, not a throw), and q
+  // outside [0,1] clamps instead of walking off the bucket array.
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    h.observe(5.0);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(-2.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+}
+
 TEST_F(ObsMetrics, HistogramRejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
@@ -122,6 +140,57 @@ TEST_F(ObsMetrics, PrometheusExposition) {
   EXPECT_NE(text.find("procap_test_prom_histo_bucket{le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("procap_test_prom_histo_count 1"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, SketchExposesAsSummaryWithQuantileLabels) {
+  auto& sketch = Registry::global().sketch("test.prom.sketch", "app=\"x\"");
+  for (int i = 1; i <= 100; ++i) {
+    sketch.observe(static_cast<double>(i));
+  }
+  std::ostringstream os;
+  Registry::global().write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE procap_test_prom_sketch summary"),
+            std::string::npos)
+      << text;
+  // Pre-computed quantiles carry the quantile label next to the
+  // instrument's own labels; _sum and _count ride along.
+  EXPECT_NE(text.find(
+                "procap_test_prom_sketch{app=\"x\",quantile=\"0.500000\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(
+                "procap_test_prom_sketch{app=\"x\",quantile=\"0.990000\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("procap_test_prom_sketch_sum{app=\"x\"} 5050"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("procap_test_prom_sketch_count{app=\"x\"} 100"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ObsMetrics, SnapshotCarriesSketchQuantiles) {
+  auto& sketch = Registry::global().sketch("test.snap_sketch");
+  for (int i = 1; i <= 1000; ++i) {
+    sketch.observe(static_cast<double>(i));
+  }
+  const auto snaps = Registry::global().snapshot();
+  bool saw = false;
+  for (const auto& snap : snaps) {
+    if (snap.name != "test.snap_sketch") {
+      continue;
+    }
+    saw = true;
+    EXPECT_EQ(snap.type, 3);
+    EXPECT_EQ(snap.count, 1000u);
+    EXPECT_DOUBLE_EQ(snap.value, 1000.0);
+    EXPECT_NEAR(snap.p50, 500.0, 500.0 * 0.03);
+    EXPECT_LE(snap.p50, snap.p95);
+    EXPECT_LE(snap.p95, snap.p99);
+  }
+  EXPECT_TRUE(saw);
 }
 
 TEST_F(ObsMetrics, NamesListsRegistrationOrder) {

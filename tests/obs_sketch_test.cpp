@@ -1,0 +1,211 @@
+// Tests for the DDSketch-style quantile sketch: the relative-error
+// guarantee on known distributions, zero/negative handling, span
+// clamping, merge semantics, the bounded-memory claim, kill-switch
+// behaviour, and lock-free concurrent observation.
+#include "obs/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+#if !defined(PROCAP_OBS_DISABLED)
+
+using procap::obs::Registry;
+using procap::obs::Sketch;
+
+class ObsSketch : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::set_enabled(true); }
+  void TearDown() override { Registry::set_enabled(true); }
+};
+
+TEST_F(ObsSketch, RejectsNonsenseParameters) {
+  EXPECT_THROW(Sketch(0.0), std::invalid_argument);
+  EXPECT_THROW(Sketch(1.0), std::invalid_argument);
+  EXPECT_THROW(Sketch(-0.1), std::invalid_argument);
+  EXPECT_THROW(Sketch(0.01, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Sketch(0.01, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST_F(ObsSketch, EmptySketchAnswersZero) {
+  const Sketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 0.0);
+}
+
+TEST_F(ObsSketch, QuantilesWithinRelativeErrorOnUniformGrid) {
+  // 1..10000 uniformly: the true q-quantile is q*(n-1)+1 by rank, and
+  // every estimate must land within α of it (values are inside the span).
+  Sketch s(0.01, 1e-3, 1e6);
+  constexpr int kN = 10000;
+  for (int i = 1; i <= kN; ++i) {
+    s.observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.count(), static_cast<std::uint64_t>(kN));
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double truth = q * (kN - 1) + 1.0;
+    const double est = s.quantile(q);
+    EXPECT_NEAR(est, truth, truth * 2.0 * s.relative_error())
+        << "q=" << q;
+  }
+}
+
+TEST_F(ObsSketch, QuantilesWithinRelativeErrorAcrossMagnitudes) {
+  // Microseconds to hundreds of seconds in one stream: the fixed-bucket
+  // Histogram's failure case, the sketch's reason to exist.
+  Sketch s(0.01, 1e-9, 1e6);
+  std::vector<double> values;
+  for (int decade = -6; decade <= 2; ++decade) {
+    for (int k = 1; k <= 9; ++k) {
+      values.push_back(k * std::pow(10.0, decade));
+    }
+  }
+  for (const double v : values) {
+    s.observe(v);
+  }
+  // Median by rank on the sorted grid (the grid is built sorted).
+  const double truth = values[(values.size() - 1) / 2];
+  EXPECT_NEAR(s.quantile(0.5), truth, truth * 2.0 * s.relative_error());
+}
+
+TEST_F(ObsSketch, ZeroAndNegativeLandInZeroBucket) {
+  Sketch s;
+  s.observe(0.0);
+  s.observe(-5.0);
+  s.observe(10.0);
+  EXPECT_EQ(s.count(), 3u);
+  // Two of three observations are <= 0: q below 2/3 reports 0.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_NEAR(s.quantile(1.0), 10.0, 10.0 * 2.0 * s.relative_error());
+}
+
+TEST_F(ObsSketch, ValuesOutsideSpanClampToEdgeBuckets) {
+  Sketch s(0.01, 1.0, 100.0);
+  s.observe(1e-6);  // below span: bottom bucket
+  s.observe(1e9);   // above span: top bucket
+  EXPECT_EQ(s.count(), 2u);
+  // The estimates degrade to the span edges, never out of range and
+  // never a crash.
+  EXPECT_LE(s.quantile(0.0), 1.0 * (1.0 + s.relative_error()));
+  EXPECT_GE(s.quantile(1.0), 100.0 * (1.0 - s.relative_error()));
+}
+
+TEST_F(ObsSketch, QuantileArgumentClamps) {
+  Sketch s;
+  for (int i = 1; i <= 100; ++i) {
+    s.observe(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), s.quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), s.quantile(1.0));
+}
+
+TEST_F(ObsSketch, MemoryIsBoundedAndIndependentOfObservationCount) {
+  Sketch s(0.01, 1e-9, 1e15);
+  const std::size_t before = s.memory_bytes();
+  // At α = 1 % over the default span the footprint is tens of KB.
+  EXPECT_LT(before, 64u * 1024u);
+  for (int i = 0; i < 100000; ++i) {
+    s.observe(1e-8 + i * 1e7);
+  }
+  EXPECT_EQ(s.memory_bytes(), before);
+  EXPECT_EQ(s.bucket_count() * sizeof(std::uint64_t), s.memory_bytes());
+}
+
+TEST_F(ObsSketch, MergeCombinesStreams) {
+  Sketch a(0.01, 1e-3, 1e6);
+  Sketch b(0.01, 1e-3, 1e6);
+  for (int i = 1; i <= 1000; ++i) {
+    a.observe(static_cast<double>(i));
+  }
+  for (int i = 1001; i <= 2000; ++i) {
+    b.observe(static_cast<double>(i));
+  }
+  ASSERT_TRUE(a.mergeable(b));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  const double truth = 0.5 * (2000 - 1) + 1.0;
+  EXPECT_NEAR(a.quantile(0.5), truth, truth * 2.0 * a.relative_error());
+}
+
+TEST_F(ObsSketch, MergeRejectsMismatchedParameters) {
+  Sketch a(0.01);
+  Sketch alpha(0.05);
+  Sketch span(0.01, 1e-3, 1e3);
+  EXPECT_FALSE(a.mergeable(alpha));
+  EXPECT_FALSE(a.mergeable(span));
+  EXPECT_THROW(a.merge(alpha), std::invalid_argument);
+  EXPECT_THROW(a.merge(span), std::invalid_argument);
+}
+
+TEST_F(ObsSketch, ResetClearsEverything) {
+  Sketch s;
+  s.observe(0.0);
+  s.observe(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  s.observe(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_NEAR(s.quantile(0.5), 7.0, 7.0 * 2.0 * s.relative_error());
+}
+
+TEST_F(ObsSketch, KillSwitchDropsObservations) {
+  Sketch s;
+  s.observe(1.0);
+  Registry::set_enabled(false);
+  s.observe(100.0);
+  Registry::set_enabled(true);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST_F(ObsSketch, ConcurrentObservationsAreLossless) {
+  Sketch s(0.01, 1e-3, 1e6);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < kIters; ++i) {
+        s.observe(1.0 + t * kIters + i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(s.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(ObsSketch, RegistryFindOrCreateReturnsSameSketch) {
+  Sketch& a = Registry::global().sketch("test.sketch_identity");
+  Sketch& b = Registry::global().sketch("test.sketch_identity");
+  EXPECT_EQ(&a, &b);
+  Sketch& labelled =
+      Registry::global().sketch("test.sketch_identity", "k=\"v\"");
+  EXPECT_NE(&a, &labelled);
+}
+
+#else  // PROCAP_OBS_DISABLED
+
+TEST(ObsSketchDisabled, MacroIsInert) {
+  PROCAP_OBS_SKETCH(s, "test.sketch_disabled");
+  s.observe(1.0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+#endif  // PROCAP_OBS_DISABLED
+
+}  // namespace

@@ -12,6 +12,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -164,6 +165,56 @@ TEST_F(TimeSeriesStoreTest, WriteJsonIsValidAndCarriesMeta) {
   const auto* series = doc.find("series");
   ASSERT_NE(series, nullptr);
   EXPECT_FALSE(series->array.empty());
+}
+
+TEST_F(TimeSeriesStoreTest, SketchSeriesCarryKindAndQuantiles) {
+  auto& sketch = Registry::global().sketch("ts_test.sketch");
+  TimeSeriesStore store(Registry::global(), 16);
+  for (int i = 1; i <= 1000; ++i) {
+    sketch.observe(static_cast<double>(i));
+  }
+  store.sample(kNanosPerSecond);
+  const auto series = store.series("ts_test.sketch");
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].kind, SeriesKind::kSketch);
+  ASSERT_EQ(series[0].points.size(), 1u);
+  const TsPoint& point = series[0].points[0];
+  EXPECT_DOUBLE_EQ(point.value, 1000.0);  // count
+  EXPECT_NEAR(point.p50, 500.0, 500.0 * 0.03);
+  EXPECT_LE(point.p50, point.p95);
+  EXPECT_LE(point.p95, point.p99);
+}
+
+TEST_F(TimeSeriesStoreTest, SeriesLabelsFilterSelectsSubstring) {
+  Registry::global().counter("ts_test.per_node", "node=\"1\"").inc(10);
+  Registry::global().counter("ts_test.per_node", "node=\"2\"").inc(20);
+  TimeSeriesStore store(Registry::global(), 16);
+  store.sample(0);
+  const auto all = store.series("ts_test.per_node");
+  ASSERT_EQ(all.size(), 2u);
+  const auto one = store.series("ts_test.per_node", 0, "node=\"1\"");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].labels, "node=\"1\"");
+  EXPECT_DOUBLE_EQ(one[0].points.at(0).value, 10.0);
+  EXPECT_TRUE(store.series("ts_test.per_node", 0, "node=\"9\"").empty());
+}
+
+TEST_F(TimeSeriesStoreTest, WriteJsonHonorsNameAndLabelFilters) {
+  Registry::global().counter("ts_test.wj.keep", "node=\"3\"").inc(1);
+  Registry::global().counter("ts_test.wj.keep", "node=\"4\"").inc(2);
+  Registry::global().counter("ts_test.wj.drop").inc(3);
+  TimeSeriesStore store(Registry::global(), 16);
+  store.sample(kNanosPerSecond);
+  std::ostringstream os;
+  store.write_json(os, 0, "ts_test.wj.keep", "node=\"3\"");
+  const std::string text = os.str();
+  ASSERT_TRUE(procap::obs::json::valid(text)) << text;
+  const auto doc = procap::obs::json::parse(text);
+  const auto* series = doc.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array.size(), 1u);
+  EXPECT_EQ(series->array[0].string_or("name", ""), "ts_test.wj.keep");
+  EXPECT_EQ(series->array[0].string_or("labels", ""), "node=\"3\"");
 }
 
 TEST_F(TimeSeriesStoreTest, SamplerGatesOnInterval) {

@@ -70,6 +70,8 @@ done
 if [[ " ${presets[*]} " == *" asan "* ]]; then
   run_step "chaos gate under asan (ctest --preset chaos-asan)" \
     ctest --preset chaos-asan -j "${jobs}"
+  run_step "obs gate under asan (ctest --preset obs-asan)" \
+    ctest --preset obs-asan -j "${jobs}"
 fi
 
 # --- perf-labelled gates (timing sensitive: no -j) ------------------------
@@ -94,6 +96,8 @@ if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
         --bench-json "${out}/BENCH_abl_job_variability.json" &&
       ./build/bench/cluster_churn --short --threads 8 \
         --bench-json "${out}/BENCH_cluster_churn.json" &&
+      ./build/bench/obs_load --short \
+        --bench-json "${out}/BENCH_obs_load.json" &&
       python3 tools/check_bench.py "${out}" bench/baselines \
         --max-regression 15
   }

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the cluster telemetry plane.
+
+Launches `cluster_sim --serve-obs 0` (ephemeral port), waits for the
+server banner, then validates the cluster roll-up endpoints while the
+sim is still running:
+
+  * /cluster.json       — valid JSON; the conservation invariant holds
+                          in the served document: sum of per-node caps
+                          equals the granted.sum roll-up and stays
+                          within the global budget
+  * /cluster.json?topk=K — exactly K nodes, sorted by deficit descending
+  * /timeseries.json?node=N — only node="N" labeled series
+  * /metrics            — well-formed exposition with cluster series
+  * /healthz            — valid JSON, zero invariant violations
+  * procap_top --once   — renders a frame with the cluster pane
+
+Usage: cluster_live_smoke.py CLUSTER_SIM_BIN PROCAP_TOP_BIN
+"""
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+BANNER = re.compile(r"obs: serving http on 127\.0\.0\.1:(\d+)")
+
+
+def fail(proc, msg):
+    proc.terminate()
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(port, path, timeout=5):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    ) as resp:
+        return resp.status, resp.read().decode()
+
+
+def main():
+    cluster_sim, procap_top = sys.argv[1], sys.argv[2]
+    proc = subprocess.Popen(
+        [
+            cluster_sim,
+            "--nodes", "48",
+            "--epochs", "120",
+            "--threads", "2",
+            "--quiet",
+            "--serve-obs", "0",
+            "--pace", "20",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            m = BANNER.search(line)
+            if m:
+                port = int(m.group(1))
+                break
+        if port is None:
+            fail(proc, "server banner never appeared")
+        print(f"server on port {port}")
+
+        # Poll until a couple of epochs have been rolled up.
+        deadline = time.monotonic() + 20
+        cluster = None
+        while time.monotonic() < deadline:
+            status, body = get(port, "/cluster.json")
+            if status != 200:
+                fail(proc, f"/cluster.json -> {status}")
+            cluster = json.loads(body)
+            if cluster.get("epoch", 0) >= 2 and cluster.get("nodes"):
+                break
+            time.sleep(0.1)
+        if not cluster or not cluster.get("nodes"):
+            fail(proc, "cluster roll-up never populated")
+
+        # Conservation, as served: the sum of per-node grants must equal
+        # the cluster granted.sum series and respect the global budget.
+        cap_sum = sum(n["cap"] for n in cluster["nodes"])
+        granted = cluster["granted"]["sum"]
+        budget = cluster["budget"]
+        if abs(cap_sum - granted) > 1e-6 * max(1.0, abs(granted)):
+            fail(proc, f"cap sum {cap_sum} != granted.sum {granted}")
+        if cap_sum > budget * (1 + 1e-9):
+            fail(proc, f"granted {cap_sum} exceeds budget {budget}")
+        if len(cluster["nodes"]) != 48:
+            fail(proc, f"expected 48 nodes, got {len(cluster['nodes'])}")
+        if cluster["alive"] + cluster["suspect"] + cluster["dead"] != 48:
+            fail(proc, f"liveness counts do not add up: {cluster}")
+        print(f"cluster.json: epoch {cluster['epoch']}, "
+              f"granted {granted:.0f} W of {budget:.0f} W — conserved")
+
+        # Top-k drill-down: k rows, sorted by deficit descending.
+        status, body = get(port, "/cluster.json?topk=8")
+        if status != 200:
+            fail(proc, f"/cluster.json?topk=8 -> {status}")
+        top = json.loads(body)
+        deficits = [n["deficit"] for n in top["nodes"]]
+        if len(deficits) != 8:
+            fail(proc, f"topk=8 returned {len(deficits)} nodes")
+        if deficits != sorted(deficits, reverse=True):
+            fail(proc, f"topk nodes not sorted by deficit: {deficits}")
+        print(f"cluster.json?topk=8: worst deficit {deficits[0]:.1f} W")
+
+        # Per-node drill-down on the retained time series.
+        status, body = get(port, "/timeseries.json?node=5")
+        if status != 200:
+            fail(proc, f"/timeseries.json?node=5 -> {status}")
+        ts = json.loads(body)
+        labels = {s["labels"] for s in ts["series"]}
+        if not ts["series"] or labels != {'node="5"'}:
+            fail(proc, f"node filter leaked other series: {sorted(labels)}")
+        status, body = get(port, "/timeseries.json?name=cluster.granted.sum")
+        names = {s["name"] for s in json.loads(body)["series"]}
+        if names != {"cluster.granted.sum"}:
+            fail(proc, f"name filter leaked other series: {sorted(names)}")
+        print(f"timeseries.json: node and name filters select exactly")
+
+        status, body = get(port, "/metrics")
+        if status != 200:
+            fail(proc, f"/metrics -> {status}")
+        metric_line = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.inf-]+$"
+        )
+        for line in body.splitlines():
+            if line and not line.startswith("#") and \
+                    not metric_line.match(line):
+                fail(proc, f"bad exposition line: {line!r}")
+        if "procap_cluster_granted_sum" not in body:
+            fail(proc, "procap_cluster_granted_sum missing from /metrics")
+        print(f"metrics: {len(body.splitlines())} exposition lines")
+
+        status, body = get(port, "/healthz")
+        if status != 200:
+            fail(proc, f"/healthz -> {status}")
+        health = json.loads(body)
+        if health.get("invariant_violations", -1) != 0:
+            fail(proc, f"/healthz reports violations: {health}")
+        print(f"healthz: epoch {health['epoch']}, all invariants hold")
+
+        top_run = subprocess.run(
+            [procap_top, "--port", str(port), "--once"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        if top_run.returncode != 0:
+            fail(proc, f"procap_top failed: {top_run.stderr}")
+        if "cluster" not in top_run.stdout:
+            fail(proc, f"procap_top cluster pane missing:\n{top_run.stdout}")
+        print("procap_top: rendered cluster pane")
+
+        if proc.wait(timeout=30) != 0:
+            fail(proc, f"cluster_sim exited {proc.returncode}")
+        print("PASS")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

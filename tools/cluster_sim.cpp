@@ -8,14 +8,21 @@
 // closing summary.  The trace hash is the determinism fingerprint: two
 // invocations with the same flags print the same final hash, whatever
 // --threads is.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "cluster/manager.hpp"
+#include "cluster/telemetry.hpp"
 #include "fault/plan.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -31,7 +38,12 @@ void usage(const char* argv0) {
       << "  --seed S        master seed (default 42)\n"
       << "  --threads N     worker threads (default: hardware)\n"
       << "  --plan FILE     fault plan with node episodes (chaos script)\n"
-      << "  --quiet         summary only, no per-epoch table\n";
+      << "  --quiet         summary only, no per-epoch table\n"
+      << "  --serve-obs P   serve live telemetry on 127.0.0.1:P (0 picks a\n"
+      << "                  port): /metrics, /cluster.json, /timeseries.json,\n"
+      << "                  /healthz\n"
+      << "  --pace X        run at X times real time while serving\n"
+      << "                  (default 1; 0 = free-run)\n";
 }
 
 }  // namespace
@@ -45,6 +57,8 @@ int main(int argc, char** argv) {
   unsigned epochs = 30;
   std::string plan_path;
   bool quiet = false;
+  int serve_port = -1;
+  double pace = 1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +89,10 @@ int main(int argc, char** argv) {
       plan_path = value("--plan");
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--serve-obs") {
+      serve_port = std::atoi(value("--serve-obs").c_str());
+    } else if (arg == "--pace") {
+      pace = std::atof(value("--pace").c_str());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -96,13 +114,85 @@ int main(int argc, char** argv) {
       config.plan = fault::FaultPlan::load(plan_path);
     }
     cluster::ClusterPowerManager manager(config);
+
+    // Live telemetry plane: per-epoch cluster roll-ups into the registry
+    // and a time-series store, served by the event-loop HTTP server.
+    // The sim thread runs epochs (optionally paced to wall time); the
+    // serve thread answers scrapers.
+    obs::TimeSeriesStore ts_store(obs::Registry::global());
+    cluster::ClusterTelemetry telemetry(obs::Registry::global());
+    obs::HttpServer server;
+    if (serve_port >= 0) {
+      ts_store.set_meta("app", "cluster_sim");
+      ts_store.set_meta("strategy", config.strategy);
+      server.handle("/metrics", [](const std::string&) {
+        std::ostringstream os;
+        obs::Registry::global().write_prometheus(os);
+        return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
+      });
+      server.handle("/cluster.json", [&telemetry](const std::string& query) {
+        const auto params = obs::parse_query(query);
+        std::size_t topk = 0;
+        if (const auto it = params.find("topk"); it != params.end()) {
+          topk = static_cast<std::size_t>(std::atol(it->second.c_str()));
+        }
+        std::ostringstream os;
+        telemetry.write_cluster_json(os, topk);
+        return obs::HttpResponse{200, "application/json", os.str()};
+      });
+      server.handle("/timeseries.json", [&ts_store](const std::string& query) {
+        const auto params = obs::parse_query(query);
+        Nanos since = 0;
+        std::string name_filter;
+        std::string labels_filter;
+        if (const auto it = params.find("since"); it != params.end()) {
+          since = to_nanos(std::atof(it->second.c_str()));
+        }
+        if (const auto it = params.find("name"); it != params.end()) {
+          name_filter = it->second;
+        }
+        if (const auto it = params.find("node"); it != params.end()) {
+          labels_filter = "node=\"" + it->second + "\"";
+        }
+        std::ostringstream os;
+        ts_store.write_json(os, since, name_filter, labels_filter);
+        return obs::HttpResponse{200, "application/json", os.str()};
+      });
+      server.handle("/healthz", [&telemetry](const std::string&) {
+        const cluster::ClusterSnapshot snap = telemetry.snapshot();
+        std::ostringstream os;
+        os << "{\"app\":\"cluster_sim\",\"epoch\":" << snap.epoch
+           << ",\"alive\":" << snap.alive << ",\"suspect\":" << snap.suspect
+           << ",\"dead\":" << snap.dead << ",\"held\":"
+           << (snap.held ? "true" : "false") << ",\"invariant_violations\":"
+           << snap.invariant_violations << "}";
+        return obs::HttpResponse{200, "application/json", os.str()};
+      });
+      if (!server.start("127.0.0.1",
+                        static_cast<std::uint16_t>(serve_port))) {
+        std::cerr << "cannot bind 127.0.0.1:" << serve_port << "\n";
+        return 1;
+      }
+      std::cout << "obs: serving http on 127.0.0.1:" << server.port()
+                << std::endl;
+    }
+
     std::cout << "cluster: " << config.nodes << " nodes, "
               << num(config.global_budget, 0) << " W budget, strategy "
               << config.strategy << ", seed " << config.seed << "\n\n";
+    const Nanos epoch_sim = config.tick * config.ticks_per_epoch;
     TablePrinter table({"epoch", "t (s)", "assigned W", "reclaimed W",
                         "alive", "susp", "dead", "jobs", "held"});
     for (unsigned e = 0; e < epochs; ++e) {
       const cluster::EpochRecord& rec = manager.run_epoch();
+      if (serve_port >= 0) {
+        telemetry.update(manager);
+        ts_store.sample(manager.now());
+        if (pace > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              to_seconds(epoch_sim) / pace));
+        }
+      }
       if (!quiet) {
         table.add_row({std::to_string(rec.epoch), num(to_seconds(rec.t), 1),
                        num(rec.assigned, 0), num(rec.reclaimed, 0),
@@ -114,6 +204,13 @@ int main(int argc, char** argv) {
     }
     if (!quiet) {
       table.print(std::cout);
+    }
+    server.stop();
+    if (serve_port >= 0) {
+      std::cout << "obs: served " << server.requests_served()
+                << " http requests over " << server.connections_accepted()
+                << " connections, retained " << ts_store.series_count()
+                << " series (" << ts_store.samples_taken() << " samples)\n";
     }
     std::cout << "\nsummary: " << manager.deaths() << " deaths, "
               << manager.rejoins() << " rejoins, " << manager.holds()

@@ -289,9 +289,24 @@ int main(int argc, char** argv) {
       obs::Registry::global().write_prometheus(os);
       return obs::HttpResponse{200, "text/plain; version=0.0.4", os.str()};
     });
-    server.handle("/timeseries.json", [&ts_store](const std::string&) {
+    // Query drill-down: ?since=SECONDS&name=METRIC&node=ID (node expands
+    // to the labels filter node="ID" on the cluster per-node series).
+    server.handle("/timeseries.json", [&ts_store](const std::string& query) {
+      const auto params = obs::parse_query(query);
+      Nanos since = 0;
+      std::string name_filter;
+      std::string labels_filter;
+      if (const auto it = params.find("since"); it != params.end()) {
+        since = to_nanos(std::atof(it->second.c_str()));
+      }
+      if (const auto it = params.find("name"); it != params.end()) {
+        name_filter = it->second;
+      }
+      if (const auto it = params.find("node"); it != params.end()) {
+        labels_filter = "node=\"" + it->second + "\"";
+      }
       std::ostringstream os;
-      ts_store.write_json(os);
+      ts_store.write_json(os, since, name_filter, labels_filter);
       return obs::HttpResponse{200, "application/json", os.str()};
     });
     server.handle("/alerts.json", [&alert_engine](const std::string&) {

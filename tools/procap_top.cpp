@@ -1,18 +1,24 @@
-// procap_top — live terminal dashboard for a serving power_policy run.
+// procap_top — live terminal dashboard for a serving telemetry plane.
 //
-// Attach to a `power_policy --serve-obs PORT` process and watch the run
-// as it happens: cap and measured power, per-app progress rate and
-// signal health, daemon activity, sparkline history from the retained
-// time-series, and the alert table with firing/pending states.
+// Attach to a `power_policy --serve-obs PORT` (single node) or
+// `cluster_sim --serve-obs PORT` (cluster) process and watch the run as
+// it happens: cap and measured power, per-app progress rate and signal
+// health, daemon activity, sparkline history from the retained
+// time-series, the alert table with firing/pending states, and — when
+// the server exposes /cluster.json — a cluster pane with the budget
+// roll-up and the top-k nodes by deficit.
 //
 // Usage:
 //   procap_top --port 9464 [--host 127.0.0.1] [--interval MS]
-//              [--frames N] [--once]
+//              [--frames N] [--once] [--reconnect-s S] [--topk K]
 //
 // --once renders a single frame without ANSI cursor control (useful in
 // pipes and the smoke test); otherwise the screen redraws every
 // --interval milliseconds until the server goes away or --frames runs
-// out.
+// out.  When the server drops mid-watch (rollout, restart), procap_top
+// retries with decorrelated-jitter backoff for --reconnect-s seconds
+// before giving up — the same backoff the msgbus subscribers use, so a
+// herd of dashboards does not hammer a restarting server in lockstep.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -22,8 +28,11 @@
 #include <thread>
 #include <vector>
 
+#include "msgbus/uds.hpp"
 #include "obs/http.hpp"
 #include "obs/json.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace {
 
@@ -37,11 +46,14 @@ struct Options {
   int interval_ms = 1000;
   int frames = 0;  // 0 = until the server disappears
   bool once = false;
+  double reconnect_s = 10.0;  // retry window after the server drops
+  int topk = 8;               // cluster pane rows
 };
 
 void usage() {
   std::cerr << "usage: procap_top --port PORT [--host HOST] "
-               "[--interval MS] [--frames N] [--once]\n";
+               "[--interval MS] [--frames N] [--once] "
+               "[--reconnect-s S] [--topk K]\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -61,6 +73,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.frames = std::atoi(value);
     } else if (arg == "--once") {
       opt.once = true;
+    } else if (arg == "--reconnect-s" && (value = next())) {
+      opt.reconnect_s = std::atof(value);
+    } else if (arg == "--topk" && (value = next())) {
+      opt.topk = std::atoi(value);
     } else {
       usage();
       return false;
@@ -125,7 +141,11 @@ struct Series {
 struct Frame {
   std::vector<Series> series;
   json::Value alerts;
+  bool has_alerts = false;
   json::Value health;
+  bool has_health = false;
+  json::Value cluster;
+  bool has_cluster = false;
   std::string meta_app;
   std::string meta_scheme;
   double now_s = 0.0;
@@ -139,7 +159,10 @@ std::optional<Frame> fetch(const Options& opt) {
                                "/alerts.json");
   const auto health = http_get(opt.host, static_cast<std::uint16_t>(opt.port),
                                "/healthz");
-  if (!ts || ts->status != 200 || !alerts || !health) {
+  const auto cluster =
+      http_get(opt.host, static_cast<std::uint16_t>(opt.port),
+               "/cluster.json?topk=" + std::to_string(opt.topk));
+  if (!ts || ts->status != 200) {
     return std::nullopt;
   }
   Frame frame;
@@ -166,8 +189,21 @@ std::optional<Frame> fetch(const Options& opt) {
         frame.series.push_back(std::move(out));
       }
     }
-    frame.alerts = json::parse(alerts->body);
-    frame.health = json::parse(health->body);
+    // The sidecar endpoints are optional: power_policy serves alerts
+    // and health, cluster_sim serves cluster and health.  A pane simply
+    // drops out when its endpoint answers 404.
+    if (alerts && alerts->status == 200) {
+      frame.alerts = json::parse(alerts->body);
+      frame.has_alerts = true;
+    }
+    if (health && health->status == 200) {
+      frame.health = json::parse(health->body);
+      frame.has_health = true;
+    }
+    if (cluster && cluster->status == 200) {
+      frame.cluster = json::parse(cluster->body);
+      frame.has_cluster = true;
+    }
   } catch (const std::exception&) {
     return std::nullopt;
   }
@@ -209,29 +245,95 @@ void render(const Frame& frame, bool ansi) {
     }
   }
 
-  out << "\nsignal: " << frame.health.string_or("grade", "?") << "  samples="
-      << fixed(frame.health.number_or("samples", 0.0), 0) << "  missing="
-      << fixed(frame.health.number_or("missing", 0.0), 0) << "  staleness="
-      << fixed(frame.health.number_or("staleness_s", 0.0), 2) << "s\n";
+  if (frame.has_cluster) {
+    const json::Value& c = frame.cluster;
+    double granted = 0.0, power = 0.0;
+    if (const json::Value* roll = c.find("granted")) {
+      granted = roll->number_or("sum", 0.0);
+    }
+    if (const json::Value* roll = c.find("power")) {
+      power = roll->number_or("sum", 0.0);
+    }
+    out << "\ncluster: epoch " << fixed(c.number_or("epoch", 0.0), 0)
+        << "  granted " << fixed(granted, 0) << "/"
+        << fixed(c.number_or("budget", 0.0), 0) << " W  power "
+        << fixed(power, 0) << " W  alive "
+        << fixed(c.number_or("alive", 0.0), 0) << "  suspect "
+        << fixed(c.number_or("suspect", 0.0), 0) << "  dead "
+        << fixed(c.number_or("dead", 0.0), 0) << "  jobs "
+        << fixed(c.number_or("running_jobs", 0.0), 0)
+        << (c.find("held") != nullptr && c.find("held")->boolean ? "  HELD"
+                                                                 : "")
+        << "\n";
+    out << pad("node", 8) << pad("state", 10) << pad("cap W", 10)
+        << pad("power W", 10) << pad("deficit W", 12) << "rate/s\n";
+    if (const json::Value* nodes = c.find("nodes")) {
+      for (const json::Value& n : nodes->array) {
+        const std::string state = n.string_or("liveness", "?");
+        const char* color = state == "dead"      ? "\x1b[31m"
+                            : state == "suspect" ? "\x1b[33m"
+                                                 : "\x1b[32m";
+        out << pad(fixed(n.number_or("id", 0.0), 0), 8)
+            << (ansi ? color : "") << pad(state, 10)
+            << (ansi ? "\x1b[0m" : "")
+            << pad(fixed(n.number_or("cap", 0.0), 0), 10)
+            << pad(fixed(n.number_or("power", 0.0), 0), 10)
+            << pad(fixed(n.number_or("deficit", 0.0), 1), 12)
+            << fixed(n.number_or("rate", 0.0), 2) << "\n";
+      }
+    }
+  }
 
-  out << "\nalerts (" << fixed(frame.alerts.number_or("rules", 0.0), 0)
-      << " rules, " << fixed(frame.alerts.number_or("transitions", 0.0), 0)
-      << " transitions)\n";
-  out << pad("rule", 20) << pad("state", 10) << pad("value", 12)
-      << "labels\n";
-  if (const json::Value* alerts = frame.alerts.find("alerts")) {
-    for (const json::Value& a : alerts->array) {
-      const std::string state = a.string_or("state", "?");
-      const char* color = state == "firing"    ? "\x1b[31m"
-                          : state == "pending" ? "\x1b[33m"
-                                               : "\x1b[32m";
-      out << pad(a.string_or("rule", "?"), 20) << (ansi ? color : "")
-          << pad(state, 10) << (ansi ? "\x1b[0m" : "")
-          << pad(fixed(a.number_or("value", 0.0)), 12)
-          << a.string_or("labels", "") << "\n";
+  if (frame.has_health) {
+    out << "\nsignal: " << frame.health.string_or("grade", "?")
+        << "  samples=" << fixed(frame.health.number_or("samples", 0.0), 0)
+        << "  missing=" << fixed(frame.health.number_or("missing", 0.0), 0)
+        << "  staleness="
+        << fixed(frame.health.number_or("staleness_s", 0.0), 2) << "s\n";
+  }
+
+  if (frame.has_alerts) {
+    out << "\nalerts (" << fixed(frame.alerts.number_or("rules", 0.0), 0)
+        << " rules, " << fixed(frame.alerts.number_or("transitions", 0.0), 0)
+        << " transitions)\n";
+    out << pad("rule", 20) << pad("state", 10) << pad("value", 12)
+        << "labels\n";
+    if (const json::Value* alerts = frame.alerts.find("alerts")) {
+      for (const json::Value& a : alerts->array) {
+        const std::string state = a.string_or("state", "?");
+        const char* color = state == "firing"    ? "\x1b[31m"
+                            : state == "pending" ? "\x1b[33m"
+                                                 : "\x1b[32m";
+        out << pad(a.string_or("rule", "?"), 20) << (ansi ? color : "")
+            << pad(state, 10) << (ansi ? "\x1b[0m" : "")
+            << pad(fixed(a.number_or("value", 0.0)), 12)
+            << a.string_or("labels", "") << "\n";
+      }
     }
   }
   std::cout << out.str() << std::flush;
+}
+
+/// Retry fetch() with decorrelated-jitter backoff (the msgbus
+/// subscriber's reconnect discipline) for up to reconnect_s seconds.
+std::optional<Frame> refetch_with_backoff(const Options& opt) {
+  using procap::Nanos;
+  procap::msgbus::UdsSubscriberOptions backoff;
+  procap::Rng rng(0x9e3779b97f4a7c15ull ^
+                  static_cast<std::uint64_t>(opt.port));
+  Nanos sleep_ns = backoff.backoff_initial;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opt.reconnect_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+    if (auto frame = fetch(opt)) {
+      return frame;
+    }
+    sleep_ns = procap::msgbus::decorrelated_backoff(sleep_ns, rng, backoff);
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -243,16 +345,24 @@ int main(int argc, char** argv) {
   }
   int rendered = 0;
   for (;;) {
-    const auto frame = fetch(opt);
+    auto frame = fetch(opt);
     if (!frame) {
       if (rendered == 0) {
         std::cerr << "procap_top: no server at " << opt.host << ":"
                   << opt.port << "\n";
         return 1;
       }
-      std::cout << "\nprocap_top: server went away after " << rendered
-                << " frames\n";
-      return 0;
+      // Server dropped mid-watch: a restart looks exactly like this.
+      // Back off and retry before declaring the run over.
+      std::cout << "\nprocap_top: server dropped, reconnecting (up to "
+                << opt.reconnect_s << "s)...\n";
+      frame = refetch_with_backoff(opt);
+      if (!frame) {
+        std::cout << "procap_top: server went away after " << rendered
+                  << " frames\n";
+        return 0;
+      }
+      std::cout << "procap_top: reconnected\n";
     }
     render(*frame, !opt.once);
     ++rendered;
