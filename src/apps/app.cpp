@@ -31,7 +31,7 @@ SimApp::SimApp(hw::Package& package, msgbus::Broker& broker, WorkloadSpec spec,
   begin_iteration();
 }
 
-hw::Core& SimApp::worker_core(unsigned w) {
+hw::CoreHandle SimApp::worker_core(unsigned w) {
   return package_->core(cores_.first + w);
 }
 
@@ -52,19 +52,40 @@ void SimApp::begin_iteration() {
     factor = std::clamp(1.0 + noise_state_, 0.3, 2.0);
   }
   const double chunks = static_cast<double>(std::max(ph.interleave, 1U));
-  for (unsigned w = 0; w < cores_.count; ++w) {
-    const double scale =
-        factor * (worker_scale_ ? worker_scale_(w) : 1.0) / chunks;
-    hw::Core& core = worker_core(w);
-    workers_[w] = WorkerState::kRunning;
-    core.set_spin(false);
+  if (!worker_scale_) {
+    // Uniform workers: push shared segments to the whole range at once.
+    // The cores stay in (or merge back into) a single cohort, so the
+    // hardware simulates the barrier group once instead of per worker.
+    std::fill(workers_.begin(), workers_.end(), WorkerState::kRunning);
+    hw::CoreArray& cores = package_->cores();
+    const double scale = factor / chunks;
+    cores.set_spin_group(cores_.first, cores_.count, false);
     for (unsigned chunk = 0; chunk < std::max(ph.interleave, 1U); ++chunk) {
       if (ph.cycles > 0.0 || ph.compute_instr > 0.0) {
-        core.push_compute(ph.cycles * scale, ph.compute_instr * scale);
+        cores.push_compute_group(cores_.first, cores_.count,
+                                 ph.cycles * scale, ph.compute_instr * scale);
       }
       if (ph.mem_stall > 0.0 || ph.bytes > 0.0) {
-        core.push_memory(ph.mem_stall * scale, ph.bytes * scale,
-                         ph.memory_instr * scale);
+        cores.push_memory_group(cores_.first, cores_.count,
+                                ph.mem_stall * scale, ph.bytes * scale,
+                                ph.memory_instr * scale);
+      }
+    }
+  } else {
+    for (unsigned w = 0; w < cores_.count; ++w) {
+      const double scale = factor * worker_scale_(w) / chunks;
+      hw::CoreHandle core = worker_core(w);
+      workers_[w] = WorkerState::kRunning;
+      core.set_spin(false);
+      for (unsigned chunk = 0; chunk < std::max(ph.interleave, 1U);
+           ++chunk) {
+        if (ph.cycles > 0.0 || ph.compute_instr > 0.0) {
+          core.push_compute(ph.cycles * scale, ph.compute_instr * scale);
+        }
+        if (ph.mem_stall > 0.0 || ph.bytes > 0.0) {
+          core.push_memory(ph.mem_stall * scale, ph.bytes * scale,
+                           ph.memory_instr * scale);
+        }
       }
     }
   }
@@ -116,9 +137,10 @@ void SimApp::advance_phase(Nanos now) {
   if (stop_requested_ || phase_ >= spec_.phases.size()) {
     phase_ = spec_.phases.size();
     done_ = true;
-    for (unsigned w = 0; w < cores_.count; ++w) {
-      workers_[w] = WorkerState::kDone;
-      worker_core(w).set_spin(false);
+    std::fill(workers_.begin(), workers_.end(), WorkerState::kDone);
+    package_->cores().set_spin_group(cores_.first, cores_.count, false);
+    if (on_done_) {
+      on_done_();
     }
     return;
   }

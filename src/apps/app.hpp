@@ -48,6 +48,11 @@ class SimApp {
   /// Must be set before the affected iterations begin.
   void set_worker_scale(std::function<double(unsigned worker)> scale);
 
+  /// Invoked once when the app finishes (all phases done or stop() took
+  /// effect).  Lets a driving engine stop as soon as the workload ends
+  /// instead of polling done() every tick.
+  void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
+
   /// Request a stop at the next iteration boundary.
   void stop() { stop_requested_ = true; }
 
@@ -77,7 +82,7 @@ class SimApp {
   void advance_phase(Nanos now);
 
   /// Core behind local worker index `w`.
-  [[nodiscard]] hw::Core& worker_core(unsigned w);
+  [[nodiscard]] hw::CoreHandle worker_core(unsigned w);
 
   hw::Package* package_;
   CoreRange cores_;
@@ -85,6 +90,7 @@ class SimApp {
   Rng rng_;
   std::unique_ptr<progress::Reporter> reporter_;
   std::function<double(unsigned)> worker_scale_;
+  std::function<void()> on_done_;
 
   std::size_t phase_ = 0;
   long phase_iterations_ = 0;  ///< completed in the current phase

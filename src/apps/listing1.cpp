@@ -42,7 +42,7 @@ void Listing1App::begin_iteration() {
             ? 1.0
             : static_cast<double>(r + 1) / size;
     const Seconds sleep_time = share * base_sleep_;
-    hw::Core& core = package_->core(r);
+    hw::CoreHandle core = package_->core(r);
     ranks_[r] = RankState::kRunning;
     core.set_spin(false);
     core.push_sleep(sleep_time, sleep_mips_ * 1e6 * sleep_time);
@@ -68,6 +68,9 @@ void Listing1App::on_core_idle(unsigned core, Nanos /*now*/) {
     for (unsigned r = 0; r < ranks_.size(); ++r) {
       ranks_[r] = RankState::kDone;
       package_->core(r).set_spin(false);
+    }
+    if (on_done_) {
+      on_done_();
     }
     return;
   }

@@ -14,6 +14,7 @@
 // rank spends inside sleep().
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -44,6 +45,10 @@ class Listing1App {
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] long iterations_completed() const { return iterations_done_; }
 
+  /// Invoked once when the last iteration completes; lets a driving
+  /// engine stop at the completion event instead of polling done().
+  void set_on_done(std::function<void()> cb) { on_done_ = std::move(cb); }
+
   /// Work units (rank-microseconds of sleep) per iteration — the paper's
   /// "Definition 2" numerator.
   [[nodiscard]] double work_units_per_iteration() const;
@@ -64,6 +69,7 @@ class Listing1App {
   Seconds base_sleep_;
   double sleep_mips_;
   std::unique_ptr<progress::Reporter> reporter_;
+  std::function<void()> on_done_;
 
   std::vector<RankState> ranks_;
   unsigned arrived_ = 0;

@@ -90,6 +90,9 @@ RunTraces run_under_schedule(const apps::AppModel& app,
     options.on_setup(live);
   }
 
+  // Under span batching run_until only re-checks its predicate at span
+  // boundaries; the stop request ends the run at the completion event.
+  sim_app.set_on_done([&rig] { rig.engine().request_stop(); });
   rig.engine().run_until([&] { return sim_app.done(); },
                          to_nanos(options.duration));
   monitor.poll();  // flush the final windows

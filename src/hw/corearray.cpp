@@ -1,0 +1,598 @@
+#include "hw/corearray.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::hw {
+
+namespace {
+// Reference-clock rate in cycles per nanosecond (100 MHz, matching the
+// per-tick model in core.cpp).
+constexpr double kRefPerNs = 0.1;
+}  // namespace
+
+CoreArray::CoreArray(unsigned count, const CpuSpec& spec)
+    : spec_(&spec), dt_ns_(1e6) {
+  per_core_.resize(count);
+  callbacks_.resize(count);
+  Cohort all;
+  all.members.resize(count);
+  for (unsigned i = 0; i < count; ++i) {
+    all.members[i] = i;
+    per_core_[i].cohort = 0;
+  }
+  cohorts_.push_back(std::move(all));
+  rerate(cohorts_[0]);
+}
+
+// -- Stretch folding and rating ----------------------------------------
+
+void CoreArray::fold_stretch(Cohort& c, double t) {
+  const double span = t - c.t0;
+  if (span > 0.0) {
+    switch (c.mode) {
+      case kRun:
+        c.d_instr += c.r_instr * span;
+        c.d_cycles += c.r_cycles * span;
+        c.d_l3 += c.r_l3 * span;
+        c.consumed0 += c.rate * span;
+        break;
+      case kSpin:
+        c.d_instr += c.r_instr * span;
+        c.d_cycles += c.r_cycles * span;
+        break;
+      case kIdle:
+        break;
+    }
+  }
+  c.t0 = t;
+}
+
+void CoreArray::rerate(Cohort& c) {
+  const CpuSpec& s = *spec_;
+  const double f = op_.f;
+  const double duty = op_.duty;
+  c.r_instr = c.r_cycles = c.r_l3 = c.r_bytes = 0.0;
+  c.rate = 0.0;
+  c.t_fin = kNever;
+  switch (c.mode) {
+    case kRun:
+      switch (c.seg.kind) {
+        case kCompute:
+          // f * duty cycles per wall second == f * duty * 1e-9 per ns.
+          c.rate = f * duty * 1e-9;
+          c.r_cycles = c.rate;
+          c.r_instr = c.rate * (c.seg.instructions / c.seg.amount);
+          c.weight = duty * s.compute_activity + (1.0 - duty) * s.gated_activity;
+          break;
+        case kMemory: {
+          const double issue = duty * op_.mem_throttle;
+          c.rate = issue * 1e-9;  // stall-seconds per ns
+          c.r_cycles = c.rate * f;  // cycles tick while stalled
+          c.r_instr = c.rate * (c.seg.instructions / c.seg.amount);
+          c.r_bytes = c.rate * (c.seg.bytes / c.seg.amount);
+          c.r_l3 = c.r_bytes / 64.0;
+          c.weight =
+              issue * s.stall_activity + (1.0 - issue) * s.gated_activity;
+          break;
+        }
+        case kSleep:
+          c.rate = 1e-9;  // wall seconds per ns, f/duty-independent
+          c.r_instr = c.rate * (c.seg.instructions / c.seg.amount);
+          c.weight = s.sleep_activity;
+          break;
+      }
+      c.t_fin = c.t0 + (c.seg.amount - c.consumed0) / c.rate;
+      c.next_poke = kNever;
+      break;
+    case kSpin:
+      c.r_cycles = f * duty * 1e-9;
+      c.r_instr = s.spin_ipc * f * duty * 1e-9;
+      c.weight = duty * s.spin_activity + (1.0 - duty) * s.gated_activity;
+      c.next_poke = kNever;
+      break;
+    case kIdle:
+      c.weight = s.idle_activity;
+      // A halted core with an idle callback is re-polled at the next
+      // tick boundary, matching the per-tick model's one callback per
+      // tick for an empty queue.
+      c.next_poke =
+          cohort_has_cb(c)
+              ? (std::floor(c.t0 / dt_ns_) + 1.0) * dt_ns_
+              : kNever;
+      break;
+  }
+  dirty_ = true;
+}
+
+bool CoreArray::cohort_has_cb(const Cohort& c) const {
+  for (unsigned m : c.members) {
+    if (per_core_[m].has_cb) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CoreArray::mark_unsettled(Cohort& c) {
+  c.unsettled = true;
+  settle_pending_ = true;
+}
+
+// -- Cohort restructuring ----------------------------------------------
+
+unsigned CoreArray::alloc_cohort(const Cohort& proto) {
+  if (!free_.empty()) {
+    const unsigned idx = free_.back();
+    free_.pop_back();
+    cohorts_[idx] = proto;
+    return idx;
+  }
+  cohorts_.push_back(proto);
+  return static_cast<unsigned>(cohorts_.size() - 1);
+}
+
+void CoreArray::free_cohort(unsigned idx) {
+  Cohort& c = cohorts_[idx];
+  c.members.clear();
+  c.queue.clear();
+  c.mode = kIdle;
+  c.unsettled = false;
+  c.t_fin = kNever;
+  c.next_poke = kNever;
+  free_.push_back(idx);
+}
+
+CoreArray::Cohort& CoreArray::split(unsigned core) {
+  const unsigned ci = per_core_[core].cohort;
+  if (cohorts_[ci].members.size() == 1) {
+    return cohorts_[ci];
+  }
+  // Verbatim state copy: no floating-point operations, so a split can
+  // never make the two halves diverge from the unsplit evolution.
+  Cohort proto = cohorts_[ci];
+  proto.members.assign(1, core);
+  const unsigned ni = alloc_cohort(proto);
+  Cohort& old = cohorts_[ci];
+  old.members.erase(std::find(old.members.begin(), old.members.end(), core));
+  per_core_[core].cohort = ni;
+  maybe_merge_ = true;
+  return cohorts_[ni];
+}
+
+CoreArray::Cohort& CoreArray::split_range(unsigned ci, unsigned first,
+                                          unsigned count) {
+  Cohort& c = cohorts_[ci];
+  const unsigned last = first + count;
+  bool all_in = true;
+  for (unsigned m : c.members) {
+    if (m < first || m >= last) {
+      all_in = false;
+      break;
+    }
+  }
+  if (all_in) {
+    return c;
+  }
+  Cohort proto = cohorts_[ci];
+  proto.members.clear();
+  for (unsigned m : cohorts_[ci].members) {
+    if (m >= first && m < last) {
+      proto.members.push_back(m);
+    }
+  }
+  const unsigned ni = alloc_cohort(proto);
+  Cohort& old = cohorts_[ci];
+  old.members.erase(std::remove_if(old.members.begin(), old.members.end(),
+                                   [&](unsigned m) {
+                                     return m >= first && m < last;
+                                   }),
+                    old.members.end());
+  for (unsigned m : cohorts_[ni].members) {
+    per_core_[m].cohort = ni;
+  }
+  maybe_merge_ = true;
+  return cohorts_[ni];
+}
+
+void CoreArray::merge_pass() {
+  if (!maybe_merge_) {
+    return;
+  }
+  maybe_merge_ = false;
+  for (unsigned i = 0; i < cohorts_.size(); ++i) {
+    Cohort& a = cohorts_[i];
+    if (a.members.empty() || a.unsettled) {
+      continue;
+    }
+    for (unsigned j = i + 1; j < cohorts_.size(); ++j) {
+      Cohort& b = cohorts_[j];
+      if (b.members.empty() || b.unsettled || !mergeable(a, b)) {
+        continue;
+      }
+      // Folding the deltas into the bases is itself a fold point; it
+      // happens at identical times in batched and per-tick mode because
+      // the merge condition is a pure function of deterministic state.
+      for (Cohort* c : {&a, &b}) {
+        for (unsigned m : c->members) {
+          PerCore& p = per_core_[m];
+          p.b_instr += c->d_instr;
+          p.b_cycles += c->d_cycles;
+          p.b_l3 += c->d_l3;
+        }
+        c->d_instr = c->d_cycles = c->d_l3 = 0.0;
+      }
+      for (unsigned m : b.members) {
+        per_core_[m].cohort = i;
+        a.members.push_back(m);
+      }
+      std::sort(a.members.begin(), a.members.end());
+      free_cohort(j);
+    }
+  }
+}
+
+bool CoreArray::mergeable(const Cohort& a, const Cohort& b) const {
+  if (a.mode != b.mode || a.queue.size() != b.queue.size()) {
+    return false;
+  }
+  const bool spin_a = per_core_[a.members.front()].spin;
+  for (unsigned m : a.members) {
+    if (per_core_[m].spin != spin_a) {
+      return false;
+    }
+  }
+  for (unsigned m : b.members) {
+    if (per_core_[m].spin != spin_a) {
+      return false;
+    }
+  }
+  if (a.mode == kRun &&
+      (!(a.seg == b.seg) || a.t0 != b.t0 || a.consumed0 != b.consumed0 ||
+       a.rate != b.rate || a.t_fin != b.t_fin)) {
+    return false;
+  }
+  if (a.mode != kRun && (a.t0 != b.t0 || a.next_poke != b.next_poke)) {
+    return false;
+  }
+  return std::equal(a.queue.begin(), a.queue.end(), b.queue.begin());
+}
+
+// -- Workload-facing API -----------------------------------------------
+
+void CoreArray::set_idle_callback(unsigned core, IdleCallback cb) {
+  per_core_[core].has_cb = static_cast<bool>(cb);
+  callbacks_[core] = std::move(cb);
+  Cohort& c = cohorts_[per_core_[core].cohort];
+  if (c.mode != kRun && c.queue.empty() && per_core_[core].has_cb) {
+    // A drained core with a fresh callback is polled at the next settle,
+    // not the next tick: the per-tick model invoked idle callbacks within
+    // the installing tick, so work pushed by the callback starts now.
+    mark_unsettled(c);
+  }
+}
+
+void CoreArray::book_immediate(unsigned core, Kind kind, double bytes,
+                               double instructions) {
+  PerCore& p = per_core_[core];
+  p.b_instr += instructions;
+  if (kind == kMemory) {
+    p.b_l3 += bytes / 64.0;
+  }
+}
+
+void CoreArray::enqueue(Cohort& c, Kind kind, double amount, double bytes,
+                        double instructions) {
+  c.queue.push_back(Seg{kind, amount, bytes, instructions});
+  if (c.mode != kRun) {
+    mark_unsettled(c);
+  }
+  maybe_merge_ = true;
+}
+
+void CoreArray::push_compute(unsigned core, double cycles,
+                             double instructions) {
+  if (cycles < 0.0 || instructions < 0.0) {
+    throw std::invalid_argument("CoreArray::push_compute: negative amount");
+  }
+  if (cycles == 0.0) {
+    book_immediate(core, kCompute, 0.0, instructions);
+    return;
+  }
+  enqueue(split(core), kCompute, cycles, 0.0, instructions);
+}
+
+void CoreArray::push_memory(unsigned core, Seconds stall, double bytes,
+                            double instructions) {
+  if (stall < 0.0 || bytes < 0.0 || instructions < 0.0) {
+    throw std::invalid_argument("CoreArray::push_memory: negative amount");
+  }
+  if (stall == 0.0) {
+    book_immediate(core, kMemory, bytes, instructions);
+    return;
+  }
+  enqueue(split(core), kMemory, stall, bytes, instructions);
+}
+
+void CoreArray::push_sleep(unsigned core, Seconds duration,
+                           double instructions) {
+  if (duration < 0.0) {
+    throw std::invalid_argument("CoreArray::push_sleep: negative duration");
+  }
+  if (duration == 0.0) {
+    return;
+  }
+  enqueue(split(core), kSleep, duration, 0.0, instructions);
+}
+
+void CoreArray::push_compute_group(unsigned first, unsigned count,
+                                   double cycles, double instructions) {
+  if (cycles < 0.0 || instructions < 0.0) {
+    throw std::invalid_argument("CoreArray::push_compute: negative amount");
+  }
+  if (cycles == 0.0) {
+    for (unsigned i = first; i < first + count; ++i) {
+      book_immediate(i, kCompute, 0.0, instructions);
+    }
+    return;
+  }
+  for_each_cohort_in(first, count, [&](Cohort& c) {
+    enqueue(c, kCompute, cycles, 0.0, instructions);
+  });
+}
+
+void CoreArray::push_memory_group(unsigned first, unsigned count,
+                                  Seconds stall, double bytes,
+                                  double instructions) {
+  if (stall < 0.0 || bytes < 0.0 || instructions < 0.0) {
+    throw std::invalid_argument("CoreArray::push_memory: negative amount");
+  }
+  if (stall == 0.0) {
+    for (unsigned i = first; i < first + count; ++i) {
+      book_immediate(i, kMemory, bytes, instructions);
+    }
+    return;
+  }
+  for_each_cohort_in(first, count, [&](Cohort& c) {
+    enqueue(c, kMemory, stall, bytes, instructions);
+  });
+}
+
+void CoreArray::push_sleep_group(unsigned first, unsigned count,
+                                 Seconds duration, double instructions) {
+  if (duration < 0.0) {
+    throw std::invalid_argument("CoreArray::push_sleep: negative duration");
+  }
+  if (duration == 0.0) {
+    return;
+  }
+  for_each_cohort_in(first, count, [&](Cohort& c) {
+    enqueue(c, kSleep, duration, 0.0, instructions);
+  });
+}
+
+void CoreArray::set_spin(unsigned core, bool spin) {
+  PerCore& p = per_core_[core];
+  if (p.spin == spin) {
+    return;
+  }
+  p.spin = spin;
+  Cohort& c = cohorts_[p.cohort];
+  if (c.mode != kRun && c.queue.empty()) {
+    mark_unsettled(c);
+  }
+  maybe_merge_ = true;
+}
+
+void CoreArray::set_spin_group(unsigned first, unsigned count, bool spin) {
+  for (unsigned i = first; i < first + count; ++i) {
+    set_spin(i, spin);
+  }
+}
+
+bool CoreArray::queue_empty(unsigned core) const {
+  return cohorts_[per_core_[core].cohort].queue.empty();
+}
+
+// -- Counters ----------------------------------------------------------
+
+CoreCounters CoreArray::counters(unsigned core, double t) const {
+  const PerCore& p = per_core_[core];
+  const Cohort& c = cohorts_[p.cohort];
+  const double span = t - c.t0;
+  CoreCounters out;
+  out.instructions = p.b_instr + c.d_instr + c.r_instr * span;
+  out.core_cycles = p.b_cycles + c.d_cycles + c.r_cycles * span;
+  out.l3_misses = p.b_l3 + c.d_l3 + c.r_l3 * span;
+  out.ref_cycles = p.ref_base + kRefPerNs * (t - p.ref_t0);
+  return out;
+}
+
+void CoreArray::reset_counters(unsigned core, double t) {
+  PerCore& p = per_core_[core];
+  const Cohort& c = cohorts_[p.cohort];
+  const double span = t - c.t0;
+  p.b_instr = -(c.d_instr + c.r_instr * span);
+  p.b_cycles = -(c.d_cycles + c.r_cycles * span);
+  p.b_l3 = -(c.d_l3 + c.r_l3 * span);
+  p.ref_base = 0.0;
+  p.ref_t0 = t;
+}
+
+// -- Event loop --------------------------------------------------------
+
+void CoreArray::complete(Cohort& c, double t) {
+  // Book the exact remainder of the finished segment so segment totals
+  // are conserved regardless of how many folds happened along the way.
+  const double rem = c.seg.amount - c.consumed0;
+  c.d_instr += rem * (c.seg.instructions / c.seg.amount);
+  switch (c.seg.kind) {
+    case kCompute:
+      c.d_cycles += rem;
+      break;
+    case kMemory:
+      c.d_cycles += rem * op_.f;
+      c.d_l3 += rem * (c.seg.bytes / c.seg.amount) / 64.0;
+      break;
+    case kSleep:
+      break;
+  }
+  c.queue.pop_front();
+  // Zero-duration gap until settle starts the next stretch at the same
+  // time t: no integration happens in between.
+  c.mode = kIdle;
+  c.t0 = t;
+  c.consumed0 = 0.0;
+  c.rate = c.r_instr = c.r_cycles = c.r_l3 = c.r_bytes = 0.0;
+  c.t_fin = kNever;
+  c.next_poke = kNever;
+  c.weight = spec_->idle_activity;
+  dirty_ = true;
+  mark_unsettled(c);
+}
+
+void CoreArray::drain(unsigned ci, double t, Nanos tick_now) {
+  // Snapshot: callbacks may split this cohort or push work anywhere.
+  drain_scratch_.assign(cohorts_[ci].members.begin(),
+                        cohorts_[ci].members.end());
+  for (unsigned core : drain_scratch_) {
+    PerCore& p = per_core_[core];
+    if (!p.has_cb || !cohorts_[p.cohort].queue.empty()) {
+      continue;
+    }
+    if (p.cb_tick != tick_now) {
+      p.cb_tick = tick_now;
+      p.cb_count = 0;
+    }
+    if (p.cb_count >= Core::kMaxIdleCallbacksPerTick) {
+      continue;  // budget exhausted: halt until the next tick's poll
+    }
+    ++p.cb_count;
+    callbacks_[core](core, tick_now);
+  }
+  (void)t;
+}
+
+void CoreArray::settle(double t, Nanos tick_now) {
+  settle_pending_ = false;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (unsigned i = 0; i < cohorts_.size(); ++i) {
+      if (!cohorts_[i].unsettled || cohorts_[i].members.empty()) {
+        cohorts_[i].unsettled = false;
+        continue;
+      }
+      any = true;
+      cohorts_[i].unsettled = false;
+      if (!cohorts_[i].queue.empty()) {
+        // Work arrived (or a segment just completed with more queued):
+        // fold the old stretch and start the head segment.
+        Cohort& c = cohorts_[i];
+        fold_stretch(c, t);
+        c.mode = kRun;
+        c.seg = c.queue.front();
+        c.consumed0 = 0.0;
+        rerate(c);
+        continue;
+      }
+      // Drained: give each member's idle callback one chance to supply
+      // work, then spin or halt by its spin flag.
+      drain(i, t, tick_now);
+      Cohort& c = cohorts_[i];
+      if (!c.queue.empty() || c.members.empty()) {
+        if (!c.queue.empty()) {
+          mark_unsettled(c);
+        }
+        continue;
+      }
+      // Partition by spin bit if mixed (fold first so both halves carry
+      // identical stretch state).
+      fold_stretch(c, t);
+      bool mixed = false;
+      const bool first_spin = per_core_[c.members.front()].spin;
+      for (unsigned m : c.members) {
+        if (per_core_[m].spin != first_spin) {
+          mixed = true;
+          break;
+        }
+      }
+      if (mixed) {
+        Cohort proto = c;
+        proto.members.clear();
+        for (unsigned m : cohorts_[i].members) {
+          if (per_core_[m].spin) {
+            proto.members.push_back(m);
+          }
+        }
+        const unsigned ni = alloc_cohort(proto);
+        Cohort& old = cohorts_[i];
+        old.members.erase(
+            std::remove_if(old.members.begin(), old.members.end(),
+                           [&](unsigned m) { return per_core_[m].spin; }),
+            old.members.end());
+        for (unsigned m : cohorts_[ni].members) {
+          per_core_[m].cohort = ni;
+        }
+        cohorts_[ni].mode = kSpin;
+        rerate(cohorts_[ni]);
+        cohorts_[i].mode = kIdle;
+        rerate(cohorts_[i]);
+        maybe_merge_ = true;
+      } else {
+        c.mode = first_spin ? kSpin : kIdle;
+        rerate(c);
+      }
+    }
+  }
+  merge_pass();
+}
+
+void CoreArray::process_events_at(double t, Nanos tick_now) {
+  for (unsigned i = 0; i < cohorts_.size(); ++i) {
+    Cohort& c = cohorts_[i];
+    if (c.members.empty()) {
+      continue;
+    }
+    if (c.t_fin <= t) {
+      complete(c, t);
+    } else if (c.next_poke <= t) {
+      c.next_poke = kNever;
+      mark_unsettled(c);
+    }
+  }
+  settle(t, tick_now);
+}
+
+void CoreArray::set_op_point(double t, const CoreOpPoint& op) {
+  if (op == op_) {
+    return;
+  }
+  for (Cohort& c : cohorts_) {
+    if (c.members.empty()) {
+      continue;
+    }
+    fold_stretch(c, t);
+  }
+  op_ = op;
+  for (Cohort& c : cohorts_) {
+    if (c.members.empty()) {
+      continue;
+    }
+    rerate(c);
+  }
+}
+
+CoreArray::Aggregates CoreArray::aggregates() {
+  dirty_ = false;
+  Aggregates agg;
+  for (const Cohort& c : cohorts_) {
+    const double n = static_cast<double>(c.members.size());
+    agg.activity_cores += c.weight * n;
+    agg.bytes_per_ns += c.r_bytes * n;
+  }
+  return agg;
+}
+
+}  // namespace procap::hw

@@ -1,0 +1,291 @@
+// corearray.hpp — event-driven per-core state for one package.
+//
+// The per-tick reference model (hw::Core) steps every core every tick.
+// CoreArray replaces it on the simulation hot path with an event-driven
+// formulation built on two ideas:
+//
+//  * Pure evaluation between events.  A running segment is described by
+//    (t0, consumed0, rate): units consumed at time t are
+//    consumed0 + rate * (t - t0), and the completion time
+//    t_fin = t0 + (amount - consumed0) / rate is known in closed form.
+//    Counters are likewise (base + folded delta + rate * (t - t0)).
+//    State mutations ("folds") happen only at event points — segment
+//    completions, operating-point changes, drains — so advancing in one
+//    span or tick-by-tick produces bit-identical state (the engine's
+//    exactness contract, DESIGN.md §13).
+//
+//  * Cohorts.  Bulk-synchronous workloads push identical work to every
+//    worker, so all 24 cores of a package are usually in bit-identical
+//    state.  Cores sharing (queue, active stretch, spin flag) are grouped
+//    into a cohort that is simulated once: one completion event per
+//    cohort instead of one per core.  Cores split off lazily when their
+//    state diverges (per-core pushes, partial spin) and merge back when
+//    it re-unifies (barrier refills).
+//
+// Semantics match hw::Core (see core.hpp for the physics): Compute
+// consumes cycles at f * duty, Memory consumes stall-seconds at
+// duty * mem_throttle (cycles tick while stalled), Sleep elapses in wall
+// time, a drained core calls its idle callback once and then spins or
+// halts until new work or the next tick boundary.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "hw/core.hpp"
+#include "hw/spec.hpp"
+#include "util/units.hpp"
+
+namespace procap::hw {
+
+/// Operating point shared by every core of the package.
+struct CoreOpPoint {
+  Hertz f = 0.0;
+  double duty = 1.0;
+  double mem_throttle = 1.0;
+
+  bool operator==(const CoreOpPoint&) const = default;
+};
+
+/// Event-driven state for all cores of one package.  Times are double
+/// nanoseconds (tick boundaries are exact integers well inside 2^53).
+class CoreArray {
+ public:
+  using IdleCallback = std::function<void(unsigned core_id, Nanos now)>;
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  CoreArray(unsigned count, const CpuSpec& spec);
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(per_core_.size());
+  }
+
+  // -- Workload-facing (mirrors hw::Core) ------------------------------
+
+  void set_idle_callback(unsigned core, IdleCallback cb);
+  void push_compute(unsigned core, double cycles, double instructions);
+  void push_memory(unsigned core, Seconds stall, double bytes,
+                   double instructions);
+  void push_sleep(unsigned core, Seconds duration, double instructions = 0.0);
+  void set_spin(unsigned core, bool spin);
+  [[nodiscard]] bool spinning(unsigned core) const {
+    return per_core_[core].spin;
+  }
+  [[nodiscard]] bool queue_empty(unsigned core) const;
+
+  /// Group fast paths: identical arguments for cores
+  /// [first, first + count).  One shared segment per cohort instead of
+  /// one per core, which is what keeps uniform bulk-synchronous apps in
+  /// a single cohort through barrier refills.
+  void push_compute_group(unsigned first, unsigned count, double cycles,
+                          double instructions);
+  void push_memory_group(unsigned first, unsigned count, Seconds stall,
+                         double bytes, double instructions);
+  void push_sleep_group(unsigned first, unsigned count, Seconds duration,
+                        double instructions = 0.0);
+  void set_spin_group(unsigned first, unsigned count, bool spin);
+
+  /// Cumulative counters for one core, evaluated (purely) at time `t`.
+  [[nodiscard]] CoreCounters counters(unsigned core, double t) const;
+
+  /// Zero one core's counters as of time `t`.
+  void reset_counters(unsigned core, double t);
+
+  // -- Package-facing simulation ---------------------------------------
+
+  /// Fold every active stretch at time `t` and adopt a new operating
+  /// point (rates and completion times are recomputed).
+  void set_op_point(double t, const CoreOpPoint& op);
+  [[nodiscard]] const CoreOpPoint& op_point() const { return op_; }
+
+  /// Earliest pending internal event (segment completion or idle
+  /// re-poll); kNever if none.  Inline: the package event loop polls it
+  /// once per event and once per span.
+  [[nodiscard]] double next_event() const {
+    double t = kNever;
+    for (const Cohort& c : cohorts_) {
+      if (!c.members.empty()) {
+        t = std::min(t, std::min(c.t_fin, c.next_poke));
+      }
+    }
+    return t;
+  }
+
+  /// Process every internal event due at exactly next_event() == `t`,
+  /// then settle: invoke idle callbacks (with `tick_now` as their clock
+  /// reading), start follow-on stretches, split/merge cohorts.
+  void process_events_at(double t, Nanos tick_now);
+
+  /// Settle externally induced changes (pushes or spin toggles made at a
+  /// span boundary, a new operating point) at time `t`.
+  void settle(double t, Nanos tick_now);
+
+  /// True if aggregates may have changed since the last aggregates()
+  /// call (any fold/settle sets it).
+  [[nodiscard]] bool dirty() const { return dirty_; }
+
+  struct Aggregates {
+    double activity_cores = 0.0;  ///< activity-weighted core count
+    double bytes_per_ns = 0.0;    ///< memory traffic rate (== GB/s)
+  };
+  /// Pure aggregate over cohorts; clears dirty().
+  Aggregates aggregates();
+
+ private:
+  enum Mode : std::uint8_t { kRun, kSpin, kIdle };
+  enum Kind : std::uint8_t { kCompute, kMemory, kSleep };
+
+  struct Seg {
+    Kind kind;
+    double amount;  // cycles (compute) or seconds (memory/sleep)
+    double bytes;
+    double instructions;
+
+    bool operator==(const Seg&) const = default;
+  };
+
+  struct Cohort {
+    std::vector<unsigned> members;  // ascending core ids
+    std::deque<Seg> queue;
+    Mode mode = kIdle;
+    bool unsettled = false;
+    // Active stretch (kRun holds `seg`; kSpin/kIdle ignore it):
+    Seg seg{kCompute, 0.0, 0.0, 0.0};
+    double t0 = 0.0;        // stretch fold time (dns)
+    double consumed0 = 0.0; // units consumed at t0
+    double rate = 0.0;      // units per ns
+    double t_fin = kNever;  // completion time
+    double next_poke = kNever;  // idle re-poll (tick boundary)
+    // Folded per-core counter deltas (identical for every member):
+    double d_instr = 0.0, d_cycles = 0.0, d_l3 = 0.0;
+    // Current stretch counter/traffic rates (per ns):
+    double r_instr = 0.0, r_cycles = 0.0, r_l3 = 0.0, r_bytes = 0.0;
+    double weight = 0.0;  // activity weight per member
+  };
+
+  struct PerCore {
+    double b_instr = 0.0, b_cycles = 0.0, b_l3 = 0.0;  // counter bases
+    double ref_base = 0.0;  // ref_cycles at ref_t0
+    double ref_t0 = 0.0;    // last counter reset (dns)
+    bool spin = false;
+    bool has_cb = false;
+    unsigned cohort = 0;
+    Nanos cb_tick = -1;      // budget window (tick start)
+    unsigned cb_count = 0;
+  };
+
+  /// Fold the active stretch of `c` at time `t` (counters, consumption).
+  void fold_stretch(Cohort& c, double t);
+  /// Recompute rates, weight, completion time and poke schedule of `c`
+  /// from its (mode, seg, consumed0) under the current operating point.
+  void rerate(Cohort& c);
+  /// Book the exact remainder of the finished head segment, pop it, and
+  /// leave the cohort unsettled at `t` for settle() to restart.
+  void complete(Cohort& c, double t);
+  /// Split `core` out of its cohort into a singleton (state copied
+  /// verbatim — no floating-point operations, so no divergence).
+  Cohort& split(unsigned core);
+  /// Split the members of cohort `ci` inside [first, first+count) into
+  /// their own cohort; returns the cohort holding the in-range members.
+  Cohort& split_range(unsigned ci, unsigned first, unsigned count);
+  /// Apply `fn` once per distinct cohort covering [first, first+count),
+  /// splitting out-of-range members off first (group-push fan-out).
+  /// Templated and allocation-free (member scratch list): group pushes
+  /// land once per chunk per barrier, squarely on the hot path.
+  template <typename Fn>
+  void for_each_cohort_in(unsigned first, unsigned count, Fn&& fn) {
+    feci_done_.clear();
+    for (unsigned i = first; i < first + count; ++i) {
+      const unsigned ci = per_core_[i].cohort;
+      if (std::find(feci_done_.begin(), feci_done_.end(), ci) !=
+          feci_done_.end()) {
+        continue;
+      }
+      Cohort& c = split_range(ci, first, count);
+      feci_done_.push_back(per_core_[i].cohort);
+      fn(c);
+    }
+  }
+  /// Merge cohorts whose dynamic state re-unified (folds counter deltas
+  /// into per-core bases on both sides — a deterministic fold point).
+  void merge_pass();
+  [[nodiscard]] bool mergeable(const Cohort& a, const Cohort& b) const;
+  /// Invoke idle callbacks for the (drained) members of cohort `ci`.
+  void drain(unsigned ci, double t, Nanos tick_now);
+  void mark_unsettled(Cohort& c);
+  [[nodiscard]] bool cohort_has_cb(const Cohort& c) const;
+  /// Append a segment shared by the whole cohort (caller split first).
+  void enqueue(Cohort& c, Kind kind, double amount, double bytes,
+               double instructions);
+  /// Book a zero-length push straight into a core's counter bases.
+  void book_immediate(unsigned core, Kind kind, double bytes,
+                      double instructions);
+  /// Cohort slot recycling (splits allocate, merges free).
+  unsigned alloc_cohort(const Cohort& proto);
+  void free_cohort(unsigned idx);
+
+  const CpuSpec* spec_;
+  CoreOpPoint op_;
+  double dt_ns_;  // tick length (set via set_tick)
+  std::vector<PerCore> per_core_;
+  std::vector<Cohort> cohorts_;
+  std::vector<unsigned> free_;  // recycled cohort slots
+  std::vector<IdleCallback> callbacks_;
+  // Reused scratch buffers (not re-entered: neither for_each_cohort_in's
+  // `fn` nor drained-core idle callbacks reach back into these paths).
+  std::vector<unsigned> feci_done_;
+  std::vector<unsigned> drain_scratch_;
+  bool dirty_ = true;
+  bool settle_pending_ = false;
+  bool maybe_merge_ = false;
+
+ public:
+  /// Tick length for idle re-polls and callback budgets (set once by the
+  /// package; defaults to 1 ms).
+  void set_tick(Nanos dt) { dt_ns_ = static_cast<double>(dt); }
+  [[nodiscard]] double tick_ns() const { return dt_ns_; }
+  /// True when settle() needs to run (external mutation pending).
+  [[nodiscard]] bool settle_pending() const { return settle_pending_; }
+};
+
+/// Value-type handle presenting one CoreArray slot with the classic
+/// hw::Core interface (what SimApp, tests and the MSR hooks hold).
+class CoreHandle {
+ public:
+  CoreHandle(CoreArray& array, unsigned id, const double* now)
+      : array_(&array), id_(id), now_(now) {}
+
+  [[nodiscard]] unsigned id() const { return id_; }
+
+  void set_idle_callback(CoreArray::IdleCallback cb) {
+    array_->set_idle_callback(id_, std::move(cb));
+  }
+  void push_compute(double cycles, double instructions) {
+    array_->push_compute(id_, cycles, instructions);
+  }
+  void push_memory(Seconds stall, double bytes, double instructions) {
+    array_->push_memory(id_, stall, bytes, instructions);
+  }
+  void push_sleep(Seconds duration, double instructions = 0.0) {
+    array_->push_sleep(id_, duration, instructions);
+  }
+  void set_spin(bool spin) { array_->set_spin(id_, spin); }
+  [[nodiscard]] bool spinning() const { return array_->spinning(id_); }
+  [[nodiscard]] bool queue_empty() const { return array_->queue_empty(id_); }
+  [[nodiscard]] CoreCounters counters() const {
+    return array_->counters(id_, *now_);
+  }
+  void reset_counters() { array_->reset_counters(id_, *now_); }
+
+ private:
+  CoreArray* array_;
+  unsigned id_;
+  const double* now_;  // package cursor (dns)
+};
+
+}  // namespace procap::hw

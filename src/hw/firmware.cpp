@@ -15,10 +15,30 @@ RaplFirmware::RaplFirmware(const CpuSpec& spec)
 void RaplFirmware::program(const rapl::PkgPowerLimit& limit) {
   limit_ = limit;
   since_last_move_ = to_nanos(1.0);  // allow an immediate first actuation
+  reprogram_pending_ = true;
   if (!limit_.pl1.enabled) {
     // Uncapped: release the actuators immediately.
     freq_cap_ = spec_->f_max;
     duty_cap_ = 1.0;
+  }
+}
+
+void RaplFirmware::decide(Watts avg) {
+  const Watts cap = limit_.pl1.power;
+  if (avg > cap) {
+    // Throttle: frequency first, then duty cycling at the floor.
+    if (freq_cap_ > spec_->f_min) {
+      freq_cap_ = spec_->clamp_frequency(freq_cap_ - spec_->f_step);
+    } else if (duty_cap_ > CpuSpec::kDutyStep) {
+      duty_cap_ = spec_->snap_duty(duty_cap_ - CpuSpec::kDutyStep);
+    }
+  } else if (avg < cap - kMargin) {
+    // Recover: duty back to full first, then frequency.
+    if (duty_cap_ < 1.0) {
+      duty_cap_ = spec_->snap_duty(duty_cap_ + CpuSpec::kDutyStep);
+    } else if (freq_cap_ < spec_->f_max) {
+      freq_cap_ = spec_->clamp_frequency(freq_cap_ + spec_->f_step);
+    }
   }
 }
 
@@ -45,29 +65,24 @@ void RaplFirmware::observe(Watts instantaneous_power, Nanos dt) {
     return;
   }
   since_last_move_ = 0;
-  const Watts cap = limit_.pl1.power;
-  if (avg_ > cap) {
-    // Throttle: frequency first, then duty cycling at the floor.
-    if (freq_cap_ > spec_->f_min) {
-      freq_cap_ = spec_->clamp_frequency(freq_cap_ - spec_->f_step);
-    } else if (duty_cap_ > CpuSpec::kDutyStep) {
-      duty_cap_ = spec_->snap_duty(duty_cap_ - CpuSpec::kDutyStep);
-    }
-  } else if (avg_ < cap - kMargin) {
-    // Recover: duty back to full first, then frequency.
-    if (duty_cap_ < 1.0) {
-      duty_cap_ = spec_->snap_duty(duty_cap_ + CpuSpec::kDutyStep);
-    } else if (freq_cap_ < spec_->f_max) {
-      freq_cap_ = spec_->clamp_frequency(freq_cap_ + spec_->f_step);
-    }
-  }
+  decide(avg_);
 }
 
 void DramFirmware::program(const rapl::PkgPowerLimit& limit) {
   limit_ = limit;
   since_last_move_ = to_nanos(1.0);
+  reprogram_pending_ = true;
   if (!limit_.pl1.enabled) {
     throttle_ = 1.0;
+  }
+}
+
+void DramFirmware::decide(Watts avg) {
+  const Watts cap = limit_.pl1.power;
+  if (avg > cap && throttle_ > kStep) {
+    throttle_ = std::max(kStep, throttle_ - kStep);
+  } else if (avg < cap - kMargin && throttle_ < 1.0) {
+    throttle_ = std::min(1.0, throttle_ + kStep);
   }
 }
 
@@ -89,12 +104,7 @@ void DramFirmware::observe(Watts dram_power, Nanos dt) {
     return;
   }
   since_last_move_ = 0;
-  const Watts cap = limit_.pl1.power;
-  if (avg_ > cap && throttle_ > kStep) {
-    throttle_ = std::max(kStep, throttle_ - kStep);
-  } else if (avg_ < cap - kMargin && throttle_ < 1.0) {
-    throttle_ = std::min(1.0, throttle_ + kStep);
-  }
+  decide(avg_);
 }
 
 }  // namespace procap::hw

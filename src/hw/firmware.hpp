@@ -44,6 +44,27 @@ class RaplFirmware {
   /// limit cycle no real RAPL implementation exhibits).
   void observe(Watts instantaneous_power, Nanos dt);
 
+  /// One actuation decision against running average `avg` — the body of
+  /// observe() after its rate limit.  The event-driven package keeps the
+  /// average itself and calls this on its own decision schedule.
+  void decide(Watts avg);
+
+  /// Write-through of the externally maintained running average so
+  /// running_average() stays meaningful when the package drives decide()
+  /// directly instead of observe().
+  void set_average(Watts avg, bool primed) {
+    avg_ = avg;
+    avg_primed_ = primed;
+  }
+
+  /// True once since the last program() call; lets the package notice a
+  /// reprogram (from any caller) and rebuild its decision schedule.
+  [[nodiscard]] bool take_reprogram() {
+    const bool r = reprogram_pending_;
+    reprogram_pending_ = false;
+    return r;
+  }
+
   /// Firmware frequency ceiling (f_max when uncapped).
   [[nodiscard]] Hertz frequency_cap() const { return freq_cap_; }
 
@@ -64,6 +85,7 @@ class RaplFirmware {
   Hertz freq_cap_;
   double duty_cap_ = 1.0;
   Nanos since_last_move_ = 0;
+  bool reprogram_pending_ = false;
 
   /// Hysteresis: unthrottle only when avg < cap - margin.
   static constexpr Watts kMargin = 1.5;
@@ -87,6 +109,21 @@ class DramFirmware {
   /// Feed one control step of instantaneous DRAM power.
   void observe(Watts dram_power, Nanos dt);
 
+  /// One throttle decision against running average `avg` (see
+  /// RaplFirmware::decide).
+  void decide(Watts avg);
+
+  void set_average(Watts avg, bool primed) {
+    avg_ = avg;
+    avg_primed_ = primed;
+  }
+
+  [[nodiscard]] bool take_reprogram() {
+    const bool r = reprogram_pending_;
+    reprogram_pending_ = false;
+    return r;
+  }
+
   /// Current bandwidth-throttle factor in [1/16, 1].
   [[nodiscard]] double throttle() const { return throttle_; }
 
@@ -100,6 +137,7 @@ class DramFirmware {
   bool avg_primed_ = false;
   double throttle_ = 1.0;
   Nanos since_last_move_ = 0;
+  bool reprogram_pending_ = false;
 
   static constexpr Watts kMargin = 0.5;
   static constexpr double kStep = 1.0 / 16.0;

@@ -29,7 +29,7 @@ unsigned Node::pkg_of(unsigned cpu) const {
   return cpu / spec_.cpu.cores_per_package;
 }
 
-Core& Node::core(unsigned cpu) {
+CoreHandle Node::core(unsigned cpu) {
   return packages_.at(pkg_of(cpu))
       ->core(cpu % spec_.cpu.cores_per_package);
 }
@@ -135,6 +135,27 @@ void Node::step(Nanos now, Nanos dt) {
   for (auto& p : packages_) {
     p->step(now, dt);
   }
+}
+
+Nanos Node::advance(Nanos now, Nanos span, Nanos dt, sim::SpanContext* ctx) {
+  const double target = static_cast<double>(now + span);
+  double reached = target;
+  for (auto& p : packages_) {
+    reached = p->advance_to(target, ctx);
+  }
+  // Stop truncation: report the partially consumed span (rounded up to a
+  // whole tick) so the engine lands the clock just past the stop event.
+  // Only exact with a single package — with several, the earlier packages
+  // already advanced to the full target before the stop fired, so the
+  // span must be reported fully consumed to keep them in sync.
+  if (packages_.size() == 1 && reached < target) {
+    const double delta = reached - static_cast<double>(now);
+    Nanos ticks =
+        static_cast<Nanos>(std::ceil(delta / static_cast<double>(dt)));
+    ticks = std::max<Nanos>(ticks, 1);
+    return std::min(span, ticks * dt);
+  }
+  return span;
 }
 
 }  // namespace procap::hw

@@ -42,8 +42,8 @@ class Node : public sim::Component {
   /// Total logical CPUs across packages.
   [[nodiscard]] unsigned cpu_count() const;
 
-  /// Core behind a global CPU index.
-  [[nodiscard]] Core& core(unsigned cpu);
+  /// Core behind a global CPU index (value-type handle).
+  [[nodiscard]] CoreHandle core(unsigned cpu);
 
   /// The MSR device exposing this node's registers.
   [[nodiscard]] msr::EmulatedMsr& msr() { return *msr_; }
@@ -51,8 +51,12 @@ class Node : public sim::Component {
   /// First logical CPU of each package (for RaplInterface construction).
   [[nodiscard]] std::vector<unsigned> package_leaders() const;
 
-  // sim::Component:
+  // sim::Component: span-batched — packages advance analytically between
+  // internal events instead of being stepped every tick.
   void step(Nanos now, Nanos dt) override;
+  [[nodiscard]] bool batched() const override { return true; }
+  Nanos advance(Nanos now, Nanos span, Nanos dt,
+                sim::SpanContext* ctx) override;
 
  private:
   void wire_msrs();

@@ -1,111 +1,328 @@
 #include "hw/package.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
 
 namespace procap::hw {
 
 Package::Package(const CpuSpec& spec)
     : spec_(spec),
+      cores_(spec_.cores_per_package, spec_),
       firmware_(spec_),
       dram_firmware_(spec_),
-      req_freq_(spec.f_max),
-      eff_freq_(spec.f_max),
-      temperature_(spec.t_ambient) {
-  cores_.reserve(spec_.cores_per_package);
-  for (unsigned i = 0; i < spec_.cores_per_package; ++i) {
-    cores_.emplace_back(i, spec_);
+      dt_(msec(1)),
+      req_freq_(spec_.f_max),
+      eff_freq_(spec_.f_max),
+      temperature_(spec_.t_ambient) {
+  cores_.set_tick(dt_);
+  const Seconds dt_s = to_seconds(dt_);
+  pkg_avg_.dt = dram_avg_.dt = static_cast<double>(dt_);
+  pkg_avg_.alpha = std::min(
+      1.0, dt_s / std::max(firmware_.limit().pl1.time_window, dt_s));
+  dram_avg_.alpha = std::min(
+      1.0, dt_s / std::max(dram_firmware_.limit().pl1.time_window, dt_s));
+  if (spec_.thermal_enabled) {
+    next_thermal_ = static_cast<double>(dt_);
   }
+  refresh(0.0);
 }
 
 void Package::request_frequency(Hertz f) {
   req_freq_ = spec_.clamp_frequency(f);
+  op_dirty_ = true;
 }
 
-void Package::request_duty(double duty) { req_duty_ = spec_.snap_duty(duty); }
+void Package::request_duty(double duty) {
+  req_duty_ = spec_.snap_duty(duty);
+  op_dirty_ = true;
+}
 
 CoreCounters Package::total_counters() const {
   CoreCounters total;
-  for (const Core& c : cores_) {
-    total.instructions += c.counters().instructions;
-    total.core_cycles += c.counters().core_cycles;
-    total.ref_cycles += c.counters().ref_cycles;
-    total.l3_misses += c.counters().l3_misses;
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    const CoreCounters c = cores_.counters(i, cur_t_);
+    total.instructions += c.instructions;
+    total.core_cycles += c.core_cycles;
+    total.ref_cycles += c.ref_cycles;
+    total.l3_misses += c.l3_misses;
   }
   return total;
 }
 
 void Package::reset_counters() {
-  for (Core& c : cores_) {
-    c.reset_counters();
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    cores_.reset_counters(i, cur_t_);
   }
 }
 
-void Package::step(Nanos now, Nanos dt) {
-  // Resolve the operating point for this tick.
+Nanos Package::tick_floor(double t) const {
+  const double dtd = static_cast<double>(dt_);
+  return static_cast<Nanos>(std::floor(t / dtd)) * dt_;
+}
+
+double Package::leak_scale() const {
+  return spec_.thermal_enabled
+             ? std::max(0.5, 1.0 + spec_.leakage_temp_coeff *
+                                       (temperature_ - spec_.t_leak_ref))
+             : 1.0;
+}
+
+void Package::resolve_op_point() {
   eff_freq_ = spec_.clamp_frequency(
       std::min(req_freq_, firmware_.frequency_cap()));
   eff_duty_ = spec_.snap_duty(std::min(req_duty_, firmware_.duty_cap()));
   if (prochot_) {
     eff_freq_ = spec_.f_min;  // thermal throttle overrides everything
   }
-
   mem_throttle_ = dram_firmware_.throttle();
+  cores_.set_op_point(cur_t_, CoreOpPoint{eff_freq_, eff_duty_,
+                                          mem_throttle_});
+}
 
-  // Run the cores and collect usage.
-  const Seconds dt_s = to_seconds(dt);
-  double activity_time = 0.0;  // activity-weighted core seconds
-  double bytes = 0.0;
-  for (Core& c : cores_) {
-    const CoreTickUsage u = c.step(now, dt, eff_freq_, eff_duty_,
-                                   mem_throttle_);
-    activity_time += u.compute_active * spec_.compute_activity +
-                     u.stall_active * spec_.stall_activity +
-                     u.spin_active * spec_.spin_activity +
-                     u.gated * spec_.gated_activity +
-                     u.sleeping * spec_.sleep_activity +
-                     u.idle * spec_.idle_activity;
-    bytes += u.bytes;
+void Package::refresh(double t) {
+  if (op_dirty_) {
+    op_dirty_ = false;
+    resolve_op_point();  // no-op unless the operating point bit-changed
   }
+  if (!cores_.dirty() && !power_dirty_) {
+    return;
+  }
+  power_dirty_ = false;
+  const CoreArray::Aggregates agg = cores_.aggregates();
+  bandwidth_gbps_ = agg.bytes_per_ns;  // bytes/ns == GB/s
+  PowerBreakdown b;
+  b.core_dynamic =
+      spec_.core_dynamic_power(eff_freq_, 1.0) * agg.activity_cores;
+  b.core_static = spec_.core_static *
+                  static_cast<double>(cores_.size()) * leak_scale();
+  b.uncore = spec_.uncore_static +
+             spec_.uncore_bw_watts_per_gbps * bandwidth_gbps_;
+  b.base = spec_.package_base;
+  breakdown_ = b;
+  const Watts p = b.total();
+  const Watts dram_p =
+      spec_.dram_static + spec_.dram_bw_watts_per_gbps * bandwidth_gbps_;
+  // Fold the energy integrator and running average only when the level
+  // bit-changes: these fold times are state-driven, hence identical under
+  // batched and per-tick execution.
+  if (p != cur_p_) {
+    pkg_avg_.advance(t, cur_p_);
+    energy_ += cur_p_ * (t - e_t0_) * 1e-9;
+    e_t0_ = t;
+    cur_p_ = p;
+  }
+  if (dram_p != cur_dram_p_) {
+    dram_avg_.advance(t, cur_dram_p_);
+    dram_energy_ += cur_dram_p_ * (t - dram_e_t0_) * 1e-9;
+    dram_e_t0_ = t;
+    cur_dram_p_ = dram_p;
+  }
+}
 
-  // Integrate power.
-  const double avg_activity_cores = activity_time / dt_s;  // in units of cores
-  bandwidth_gbps_ = bytes / dt_s / 1e9;
-  breakdown_.core_dynamic =
-      spec_.core_dynamic_power(eff_freq_, 1.0) * avg_activity_cores;
-  // Leakage grows with temperature when the thermal model is on.
-  const double leak_scale =
-      spec_.thermal_enabled
-          ? std::max(0.5, 1.0 + spec_.leakage_temp_coeff *
-                                    (temperature_ - spec_.t_leak_ref))
-          : 1.0;
-  breakdown_.core_static =
-      spec_.core_static * static_cast<double>(cores_.size()) * leak_scale;
-  breakdown_.uncore = spec_.uncore_static +
-                      spec_.uncore_bw_watts_per_gbps * bandwidth_gbps_;
-  breakdown_.base = spec_.package_base;
-  energy_ += breakdown_.total() * dt_s;
+void Package::PowerAvg::ema(double tick_avg) {
+  if (!primed) {
+    avg = tick_avg;
+    primed = true;
+  } else {
+    avg += alpha * (tick_avg - avg);
+  }
+}
 
-  // DRAM domain: separate rail, metered and enforced independently.
-  dram_power_ = spec_.dram_static +
-                spec_.dram_bw_watts_per_gbps * bandwidth_gbps_;
-  dram_energy_ += dram_power_ * dt_s;
-
-  // Thermal RC integration and PROCHOT hysteresis.
-  if (spec_.thermal_enabled) {
-    const double t_steady =
-        spec_.t_ambient + spec_.thermal_resistance * breakdown_.total();
-    temperature_ += (t_steady - temperature_) * dt_s / spec_.thermal_tau;
-    if (temperature_ >= spec_.t_prochot) {
-      prochot_ = true;
-    } else if (temperature_ <
-               spec_.t_prochot - spec_.prochot_hysteresis) {
-      prochot_ = false;
+void Package::PowerAvg::advance(double t, double p) {
+  if (cursor >= t) {
+    return;
+  }
+  // Leading partial tick: finish it, or extend the stash and bail.
+  const double tick_start = std::floor(cursor / dt) * dt;
+  if (stash != 0.0 || cursor != tick_start) {
+    double b = tick_start + dt;
+    if (b <= cursor) {
+      b = cursor + dt;  // FP guard; cursor sits on a boundary
+    }
+    if (b > t) {
+      stash += p * (t - cursor);
+      cursor = t;
+      return;
+    }
+    ema((stash + p * (b - cursor)) / dt);
+    stash = 0.0;
+    cursor = b;
+  }
+  // Whole ticks with the cursor on the grid.  `cursor += dt` stays exact
+  // (dt is a whole number of ns and boundaries are integers well inside
+  // 2^53), so this is the same ema() sequence as the floor-per-tick loop
+  // it replaces, minus the per-iteration floor.
+  while (cursor + dt <= t) {
+    const double prev = avg;
+    ema(p);
+    cursor += dt;
+    if (primed && avg == prev) {
+      // Bitwise fixpoint: every further whole tick of constant power
+      // leaves the average unchanged, so skip them all at once.
+      const double last = std::floor(t / dt) * dt;
+      if (last > cursor) {
+        cursor = last;
+      }
+      break;
     }
   }
+  // Trailing partial tick.
+  if (cursor < t) {
+    stash = p * (t - cursor);
+    cursor = t;
+  }
+}
 
-  // Let the firmware react (affects the next tick's operating point).
-  firmware_.observe(breakdown_.total(), dt);
-  dram_firmware_.observe(dram_power_, dt);
+void Package::on_pkg_reprogram() {
+  pkg_avg_.advance(cur_t_, cur_p_);
+  const Seconds dt_s = to_seconds(dt_);
+  const Seconds window = std::max(firmware_.limit().pl1.time_window, dt_s);
+  pkg_avg_.alpha = std::min(1.0, dt_s / window);
+  if (firmware_.enforcing()) {
+    // One actuation per half window, rounded up to whole ticks; the first
+    // decision lands at the end of the tick the write arrived in, which
+    // is where the per-tick controller took its first post-program step.
+    const Nanos period = std::max(to_nanos(window / 2.0), dt_);
+    const Nanos ticks = (period + dt_ - 1) / dt_;
+    pkg_decision_period_ = static_cast<double>(ticks * dt_);
+    next_pkg_decision_ =
+        static_cast<double>(tick_floor(cur_t_) + dt_);
+  } else {
+    next_pkg_decision_ = CoreArray::kNever;
+  }
+  op_dirty_ = true;  // disabling released the actuators
+}
+
+void Package::on_dram_reprogram() {
+  dram_avg_.advance(cur_t_, cur_dram_p_);
+  const Seconds dt_s = to_seconds(dt_);
+  const Seconds window =
+      std::max(dram_firmware_.limit().pl1.time_window, dt_s);
+  dram_avg_.alpha = std::min(1.0, dt_s / window);
+  if (dram_firmware_.enforcing()) {
+    const Nanos period = std::max(to_nanos(window / 2.0), dt_);
+    const Nanos ticks = (period + dt_ - 1) / dt_;
+    dram_decision_period_ = static_cast<double>(ticks * dt_);
+    next_dram_decision_ =
+        static_cast<double>(tick_floor(cur_t_) + dt_);
+  } else {
+    next_dram_decision_ = CoreArray::kNever;
+  }
+  op_dirty_ = true;
+}
+
+void Package::pkg_decision(double t) {
+  pkg_avg_.advance(t, cur_p_);
+  firmware_.set_average(pkg_avg_.avg, pkg_avg_.primed);
+  if (firmware_.enforcing()) {
+    firmware_.decide(pkg_avg_.avg);
+    next_pkg_decision_ = t + pkg_decision_period_;
+    op_dirty_ = true;
+  } else {
+    next_pkg_decision_ = CoreArray::kNever;
+  }
+}
+
+void Package::dram_decision(double t) {
+  dram_avg_.advance(t, cur_dram_p_);
+  dram_firmware_.set_average(dram_avg_.avg, dram_avg_.primed);
+  if (dram_firmware_.enforcing()) {
+    dram_firmware_.decide(dram_avg_.avg);
+    next_dram_decision_ = t + dram_decision_period_;
+    op_dirty_ = true;
+  } else {
+    next_dram_decision_ = CoreArray::kNever;
+  }
+}
+
+void Package::thermal_step(double t) {
+  const Seconds dt_s = to_seconds(dt_);
+  const double e_now = energy_ + cur_p_ * (t - e_t0_) * 1e-9;
+  const Watts p_avg = (e_now - last_thermal_e_) / dt_s;
+  last_thermal_e_ = e_now;
+  const double t_steady =
+      spec_.t_ambient + spec_.thermal_resistance * p_avg;
+  temperature_ += (t_steady - temperature_) * dt_s / spec_.thermal_tau;
+  if (temperature_ >= spec_.t_prochot) {
+    if (!prochot_) {
+      prochot_ = true;
+      op_dirty_ = true;
+    }
+  } else if (temperature_ < spec_.t_prochot - spec_.prochot_hysteresis) {
+    if (prochot_) {
+      prochot_ = false;
+      op_dirty_ = true;
+    }
+  }
+  // Leakage depends on temperature, so power must be re-derived even if
+  // nothing else changed this tick.
+  power_dirty_ = true;
+  next_thermal_ = t + static_cast<double>(dt_);
+}
+
+double Package::advance_to(double target, sim::SpanContext* ctx) {
+  // Externally induced changes (MSR writes, OS requests, workload pushes)
+  // arrive between spans; apply them at the current time first.
+  if (firmware_.take_reprogram()) {
+    on_pkg_reprogram();
+  }
+  if (dram_firmware_.take_reprogram()) {
+    on_dram_reprogram();
+  }
+  if (cores_.settle_pending()) {
+    cores_.settle(cur_t_, tick_floor(cur_t_));
+  }
+  refresh(cur_t_);
+
+  while (true) {
+    double te = cores_.next_event();
+    te = std::min(te, next_pkg_decision_);
+    te = std::min(te, next_dram_decision_);
+    te = std::min(te, next_thermal_);
+    if (te > target) {
+      break;
+    }
+    cur_t_ = te;
+    const Nanos tick_now = tick_floor(te);
+    if (ctx != nullptr) {
+      ctx->at_time(tick_now);
+    }
+    if (cores_.next_event() <= te) {
+      cores_.process_events_at(te, tick_now);
+    }
+    if (next_thermal_ <= te) {
+      thermal_step(te);
+    }
+    if (next_pkg_decision_ <= te) {
+      pkg_decision(te);
+    }
+    if (next_dram_decision_ <= te) {
+      dram_decision(te);
+    }
+    refresh(te);
+    if (ctx != nullptr && ctx->stop_requested()) {
+      return cur_t_;
+    }
+  }
+  cur_t_ = target;
+  // Boundary fold: complete the running averages through `target` (a
+  // tick boundary, so this is partition-invariant) and write the value
+  // through to the firmware for external observers.
+  pkg_avg_.advance(cur_t_, cur_p_);
+  firmware_.set_average(pkg_avg_.avg, pkg_avg_.primed);
+  dram_avg_.advance(cur_t_, cur_dram_p_);
+  dram_firmware_.set_average(dram_avg_.avg, dram_avg_.primed);
+  return cur_t_;
+}
+
+void Package::step(Nanos /*now*/, Nanos dt) {
+  if (dt != dt_) {
+    throw std::invalid_argument("Package::step: dt does not match the tick");
+  }
+  advance_to(cur_t_ + static_cast<double>(dt), nullptr);
 }
 
 }  // namespace procap::hw

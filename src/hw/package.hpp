@@ -1,7 +1,7 @@
 // package.hpp — one simulated processor package.
 //
-// Owns the cores, integrates package power and energy each tick, and runs
-// the RAPL firmware controller.  The effective operating point is
+// Owns the cores, integrates package power and energy, and runs the RAPL
+// firmware controller.  The effective operating point is
 //
 //   f    = min(OS-requested P-state, firmware frequency cap)
 //   duty = min(OS-requested T-state, firmware duty cap)
@@ -9,18 +9,38 @@
 // matching real hardware, where RAPL overrides but never exceeds the OS
 // request.  The package is driven by hw::Node (which also exposes it
 // through emulated MSRs); tests may also step it directly.
+//
+// The package is event-driven (DESIGN.md §13): between events, power is
+// piecewise constant — a pure function of the cohort aggregates and the
+// operating point — so energy integrates in closed form and the RAPL
+// running average folds whole ticks at a time.  State mutations happen
+// only at event points:
+//
+//   * core events (segment completions, idle re-polls) from CoreArray,
+//   * firmware control decisions every half time-window,
+//   * MSR writes / OS requests arriving at span boundaries,
+//   * per-tick thermal integration when the thermal model is enabled.
+//
+// Every mutation happens at the same simulated time whether the engine
+// advances in whole spans or tick by tick, which is what makes batched
+// and per-tick execution bit-identical.
 #pragma once
 
 #include <vector>
 
 #include "hw/core.hpp"
+#include "hw/corearray.hpp"
 #include "hw/firmware.hpp"
 #include "hw/spec.hpp"
 #include "util/units.hpp"
 
+namespace procap::sim {
+class SpanContext;
+}
+
 namespace procap::hw {
 
-/// Decomposition of package power for one tick.
+/// Decomposition of package power at the current instant.
 struct PowerBreakdown {
   Watts core_dynamic = 0.0;
   Watts core_static = 0.0;
@@ -38,11 +58,14 @@ class Package {
   explicit Package(const CpuSpec& spec);
 
   [[nodiscard]] const CpuSpec& spec() const { return spec_; }
-  [[nodiscard]] unsigned core_count() const {
-    return static_cast<unsigned>(cores_.size());
+  [[nodiscard]] unsigned core_count() const { return cores_.size(); }
+
+  /// Handle to one core (value type; presents the classic Core API).
+  [[nodiscard]] CoreHandle core(unsigned i) {
+    return {cores_, i, &cur_t_};
   }
-  [[nodiscard]] Core& core(unsigned i) { return cores_.at(i); }
-  [[nodiscard]] const Core& core(unsigned i) const { return cores_.at(i); }
+  /// The underlying event-driven core state (group pushes, tests).
+  [[nodiscard]] CoreArray& cores() { return cores_; }
 
   // -- OS-visible knobs -------------------------------------------------
 
@@ -58,17 +81,20 @@ class Package {
 
   // -- Observable state --------------------------------------------------
 
-  /// Effective operating frequency during the last tick.
+  /// Current effective operating frequency.
   [[nodiscard]] Hertz frequency() const { return eff_freq_; }
-  /// Effective duty factor during the last tick.
+  /// Current effective duty factor.
   [[nodiscard]] double duty() const { return eff_duty_; }
-  /// Package power during the last tick.
+  /// Instantaneous package power.
   [[nodiscard]] Watts power() const { return breakdown_.total(); }
-  /// Power decomposition for the last tick.
+  /// Instantaneous power decomposition.
   [[nodiscard]] const PowerBreakdown& breakdown() const { return breakdown_; }
-  /// Total energy consumed since construction.
-  [[nodiscard]] Joules energy() const { return energy_; }
-  /// Memory bandwidth during the last tick, GB/s.
+  /// Total energy consumed since construction (pure evaluation at the
+  /// current simulated time — no integration step needed).
+  [[nodiscard]] Joules energy() const {
+    return energy_ + cur_p_ * (cur_t_ - e_t0_) * 1e-9;
+  }
+  /// Instantaneous memory bandwidth, GB/s.
   [[nodiscard]] double bandwidth_gbps() const { return bandwidth_gbps_; }
 
   [[nodiscard]] RaplFirmware& firmware() { return firmware_; }
@@ -79,11 +105,13 @@ class Package {
   [[nodiscard]] const DramFirmware& dram_firmware() const {
     return dram_firmware_;
   }
-  /// DRAM power during the last tick.
-  [[nodiscard]] Watts dram_power() const { return dram_power_; }
+  /// Instantaneous DRAM power.
+  [[nodiscard]] Watts dram_power() const { return cur_dram_p_; }
   /// Total DRAM energy consumed since construction.
-  [[nodiscard]] Joules dram_energy() const { return dram_energy_; }
-  /// Bandwidth-throttle factor applied during the last tick.
+  [[nodiscard]] Joules dram_energy() const {
+    return dram_energy_ + cur_dram_p_ * (cur_t_ - dram_e_t0_) * 1e-9;
+  }
+  /// Current bandwidth-throttle factor.
   [[nodiscard]] double memory_throttle() const { return mem_throttle_; }
 
   /// Package temperature, deg C (== ambient while the thermal model is
@@ -93,34 +121,95 @@ class Package {
   /// True while the PROCHOT thermal throttle is clamping the frequency.
   [[nodiscard]] bool prochot_active() const { return prochot_; }
 
-  /// Sum of per-core counters.
+  /// Sum of per-core counters (evaluated at the current simulated time).
   [[nodiscard]] CoreCounters total_counters() const;
 
   /// Zero all per-core counters (start of a measurement interval).
   void reset_counters();
 
-  /// Advance the package over [now, now + dt).
+  // -- Simulation --------------------------------------------------------
+
+  /// Legacy per-tick driver: advance one tick of `dt`.  The `now`
+  /// argument is ignored — the package keeps its own monotonic time —
+  /// so restarting a driving loop at zero (as direct-driving tests do)
+  /// simply continues the run.
   void step(Nanos now, Nanos dt);
 
+  /// Advance to absolute time `target` (ns), processing every internal
+  /// event on the way.  Returns the time reached: `target`, or the last
+  /// processed event time if `ctx->stop_requested()` fired inside the
+  /// span.  `ctx` may be null (direct driving).
+  double advance_to(double target, sim::SpanContext* ctx);
+
+  /// Current package-local simulated time, ns.
+  [[nodiscard]] double sim_time() const { return cur_t_; }
+
  private:
+  /// Iterated per-tick running average of a piecewise-constant power
+  /// signal.  advance(t, P) folds the grid ticks covered by [cursor, t)
+  /// one EMA step each — folding in several calls or one is bit-identical
+  /// because the grid, not the call partition, defines the steps.  A
+  /// bitwise EMA fixpoint short-circuits long constant-power stretches.
+  struct PowerAvg {
+    double avg = 0.0;
+    bool primed = false;
+    double cursor = 0.0;  ///< accounted through this time (ns)
+    double stash = 0.0;   ///< energy (W*ns) accrued in the partial tick
+    double alpha = 1.0;
+    double dt = 1e6;
+
+    void advance(double t, double p);
+    void ema(double tick_avg);
+  };
+
+  void resolve_op_point();
+  /// Recompute power from cohort aggregates; fold energy and the running
+  /// averages at `t` if the power level changed bitwise.
+  void refresh(double t);
+  void pkg_decision(double t);
+  void dram_decision(double t);
+  void on_pkg_reprogram();
+  void on_dram_reprogram();
+  void thermal_step(double t);
+  [[nodiscard]] double leak_scale() const;
+  [[nodiscard]] Nanos tick_floor(double t) const;
+
   CpuSpec spec_;
-  std::vector<Core> cores_;
+  CoreArray cores_;
   RaplFirmware firmware_;
   DramFirmware dram_firmware_;
+  Nanos dt_;
+  double cur_t_ = 0.0;
 
   Hertz req_freq_;
   double req_duty_ = 1.0;
   Hertz eff_freq_;
   double eff_duty_ = 1.0;
+  double mem_throttle_ = 1.0;
 
   PowerBreakdown breakdown_;
+  Watts cur_p_ = 0.0;
+  Watts cur_dram_p_ = 0.0;
+  double e_t0_ = 0.0;
+  double dram_e_t0_ = 0.0;
   Joules energy_ = 0.0;
-  double bandwidth_gbps_ = 0.0;
-  Watts dram_power_ = 0.0;
   Joules dram_energy_ = 0.0;
-  double mem_throttle_ = 1.0;
+  double bandwidth_gbps_ = 0.0;
+
+  PowerAvg pkg_avg_;
+  PowerAvg dram_avg_;
+  double next_pkg_decision_ = CoreArray::kNever;
+  double pkg_decision_period_ = 0.0;
+  double next_dram_decision_ = CoreArray::kNever;
+  double dram_decision_period_ = 0.0;
+
+  double next_thermal_ = CoreArray::kNever;
+  double last_thermal_e_ = 0.0;
   double temperature_;
   bool prochot_ = false;
+
+  bool op_dirty_ = true;
+  bool power_dirty_ = true;
 };
 
 }  // namespace procap::hw

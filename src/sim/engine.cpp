@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -8,9 +10,23 @@
 
 namespace procap::sim {
 
+Nanos Component::advance(Nanos now, Nanos span, Nanos dt, SpanContext* ctx) {
+  // Fallback for components that declare batched() but don't override:
+  // drive the per-tick step the legacy way.
+  (void)ctx;
+  for (Nanos t = now; t < now + span; t += dt) {
+    step(t, dt);
+  }
+  return span;
+}
+
 Engine::Engine(Nanos dt) : dt_(dt) {
   if (dt <= 0) {
     throw std::invalid_argument("Engine: dt must be positive");
+  }
+  const char* mode = std::getenv("PROCAP_SIM_ENGINE");
+  if (mode != nullptr && std::strcmp(mode, "pertick") == 0) {
+    per_tick_fallback_ = true;
   }
 }
 
@@ -25,7 +41,12 @@ Engine::~Engine() {
   }
 }
 
-void Engine::add(Component& component) { components_.push_back(&component); }
+void Engine::add(Component& component) {
+  components_.push_back(&component);
+  if (component.batched()) {
+    ++batched_components_;
+  }
+}
 
 void Engine::at(Nanos t, std::function<void(Nanos)> fn) {
   if (t < clock_.now()) {
@@ -51,8 +72,16 @@ void Engine::cancel(std::uint64_t id) {
   }
 }
 
-void Engine::tick() {
+Nanos Engine::ceil_tick(Nanos t) const {
+  const Nanos r = t % dt_;
+  return r == 0 ? t : t + (dt_ - r);
+}
+
+bool Engine::span_step(Nanos end) {
   const Nanos now = clock_.now();
+  if (now >= end) {
+    return false;
+  }
   // 1. Fire due events.
   while (!events_.empty() && events_.top().due <= now) {
     Event ev = events_.top();
@@ -69,19 +98,46 @@ void Engine::tick() {
                          std::move(ev.fn)});
     }
   }
-  // 2. Step components.
-  for (Component* c : components_) {
-    c->step(now, dt_);
+  // 2. Plan the span: run end, the tick boundary carrying the next
+  // scheduled event, and the obs-flush boundary all cap it.  Whole spans
+  // are only safe with a single batched component (several could
+  // truncate at different points); mixed or legacy registrations clamp
+  // to one tick, which is also the per-tick fallback mode.
+  Nanos span_end = ceil_tick(end);
+  if (!events_.empty()) {
+    span_end = std::min(span_end, std::max(now + dt_,
+                                           ceil_tick(events_.top().due)));
   }
-  // 3. Advance time.
-  clock_.advance(dt_);
-  ++ticks_;
-  // The tick loop runs at ~MHz in simulation; per-tick atomic counter
-  // traffic would dominate it (the perf-labelled overhead test caught
-  // exactly that).  Batch into plain members and flush deltas rarely.
+  const std::uint64_t to_flush =
+      kObsFlushTicks - (ticks_ & (kObsFlushTicks - 1));
+  span_end = std::min(span_end, now + static_cast<Nanos>(to_flush) * dt_);
+  const bool whole_spans = !per_tick_fallback_ && components_.size() == 1 &&
+                           batched_components_ == 1;
+  if (!whole_spans) {
+    span_end = now + dt_;
+  }
+
+  // 3. Advance components.
+  const Nanos span = span_end - now;
+  Nanos consumed = span;
+  SpanContext ctx(this);
+  for (Component* c : components_) {
+    if (c->batched()) {
+      consumed = std::min(consumed, c->advance(now, span, dt_, &ctx));
+    } else {
+      c->step(now, dt_);
+    }
+  }
+
+  // 4. Land the clock on the consumed span end and account the ticks.
+  // The span planner never crosses a flush boundary, so the power-of-two
+  // mask still detects it exactly under batched advance.
+  clock_.set(now + consumed);
+  ticks_ += static_cast<std::uint64_t>(consumed / dt_);
   if ((ticks_ & (kObsFlushTicks - 1)) == 0) {
     flush_obs();
   }
+  return true;
 }
 
 void Engine::flush_obs() {
@@ -99,21 +155,27 @@ void Engine::flush_obs() {
 
 void Engine::run_for(Nanos duration) {
   const Nanos end = clock_.now() + duration;
-  while (clock_.now() < end) {
-    tick();
+  stop_requested_ = false;
+  while (!stop_requested_ && span_step(end)) {
   }
   flush_obs();
 }
 
 bool Engine::run_until(const std::function<bool()>& stop, Nanos max_duration) {
   const Nanos end = clock_.now() + max_duration;
+  stop_requested_ = false;
   bool stopped = false;
   while (clock_.now() < end) {
     if (stop()) {
       stopped = true;
       break;
     }
-    tick();
+    if (!span_step(end)) {
+      break;
+    }
+    if (stop_requested_) {
+      break;
+    }
   }
   flush_obs();
   return stopped || stop();

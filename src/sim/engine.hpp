@@ -1,16 +1,34 @@
-// engine.hpp — fixed-step discrete-time simulation engine.
+// engine.hpp — event-driven discrete-time simulation engine.
 //
-// The hardware substrate integrates power and executes workload segments
-// in fixed ticks (default 1 ms, matching the granularity of RAPL's own
-// control loop).  The engine owns the simulated clock; everything else —
-// the message bus, progress monitors, the power-policy daemon — takes the
-// clock as a TimeSource, so the identical component code also runs on
-// wall-clock time outside the simulator.
+// The simulated hardware integrates power and executes workload segments
+// on a fixed tick grid (default 1 ms, matching the granularity of RAPL's
+// own control loop), but the engine no longer *steps* that grid: between
+// "interesting" times — scheduled callbacks, obs-flush boundaries, a
+// component's own internal events — it hands a component a whole span and
+// the component advances analytically (closed-form integration of energy,
+// progress and counters).  The engine owns the simulated clock;
+// everything else — the message bus, progress monitors, the power-policy
+// daemon — takes the clock as a TimeSource, so the identical component
+// code also runs on wall-clock time outside the simulator.
 //
-// Tick semantics at time t:
+// Span semantics starting at time t:
 //   1. scheduled events with due <= t fire (in due order, FIFO for ties);
-//   2. components step over [t, t + dt), in registration order;
-//   3. the clock advances to t + dt.
+//   2. the engine picks the span end: the earliest of the run end, the
+//      first tick boundary at or after the next scheduled event, and the
+//      next obs-flush boundary;
+//   3. batched components advance over (t, t + span]; legacy components
+//      are stepped per tick (their presence clamps spans to one tick);
+//   4. the clock lands on the consumed span end (a tick boundary).
+//
+// Exactness contract (see DESIGN.md §13): a batched component must
+// produce bit-identical state for any partition of a span into sub-spans,
+// which it achieves by mutating state only at *event points* (segment
+// completions, operating-point changes, control decisions) and treating
+// every observable between events as a pure function of (state at the
+// last event, current time).  The per-tick fallback engine
+// (`PROCAP_SIM_ENGINE=pertick`, or set_per_tick_fallback) drives the very
+// same advance() code one tick at a time, so batched == per-tick is
+// checked in CI rather than assumed.
 #pragma once
 
 #include <cstdint>
@@ -23,18 +41,56 @@
 
 namespace procap::sim {
 
-/// Anything stepped by the engine each tick.
+class Engine;
+
+/// Handed to batched components during advance(): lets a component sync
+/// the engine clock onto the tick containing an internal event before it
+/// runs side effects (message publishes, progress reports), and exposes
+/// the engine's stop flag so a span can be truncated as soon as a stop
+/// condition fires inside it.
+class SpanContext {
+ public:
+  explicit SpanContext(Engine* engine) : engine_(engine) {}
+
+  /// Move the simulated clock forward to `t` (no-op if in the past: the
+  /// clock never goes backwards).  `t` should be the start of the tick
+  /// containing the internal event being processed.
+  void at_time(Nanos t);
+
+  /// True once Engine::request_stop() was called: the component should
+  /// finish the current event burst and return early.
+  [[nodiscard]] bool stop_requested() const;
+
+ private:
+  Engine* engine_;
+};
+
+/// Anything advanced by the engine.  Legacy components implement step()
+/// and are driven tick by tick; batched components additionally override
+/// batched()/advance() and get whole spans.
 class Component {
  public:
   virtual ~Component() = default;
+
   /// Advance the component over the interval [now, now + dt).
   virtual void step(Nanos now, Nanos dt) = 0;
+
+  /// True if the component supports span-batched advancement.
+  [[nodiscard]] virtual bool batched() const { return false; }
+
+  /// Advance over (now, now + span]; `span` is a positive multiple of
+  /// `dt`.  Returns the consumed span (== `span`, or a smaller multiple
+  /// of `dt` when truncating on ctx->stop_requested()).  The default
+  /// implementation drives step() per tick.
+  virtual Nanos advance(Nanos now, Nanos span, Nanos dt, SpanContext* ctx);
 };
 
-/// Fixed-step simulation driver.
+/// Event-driven simulation driver.
 class Engine {
  public:
-  /// `dt` is the tick length; must be positive.
+  /// `dt` is the tick length; must be positive.  The per-tick fallback
+  /// engine is selected when the PROCAP_SIM_ENGINE environment variable
+  /// is "pertick" (CI uses this to prove batched == per-tick).
   explicit Engine(Nanos dt = msec(1));
 
   /// Flushes any residual batched obs deltas (short runs, manual stops)
@@ -53,11 +109,12 @@ class Engine {
   /// Tick length.
   [[nodiscard]] Nanos dt() const { return dt_; }
 
-  /// Register a component; it is stepped every tick, in registration
+  /// Register a component; it is advanced every span, in registration
   /// order, for the lifetime of the engine.  Not owned.
   void add(Component& component);
 
-  /// Schedule `fn` once at absolute time `t` (>= now).
+  /// Schedule `fn` once at absolute time `t` (>= now).  It fires with
+  /// the clock on the first tick boundary at or after `t`.
   void at(Nanos t, std::function<void(Nanos)> fn);
 
   /// Schedule `fn` every `period` ns, first firing at now + phase.
@@ -71,14 +128,38 @@ class Engine {
   /// Run for `duration` ns of simulated time.
   void run_for(Nanos duration);
 
-  /// Run until `stop()` returns true (checked each tick) or `max_duration`
-  /// elapses.  Returns true if the predicate stopped the run.
+  /// Run until `stop()` returns true (checked at every span boundary; a
+  /// component calling request_stop() forces a boundary) or
+  /// `max_duration` elapses.  Returns true if the predicate stopped the
+  /// run.
   bool run_until(const std::function<bool()>& stop, Nanos max_duration);
 
-  /// Total ticks executed.
+  /// Ask the current run to stop at the next tick boundary.  Safe to
+  /// call from event callbacks and from inside Component::advance();
+  /// batched components see it through SpanContext::stop_requested().
+  void request_stop() { stop_requested_ = true; }
+
+  /// Force one-tick spans even for batched components.  CI's determinism
+  /// job uses this (via PROCAP_SIM_ENGINE=pertick) to prove the batched
+  /// engine's results bit-identical to per-tick execution.
+  void set_per_tick_fallback(bool on) { per_tick_fallback_ = on; }
+  [[nodiscard]] bool per_tick_fallback() const { return per_tick_fallback_; }
+
+  /// Total ticks executed (spans count each covered tick).
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
 
+  /// Flush cadence for batched counters (power of two; spans never cross
+  /// a flush boundary, so the check `ticks_ & (kObsFlushTicks - 1)`
+  /// still lands exactly on it under batched advance).
+  static constexpr std::uint64_t kObsFlushTicks = 4096;
+  static_assert(kObsFlushTicks != 0 &&
+                    (kObsFlushTicks & (kObsFlushTicks - 1)) == 0,
+                "kObsFlushTicks must be a power of two: the span planner "
+                "masks with (kObsFlushTicks - 1)");
+
  private:
+  friend class SpanContext;
+
   struct Event {
     Nanos due;
     std::uint64_t seq;       // FIFO tie-break
@@ -92,21 +173,19 @@ class Engine {
     }
   };
 
-  void tick();
+  /// Fire due events, then advance components over one span ending no
+  /// later than `end`.  Returns false when nothing was advanced (`end`
+  /// reached).
+  bool span_step(Nanos end);
   /// Publish batched tick/event deltas to the metrics registry.
   void flush_obs();
-
-  /// Flush cadence for batched counters (power of two; the hot loop
-  /// tests `ticks_ & (kObsFlushTicks - 1)`).
-  static constexpr std::uint64_t kObsFlushTicks = 4096;
-  static_assert(kObsFlushTicks != 0 &&
-                    (kObsFlushTicks & (kObsFlushTicks - 1)) == 0,
-                "kObsFlushTicks must be a power of two: the tick loop "
-                "masks with (kObsFlushTicks - 1)");
+  /// First tick boundary at or after `t`.
+  [[nodiscard]] Nanos ceil_tick(Nanos t) const;
 
   Nanos dt_;
   ManualTimeSource clock_;
   std::vector<Component*> components_;
+  unsigned batched_components_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
   std::vector<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 0;
@@ -115,6 +194,19 @@ class Engine {
   std::uint64_t events_fired_ = 0;
   std::uint64_t obs_flushed_ticks_ = 0;
   std::uint64_t obs_flushed_events_ = 0;
+  bool per_tick_fallback_ = false;
+  bool stop_requested_ = false;
 };
+
+// Inline: batched components call these once per internal event.
+inline void SpanContext::at_time(Nanos t) {
+  if (t > engine_->clock_.now()) {
+    engine_->clock_.set(t);
+  }
+}
+
+inline bool SpanContext::stop_requested() const {
+  return engine_->stop_requested_;
+}
 
 }  // namespace procap::sim

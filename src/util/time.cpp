@@ -11,18 +11,6 @@ Nanos SteadyTimeSource::now() const {
       .count();
 }
 
-void ManualTimeSource::advance(Nanos delta) {
-  if (delta < 0) {
-    throw std::invalid_argument("ManualTimeSource::advance: negative delta");
-  }
-  now_ += delta;
-}
 
-void ManualTimeSource::set(Nanos t) {
-  if (t < now_) {
-    throw std::invalid_argument("ManualTimeSource::set: time moved backwards");
-  }
-  now_ = t;
-}
 
 }  // namespace procap

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 
 #include "util/units.hpp"
 
@@ -38,10 +39,23 @@ class ManualTimeSource final : public TimeSource {
   [[nodiscard]] Nanos now() const override { return now_; }
 
   /// Advance the clock by `delta` nanoseconds (must be non-negative).
-  void advance(Nanos delta);
+  /// Inline: the batched engine lands the clock on every internal event.
+  void advance(Nanos delta) {
+    if (delta < 0) {
+      throw std::invalid_argument(
+          "ManualTimeSource::advance: negative delta");
+    }
+    now_ += delta;
+  }
 
   /// Jump the clock to an absolute time (must not move backwards).
-  void set(Nanos t);
+  void set(Nanos t) {
+    if (t < now_) {
+      throw std::invalid_argument(
+          "ManualTimeSource::set: time moved backwards");
+    }
+    now_ = t;
+  }
 
  private:
   Nanos now_;

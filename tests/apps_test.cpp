@@ -235,6 +235,10 @@ TEST(Listing1, UnequalWorkInflatesMips) {
   auto measure_mips = [](WorkPattern pattern) {
     exp::SimRig rig;
     Listing1App app(rig.package(), rig.broker(), pattern, 3);
+    // Stop at the completion event: under span batching run_until only
+    // re-evaluates its predicate at span boundaries, so without the stop
+    // request the elapsed time (the MIPS denominator) would overshoot.
+    app.set_on_done([&rig] { rig.engine().request_stop(); });
     counters::NodeCounterSource source(rig.node());
     auto events = counters::make_standard_event_set(source, rig.time());
     events.start();

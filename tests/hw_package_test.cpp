@@ -188,7 +188,12 @@ TEST(Node, CpuNumberingAndLeaders) {
   Node node(spec);
   EXPECT_EQ(node.cpu_count(), 48U);
   EXPECT_EQ(node.package_leaders(), (std::vector<unsigned>{0, 24}));
-  EXPECT_EQ(&node.core(25), &node.package(1).core(1));
+  // Global CPU 25 is core 1 of package 1: work pushed through the node
+  // handle must land on that core and be visible via the package handle.
+  node.core(25).push_compute(1e6, 2e6);
+  node.package(1).advance_to(to_nanos(0.01), nullptr);
+  EXPECT_DOUBLE_EQ(node.package(1).core(1).counters().instructions, 2e6);
+  EXPECT_DOUBLE_EQ(node.package(1).core(0).counters().instructions, 0.0);
 }
 
 TEST(Node, EnergyStatusMsrReflectsPackageEnergy) {

@@ -68,7 +68,11 @@ TEST(Cluster, UncappedNodesPerformIdentically) {
   const double lo = *std::min_element(rates.begin(), rates.end());
   const double hi = *std::max_element(rates.begin(), rates.end());
   EXPECT_GT(lo, 0.0);
-  EXPECT_LT((hi - lo) / hi, 0.04);
+  // Rates are quantized to whole iterations completed inside the run, so
+  // nodes straddling an iteration boundary at cutoff differ by 1/n (4.3%
+  // at ~23 iterations); anything beyond one boundary would be a real
+  // performance spread.
+  EXPECT_LT((hi - lo) / hi, 0.05);
 }
 
 TEST(Cluster, CappedNodesSpread) {

@@ -1,0 +1,257 @@
+// Tests for the event-driven (span-batched) engine path: the span
+// protocol, its event-queue edge cases, flush accounting under batched
+// advance, and end-to-end exactness of batched vs per-tick execution
+// (DESIGN.md §13).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/measure.hpp"
+#include "exp/rig.hpp"
+#include "fault/plan.hpp"
+#include "msr/addresses.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace procap::sim {
+namespace {
+
+/// Batched component that records every span it is offered.
+class SpanRecorder : public Component {
+ public:
+  void step(Nanos now, Nanos dt) override {
+    (void)now;
+    (void)dt;
+    ++legacy_steps;
+  }
+  [[nodiscard]] bool batched() const override { return true; }
+  Nanos advance(Nanos now, Nanos span, Nanos dt, SpanContext*) override {
+    (void)dt;
+    spans.emplace_back(now, span);
+    if (stop_engine != nullptr) {
+      stop_engine->request_stop();  // internal stop condition mid-span
+      return std::min(span, consume_at_most);
+    }
+    return span;
+  }
+  std::vector<std::pair<Nanos, Nanos>> spans;
+  Engine* stop_engine = nullptr;
+  Nanos consume_at_most = 0;
+  int legacy_steps = 0;
+};
+
+TEST(SpanEngine, SingleBatchedComponentGetsWholeSpans) {
+  Engine engine(msec(1));
+  SpanRecorder rec;
+  engine.add(rec);
+  engine.run_for(msec(500));
+  // No scheduled events: the whole run is one span (500 < kObsFlushTicks).
+  ASSERT_EQ(rec.spans.size(), 1U);
+  EXPECT_EQ(rec.spans[0], std::make_pair(Nanos{0}, msec(500)));
+  EXPECT_EQ(rec.legacy_steps, 0);
+  EXPECT_EQ(engine.now(), msec(500));
+  EXPECT_EQ(engine.ticks(), 500U);
+}
+
+TEST(SpanEngine, SpansBreakAtObsFlushBoundaries) {
+  Engine engine(msec(1));
+  SpanRecorder rec;
+  engine.add(rec);
+  const Nanos flush_span =
+      static_cast<Nanos>(Engine::kObsFlushTicks) * msec(1);
+  engine.run_for(flush_span + msec(100));
+  ASSERT_EQ(rec.spans.size(), 2U);
+  EXPECT_EQ(rec.spans[0].second, flush_span);
+  EXPECT_EQ(rec.spans[1], std::make_pair(flush_span, msec(100)));
+}
+
+TEST(SpanEngine, SpansBreakAtScheduledEvents) {
+  Engine engine(msec(1));
+  SpanRecorder rec;
+  engine.add(rec);
+  std::vector<Nanos> fired;
+  engine.at(msec(7), [&](Nanos now) { fired.push_back(now); });
+  engine.run_for(msec(20));
+  EXPECT_EQ(fired, (std::vector<Nanos>{msec(7)}));
+  // The event splits the run: [0,7) then [7,20).
+  ASSERT_EQ(rec.spans.size(), 2U);
+  EXPECT_EQ(rec.spans[0], std::make_pair(Nanos{0}, msec(7)));
+  EXPECT_EQ(rec.spans[1], std::make_pair(msec(7), msec(13)));
+}
+
+TEST(SpanEngine, TwoEventsAtTheSameTimestampFireInFifoOrderInOneBreak) {
+  Engine engine(msec(1));
+  SpanRecorder rec;
+  engine.add(rec);
+  std::vector<int> order;
+  engine.at(msec(5), [&](Nanos) { order.push_back(1); });
+  engine.at(msec(5), [&](Nanos) { order.push_back(2); });
+  engine.run_for(msec(10));
+  // FIFO at equal timestamps, and only one span break for both.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  ASSERT_EQ(rec.spans.size(), 2U);
+  EXPECT_EQ(rec.spans[0].second, msec(5));
+}
+
+TEST(SpanEngine, StopInsideSpanTruncatesConsumptionAndEndsRun) {
+  Engine engine(msec(1));
+  SpanRecorder rec;
+  rec.stop_engine = &engine;
+  rec.consume_at_most = msec(3);
+  engine.add(rec);
+  engine.run_for(msec(10));
+  // The component hit its stop condition 3 ticks into the 10-tick span:
+  // the clock lands mid-span and the run ends.
+  ASSERT_EQ(rec.spans.size(), 1U);
+  EXPECT_EQ(engine.now(), msec(3));
+  EXPECT_EQ(engine.ticks(), 3U);
+}
+
+TEST(SpanEngine, MixedComponentsFallBackToPerTick) {
+  Engine engine(msec(1));
+  SpanRecorder batched;
+  SpanRecorder legacy_like;  // second component disables whole spans
+  engine.add(batched);
+  engine.add(legacy_like);
+  engine.run_for(msec(5));
+  ASSERT_EQ(batched.spans.size(), 5U);
+  for (const auto& [now, span] : batched.spans) {
+    (void)now;
+    EXPECT_EQ(span, msec(1));
+  }
+}
+
+TEST(SpanEngine, PerTickEnvForcesTickSpans) {
+  ::setenv("PROCAP_SIM_ENGINE", "pertick", 1);
+  Engine engine(msec(1));
+  ::unsetenv("PROCAP_SIM_ENGINE");
+  SpanRecorder rec;
+  engine.add(rec);
+  engine.run_for(msec(4));
+  ASSERT_EQ(rec.spans.size(), 4U);
+  EXPECT_EQ(rec.spans[2], std::make_pair(msec(2), msec(1)));
+}
+
+#if !defined(PROCAP_OBS_DISABLED)
+TEST(SpanEngine, TickAccountingExactAcrossBatchedFlushes) {
+  // Satellite regression: kObsFlushTicks accounting must stay exact when
+  // whole spans (not single ticks) cross the flush boundary.
+  auto& ticks_total = obs::Registry::global().counter("sim.ticks");
+  const std::uint64_t before = ticks_total.value();
+  Engine engine(msec(1));
+  SpanRecorder rec;
+  engine.add(rec);
+  engine.run_for(msec(3 * Engine::kObsFlushTicks + 137));
+  EXPECT_EQ(ticks_total.value() - before, 3 * Engine::kObsFlushTicks + 137);
+}
+
+TEST(SpanEngine, DestructionMidSpanFlushesResidualTicksExactly) {
+  auto& ticks_total = obs::Registry::global().counter("sim.ticks");
+  const std::uint64_t before = ticks_total.value();
+  {
+    Engine engine(msec(1));
+    SpanRecorder rec;
+    engine.add(rec);
+    // End between flush boundaries; the destructor must report the
+    // residual ticks, no more and no fewer.
+    engine.run_for(msec(Engine::kObsFlushTicks + 41));
+  }
+  EXPECT_EQ(ticks_total.value() - before, Engine::kObsFlushTicks + 41);
+}
+#endif
+
+// ---- Hardware-in-the-loop edge cases ----------------------------------
+
+TEST(SpanEngine, ZeroLengthPhaseCompletesWithoutWork) {
+  // A phase with no work per iteration must still complete its iteration
+  // count (via idle re-polls) rather than hang or be skipped.
+  exp::SimRig rig;
+  apps::WorkloadSpec spec;
+  spec.name = "empty";
+  apps::PhaseSpec empty;
+  empty.iterations = 3;
+  empty.progress_per_iter = 1.0;
+  spec.phases.push_back(empty);
+  apps::PhaseSpec tail;
+  tail.cycles = 1e6;
+  tail.compute_instr = 1e6;
+  tail.iterations = 1;
+  tail.progress_per_iter = 1.0;
+  spec.phases.push_back(tail);
+  apps::SimApp app(rig.package(), rig.broker(), spec);
+  app.set_on_done([&rig] { rig.engine().request_stop(); });
+  rig.engine().run_until([&] { return app.done(); }, to_nanos(1.0));
+  EXPECT_TRUE(app.done());
+  EXPECT_EQ(app.iterations_completed(), 4);
+  EXPECT_DOUBLE_EQ(app.total_progress(), 4.0);
+}
+
+TEST(SpanEngine, FaultEpisodeInsideBatchedSpanStillApplies) {
+  // An MSR fault window opening and closing mid-run must take effect at
+  // its scripted times even though the engine advances the node in
+  // multi-tick spans: the stuck power-limit register swallows the cap
+  // write until the episode ends, so enforcement starts late.
+  const apps::AppModel lammps = apps::lammps();
+  auto run = [&](const fault::FaultPlan* plan) {
+    exp::RunOptions options;
+    options.duration = 6.0;
+    options.fault_plan = plan;
+    // Cap writes land at every 55<->60 W flip (each ~1 s); the ones
+    // inside the stuck window are swallowed, the first one after it
+    // restores enforcement.
+    auto schedule =
+        std::make_unique<policy::StepCap>(60.0, 55.0, 1.0, 1.0);
+    return exp::run_under_schedule(lammps, std::move(schedule), options);
+  };
+  fault::FaultPlan plan;
+  fault::MsrEpisode stuck;
+  stuck.start = 0;
+  stuck.end = to_nanos(3.0);
+  stuck.stuck = true;
+  stuck.regs.push_back(msr::kMsrPkgPowerLimit);
+  plan.msr.push_back(stuck);
+  const exp::RunTraces clean = run(nullptr);
+  const exp::RunTraces faulty = run(&plan);
+  // Clean run: capped from the start.  Faulty run: uncapped power while
+  // the register is stuck, capped once the episode clears.
+  const double clean_early =
+      clean.power.mean_in(to_nanos(1.5), to_nanos(2.5));
+  const double faulty_early =
+      faulty.power.mean_in(to_nanos(1.5), to_nanos(2.5));
+  const double faulty_late =
+      faulty.power.mean_in(to_nanos(4.5), to_nanos(5.5));
+  EXPECT_LT(clean_early, 70.0);
+  EXPECT_GT(faulty_early, 90.0);
+  EXPECT_LT(faulty_late, 70.0);
+  EXPECT_GT(faulty.msr_faults.dropped_writes, 0U);
+}
+
+// ---- Batched vs per-tick exactness ------------------------------------
+
+exp::CapImpact cap_impact_run() {
+  return exp::measure_cap_impact(apps::lammps(), 80.0, /*seed=*/7,
+                                 /*uncapped_for=*/2.0, /*capped_for=*/2.0,
+                                 /*settle=*/0.5);
+}
+
+TEST(SpanEngine, BatchedAndPerTickCapImpactBitIdentical) {
+  ::unsetenv("PROCAP_SIM_ENGINE");
+  const exp::CapImpact batched = cap_impact_run();
+  ::setenv("PROCAP_SIM_ENGINE", "pertick", 1);
+  const exp::CapImpact pertick = cap_impact_run();
+  ::unsetenv("PROCAP_SIM_ENGINE");
+  // Bitwise equality, not tolerance: state folds happen at the same
+  // simulated times in both modes (the §13 exactness contract).
+  EXPECT_EQ(batched.rate_uncapped, pertick.rate_uncapped);
+  EXPECT_EQ(batched.rate_capped, pertick.rate_capped);
+  EXPECT_EQ(batched.delta, pertick.delta);
+  EXPECT_EQ(batched.power_uncapped, pertick.power_uncapped);
+  EXPECT_EQ(batched.power_capped, pertick.power_capped);
+}
+
+}  // namespace
+}  // namespace procap::sim

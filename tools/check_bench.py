@@ -23,6 +23,10 @@ baseline for every gated report (the deltas are printed either way), 1 on
 a regression beyond the threshold, a failed trial, or a missing
 candidate, 2 on usage/schema errors.
 
+When running under GitHub Actions (GITHUB_STEP_SUMMARY set), a per-bench
+speedup-vs-baseline markdown table is appended to the job summary;
+--summary PATH writes the same table elsewhere (e.g. for local review).
+
 To update a baseline after an intentional perf change, rerun the bench
 with --bench-json pointed at bench/baselines/ and commit the diff (the
 README "CI" section documents the procedure).
@@ -46,8 +50,12 @@ def load(path):
     return report
 
 
-def check_one(candidate_path, baseline_path, max_regression):
-    """Gate one report; returns 0 (ok) or 1 (fail)."""
+def check_one(candidate_path, baseline_path, max_regression, rows=None):
+    """Gate one report; returns 0 (ok) or 1 (fail).
+
+    When `rows` is a list, a summary-table row dict is appended for
+    write_summary() regardless of pass/fail.
+    """
     candidate = load(candidate_path)
     baseline = load(baseline_path)
     if candidate["bench"] != baseline["bench"]:
@@ -58,6 +66,8 @@ def check_one(candidate_path, baseline_path, max_regression):
     failures = int(candidate.get("trial_failures", 0))
     if failures:
         print(f"{name}: {failures} trial(s) failed — FAIL")
+        if rows is not None:
+            rows.append({"bench": name, "verdict": "FAIL (trial failures)"})
         return 1
 
     new = float(candidate["trials_per_s"])
@@ -65,6 +75,17 @@ def check_one(candidate_path, baseline_path, max_regression):
     if old <= 0:
         sys.exit("check_bench: baseline trials_per_s must be positive")
     delta_pct = (new - old) / old * 100.0
+    ok = delta_pct >= -max_regression
+    if rows is not None:
+        rows.append({
+            "bench": name,
+            "new": new,
+            "old": old,
+            "speedup": new / old,
+            "delta_pct": delta_pct,
+            "threads": candidate.get("threads", "?"),
+            "verdict": "OK" if ok else "FAIL (regression)",
+        })
     direction = "faster" if delta_pct >= 0 else "slower"
     print(f"{name}: {new:.2f} trials/s vs baseline {old:.2f} "
           f"({delta_pct:+.1f}%, {direction}; threads "
@@ -91,7 +112,7 @@ def check_one(candidate_path, baseline_path, max_regression):
     return 0
 
 
-def check_dirs(candidate_dir, baseline_dir, max_regression):
+def check_dirs(candidate_dir, baseline_dir, max_regression, rows=None):
     """Gate every baseline BENCH_*.json against the candidate directory."""
     names = sorted(n for n in os.listdir(baseline_dir)
                    if n.startswith("BENCH_") and n.endswith(".json"))
@@ -102,13 +123,38 @@ def check_dirs(candidate_dir, baseline_dir, max_regression):
         candidate_path = os.path.join(candidate_dir, name)
         if not os.path.exists(candidate_path):
             print(f"{name}: no candidate report in {candidate_dir} — FAIL")
+            if rows is not None:
+                rows.append({"bench": name, "verdict": "FAIL (missing)"})
             status = 1
             continue
         status |= check_one(candidate_path, os.path.join(baseline_dir, name),
-                            max_regression)
+                            max_regression, rows)
     print(f"checked {len(names)} baseline(s): "
           f"{'FAIL' if status else 'all OK'}")
     return status
+
+
+def write_summary(rows, path):
+    """Append the per-bench speedup table (GitHub-flavored markdown)."""
+    lines = ["## Bench throughput vs committed baselines", "",
+             "| bench | trials/s | baseline | speedup | delta | threads "
+             "| gate |",
+             "|---|---:|---:|---:|---:|---:|---|"]
+    for row in rows:
+        if "new" in row:
+            lines.append(
+                f"| {row['bench']} | {row['new']:.2f} | {row['old']:.2f} "
+                f"| {row['speedup']:.2f}x | {row['delta_pct']:+.1f}% "
+                f"| {row['threads']} | {row['verdict']} |")
+        else:
+            lines.append(f"| {row['bench']} | — | — | — | — | — "
+                         f"| {row['verdict']} |")
+    try:
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as err:
+        print(f"check_bench: cannot write summary {path}: {err}",
+              file=sys.stderr)
 
 
 def main():
@@ -123,14 +169,26 @@ def main():
     parser.add_argument(
         "--max-regression", type=float, default=15.0, metavar="PCT",
         help="maximum allowed trials/s drop vs baseline (default 15%%)")
+    parser.add_argument(
+        "--summary", metavar="PATH",
+        default=os.environ.get("GITHUB_STEP_SUMMARY"),
+        help="append a markdown speedup table to PATH (defaults to "
+             "$GITHUB_STEP_SUMMARY when set)")
     args = parser.parse_args()
 
     if os.path.isdir(args.candidate) != os.path.isdir(args.baseline):
         sys.exit("check_bench: candidate and baseline must both be files or "
                  "both be directories")
+    rows = []
     if os.path.isdir(args.candidate):
-        return check_dirs(args.candidate, args.baseline, args.max_regression)
-    return check_one(args.candidate, args.baseline, args.max_regression)
+        status = check_dirs(args.candidate, args.baseline,
+                            args.max_regression, rows)
+    else:
+        status = check_one(args.candidate, args.baseline,
+                           args.max_regression, rows)
+    if args.summary and rows:
+        write_summary(rows, args.summary)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Assert that bench reports from different execution modes are identical.
+
+The event-driven engine promises bit-identical results across (a) thread
+counts — trials share no mutable state, and (b) batched vs per-tick
+execution — state folds only happen at event points common to both modes
+(DESIGN.md section 13).  CI proves it by running the same short grid as
+
+    fig4_model_vs_measured --short --threads 1 --bench-json ref.json
+    fig4_model_vs_measured --short --threads 8 --bench-json t8.json
+    PROCAP_SIM_ENGINE=pertick ... --threads 8 --bench-json pertick.json
+
+and handing every report to this script:
+
+    python3 tools/check_determinism.py ref.json t8.json pertick.json
+
+The first report is the reference.  Every other report must match it on
+trial count, shape/trial failure counts, and every headline metric
+bit-for-bit (textual equality of the JSON numbers — no tolerance).
+Exit status: 0 on full agreement, 1 on any divergence, 2 on bad usage.
+"""
+
+import json
+import re
+import sys
+
+# Keys that must agree exactly across modes.  wall_s / trials_per_s /
+# threads legitimately differ; metrics carry the simulation results.
+EXACT_KEYS = ("bench", "trials", "shape_failures", "trial_failures")
+
+
+def load_raw_metrics(path):
+    """Return (report, metrics-as-text) — comparing the raw JSON number
+    tokens sidesteps any float round-trip, making the check bit-exact."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        sys.exit(f"check_determinism: cannot read {path}: {err}")
+    try:
+        report = json.loads(text)
+    except ValueError as err:
+        sys.exit(f"check_determinism: {path}: bad JSON: {err}")
+    raw = {}
+    for key, value in re.findall(r'"([^"]+)":\s*(-?[0-9][^,\s}]*)', text):
+        raw[key] = value
+    metrics = {k: raw[k] for k in report.get("metrics", {}) if k in raw}
+    return report, metrics
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit("usage: check_determinism.py REFERENCE.json OTHER.json "
+                 "[OTHER.json ...]")
+    ref_path = sys.argv[1]
+    ref, ref_metrics = load_raw_metrics(ref_path)
+    if not ref_metrics:
+        sys.exit(f"check_determinism: {ref_path} has no metrics to compare")
+    status = 0
+    for path in sys.argv[2:]:
+        other, other_metrics = load_raw_metrics(path)
+        diverged = []
+        for key in EXACT_KEYS:
+            if ref.get(key) != other.get(key):
+                diverged.append(f"{key}: {ref.get(key)} vs {other.get(key)}")
+        for key in sorted(set(ref_metrics) | set(other_metrics)):
+            a = ref_metrics.get(key)
+            b = other_metrics.get(key)
+            if a != b:
+                diverged.append(f"metrics.{key}: {a} vs {b}")
+        if diverged:
+            status = 1
+            print(f"{path}: DIVERGES from {ref_path}:")
+            for line in diverged:
+                print(f"  {line}")
+        else:
+            print(f"{path}: identical to {ref_path} "
+                  f"({len(ref_metrics)} metrics bit-exact)")
+    print("determinism: " + ("FAIL" if status else "OK"))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

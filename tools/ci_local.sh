@@ -79,6 +79,25 @@ if [[ " ${presets[*]} " == *" default "* ]]; then
   run_step "perf gate (ctest --preset perf)" ctest --preset perf
 fi
 
+# --- engine determinism gate ----------------------------------------------
+# Same grid at 1 thread, 8 threads, and with the per-tick fallback engine:
+# BenchReport metrics must be bit-identical (DESIGN.md section 13).
+if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
+  determinism_gate() {
+    local out=/tmp/det_out
+    mkdir -p "${out}"
+    ./build/bench/fig4_model_vs_measured --short --threads 1 \
+      --bench-json "${out}/t1.json" &&
+      ./build/bench/fig4_model_vs_measured --short --threads 8 \
+        --bench-json "${out}/t8.json" &&
+      PROCAP_SIM_ENGINE=pertick ./build/bench/fig4_model_vs_measured \
+        --short --threads 8 --bench-json "${out}/pertick.json" &&
+      python3 tools/check_determinism.py \
+        "${out}/t1.json" "${out}/t8.json" "${out}/pertick.json"
+  }
+  run_step "determinism gate (threads x batched/per-tick)" determinism_gate
+fi
+
 # --- bench smoke + regression gate ----------------------------------------
 if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
   bench_gate() {
