@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -114,6 +115,30 @@ void ClusterPowerManager::step_ticks() {
         detector_.heartbeat(i, now_);
       }
     }
+    // Causal tracing, serial in node-index order: a pending grant is
+    // actuated once its node steps under the new cap, and its effect is
+    // the first heartbeating tick after that — the earliest moment the
+    // progress signal can reflect the decision.  Fused callback form:
+    // one tracer lock per tick, no intermediate pending list.
+    if (tracer_ != nullptr) {
+      tracer_->advance(
+          now_,
+          [](unsigned i, void* ctx) -> obs::FlowTick {
+            const auto* self = static_cast<const ClusterPowerManager*>(ctx);
+            if (i >= self->nodes_.size() || self->left_[i]) {
+              return obs::FlowTick{.node = i, .skip = true};
+            }
+            const bool beat = self->heartbeat_[i] != 0;
+            // The strided rate load only happens for flows closing this
+            // tick — a handful per epoch — so it stays off the per-node
+            // hot path.
+            return obs::FlowTick{
+                .node = i,
+                .effect = beat,
+                .rate = beat ? self->nodes_[i].telemetry().rate : 0.0};
+          },
+          this);
+    }
   }
 }
 
@@ -121,6 +146,9 @@ void ClusterPowerManager::apply_liveness(EpochRecord& rec) {
   const FailureDetector::Events events = detector_.advance(now_);
   for (const unsigned i : events.died) {
     ++deaths_;
+    if (tracer_ != nullptr) {
+      tracer_->orphan(i, now_, "node_death");
+    }
     rec.reclaimed += caps_[i];
     caps_[i] = 0.0;  // reclaim in the detection epoch, before redistribution
     const int job = nodes_[i].job();
@@ -223,12 +251,37 @@ const EpochRecord& ClusterPowerManager::run_epoch() {
   apply_jobs();
 
   if (!rec.held) {
+    if (tracer_ != nullptr) {
+      prev_caps_ = caps_;
+    }
     const auto t0 = std::chrono::steady_clock::now();
     redistribute();
     rec.redistribute_us =
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - t0)
             .count();
+    // Fan the decision out as one flow per re-granted live node (dead
+    // nodes' zeroed caps are reclamation, not grants; left/suspect nodes
+    // keep their frozen share).  Outside the redistribute_us window: the
+    // tracer is observability, not decision cost.
+    if (tracer_ != nullptr) {
+      // Pre-filter with the tracer's own jitter threshold so the change
+      // list (and everything the tracer does per change) only carries
+      // decisions worth tracing.
+      const Watts min_change = std::max(1e-9, tracer_->options().min_change_w);
+      changes_scratch_.clear();
+      for (unsigned i = 0; i < nodes_.size(); ++i) {
+        if (left_[i] || detector_.liveness(i) != Liveness::kAlive) {
+          continue;
+        }
+        const Watts before = i < prev_caps_.size() ? prev_caps_[i] : 0.0;
+        if (std::abs(caps_[i] - before) < min_change) {
+          continue;
+        }
+        changes_scratch_.push_back(obs::GrantChange{i, before, caps_[i]});
+      }
+      tracer_->epoch_decision(rec.epoch, now_, changes_scratch_);
+    }
   }
 
   // Conservation invariant: never promise more than the facility grants.
@@ -298,6 +351,9 @@ void ClusterPowerManager::remove_node(unsigned node) {
     return;
   }
   left_[node] = 1;
+  if (tracer_ != nullptr) {
+    tracer_->orphan(node, now_, "node_left");
+  }
   const int job = nodes_[node].job();
   if (job >= 0) {
     jobs_.release_node(job, node);

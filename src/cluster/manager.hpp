@@ -44,6 +44,7 @@
 #include "fault/plan.hpp"
 #include "minithread/minithread.hpp"
 #include "msgbus/bus.hpp"
+#include "obs/trace.hpp"
 #include "policy/latch.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -98,6 +99,15 @@ class ClusterPowerManager {
   /// Adopt `sub` as the degrades_control alert feed (policy::
   /// DegradeAlertWatch semantics); nullptr detaches.
   void watch_alerts(std::shared_ptr<msgbus::SubSocket> sub);
+
+  /// Attach a causal tracer: each redistribution decision opens an epoch
+  /// span with one flow per re-granted live node; the flow closes at the
+  /// first heartbeating tick under the new cap and orphans when the node
+  /// dies or leaves first.  All tracer calls happen serially on the sim
+  /// thread in node-index order, so the kept-flow set is deterministic
+  /// across thread counts and the allocation trace_hash is untouched.
+  /// nullptr detaches; `tracer` must outlive the manager while attached.
+  void set_tracer(obs::FlowTracer* tracer) { tracer_ = tracer; }
 
   /// Advance one epoch (ticks_per_epoch node steps, then liveness, job
   /// lifecycle and redistribution) and return its record.
@@ -161,6 +171,9 @@ class ClusterPowerManager {
   std::unique_ptr<minithread::ThreadPool> pool_;
   policy::ReengageLatch latch_;
   policy::DegradeAlertWatch alert_watch_{"cluster"};
+  obs::FlowTracer* tracer_ = nullptr;
+  std::vector<Watts> prev_caps_;            ///< pre-decision caps scratch
+  std::vector<obs::GrantChange> changes_scratch_;
   Nanos now_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t trace_hash_;

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/sketch.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace procap::cluster {
@@ -102,6 +103,31 @@ void ClusterTelemetry::update(const ClusterPowerManager& manager) {
   snap.rate = rate.finish();
   snap.progress = progress.finish();
 
+  // Cap-to-effect roll-in: per-node last latency for the drill-down
+  // table, cluster quantiles for the dashboard headline.
+  if (tracer_ != nullptr) {
+    obs::FlowTracerStats flow_stats;
+    const double qs[2] = {0.5, 0.99};
+    double quantiles[2] = {0.0, 0.0};
+    tracer_->rollup(flow_stats, qs, quantiles, 2, c2e_scratch_);
+    snap.flows_closed = flow_stats.closed;
+    snap.flows_orphaned = flow_stats.orphaned;
+    snap.flows_open = flow_stats.open;
+    if (flow_stats.closed > 0) {
+      snap.flow_p50_ms = quantiles[0] * 1e3;
+      snap.flow_p99_ms = quantiles[1] * 1e3;
+    }
+    const std::size_t c2e_n = std::min(c2e_scratch_.size(),
+                                       snap.nodes.size());
+    for (std::size_t i = 0; i < c2e_n; ++i) {
+      snap.nodes[i].c2e_ms = c2e_scratch_[i];
+    }
+    if (trace_open_gauge_ == nullptr) {
+      trace_open_gauge_ = &registry_->gauge("cluster.trace.open");
+    }
+    trace_open_gauge_->set(static_cast<double>(flow_stats.open));
+  }
+
   // Cluster-level gauges: the TimeSeriesStore retains these, the alert
   // engine can watch them, and /metrics exposes them — for free.
   registry_->gauge("cluster.budget").set(snap.budget);
@@ -171,6 +197,11 @@ void ClusterTelemetry::write_cluster_json(std::ostream& os,
   write_roll(os, "rate", snap.rate);
   os << ",";
   write_roll(os, "progress", snap.progress);
+  os << ",\"trace\":{\"closed\":" << snap.flows_closed
+     << ",\"orphaned\":" << snap.flows_orphaned
+     << ",\"open\":" << snap.flows_open
+     << ",\"p50_ms\":" << snap.flow_p50_ms
+     << ",\"p99_ms\":" << snap.flow_p99_ms << "}";
 
   std::vector<const NodeSample*> rows;
   rows.reserve(snap.nodes.size());
@@ -195,7 +226,8 @@ void ClusterTelemetry::write_cluster_json(std::ostream& os,
        << to_string(node->liveness) << "\",\"cap\":" << node->cap
        << ",\"power\":" << node->power << ",\"demand\":" << node->demand
        << ",\"rate\":" << node->rate << ",\"progress\":" << node->progress
-       << ",\"job\":" << node->job << ",\"deficit\":" << node->deficit << "}";
+       << ",\"job\":" << node->job << ",\"deficit\":" << node->deficit
+       << ",\"c2e_ms\":" << node->c2e_ms << "}";
     first = false;
   }
   os << "]}";

@@ -65,6 +65,9 @@ struct NodeSample {
   /// demand − cap: how many watts short of satisfied this node is.  The
   /// cluster pane ranks nodes by it.
   Watts deficit = 0.0;
+  /// Most recent cap-to-effect latency (ms) from the attached FlowTracer;
+  /// -1 when no flow for this node has closed (or no tracer).
+  double c2e_ms = -1.0;
 };
 
 /// One epoch's cluster-level view.
@@ -84,6 +87,13 @@ struct ClusterSnapshot {
   bool held = false;
   std::uint64_t invariant_violations = 0;
   std::vector<NodeSample> nodes;  ///< index order
+  /// Cap-to-effect roll-up from the attached FlowTracer (zeros/-1
+  /// without one): the causal health of the control loop at a glance.
+  std::uint64_t flows_closed = 0;
+  std::uint64_t flows_orphaned = 0;
+  std::uint64_t flows_open = 0;
+  double flow_p50_ms = -1.0;
+  double flow_p99_ms = -1.0;
 };
 
 /// Rolls a ClusterPowerManager into cluster series + registry gauges.
@@ -95,6 +105,11 @@ class ClusterTelemetry {
 
   ClusterTelemetry(const ClusterTelemetry&) = delete;
   ClusterTelemetry& operator=(const ClusterTelemetry&) = delete;
+
+  /// Adopt `tracer` as the cap-to-effect source rolled into every
+  /// subsequent update() (per-node c2e_ms, cluster flow quantiles).
+  /// nullptr detaches; `tracer` must outlive the telemetry while set.
+  void set_tracer(const obs::FlowTracer* tracer) { tracer_ = tracer; }
 
   /// Roll the manager's current state into a fresh snapshot and publish
   /// the registry series.  Call on the sim thread after run_epoch().
@@ -113,6 +128,7 @@ class ClusterTelemetry {
 
  private:
   obs::Registry* registry_;
+  const obs::FlowTracer* tracer_ = nullptr;
   mutable std::mutex mutex_;
   ClusterSnapshot snapshot_;
   std::uint64_t updates_ = 0;
@@ -121,6 +137,8 @@ class ClusterTelemetry {
   std::vector<obs::Gauge*> node_power_;
   std::vector<obs::Gauge*> node_granted_;
   std::vector<obs::Gauge*> node_rate_;
+  std::vector<double> c2e_scratch_;  ///< per-update roll-in scratch
+  obs::Gauge* trace_open_gauge_ = nullptr;  ///< cached like node gauges
 };
 
 }  // namespace procap::cluster

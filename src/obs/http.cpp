@@ -8,11 +8,23 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define PROCAP_HTTP_HAS_EPOLL 1
+#else
+#define PROCAP_HTTP_HAS_EPOLL 0
+#endif
+
+#if defined(PROCAP_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -20,9 +32,127 @@
 
 namespace procap::obs {
 
+namespace detail {
+
+/// Readiness seam: poll()-compatible interface (examine fd/events, fill
+/// revents) so serve_loop is backend-agnostic.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual int wait(std::vector<pollfd>& fds, int timeout_ms) = 0;
+  /// The server closed `fd`; drop any backend bookkeeping for it.
+  virtual void forget(int fd) { (void)fd; }
+};
+
+}  // namespace detail
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+class PollPoller final : public detail::Poller {
+ public:
+  int wait(std::vector<pollfd>& fds, int timeout_ms) override {
+    return ::poll(fds.data(), fds.size(), timeout_ms);
+  }
+};
+
+#if PROCAP_HTTP_HAS_EPOLL
+
+/// epoll(7) backend: the kernel holds the interest set, so each wait is
+/// O(ready events) plus O(interest changes) — not the O(connections)
+/// scan poll() pays — which is what lifts the >1k-connection ceiling.
+/// forget() keeps the user-space mirror honest across fd-number reuse.
+class EpollPoller final : public detail::Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) {
+      ::close(epfd_);
+    }
+  }
+  [[nodiscard]] bool valid() const { return epfd_ >= 0; }
+
+  int wait(std::vector<pollfd>& fds, int timeout_ms) override {
+    index_.clear();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      fds[i].revents = 0;
+      index_[fds[i].fd] = i;
+      const std::uint32_t want = to_epoll(fds[i].events);
+      const auto it = interest_.find(fds[i].fd);
+      if (it == interest_.end()) {
+        epoll_event ev{};
+        ev.events = want;
+        ev.data.fd = fds[i].fd;
+        if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fds[i].fd, &ev) == 0) {
+          interest_[fds[i].fd] = want;
+        } else {
+          fds[i].revents = POLLNVAL;  // surfaced like a poll() failure
+        }
+      } else if (it->second != want) {
+        epoll_event ev{};
+        ev.events = want;
+        ev.data.fd = fds[i].fd;
+        if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fds[i].fd, &ev) == 0) {
+          it->second = want;
+        }
+      }
+    }
+    events_.resize(std::max<std::size_t>(fds.size(), 16));
+    const int n = ::epoll_wait(epfd_, events_.data(),
+                               static_cast<int>(events_.size()), timeout_ms);
+    for (int k = 0; k < n; ++k) {
+      const auto it = index_.find(events_[k].data.fd);
+      if (it != index_.end()) {
+        fds[it->second].revents |= from_epoll(events_[k].events);
+      }
+    }
+    return n;
+  }
+
+  void forget(int fd) override {
+    if (interest_.erase(fd) > 0) {
+      // Usually redundant (close() removes the fd from the set), but a
+      // dup()ed descriptor would linger without the explicit DEL.
+      ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+  }
+
+ private:
+  static std::uint32_t to_epoll(short events) {
+    std::uint32_t out = 0;
+    if ((events & POLLIN) != 0) {
+      out |= EPOLLIN;
+    }
+    if ((events & POLLOUT) != 0) {
+      out |= EPOLLOUT;
+    }
+    return out;
+  }
+  static short from_epoll(std::uint32_t events) {
+    short out = 0;
+    if ((events & EPOLLIN) != 0) {
+      out |= POLLIN;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      out |= POLLOUT;
+    }
+    if ((events & EPOLLERR) != 0) {
+      out |= POLLERR;
+    }
+    if ((events & EPOLLHUP) != 0) {
+      out |= POLLHUP;
+    }
+    return out;
+  }
+
+  int epfd_ = -1;
+  std::unordered_map<int, std::uint32_t> interest_;  ///< fd → wanted events
+  std::unordered_map<int, std::size_t> index_;       ///< fd → fds[] slot
+  std::vector<epoll_event> events_;
+};
+
+#endif  // PROCAP_HTTP_HAS_EPOLL
 
 const char* reason_phrase(int status) {
   switch (status) {
@@ -99,8 +229,41 @@ struct RequestHead {
   std::string version;
   bool connection_close = false;
   bool connection_keepalive = false;  ///< explicit keep-alive (HTTP/1.0)
+  bool accept_gzip = false;           ///< Accept-Encoding admits gzip
   std::size_t content_length = 0;
 };
+
+/// Does an Accept-Encoding value admit gzip?  Token scan with just
+/// enough q-value handling to honor an explicit gzip;q=0 opt-out.
+bool accepts_gzip(std::string_view value) {
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string_view::npos) {
+      comma = value.size();
+    }
+    std::string_view item = trim(value.substr(pos, comma - pos));
+    pos = comma + 1;
+    std::string_view params;
+    if (const std::size_t semi = item.find(';');
+        semi != std::string_view::npos) {
+      params = item.substr(semi + 1);
+      item = trim(item.substr(0, semi));
+    }
+    if (!iequals(item, "gzip") && !iequals(item, "x-gzip")) {
+      continue;
+    }
+    if (const std::size_t eq = params.find('=');
+        eq != std::string_view::npos) {
+      const std::string qv{trim(params.substr(eq + 1))};
+      if (std::strtod(qv.c_str(), nullptr) == 0.0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
 
 /// Parse `head` (request line + headers, excluding the final CRLFCRLF).
 RequestHead parse_head(std::string_view head) {
@@ -148,19 +311,26 @@ RequestHead parse_head(std::string_view head) {
     } else if (iequals(key, "content-length")) {
       out.content_length = static_cast<std::size_t>(
           std::strtoull(std::string(value).c_str(), nullptr, 10));
+    } else if (iequals(key, "accept-encoding")) {
+      out.accept_gzip = accepts_gzip(value);
     }
   }
   return out;
 }
 
 /// Serialize one response with an exact Content-Length — on every
-/// status, including the error ones.
-std::string serialize(const HttpResponse& response, bool close_after) {
+/// status, including the error ones.  `gzip` means the body is already
+/// compressed and the head must say so.
+std::string serialize(const HttpResponse& response, bool close_after,
+                      bool gzip = false) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      reason_phrase(response.status) +
                      "\r\nContent-Type: " + response.content_type +
                      "\r\nContent-Length: " +
                      std::to_string(response.body.size()) + "\r\n";
+  if (gzip) {
+    head += "Content-Encoding: gzip\r\nVary: Accept-Encoding\r\n";
+  }
   if (response.status == 405) {
     head += "Allow: GET\r\n";
   }
@@ -181,6 +351,10 @@ struct HttpServer::Connection {
   bool dead = false;
   Clock::time_point last_activity{};
 };
+
+HttpServer::HttpServer() = default;
+
+HttpServer::HttpServer(HttpServerOptions options) : options_(options) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -219,6 +393,37 @@ bool HttpServer::start(const std::string& host, std::uint16_t port) {
     ::close(fd);
     return false;
   }
+
+  // Resolve the readiness backend before the serve thread exists, so
+  // backend_name() is stable for the server's lifetime.  Compile-time
+  // fallback: non-Linux builds only have poll; the environment override
+  // wins over the configured preference either way.
+  bool want_epoll = options_.backend != HttpBackend::kPoll;
+  if (const char* env = std::getenv("PROCAP_HTTP_BACKEND");
+      env != nullptr) {
+    if (iequals(env, "poll")) {
+      want_epoll = false;
+    } else if (iequals(env, "epoll")) {
+      want_epoll = true;
+    }
+  }
+  poller_.reset();
+  backend_name_ = "poll";
+#if PROCAP_HTTP_HAS_EPOLL
+  if (want_epoll) {
+    auto epoll_poller = std::make_unique<EpollPoller>();
+    if (epoll_poller->valid()) {
+      poller_ = std::move(epoll_poller);
+      backend_name_ = "epoll";
+    }
+  }
+#else
+  (void)want_epoll;
+#endif
+  if (poller_ == nullptr) {
+    poller_ = std::make_unique<PollPoller>();
+  }
+
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   thread_ = std::thread([this] { serve_loop(); });
@@ -239,6 +444,7 @@ void HttpServer::stop() {
   ::close(wake_fds_[1]);
   listen_fd_ = -1;
   wake_fds_[0] = wake_fds_[1] = -1;
+  poller_.reset();
   open_.store(0, std::memory_order_relaxed);
 }
 
@@ -298,7 +504,7 @@ void HttpServer::serve_loop() {
       timeout += 1;
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    const int ready = poller_->wait(fds, timeout);
     if (ready < 0 && errno != EINTR) {
       break;
     }
@@ -385,6 +591,7 @@ void HttpServer::serve_loop() {
     for (Connection& conn : conns) {
       if (conn.dead && conn.fd >= 0) {
         ::close(conn.fd);
+        poller_->forget(conn.fd);
         conn.fd = -1;
         open_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -426,7 +633,7 @@ bool HttpServer::on_readable(Connection& conn) {
     enqueue_response(conn,
                      {431, "text/plain; charset=utf-8",
                       "request head too large\n"},
-                     true);
+                     true, false);
     conn.in.clear();
   }
   if (conn.out_off < conn.out.size()) {
@@ -448,7 +655,7 @@ void HttpServer::process_buffer(Connection& conn) {
       enqueue_response(conn,
                        {431, "text/plain; charset=utf-8",
                         "request head too large\n"},
-                       true);
+                       true, false);
       conn.in.clear();
       return;
     }
@@ -498,7 +705,8 @@ void HttpServer::process_buffer(Connection& conn) {
         }
       }
     }
-    enqueue_response(conn, response, close_after);
+    enqueue_response(conn, std::move(response), close_after,
+                     head.accept_gzip);
     PROCAP_OBS_SKETCH(latency, "obs.http.handle_seconds");
     latency.observe(
         std::chrono::duration<double>(Clock::now() - t0).count());
@@ -508,12 +716,25 @@ void HttpServer::process_buffer(Connection& conn) {
   }
 }
 
-void HttpServer::enqueue_response(Connection& conn,
-                                  const HttpResponse& response,
-                                  bool close_after) {
+void HttpServer::enqueue_response(Connection& conn, HttpResponse&& response,
+                                  bool close_after, bool accept_gzip) {
   PROCAP_OBS_COUNTER(requests, "obs.http.requests");
   requests.inc();
-  conn.out += serialize(response, close_after);
+  // gzip the heavy JSON bodies when the client asked for it: the cluster
+  // documents compress ~10x, and the scrape plane is bandwidth-bound
+  // before it is CPU-bound.  Tiny bodies and non-JSON stay identity.
+  bool gzip = false;
+  if (accept_gzip && response.status == 200 && options_.gzip_min_bytes > 0 &&
+      response.body.size() >= options_.gzip_min_bytes &&
+      response.content_type.rfind("application/json", 0) == 0) {
+    if (auto compressed = gzip_compress(response.body)) {
+      PROCAP_OBS_COUNTER(gzipped, "obs.http.gzip_responses");
+      gzipped.inc();
+      response.body = std::move(*compressed);
+      gzip = true;
+    }
+  }
+  conn.out += serialize(response, close_after, gzip);
   conn.close_after_write = conn.close_after_write || close_after;
   served_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -659,6 +880,8 @@ std::optional<HttpResult> read_response(int fd, std::string& buffer,
           std::strtoull(std::string(value).c_str(), nullptr, 10));
     } else if (iequals(key, "connection") && iequals(value, "close")) {
       close_connection = true;
+    } else if (iequals(key, "content-encoding")) {
+      result.content_encoding = std::string(value);
     }
   }
 
@@ -709,13 +932,15 @@ int connect_to(const std::string& host, std::uint16_t port) {
 }  // namespace
 
 std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
-                                   const std::string& path, int timeout_ms) {
+                                   const std::string& path, int timeout_ms,
+                                   const std::string& extra_headers) {
   const int fd = connect_to(host, port);
   if (fd < 0) {
     return std::nullopt;
   }
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+                              "\r\nConnection: close\r\n" + extra_headers +
+                              "\r\n";
   if (!write_all(fd, request.data(), request.size())) {
     ::close(fd);
     return std::nullopt;
@@ -763,6 +988,82 @@ std::optional<HttpResult> HttpClient::get(const std::string& path,
     close();
   }
   return result;
+}
+
+bool gzip_supported() {
+#if defined(PROCAP_HAVE_ZLIB)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::optional<std::string> gzip_compress(std::string_view raw) {
+#if defined(PROCAP_HAVE_ZLIB)
+  z_stream zs{};
+  // windowBits 15+16 selects the gzip wrapper around deflate.
+  if (deflateInit2(&zs, Z_DEFAULT_COMPRESSION, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    return std::nullopt;
+  }
+  std::string out;
+  out.resize(deflateBound(&zs, static_cast<uLong>(raw.size())));
+  zs.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(raw.data()));
+  zs.avail_in = static_cast<uInt>(raw.size());
+  zs.next_out = reinterpret_cast<Bytef*>(out.data());
+  zs.avail_out = static_cast<uInt>(out.size());
+  const int rc = deflate(&zs, Z_FINISH);
+  const std::size_t produced = zs.total_out;
+  deflateEnd(&zs);
+  if (rc != Z_STREAM_END) {
+    return std::nullopt;
+  }
+  out.resize(produced);
+  return out;
+#else
+  (void)raw;
+  return std::nullopt;
+#endif
+}
+
+std::optional<std::string> gzip_decompress(std::string_view gz) {
+#if defined(PROCAP_HAVE_ZLIB)
+  z_stream zs{};
+  if (inflateInit2(&zs, 15 + 16) != Z_OK) {
+    return std::nullopt;
+  }
+  std::string out;
+  out.resize(std::max<std::size_t>(gz.size() * 4, 4096));
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(gz.data()));
+  zs.avail_in = static_cast<uInt>(gz.size());
+  for (;;) {
+    zs.next_out = reinterpret_cast<Bytef*>(out.data() + zs.total_out);
+    zs.avail_out = static_cast<uInt>(out.size() - zs.total_out);
+    const int rc = inflate(&zs, Z_NO_FLUSH);
+    if (rc == Z_STREAM_END) {
+      break;
+    }
+    if (rc == Z_OK && zs.avail_out == 0) {
+      out.resize(out.size() * 2);
+      continue;
+    }
+    // Z_BUF_ERROR with input left means the buffer filled (grow);
+    // anything else — including running out of input — is corruption.
+    if (rc == Z_BUF_ERROR && zs.avail_out == 0) {
+      out.resize(out.size() * 2);
+      continue;
+    }
+    inflateEnd(&zs);
+    return std::nullopt;
+  }
+  out.resize(zs.total_out);
+  inflateEnd(&zs);
+  return out;
+#else
+  (void)gz;
+  return std::nullopt;
+#endif
 }
 
 std::map<std::string, std::string> parse_query(const std::string& query) {

@@ -23,9 +23,21 @@
 //     loop, in-flight responses get a bounded drain, then everything
 //     closes.
 //
-// Still dependency-free POSIX (sockets + poll), and the Handler seam is
-// unchanged, so power_policy --serve-obs, cluster_sim --serve-obs and
-// procap_top work against either generation of the server.
+// Still dependency-free POSIX, and the Handler seam is unchanged, so
+// power_policy --serve-obs, cluster_sim --serve-obs and procap_top work
+// against either generation of the server.
+//
+// Two optional accelerations, both transparent to handlers:
+//
+//   * an epoll(7) readiness backend on Linux (the default there) — the
+//     kernel holds the interest set, so a wait costs O(ready) instead
+//     of the O(connections) scan poll() does, lifting the >1k-connection
+//     ceiling; non-Linux builds compile the poll() backend only, and
+//     PROCAP_HTTP_BACKEND=poll|epoll overrides the choice at runtime;
+//   * gzip response encoding (when built against zlib) for
+//     application/json bodies past gzip_min_bytes when the client sent
+//     Accept-Encoding: gzip — Content-Encoding/Content-Length are set
+//     on the compressed form; without zlib the identity form is served.
 //
 // Handlers run on the serve thread while the simulation runs on the
 // main thread, so anything a handler touches must be thread-safe
@@ -41,12 +53,18 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace procap::obs {
+
+namespace detail {
+class Poller;  // readiness backend seam (poll / epoll), http.cpp-private
+}  // namespace detail
 
 /// What a handler returns.
 struct HttpResponse {
@@ -58,8 +76,14 @@ struct HttpResponse {
 /// What the clients return (headers already consumed).
 struct HttpResult {
   int status = 0;
-  std::string body;
+  std::string body;  ///< raw bytes (still compressed when gzip-encoded)
+  std::string content_encoding;  ///< "" when identity
 };
+
+/// Readiness backend selection.  kAuto prefers epoll where compiled in
+/// (Linux) and falls back to poll elsewhere; the PROCAP_HTTP_BACKEND
+/// environment variable ("poll" | "epoll") overrides either way.
+enum class HttpBackend { kAuto, kPoll, kEpoll };
 
 /// Event-loop tuning; the defaults serve a 256-node cluster's scrape
 /// plane comfortably.
@@ -73,6 +97,12 @@ struct HttpServerOptions {
   std::size_t max_request_bytes = 16 * 1024;
   /// Drain budget for in-flight responses during stop().
   int shutdown_drain_ms = 250;
+  /// application/json bodies at or past this size are gzip-compressed
+  /// for clients that sent Accept-Encoding: gzip (0 disables; served
+  /// identity when zlib is not compiled in).
+  std::size_t gzip_min_bytes = 512;
+  /// Readiness backend (see HttpBackend).
+  HttpBackend backend = HttpBackend::kAuto;
 };
 
 /// Poll-based embedded HTTP server; one serve thread, many connections.
@@ -82,8 +112,8 @@ class HttpServer {
   /// ("" when absent).
   using Handler = std::function<HttpResponse(const std::string& query)>;
 
-  HttpServer() = default;
-  explicit HttpServer(HttpServerOptions options) : options_(options) {}
+  HttpServer();
+  explicit HttpServer(HttpServerOptions options);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -109,6 +139,10 @@ class HttpServer {
 
   [[nodiscard]] const HttpServerOptions& options() const { return options_; }
 
+  /// Resolved readiness backend ("poll" or "epoll"); meaningful after a
+  /// successful start().
+  [[nodiscard]] const char* backend_name() const { return backend_name_; }
+
   /// Requests answered so far (any status, including 503 rejects).
   [[nodiscard]] std::uint64_t requests_served() const;
   /// Connections accepted so far (including ones later evicted).
@@ -127,13 +161,15 @@ class HttpServer {
   bool on_readable(Connection& conn);
   bool on_writable(Connection& conn);
   void process_buffer(Connection& conn);
-  void enqueue_response(Connection& conn, const HttpResponse& response,
-                        bool close_after);
+  void enqueue_response(Connection& conn, HttpResponse&& response,
+                        bool close_after, bool accept_gzip);
   void drain_on_stop(std::vector<Connection>& conns);
 
   HttpServerOptions options_;
   std::vector<std::pair<std::string, Handler>> handlers_;
   std::thread thread_;
+  std::unique_ptr<detail::Poller> poller_;
+  const char* backend_name_ = "poll";
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by stop
   std::uint16_t port_ = 0;
@@ -145,11 +181,21 @@ class HttpServer {
 };
 
 /// Blocking one-shot GET (Connection: close) against a local/remote
-/// server; nullopt on connect/IO failure or timeout.
-[[nodiscard]] std::optional<HttpResult> http_get(const std::string& host,
-                                                 std::uint16_t port,
-                                                 const std::string& path,
-                                                 int timeout_ms = 2000);
+/// server; nullopt on connect/IO failure or timeout.  `extra_headers`
+/// is appended raw to the request head (each line CRLF-terminated,
+/// e.g. "Accept-Encoding: gzip\r\n").
+[[nodiscard]] std::optional<HttpResult> http_get(
+    const std::string& host, std::uint16_t port, const std::string& path,
+    int timeout_ms = 2000, const std::string& extra_headers = "");
+
+/// True when the build carries zlib (gzip response encoding active).
+[[nodiscard]] bool gzip_supported();
+
+/// gzip-wrap `raw` (nullopt without zlib or on compressor failure).
+[[nodiscard]] std::optional<std::string> gzip_compress(std::string_view raw);
+
+/// Inverse of gzip_compress (nullopt without zlib or on corrupt input).
+[[nodiscard]] std::optional<std::string> gzip_decompress(std::string_view gz);
 
 /// Keep-alive HTTP/1.1 client: one TCP connection, many sequential
 /// GETs.  This is what a real scraper does, and what bench/obs_load

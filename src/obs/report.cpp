@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <numeric>
 #include <ostream>
 #include <sstream>
@@ -41,6 +42,11 @@ TraceReport summarize_chrome_trace(const std::string& path) {
   TraceReport report;
   double min_ts = 1e300;
   double max_ts = -1e300;
+  // Flow-arrow matching: a begin ("s") with no finish ("f") for the
+  // same id is an orphaned flow (node death mid-epoch).  "t" steps do
+  // not close a flow.
+  std::vector<std::string> flow_begun;
+  std::vector<std::string> flow_finished;
   // NRM occupancy: integrate time between consecutive mode events; the
   // first event's "from" mode covers the span from trace start.
   struct ModeEdge {
@@ -63,6 +69,16 @@ TraceReport summarize_chrome_trace(const std::string& path) {
     min_ts = std::min(min_ts, ts_us);
     max_ts = std::max(max_ts, ts_us + ev.number_or("dur", 0.0));
     const json::Value* args = ev.find("args");
+
+    if (ph == "s" || ph == "f") {
+      std::string fid;
+      if (const json::Value* id = ev.find("id")) {
+        fid = id->is_string()
+                  ? id->string
+                  : std::to_string(static_cast<long long>(id->number));
+      }
+      (ph == "s" ? flow_begun : flow_finished).push_back(std::move(fid));
+    }
 
     if (name == "daemon.tick") {
       ++report.daemon_ticks;
@@ -98,6 +114,14 @@ TraceReport summarize_chrome_trace(const std::string& path) {
     report.start_s = min_ts / 1e6;
     report.end_s = max_ts / 1e6;
   }
+
+  std::sort(flow_begun.begin(), flow_begun.end());
+  std::sort(flow_finished.begin(), flow_finished.end());
+  std::vector<std::string> unmatched;
+  std::set_difference(flow_begun.begin(), flow_begun.end(),
+                      flow_finished.begin(), flow_finished.end(),
+                      std::back_inserter(unmatched));
+  report.orphaned_flows = unmatched.size();
 
   std::sort(mode_edges.begin(), mode_edges.end(),
             [](const ModeEdge& a, const ModeEdge& b) { return a.ts_us < b.ts_us; });
@@ -213,6 +237,8 @@ void print_report(const TraceReport& report, std::ostream& os) {
         "window):\n";
   stats_line(os, "latency", report.cap_effect_s, "s", 1.0);
   text_histogram(os, report.cap_effect_s, "s ", 1.0);
+  os << "  orphaned flows (begun, never closed): " << report.orphaned_flows
+     << "\n";
 
   if (!report.mode_occupancy_s.empty()) {
     os << "\nnrm mode occupancy (" << report.mode_changes
@@ -247,6 +273,158 @@ void print_report(const TraceReport& report, std::ostream& os) {
                   static_cast<unsigned long long>(report.events));
     os << buf;
   }
+}
+
+FlowDumpReport summarize_flow_dump(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("obs_report: cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const json::Value root = json::parse(buffer.str());
+
+  const json::Value* stats = root.find("stats");
+  if (!stats || !stats->is_object()) {
+    throw std::invalid_argument("obs_report: " + path +
+                                ": not a flow dump (no stats object)");
+  }
+
+  FlowDumpReport report;
+  report.path = path;
+  if (const json::Value* meta = root.find("meta")) {
+    for (const auto& [key, value] : meta->object) {
+      if (value.is_string()) {
+        report.meta[key] = value.string;
+      }
+    }
+  }
+  const auto it = report.meta.find("strategy");
+  report.strategy = it == report.meta.end() ? "?" : it->second;
+
+  const auto u64 = [stats](const char* key) {
+    return static_cast<std::uint64_t>(stats->number_or(key, 0.0));
+  };
+  report.opened = u64("opened");
+  report.closed = u64("closed");
+  report.orphaned = u64("orphaned");
+  report.open = u64("open");
+  report.kept = u64("kept");
+  report.dropped = u64("dropped");
+  report.evicted = u64("evicted");
+  report.epochs = u64("epochs");
+  report.epochs_closed = u64("epochs_closed");
+  report.kept_hash = stats->string_or("kept_hash", "");
+  if (const json::Value* lat = stats->find("latency_ms")) {
+    report.p50_ms = lat->number_or("p50", 0.0);
+    report.p90_ms = lat->number_or("p90", 0.0);
+    report.p99_ms = lat->number_or("p99", 0.0);
+  }
+  if (const json::Value* span = stats->find("epoch_span_ms")) {
+    report.span_p50_ms = span->number_or("p50", 0.0);
+    report.span_p99_ms = span->number_or("p99", 0.0);
+  }
+
+  if (const json::Value* flows = root.find("flows")) {
+    report.flows.reserve(flows->array.size());
+    for (const json::Value& f : flows->array) {
+      FlowRow row;
+      row.id = static_cast<std::uint64_t>(f.number_or("id", 0.0));
+      row.epoch = static_cast<std::uint64_t>(f.number_or("epoch", 0.0));
+      row.node = static_cast<unsigned>(f.number_or("node", 0.0));
+      row.from_w = f.number_or("from_w", 0.0);
+      row.to_w = f.number_or("to_w", 0.0);
+      row.latency_ms = f.number_or("latency_ms", -1.0);
+      row.state = f.string_or("state", "?");
+      row.keep = f.string_or("keep", "?");
+      row.orphan_reason = f.string_or("orphan_reason", "");
+      report.flows.push_back(std::move(row));
+    }
+  }
+  return report;
+}
+
+void print_flow_reports(const std::vector<FlowDumpReport>& reports,
+                        std::ostream& os) {
+  // Group kept closed-flow latencies by strategy: one histogram per
+  // strategy so runs under different redistribution policies compare
+  // side by side.
+  std::map<std::string, std::vector<double>> latency_by_strategy;
+  std::map<std::string, std::uint64_t> orphans_by_reason;
+  std::uint64_t total_closed = 0;
+  std::uint64_t total_orphaned = 0;
+  std::uint64_t total_open = 0;
+  std::vector<std::pair<const FlowDumpReport*, const FlowRow*>> slowest;
+
+  for (const FlowDumpReport& report : reports) {
+    os << report.path << ": strategy " << report.strategy << ", "
+       << report.opened << " flows opened, " << report.closed << " closed, "
+       << report.orphaned << " orphaned, " << report.open
+       << " still open, kept " << report.kept << " (dropped "
+       << report.dropped << ", evicted " << report.evicted << ")\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  all closed flows: p50=%.1f ms  p90=%.1f ms  p99=%.1f ms"
+                  "  epoch span p99=%.1f ms  (%llu/%llu epochs closed)\n",
+                  report.p50_ms, report.p90_ms, report.p99_ms,
+                  report.span_p99_ms,
+                  static_cast<unsigned long long>(report.epochs_closed),
+                  static_cast<unsigned long long>(report.epochs));
+    os << buf;
+    total_closed += report.closed;
+    total_orphaned += report.orphaned;
+    total_open += report.open;
+    for (const FlowRow& flow : report.flows) {
+      if (flow.state == "closed" && flow.latency_ms >= 0.0) {
+        latency_by_strategy[report.strategy].push_back(flow.latency_ms);
+        slowest.emplace_back(&report, &flow);
+      } else if (flow.state == "orphaned") {
+        ++orphans_by_reason[flow.orphan_reason.empty() ? "?"
+                                                       : flow.orphan_reason];
+      }
+    }
+  }
+
+  for (const auto& [strategy, latencies] : latency_by_strategy) {
+    os << "\nkept-flow latency, strategy " << strategy << ":\n";
+    stats_line(os, "latency", latencies, "ms", 1.0);
+    text_histogram(os, latencies, "ms", 1.0);
+  }
+
+  std::sort(slowest.begin(), slowest.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->latency_ms != b.second->latency_ms) {
+                return a.second->latency_ms > b.second->latency_ms;
+              }
+              return a.second->id < b.second->id;  // deterministic tie-break
+            });
+  if (slowest.size() > 10) {
+    slowest.resize(10);
+  }
+  if (!slowest.empty()) {
+    os << "\nslowest kept flows:\n"
+       << "  latency ms  strategy  epoch  node  grant W           keep\n";
+    for (const auto& [report, flow] : slowest) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "  %10.1f  %-8s  %5llu  %4u  %6.1f -> %-6.1f  %s\n",
+                    flow->latency_ms, report->strategy.c_str(),
+                    static_cast<unsigned long long>(flow->epoch), flow->node,
+                    flow->from_w, flow->to_w, flow->keep.c_str());
+      os << buf;
+    }
+  }
+
+  os << "\norphaned spans (flow never closed): " << total_orphaned;
+  if (!orphans_by_reason.empty()) {
+    os << "  [kept:";
+    for (const auto& [reason, count] : orphans_by_reason) {
+      os << " " << reason << "=" << count;
+    }
+    os << "]";
+  }
+  os << "\nopen at dump time (decision not yet effected): " << total_open
+     << "\nclosed flows total: " << total_closed << "\n";
 }
 
 }  // namespace procap::obs

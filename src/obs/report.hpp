@@ -34,6 +34,11 @@ struct TraceReport {
   // Cap-to-effect flows (seconds, one per closed flow).
   std::vector<double> cap_effect_s;
 
+  // Flow arrows that began ("s") but never finished ("f") — the node
+  // died or left mid-epoch, so the effect never landed.  Previously
+  // these were silently ignored; now they surface as an orphaned count.
+  std::uint64_t orphaned_flows = 0;
+
   // NRM mode occupancy (seconds in each mode, integrated between mode
   // events; empty when the trace has no NRM).
   std::map<std::string, double> mode_occupancy_s;
@@ -61,5 +66,56 @@ struct TraceReport {
 
 /// Print a human-readable summary with text histograms.
 void print_report(const TraceReport& report, std::ostream& os);
+
+/// One kept flow from a cap-to-effect dump.
+struct FlowRow {
+  std::uint64_t id = 0;
+  std::uint64_t epoch = 0;
+  unsigned node = 0;
+  double from_w = 0.0;
+  double to_w = 0.0;
+  double latency_ms = -1.0;  ///< <0 when the flow never closed
+  std::string state;         ///< open | closed | orphaned
+  std::string keep;          ///< head | slow | orphan
+  std::string orphan_reason;
+};
+
+/// Reduced form of one cap-to-effect flow dump — the document
+/// cluster_sim --trace-out writes and GET /traces.json serves.
+struct FlowDumpReport {
+  std::string path;
+  std::map<std::string, std::string> meta;
+  std::string strategy;  ///< meta "strategy", "?" when absent
+
+  // Tracer lifetime counters (all flows, kept or dropped).
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t orphaned = 0;
+  std::uint64_t open = 0;  ///< still open when the dump was taken
+  std::uint64_t kept = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t epochs_closed = 0;
+
+  // Sketch quantiles over every closed flow (not just kept ones).
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double span_p50_ms = 0.0;
+  double span_p99_ms = 0.0;
+
+  std::string kept_hash;
+  std::vector<FlowRow> flows;  ///< the kept ring, dump order
+};
+
+/// Parse one flow dump.  Throws std::runtime_error on unreadable files,
+/// std::invalid_argument on malformed or non-flow-dump JSON.
+[[nodiscard]] FlowDumpReport summarize_flow_dump(const std::string& path);
+
+/// Print the --traces analysis: per-strategy latency histogram,
+/// slowest-flow table, and orphaned/open-span accounting.
+void print_flow_reports(const std::vector<FlowDumpReport>& reports,
+                        std::ostream& os);
 
 }  // namespace procap::obs

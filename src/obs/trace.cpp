@@ -1,11 +1,14 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <set>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace procap::obs {
 
@@ -311,6 +314,672 @@ void TraceCollector::write_jsonl(std::ostream& os) const {
         break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// FlowTracer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kFlowHashSeed = 14695981039346656037ULL;
+
+/// Word-at-a-time mix (SplitMix64 finalizer).  The kept-flow fingerprint
+/// only needs determinism and diffusion, and the close path folds four
+/// words per kept flow — a byte-loop FNV would be ~8x the work on the
+/// tracer's hottest path.
+std::uint64_t flow_hash_mix(std::uint64_t hash, std::uint64_t v) {
+  std::uint64_t x = hash ^ (v + 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+const char* flow_state_name(FlowState state) {
+  switch (state) {
+    case FlowState::kOpen:
+      return "open";
+    case FlowState::kClosed:
+      return "closed";
+    case FlowState::kOrphaned:
+      return "orphaned";
+  }
+  return "?";
+}
+
+const char* keep_reason_name(KeepReason keep) {
+  switch (keep) {
+    case KeepReason::kDropped:
+      return "dropped";
+    case KeepReason::kHead:
+      return "head";
+    case KeepReason::kSlow:
+      return "slow";
+    case KeepReason::kOrphan:
+      return "orphan";
+  }
+  return "?";
+}
+
+double ns_to_ms(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+FlowTracer::FlowTracer(FlowTracerOptions options)
+    : options_(options), kept_hash_(kFlowHashSeed) {}
+
+bool FlowTracer::head_keep(std::uint64_t epoch, unsigned node) const {
+  if (options_.sample_period == 0) {
+    return false;
+  }
+  if (options_.sample_period == 1) {
+    return true;
+  }
+  // Pure function of (seed, epoch, node): the keep set cannot depend on
+  // thread interleaving or arrival order.
+  std::uint64_t x = options_.seed;
+  x ^= epoch * 0x9E3779B97F4A7C15ULL;
+  x ^= (static_cast<std::uint64_t>(node) + 1) * 0xBF58476D1CE4E5B9ULL;
+  return SplitMix64(x).next() % options_.sample_period == 0;
+}
+
+void FlowTracer::finish_flow(const FlowRecord& flow) {
+  if (flow.keep == KeepReason::kDropped) {
+    ++stats_.dropped;
+    return;
+  }
+  ++stats_.kept;
+  kept_hash_ = flow_hash_mix(kept_hash_, flow.id);
+  kept_hash_ = flow_hash_mix(kept_hash_, flow.epoch);
+  kept_hash_ = flow_hash_mix(kept_hash_, flow.node);
+  kept_hash_ =
+      flow_hash_mix(kept_hash_, static_cast<std::uint64_t>(flow.latency));
+  ring_.push_back(flow);
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++stats_.evicted;
+  }
+}
+
+void FlowTracer::resolve_span_child(std::uint32_t seq, Nanos t) {
+  const std::size_t index = seq - span_base_seq_;
+  if (index >= spans_.size()) {
+    return;
+  }
+  EpochSpan& span = spans_[index];
+  ++span.resolved;
+  span.t_last = std::max(span.t_last, t);
+  if (span.resolved >= span.children) {
+    PROCAP_OBS_SKETCH(span_sketch, "cluster.trace.epoch_span_s");
+    const double span_s = to_seconds(span.t_last - span.t_decision);
+    epoch_span_.observe(span_s);
+    span_sketch.observe(span_s);
+    ++stats_.epochs_closed;
+    // Completed spans pop once everything older is complete too; until
+    // then they sit in the ring marked resolved (memory, not time).
+    while (!spans_.empty() &&
+           spans_.front().resolved >= spans_.front().children) {
+      spans_.pop_front();
+      ++span_base_seq_;
+    }
+  }
+}
+
+void FlowTracer::orphan_locked(unsigned node, Nanos t, const char* reason) {
+  if (node >= slots_.size() || slots_[node].state != FlowState::kOpen) {
+    return;
+  }
+  FlowRecord& flow = slots_[node];
+  flow.state = FlowState::kOrphaned;
+  flow.keep = KeepReason::kOrphan;
+  flow.orphan_reason = reason;
+  ++stats_.orphaned;
+  --open_count_;
+  if (node >= nodes_.size()) {
+    nodes_.resize(node + 1);
+  }
+  ++nodes_[node].orphaned;
+  resolve_span_child(flow.span_seq, t);
+  finish_flow(flow);
+}
+
+void FlowTracer::epoch_decision(std::uint64_t epoch, Nanos t,
+                                const std::vector<GrantChange>& changes) {
+  PROCAP_OBS_COUNTER(flows_opened, "cluster.trace.flows_opened");
+  PROCAP_OBS_COUNTER(epochs_traced, "cluster.trace.epochs");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  epochs_traced.inc();
+  ++stats_.epochs;
+  // Filter jitter first (see FlowTracerOptions::min_change_w): a
+  // sub-threshold re-grant neither opens a flow nor orphans an open one
+  // — the open flow keeps measuring the dominant grant it was opened
+  // for, which the jitter moved by less than the threshold.
+  const Watts min_change = options_.min_change_w;
+  const auto significant = [min_change](const GrantChange& c) {
+    return std::abs(c.to_w - c.from_w) >= min_change;
+  };
+  // A node still waiting on its previous grant gets re-granted: the old
+  // flow can no longer close unambiguously, so it orphans here.
+  std::uint32_t opened = 0;
+  for (const GrantChange& change : changes) {
+    if (!significant(change)) {
+      continue;
+    }
+    orphan_locked(change.node, t, "stale_grant");
+    ++opened;
+  }
+  if (opened == 0) {
+    ++stats_.epochs_closed;
+    return;
+  }
+  EpochSpan span;
+  span.epoch = epoch;
+  span.t_decision = t;
+  span.children = opened;
+  const std::uint32_t span_seq = span_next_seq_++;
+  spans_.push_back(span);
+  // Carry forward pre-existing open nodes (change nodes were orphaned
+  // above, so none of them survive this filter).
+  open_scratch_.clear();
+  for (const unsigned node : open_nodes_) {
+    if (node < slots_.size() && slots_[node].state == FlowState::kOpen) {
+      open_scratch_.push_back(node);
+    }
+  }
+  unsigned max_node = 0;
+  for (const GrantChange& change : changes) {
+    if (significant(change)) {
+      max_node = std::max(max_node, change.node);
+    }
+  }
+  if (max_node >= slots_.size()) {
+    slots_.resize(max_node + 1);
+  }
+  for (const GrantChange& change : changes) {
+    if (!significant(change)) {
+      continue;
+    }
+    slots_[change.node] = FlowRecord{.id = next_id_++,
+                                     .epoch = epoch,
+                                     .node = change.node,
+                                     .from_w = change.from_w,
+                                     .to_w = change.to_w,
+                                     .t_decision = t,
+                                     .span_seq = span_seq};
+    ++stats_.opened;
+    ++open_count_;
+  }
+  flows_opened.inc(opened);
+  // Both inputs are ascending (carry-forward preserves order, changes
+  // arrive node-ordered), so a linear merge keeps open_nodes_ sorted
+  // without a per-epoch sort.
+  open_nodes_.clear();
+  std::size_t carry = 0;
+  std::size_t next = 0;
+  const auto skip_jitter = [&] {
+    while (next < changes.size() && !significant(changes[next])) {
+      ++next;
+    }
+  };
+  skip_jitter();
+  while (carry < open_scratch_.size() || next < changes.size()) {
+    if (next >= changes.size() ||
+        (carry < open_scratch_.size() &&
+         open_scratch_[carry] < changes[next].node)) {
+      open_nodes_.push_back(open_scratch_[carry++]);
+    } else {
+      open_nodes_.push_back(changes[next++].node);
+      skip_jitter();
+    }
+  }
+}
+
+void FlowTracer::pending_into(std::vector<unsigned>& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.clear();
+  // Compact in place: closed/orphaned slots fall out of the candidate
+  // list here, keeping the per-tick iteration proportional to open
+  // flows.
+  std::size_t write = 0;
+  for (const unsigned node : open_nodes_) {
+    if (node < slots_.size() && slots_[node].state == FlowState::kOpen) {
+      open_nodes_[write++] = node;
+      out.push_back(node);
+    }
+  }
+  open_nodes_.resize(write);
+}
+
+void FlowTracer::observe_latency(Nanos latency) {
+  ++latency_count_;
+  if (latency_last_ < latency_hist_.size() &&
+      latency_hist_[latency_last_].first == latency) {
+    ++latency_hist_[latency_last_].second;
+    return;
+  }
+  const auto it = std::lower_bound(
+      latency_hist_.begin(), latency_hist_.end(), latency,
+      [](const std::pair<Nanos, std::uint64_t>& e, Nanos v) {
+        return e.first < v;
+      });
+  latency_last_ = static_cast<std::size_t>(it - latency_hist_.begin());
+  if (it != latency_hist_.end() && it->first == latency) {
+    ++it->second;
+    return;
+  }
+  latency_hist_.insert(it, {latency, 1});
+}
+
+double FlowTracer::latency_quantile_locked(double q) const {
+  double out = 0.0;
+  latency_quantiles_locked(&q, &out, 1);
+  return out;
+}
+
+void FlowTracer::latency_quantiles_locked(const double* qs, double* out,
+                                          std::size_t n) const {
+  if (latency_count_ == 0) {
+    std::fill(out, out + n, 0.0);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = std::min(std::max(qs[i], 0.0), 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(latency_count_ - 1));
+    std::uint64_t cum = 0;
+    out[i] = to_seconds(latency_hist_.back().first);
+    for (const auto& [latency, count] : latency_hist_) {
+      cum += count;
+      if (cum > rank) {
+        out[i] = to_seconds(latency);
+        break;
+      }
+    }
+  }
+}
+
+void FlowTracer::close_flow_locked(FlowRecord& flow, Nanos t, double rate) {
+  flow.t_effect = t;
+  flow.rate = rate;
+  flow.latency = t - flow.t_decision;
+  flow.state = FlowState::kClosed;
+  ++stats_.closed;
+  --open_count_;
+  observe_latency(flow.latency);
+  if (flow.node >= nodes_.size()) {
+    nodes_.resize(flow.node + 1);
+  }
+  NodeAgg& agg = nodes_[flow.node];
+  ++agg.closed;
+  agg.last_latency = flow.latency;
+  agg.latency_sum += flow.latency;
+  // Sampling policy: slow flows always survive (they are the paper's
+  // tail), the rest keep a deterministic 1-in-N head sample.
+  if (options_.slow_latency > 0 && flow.latency >= options_.slow_latency) {
+    flow.keep = KeepReason::kSlow;
+  } else if (head_keep(flow.epoch, flow.node)) {
+    flow.keep = KeepReason::kHead;
+  }
+  resolve_span_child(flow.span_seq, t);
+  finish_flow(flow);
+}
+
+void FlowTracer::advance(Nanos t, const std::vector<FlowTick>& ticks) {
+  PROCAP_OBS_COUNTER(flows_closed, "cluster.trace.flows_closed");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t closed = 0;
+  for (const FlowTick& tick : ticks) {
+    if (tick.node >= slots_.size() ||
+        slots_[tick.node].state != FlowState::kOpen) {
+      continue;
+    }
+    FlowRecord& flow = slots_[tick.node];
+    if (flow.t_actuate < 0) {
+      flow.t_actuate = t;
+    }
+    if (!tick.effect) {
+      continue;
+    }
+    close_flow_locked(flow, t, tick.rate);
+    ++closed;
+  }
+  if (closed > 0) {
+    flows_closed.inc(closed);
+  }
+}
+
+void FlowTracer::advance(Nanos t, FlowTick (*tick_of)(unsigned node, void* ctx),
+                         void* ctx) {
+  PROCAP_OBS_COUNTER(flows_closed, "cluster.trace.flows_closed");
+  // Unlocked emptiness probe: open_nodes_ is mutated only by the sim
+  // thread (epoch_decision / advance / orphan all run serially there),
+  // and advance IS that thread, so this cannot race a writer.  It makes
+  // the ticks between a decision's closing wave and the next decision —
+  // most ticks, in steady state — free.
+  if (open_nodes_.empty()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t closed = 0;
+  // One pass, one lock: walk the candidate list, drop entries whose
+  // flow already finished, actuate/close the rest from the callback's
+  // tick outcome.  A flow closed in this pass falls out of the list
+  // immediately (the compaction write happens after processing).
+  std::size_t write = 0;
+  for (const unsigned node : open_nodes_) {
+    if (node >= slots_.size() || slots_[node].state != FlowState::kOpen) {
+      continue;
+    }
+    const FlowTick tick = tick_of(node, ctx);
+    FlowRecord& flow = slots_[node];
+    if (tick.skip) {
+      open_nodes_[write++] = node;
+      continue;
+    }
+    if (flow.t_actuate < 0) {
+      flow.t_actuate = t;
+    }
+    if (!tick.effect) {
+      open_nodes_[write++] = node;
+      continue;
+    }
+    close_flow_locked(flow, t, tick.rate);
+    ++closed;
+  }
+  open_nodes_.resize(write);
+  if (closed > 0) {
+    flows_closed.inc(closed);
+  }
+}
+
+void FlowTracer::actuate(unsigned node, Nanos t) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= slots_.size() || slots_[node].state != FlowState::kOpen) {
+    return;
+  }
+  if (slots_[node].t_actuate < 0) {
+    slots_[node].t_actuate = t;
+  }
+}
+
+void FlowTracer::effect(unsigned node, Nanos t, double rate) {
+  PROCAP_OBS_COUNTER(flows_closed, "cluster.trace.flows_closed");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (node >= slots_.size() || slots_[node].state != FlowState::kOpen) {
+    return;
+  }
+  close_flow_locked(slots_[node], t, rate);
+  flows_closed.inc();
+}
+
+void FlowTracer::orphan(unsigned node, Nanos t, const char* reason) {
+  PROCAP_OBS_COUNTER(flows_orphaned, "cluster.trace.flows_orphaned");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t before = stats_.orphaned;
+  orphan_locked(node, t, reason);
+  if (stats_.orphaned != before) {
+    flows_orphaned.inc();
+  }
+}
+
+void FlowTracer::set_meta(const std::string& key, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  meta_[key] = value;
+}
+
+FlowTracerStats FlowTracer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  FlowTracerStats out = stats_;
+  out.open = open_count_;
+  return out;
+}
+
+std::vector<NodeFlowSummary> FlowTracer::node_summary() const {
+  std::vector<NodeFlowSummary> out;
+  node_summary_into(out);
+  return out;
+}
+
+void FlowTracer::node_summary_into(std::vector<NodeFlowSummary>& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeAgg& agg = nodes_[i];
+    if (agg.closed == 0 && agg.orphaned == 0) {
+      continue;
+    }
+    NodeFlowSummary row;
+    row.node = static_cast<unsigned>(i);
+    row.closed = agg.closed;
+    row.orphaned = agg.orphaned;
+    row.last_latency_ms =
+        agg.last_latency < 0 ? -1.0 : ns_to_ms(agg.last_latency);
+    row.mean_latency_ms =
+        agg.closed == 0
+            ? 0.0
+            : ns_to_ms(agg.latency_sum) / static_cast<double>(agg.closed);
+    out.push_back(row);
+  }
+}
+
+std::vector<FlowRecord> FlowTracer::kept_flows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t FlowTracer::kept_hash() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return kept_hash_;
+}
+
+double FlowTracer::latency_quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return latency_quantile_locked(q);
+}
+
+void FlowTracer::latency_quantiles(const double* qs, double* out,
+                                   std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  latency_quantiles_locked(qs, out, n);
+}
+
+void FlowTracer::last_latency_ms_into(std::vector<double>& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.clear();
+  out.reserve(nodes_.size());
+  for (const NodeAgg& agg : nodes_) {
+    out.push_back(agg.last_latency < 0 ? -1.0 : ns_to_ms(agg.last_latency));
+  }
+}
+
+void FlowTracer::rollup(FlowTracerStats& stats, const double* qs,
+                        double* quantiles, std::size_t n,
+                        std::vector<double>& last_ms) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats = stats_;
+  stats.open = open_count_;
+  if (stats.closed > 0) {
+    latency_quantiles_locked(qs, quantiles, n);
+  }
+  last_ms.clear();
+  last_ms.reserve(nodes_.size());
+  for (const NodeAgg& agg : nodes_) {
+    last_ms.push_back(agg.last_latency < 0 ? -1.0
+                                           : ns_to_ms(agg.last_latency));
+  }
+}
+
+void FlowTracer::write_traces_json(std::ostream& os,
+                                   const TraceQuery& query) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta_) {
+    os << (first ? "" : ",") << "\"" << json::escape(key) << "\":\""
+       << json::escape(value) << "\"";
+    first = false;
+  }
+  os << "},\"options\":{\"sample_period\":" << options_.sample_period
+     << ",\"slow_ms\":" << num(ns_to_ms(options_.slow_latency))
+     << ",\"capacity\":" << options_.capacity
+     << ",\"min_change_w\":" << num(options_.min_change_w) << "}";
+  char hash_buf[32];
+  std::snprintf(hash_buf, sizeof hash_buf, "0x%016llx",
+                static_cast<unsigned long long>(kept_hash_));
+  os << ",\"stats\":{\"opened\":" << stats_.opened
+     << ",\"closed\":" << stats_.closed << ",\"orphaned\":" << stats_.orphaned
+     << ",\"open\":" << open_count_ << ",\"kept\":" << stats_.kept
+     << ",\"dropped\":" << stats_.dropped << ",\"evicted\":" << stats_.evicted
+     << ",\"epochs\":" << stats_.epochs
+     << ",\"epochs_closed\":" << stats_.epochs_closed
+     << ",\"latency_ms\":{\"count\":" << latency_count_
+     << ",\"p50\":" << num(latency_quantile_locked(0.5) * 1e3)
+     << ",\"p90\":" << num(latency_quantile_locked(0.9) * 1e3)
+     << ",\"p99\":" << num(latency_quantile_locked(0.99) * 1e3)
+     << "},\"epoch_span_ms\":{\"count\":" << epoch_span_.count()
+     << ",\"p50\":" << num(epoch_span_.quantile(0.5) * 1e3)
+     << ",\"p99\":" << num(epoch_span_.quantile(0.99) * 1e3)
+     << "},\"kept_hash\":\"" << hash_buf << "\"}";
+  os << ",\"node_summary\":[";
+  first = true;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeAgg& agg = nodes_[i];
+    if (agg.closed == 0 && agg.orphaned == 0) {
+      continue;
+    }
+    if (query.node >= 0 && static_cast<std::int64_t>(i) != query.node) {
+      continue;
+    }
+    os << (first ? "" : ",") << "{\"node\":" << i << ",\"closed\":"
+       << agg.closed << ",\"orphaned\":" << agg.orphaned
+       << ",\"last_latency_ms\":"
+       << num(agg.last_latency < 0 ? -1.0 : ns_to_ms(agg.last_latency))
+       << ",\"mean_latency_ms\":"
+       << num(agg.closed == 0
+                  ? 0.0
+                  : ns_to_ms(agg.latency_sum) / static_cast<double>(agg.closed))
+       << "}";
+    first = false;
+  }
+  os << "]";
+  if (query.include_flows) {
+    os << ",\"flows\":[";
+    first = true;
+    for (const FlowRecord& flow : ring_) {
+      if (query.epoch >= 0 &&
+          static_cast<std::int64_t>(flow.epoch) != query.epoch) {
+        continue;
+      }
+      if (query.node >= 0 &&
+          static_cast<std::int64_t>(flow.node) != query.node) {
+        continue;
+      }
+      if (query.min_latency_ms > 0.0 &&
+          (flow.latency < 0 || ns_to_ms(flow.latency) < query.min_latency_ms)) {
+        continue;
+      }
+      os << (first ? "" : ",") << "{\"id\":" << flow.id
+         << ",\"epoch\":" << flow.epoch << ",\"node\":" << flow.node
+         << ",\"from_w\":" << num(flow.from_w) << ",\"to_w\":"
+         << num(flow.to_w) << ",\"t_decision_s\":"
+         << num(to_seconds(flow.t_decision));
+      if (flow.t_actuate >= 0) {
+        os << ",\"t_actuate_s\":" << num(to_seconds(flow.t_actuate));
+      }
+      if (flow.t_effect >= 0) {
+        os << ",\"t_effect_s\":" << num(to_seconds(flow.t_effect))
+           << ",\"rate\":" << num(flow.rate)
+           << ",\"latency_ms\":" << num(ns_to_ms(flow.latency));
+      }
+      os << ",\"state\":\"" << flow_state_name(flow.state) << "\",\"keep\":\""
+         << keep_reason_name(flow.keep) << "\"";
+      if (flow.orphan_reason != nullptr) {
+        os << ",\"orphan_reason\":\"" << json::escape(flow.orphan_reason)
+           << "\"";
+      }
+      os << "}";
+      first = false;
+    }
+    os << "]";
+  }
+  os << "}\n";
+}
+
+void FlowTracer::write_perfetto(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  constexpr int kDecisionsTid = 0;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Lanes: one for the redistribution decisions, one per node with kept
+  // flows (sorted, so the export is deterministic).
+  std::set<unsigned> lanes;
+  struct EpochBounds {
+    Nanos t_decision = 0;
+    Nanos t_end = 0;
+  };
+  std::map<std::uint64_t, EpochBounds> epochs;
+  for (const FlowRecord& flow : ring_) {
+    lanes.insert(flow.node);
+    auto [it, inserted] = epochs.try_emplace(
+        flow.epoch, EpochBounds{flow.t_decision, flow.t_decision});
+    const Nanos end = std::max(flow.t_effect, flow.t_actuate);
+    if (end > it->second.t_end) {
+      it->second.t_end = end;
+    }
+  }
+  os << (first ? "\n  " : ",\n  ");
+  first = false;
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+     << kDecisionsTid << ",\"args\":{\"name\":\"cluster.decisions\"}}";
+  for (const unsigned node : lanes) {
+    os << ",\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << node + 1 << ",\"args\":{\"name\":\"node " << node << "\"}}";
+  }
+  for (const auto& [epoch, bounds] : epochs) {
+    chrome_event(os, first, "epoch.decision", "cluster", "X",
+                 bounds.t_decision, kDecisionsTid,
+                 ",\"dur\":" + us(bounds.t_end - bounds.t_decision) +
+                     ",\"args\":{\"epoch\":" + std::to_string(epoch) + "}");
+  }
+  for (const FlowRecord& flow : ring_) {
+    const int tid = static_cast<int>(flow.node) + 1;
+    const std::string id = std::to_string(flow.id);
+    const Nanos grant_end = std::max(
+        {flow.t_decision, flow.t_actuate, flow.t_effect});
+    chrome_event(os, first, "grant", "cluster", "X", flow.t_decision, tid,
+                 ",\"dur\":" + us(grant_end - flow.t_decision) +
+                     ",\"args\":{\"epoch\":" + std::to_string(flow.epoch) +
+                     ",\"from_w\":" + num(flow.from_w) +
+                     ",\"to_w\":" + num(flow.to_w) + ",\"state\":\"" +
+                     flow_state_name(flow.state) + "\"}");
+    chrome_event(os, first, "cap-to-effect", "flow", "s", flow.t_decision,
+                 kDecisionsTid, ",\"id\":" + id);
+    if (flow.t_actuate >= 0) {
+      chrome_event(os, first, "cap-to-effect", "flow", "t", flow.t_actuate,
+                   tid, ",\"id\":" + id);
+    }
+    if (flow.state == FlowState::kClosed) {
+      chrome_event(os, first, "cap.effect", "flow", "i", flow.t_effect, tid,
+                   ",\"s\":\"t\",\"args\":{\"latency_ms\":" +
+                       num(ns_to_ms(flow.latency)) +
+                       ",\"rate\":" + num(flow.rate) + "}");
+      chrome_event(os, first, "cap-to-effect", "flow", "f", flow.t_effect,
+                   tid, ",\"bp\":\"e\",\"id\":" + id);
+    } else if (flow.state == FlowState::kOrphaned) {
+      const Nanos t = std::max(flow.t_decision, flow.t_actuate);
+      chrome_event(os, first, "flow.orphaned", "flow", "i", t, tid,
+                   ",\"s\":\"t\",\"args\":{\"reason\":\"" +
+                       json::escape(flow.orphan_reason) + "\"}");
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  bool first_meta = true;
+  for (const auto& [key, value] : meta_) {
+    os << (first_meta ? "" : ",");
+    first_meta = false;
+    os << "\"" << json::escape(key) << "\":\"" << json::escape(value) << "\"";
+  }
+  os << "}}\n";
 }
 
 }  // namespace procap::obs

@@ -21,16 +21,24 @@
 // Recording is mutex-guarded: producers are the 1 Hz control loops
 // (daemon tick, monitor window close, NRM mode changes), so hot-path
 // cost is irrelevant here — the lock-free budget lives in metrics.hpp.
+//
+// The cluster-scale sibling is FlowTracer (below): the same causal story
+// — decision → actuation → first reflecting progress sample — told per
+// node across a whole cluster control loop, with sampling and bounded
+// retention so it stays cheap at hundreds of nodes (DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/sketch.hpp"
 #include "util/units.hpp"
 
 namespace procap::obs {
@@ -124,6 +132,288 @@ class TraceCollector {
   std::vector<Nanos> latencies_;
   std::map<std::string, std::string> meta_;
   std::uint64_t next_flow_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// FlowTracer — cluster-wide cap-to-effect flows with sampled, bounded
+// retention.
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for the cluster trace pipeline.  Every decision that
+/// follows from them is a pure function of (seed, epoch, node) and the
+/// simulation clock, so the kept-flow set is bit-identical across runs
+/// and thread counts.
+struct FlowTracerOptions {
+  /// Head sampling: keep 1-in-N closed flows (1 = keep all, 0 = none).
+  /// The keep decision hashes (seed, epoch, node), not arrival order.
+  std::uint64_t sample_period = 8;
+  /// Tail sampling: a closed flow at or above this latency is always
+  /// kept, whatever the head decision (slow flows are the story).
+  Nanos slow_latency = msec(750);
+  /// Ring capacity for kept flows; the oldest (by close time on the sim
+  /// clock) is evicted first.
+  std::size_t capacity = 4096;
+  /// Salt for the head-sampling hash (pass the run seed).
+  std::uint64_t seed = 0;
+  /// A grant change smaller than this (|to − from|, watts) does not open
+  /// a flow: small deltas are redistribution jitter — the strategy
+  /// re-balancing around an unchanged decision — whose effect is not
+  /// causally separable in the progress signal.  The default is ~2% of a
+  /// typical ~100 W grant; in a measured demand-strategy run a quarter
+  /// of all re-grants sit below a watt while the median real decision
+  /// moves ~8 W, so the cut removes noise flows, not decisions.  0
+  /// traces every change.
+  Watts min_change_w = 2.0;
+};
+
+/// One cap change pushed to a node by a redistribution decision.
+struct GrantChange {
+  unsigned node = 0;
+  double from_w = 0.0;
+  double to_w = 0.0;
+};
+
+/// Lifecycle of a per-node flow.
+enum class FlowState : std::uint8_t {
+  kOpen,      ///< grant issued, effect not yet observed
+  kClosed,    ///< first reflecting progress sample landed
+  kOrphaned,  ///< never closed (node death/leave, stale re-grant)
+};
+
+/// Why a flow survived sampling.
+enum class KeepReason : std::uint8_t {
+  kDropped = 0,  ///< closed but not retained
+  kHead,         ///< 1-in-N head sample
+  kSlow,         ///< latency >= slow_latency (tail keep)
+  kOrphan,       ///< orphans are always kept
+};
+
+/// One decision→grant→actuation→effect flow for one node.
+struct FlowRecord {
+  std::uint64_t id = 0;     ///< open order, 1-based
+  std::uint64_t epoch = 0;  ///< epoch of the owning decision
+  unsigned node = 0;
+  double from_w = 0.0;
+  double to_w = 0.0;
+  Nanos t_decision = 0;
+  Nanos t_actuate = -1;  ///< first step under the new cap (-1: never)
+  Nanos t_effect = -1;   ///< first reflecting progress sample (-1: never)
+  double rate = 0.0;     ///< progress rate at the effect sample
+  Nanos latency = -1;    ///< t_effect - t_decision (closed flows only)
+  FlowState state = FlowState::kOpen;
+  KeepReason keep = KeepReason::kDropped;
+  /// Owning span's sequence number (internal: O(1) span resolution).
+  std::uint32_t span_seq = 0;
+  /// "node_death" | "node_left" | "stale_grant" | nullptr.  Static
+  /// strings only: keeps FlowRecord allocation-free on the hot path.
+  const char* orphan_reason = nullptr;
+};
+
+/// One node's tick outcome, batched into FlowTracer::advance().
+struct FlowTick {
+  unsigned node = 0;
+  bool effect = false;  ///< the node heartbeated this tick
+  bool skip = false;    ///< callback variant: leave this flow untouched
+  double rate = 0.0;    ///< progress rate when `effect`
+};
+
+/// Counters over the tracer's lifetime (all monotonic except `open`).
+struct FlowTracerStats {
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t orphaned = 0;
+  std::uint64_t kept = 0;     ///< flows retained in the ring (pre-eviction)
+  std::uint64_t dropped = 0;  ///< closed flows sampled out
+  std::uint64_t evicted = 0;  ///< kept flows pushed out by capacity
+  std::uint64_t epochs = 0;   ///< decision spans opened
+  std::uint64_t epochs_closed = 0;  ///< spans whose every child resolved
+  std::size_t open = 0;             ///< flows currently pending
+};
+
+/// Per-node roll-up for the cluster pane / /cluster.json.
+struct NodeFlowSummary {
+  unsigned node = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t orphaned = 0;
+  double last_latency_ms = -1.0;  ///< most recent closed-flow latency
+  double mean_latency_ms = 0.0;
+};
+
+/// /traces.json query filters (all optional; negatives mean "any").
+struct TraceQuery {
+  std::int64_t epoch = -1;
+  std::int64_t node = -1;
+  double min_latency_ms = 0.0;
+  bool include_flows = true;  ///< flows=0 serves stats + summary only
+};
+
+/// Cluster-wide causal tracer: an epoch span per redistribution decision
+/// fans out one flow per re-granted node; the flow closes when the first
+/// progress sample under the new cap lands, orphans when the node dies
+/// or leaves first.  Head+tail sampling and a close-time ring bound
+/// memory; all timestamps are sim-clock Nanos so exports are
+/// byte-deterministic.  Thread-safe (sim thread writes, HTTP serves).
+class FlowTracer {
+ public:
+  explicit FlowTracer(FlowTracerOptions options = {});
+
+  /// One redistribution decision at sim time `t`: opens the epoch span
+  /// and one flow per change.  A node with a still-open flow has it
+  /// orphaned first ("stale_grant") — the old grant can no longer be
+  /// observed in isolation.  `changes` must be in ascending node order
+  /// (the manager emits them that way); this keeps the open list merge
+  /// O(n) instead of a per-epoch sort.
+  void epoch_decision(std::uint64_t epoch, Nanos t,
+                      const std::vector<GrantChange>& changes);
+
+  /// Fill `out` with the node ids of currently open flows, ascending,
+  /// compacting the internal open list as it goes.  The caller iterates
+  /// these each tick (no allocation in steady state).
+  void pending_into(std::vector<unsigned>& out);
+
+  /// Batched tick update, one lock for the whole tick: every entry
+  /// actuates its open flow (first step under the new cap), entries
+  /// with `effect` set also close it (latency recorded, sampling
+  /// applied).  Entries without an open flow are ignored.
+  void advance(Nanos t, const std::vector<FlowTick>& ticks);
+
+  /// Fused per-tick update: pending_into + advance under ONE lock and
+  /// with no intermediate node list.  `tick_of(node, ctx)` is invoked
+  /// for each currently open flow, in ascending node order, and its
+  /// result actuates/closes that flow exactly as the batched overload
+  /// does; a returned `skip` leaves the flow untouched.  The open list
+  /// is compacted in the same pass.  This is the control-loop hot path:
+  /// one mutex acquisition and one iteration per tick, total.
+  void advance(Nanos t, FlowTick (*tick_of)(unsigned node, void* ctx),
+               void* ctx);
+
+  /// The node completed a model step under the newly granted cap.
+  /// Idempotent; no-op without an open flow.
+  void actuate(unsigned node, Nanos t);
+
+  /// First progress sample reflecting the grant: closes the node's open
+  /// flow, records latency, and applies the sampling policy.
+  void effect(unsigned node, Nanos t, double rate);
+
+  /// The node's open flow can never close (death, leave, stale grant).
+  /// Orphans are always kept.  `reason` must point at a static string.
+  /// No-op without an open flow.
+  void orphan(unsigned node, Nanos t, const char* reason);
+
+  /// Run metadata exported into every dump (strategy, seed, nodes…).
+  void set_meta(const std::string& key, const std::string& value);
+
+  // -- Introspection ----------------------------------------------------
+
+  /// The options this tracer was built with (immutable after
+  /// construction, so safe to read without the lock — the manager uses
+  /// min_change_w to pre-filter jitter before building its change list).
+  [[nodiscard]] const FlowTracerOptions& options() const { return options_; }
+
+  [[nodiscard]] FlowTracerStats stats() const;
+  [[nodiscard]] std::vector<NodeFlowSummary> node_summary() const;
+  /// Allocation-free variant for per-epoch roll-ups: clears and refills
+  /// `out` (rows for nodes with any closed/orphaned flows, ascending).
+  void node_summary_into(std::vector<NodeFlowSummary>& out) const;
+  [[nodiscard]] std::vector<FlowRecord> kept_flows() const;
+  /// Chained mix over (id, epoch, node, latency) of every kept flow, in
+  /// keep order: the sampling-determinism fingerprint.
+  [[nodiscard]] std::uint64_t kept_hash() const;
+  /// Cap-to-effect latency quantile (seconds) over all closed flows
+  /// (sampled and dropped alike — the histogram sees everything).
+  [[nodiscard]] double latency_quantile(double q) const;
+  /// Batched quantiles (seconds): one lock, one histogram sort for all
+  /// of `qs[0..n)` — the per-epoch roll-up path.
+  void latency_quantiles(const double* qs, double* out, std::size_t n) const;
+  /// Per-node last cap-to-effect latency in ms (-1 = none yet), indexed
+  /// by node id.  Clears and refills `out`; allocation-free in steady
+  /// state — the telemetry roll-in calls this every epoch.
+  void last_latency_ms_into(std::vector<double>& out) const;
+  /// One-lock telemetry roll-up: counters, the `n` requested latency
+  /// quantiles (seconds; untouched unless any flow has closed) and the
+  /// per-node last latencies — equivalent to stats() +
+  /// latency_quantiles() + last_latency_ms_into() under a single mutex
+  /// acquisition.  The per-epoch telemetry update calls this.
+  void rollup(FlowTracerStats& stats, const double* qs, double* quantiles,
+              std::size_t n, std::vector<double>& last_ms) const;
+
+  // -- Export ------------------------------------------------------------
+
+  /// /traces.json document: {meta, options, stats, node_summary, flows}.
+  /// Deterministic byte-for-byte given identical recorded history.
+  void write_traces_json(std::ostream& os, const TraceQuery& query = {}) const;
+
+  /// Merged multi-node Chrome trace: a "cluster.decisions" lane of epoch
+  /// slices plus one lane per node carrying grant/actuate/effect events
+  /// linked by flow arrows.  Built from kept flows only.
+  void write_perfetto(std::ostream& os) const;
+
+ private:
+  struct EpochSpan {
+    std::uint64_t epoch = 0;
+    Nanos t_decision = 0;
+    std::uint32_t children = 0;
+    std::uint32_t resolved = 0;
+    Nanos t_last = -1;  ///< latest child resolution
+  };
+  // Spans live in a seq-indexed ring: spans_[seq - span_base_seq_].
+  // Completed spans pop from the front once everything older is also
+  // complete, so resolution is O(1) — no scan, no middle erase.
+
+  struct NodeAgg {
+    std::uint64_t closed = 0;
+    std::uint64_t orphaned = 0;
+    Nanos last_latency = -1;  ///< integer ns: no fp divides on close
+    Nanos latency_sum = 0;
+  };
+
+  /// Deterministic head-sampling decision for (epoch, node).
+  [[nodiscard]] bool head_keep(std::uint64_t epoch, unsigned node) const;
+  /// Retain or drop a finished (closed/orphaned) flow.  Requires mutex_
+  /// held.
+  void finish_flow(const FlowRecord& flow);
+  /// Child of span `seq` resolved at `t`; closes the span when complete.
+  /// Requires mutex_ held.
+  void resolve_span_child(std::uint32_t seq, Nanos t);
+  void close_flow_locked(FlowRecord& flow, Nanos t, double rate);
+  void orphan_locked(unsigned node, Nanos t, const char* reason);
+  void observe_latency(Nanos latency);
+  [[nodiscard]] double latency_quantile_locked(double q) const;
+  /// Batched core: one prefix walk of the sorted histogram per q.
+  /// Requires mutex_ held.
+  void latency_quantiles_locked(const double* qs, double* out,
+                                std::size_t n) const;
+
+  mutable std::mutex mutex_;
+  FlowTracerOptions options_;
+  std::map<std::string, std::string> meta_;
+  /// Per-node flow slot, indexed by node id; slots_[n].state == kOpen
+  /// marks an open flow.  O(1) lookup, no per-flow allocation.
+  std::vector<FlowRecord> slots_;
+  /// Candidate open nodes, ascending; compacted lazily (pending_into,
+  /// epoch_decision) as slots close.
+  std::vector<unsigned> open_nodes_;
+  std::vector<unsigned> open_scratch_;  ///< epoch_decision merge scratch
+  std::size_t open_count_ = 0;
+  std::deque<FlowRecord> ring_;  ///< kept flows, close order
+  std::deque<EpochSpan> spans_;  ///< span ring (see EpochSpan note)
+  std::uint32_t span_base_seq_ = 0;  ///< seq of spans_.front()
+  std::uint32_t span_next_seq_ = 0;  ///< seq the next decision gets
+  std::vector<NodeAgg> nodes_;   ///< grown on demand
+  /// Exact flow-latency histogram, kept sorted by latency.  Sim-clock
+  /// latencies take only a few distinct values (tick multiples), so
+  /// counting exact values beats a sketch on both cost (no log() per
+  /// close) and accuracy, and keeping the short list sorted on insert
+  /// makes quantile reads a plain prefix walk — no per-read sort.
+  /// latency_last_ caches the hot bucket (most closes repeat the
+  /// previous latency).
+  std::vector<std::pair<Nanos, std::uint64_t>> latency_hist_;
+  std::size_t latency_last_ = 0;
+  std::uint64_t latency_count_ = 0;
+  Sketch epoch_span_{0.01, 1e-6, 1e6};  ///< seconds, one obs per epoch
+  FlowTracerStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t kept_hash_;
 };
 
 }  // namespace procap::obs

@@ -1,0 +1,141 @@
+// End-to-end cap-to-effect tracing through the cluster control loop:
+// the manager opens an epoch span per redistribution, fans out per-node
+// flows, closes them on the first reflecting progress sample — and the
+// whole kept-flow set (hash AND dump bytes) is identical across thread
+// counts, which is what lets CI diff trace dumps like allocation traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "cluster/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace procap::cluster {
+namespace {
+
+using procap::obs::FlowRecord;
+using procap::obs::FlowTracer;
+using procap::obs::FlowTracerOptions;
+using procap::obs::FlowTracerStats;
+using procap::obs::Registry;
+
+constexpr unsigned kNodes = 64;
+constexpr unsigned kEpochs = 24;
+
+ClusterConfig traced_config(unsigned threads) {
+  ClusterConfig config;
+  config.nodes = kNodes;
+  // Slight scarcity so the demand strategy keeps moving grants around —
+  // no movement, no flows.
+  config.global_budget = 118.0 * kNodes;
+  config.jobs = kNodes / 8;
+  config.strategy = "demand";
+  config.seed = 2024;
+  config.threads = threads;
+  return config;
+}
+
+struct TracedRun {
+  std::uint64_t kept_hash = 0;
+  std::string dump;
+  FlowTracerStats stats;
+  Nanos min_latency = -1;
+};
+
+TracedRun run_traced(unsigned threads) {
+  const ClusterConfig config = traced_config(threads);
+  FlowTracerOptions options;
+  options.seed = config.seed;
+  FlowTracer tracer(options);
+  ClusterPowerManager manager(config);
+  manager.set_tracer(&tracer);
+  manager.run(kEpochs);
+
+  TracedRun out;
+  out.kept_hash = tracer.kept_hash();
+  out.stats = tracer.stats();
+  std::ostringstream os;
+  tracer.write_traces_json(os);
+  out.dump = os.str();
+  for (const FlowRecord& flow : tracer.kept_flows()) {
+    if (flow.state == procap::obs::FlowState::kClosed &&
+        (out.min_latency < 0 || flow.latency < out.min_latency)) {
+      out.min_latency = flow.latency;
+    }
+  }
+  return out;
+}
+
+TEST(ClusterTrace, ControlLoopClosesFlowsWithPositiveLatency) {
+  const TracedRun run = run_traced(1);
+  EXPECT_GT(run.stats.opened, 0u);
+  EXPECT_GT(run.stats.closed, 0u);
+  EXPECT_GT(run.stats.kept, 0u);
+  EXPECT_GT(run.stats.epochs_closed, 0u);
+  // Causality: the effect cannot land before the decision.  On the sim
+  // clock the fastest possible close is one tick later.
+  EXPECT_GT(run.min_latency, 0);
+}
+
+TEST(ClusterTrace, KeptFlowSetIsIdenticalAcrossThreadCounts) {
+  const TracedRun serial = run_traced(1);
+  const TracedRun parallel = run_traced(8);
+  EXPECT_EQ(serial.kept_hash, parallel.kept_hash);
+  EXPECT_EQ(serial.stats.opened, parallel.stats.opened);
+  EXPECT_EQ(serial.stats.closed, parallel.stats.closed);
+  EXPECT_EQ(serial.stats.kept, parallel.stats.kept);
+  // Byte-for-byte: the CI determinism comparator cmp()s dump files.
+  EXPECT_EQ(serial.dump, parallel.dump);
+}
+
+TEST(ClusterTrace, TelemetryRollsInFlowLatencies) {
+  Registry::set_enabled(true);
+  Registry::global().reset_values();
+
+  const ClusterConfig config = traced_config(1);
+  FlowTracerOptions options;
+  options.seed = config.seed;
+  FlowTracer tracer(options);
+  ClusterPowerManager manager(config);
+  manager.set_tracer(&tracer);
+  ClusterTelemetry telemetry(Registry::global());
+  telemetry.set_tracer(&tracer);
+
+  for (unsigned epoch = 0; epoch < kEpochs; ++epoch) {
+    manager.run_epoch();
+    telemetry.update(manager);
+  }
+
+  const ClusterSnapshot snap = telemetry.snapshot();
+  const FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(snap.flows_closed, stats.closed);
+  EXPECT_EQ(snap.flows_orphaned, stats.orphaned);
+  EXPECT_EQ(snap.flows_open, stats.open);
+  ASSERT_GT(stats.closed, 0u);
+  EXPECT_GT(snap.flow_p50_ms, 0.0);
+  EXPECT_GE(snap.flow_p99_ms, snap.flow_p50_ms);
+
+  // At least one node must carry a last cap-to-effect latency, and every
+  // populated one is a whole number of positive ticks.
+  bool saw_latency = false;
+  for (const NodeSample& node : snap.nodes) {
+    if (node.c2e_ms >= 0.0) {
+      saw_latency = true;
+      EXPECT_GT(node.c2e_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_latency);
+
+  // The cluster.json document carries the trace block.
+  std::ostringstream os;
+  telemetry.write_cluster_json(os, 0);
+  EXPECT_NE(os.str().find("\"trace\":{\"closed\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procap::cluster

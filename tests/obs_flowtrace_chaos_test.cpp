@@ -1,0 +1,99 @@
+// Chaos lane for the cap-to-effect trace pipeline: kill part of the
+// cluster mid-run and check the flows opened toward the dead nodes are
+// orphaned (not silently dropped), that the orphans survive sampling,
+// and that obs_report's --traces analysis surfaces them — the operator
+// answer to "which decisions never produced an effect, and why".
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "fault/plan.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace procap::obs {
+namespace {
+
+using procap::cluster::ClusterConfig;
+using procap::cluster::ClusterPowerManager;
+
+TEST(FlowTraceChaos, NodeDeathOrphansSurfaceInTraceReport) {
+  ClusterConfig config;
+  config.nodes = 128;
+  config.global_budget = 118.0 * config.nodes;
+  config.jobs = config.nodes / 8;
+  config.strategy = "demand";
+  config.seed = 77;
+  config.threads = 4;
+  // 10% of the cluster dies for good at t = 5 s — mid-run, so grants
+  // issued to the victims in the preceding epochs are still in flight.
+  std::istringstream plan(
+      "seed 5\n"
+      "node 5 inf crash frac 0.10\n");
+  config.plan = procap::fault::FaultPlan::parse(plan);
+
+  FlowTracerOptions options;
+  options.seed = config.seed;
+  FlowTracer tracer(options);
+  ClusterPowerManager manager(config);
+  manager.set_tracer(&tracer);
+  tracer.set_meta("strategy", config.strategy);
+  tracer.set_meta("seed", std::to_string(config.seed));
+  manager.run(20);
+
+  const FlowTracerStats stats = tracer.stats();
+  ASSERT_GT(manager.deaths(), 0u);
+  ASSERT_GT(stats.closed, 0u);
+  ASSERT_GT(stats.orphaned, 0u);
+
+  // Every orphan is kept, with a machine-readable reason, and at least
+  // one of them is a death orphan (stale grants may add more).
+  std::uint64_t kept_orphans = 0;
+  bool saw_death = false;
+  for (const FlowRecord& flow : tracer.kept_flows()) {
+    if (flow.state != FlowState::kOrphaned) {
+      continue;
+    }
+    ++kept_orphans;
+    EXPECT_EQ(flow.keep, KeepReason::kOrphan);
+    ASSERT_NE(flow.orphan_reason, nullptr);
+    saw_death = saw_death || std::string(flow.orphan_reason) == "node_death";
+  }
+  EXPECT_GT(kept_orphans, 0u);
+  EXPECT_TRUE(saw_death);
+
+  // Round-trip through the dump format obs_report --traces consumes.
+  const std::string path = ::testing::TempDir() + "flow_chaos_dump.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    tracer.write_traces_json(out);
+  }
+  const FlowDumpReport report = summarize_flow_dump(path);
+  EXPECT_EQ(report.orphaned, stats.orphaned);
+  EXPECT_EQ(report.closed, stats.closed);
+  EXPECT_EQ(report.strategy, "demand");
+  std::uint64_t reported_orphans = 0;
+  for (const FlowRow& row : report.flows) {
+    if (row.state == "orphaned") {
+      ++reported_orphans;
+      EXPECT_FALSE(row.orphan_reason.empty());
+    }
+  }
+  EXPECT_EQ(reported_orphans, kept_orphans);
+
+  // The printed analysis names the orphan budget so a chaos run's
+  // lost decisions cannot hide in an aggregate.
+  std::ostringstream os;
+  print_flow_reports({report}, os);
+  EXPECT_NE(os.str().find("orphaned"), std::string::npos);
+  EXPECT_NE(os.str().find("node_death"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace procap::obs

@@ -1,0 +1,415 @@
+// Tests for the cluster-wide FlowTracer: flow lifecycle (decision →
+// actuation → effect), the jitter threshold, the head+tail sampling
+// policy and its determinism fingerprint, orphan handling, span
+// accounting, ring eviction, the batched-vs-fused advance equivalence,
+// the one-lock rollup, and the /traces.json + Perfetto exports (parsed
+// with the in-repo JSON reader, filters included).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/units.hpp"
+
+namespace procap::obs {
+namespace {
+
+constexpr Nanos kTick = msec(250);
+
+FlowTracerOptions keep_all() {
+  FlowTracerOptions options;
+  options.sample_period = 1;
+  options.seed = 42;
+  return options;
+}
+
+GrantChange change(unsigned node, double from_w, double to_w) {
+  return GrantChange{node, from_w, to_w};
+}
+
+/// One tick where `nodes` all heartbeat at `rate`.
+std::vector<FlowTick> beat(const std::vector<unsigned>& nodes, double rate) {
+  std::vector<FlowTick> ticks;
+  for (unsigned node : nodes) {
+    ticks.push_back(FlowTick{.node = node, .effect = true, .rate = rate});
+  }
+  return ticks;
+}
+
+TEST(FlowTracer, LifecycleRecordsTickLatency) {
+  FlowTracer tracer(keep_all());
+  tracer.epoch_decision(0, 0, {change(0, 100.0, 110.0),
+                               change(3, 100.0, 90.0)});
+
+  FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.opened, 2u);
+  EXPECT_EQ(stats.open, 2u);
+  EXPECT_EQ(stats.epochs, 1u);
+
+  tracer.advance(kTick, beat({0, 3}, 2.5));
+  stats = tracer.stats();
+  EXPECT_EQ(stats.closed, 2u);
+  EXPECT_EQ(stats.open, 0u);
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.epochs_closed, 1u);
+
+  const std::vector<FlowRecord> kept = tracer.kept_flows();
+  ASSERT_EQ(kept.size(), 2u);
+  for (const FlowRecord& flow : kept) {
+    EXPECT_EQ(flow.state, FlowState::kClosed);
+    EXPECT_EQ(flow.t_actuate, kTick);
+    EXPECT_EQ(flow.t_effect, kTick);
+    EXPECT_EQ(flow.latency, kTick);
+    EXPECT_DOUBLE_EQ(flow.rate, 2.5);
+  }
+  EXPECT_EQ(kept[0].node, 0u);
+  EXPECT_EQ(kept[1].node, 3u);
+}
+
+TEST(FlowTracer, MinChangeFiltersJitterNotDecisions) {
+  FlowTracerOptions options = keep_all();
+  options.min_change_w = 2.0;
+  FlowTracer tracer(options);
+
+  // 1 W of re-balancing jitter opens nothing; a 2 W (threshold is
+  // inclusive) and an 8 W decision both trace.
+  tracer.epoch_decision(0, 0, {change(0, 100.0, 101.0),
+                               change(1, 100.0, 102.0),
+                               change(2, 100.0, 92.0)});
+  EXPECT_EQ(tracer.stats().opened, 2u);
+
+  // min_change_w = 0 traces every change.
+  FlowTracerOptions all = keep_all();
+  all.min_change_w = 0.0;
+  FlowTracer verbose(all);
+  verbose.epoch_decision(0, 0, {change(0, 100.0, 100.1)});
+  EXPECT_EQ(verbose.stats().opened, 1u);
+}
+
+TEST(FlowTracer, HeadSamplingIsDeterministicAndSeedSalted) {
+  FlowTracerOptions options;
+  options.sample_period = 4;
+  options.seed = 7;
+
+  struct Fingerprint {
+    std::uint64_t hash = 0;
+    std::uint64_t kept = 0;
+  };
+  const auto run = [](const FlowTracerOptions& opt) {
+    FlowTracer tracer(opt);
+    Nanos now = 0;
+    for (std::uint64_t epoch = 0; epoch < 16; ++epoch) {
+      std::vector<GrantChange> changes;
+      for (unsigned node = 0; node < 32; ++node) {
+        changes.push_back(change(node, 100.0, 110.0));
+      }
+      tracer.epoch_decision(epoch, now, changes);
+      now += kTick;
+      std::vector<unsigned> nodes(32);
+      for (unsigned node = 0; node < 32; ++node) {
+        nodes[node] = node;
+      }
+      tracer.advance(now, beat(nodes, 1.0));
+    }
+    return Fingerprint{tracer.kept_hash(), tracer.stats().kept};
+  };
+
+  const Fingerprint a = run(options);
+  const Fingerprint b = run(options);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.kept, b.kept);
+  // Roughly 1-in-4 of 512 closes survive the head sample.
+  EXPECT_GT(a.kept, 64u);
+  EXPECT_LT(a.kept, 256u);
+
+  options.seed = 8;
+  const Fingerprint c = run(options);
+  EXPECT_NE(a.hash, c.hash);
+}
+
+TEST(FlowTracer, SlowFlowsAlwaysKept) {
+  FlowTracerOptions options;
+  options.sample_period = 0;  // head sampling keeps nothing
+  options.slow_latency = msec(500);
+  options.seed = 42;
+  FlowTracer tracer(options);
+
+  tracer.epoch_decision(0, 0, {change(0, 100.0, 110.0),
+                               change(1, 100.0, 110.0)});
+  // Node 0 closes fast (dropped); node 1 straggles past the tail
+  // threshold (kept).
+  tracer.advance(kTick, beat({0}, 1.0));
+  tracer.advance(3 * kTick, beat({1}, 1.0));
+
+  const FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.closed, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+  ASSERT_EQ(stats.kept, 1u);
+  const std::vector<FlowRecord> kept = tracer.kept_flows();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].node, 1u);
+  EXPECT_EQ(kept[0].keep, KeepReason::kSlow);
+  EXPECT_EQ(kept[0].latency, 3 * kTick);
+}
+
+TEST(FlowTracer, OrphansAlwaysKeptWithReason) {
+  FlowTracerOptions options;
+  options.sample_period = 0;  // orphans must survive even keep-nothing
+  options.seed = 42;
+  FlowTracer tracer(options);
+
+  tracer.epoch_decision(0, 0, {change(2, 100.0, 110.0)});
+  tracer.orphan(2, kTick, "node_death");
+
+  const FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.orphaned, 1u);
+  EXPECT_EQ(stats.open, 0u);
+  EXPECT_EQ(stats.epochs_closed, 1u);  // orphaning resolves the span
+  const std::vector<FlowRecord> kept = tracer.kept_flows();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].state, FlowState::kOrphaned);
+  EXPECT_EQ(kept[0].keep, KeepReason::kOrphan);
+  EXPECT_STREQ(kept[0].orphan_reason, "node_death");
+
+  // A second orphan for the same node is a no-op (no open flow).
+  tracer.orphan(2, 2 * kTick, "node_left");
+  EXPECT_EQ(tracer.stats().orphaned, 1u);
+}
+
+TEST(FlowTracer, StaleGrantOrphansThePreviousFlow) {
+  FlowTracer tracer(keep_all());
+  tracer.epoch_decision(0, 0, {change(4, 100.0, 110.0)});
+  // Node 4 never heartbeats before the next decision re-grants it: the
+  // first flow's effect can no longer be isolated.
+  tracer.epoch_decision(1, 4 * kTick, {change(4, 110.0, 120.0)});
+
+  const FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.opened, 2u);
+  EXPECT_EQ(stats.orphaned, 1u);
+  EXPECT_EQ(stats.open, 1u);
+
+  const std::vector<FlowRecord> kept = tracer.kept_flows();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_STREQ(kept[0].orphan_reason, "stale_grant");
+  EXPECT_EQ(kept[0].epoch, 0u);
+
+  tracer.advance(5 * kTick, beat({4}, 1.0));
+  EXPECT_EQ(tracer.stats().closed, 1u);
+  EXPECT_EQ(tracer.stats().epochs_closed, 2u);
+}
+
+TEST(FlowTracer, RingCapacityEvictsOldestKeptFlow) {
+  FlowTracerOptions options = keep_all();
+  options.capacity = 2;
+  FlowTracer tracer(options);
+
+  Nanos now = 0;
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    tracer.epoch_decision(epoch, now, {change(0, 100.0, 110.0)});
+    now += kTick;
+    tracer.advance(now, beat({0}, 1.0));
+  }
+
+  const FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.kept, 3u);
+  EXPECT_EQ(stats.evicted, 1u);
+  const std::vector<FlowRecord> kept = tracer.kept_flows();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].epoch, 1u);  // epoch 0's flow was evicted
+  EXPECT_EQ(kept[1].epoch, 2u);
+}
+
+TEST(FlowTracer, FusedAdvanceMatchesBatched) {
+  struct Ctx {
+    unsigned closer = 0;
+  };
+
+  const auto drive = [](FlowTracer& tracer, bool fused) {
+    Nanos now = 0;
+    for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+      std::vector<GrantChange> changes;
+      for (unsigned node = 0; node < 8; ++node) {
+        changes.push_back(change(node, 100.0, 110.0));
+      }
+      tracer.epoch_decision(epoch, now, changes);
+      // Two ticks: even nodes close on the first, odd on the second.
+      for (unsigned tick = 0; tick < 2; ++tick) {
+        now += kTick;
+        Ctx ctx{tick};
+        if (fused) {
+          tracer.advance(
+              now,
+              [](unsigned node, void* raw) -> FlowTick {
+                const auto* c = static_cast<const Ctx*>(raw);
+                return FlowTick{.node = node,
+                                .effect = node % 2 == c->closer,
+                                .rate = 1.0};
+              },
+              &ctx);
+        } else {
+          std::vector<FlowTick> ticks;
+          for (unsigned node = 0; node < 8; ++node) {
+            ticks.push_back(FlowTick{.node = node,
+                                     .effect = node % 2 == ctx.closer,
+                                     .rate = 1.0});
+          }
+          tracer.advance(now, ticks);
+        }
+      }
+    }
+  };
+
+  FlowTracer batched(keep_all());
+  FlowTracer fused(keep_all());
+  drive(batched, false);
+  drive(fused, true);
+  EXPECT_EQ(batched.kept_hash(), fused.kept_hash());
+  EXPECT_EQ(batched.stats().closed, fused.stats().closed);
+  EXPECT_EQ(batched.stats().kept, fused.stats().kept);
+}
+
+TEST(FlowTracer, FusedAdvanceSkipLeavesFlowUntouched) {
+  FlowTracer tracer(keep_all());
+  tracer.epoch_decision(0, 0, {change(0, 100.0, 110.0)});
+  tracer.advance(
+      kTick,
+      [](unsigned node, void*) -> FlowTick {
+        return FlowTick{.node = node, .skip = true};
+      },
+      nullptr);
+  const FlowTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.open, 1u);
+  EXPECT_EQ(stats.closed, 0u);
+
+  const std::vector<FlowRecord> kept = tracer.kept_flows();
+  EXPECT_TRUE(kept.empty());
+  tracer.advance(2 * kTick, beat({0}, 1.0));
+  ASSERT_EQ(tracer.kept_flows().size(), 1u);
+  // The skipped tick did not actuate: the first touch was the close.
+  EXPECT_EQ(tracer.kept_flows()[0].t_actuate, 2 * kTick);
+}
+
+TEST(FlowTracer, QuantilesAndRollupAgree) {
+  FlowTracer tracer(keep_all());
+  // Latencies 1, 1, 2 and 3 ticks: p50 = 250 ms, max = 750 ms.
+  tracer.epoch_decision(0, 0, {change(0, 100.0, 110.0),
+                               change(1, 100.0, 110.0),
+                               change(2, 100.0, 110.0),
+                               change(3, 100.0, 110.0)});
+  tracer.advance(kTick, beat({0, 1}, 1.0));
+  tracer.advance(2 * kTick, beat({2}, 1.0));
+  tracer.advance(3 * kTick, beat({3}, 1.0));
+
+  EXPECT_DOUBLE_EQ(tracer.latency_quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(tracer.latency_quantile(1.0), 0.75);
+
+  const double qs[3] = {0.5, 0.9, 1.0};
+  double batched[3] = {0.0, 0.0, 0.0};
+  tracer.latency_quantiles(qs, batched, 3);
+  EXPECT_DOUBLE_EQ(batched[0], tracer.latency_quantile(0.5));
+  EXPECT_DOUBLE_EQ(batched[1], tracer.latency_quantile(0.9));
+  EXPECT_DOUBLE_EQ(batched[2], tracer.latency_quantile(1.0));
+
+  // rollup == stats + latency_quantiles + last_latency_ms_into.
+  FlowTracerStats rolled;
+  double fused[3] = {0.0, 0.0, 0.0};
+  std::vector<double> last_ms;
+  tracer.rollup(rolled, qs, fused, 3, last_ms);
+  EXPECT_EQ(rolled.closed, tracer.stats().closed);
+  EXPECT_EQ(rolled.open, tracer.stats().open);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(fused[i], batched[i]);
+  }
+  std::vector<double> direct;
+  tracer.last_latency_ms_into(direct);
+  EXPECT_EQ(last_ms, direct);
+  ASSERT_GE(last_ms.size(), 4u);
+  EXPECT_DOUBLE_EQ(last_ms[0], 250.0);
+  EXPECT_DOUBLE_EQ(last_ms[3], 750.0);
+}
+
+TEST(FlowTracer, TracesJsonFiltersApply) {
+  FlowTracer tracer(keep_all());
+  tracer.set_meta("strategy", "demand");
+  Nanos now = 0;
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    tracer.epoch_decision(epoch, now, {change(0, 100.0, 110.0),
+                                       change(1, 100.0, 110.0)});
+    now += kTick;
+    // Node 1's flow in epoch 2 straggles one extra tick.
+    if (epoch == 2) {
+      tracer.advance(now, beat({0}, 1.0));
+      now += kTick;
+      tracer.advance(now, beat({1}, 1.0));
+    } else {
+      tracer.advance(now, beat({0, 1}, 1.0));
+    }
+  }
+
+  const auto dump = [&tracer](const TraceQuery& query) {
+    std::ostringstream os;
+    tracer.write_traces_json(os, query);
+    return json::parse(os.str());
+  };
+
+  const json::Value all = dump({});
+  ASSERT_TRUE(all.is_object());
+  EXPECT_EQ(all.find("meta")->string_or("strategy", "?"), "demand");
+  ASSERT_NE(all.find("flows"), nullptr);
+  EXPECT_EQ(all.find("flows")->array.size(), 6u);
+  EXPECT_EQ(all.find("stats")->number_or("closed", -1.0), 6.0);
+
+  TraceQuery by_epoch;
+  by_epoch.epoch = 1;
+  EXPECT_EQ(dump(by_epoch).find("flows")->array.size(), 2u);
+
+  TraceQuery by_node;
+  by_node.node = 0;
+  EXPECT_EQ(dump(by_node).find("flows")->array.size(), 3u);
+
+  TraceQuery slow_only;
+  slow_only.min_latency_ms = 400.0;
+  const json::Value slow = dump(slow_only);
+  ASSERT_EQ(slow.find("flows")->array.size(), 1u);
+  const json::Value& flow = slow.find("flows")->array[0];
+  EXPECT_EQ(flow.number_or("node", -1.0), 1.0);
+  EXPECT_EQ(flow.number_or("epoch", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(flow.number_or("latency_ms", -1.0), 500.0);
+
+  TraceQuery stats_only;
+  stats_only.include_flows = false;
+  EXPECT_EQ(dump(stats_only).find("flows"), nullptr);
+}
+
+TEST(FlowTracer, PerfettoExportIsValidChromeTrace) {
+  FlowTracer tracer(keep_all());
+  tracer.epoch_decision(0, 0, {change(0, 100.0, 110.0)});
+  tracer.advance(kTick, beat({0}, 1.0));
+
+  std::ostringstream os;
+  tracer.write_perfetto(os);
+  const json::Value doc = json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_FALSE(events->array.empty());
+  // The flow arrows ("s" start / "f" finish) that make the cap-to-effect
+  // path visible must be present.
+  bool saw_start = false;
+  bool saw_finish = false;
+  for (const json::Value& event : events->array) {
+    const std::string ph = event.string_or("ph", "");
+    saw_start = saw_start || ph == "s";
+    saw_finish = saw_finish || ph == "f";
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_finish);
+}
+
+}  // namespace
+}  // namespace procap::obs

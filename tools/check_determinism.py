@@ -18,11 +18,55 @@ The first report is the reference.  Every other report must match it on
 trial count, shape/trial failure counts, and every headline metric
 bit-for-bit (textual equality of the JSON numbers — no tolerance).
 Exit status: 0 on full agreement, 1 on any divergence, 2 on bad usage.
+
+Trace-dump mode (--traces) compares cap-to-effect flow dumps instead —
+the documents cluster_sim --trace-out writes.  The FlowTracer promises
+the kept-flow set is a pure function of (seed, scenario), independent of
+thread count, so the dumps must be byte-identical:
+
+    cluster_sim --threads 1 --trace-out ref.json ...
+    cluster_sim --threads 8 --trace-out t8.json ...
+    python3 tools/check_determinism.py --traces ref.json t8.json
+
+On divergence the kept_hash fingerprints and first differing byte offset
+are printed to localize whether sampling or serialization drifted.
 """
 
 import json
 import re
 import sys
+
+
+def check_traces(paths):
+    """Byte-compare flow dumps; the reference is paths[0]."""
+    blobs = {}
+    for path in paths:
+        try:
+            with open(path, "rb") as f:
+                blobs[path] = f.read()
+        except OSError as err:
+            sys.exit(f"check_determinism: cannot read {path}: {err}")
+
+    def kept_hash(blob):
+        match = re.search(rb'"kept_hash":\s*"((?:0x)?[0-9a-f]+)"', blob)
+        return match.group(1).decode() if match else "?"
+
+    ref_path, ref = paths[0], blobs[paths[0]]
+    status = 0
+    for path in paths[1:]:
+        other = blobs[path]
+        if other == ref:
+            print(f"{path}: identical to {ref_path} "
+                  f"({len(ref)} bytes, kept_hash {kept_hash(ref)})")
+            continue
+        status = 1
+        offset = next((i for i, (a, b) in enumerate(zip(ref, other))
+                       if a != b), min(len(ref), len(other)))
+        print(f"{path}: DIVERGES from {ref_path}: first differing byte "
+              f"at offset {offset} ({len(ref)} vs {len(other)} bytes, "
+              f"kept_hash {kept_hash(ref)} vs {kept_hash(other)})")
+    print("determinism: " + ("FAIL" if status else "OK"))
+    return status
 
 # Keys that must agree exactly across modes.  wall_s / trials_per_s /
 # threads legitimately differ; metrics carry the simulation results.
@@ -49,15 +93,21 @@ def load_raw_metrics(path):
 
 
 def main():
-    if len(sys.argv) < 3:
-        sys.exit("usage: check_determinism.py REFERENCE.json OTHER.json "
-                 "[OTHER.json ...]")
-    ref_path = sys.argv[1]
+    args = sys.argv[1:]
+    traces = "--traces" in args
+    if traces:
+        args.remove("--traces")
+    if len(args) < 2:
+        sys.exit("usage: check_determinism.py [--traces] REFERENCE.json "
+                 "OTHER.json [OTHER.json ...]")
+    if traces:
+        return check_traces(args)
+    ref_path = args[0]
     ref, ref_metrics = load_raw_metrics(ref_path)
     if not ref_metrics:
         sys.exit(f"check_determinism: {ref_path} has no metrics to compare")
     status = 0
-    for path in sys.argv[2:]:
+    for path in args[1:]:
         other, other_metrics = load_raw_metrics(path)
         diverged = []
         for key in EXACT_KEYS:

@@ -8,6 +8,8 @@
 #                   noobs); may repeat.  Default: all four.
 #   --skip-format   skip the clang-format check
 #   --skip-bench    skip the bench smoke + regression gate
+#   --soak          also run the 30 s telemetry scrape soak (CI runs it
+#                   on the main / perf-labelled full lane only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +17,13 @@ cd "$(dirname "$0")/.."
 presets=()
 skip_format=0
 skip_bench=0
+soak=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset) presets+=("$2"); shift 2 ;;
     --skip-format) skip_format=1; shift ;;
     --skip-bench) skip_bench=1; shift ;;
+    --soak) soak=1; shift ;;
     *) echo "ci_local.sh: unknown flag $1" >&2; exit 2 ;;
   esac
 done
@@ -93,7 +97,13 @@ if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
       PROCAP_SIM_ENGINE=pertick ./build/bench/fig4_model_vs_measured \
         --short --threads 8 --bench-json "${out}/pertick.json" &&
       python3 tools/check_determinism.py \
-        "${out}/t1.json" "${out}/t8.json" "${out}/pertick.json"
+        "${out}/t1.json" "${out}/t8.json" "${out}/pertick.json" &&
+      ./build/tools/cluster_sim --nodes 96 --epochs 40 --seed 7 \
+        --threads 1 --quiet --trace-out "${out}/traces_t1.json" &&
+      ./build/tools/cluster_sim --nodes 96 --epochs 40 --seed 7 \
+        --threads 8 --quiet --trace-out "${out}/traces_t8.json" &&
+      python3 tools/check_determinism.py --traces \
+        "${out}/traces_t1.json" "${out}/traces_t8.json"
   }
   run_step "determinism gate (threads x batched/per-tick)" determinism_gate
 fi
@@ -117,10 +127,19 @@ if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
         --bench-json "${out}/BENCH_cluster_churn.json" &&
       ./build/bench/obs_load --short \
         --bench-json "${out}/BENCH_obs_load.json" &&
+      ./build/bench/trace_pipeline --short \
+        --bench-json "${out}/BENCH_trace_pipeline.json" &&
       python3 tools/check_bench.py "${out}" bench/baselines \
         --max-regression 15
   }
   run_step "bench gate (short grid vs baselines)" bench_gate
+fi
+
+# --- telemetry scrape soak (opt-in; CI: main / perf-labelled lane) --------
+if [[ ${soak} -eq 1 ]]; then
+  run_step "telemetry scrape soak (8 scrapers, 30 s)" \
+    python3 tools/cluster_live_smoke.py \
+    build/tools/cluster_sim build/tools/procap_top --soak
 fi
 
 echo

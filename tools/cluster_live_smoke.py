@@ -12,13 +12,29 @@ sim is still running:
   * /cluster.json?topk=K — exactly K nodes, sorted by deficit descending
   * /timeseries.json?node=N — only node="N" labeled series
   * /metrics            — well-formed exposition with cluster series
+  * /traces.json        — at least one complete decision→grant→effect
+                          flow closed with positive cap-to-effect
+                          latency, served from the live tracer
+  * gzip                — Accept-Encoding: gzip answers with a gzip
+                          body that inflates back to the same document
+                          schema, and is actually smaller
   * /healthz            — valid JSON, zero invariant violations
   * procap_top --once   — renders a frame with the cluster pane
 
-Usage: cluster_live_smoke.py CLUSTER_SIM_BIN PROCAP_TOP_BIN
+Usage: cluster_live_smoke.py CLUSTER_SIM_BIN PROCAP_TOP_BIN [--soak]
+           [--soak-seconds N] [--soak-scrapers N] [--soak-p99-ms MS]
+
+--soak switches to the scrape-load soak: after the functional checks,
+N forked scraper processes (default 8) hammer the live endpoints for at
+least --soak-seconds (default 30).  The run fails on any 5xx (or
+connection error), and on a scrape p99 above --soak-p99-ms (default
+250 ms — the same SLO the obs_load bench gates).  CI runs this lane
+nightly / on perf-labelled PRs, not in the default test sweep.
 """
 
+import gzip
 import json
+import multiprocessing
 import re
 import subprocess
 import sys
@@ -41,17 +57,121 @@ def get(port, path, timeout=5):
         return resp.status, resp.read().decode()
 
 
+def get_gzip(port, path, timeout=5):
+    """Fetch with Accept-Encoding: gzip; returns (encoding, raw bytes)."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        headers={"Accept-Encoding": "gzip"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.headers.get("Content-Encoding", ""), resp.read()
+
+
+def scrape_worker(port, worker_id, stop_at, conn):
+    """One soak scraper: rotate the endpoints until the deadline, record
+    per-request latency and any non-2xx outcome."""
+    paths = [
+        "/cluster.json",
+        "/metrics",
+        f"/timeseries.json?node={worker_id}",
+        "/traces.json",
+        "/cluster.json?topk=8",
+        "/healthz",
+    ]
+    latencies = []
+    errors = 0
+    i = 0
+    while time.monotonic() < stop_at:
+        path = paths[i % len(paths)]
+        i += 1
+        t0 = time.perf_counter()
+        try:
+            status, _ = get(port, path, timeout=10)
+            if status >= 500:
+                errors += 1
+        except Exception:
+            # The sim may finish (connection refused) right at the end of
+            # the window; only count errors while the deadline holds.
+            if time.monotonic() < stop_at - 1.0:
+                errors += 1
+            break
+        latencies.append(time.perf_counter() - t0)
+    conn.send((len(latencies), errors, latencies))
+    conn.close()
+
+
+def run_soak(proc, port, scrapers, seconds, p99_ms):
+    print(f"soak: {scrapers} scraper processes for {seconds} s "
+          f"(p99 SLO {p99_ms:.0f} ms)")
+    stop_at = time.monotonic() + seconds
+    workers = []
+    for worker_id in range(scrapers):
+        parent, child = multiprocessing.Pipe()
+        w = multiprocessing.Process(
+            target=scrape_worker, args=(port, worker_id, stop_at, child)
+        )
+        w.start()
+        workers.append((w, parent))
+
+    total = 0
+    errors = 0
+    latencies = []
+    for w, parent in workers:
+        if parent.poll(seconds + 60):
+            n, e, lat = parent.recv()
+            total += n
+            errors += e
+            latencies.extend(lat)
+        else:
+            errors += 1
+        w.join(timeout=30)
+    if total == 0:
+        fail(proc, "soak: no scrape completed")
+    if errors:
+        fail(proc, f"soak: {errors} scrape failures (5xx or refused)")
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2] * 1e3
+    p99 = latencies[min(len(latencies) - 1,
+                        int(len(latencies) * 0.99))] * 1e3
+    rate = total / seconds
+    print(f"soak: {total} scrapes ({rate:.0f}/s), zero 5xx, "
+          f"p50 {p50:.1f} ms, p99 {p99:.1f} ms")
+    if p99 > p99_ms:
+        fail(proc, f"soak: scrape p99 {p99:.1f} ms exceeds SLO "
+                   f"{p99_ms:.0f} ms")
+
+
 def main():
-    cluster_sim, procap_top = sys.argv[1], sys.argv[2]
+    args = [a for a in sys.argv[1:]]
+    soak = "--soak" in args
+    if soak:
+        args.remove("--soak")
+
+    def flag(name, default):
+        if name in args:
+            i = args.index(name)
+            value = float(args[i + 1])
+            del args[i:i + 2]
+            return value
+        return default
+
+    soak_seconds = flag("--soak-seconds", 30.0)
+    soak_scrapers = int(flag("--soak-scrapers", 8))
+    soak_p99_ms = flag("--soak-p99-ms", 250.0)
+    cluster_sim, procap_top = args[0], args[1]
+
+    # The soak needs the sim to keep serving past its deadline: slow the
+    # pace so the run covers the functional checks plus the soak window.
+    epochs, pace = (600, 10) if soak else (120, 20)
     proc = subprocess.Popen(
         [
             cluster_sim,
             "--nodes", "48",
-            "--epochs", "120",
+            "--epochs", str(epochs),
             "--threads", "2",
             "--quiet",
             "--serve-obs", "0",
-            "--pace", "20",
+            "--pace", str(pace),
         ],
         stdout=subprocess.PIPE,
         text=True,
@@ -141,6 +261,62 @@ def main():
             fail(proc, "procap_cluster_granted_sum missing from /metrics")
         print(f"metrics: {len(body.splitlines())} exposition lines")
 
+        # Causal tracing, live: the control loop must have closed at
+        # least one complete decision→grant→effect flow, with a positive
+        # cap-to-effect latency, served from the tracer's kept ring.
+        deadline = time.monotonic() + 20
+        closed_flow = None
+        traces = None
+        while time.monotonic() < deadline and closed_flow is None:
+            status, body = get(port, "/traces.json")
+            if status != 200:
+                fail(proc, f"/traces.json -> {status}")
+            traces = json.loads(body)
+            closed_flow = next(
+                (f for f in traces.get("flows", [])
+                 if f.get("state") == "closed"
+                 and f.get("latency_ms", 0) > 0),
+                None,
+            )
+            if closed_flow is None:
+                time.sleep(0.2)
+        if closed_flow is None:
+            fail(proc, f"no closed flow with positive latency: "
+                       f"{traces and traces.get('stats')}")
+        stats = traces["stats"]
+        if stats.get("closed", 0) < 1:
+            fail(proc, f"tracer closed no flows: {stats}")
+        print(f"traces.json: {stats['closed']} flows closed, kept flow "
+              f"epoch {closed_flow['epoch']} node {closed_flow['node']} "
+              f"latency {closed_flow['latency_ms']:.0f} ms")
+
+        # Flow filters, live: the epoch filter must select exactly.
+        status, body = get(
+            port, f"/traces.json?epoch={closed_flow['epoch']}")
+        filtered = json.loads(body)
+        if not filtered["flows"] or any(
+                f["epoch"] != closed_flow["epoch"]
+                for f in filtered["flows"]):
+            fail(proc, "traces.json epoch filter leaked other epochs")
+        print(f"traces.json?epoch={closed_flow['epoch']}: "
+              f"{len(filtered['flows'])} flows, filter exact")
+
+        # gzip negotiation: the compressed answer must inflate to the
+        # same document schema and actually save bytes.
+        encoding, raw = get_gzip(port, "/traces.json?flows=0")
+        if encoding != "gzip":
+            fail(proc, f"gzip not negotiated (Content-Encoding "
+                       f"{encoding!r})")
+        inflated = json.loads(gzip.decompress(raw).decode())
+        if "stats" not in inflated or "node_summary" not in inflated:
+            fail(proc, "gzip round-trip lost the document schema")
+        identity_len = len(get(port, "/traces.json?flows=0")[1])
+        if len(raw) >= identity_len:
+            fail(proc, f"gzip body ({len(raw)} B) not smaller than "
+                       f"identity ({identity_len} B)")
+        print(f"gzip: {identity_len} B -> {len(raw)} B on "
+              f"/traces.json?flows=0")
+
         status, body = get(port, "/healthz")
         if status != 200:
             fail(proc, f"/healthz -> {status}")
@@ -161,7 +337,11 @@ def main():
             fail(proc, f"procap_top cluster pane missing:\n{top_run.stdout}")
         print("procap_top: rendered cluster pane")
 
-        if proc.wait(timeout=30) != 0:
+        if soak:
+            run_soak(proc, port, soak_scrapers, soak_seconds, soak_p99_ms)
+            proc.terminate()
+            proc.wait(timeout=30)
+        elif proc.wait(timeout=30) != 0:
             fail(proc, f"cluster_sim exited {proc.returncode}")
         print("PASS")
     finally:

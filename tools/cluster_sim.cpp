@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -23,6 +24,7 @@
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -41,9 +43,16 @@ void usage(const char* argv0) {
       << "  --quiet         summary only, no per-epoch table\n"
       << "  --serve-obs P   serve live telemetry on 127.0.0.1:P (0 picks a\n"
       << "                  port): /metrics, /cluster.json, /timeseries.json,\n"
-      << "                  /healthz\n"
+      << "                  /traces.json, /healthz\n"
       << "  --pace X        run at X times real time while serving\n"
-      << "                  (default 1; 0 = free-run)\n";
+      << "                  (default 1; 0 = free-run)\n"
+      << "  --trace-out F     write the cap-to-effect flow dump (traces.json\n"
+      << "                    document) to F at exit; also enables tracing\n"
+      << "  --trace-perfetto F  write the merged multi-node Chrome trace to F\n"
+      << "  --trace-sample N  keep 1-in-N closed flows (default 8; 1 = all)\n"
+      << "  --trace-slow-ms M always keep flows slower than M ms (default\n"
+      << "                    750)\n"
+      << "  --trace-cap N     kept-flow ring capacity (default 4096)\n";
 }
 
 }  // namespace
@@ -59,6 +68,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   int serve_port = -1;
   double pace = 1.0;
+  std::string trace_out;
+  std::string trace_perfetto;
+  obs::FlowTracerOptions trace_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,6 +105,19 @@ int main(int argc, char** argv) {
       serve_port = std::atoi(value("--serve-obs").c_str());
     } else if (arg == "--pace") {
       pace = std::atof(value("--pace").c_str());
+    } else if (arg == "--trace-out") {
+      trace_out = value("--trace-out");
+    } else if (arg == "--trace-perfetto") {
+      trace_perfetto = value("--trace-perfetto");
+    } else if (arg == "--trace-sample") {
+      trace_options.sample_period = static_cast<std::uint64_t>(
+          std::strtoull(value("--trace-sample").c_str(), nullptr, 10));
+    } else if (arg == "--trace-slow-ms") {
+      trace_options.slow_latency =
+          msec(std::atol(value("--trace-slow-ms").c_str()));
+    } else if (arg == "--trace-cap") {
+      trace_options.capacity = static_cast<std::size_t>(
+          std::atol(value("--trace-cap").c_str()));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -115,12 +140,35 @@ int main(int argc, char** argv) {
     }
     cluster::ClusterPowerManager manager(config);
 
+    // Causal cap-to-effect tracing: the manager drives the tracer from
+    // the sim thread (decision → actuation → effect per node); the
+    // tracer is on whenever something consumes it — the HTTP plane
+    // (/traces.json) or a dump flag.  Sampling is keyed off the master
+    // seed so the kept-flow set is a pure function of the scenario,
+    // whatever --threads is.
+    const bool tracing =
+        serve_port >= 0 || !trace_out.empty() || !trace_perfetto.empty();
+    trace_options.seed = config.seed;
+    obs::FlowTracer tracer(trace_options);
+    if (tracing) {
+      tracer.set_meta("app", "cluster_sim");
+      tracer.set_meta("strategy", config.strategy);
+      tracer.set_meta("seed", std::to_string(config.seed));
+      tracer.set_meta("nodes", std::to_string(config.nodes));
+      tracer.set_meta("sample_period",
+                      std::to_string(trace_options.sample_period));
+      manager.set_tracer(&tracer);
+    }
+
     // Live telemetry plane: per-epoch cluster roll-ups into the registry
     // and a time-series store, served by the event-loop HTTP server.
     // The sim thread runs epochs (optionally paced to wall time); the
     // serve thread answers scrapers.
     obs::TimeSeriesStore ts_store(obs::Registry::global());
     cluster::ClusterTelemetry telemetry(obs::Registry::global());
+    if (tracing) {
+      telemetry.set_tracer(&tracer);
+    }
     obs::HttpServer server;
     if (serve_port >= 0) {
       ts_store.set_meta("app", "cluster_sim");
@@ -156,6 +204,26 @@ int main(int argc, char** argv) {
         }
         std::ostringstream os;
         ts_store.write_json(os, since, name_filter, labels_filter);
+        return obs::HttpResponse{200, "application/json", os.str()};
+      });
+      server.handle("/traces.json", [&tracer](const std::string& query) {
+        const auto params = obs::parse_query(query);
+        obs::TraceQuery tq;
+        if (const auto it = params.find("epoch"); it != params.end()) {
+          tq.epoch = std::atol(it->second.c_str());
+        }
+        if (const auto it = params.find("node"); it != params.end()) {
+          tq.node = std::atol(it->second.c_str());
+        }
+        if (const auto it = params.find("min_latency_ms");
+            it != params.end()) {
+          tq.min_latency_ms = std::atof(it->second.c_str());
+        }
+        if (const auto it = params.find("flows"); it != params.end()) {
+          tq.include_flows = it->second != "0" && it->second != "false";
+        }
+        std::ostringstream os;
+        tracer.write_traces_json(os, tq);
         return obs::HttpResponse{200, "application/json", os.str()};
       });
       server.handle("/healthz", [&telemetry](const std::string&) {
@@ -211,6 +279,31 @@ int main(int argc, char** argv) {
                 << " http requests over " << server.connections_accepted()
                 << " connections, retained " << ts_store.series_count()
                 << " series (" << ts_store.samples_taken() << " samples)\n";
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "cannot write " << trace_out << "\n";
+        return 1;
+      }
+      tracer.write_traces_json(out);
+      out << "\n";
+    }
+    if (!trace_perfetto.empty()) {
+      std::ofstream out(trace_perfetto);
+      if (!out) {
+        std::cerr << "cannot write " << trace_perfetto << "\n";
+        return 1;
+      }
+      tracer.write_perfetto(out);
+      out << "\n";
+    }
+    if (tracing && !quiet) {
+      const obs::FlowTracerStats fs = tracer.stats();
+      std::cout << "trace: " << fs.closed << " flows closed, " << fs.orphaned
+                << " orphaned, " << fs.kept << " kept (hash 0x" << std::hex
+                << std::setw(16) << std::setfill('0') << tracer.kept_hash()
+                << std::dec << std::setfill(' ') << ")\n";
     }
     std::cout << "\nsummary: " << manager.deaths() << " deaths, "
               << manager.rejoins() << " rejoins, " << manager.holds()

@@ -1,27 +1,63 @@
-// obs_report — summarize a Chrome trace produced by power_policy
-// --trace-out.
+// obs_report — summarize recorded observability artifacts.
 //
-// Reads the trace back through the in-repo JSON parser (the same one the
-// golden-file test validates against) and prints the run's control-loop
-// story: daemon tick-latency histogram, cap-change and actuation counts,
-// the cap-to-effect latency distribution measured by the flow events,
-// NRM degraded-mode occupancy, per-app progress-window counts, and the
-// observer's own estimated overhead.
+// Two modes:
 //
-// Usage: obs_report TRACE.json
+//   obs_report TRACE.json
+//     Chrome trace-event file from power_policy --trace-out: daemon
+//     tick-latency histogram, cap-change and actuation counts, the
+//     cap-to-effect latency distribution from the flow events (with an
+//     orphaned count for flows that began but never closed — a node
+//     died mid-epoch), NRM degraded-mode occupancy, per-app
+//     progress-window counts, and the observer's own estimated
+//     overhead.
+//
+//   obs_report --traces DUMP.json [DUMP.json ...]
+//     Cap-to-effect flow dumps from cluster_sim --trace-out (or saved
+//     from GET /traces.json): per-strategy latency histograms, the
+//     slowest-flow table, and orphaned/open-span accounting.  Pass one
+//     dump per run to compare redistribution strategies side by side.
 #include <exception>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "obs/report.hpp"
 
+namespace {
+
+void usage() {
+  std::cerr << "usage: obs_report TRACE.json\n"
+               "       obs_report --traces DUMP.json [DUMP.json ...]\n"
+               "  TRACE.json: Chrome trace-event file from power_policy "
+               "--trace-out\n"
+               "  DUMP.json:  cap-to-effect flow dump from cluster_sim "
+               "--trace-out or GET /traces.json\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: obs_report TRACE.json\n"
-                 "  TRACE.json: Chrome trace-event file from power_policy "
-                 "--trace-out\n";
+  if (argc < 2) {
+    usage();
     return 2;
   }
   try {
+    if (std::string(argv[1]) == "--traces") {
+      if (argc < 3) {
+        usage();
+        return 2;
+      }
+      std::vector<procap::obs::FlowDumpReport> reports;
+      for (int i = 2; i < argc; ++i) {
+        reports.push_back(procap::obs::summarize_flow_dump(argv[i]));
+      }
+      procap::obs::print_flow_reports(reports, std::cout);
+      return 0;
+    }
+    if (argc != 2) {
+      usage();
+      return 2;
+    }
     const auto report = procap::obs::summarize_chrome_trace(argv[1]);
     procap::obs::print_report(report, std::cout);
   } catch (const std::exception& e) {

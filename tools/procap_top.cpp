@@ -265,21 +265,36 @@ void render(const Frame& frame, bool ansi) {
         << (c.find("held") != nullptr && c.find("held")->boolean ? "  HELD"
                                                                  : "")
         << "\n";
+    // Cap-to-effect headline from the flow tracer (absent on servers
+    // without tracing; the line simply drops out).
+    if (const json::Value* trace = c.find("trace")) {
+      const double p50 = trace->number_or("p50_ms", -1.0);
+      const double p99 = trace->number_or("p99_ms", -1.0);
+      out << "cap→effect: " << fixed(trace->number_or("closed", 0.0), 0)
+          << " flows  p50 " << (p50 < 0.0 ? "-" : fixed(p50, 0) + "ms")
+          << "  p99 " << (p99 < 0.0 ? "-" : fixed(p99, 0) + "ms")
+          << "  open " << fixed(trace->number_or("open", 0.0), 0)
+          << "  orphaned " << fixed(trace->number_or("orphaned", 0.0), 0)
+          << "\n";
+    }
     out << pad("node", 8) << pad("state", 10) << pad("cap W", 10)
-        << pad("power W", 10) << pad("deficit W", 12) << "rate/s\n";
+        << pad("power W", 10) << pad("deficit W", 12) << pad("rate/s", 10)
+        << "c2e ms\n";
     if (const json::Value* nodes = c.find("nodes")) {
       for (const json::Value& n : nodes->array) {
         const std::string state = n.string_or("liveness", "?");
         const char* color = state == "dead"      ? "\x1b[31m"
                             : state == "suspect" ? "\x1b[33m"
                                                  : "\x1b[32m";
+        const double c2e = n.number_or("c2e_ms", -1.0);
         out << pad(fixed(n.number_or("id", 0.0), 0), 8)
             << (ansi ? color : "") << pad(state, 10)
             << (ansi ? "\x1b[0m" : "")
             << pad(fixed(n.number_or("cap", 0.0), 0), 10)
             << pad(fixed(n.number_or("power", 0.0), 0), 10)
             << pad(fixed(n.number_or("deficit", 0.0), 1), 12)
-            << fixed(n.number_or("rate", 0.0), 2) << "\n";
+            << pad(fixed(n.number_or("rate", 0.0), 2), 10)
+            << (c2e < 0.0 ? "-" : fixed(c2e, 0)) << "\n";
       }
     }
   }
