@@ -6,8 +6,8 @@
 // Quantifies that claim: cross-correlation between the applied-cap signal
 // and the progress-rate signal, across every (app, scheme) pair and at
 // lags 0-2 s, reported as a matrix.  The (app x scheme) run grid goes
-// through exp::sweep_runs — each trial re-creates its schedule from a
-// factory so nothing is shared between trials.
+// through exp::sweep_controller_runs — each trial builds a fresh
+// controller from its registry spec so nothing is shared between trials.
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -15,23 +15,21 @@
 #include "exp/measure.hpp"
 #include "exp/sweep.hpp"
 #include "harness.hpp"
-#include "policy/schemes.hpp"
+#include "policy/controller.hpp"
 #include "shape_check.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-std::unique_ptr<procap::policy::CapSchedule> make_scheme(
-    const std::string& name) {
-  using namespace procap::policy;
+const char* scheme_spec(const std::string& name) {
   if (name == "linear") {
-    return std::make_unique<LinearDecreasingCap>(150.0, 60.0, 2.0, 8.0);
+    return "linear:from=150,floor=60,rate=2,delay=8";
   }
   if (name == "step") {
-    return std::make_unique<StepCap>(std::nullopt, 70.0, 12.0, 12.0);
+    return "step:low=70,high_s=12,low_s=12";
   }
-  return std::make_unique<JaggedCap>(150.0, 60.0, 16.0);
+  return "jagged:from=150,floor=60,period=16";
 }
 
 }  // namespace
@@ -51,18 +49,20 @@ int main(int argc, char** argv) {
   const std::vector<std::string> schemes = {"linear", "step", "jagged"};
 
   // Declarative (app x scheme) grid, app-major to match the output table.
-  std::vector<exp::ScheduleTrial> trials;
+  std::vector<exp::ControllerTrial> trials;
   for (const auto& app_name : app_names) {
     for (const auto& scheme : schemes) {
-      exp::ScheduleTrial trial;
+      exp::ControllerTrial trial;
       trial.app = apps::by_name(app_name);
-      trial.make_schedule = [scheme] { return make_scheme(scheme); };
+      const std::string spec = scheme_spec(scheme);
+      trial.make_controller = [spec] { return policy::make_controller(spec); };
       trial.options.duration = duration;
       trial.options.seed = 5;
       trials.push_back(std::move(trial));
     }
   }
-  const auto runs = exp::sweep_runs(trials, bench::sweep_options(options));
+  const auto runs =
+      exp::sweep_controller_runs(trials, bench::sweep_options(options));
   report.record_sweep(runs);
 
   TablePrinter table({"app", "linear", "step", "jagged"});

@@ -17,7 +17,7 @@
 #include "apps/multi.hpp"
 #include "exp/rig.hpp"
 #include "policy/daemon.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/analysis.hpp"
 #include "progress/category.hpp"
 #include "shape_check.hpp"

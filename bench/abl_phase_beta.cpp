@@ -24,7 +24,7 @@
 #include "exp/rig.hpp"
 #include "model/progress_model.hpp"
 #include "policy/daemon.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/monitor.hpp"
 #include "shape_check.hpp"
 #include "util/table.hpp"

@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "exp/measure.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/analysis.hpp"
 #include "shape_check.hpp"
 #include "util/table.hpp"

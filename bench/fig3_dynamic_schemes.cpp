@@ -11,25 +11,23 @@
 #include <vector>
 
 #include "exp/measure.hpp"
-#include "policy/schemes.hpp"
+#include "policy/controller.hpp"
 #include "shape_check.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-using procap::policy::CapSchedule;
-
-std::unique_ptr<CapSchedule> make_scheme(const std::string& name) {
-  using namespace procap::policy;
+// Registry specs for the paper's three dynamic shapes (linear: uncapped
+// 10 s, then 150 W decreasing 2 W/s to a 60 W floor).
+const char* scheme_spec(const std::string& name) {
   if (name == "linear") {
-    // Uncapped 10 s, then 150 W decreasing 2 W/s to a 60 W floor.
-    return std::make_unique<LinearDecreasingCap>(150.0, 60.0, 2.0, 10.0);
+    return "linear:from=150,floor=60,rate=2,delay=10";
   }
   if (name == "step") {
-    return std::make_unique<StepCap>(std::nullopt, 70.0, 15.0, 15.0);
+    return "step:low=70,high_s=15,low_s=15";
   }
-  return std::make_unique<JaggedCap>(150.0, 60.0, 20.0);
+  return "jagged:from=150,floor=60,period=20";
 }
 
 }  // namespace
@@ -49,17 +47,18 @@ int main() {
     // Uncapped reference rate.
     exp::RunOptions ref_opt;
     ref_opt.duration = 20.0;
-    const auto ref = exp::run_under_schedule(
-        apps::by_name(app_name),
-        std::make_unique<policy::UncappedSchedule>(), ref_opt);
+    const auto ref = exp::run_under_controller(
+        apps::by_name(app_name), policy::make_controller("uncapped"),
+        ref_opt);
     const double r_max = ref.mean_rate(4.0, 20.0);
 
     for (const auto& scheme : schemes) {
       exp::RunOptions opt;
       opt.duration = 90.0;
       opt.seed = 7;
-      const auto traces = exp::run_under_schedule(
-          apps::by_name(app_name), make_scheme(scheme), opt);
+      const auto traces = exp::run_under_controller(
+          apps::by_name(app_name),
+          policy::make_controller(scheme_spec(scheme)), opt);
 
       std::cout << "\n-- " << app_name << " / " << scheme
                 << " (r_uncapped=" << num(r_max, 1) << "/s) --\n";

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "exp/measure.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "shape_check.hpp"
 #include "util/table.hpp"
 

@@ -17,8 +17,14 @@
 //     "threads": 8, "trials": 330,
 //     "wall_s": 1.23, "trials_per_s": 268.3,
 //     "short_grid": false, "shape_failures": 0,
-//     "metrics": {"lammps.mape_pct": 23.1, ...}
+//     "metrics": {"lammps.mape_pct": 23.1, ...},
+//     "metric_gates": {"lammps.mape_pct": [0, 40], ...}
 //   }
+//
+// "metric_gates" (optional) carries [min, max] acceptance bands recorded
+// with BenchReport::gate().  check_bench.py enforces the *baseline's*
+// bands against the candidate's metrics, so a committed baseline gates
+// absolute correctness (not just perf trends) in CI.
 #pragma once
 
 #include <chrono>
@@ -102,6 +108,20 @@ class BenchReport {
     metrics_.emplace_back(key, value);
   }
 
+  /// Record a metric together with its [min_ok, max_ok] acceptance band.
+  /// The band is written to "metric_gates" (enforced by check_bench.py
+  /// against future candidates) and checked here as a shape check, so a
+  /// full run fails immediately when it leaves its own band.
+  void gate(const std::string& key, double value, double min_ok,
+            double max_ok) {
+    metric(key, value);
+    gates_.push_back(Gate{key, min_ok, max_ok});
+    std::ostringstream label;
+    label << key << " in [" << min_ok << ", " << max_ok << "], got "
+          << value;
+    shape_check(label.str(), value >= min_ok && value <= max_ok);
+  }
+
   /// Account one sweep's trials/threads into the totals.
   template <class R>
   void record_sweep(const exp::SweepResult<R>& result) {
@@ -163,7 +183,17 @@ class BenchReport {
       body << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
            << "\": " << metrics_[i].second;
     }
-    body << (metrics_.empty() ? "" : "\n  ") << "}\n}\n";
+    body << (metrics_.empty() ? "" : "\n  ") << "}";
+    if (!gates_.empty()) {
+      body << ",\n  \"metric_gates\": {";
+      for (std::size_t i = 0; i < gates_.size(); ++i) {
+        body << (i == 0 ? "\n" : ",\n") << "    \"" << gates_[i].key
+             << "\": [" << gates_[i].min_ok << ", " << gates_[i].max_ok
+             << "]";
+      }
+      body << "\n  }";
+    }
+    body << "\n}\n";
     std::ofstream out(options_.bench_json);
     if (!out) {
       return false;
@@ -172,10 +202,17 @@ class BenchReport {
     return static_cast<bool>(out);
   }
 
+  struct Gate {
+    std::string key;
+    double min_ok = 0.0;
+    double max_ok = 0.0;
+  };
+
   std::string name_;
   HarnessOptions options_;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Gate> gates_;
   std::size_t trials_ = 0;
   std::size_t trial_failures_ = 0;
   unsigned threads_ = 1;

@@ -1,0 +1,273 @@
+// Controller shootout: the zoo on a level playing field.
+//
+// Runs every registered controller family (constant, step, target, pi,
+// fft, mpc — see DESIGN.md §15) against three app classes:
+//
+//   lammps       compute-bound (progress tracks the cap directly)
+//   stream       memory-bound  (progress barely notices the cap)
+//   qmcpack-dmc  phase-alternating (the fft controller's home turf)
+//
+// and reports the energy-vs-progress Pareto front per app: energy from
+// the trapezoid integral of the measured 1 Hz power trace, progress as
+// total progress normalized to an uncapped reference run of the same
+// seed.  Closed-loop controllers (target/pi) get a per-app setpoint of
+// 80 % of the measured uncapped rate, so every cell chases a comparable
+// goal.
+//
+// The committed baseline (bench/baselines/BENCH_policy_shootout.json)
+// carries metric_gates: absolute [min, max] bands on the headline
+// fractions that check_bench.py enforces in both CI bench lanes.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/measure.hpp"
+#include "exp/sweep.hpp"
+#include "harness.hpp"
+#include "policy/controller.hpp"
+#include "shape_check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace procap;
+
+/// Trapezoid integral of a 1 Hz power trace: joules over the run.
+double energy_joules(const TimeSeries& power) {
+  double joules = 0.0;
+  const auto& samples = power.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt = to_seconds(samples[i].t - samples[i - 1].t);
+    joules += 0.5 * (samples[i].value + samples[i - 1].value) * dt;
+  }
+  return joules;
+}
+
+struct Cell {
+  std::string app;
+  std::string controller;  ///< registry family name (table label)
+  std::string spec;        ///< full registry spec for the trial
+  double energy_j = 0.0;
+  double energy_frac = 0.0;    ///< vs the app's uncapped reference
+  double progress_frac = 0.0;  ///< vs the app's uncapped reference
+  bool pareto = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::shape_check;
+  const auto options = bench::parse_harness_args(argc, argv);
+  bench::BenchReport report("policy_shootout", options);
+  const Seconds duration = options.short_grid ? 45.0 : 90.0;
+  constexpr Seconds kWarmup = 5.0;
+  constexpr std::uint64_t kSeed = 11;
+
+  std::cout << "== Controller shootout: energy vs progress per app class ==\n"
+            << "Cells: " << num(duration, 0)
+            << " s runs, energy = trapezoid(1 Hz power), progress\n"
+            << "normalized to the app's uncapped reference (same seed).\n\n";
+
+  const std::vector<std::string> app_names = {"lammps", "stream",
+                                              "qmcpack-dmc"};
+
+  // Phase 1: uncapped reference per app — the normalizer for every cell
+  // and the rate the closed-loop setpoints are derived from.
+  std::vector<exp::ControllerTrial> ref_trials;
+  for (const auto& app_name : app_names) {
+    exp::ControllerTrial trial;
+    trial.app = apps::by_name(app_name);
+    trial.make_controller = [] { return policy::make_controller("uncapped"); };
+    trial.options.duration = duration;
+    trial.options.seed = kSeed;
+    ref_trials.push_back(std::move(trial));
+  }
+  const auto refs =
+      exp::sweep_controller_runs(ref_trials, bench::sweep_options(options));
+  report.record_sweep(refs);
+
+  std::vector<double> ref_energy(app_names.size(), 0.0);
+  std::vector<double> ref_progress(app_names.size(), 0.0);
+  std::vector<double> ref_rate(app_names.size(), 0.0);
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    const auto& traces = refs.at(a);
+    ref_energy[a] = energy_joules(traces.power);
+    ref_progress[a] = traces.total_progress;
+    ref_rate[a] = traces.mean_rate(kWarmup, duration);
+  }
+
+  // Phase 2: the controller matrix.  Setpoint-chasing controllers aim at
+  // 80 % of the app's uncapped rate.
+  const std::vector<std::string> families = {"constant", "step", "target",
+                                             "pi",       "fft",  "mpc"};
+  std::vector<exp::ControllerTrial> trials;
+  std::vector<Cell> cells;
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    const std::string setpoint = num(0.8 * ref_rate[a], 3);
+    for (const auto& family : families) {
+      std::string spec;
+      if (family == "constant") {
+        spec = "constant:cap=95,delay=5";
+      } else if (family == "step") {
+        spec = "step:low=70,high=150,high_s=12,low_s=12";
+      } else if (family == "target") {
+        spec = "target:setpoint=" + setpoint;
+      } else if (family == "pi") {
+        spec = "pi:setpoint=" + setpoint;
+      } else if (family == "fft") {
+        spec = "fft:window=32,fallback=95";
+      } else {
+        spec = "mpc:target=0.8";
+      }
+      exp::ControllerTrial trial;
+      trial.app = apps::by_name(app_names[a]);
+      trial.make_controller = [spec] { return policy::make_controller(spec); };
+      trial.options.duration = duration;
+      trial.options.seed = kSeed;
+      trials.push_back(std::move(trial));
+
+      Cell cell;
+      cell.app = app_names[a];
+      cell.controller = family;
+      cell.spec = spec;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const auto runs =
+      exp::sweep_controller_runs(trials, bench::sweep_options(options));
+  report.record_sweep(runs);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t a = i / families.size();
+    const auto& traces = runs.at(i);
+    cells[i].energy_j = energy_joules(traces.power);
+    cells[i].energy_frac =
+        ref_energy[a] > 0.0 ? cells[i].energy_j / ref_energy[a] : 0.0;
+    cells[i].progress_frac = ref_progress[a] > 0.0
+                                 ? traces.total_progress / ref_progress[a]
+                                 : 0.0;
+  }
+
+  // Pareto front per app: a cell survives unless another cell of the
+  // same app uses no more energy AND makes no less progress (one strict).
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t a = i / families.size();
+    bool dominated = false;
+    for (std::size_t j = a * families.size();
+         j < (a + 1) * families.size() && !dominated; ++j) {
+      if (j == i) {
+        continue;
+      }
+      const bool no_worse = cells[j].energy_frac <= cells[i].energy_frac &&
+                            cells[j].progress_frac >= cells[i].progress_frac;
+      const bool strictly =
+          cells[j].energy_frac < cells[i].energy_frac ||
+          cells[j].progress_frac > cells[i].progress_frac;
+      dominated = no_worse && strictly;
+    }
+    cells[i].pareto = !dominated;
+  }
+
+  // Per-app Pareto tables (stdout) and metrics.
+  std::ostringstream markdown;
+  markdown << "## Controller shootout (energy vs progress)\n\n";
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    std::cout << "-- " << app_names[a]
+              << " (uncapped: " << num(ref_energy[a] / 1000.0, 1) << " kJ, "
+              << num(ref_rate[a], 1) << "/s) --\n";
+    TablePrinter table(
+        {"controller", "energy kJ", "energy frac", "progress frac",
+         "pareto"});
+    markdown << "### " << app_names[a]
+             << "\n\n| controller | energy kJ | energy frac | progress frac "
+             << "| pareto |\n|---|---:|---:|---:|---|\n";
+    unsigned pareto_count = 0;
+    for (std::size_t k = 0; k < families.size(); ++k) {
+      const Cell& cell = cells[a * families.size() + k];
+      pareto_count += cell.pareto ? 1 : 0;
+      table.add_row({cell.controller, num(cell.energy_j / 1000.0, 1),
+                     num(cell.energy_frac, 3), num(cell.progress_frac, 3),
+                     cell.pareto ? "*" : ""});
+      markdown << "| " << cell.controller << " | "
+               << num(cell.energy_j / 1000.0, 1) << " | "
+               << num(cell.energy_frac, 3) << " | "
+               << num(cell.progress_frac, 3) << " | "
+               << (cell.pareto ? "yes" : "") << " |\n";
+      report.metric(cell.app + "." + cell.controller + ".energy_frac",
+                    cell.energy_frac);
+      report.metric(cell.app + "." + cell.controller + ".progress_frac",
+                    cell.progress_frac);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    markdown << "\n";
+    report.metric(app_names[a] + ".pareto_count",
+                  static_cast<double>(pareto_count));
+  }
+
+  // GITHUB_STEP_SUMMARY gets the same tables as markdown so the Pareto
+  // front is readable from the Actions run page.
+  if (const char* summary = std::getenv("GITHUB_STEP_SUMMARY")) {
+    std::ofstream out(summary, std::ios::app);
+    if (out) {
+      out << markdown.str();
+    }
+  }
+
+  const auto cell_at = [&](std::size_t a, const std::string& family) -> const
+      Cell& {
+        for (std::size_t k = 0; k < families.size(); ++k) {
+          if (families[k] == family) {
+            return cells[a * families.size() + k];
+          }
+        }
+        throw std::logic_error("unknown family " + family);
+      };
+
+  // Gated headline metrics: wide absolute bands that hold for both the
+  // short and full grids — they assert the physics, not exact values.
+  // check_bench.py enforces the committed baseline's copies of these.
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    const std::string& app = app_names[a];
+    report.gate(app + ".constant.energy_frac_gate",
+                cell_at(a, "constant").energy_frac, 0.30, 0.95);
+    report.gate(app + ".pi.progress_frac_gate",
+                cell_at(a, "pi").progress_frac, 0.35, 1.05);
+    report.gate(app + ".mpc.progress_frac_gate",
+                cell_at(a, "mpc").progress_frac, 0.35, 1.05);
+  }
+
+  std::cout << "Shape checks:\n";
+  // The paper's core claim: a memory-bound app loses far less progress
+  // under the same constant cap than a compute-bound one.
+  const double stream_hit = cell_at(1, "constant").progress_frac;
+  const double lammps_hit = cell_at(0, "constant").progress_frac;
+  shape_check("memory-bound keeps more progress under a 95 W cap than "
+                  "compute-bound (stream " +
+                  num(stream_hit, 3) + " > lammps " + num(lammps_hit, 3) +
+                  ")",
+              stream_hit > lammps_hit);
+  // Every capping controller must save energy vs uncapped.
+  bool all_save = true;
+  for (const Cell& cell : cells) {
+    if (cell.controller != "fft") {  // fft may run uncapped when aperiodic
+      all_save &= cell.energy_frac < 1.0;
+    }
+  }
+  shape_check("every capping controller uses less energy than uncapped",
+              all_save);
+  // Each app's Pareto front is non-trivial: at least one cell survives.
+  bool fronts_ok = true;
+  for (std::size_t a = 0; a < app_names.size(); ++a) {
+    unsigned count = 0;
+    for (std::size_t k = 0; k < families.size(); ++k) {
+      count += cells[a * families.size() + k].pareto ? 1 : 0;
+    }
+    fronts_ok &= count >= 1 && count <= families.size();
+  }
+  shape_check("every app has a non-empty Pareto front", fronts_ok);
+
+  return report.finish();
+}

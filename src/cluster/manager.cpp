@@ -80,6 +80,16 @@ ClusterPowerManager::ClusterPowerManager(ClusterConfig config)
   free_nodes_.resize(config_.nodes);
   std::iota(free_nodes_.begin(), free_nodes_.end(), 0u);
 
+  // Refinement bank: one controller instance per node, built up front so
+  // a bad spec fails construction (not epoch N).  make_controller throws
+  // std::invalid_argument with the offending name/param.
+  if (!config_.node_controller.empty()) {
+    refiners_.reserve(config_.nodes);
+    for (unsigned i = 0; i < config_.nodes; ++i) {
+      refiners_.push_back(policy::make_controller(config_.node_controller));
+    }
+  }
+
   pool_ = std::make_unique<minithread::ThreadPool>(
       resolve_threads(config_.threads));
 
@@ -160,11 +170,19 @@ void ClusterPowerManager::apply_liveness(EpochRecord& rec) {
           std::remove(free_nodes_.begin(), free_nodes_.end(), i),
           free_nodes_.end());
     }
+    // A dead node's controller history is telemetry from a machine that
+    // no longer exists; degrade it so a rejoin starts clean.
+    if (i < refiners_.size()) {
+      refiners_[i]->degrade();
+    }
     PROCAP_INFO << "cluster: node " << i << " dead, reclaimed its cap";
   }
   for (const unsigned i : events.rejoined) {
     ++rejoins_;
     nodes_[i].rejoin(now_);
+    if (i < refiners_.size()) {
+      refiners_[i]->reset();
+    }
     free_nodes_.push_back(i);
     PROCAP_INFO << "cluster: node " << i << " rejoined";
   }
@@ -216,8 +234,39 @@ void ClusterPowerManager::redistribute() {
                         std::max(0.0, config_.global_budget - frozen),
                         CapBounds{config_.min_node_cap, config_.max_node_cap},
                         grants);
+  // Refinement pass, serial in index order (determinism): each node's
+  // controller may trim its grant but never exceed it, so the refined
+  // sum is <= the strategy's sum and conservation cannot regress.
+  refined_watts_ = 0.0;
   for (std::size_t k = 0; k < eligible_ids.size(); ++k) {
-    caps_[eligible_ids[k]] = grants[k];
+    const unsigned i = eligible_ids[k];
+    Watts cap = grants[k];
+    if (!refiners_.empty() && i < refiners_.size() && grants[k] > 0.0) {
+      policy::Observation obs;
+      obs.t = now_;
+      obs.elapsed = to_seconds(now_);
+      obs.progress_rate = eligible[k].rate;
+      obs.windows = epoch_;  // each completed epoch is one telemetry window
+      obs.power = nodes_[i].telemetry().power;
+      obs.power_valid = true;
+      if (caps_[i] > 0.0) {
+        obs.applied_cap = caps_[i];  // pre-decision cap (0 = none yet)
+      }
+      obs.signal_healthy = true;
+      const std::optional<Watts> want = refiners_[i]->decide(
+          obs, policy::CapBounds{std::min(config_.min_node_cap, grants[k]),
+                                 grants[k]});
+      if (want.has_value()) {
+        // Open-loop controllers ignore bounds, so clamp here too.
+        cap = std::clamp(*want, 0.0, grants[k]);
+      }
+    }
+    refined_watts_ += grants[k] - cap;
+    caps_[i] = cap;
+  }
+  if (!refiners_.empty()) {
+    PROCAP_OBS_GAUGE(refined_gauge, "cluster.controller.refined_watts");
+    refined_gauge.set(refined_watts_);
   }
 }
 
@@ -334,6 +383,9 @@ void ClusterPowerManager::run(unsigned epochs) {
 unsigned ClusterPowerManager::add_node() {
   const unsigned id = detector_.add_node(now_);
   nodes_.emplace_back(id, config_.node_spec, join_rng_.fork());
+  if (!config_.node_controller.empty()) {
+    refiners_.push_back(policy::make_controller(config_.node_controller));
+  }
   left_.push_back(0);
   heartbeat_.push_back(0);
   caps_.push_back(0.0);

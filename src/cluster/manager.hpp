@@ -45,6 +45,7 @@
 #include "minithread/minithread.hpp"
 #include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
+#include "policy/controller.hpp"
 #include "policy/latch.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -62,6 +63,14 @@ struct ClusterConfig {
   NodeSpec node_spec;           ///< per-node power envelope
   MembershipConfig membership;  ///< failure-detection timeouts
   std::string strategy = "demand";  ///< uniform | demand | progress
+  /// Per-node refinement controller, a policy registry spec
+  /// ("NAME[:k=v,...]", see policy::make_controller).  When set, every
+  /// node gets its own controller instance that may *lower* the
+  /// strategy's grant each epoch (never raise it, so conservation is
+  /// untouched); freed watts show up as headroom next epoch.  Empty
+  /// disables refinement and leaves the allocation trace bit-identical
+  /// to earlier builds.
+  std::string node_controller{};
   Watts min_node_cap = 30.0;    ///< floor per live node (shrinks if needed)
   Watts max_node_cap = 205.0;   ///< ceiling per node
   unsigned jobs = 16;           ///< synthesized job-mix size
@@ -134,6 +143,13 @@ class ClusterPowerManager {
     return detector_.liveness(i);
   }
   [[nodiscard]] const std::vector<Watts>& caps() const { return caps_; }
+  /// Node i's refinement controller, or nullptr when refinement is off.
+  [[nodiscard]] const policy::Controller* node_controller(unsigned i) const {
+    return i < refiners_.size() ? refiners_[i].get() : nullptr;
+  }
+  /// Watts the refinement bank trimmed off the strategy's grants in the
+  /// most recent redistribution (0 when refinement is off or held).
+  [[nodiscard]] Watts refined_watts() const { return refined_watts_; }
   [[nodiscard]] Watts assigned() const;
   [[nodiscard]] const std::vector<EpochRecord>& records() const {
     return records_;
@@ -159,6 +175,11 @@ class ClusterPowerManager {
 
   ClusterConfig config_;
   std::unique_ptr<Strategy> strategy_;
+  /// Per-node refinement controllers (empty when node_controller is "").
+  /// Indexed by node id; decisions run serially in index order so the
+  /// allocation trace stays deterministic across thread counts.
+  std::vector<std::unique_ptr<policy::Controller>> refiners_;
+  Watts refined_watts_ = 0.0;
   fault::NodeFaultInjector injector_;
   FailureDetector detector_;
   JobTable jobs_;

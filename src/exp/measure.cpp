@@ -25,11 +25,12 @@ double RunTraces::mean_power(Seconds from, Seconds to) const {
   return power.mean_in(to_nanos(from), to_nanos(to));
 }
 
-RunTraces run_under_schedule(const apps::AppModel& app,
-                             std::unique_ptr<policy::CapSchedule> schedule,
-                             const RunOptions& options) {
-  if (!schedule) {
-    throw std::invalid_argument("run_under_schedule: null schedule");
+RunTraces run_under_controller(const apps::AppModel& app,
+                               std::unique_ptr<policy::Controller> controller,
+                               const RunOptions& options,
+                               policy::CapBounds bounds) {
+  if (!controller) {
+    throw std::invalid_argument("run_under_controller: null controller");
   }
   SimRig rig;
   if (options.pinned_frequency > 0.0) {
@@ -53,14 +54,32 @@ RunTraces run_under_schedule(const apps::AppModel& app,
   apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, options.seed);
   progress::Monitor monitor(rig.broker().make_sub(link), app.spec.name,
                             rig.time());
+  policy::DaemonConfig daemon_config;
+  daemon_config.bounds = bounds;
   policy::PowerPolicyDaemon daemon(rig.rapl(), rig.time(),
-                                   std::move(schedule));
+                                   std::move(controller), /*pkg=*/0,
+                                   daemon_config);
+  // Closed-loop controllers observe the monitor's telemetry; the
+  // getters are pure reads, so open-loop schedule runs are unaffected.
+  policy::ProgressFeed feed;
+  feed.rate = [&monitor] { return monitor.current_rate(); };
+  feed.windows = [&monitor] { return monitor.windows(); };
+  feed.healthy = [&monitor] {
+    return monitor.health() == progress::SignalHealth::kHealthy;
+  };
+  daemon.set_progress_feed(std::move(feed));
   if (options.trace) {
     daemon.set_trace(options.trace);
     monitor.set_trace(options.trace);
   }
-  daemon.attach(rig.engine());
+  // The monitor polls BEFORE the daemon ticks at each shared 1 s
+  // boundary (same-timestamp events run in registration order), so the
+  // controller observes the second that just finished — fresh samples,
+  // healthy staleness.  Polling is a pure msgbus read: the swap cannot
+  // perturb power or app state, so open-loop runs stay bit-identical
+  // (tests/controller_golden_test.cpp holds either way).
   rig.engine().every(kNanosPerSecond, [&](Nanos) { monitor.poll(); });
+  daemon.attach(rig.engine());
 
   TimeSeries freq_series("frequency_mhz");
   TimeSeries duty_series("duty");
@@ -114,6 +133,17 @@ RunTraces run_under_schedule(const apps::AppModel& app,
     traces.msr_faults = msr_injector->stats();
   }
   return traces;
+}
+
+RunTraces run_under_schedule(const apps::AppModel& app,
+                             std::unique_ptr<policy::CapSchedule> schedule,
+                             const RunOptions& options) {
+  if (!schedule) {
+    throw std::invalid_argument("run_under_schedule: null schedule");
+  }
+  return run_under_controller(
+      app, std::make_unique<policy::ScheduleController>(std::move(schedule)),
+      options);
 }
 
 namespace {

@@ -21,7 +21,8 @@
 #include "fault/plan.hpp"
 #include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
-#include "policy/schemes.hpp"
+#include "policy/controller.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/health.hpp"
 #include "util/series.hpp"
 
@@ -100,7 +101,18 @@ struct RunOptions {
   std::function<void(LiveRun&)> on_setup;
 };
 
-/// Run `app` under `schedule` and record traces.
+/// Run `app` under any policy::Controller and record traces.  The
+/// daemon's progress feed is wired to the run's Monitor, so closed-loop
+/// controllers (pi/fft/mpc/target) see live rate/health telemetry;
+/// `bounds` is the actuation range granted to the controller.
+[[nodiscard]] RunTraces run_under_controller(
+    const apps::AppModel& app,
+    std::unique_ptr<policy::Controller> controller,
+    const RunOptions& options = {}, policy::CapBounds bounds = {});
+
+/// Run `app` under an open-loop `schedule`: run_under_controller with a
+/// ScheduleController adapter (bit-identical to the legacy direct path;
+/// see tests/controller_golden_test.cpp).
 [[nodiscard]] RunTraces run_under_schedule(
     const apps::AppModel& app, std::unique_ptr<policy::CapSchedule> schedule,
     const RunOptions& options = {});

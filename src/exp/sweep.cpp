@@ -68,6 +68,23 @@ SweepStats run_trials(std::size_t n,
 
 }  // namespace detail
 
+SweepResult<RunTraces> sweep_controller_runs(
+    const std::vector<ControllerTrial>& trials, const SweepOptions& options) {
+  return sweep<RunTraces>(
+      trials.size(),
+      [&trials](std::size_t i) {
+        const ControllerTrial& t = trials[i];
+        if (!t.make_controller) {
+          throw std::invalid_argument("sweep_controller_runs: trial " +
+                                      std::to_string(i) +
+                                      " has no controller factory");
+        }
+        return run_under_controller(t.app, t.make_controller(), t.options,
+                                    t.bounds);
+      },
+      options);
+}
+
 SweepResult<RunTraces> sweep_runs(const std::vector<ScheduleTrial>& trials,
                                   const SweepOptions& options) {
   return sweep<RunTraces>(

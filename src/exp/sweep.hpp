@@ -153,6 +153,24 @@ template <class R>
   return result;
 }
 
+/// One declarative trial of a controller sweep: workload, decision
+/// policy and run options (seed lives in RunOptions).  The factory is
+/// invoked inside the trial so each trial gets a fresh controller
+/// instance — controllers are stateful, sharing one across trials would
+/// break the determinism contract.  Build factories from the registry
+/// for grid specs: `[] { return policy::make_controller("pi:..."); }`.
+struct ControllerTrial {
+  apps::AppModel app;
+  std::function<std::unique_ptr<policy::Controller>()> make_controller;
+  RunOptions options;
+  policy::CapBounds bounds{};
+};
+
+/// Run every trial through exp::run_under_controller across the pool.
+[[nodiscard]] SweepResult<RunTraces> sweep_controller_runs(
+    const std::vector<ControllerTrial>& trials,
+    const SweepOptions& options = {});
+
 /// One declarative trial of a schedule sweep: workload, capping schedule
 /// and run options (seed lives in RunOptions).  The factory is invoked
 /// inside the trial so each trial gets a fresh schedule instance.
@@ -162,7 +180,8 @@ struct ScheduleTrial {
   RunOptions options;
 };
 
-/// Run every trial through exp::run_under_schedule across the pool.
+/// Run every trial through exp::run_under_schedule across the pool
+/// (the ScheduleController adapter under the hood).
 [[nodiscard]] SweepResult<RunTraces> sweep_runs(
     const std::vector<ScheduleTrial>& trials,
     const SweepOptions& options = {});

@@ -1,0 +1,102 @@
+#include "policy/adapters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace procap::policy {
+
+ScheduleController::ScheduleController(std::unique_ptr<CapSchedule> schedule)
+    : schedule_(std::move(schedule)) {
+  if (!schedule_) {
+    throw std::invalid_argument("ScheduleController: null schedule");
+  }
+}
+
+std::optional<Watts> ScheduleController::decide(const Observation& observation,
+                                                const CapBounds& /*bounds*/) {
+  last_output_ = schedule_->cap_at(observation.elapsed);
+  return last_output_;
+}
+
+ControllerStatus ScheduleController::status() const {
+  ControllerStatus status;
+  status.output = last_output_;
+  return status;
+}
+
+BudgetController::BudgetController(Watts budget) : budget_(budget) {
+  if (budget <= 0.0) {
+    throw std::invalid_argument("BudgetController: budget must be positive");
+  }
+}
+
+std::optional<Watts> BudgetController::decide(
+    const Observation& /*observation*/, const CapBounds& bounds) {
+  // Legacy NRM: apply(std::clamp(budget, min_cap, max_cap)).
+  const Watts clamped = bounds.clamp(budget_);
+  if (clamped != budget_) {
+    ++saturations_;
+  }
+  last_output_ = clamped;
+  return last_output_;
+}
+
+ControllerStatus BudgetController::status() const {
+  ControllerStatus status;
+  status.setpoint = budget_;
+  status.output = last_output_;
+  status.saturations = saturations_;
+  return status;
+}
+
+ProgressTargetController::ProgressTargetController(ProgressTargetConfig config)
+    : config_(config) {
+  if (config.setpoint <= 0.0) {
+    throw std::invalid_argument(
+        "ProgressTargetController: setpoint must be positive");
+  }
+}
+
+std::optional<Watts> ProgressTargetController::decide(
+    const Observation& observation, const CapBounds& bounds) {
+  // The legacy NRM loop, verbatim: hold until the feed produced at least
+  // one window and a non-zero rate (chasing a zero reading would be the
+  // paper's §V-C phantom), then step the cap outside the deadband.
+  last_error_ = config_.setpoint - observation.progress_rate;
+  if (!observation.signal_healthy || observation.windows == 0 ||
+      observation.progress_rate <= 0.0) {
+    last_output_ = observation.applied_cap;
+    return last_output_;
+  }
+  const double low = config_.setpoint;
+  const double high = config_.setpoint * (1.0 + config_.deadband);
+  const Watts current = observation.applied_cap.value_or(bounds.max_cap);
+  if (observation.progress_rate < low) {
+    const Watts raised = current + config_.raise_step;
+    if (raised > bounds.max_cap) {
+      ++saturations_;
+    }
+    last_output_ = std::min(raised, bounds.max_cap);
+  } else if (observation.progress_rate > high) {
+    const Watts lowered = current - config_.lower_step;
+    if (lowered < bounds.min_cap) {
+      ++saturations_;
+    }
+    last_output_ = std::max(lowered, bounds.min_cap);
+  } else {
+    last_output_ = observation.applied_cap;
+  }
+  return last_output_;
+}
+
+ControllerStatus ProgressTargetController::status() const {
+  ControllerStatus status;
+  status.setpoint = config_.setpoint;
+  status.error = last_error_;
+  status.output = last_output_;
+  status.saturations = saturations_;
+  status.degraded = degraded_;
+  return status;
+}
+
+}  // namespace procap::policy

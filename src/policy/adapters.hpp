@@ -1,0 +1,94 @@
+// adapters.hpp — legacy policy surfaces as policy::Controller.
+//
+// Three thin adapters keep the pre-redesign behavior available — and
+// provably unchanged — under the unified Controller API:
+//
+//   * ScheduleController      — replays an open-loop CapSchedule shape.
+//   * BudgetController        — the NRM's kBudget mode (hard budget,
+//                               clamped into the granted bounds).
+//   * ProgressTargetController— the NRM's kProgressTarget deadband
+//                               feedback loop, arithmetic untouched.
+//
+// tests/controller_golden_test.cpp holds cap sequences generated from
+// the legacy code paths; these adapters must reproduce them bit for
+// bit.  Change the arithmetic here only together with a deliberate
+// golden re-baseline.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "policy/controller.hpp"
+#include "policy/schedule_shapes.hpp"
+
+namespace procap::policy {
+
+/// Replays a CapSchedule: cap_at(elapsed), bounds ignored (the shape is
+/// the contract — exactly what the legacy daemon programmed).
+class ScheduleController final : public Controller {
+ public:
+  explicit ScheduleController(std::unique_ptr<CapSchedule> schedule);
+
+  [[nodiscard]] const char* name() const override {
+    return schedule_->name();
+  }
+  [[nodiscard]] std::optional<Watts> decide(const Observation& observation,
+                                            const CapBounds& bounds) override;
+  [[nodiscard]] ControllerStatus status() const override;
+
+  [[nodiscard]] const CapSchedule& schedule() const { return *schedule_; }
+
+ private:
+  std::unique_ptr<CapSchedule> schedule_;
+  std::optional<Watts> last_output_;
+};
+
+/// The NRM's kBudget mode: always the budget, clamped into bounds.
+class BudgetController final : public Controller {
+ public:
+  explicit BudgetController(Watts budget);
+
+  [[nodiscard]] const char* name() const override { return "budget"; }
+  [[nodiscard]] std::optional<Watts> decide(const Observation& observation,
+                                            const CapBounds& bounds) override;
+  [[nodiscard]] ControllerStatus status() const override;
+
+ private:
+  Watts budget_;
+  std::optional<Watts> last_output_;
+  std::uint64_t saturations_ = 0;
+};
+
+/// Tuning for ProgressTargetController (defaults match NrmConfig).
+struct ProgressTargetConfig {
+  double setpoint = 0.0;   ///< target progress rate (units/s)
+  double deadband = 0.05;  ///< relative band above setpoint that holds
+  Watts raise_step = 4.0;  ///< added when below setpoint
+  Watts lower_step = 2.0;  ///< removed when above the band
+};
+
+/// The NRM's kProgressTarget feedback loop: hold the setpoint with the
+/// least power by stepping the cap up/down outside a deadband.  Holds
+/// (returns the applied cap unchanged) until the first progress window
+/// lands, and whenever the rate reads zero or the signal is unhealthy —
+/// the legacy guards, verbatim.
+class ProgressTargetController final : public Controller {
+ public:
+  explicit ProgressTargetController(ProgressTargetConfig config);
+
+  [[nodiscard]] const char* name() const override { return "target"; }
+  [[nodiscard]] std::optional<Watts> decide(const Observation& observation,
+                                            const CapBounds& bounds) override;
+  void degrade() override { degraded_ = true; }
+  void reset() override { degraded_ = false; }
+  [[nodiscard]] ControllerStatus status() const override;
+
+ private:
+  ProgressTargetConfig config_;
+  std::optional<Watts> last_output_;
+  double last_error_ = 0.0;
+  std::uint64_t saturations_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace procap::policy

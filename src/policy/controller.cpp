@@ -1,0 +1,375 @@
+#include "policy/controller.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "policy/adapters.hpp"
+#include "policy/fft_controller.hpp"
+#include "policy/mpc_controller.hpp"
+#include "policy/pi_controller.hpp"
+#include "policy/schedule_shapes.hpp"
+
+namespace procap::policy {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ControllerSpec parse_controller_spec(std::string_view spec) {
+  ControllerSpec parsed;
+  const std::size_t colon = spec.find(':');
+  parsed.name = std::string(spec.substr(0, colon));
+  if (parsed.name.empty()) {
+    throw std::invalid_argument("controller spec: empty name");
+  }
+  if (colon == std::string_view::npos) {
+    return parsed;
+  }
+  std::string_view rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("controller spec '" + parsed.name +
+                                  "': expected k=v, got '" +
+                                  std::string(pair) + "'");
+    }
+    const std::string key(pair.substr(0, eq));
+    if (!parsed.params.emplace(key, std::string(pair.substr(eq + 1))).second) {
+      throw std::invalid_argument("controller spec '" + parsed.name +
+                                  "': duplicate key '" + key + "'");
+    }
+  }
+  return parsed;
+}
+
+void ControllerRegistry::add(std::string name, std::string help,
+                             Factory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument("ControllerRegistry: empty name or factory");
+  }
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  if (!entries_.emplace(std::move(name),
+                        Entry{std::move(help), std::move(factory)})
+           .second) {
+    throw std::invalid_argument("ControllerRegistry: duplicate controller");
+  }
+}
+
+std::unique_ptr<Controller> ControllerRegistry::make(
+    std::string_view spec) const {
+  return make(parse_controller_spec(spec));
+}
+
+std::unique_ptr<Controller> ControllerRegistry::make(
+    const ControllerSpec& spec) const {
+  const Factory* factory = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = entries_.find(spec.name);
+    if (it == entries_.end()) {
+      std::ostringstream os;
+      os << "unknown controller '" << spec.name << "' (registered:";
+      for (const auto& [name, entry] : entries_) {
+        os << ' ' << name;
+      }
+      os << ')';
+      throw std::invalid_argument(os.str());
+    }
+    factory = &it->second.factory;
+  }
+  auto controller = (*factory)(spec.params);
+  if (!controller) {
+    throw std::invalid_argument("controller '" + spec.name +
+                                "': factory returned null");
+  }
+  return controller;
+}
+
+bool ControllerRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> ControllerRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string ControllerRegistry::help() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::ostringstream os;
+  for (const auto& [name, entry] : entries_) {
+    os << "  " << name << " — " << entry.help << "\n";
+  }
+  return os.str();
+}
+
+namespace param {
+
+namespace {
+
+double parse_double(const std::string& controller, const std::string& key,
+                    const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("controller '" + controller + "': param " +
+                                key + "='" + value + "' is not a number");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+double get_double(const ControllerParams& params,
+                  const std::string& controller, const std::string& key,
+                  double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback
+                            : parse_double(controller, key, it->second);
+}
+
+double require_double(const ControllerParams& params,
+                      const std::string& controller, const std::string& key) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    throw std::invalid_argument("controller '" + controller +
+                                "': missing required param '" + key + "'");
+  }
+  return parse_double(controller, key, it->second);
+}
+
+std::optional<double> get_optional_double(const ControllerParams& params,
+                                          const std::string& controller,
+                                          const std::string& key) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    return std::nullopt;
+  }
+  return parse_double(controller, key, it->second);
+}
+
+unsigned get_unsigned(const ControllerParams& params,
+                      const std::string& controller, const std::string& key,
+                      unsigned fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  const double parsed = parse_double(controller, key, it->second);
+  const auto value = static_cast<unsigned>(parsed);
+  if (parsed < 0.0 || static_cast<double>(value) != parsed) {
+    throw std::invalid_argument("controller '" + controller + "': param " +
+                                key + " must be a non-negative integer");
+  }
+  return value;
+}
+
+bool get_bool(const ControllerParams& params, const std::string& controller,
+              const std::string& key, bool fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  if (it->second == "1" || it->second == "true" || it->second == "on") {
+    return true;
+  }
+  if (it->second == "0" || it->second == "false" || it->second == "off") {
+    return false;
+  }
+  throw std::invalid_argument("controller '" + controller + "': param " +
+                              key + " must be a boolean (0/1/true/false)");
+}
+
+void require_known(const ControllerParams& params,
+                   const std::string& controller,
+                   std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : params) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::ostringstream os;
+      os << "controller '" << controller << "': unknown param '" << key
+         << "' (known:";
+      for (const char* k : known) {
+        os << ' ' << k;
+      }
+      os << ')';
+      throw std::invalid_argument(os.str());
+    }
+  }
+}
+
+}  // namespace param
+
+namespace {
+
+// ---- Built-in zoo ---------------------------------------------------
+
+void register_builtins(ControllerRegistry& registry) {
+  using param::get_bool;
+  using param::get_double;
+  using param::get_optional_double;
+  using param::get_unsigned;
+  using param::require_double;
+  using param::require_known;
+
+  registry.add("uncapped", "never caps (reference)",
+               [](const ControllerParams& params) {
+                 require_known(params, "uncapped", {});
+                 return std::make_unique<ScheduleController>(
+                     std::make_unique<UncappedSchedule>());
+               });
+  registry.add(
+      "constant", "fixed cap: cap=W [delay=s]",
+      [](const ControllerParams& params) {
+        require_known(params, "constant", {"cap", "delay"});
+        return std::make_unique<ScheduleController>(
+            std::make_unique<ConstantCap>(
+                require_double(params, "constant", "cap"),
+                get_double(params, "constant", "delay", 0.0)));
+      });
+  registry.add(
+      "linear",
+      "linear descent: from=W floor=W rate=W/s [delay=s] (paper scheme 1)",
+      [](const ControllerParams& params) {
+        require_known(params, "linear", {"from", "floor", "rate", "delay"});
+        return std::make_unique<ScheduleController>(
+            std::make_unique<LinearDecreasingCap>(
+                require_double(params, "linear", "from"),
+                require_double(params, "linear", "floor"),
+                require_double(params, "linear", "rate"),
+                get_double(params, "linear", "delay", 0.0)));
+      });
+  registry.add(
+      "step",
+      "alternating cap: low=W [high=W high_s=s low_s=s] (paper scheme 2)",
+      [](const ControllerParams& params) {
+        require_known(params, "step", {"low", "high", "high_s", "low_s"});
+        return std::make_unique<ScheduleController>(std::make_unique<StepCap>(
+            get_optional_double(params, "step", "high"),
+            require_double(params, "step", "low"),
+            get_double(params, "step", "high_s", 15.0),
+            get_double(params, "step", "low_s", 15.0)));
+      });
+  registry.add(
+      "jagged", "sawtooth: from=W floor=W period=s (paper scheme 3)",
+      [](const ControllerParams& params) {
+        require_known(params, "jagged", {"from", "floor", "period"});
+        return std::make_unique<ScheduleController>(
+            std::make_unique<JaggedCap>(
+                require_double(params, "jagged", "from"),
+                require_double(params, "jagged", "floor"),
+                require_double(params, "jagged", "period")));
+      });
+  registry.add("budget", "hard budget: watts=W (NRM kBudget adapter)",
+               [](const ControllerParams& params) {
+                 require_known(params, "budget", {"watts"});
+                 return std::make_unique<BudgetController>(
+                     require_double(params, "budget", "watts"));
+               });
+  registry.add(
+      "target",
+      "deadband progress hold: setpoint=units/s [deadband= raise=W lower=W] "
+      "(NRM kProgressTarget adapter)",
+      [](const ControllerParams& params) {
+        require_known(params, "target",
+                      {"setpoint", "deadband", "raise", "lower"});
+        ProgressTargetConfig config;
+        config.setpoint = require_double(params, "target", "setpoint");
+        config.deadband = get_double(params, "target", "deadband", 0.05);
+        config.raise_step = get_double(params, "target", "raise", 4.0);
+        config.lower_step = get_double(params, "target", "lower", 2.0);
+        return std::make_unique<ProgressTargetController>(config);
+      });
+  registry.add(
+      "pi",
+      "adaptive PI on progress: setpoint=units/s [kp= ki= gain=W "
+      "adaptive=0/1] (Cerf et al.)",
+      [](const ControllerParams& params) {
+        require_known(params, "pi",
+                      {"setpoint", "kp", "ki", "gain", "adaptive"});
+        PiConfig config;
+        config.setpoint = require_double(params, "pi", "setpoint");
+        config.kp = get_double(params, "pi", "kp", config.kp);
+        config.ki = get_double(params, "pi", "ki", config.ki);
+        config.gain = get_double(params, "pi", "gain", config.gain);
+        config.adaptive = get_bool(params, "pi", "adaptive", config.adaptive);
+        return std::make_unique<PiController>(config);
+      });
+  registry.add(
+      "fft",
+      "FFT phase detector on power: [window=2^k threshold= margin= "
+      "recompute= fallback=W]",
+      [](const ControllerParams& params) {
+        require_known(params, "fft",
+                      {"window", "threshold", "margin", "recompute",
+                       "fallback"});
+        FftConfig config;
+        config.window = get_unsigned(params, "fft", "window",
+                                     static_cast<unsigned>(config.window));
+        config.threshold =
+            get_double(params, "fft", "threshold", config.threshold);
+        config.margin = get_double(params, "fft", "margin", config.margin);
+        config.recompute =
+            get_unsigned(params, "fft", "recompute", config.recompute);
+        config.fallback = get_optional_double(params, "fft", "fallback");
+        return std::make_unique<FftController>(config);
+      });
+  registry.add(
+      "mpc",
+      "model-predictive (probe, fit model/calibrated, hold): [target=frac "
+      "beta= probes= hold=s settle=s trim=]",
+      [](const ControllerParams& params) {
+        require_known(params, "mpc",
+                      {"target", "beta", "probes", "hold", "settle", "trim"});
+        MpcConfig config;
+        config.target = get_double(params, "mpc", "target", config.target);
+        config.beta = get_double(params, "mpc", "beta", config.beta);
+        config.probes = get_unsigned(params, "mpc", "probes", config.probes);
+        config.hold = get_double(params, "mpc", "hold", config.hold);
+        config.settle = get_double(params, "mpc", "settle", config.settle);
+        config.trim = get_double(params, "mpc", "trim", config.trim);
+        return std::make_unique<MpcController>(config);
+      });
+}
+
+}  // namespace
+
+ControllerRegistry& ControllerRegistry::global() {
+  static ControllerRegistry* registry = [] {
+    auto* r = new ControllerRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<Controller> make_controller(std::string_view spec) {
+  return ControllerRegistry::global().make(spec);
+}
+
+std::string controller_help() { return ControllerRegistry::global().help(); }
+
+}  // namespace procap::policy

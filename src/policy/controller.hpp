@@ -1,0 +1,213 @@
+// controller.hpp — the unified power-cap controller API (DESIGN.md §15).
+//
+// Historically the repo had three divergent policy surfaces: open-loop
+// CapSchedule shapes, the closed-loop mode logic baked into the
+// NodeResourceManager, and per-node cluster::Strategy decisions.  Every
+// new control idea had to be written three times or not at all.  The
+// Controller interface replaces all three decision cores with one
+// contract:
+//
+//   observe (progress / power / health telemetry as an Observation)
+//     -> decide (a package cap within CapBounds; nullopt = uncapped)
+//
+// at a fixed cadence (1 Hz unless the host says otherwise), with
+// explicit reset() / degrade() hooks for origin rewinds and telemetry
+// loss.  Controllers are registered in a string-keyed factory so they
+// are selectable by name — "pi:setpoint=640000,kp=0.8" — from
+// `power_policy --controller`, `cluster_sim --controller`, and
+// exp::Sweep grids.
+//
+// Determinism contract: a controller's decisions must be a pure function
+// of its construction parameters and the observation sequence it has
+// seen (no wall clock, no RNG, no global state), so sweeps stay
+// bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+#include "util/time.hpp"
+
+namespace procap::policy {
+
+/// Actuation range the host grants the controller.  Adapters replaying
+/// legacy open-loop schedules ignore the bounds (the schedule's shape is
+/// the contract); closed-loop controllers must clamp into them.
+struct CapBounds {
+  Watts min_cap = 0.0;
+  Watts max_cap = 300.0;
+
+  [[nodiscard]] Watts clamp(Watts cap) const {
+    if (cap < min_cap) {
+      return min_cap;
+    }
+    if (cap > max_cap) {
+      return max_cap;
+    }
+    return cap;
+  }
+};
+
+/// Everything a controller may observe at one decision point.  Hosts
+/// fill what they have; the flags say what is trustworthy.
+struct Observation {
+  /// Absolute time of this decision.
+  Nanos t = 0;
+  /// Seconds since the controller was (re)engaged by this host.
+  Seconds elapsed = 0.0;
+  /// Progress rate over the last completed window (units/s); 0 when no
+  /// progress feed is wired.
+  double progress_rate = 0.0;
+  /// Completed progress windows so far (0 = the feed has not produced a
+  /// rate yet — controllers should hold rather than react to it).
+  std::uint64_t windows = 0;
+  /// Measured package power; only meaningful when power_valid.
+  Watts power = 0.0;
+  bool power_valid = false;
+  /// Cap currently programmed on the package (nullopt = uncapped).
+  std::optional<Watts> applied_cap;
+  /// False when the progress signal is degraded/lost (paper §V-C) — a
+  /// closed-loop controller should hold its output, not chase phantoms.
+  bool signal_healthy = true;
+};
+
+/// Live internals for the controller.* observability gauges.
+struct ControllerStatus {
+  double setpoint = 0.0;  ///< target (units/s or W; controller-defined)
+  double error = 0.0;     ///< last tracking error, controller-defined units
+  std::optional<Watts> output;   ///< last decided cap
+  std::uint64_t saturations = 0; ///< decisions clamped at a CapBounds edge
+  bool degraded = false;         ///< degrade() seen since last reset()
+};
+
+/// One power-cap decision policy.  See the file comment for the
+/// contract; hosts call decide() once per control interval.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Short stable name for logs, traces and experiment output.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// One control decision: the package cap to program for the next
+  /// interval (nullopt = run uncapped).  Called at the host's cadence;
+  /// must not block or touch hardware.
+  [[nodiscard]] virtual std::optional<Watts> decide(
+      const Observation& observation, const CapBounds& bounds) = 0;
+
+  /// Forget adaptive state: the elapsed-time origin has been rewound
+  /// (schedule restart, controller handed to a new host).
+  virtual void reset() {}
+
+  /// The host lost trust in the telemetry feed and is taking over with
+  /// open-loop fallback.  Called once on entry; decide() keeps being
+  /// invoked with signal_healthy=false observations, and a later reset()
+  /// or healthy observation re-engages.
+  virtual void degrade() {}
+
+  /// True when decide() wants Observation::power filled — lets hosts
+  /// that do not already sample power (e.g. the NRM) skip the extra
+  /// RAPL read for controllers that never look at it.
+  [[nodiscard]] virtual bool wants_power() const { return false; }
+
+  /// Snapshot of the internals for the controller.* gauges.
+  [[nodiscard]] virtual ControllerStatus status() const { return {}; }
+};
+
+/// Key=value parameters from a controller spec string.  Transparent
+/// comparator so lookups work from string_view.
+using ControllerParams = std::map<std::string, std::string, std::less<>>;
+
+/// A parsed "NAME[:k=v,...]" controller spec.
+struct ControllerSpec {
+  std::string name;
+  ControllerParams params;
+};
+
+/// Parse "NAME[:k=v,...]" (e.g. "pi:setpoint=640000,kp=0.8").  Throws
+/// std::invalid_argument on malformed input (empty name, missing '=',
+/// duplicate key).
+[[nodiscard]] ControllerSpec parse_controller_spec(std::string_view spec);
+
+/// String-keyed controller factory.  The global() registry holds the
+/// built-in zoo; tests may register extras.  Thread-safe.
+class ControllerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Controller>(const ControllerParams&)>;
+
+  /// The process-wide registry, with the built-in zoo pre-registered.
+  [[nodiscard]] static ControllerRegistry& global();
+
+  /// Register a controller.  `help` is the one-line parameter summary
+  /// shown by --help.  Throws std::invalid_argument on a duplicate name.
+  void add(std::string name, std::string help, Factory factory);
+
+  /// Build a controller from a spec string or a parsed spec.  Throws
+  /// std::invalid_argument for an unknown name or a parameter the
+  /// factory rejects.
+  [[nodiscard]] std::unique_ptr<Controller> make(std::string_view spec) const;
+  [[nodiscard]] std::unique_ptr<Controller> make(
+      const ControllerSpec& spec) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Multi-line "name — help" listing for --help output.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+  // Guarded by an internal mutex (see .cpp); map iterators stay valid
+  // across add() so concurrent make() is safe.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Convenience: ControllerRegistry::global().make(spec).
+[[nodiscard]] std::unique_ptr<Controller> make_controller(
+    std::string_view spec);
+
+/// Convenience: the global registry's --help listing.
+[[nodiscard]] std::string controller_help();
+
+// ---- Parameter helpers for factories -------------------------------
+// All throw std::invalid_argument naming the controller and key on bad
+// input, so `--controller pi:setpoint=abc` fails with a usable message.
+namespace param {
+
+[[nodiscard]] double get_double(const ControllerParams& params,
+                                const std::string& controller,
+                                const std::string& key, double fallback);
+[[nodiscard]] double require_double(const ControllerParams& params,
+                                    const std::string& controller,
+                                    const std::string& key);
+[[nodiscard]] std::optional<double> get_optional_double(
+    const ControllerParams& params, const std::string& controller,
+    const std::string& key);
+[[nodiscard]] unsigned get_unsigned(const ControllerParams& params,
+                                    const std::string& controller,
+                                    const std::string& key, unsigned fallback);
+[[nodiscard]] bool get_bool(const ControllerParams& params,
+                            const std::string& controller,
+                            const std::string& key, bool fallback);
+/// Reject any key not in `known` (catches typos like "setpont=...").
+void require_known(const ControllerParams& params,
+                   const std::string& controller,
+                   std::initializer_list<const char*> known);
+
+}  // namespace param
+
+}  // namespace procap::policy

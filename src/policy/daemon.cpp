@@ -13,18 +13,18 @@ namespace procap::policy {
 
 PowerPolicyDaemon::PowerPolicyDaemon(rapl::RaplInterface& rapl,
                                      const TimeSource& time_source,
-                                     std::unique_ptr<CapSchedule> schedule,
+                                     std::unique_ptr<Controller> controller,
                                      unsigned pkg, DaemonConfig config)
     : rapl_(&rapl),
       time_(&time_source),
-      schedule_(std::move(schedule)),
+      controller_(std::move(controller)),
       pkg_(pkg),
       config_(config),
       start_(time_source.now()),
       caps_("cap_watts"),
       power_("power_watts") {
-  if (!schedule_) {
-    throw std::invalid_argument("PowerPolicyDaemon: null schedule");
+  if (!controller_) {
+    throw std::invalid_argument("PowerPolicyDaemon: null controller");
   }
   if (config_.backoff_initial <= 0 ||
       config_.backoff_max < config_.backoff_initial) {
@@ -32,12 +32,26 @@ PowerPolicyDaemon::PowerPolicyDaemon(rapl::RaplInterface& rapl,
   }
 }
 
-void PowerPolicyDaemon::set_schedule(std::unique_ptr<CapSchedule> schedule) {
-  if (!schedule) {
-    throw std::invalid_argument("PowerPolicyDaemon: null schedule");
+PowerPolicyDaemon::PowerPolicyDaemon(rapl::RaplInterface& rapl,
+                                     const TimeSource& time_source,
+                                     std::unique_ptr<CapSchedule> schedule,
+                                     unsigned pkg, DaemonConfig config)
+    : PowerPolicyDaemon(
+          rapl, time_source,
+          std::make_unique<ScheduleController>(std::move(schedule)), pkg,
+          config) {}
+
+void PowerPolicyDaemon::set_controller(std::unique_ptr<Controller> controller) {
+  if (!controller) {
+    throw std::invalid_argument("PowerPolicyDaemon: null controller");
   }
-  schedule_ = std::move(schedule);
+  controller_ = std::move(controller);
+  controller_->reset();
   start_ = time_->now();
+}
+
+void PowerPolicyDaemon::set_schedule(std::unique_ptr<CapSchedule> schedule) {
+  set_controller(std::make_unique<ScheduleController>(std::move(schedule)));
 }
 
 void PowerPolicyDaemon::note_failure(Nanos now) {
@@ -129,8 +143,9 @@ void PowerPolicyDaemon::tick() {
   }
 
   bool failed = false;
+  Watts measured = 0.0;
   try {
-    const Watts measured = rapl_->pkg_power(pkg_);
+    measured = rapl_->pkg_power(pkg_);
     power_.add(now, measured);
     power_gauge.set(measured);
     over_gauge.set(applied_ ? std::max(0.0, measured - *applied_) : 0.0);
@@ -141,8 +156,22 @@ void PowerPolicyDaemon::tick() {
     PROCAP_DEBUG << "power-policy: power read failed: " << e.what();
   }
 
-  const Seconds elapsed = to_seconds(now - start_);
-  const std::optional<Watts> want = schedule_->cap_at(elapsed);
+  // One decision per tick, even when this tick's actuation will be
+  // skipped by a read failure: stateful controllers see every interval.
+  Observation obs;
+  obs.t = now;
+  obs.elapsed = to_seconds(now - start_);
+  obs.power = measured;
+  obs.power_valid = !failed;
+  obs.applied_cap = applied_;
+  if (feed_.rate) {
+    obs.progress_rate = feed_.rate();
+  }
+  if (feed_.windows) {
+    obs.windows = feed_.windows();
+  }
+  obs.signal_healthy = feed_.healthy ? feed_.healthy() : true;
+  const std::optional<Watts> want = controller_->decide(obs, config_.bounds);
   // A firing power_overshoot alert forces reprogramming of an unchanged
   // cap (the actuator may have lost it).
   const bool forced = reapply_cap_ && want.has_value() && want == applied_;
@@ -155,7 +184,7 @@ void PowerPolicyDaemon::tick() {
                          applied_ ? std::optional<double>(*applied_)
                                   : std::nullopt,
                          want ? std::optional<double>(*want) : std::nullopt,
-                         schedule_->name());
+                         controller_->name());
     }
     try {
       if (want) {
@@ -163,10 +192,10 @@ void PowerPolicyDaemon::tick() {
         // compute/memory alternation, short next to the 1 Hz policy cadence.
         rapl_->set_pkg_cap(*want, /*window=*/0.04, pkg_);
         PROCAP_DEBUG << "power-policy: cap " << *want << " W ("
-                     << schedule_->name() << ")";
+                     << controller_->name() << ")";
       } else {
         rapl_->clear_pkg_cap(pkg_);
-        PROCAP_DEBUG << "power-policy: uncapped (" << schedule_->name() << ")";
+        PROCAP_DEBUG << "power-policy: uncapped (" << controller_->name() << ")";
       }
       applied_ = want;
       if (forced) {
@@ -192,6 +221,23 @@ void PowerPolicyDaemon::tick() {
   }
   caps_.add(now, applied_.value_or(0.0));
   cap_gauge.set(applied_.value_or(0.0));
+
+  // Live controller internals (ISSUE: per-controller obs gauges) — the
+  // timeseries sampler and procap_top pick these up by name.
+  {
+    PROCAP_OBS_GAUGE(ctl_setpoint, "controller.setpoint");
+    PROCAP_OBS_GAUGE(ctl_error, "controller.error");
+    PROCAP_OBS_GAUGE(ctl_output, "controller.output_watts");
+    PROCAP_OBS_COUNTER(ctl_saturations, "controller.saturations");
+    const ControllerStatus st = controller_->status();
+    ctl_setpoint.set(st.setpoint);
+    ctl_error.set(st.error);
+    ctl_output.set(st.output.value_or(0.0));
+    if (st.saturations > exported_saturations_) {
+      ctl_saturations.inc(st.saturations - exported_saturations_);
+    }
+    exported_saturations_ = st.saturations;
+  }
 
   if (failed) {
     note_failure(now);

@@ -4,9 +4,14 @@
 // node.  It monitors power usage and applies the selected dynamic
 // power-capping scheme on the package domain once every second."  This is
 // that daemon: at each tick it samples package power through the RAPL
-// interface, evaluates the schedule, and programs (or clears) PL1.  It
-// records the applied-cap and measured-power time series, which are the
-// x-axes of the paper's Fig. 3.
+// interface, asks its policy::Controller for a decision, and programs
+// (or clears) PL1.  It records the applied-cap and measured-power time
+// series, which are the x-axes of the paper's Fig. 3.
+//
+// The decision core is any policy::Controller (policy/controller.hpp):
+// open-loop CapSchedule shapes ride through ScheduleController, and
+// closed-loop controllers (pi/fft/mpc/...) see progress telemetry via
+// an optional ProgressFeed wired with set_progress_feed().
 //
 // The daemon is tick-driven; attach() wires it to the simulation engine
 // at 1 Hz, and a real deployment would call tick() from a timer loop.
@@ -22,7 +27,8 @@
 
 #include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
-#include "policy/schemes.hpp"
+#include "policy/adapters.hpp"
+#include "policy/controller.hpp"
 #include "rapl/rapl.hpp"
 #include "sim/engine.hpp"
 #include "util/series.hpp"
@@ -40,20 +46,52 @@ struct DaemonConfig {
   /// previous one counts the missed intervals (attach() records the
   /// interval; free-running tick() callers get no watchdog).
   double watchdog_factor = 1.5;
+  /// Actuation range granted to the controller.  Schedule adapters
+  /// ignore it (the shape is the contract); closed-loop controllers
+  /// clamp into it.
+  CapBounds bounds{};
 };
 
-/// Applies a CapSchedule through a RaplInterface once per interval.
+/// Optional telemetry feed for closed-loop controllers: the daemon
+/// calls these (side-effect-free) getters when building each tick's
+/// Observation.  Unset members read as "no signal".
+struct ProgressFeed {
+  std::function<double()> rate;            ///< last-window progress rate
+  std::function<std::uint64_t()> windows;  ///< completed windows
+  std::function<bool()> healthy;           ///< signal trustworthy?
+};
+
+/// Applies a policy::Controller through a RaplInterface once per
+/// interval.
 class PowerPolicyDaemon {
  public:
   /// `rapl` and `time_source` must outlive the daemon; the daemon owns
-  /// the schedule.  `pkg` selects the package domain to control.
+  /// the controller.  `pkg` selects the package domain to control.
+  PowerPolicyDaemon(rapl::RaplInterface& rapl,
+                    const TimeSource& time_source,
+                    std::unique_ptr<Controller> controller, unsigned pkg = 0,
+                    DaemonConfig config = {});
+
+  /// Legacy convenience: wraps the schedule in a ScheduleController.
   PowerPolicyDaemon(rapl::RaplInterface& rapl,
                     const TimeSource& time_source,
                     std::unique_ptr<CapSchedule> schedule, unsigned pkg = 0,
                     DaemonConfig config = {});
 
-  /// Replace the schedule; the elapsed-time origin resets to now.
+  /// Replace the controller; the elapsed-time origin resets to now and
+  /// the controller is reset().
+  void set_controller(std::unique_ptr<Controller> controller);
+
+  /// Legacy convenience: set_controller(ScheduleController(schedule)).
   void set_schedule(std::unique_ptr<CapSchedule> schedule);
+
+  /// Wire progress telemetry for closed-loop controllers.  The getters
+  /// are invoked on every tick; they must be cheap and side-effect
+  /// free.
+  void set_progress_feed(ProgressFeed feed) { feed_ = std::move(feed); }
+
+  /// The active decision policy.
+  [[nodiscard]] const Controller& controller() const { return *controller_; }
 
   /// One daemon cycle: measure power, evaluate schedule, actuate.
   void tick();
@@ -129,7 +167,8 @@ class PowerPolicyDaemon {
 
   rapl::RaplInterface* rapl_;
   const TimeSource* time_;
-  std::unique_ptr<CapSchedule> schedule_;
+  std::unique_ptr<Controller> controller_;
+  ProgressFeed feed_;
   unsigned pkg_;
   DaemonConfig config_;
   Nanos start_;
@@ -153,6 +192,9 @@ class PowerPolicyDaemon {
   std::shared_ptr<msgbus::SubSocket> alerts_;
   bool reapply_cap_ = false;
   std::uint64_t alert_reactuations_ = 0;
+  // controller.* gauge bookkeeping (saturations is cumulative in the
+  // controller's status; the obs counter wants increments).
+  std::uint64_t exported_saturations_ = 0;
 };
 
 }  // namespace procap::policy

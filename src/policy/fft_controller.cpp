@@ -1,0 +1,169 @@
+#include "policy/fft_controller.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/fft.hpp"
+
+namespace procap::policy {
+
+FftController::FftController(FftConfig config) : config_(config) {
+  if (!util::is_power_of_two(config.window) || config.window < 8) {
+    throw std::invalid_argument(
+        "FftController: window must be a power of two >= 8");
+  }
+  if (config.threshold <= 1.0) {
+    throw std::invalid_argument("FftController: threshold must exceed 1");
+  }
+  if (config.margin < 0.0) {
+    throw std::invalid_argument("FftController: margin must be >= 0");
+  }
+  if (config.recompute == 0) {
+    throw std::invalid_argument("FftController: recompute must be positive");
+  }
+  if (config.fallback && *config.fallback <= 0.0) {
+    throw std::invalid_argument("FftController: fallback must be positive");
+  }
+  history_.reserve(config.window);
+}
+
+void FftController::reset() {
+  history_.clear();
+  next_slot_ = 0;
+  samples_ = 0;
+  analyzed_at_ = 0;
+  periodic_ = false;
+  significance_ = 0.0;
+  degraded_ = false;
+}
+
+double FftController::period() const {
+  return periodic_ ? static_cast<double>(config_.window) /
+                         static_cast<double>(peak_bin_)
+                   : 0.0;
+}
+
+void FftController::analyze() {
+  const std::size_t n = config_.window;
+  // Chronological copy of the ring (oldest first), mean-removed so bin 0
+  // does not drown the spectrum.
+  std::vector<std::complex<double>> spectrum(n);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean += history_[(next_slot_ + i) % n];
+  }
+  mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spectrum[i] = history_[(next_slot_ + i) % n] - mean;
+  }
+  util::fft(spectrum);
+
+  // Dominant bin among the positive frequencies, and the mean magnitude
+  // of the others as the significance floor.
+  std::size_t peak = 0;
+  double peak_mag = 0.0;
+  double mag_sum = 0.0;
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    const double mag = std::abs(spectrum[k]);
+    mag_sum += mag;
+    if (mag > peak_mag) {
+      peak_mag = mag;
+      peak = k;
+    }
+  }
+  const double others =
+      (mag_sum - peak_mag) / static_cast<double>(n / 2 - 2);
+  significance_ = others > 0.0 ? peak_mag / others : 0.0;
+  analyzed_at_ = samples_;
+  periodic_ = peak != 0 && significance_ >= config_.threshold;
+  if (!periodic_) {
+    return;
+  }
+  peak_bin_ = peak;
+  peak_coeff_ = spectrum[peak];
+  mean_ = mean;
+  // Phase power levels: means of the samples above/below the window
+  // mean.  These are what the phase-matched caps sit on.
+  double high_sum = 0.0;
+  double low_sum = 0.0;
+  std::size_t high_n = 0;
+  std::size_t low_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Watts p = history_[(next_slot_ + i) % n];
+    if (p >= mean) {
+      high_sum += p;
+      ++high_n;
+    } else {
+      low_sum += p;
+      ++low_n;
+    }
+  }
+  mean_high_ = high_n > 0 ? high_sum / static_cast<double>(high_n) : mean;
+  mean_low_ = low_n > 0 ? low_sum / static_cast<double>(low_n) : mean;
+}
+
+std::optional<Watts> FftController::decide(const Observation& observation,
+                                           const CapBounds& bounds) {
+  if (!observation.power_valid) {
+    // No power sample this interval: hold, and do not advance the ring
+    // (a gap would smear the spectrum).
+    last_output_ = observation.applied_cap;
+    return last_output_;
+  }
+  if (history_.size() < config_.window) {
+    history_.push_back(observation.power);
+  } else {
+    history_[next_slot_] = observation.power;
+    next_slot_ = (next_slot_ + 1) % config_.window;
+  }
+  ++samples_;
+
+  if (history_.size() < config_.window) {
+    // Warmup: behave like the aperiodic fallback until the window fills.
+    last_output_ = config_.fallback
+                       ? std::optional<Watts>(bounds.clamp(*config_.fallback))
+                       : std::nullopt;
+    return last_output_;
+  }
+  if (analyzed_at_ == 0 || samples_ - analyzed_at_ >= config_.recompute) {
+    analyze();
+  }
+  if (!periodic_) {
+    last_output_ = config_.fallback
+                       ? std::optional<Watts>(bounds.clamp(*config_.fallback))
+                       : std::nullopt;
+    return last_output_;
+  }
+
+  // Predict the next interval's power by extending the dominant
+  // component past the analyzed window: sample offset d from the window
+  // end, x̂ = mean + (2/N) * Re(X_k * e^{i 2π k d / N}).
+  const auto n = static_cast<double>(config_.window);
+  const auto d = static_cast<double>(samples_ - analyzed_at_);
+  const double angle =
+      2.0 * std::numbers::pi * static_cast<double>(peak_bin_) * d / n;
+  const double predicted =
+      mean_ + (2.0 / n) * (peak_coeff_.real() * std::cos(angle) -
+                           peak_coeff_.imag() * std::sin(angle));
+  const Watts level = predicted >= mean_ ? mean_high_ : mean_low_;
+  const Watts want = level * (1.0 + config_.margin);
+  const Watts output = bounds.clamp(want);
+  if (output != want) {
+    ++saturations_;
+  }
+  last_output_ = output;
+  return last_output_;
+}
+
+ControllerStatus FftController::status() const {
+  ControllerStatus status;
+  status.setpoint = period();       // the detected period, in samples
+  status.error = significance_;     // spectral peak significance
+  status.output = last_output_;
+  status.saturations = saturations_;
+  status.degraded = degraded_;
+  return status;
+}
+
+}  // namespace procap::policy

@@ -1,0 +1,87 @@
+// fft_controller.hpp — FFT/periodicity phase-detecting power policy.
+//
+// Modeled on flux-power-monitor's fft_based_power_policy.c: many HPC
+// applications alternate compute-bound and memory/IO-bound phases on a
+// stable period (the paper's QMCPACK runs, iterative solvers).  Power
+// draw traces that alternation, so a DFT over a sliding window of 1 Hz
+// power samples exposes the period; once a dominant spectral peak
+// clears a significance threshold the controller predicts which phase
+// the *next* interval falls in and programs a phase-matched cap:
+//
+//   * predicted high-power (compute) phase — cap at the high-phase mean
+//     power plus margin, leaving the compute unconstrained;
+//   * predicted low-power (memory/IO) phase — cap down to the low-phase
+//     mean plus margin, harvesting watts the phase cannot use anyway.
+//
+// When no significant periodicity is present the controller falls back
+// to `fallback` (a fixed budget) or runs uncapped.  All state is a ring
+// of observed power samples; decisions are a pure function of them, so
+// the determinism contract holds.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "policy/controller.hpp"
+
+namespace procap::policy {
+
+/// FftController tuning.
+struct FftConfig {
+  /// Sliding-window length in samples (= seconds at 1 Hz); must be a
+  /// power of two for the radix-2 FFT.
+  std::size_t window = 64;
+  /// Peak magnitude must exceed `threshold` x the mean magnitude of the
+  /// other bins to count as periodicity.
+  double threshold = 3.0;
+  /// Cap headroom above the phase-mean power (fraction).
+  double margin = 0.08;
+  /// Decisions between spectrum recomputes (the window slides every
+  /// sample; re-transforming every tick would be wasted work).
+  unsigned recompute = 16;
+  /// Cap while no periodicity is detected (nullopt = uncapped).
+  std::optional<Watts> fallback;
+};
+
+/// Phase-detecting controller driven by the package power spectrum.
+class FftController final : public Controller {
+ public:
+  explicit FftController(FftConfig config);
+
+  [[nodiscard]] const char* name() const override { return "fft"; }
+  [[nodiscard]] std::optional<Watts> decide(const Observation& observation,
+                                            const CapBounds& bounds) override;
+  void reset() override;
+  void degrade() override { degraded_ = true; }
+  [[nodiscard]] bool wants_power() const override { return true; }
+  [[nodiscard]] ControllerStatus status() const override;
+
+  /// True once a dominant spectral peak clears the threshold.
+  [[nodiscard]] bool periodic() const { return periodic_; }
+  /// Detected period in samples (0 while aperiodic).
+  [[nodiscard]] double period() const;
+
+ private:
+  void analyze();
+
+  FftConfig config_;
+  std::vector<Watts> history_;     // ring buffer, capacity config_.window
+  std::size_t next_slot_ = 0;      // ring write index
+  std::uint64_t samples_ = 0;      // total samples observed
+  std::uint64_t analyzed_at_ = 0;  // samples_ when the spectrum was taken
+  // Spectrum snapshot (valid while periodic_).
+  bool periodic_ = false;
+  std::size_t peak_bin_ = 0;
+  std::complex<double> peak_coeff_;
+  double mean_ = 0.0;
+  double mean_high_ = 0.0;
+  double mean_low_ = 0.0;
+  double significance_ = 0.0;
+  std::optional<Watts> last_output_;
+  std::uint64_t saturations_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace procap::policy

@@ -1,0 +1,213 @@
+#include "policy/mpc_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/progress_model.hpp"
+
+namespace procap::policy {
+
+namespace {
+constexpr Watts kTrimLimit = 30.0;  // integral trim authority, watts
+}
+
+MpcController::MpcController(MpcConfig config)
+    : config_(config),
+      settle_ticks_(static_cast<unsigned>(std::ceil(config.settle))),
+      hold_ticks_(static_cast<unsigned>(std::ceil(config.hold))) {
+  if (config.target <= 0.0 || config.target > 1.0) {
+    throw std::invalid_argument("MpcController: target must be in (0, 1]");
+  }
+  if (config.beta <= 0.0 || config.beta > 1.0) {
+    throw std::invalid_argument("MpcController: beta must be in (0, 1]");
+  }
+  if (config.probes < 2) {
+    throw std::invalid_argument("MpcController: need at least 2 probes");
+  }
+  if (hold_ticks_ == 0) {
+    throw std::invalid_argument("MpcController: hold must be positive");
+  }
+  if (config.trim < 0.0) {
+    throw std::invalid_argument("MpcController: trim must be >= 0");
+  }
+}
+
+void MpcController::reset() {
+  phase_ = Phase::kMeasure;
+  level_ = 0;
+  tick_in_level_ = 0;
+  rate_sum_ = 0.0;
+  power_sum_ = 0.0;
+  accum_n_ = 0;
+  r_max_ = 0.0;
+  p_max_ = 0.0;
+  probe_rates_.clear();
+  probe_caps_.clear();
+  model_.reset();
+  setpoint_rate_ = 0.0;
+  base_cap_ = 0.0;
+  bias_ = 0.0;
+  degraded_ = false;
+}
+
+Watts MpcController::probe_cap(unsigned level) const {
+  // Descending ladder from 80% down to 45% of the uncapped draw —
+  // inside the band where capping actually bites but progress is still
+  // measurable (the Fig. 4 sweep range).
+  const double top = 0.8;
+  const double bottom = 0.45;
+  const double frac =
+      top - (top - bottom) * static_cast<double>(level) /
+                static_cast<double>(config_.probes - 1);
+  return frac * p_max_;
+}
+
+double MpcController::predict_rate(Watts pkg_cap) const {
+  const Watts core = model::effective_core_cap(config_.beta, pkg_cap);
+  return model_ ? model_->predict_rate(core)
+                : model::progress_at_core_power(base_, core);
+}
+
+void MpcController::finish_level() {
+  const double rate =
+      accum_n_ > 0 ? rate_sum_ / static_cast<double>(accum_n_) : 0.0;
+  const double power =
+      accum_n_ > 0 ? power_sum_ / static_cast<double>(accum_n_) : 0.0;
+  if (phase_ == Phase::kMeasure) {
+    r_max_ = rate;
+    p_max_ = power;
+  } else {
+    probe_rates_.push_back(rate);
+    probe_caps_.push_back(probe_cap(level_));
+  }
+  rate_sum_ = 0.0;
+  power_sum_ = 0.0;
+  accum_n_ = 0;
+  tick_in_level_ = 0;
+}
+
+void MpcController::calibrate(const CapBounds& bounds) {
+  base_ = model::ModelParams{};
+  base_.beta = config_.beta;
+  base_.alpha = 2.0;
+  base_.p_core_max = model::effective_core_cap(config_.beta, p_max_);
+  base_.r_max = r_max_;
+  std::vector<model::CapObservation> observations;
+  observations.reserve(probe_caps_.size());
+  for (std::size_t i = 0; i < probe_caps_.size(); ++i) {
+    observations.push_back(model::CapObservation{
+        model::effective_core_cap(config_.beta, probe_caps_[i]),
+        std::max(0.0, r_max_ - probe_rates_[i])});
+  }
+  // Piecewise-alpha fit when the probes support it, single fitted alpha
+  // otherwise, stock alpha=2 as the last resort.  A degenerate plant
+  // (e.g. memory-bound: caps barely move the rate) lands on the
+  // fallbacks naturally.
+  const unsigned bands =
+      std::max(1u, std::min(3u, static_cast<unsigned>(observations.size()) / 2));
+  try {
+    model_ = std::make_unique<model::CalibratedModel>(base_, observations,
+                                                      bands);
+  } catch (const std::invalid_argument&) {
+    try {
+      base_.alpha = model::fit_alpha(base_, observations).alpha;
+    } catch (const std::invalid_argument&) {
+      base_.alpha = 2.0;
+    }
+  }
+  setpoint_rate_ = config_.target * r_max_;
+  // Invert the model: cheapest candidate cap whose predicted rate meets
+  // the setpoint.  Scanning beats closed-form inversion because the
+  // calibrated model is piecewise.
+  const Watts lo = std::max(bounds.min_cap, probe_caps_.back());
+  const Watts hi = std::min(bounds.max_cap, p_max_);
+  Watts chosen = hi;
+  constexpr int kCandidates = 64;
+  for (int i = 0; i <= kCandidates; ++i) {
+    const Watts cap =
+        lo + (hi - lo) * static_cast<double>(i) / kCandidates;
+    if (predict_rate(cap) >= setpoint_rate_) {
+      chosen = cap;
+      break;
+    }
+  }
+  base_cap_ = chosen;
+}
+
+std::optional<Watts> MpcController::decide(const Observation& observation,
+                                           const CapBounds& bounds) {
+  // The phase clock only advances on trustworthy observations: a
+  // calibration built on phantom zeros would poison every later
+  // decision.
+  const bool trustworthy = observation.signal_healthy &&
+                           observation.power_valid &&
+                           observation.windows > 0 &&
+                           observation.progress_rate > 0.0;
+  if (!trustworthy) {
+    last_output_ = observation.applied_cap;
+    return last_output_;
+  }
+
+  if (phase_ == Phase::kControl) {
+    last_residual_ = setpoint_rate_ - observation.progress_rate;
+    if (config_.trim > 0.0 && setpoint_rate_ > 0.0) {
+      bias_ = std::clamp(
+          bias_ + config_.trim * (last_residual_ / setpoint_rate_) * 10.0,
+          -kTrimLimit, kTrimLimit);
+    }
+    const Watts want = base_cap_ + bias_;
+    const Watts output = bounds.clamp(want);
+    if (output != want) {
+      ++saturations_;
+    }
+    last_output_ = output;
+    return last_output_;
+  }
+
+  // Calibration phases: accumulate past the settle ticks, then advance.
+  ++tick_in_level_;
+  if (tick_in_level_ > settle_ticks_) {
+    rate_sum_ += observation.progress_rate;
+    power_sum_ += observation.power;
+    ++accum_n_;
+  }
+  if (tick_in_level_ >= settle_ticks_ + hold_ticks_) {
+    finish_level();
+    if (phase_ == Phase::kMeasure) {
+      if (r_max_ <= 0.0 || p_max_ <= 0.0) {
+        // Nothing measurable yet; re-run the measure level.
+        r_max_ = 0.0;
+        p_max_ = 0.0;
+      } else {
+        phase_ = Phase::kProbe;
+        level_ = 0;
+      }
+    } else if (++level_ >= config_.probes) {
+      phase_ = Phase::kControl;
+      calibrate(bounds);
+      last_residual_ = 0.0;
+    }
+  }
+
+  if (phase_ == Phase::kMeasure) {
+    last_output_ = std::nullopt;  // uncapped: measuring r_max / P_max
+  } else if (phase_ == Phase::kProbe) {
+    last_output_ = bounds.clamp(probe_cap(level_));
+  } else {
+    last_output_ = bounds.clamp(base_cap_);
+  }
+  return last_output_;
+}
+
+ControllerStatus MpcController::status() const {
+  ControllerStatus status;
+  status.setpoint = setpoint_rate_;
+  status.error = last_residual_;
+  status.output = last_output_;
+  status.saturations = saturations_;
+  status.degraded = degraded_;
+  return status;
+}
+
+}  // namespace procap::policy

@@ -1,0 +1,103 @@
+// mpc_controller.hpp — model-predictive cap control on model/calibrated.
+//
+// The paper's conclusion proposes using its progress model to "decide
+// on the exact power budget to be employed given an expectation of
+// online performance".  This controller operationalizes that end to
+// end, with the piecewise-alpha CalibratedModel (model/calibrated.hpp)
+// as the plant model:
+//
+//   1. Measure — run uncapped for settle+hold decisions to establish
+//      the uncapped operating point (r_max, P_max).
+//   2. Probe — hold a descending ladder of probe caps (fractions of
+//      P_max), each for settle+hold decisions, collecting the
+//      (core cap, Δprogress) observations the Fig. 4 procedure would.
+//   3. Control — fit the calibrated model to the probes, invert it for
+//      the cheapest cap whose predicted rate meets the setpoint
+//      (`target` x r_max), and hold that cap with a slow integral trim
+//      absorbing residual model error (the same philosophy as the
+//      NRM's feedback loop, but seeded by a model fitted online).
+//
+// Decisions advance the phase clock only on trustworthy observations
+// (healthy signal, valid power, a completed window), so telemetry gaps
+// stretch the calibration instead of corrupting it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/calibrated.hpp"
+#include "model/fit.hpp"
+#include "policy/controller.hpp"
+
+namespace procap::policy {
+
+/// MpcController tuning.
+struct MpcConfig {
+  double target = 0.85;   ///< setpoint as a fraction of measured r_max
+  double beta = 1.0;      ///< compute-boundedness for Eq. 5 core split
+  unsigned probes = 4;    ///< probe-ladder levels
+  Seconds hold = 6.0;     ///< measured decisions per level
+  Seconds settle = 2.0;   ///< discarded decisions at each level start
+  double trim = 0.5;      ///< integral trim: watts per normalized residual
+};
+
+/// Probe-then-hold model-predictive controller.
+class MpcController final : public Controller {
+ public:
+  explicit MpcController(MpcConfig config);
+
+  [[nodiscard]] const char* name() const override { return "mpc"; }
+  [[nodiscard]] std::optional<Watts> decide(const Observation& observation,
+                                            const CapBounds& bounds) override;
+  void reset() override;
+  void degrade() override { degraded_ = true; }
+  [[nodiscard]] bool wants_power() const override { return true; }
+  [[nodiscard]] ControllerStatus status() const override;
+
+  /// True once the probe ladder finished and the model is fitted.
+  [[nodiscard]] bool calibrated() const { return phase_ == Phase::kControl; }
+  /// The fitted model (null until calibrated, or when the piecewise fit
+  /// failed and the controller fell back to a single fitted alpha).
+  [[nodiscard]] const model::CalibratedModel* model() const {
+    return model_.get();
+  }
+  /// Setpoint in progress units/s (0 until the measure phase ends).
+  [[nodiscard]] double setpoint() const { return setpoint_rate_; }
+
+ private:
+  enum class Phase { kMeasure, kProbe, kControl };
+
+  [[nodiscard]] Watts probe_cap(unsigned level) const;
+  [[nodiscard]] double predict_rate(Watts pkg_cap) const;
+  void finish_level();
+  void calibrate(const CapBounds& bounds);
+
+  MpcConfig config_;
+  unsigned settle_ticks_;
+  unsigned hold_ticks_;
+
+  Phase phase_ = Phase::kMeasure;
+  unsigned level_ = 0;       // probe-ladder index while kProbe
+  unsigned tick_in_level_ = 0;
+  double rate_sum_ = 0.0;    // accumulators past the settle ticks
+  double power_sum_ = 0.0;
+  unsigned accum_n_ = 0;
+
+  double r_max_ = 0.0;
+  Watts p_max_ = 0.0;
+  std::vector<double> probe_rates_;
+  std::vector<Watts> probe_caps_;
+
+  model::ModelParams base_;
+  std::unique_ptr<model::CalibratedModel> model_;
+  double setpoint_rate_ = 0.0;
+  Watts base_cap_ = 0.0;
+  Watts bias_ = 0.0;
+  double last_residual_ = 0.0;
+  std::optional<Watts> last_output_;
+  std::uint64_t saturations_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace procap::policy

@@ -1,6 +1,7 @@
 #include "policy/nrm.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "msr/device.hpp"
 #include "obs/alert.hpp"
@@ -34,7 +35,9 @@ NodeResourceManager::NodeResourceManager(rapl::RaplInterface& rapl,
       latch_(config.reengage_after),
       caps_("nrm_cap_watts"),
       rates_("nrm_progress"),
-      modes_("nrm_mode") {}
+      modes_("nrm_mode") {
+  origin_ = time_->now();
+}
 
 void NodeResourceManager::apply(std::optional<Watts> cap) {
   // Invariant: never program a cap above the node budget, whatever mode
@@ -83,12 +86,20 @@ void NodeResourceManager::transition(Mode to, std::string reason) {
 
 void NodeResourceManager::set_power_budget(Watts budget) {
   transition(Mode::kBudget, "upper-layer budget directive");
-  apply(std::clamp(budget, config_.min_cap, config_.max_cap));
+  // The budget adapter decides once, on the directive (legacy kBudget
+  // never re-evaluated per tick).
+  controller_ = std::make_unique<BudgetController>(budget);
+  origin_ = time_->now();
+  Observation obs;
+  obs.t = origin_;
+  obs.applied_cap = cap_;
+  apply(controller_->decide(obs, bounds()));
   PROCAP_INFO << "nrm: hard budget " << budget << " W";
 }
 
 void NodeResourceManager::clear_power_budget() {
   transition(Mode::kUncapped, "budget cleared");
+  controller_.reset();
   apply(std::nullopt);
 }
 
@@ -96,6 +107,13 @@ void NodeResourceManager::set_progress_target(
     double rate, std::optional<model::ModelParams> params) {
   transition(Mode::kProgressTarget, "progress target set");
   target_rate_ = rate;
+  ProgressTargetConfig loop;
+  loop.setpoint = rate;
+  loop.deadband = config_.deadband;
+  loop.raise_step = config_.raise_step;
+  loop.lower_step = config_.lower_step;
+  controller_ = std::make_unique<ProgressTargetController>(loop);
+  origin_ = time_->now();
   latch_.reset();
   if (params) {
     // Model-seeded initial cap (paper Section VI, modeling goal 3), with a
@@ -106,6 +124,20 @@ void NodeResourceManager::set_progress_target(
     PROCAP_INFO << "nrm: progress target " << rate << "/s, model seed cap "
                 << *cap_ << " W";
   }
+}
+
+void NodeResourceManager::set_controller(
+    std::unique_ptr<Controller> controller) {
+  if (!controller) {
+    throw std::invalid_argument("NodeResourceManager: null controller");
+  }
+  transition(Mode::kProgressTarget,
+             std::string("controller ") + controller->name());
+  controller_ = std::move(controller);
+  controller_->reset();
+  target_rate_ = controller_->status().setpoint;
+  origin_ = time_->now();
+  latch_.reset();
 }
 
 void NodeResourceManager::set_node_budget(Watts budget) {
@@ -152,20 +184,36 @@ void NodeResourceManager::tick() {
       PROCAP_OBS_COUNTER(degraded_total, "nrm.degraded_entries");
       degraded_total.inc();
       latch_.degrade();
+      if (controller_) {
+        controller_->degrade();
+      }
       if (cap_) {
         apply(cap_);  // re-clamped to the node budget by apply()
       } else if (node_budget_) {
         apply(node_budget_);  // fail safe: bound power while blind
       }
-    } else if (monitor_->windows() > 0 && rate > 0.0) {
-      const double low = target_rate_;
-      const double high = target_rate_ * (1.0 + config_.deadband);
-      const Watts current = cap_.value_or(config_.max_cap);
-      if (rate < low) {
-        apply(std::min(current + config_.raise_step, config_.max_cap));
-      } else if (rate > high) {
-        apply(std::max(current - config_.lower_step, config_.min_cap));
+    } else if (controller_) {
+      // The closed-loop decision core: the legacy deadband loop rides
+      // through ProgressTargetController (bit-identical, see the
+      // controller goldens); custom controllers see the same feed.
+      Observation obs;
+      obs.t = now;
+      obs.elapsed = to_seconds(now - origin_);
+      obs.progress_rate = rate;
+      obs.windows = monitor_->windows();
+      obs.signal_healthy = true;
+      obs.applied_cap = cap_;
+      if (controller_->wants_power()) {
+        // Only controllers that read power pay for the extra RAPL
+        // traffic (the legacy loop never sampled it).
+        try {
+          obs.power = rapl_->pkg_power();
+          obs.power_valid = true;
+        } catch (const msr::MsrError& e) {
+          PROCAP_DEBUG << "nrm: power read failed: " << e.what();
+        }
       }
+      apply(controller_->decide(obs, bounds()));
     }
   } else if (mode_ == Mode::kDegraded) {
     if (latch_.observe(health == progress::SignalHealth::kHealthy)) {
@@ -180,6 +228,24 @@ void NodeResourceManager::tick() {
 
   caps_.add(now, cap_.value_or(0.0));
   modes_.add(now, static_cast<double>(static_cast<int>(mode_)));
+
+  if (controller_) {
+    // Same controller.* names the daemon exports: one node has one
+    // active decision core, and the registry's find-or-create semantics
+    // make the instruments shared.
+    PROCAP_OBS_GAUGE(ctl_setpoint, "controller.setpoint");
+    PROCAP_OBS_GAUGE(ctl_error, "controller.error");
+    PROCAP_OBS_GAUGE(ctl_output, "controller.output_watts");
+    PROCAP_OBS_COUNTER(ctl_saturations, "controller.saturations");
+    const ControllerStatus st = controller_->status();
+    ctl_setpoint.set(st.setpoint);
+    ctl_error.set(st.error);
+    ctl_output.set(st.output.value_or(0.0));
+    if (st.saturations > exported_saturations_) {
+      ctl_saturations.inc(st.saturations - exported_saturations_);
+    }
+    exported_saturations_ = st.saturations;
+  }
 }
 
 void NodeResourceManager::attach(sim::Engine& engine, Nanos interval) {

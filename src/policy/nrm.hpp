@@ -13,6 +13,12 @@
 //   * kProgressTarget mode — hold a target progress rate with the least
 //     power: the model picks the initial cap (Eq. 7 inverted), then a
 //     measured-progress feedback loop trims it, absorbing model error.
+//     Since the Controller redesign this mode is the NRM's generic
+//     closed-loop slot: set_progress_target() installs the legacy
+//     deadband loop (ProgressTargetController, bit-identical to the
+//     pre-redesign arithmetic), and set_controller() installs any
+//     registry controller (pi/fft/mpc/...) in its place; the NRM keeps
+//     owning health fallback, node-budget clamping and actuation.
 //   * kDegraded mode — entered automatically when the progress signal
 //     stops being trustworthy (Monitor health degraded/lost).  Closing
 //     the loop on a stale or lossy feed would chase phantom zero-progress
@@ -35,6 +41,8 @@
 #include "model/progress_model.hpp"
 #include "msgbus/bus.hpp"
 #include "obs/trace.hpp"
+#include "policy/adapters.hpp"
+#include "policy/controller.hpp"
 #include "policy/latch.hpp"
 #include "progress/monitor.hpp"
 #include "rapl/rapl.hpp"
@@ -90,6 +98,19 @@ class NodeResourceManager {
   /// the current cap (pure feedback).
   void set_progress_target(double rate,
                            std::optional<model::ModelParams> params);
+
+  /// Install an arbitrary closed-loop controller (pi/fft/mpc/... from
+  /// the registry) as the decision core: the NRM keeps degraded-mode
+  /// fallback, the node-budget clamp and actuation retries, and feeds
+  /// the controller one Observation per tick within the NrmConfig cap
+  /// bounds.  Throws std::invalid_argument on null.
+  void set_controller(std::unique_ptr<Controller> controller);
+
+  /// The active closed-loop decision core (null while kUncapped or
+  /// before any set_power_budget/set_progress_target/set_controller).
+  [[nodiscard]] const Controller* controller() const {
+    return controller_.get();
+  }
 
   /// Hard node-level ceiling: no cap programmed by this NRM will ever
   /// exceed it, and degraded mode falls back to it when running uncapped.
@@ -161,6 +182,9 @@ class NodeResourceManager {
   void apply(std::optional<Watts> cap);
   void transition(Mode to, std::string reason);
   void drain_alerts();
+  [[nodiscard]] CapBounds bounds() const {
+    return CapBounds{config_.min_cap, config_.max_cap};
+  }
 
   rapl::RaplInterface* rapl_;
   progress::Monitor* monitor_;
@@ -171,6 +195,11 @@ class NodeResourceManager {
   std::optional<Watts> cap_;
   std::optional<Watts> node_budget_;
   double target_rate_ = 0.0;
+  // The closed-loop decision core for kBudget/kProgressTarget (and any
+  // custom controller installed by set_controller()).
+  std::unique_ptr<Controller> controller_;
+  Nanos origin_ = 0;  // engagement time; Observation::elapsed origin
+  std::uint64_t exported_saturations_ = 0;
   ReengageLatch latch_;  // degraded-mode hysteresis
   std::uint64_t degraded_entries_ = 0;
   std::uint64_t reengagements_ = 0;

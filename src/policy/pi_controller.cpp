@@ -1,0 +1,88 @@
+#include "policy/pi_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace procap::policy {
+
+PiController::PiController(PiConfig config)
+    : config_(config), gain_(config.gain) {
+  if (config.setpoint <= 0.0) {
+    throw std::invalid_argument("PiController: setpoint must be positive");
+  }
+  if (config.gain <= 0.0 || config.gain_min <= 0.0 ||
+      config.gain_max < config.gain_min) {
+    throw std::invalid_argument("PiController: bad gain config");
+  }
+}
+
+void PiController::reset() {
+  gain_ = config_.gain;
+  prev_error_.reset();
+  prev_rate_.reset();
+  prev_output_.reset();
+  slope_.reset();
+  degraded_ = false;
+}
+
+std::optional<Watts> PiController::decide(const Observation& observation,
+                                          const CapBounds& bounds) {
+  last_error_ = config_.setpoint - observation.progress_rate;
+  if (!observation.signal_healthy || observation.windows == 0 ||
+      observation.progress_rate <= 0.0) {
+    // No trustworthy measurement: hold the actuator where it is.  The
+    // velocity form has no integral state to pause.
+    last_output_ = observation.applied_cap;
+    return last_output_;
+  }
+
+  // Plant-slope estimate: normalized rate change per watt of cap change
+  // between consecutive trustworthy decisions.  Only informative when
+  // the cap actually moved.
+  if (config_.adaptive && prev_rate_ && prev_output_ &&
+      observation.applied_cap) {
+    const Watts dcap = *observation.applied_cap - *prev_output_;
+    if (std::abs(dcap) >= 0.5) {
+      const double drate_n =
+          (observation.progress_rate - *prev_rate_) / config_.setpoint;
+      const double sample = drate_n / dcap;
+      if (sample > 1e-9) {  // power-starved plants have positive slope
+        slope_ = slope_ ? (1.0 - config_.slope_ema) * *slope_ +
+                              config_.slope_ema * sample
+                        : sample;
+        // Deadbeat scale: one unit of normalized error wants 1/slope
+        // watts of correction; kp/ki shape how fast we take it.
+        gain_ = std::clamp(1.0 / *slope_, config_.gain_min, config_.gain_max);
+      }
+    }
+  }
+
+  const double error_n = last_error_ / config_.setpoint;
+  const double delta_error = prev_error_ ? error_n - *prev_error_ : 0.0;
+  const Watts current = observation.applied_cap.value_or(bounds.max_cap);
+  const Watts unclamped =
+      current + gain_ * (config_.kp * delta_error + config_.ki * error_n);
+  const Watts output = bounds.clamp(unclamped);
+  if (output != unclamped) {
+    ++saturations_;
+  }
+
+  prev_error_ = error_n;
+  prev_rate_ = observation.progress_rate;
+  prev_output_ = observation.applied_cap;
+  last_output_ = output;
+  return last_output_;
+}
+
+ControllerStatus PiController::status() const {
+  ControllerStatus status;
+  status.setpoint = config_.setpoint;
+  status.error = last_error_;
+  status.output = last_output_;
+  status.saturations = saturations_;
+  status.degraded = degraded_;
+  return status;
+}
+
+}  // namespace procap::policy

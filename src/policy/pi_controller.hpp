@@ -1,0 +1,73 @@
+// pi_controller.hpp — adaptive PI progress-setpoint controller.
+//
+// Cerf, Bleuse, Reis, Perarnau & Rutten (arXiv 2107.02426) — the direct
+// follow-on to the source paper — replace its open-loop capping schemes
+// with a proportional-integral controller that holds an application
+// progress setpoint by actuating the RAPL cap.  Their key points, kept
+// here:
+//
+//   * Velocity (incremental) form: each decision moves the *current*
+//     cap by  gain * (kp * Δerror + ki * error), so clamping the output
+//     into CapBounds is automatic anti-windup (no integral state to
+//     unwind after saturation).
+//   * Normalized error (error / setpoint), so one set of kp/ki works
+//     across applications whose progress units differ by orders of
+//     magnitude.
+//   * Adaptive gain: the watts-per-unit-error scale is the inverse of
+//     the plant slope (how much rate one watt buys), estimated online
+//     from consecutive (Δrate, Δcap) pairs with an EMA.  This is the
+//     gain-scheduling Cerf et al. derive from their power-to-progress
+//     model, done empirically.
+//
+// Holds (repeats the applied cap) while the progress signal is missing,
+// unhealthy or zero — reacting to a phantom zero is the paper's §V-C
+// failure mode.
+#pragma once
+
+#include <optional>
+
+#include "policy/controller.hpp"
+
+namespace procap::policy {
+
+/// PiController tuning.
+struct PiConfig {
+  double setpoint = 0.0;  ///< target progress rate (units/s); required
+  double kp = 0.6;        ///< proportional gain on normalized error
+  double ki = 0.25;       ///< integral gain on normalized error
+  Watts gain = 40.0;      ///< watts per unit normalized error (initial)
+  bool adaptive = true;   ///< adapt `gain` to the estimated plant slope
+  Watts gain_min = 5.0;   ///< adaptive gain clamp
+  Watts gain_max = 200.0;
+  double slope_ema = 0.3; ///< EMA weight for the plant-slope estimate
+};
+
+/// PI controller with progress setpoint and adaptive gain.
+class PiController final : public Controller {
+ public:
+  explicit PiController(PiConfig config);
+
+  [[nodiscard]] const char* name() const override { return "pi"; }
+  [[nodiscard]] std::optional<Watts> decide(const Observation& observation,
+                                            const CapBounds& bounds) override;
+  void reset() override;
+  void degrade() override { degraded_ = true; }
+  [[nodiscard]] ControllerStatus status() const override;
+
+  /// Current watts-per-unit-error scale (adapts when config.adaptive).
+  [[nodiscard]] Watts gain() const { return gain_; }
+
+ private:
+  PiConfig config_;
+  Watts gain_;
+  std::optional<double> prev_error_;   // normalized
+  std::optional<double> prev_rate_;    // for the slope estimate
+  std::optional<Watts> prev_output_;   // cap behind prev_rate_
+  std::optional<double> slope_;        // EMA of Δrate_n per watt
+  std::optional<Watts> last_output_;
+  double last_error_ = 0.0;            // raw units/s, for status()
+  std::uint64_t saturations_ = 0;
+  bool degraded_ = false;
+};
+
+}  // namespace procap::policy

@@ -1,4 +1,4 @@
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,0 +1,112 @@
+// schedule_shapes.hpp — dynamic power-capping schedules (paper
+// Section V-B).
+//
+// A CapSchedule maps elapsed time to the package cap the power-policy
+// daemon should apply at that moment (nullopt = uncapped).  The three
+// shapes studied in the paper:
+//
+//   * Linearly decreasing — uncapped, then ramping down to a floor.
+//   * Step function       — alternating uncapped/high and low.
+//   * Jagged edge         — linear ramp down, instant snap back up,
+//                           repeating (sawtooth).
+//
+// plus constant and uncapped schedules used by the experiment harness.
+//
+// A CapSchedule is the open-loop *shape*; to run one through a host
+// (daemon, NRM, sweep) wrap it in a policy::ScheduleController
+// (policy/adapters.hpp) or build it by name from the controller
+// registry (policy/controller.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace procap::policy {
+
+/// Time-varying package power cap.
+class CapSchedule {
+ public:
+  virtual ~CapSchedule() = default;
+
+  /// Cap at `elapsed` seconds since the schedule started; nullopt means
+  /// uncapped.
+  [[nodiscard]] virtual std::optional<Watts> cap_at(Seconds elapsed) const = 0;
+
+  /// Short human-readable name for logs and experiment output.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Never caps.
+class UncappedSchedule final : public CapSchedule {
+ public:
+  [[nodiscard]] std::optional<Watts> cap_at(Seconds) const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] const char* name() const override { return "uncapped"; }
+};
+
+/// Uncapped until `start_after`, then a fixed cap.
+class ConstantCap final : public CapSchedule {
+ public:
+  explicit ConstantCap(Watts cap, Seconds start_after = 0.0);
+
+  [[nodiscard]] std::optional<Watts> cap_at(Seconds elapsed) const override;
+  [[nodiscard]] const char* name() const override { return "constant"; }
+
+ private:
+  Watts cap_;
+  Seconds start_after_;
+};
+
+/// Paper scheme 1: uncapped for `uncapped_for` seconds, then decreasing
+/// from `from` at `rate_watts_per_s` until `floor`, holding there.
+class LinearDecreasingCap final : public CapSchedule {
+ public:
+  LinearDecreasingCap(Watts from, Watts floor, double rate_watts_per_s,
+                      Seconds uncapped_for = 0.0);
+
+  [[nodiscard]] std::optional<Watts> cap_at(Seconds elapsed) const override;
+  [[nodiscard]] const char* name() const override { return "linear"; }
+
+ private:
+  Watts from_;
+  Watts floor_;
+  double rate_;
+  Seconds uncapped_for_;
+};
+
+/// Paper scheme 2: alternate uncapped (or `high` if given) for
+/// `high_duration`, then `low` for `low_duration`, repeating.
+class StepCap final : public CapSchedule {
+ public:
+  StepCap(std::optional<Watts> high, Watts low, Seconds high_duration,
+          Seconds low_duration);
+
+  [[nodiscard]] std::optional<Watts> cap_at(Seconds elapsed) const override;
+  [[nodiscard]] const char* name() const override { return "step"; }
+
+ private:
+  std::optional<Watts> high_;
+  Watts low_;
+  Seconds high_duration_;
+  Seconds low_duration_;
+};
+
+/// Paper scheme 3: sawtooth — linear descent from `from` to `floor` over
+/// `ramp_duration`, then an instant return to `from`, repeating.
+class JaggedCap final : public CapSchedule {
+ public:
+  JaggedCap(Watts from, Watts floor, Seconds ramp_duration);
+
+  [[nodiscard]] std::optional<Watts> cap_at(Seconds elapsed) const override;
+  [[nodiscard]] const char* name() const override { return "jagged"; }
+
+ private:
+  Watts from_;
+  Watts floor_;
+  Seconds ramp_duration_;
+};
+
+}  // namespace procap::policy

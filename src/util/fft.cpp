@@ -1,0 +1,48 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace procap::util {
+
+void fft(std::span<std::complex<double>> data) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  if (n < 2) {
+    return;
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) {
+      j ^= bit;
+    }
+    j |= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Iterative butterflies.  Twiddles come from std::polar on the exact
+  // same angles every call, so the operation order (and the result) is
+  // fixed for a given input.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen = std::polar(1.0, angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace procap::util

@@ -1,0 +1,27 @@
+// fft.hpp — minimal radix-2 FFT for periodicity detection.
+//
+// The FFT phase-detecting controller (policy/fft_controller.hpp) needs a
+// discrete Fourier transform over a short sliding window of 1 Hz power
+// samples.  A full FFT library would be overkill (and an external
+// dependency); an iterative in-place radix-2 Cooley-Tukey transform on a
+// power-of-two window is plenty, and its operation order is fixed so
+// results are bit-reproducible for a given input on a given binary —
+// the determinism contract the sweep/bench layer relies on.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+
+namespace procap::util {
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward DFT (no normalization): data[k] = sum_j x[j] *
+/// exp(-2*pi*i*j*k/N).  `data.size()` must be a power of two; throws
+/// std::invalid_argument otherwise.
+void fft(std::span<std::complex<double>> data);
+
+}  // namespace procap::util

@@ -1,0 +1,171 @@
+// Golden-trace parity for the policy::Controller redesign.
+//
+// The committed CSVs under tests/data/controller_golden/ were generated
+// from the legacy policy surfaces (CapSchedule::cap_at driving the
+// daemon, the NRM's built-in kBudget/kProgressTarget loops) *before* the
+// Controller API existed.  These tests rerun the identical scenarios
+// through today's code — which routes every decision through a
+// policy::Controller — and require the cap sequences to match bit for
+// bit (textual %.17g equality, no tolerance).  A mismatch means the
+// adapters are not faithful to the legacy behavior.
+//
+// Regenerate only after an *intentional* behavior change:
+//   tests/data/regenerate_controller_golden.sh
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "apps/app.hpp"
+#include "apps/suite.hpp"
+#include "exp/measure.hpp"
+#include "exp/rig.hpp"
+#include "policy/nrm.hpp"
+#include "policy/schedule_shapes.hpp"
+#include "progress/monitor.hpp"
+#include "util/series.hpp"
+
+namespace procap::policy {
+namespace {
+
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+// Schedule shape sampled on a fixed grid: one row per 0.25 s over
+// [0, 120] s; an empty cap cell means uncapped.
+std::string schedule_csv(const CapSchedule& schedule) {
+  std::ostringstream os;
+  os << "t_seconds,cap_watts\n";
+  for (int i = 0; i <= 480; ++i) {
+    const Seconds t = 0.25 * i;
+    const auto cap = schedule.cap_at(t);
+    os << fmt(t) << "," << (cap ? fmt(*cap) : "") << "\n";
+  }
+  return os.str();
+}
+
+std::string series_csv(const TimeSeries& series) {
+  std::ostringstream os;
+  os << "t_ns," << series.name() << "\n";
+  for (const auto& sample : series.samples()) {
+    os << sample.t << "," << fmt(sample.value) << "\n";
+  }
+  return os.str();
+}
+
+// Compare `actual` against the committed golden, or rewrite the golden
+// when PROCAP_REGEN_CONTROLLER_GOLDEN is set (regenerate script only).
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path =
+      std::string(PROCAP_TESTS_DIR) + "/data/controller_golden/" + name;
+  if (std::getenv("PROCAP_REGEN_CONTROLLER_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream golden(path);
+  ASSERT_TRUE(golden.is_open()) << "missing " << path
+                                << " (run tests/data/"
+                                   "regenerate_controller_golden.sh)";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << name << " diverged from the legacy "
+                                    << "cap sequence";
+}
+
+TEST(ControllerGolden, UncappedSchedule) {
+  check_golden("schedule_uncapped.csv", schedule_csv(UncappedSchedule()));
+}
+
+TEST(ControllerGolden, ConstantSchedule) {
+  check_golden("schedule_constant.csv", schedule_csv(ConstantCap(80.0, 5.0)));
+}
+
+TEST(ControllerGolden, LinearSchedule) {
+  check_golden("schedule_linear.csv",
+               schedule_csv(LinearDecreasingCap(150.0, 60.0, 2.0, 10.0)));
+}
+
+TEST(ControllerGolden, StepSchedule) {
+  check_golden("schedule_step.csv",
+               schedule_csv(StepCap(std::nullopt, 70.0, 15.0, 15.0)));
+}
+
+TEST(ControllerGolden, StepScheduleWithHigh) {
+  check_golden("schedule_step_high.csv",
+               schedule_csv(StepCap(Watts{120.0}, 70.0, 10.0, 10.0)));
+}
+
+TEST(ControllerGolden, JaggedSchedule) {
+  check_golden("schedule_jagged.csv",
+               schedule_csv(JaggedCap(150.0, 60.0, 20.0)));
+}
+
+// The daemon path: cap series of a full simulated run.  After the
+// redesign this exercises ScheduleController end to end.
+TEST(ControllerGolden, DaemonStepLammps) {
+  exp::RunOptions options;
+  options.duration = 60.0;
+  options.seed = 3;
+  const auto traces = exp::run_under_schedule(
+      apps::by_name("lammps"),
+      std::make_unique<StepCap>(std::nullopt, 70.0, 12.0, 12.0), options);
+  check_golden("daemon_step_lammps.csv", series_csv(traces.cap));
+}
+
+TEST(ControllerGolden, DaemonLinearStream) {
+  exp::RunOptions options;
+  options.duration = 60.0;
+  options.seed = 5;
+  const auto traces = exp::run_under_schedule(
+      apps::by_name("stream"),
+      std::make_unique<LinearDecreasingCap>(150.0, 60.0, 2.0, 8.0), options);
+  check_golden("daemon_linear_stream.csv", series_csv(traces.cap));
+}
+
+// The NRM path: a scripted mode tour (uncapped -> hard budget ->
+// progress target -> budget -> uncapped) under a node-budget ceiling.
+// After the redesign kBudget/kProgressTarget delegate to
+// BudgetController/ProgressTargetController.
+TEST(ControllerGolden, NrmModeTour) {
+  exp::SimRig rig;
+  auto app = apps::by_name("lammps");
+  apps::SimApp sim_app(rig.package(), rig.broker(), app.spec, 2);
+  progress::Monitor monitor(rig.broker().make_sub(), "lammps", rig.time());
+  NodeResourceManager nrm(rig.rapl(), monitor, rig.time());
+  nrm.attach(rig.engine());
+
+  nrm.set_node_budget(140.0);
+  rig.engine().run_for(to_nanos(5.0));
+
+  nrm.set_power_budget(90.0);
+  rig.engine().run_for(to_nanos(10.0));
+
+  model::ModelParams params;
+  params.beta = 1.0;
+  params.alpha = 2.0;
+  params.p_core_max = 149.0;
+  params.r_max = 800000.0;
+  nrm.set_progress_target(0.75 * params.r_max, params);
+  rig.engine().run_for(to_nanos(30.0));
+
+  nrm.set_power_budget(70.0);
+  rig.engine().run_for(to_nanos(5.0));
+
+  nrm.clear_power_budget();
+  rig.engine().run_for(to_nanos(5.0));
+
+  check_golden("nrm_mode_tour_caps.csv", series_csv(nrm.cap_series()));
+  check_golden("nrm_mode_tour_modes.csv", series_csv(nrm.mode_series()));
+}
+
+}  // namespace
+}  // namespace procap::policy

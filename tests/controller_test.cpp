@@ -1,0 +1,461 @@
+// Tests for the unified policy::Controller API (DESIGN.md §15): spec
+// parsing, the registry and its error paths, the legacy adapters'
+// arithmetic, the closed-loop zoo (PI / FFT / MPC) against synthetic
+// plants, the radix-2 FFT kernel, and the cluster refinement bank.
+// Legacy bit-parity against committed cap traces lives in
+// controller_golden_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <numbers>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "policy/adapters.hpp"
+#include "policy/controller.hpp"
+#include "policy/fft_controller.hpp"
+#include "policy/mpc_controller.hpp"
+#include "policy/pi_controller.hpp"
+#include "util/fft.hpp"
+
+namespace procap::policy {
+namespace {
+
+/// A trustworthy observation: healthy signal, valid power, windows done.
+Observation obs(Seconds elapsed, double rate, Watts power,
+                std::optional<Watts> applied = std::nullopt) {
+  Observation o;
+  o.t = to_nanos(elapsed);
+  o.elapsed = elapsed;
+  o.progress_rate = rate;
+  o.windows = static_cast<std::uint64_t>(elapsed) + 1;
+  o.power = power;
+  o.power_valid = true;
+  o.applied_cap = applied;
+  o.signal_healthy = true;
+  return o;
+}
+
+// ------------------------------------------------------ spec parsing --
+
+TEST(ControllerSpec, ParsesANameWithoutParams) {
+  const ControllerSpec spec = parse_controller_spec("uncapped");
+  EXPECT_EQ(spec.name, "uncapped");
+  EXPECT_TRUE(spec.params.empty());
+}
+
+TEST(ControllerSpec, ParsesKeyValueParams) {
+  const ControllerSpec spec =
+      parse_controller_spec("pi:setpoint=640000,kp=0.8,adaptive=false");
+  EXPECT_EQ(spec.name, "pi");
+  ASSERT_EQ(spec.params.size(), 3u);
+  EXPECT_EQ(spec.params.at("setpoint"), "640000");
+  EXPECT_EQ(spec.params.at("kp"), "0.8");
+  EXPECT_EQ(spec.params.at("adaptive"), "false");
+}
+
+TEST(ControllerSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_controller_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_controller_spec(":k=v"), std::invalid_argument);
+  EXPECT_THROW((void)parse_controller_spec("pi:setpoint"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_controller_spec("pi:=5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_controller_spec("pi:a=1,a=2"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- registry --
+
+TEST(ControllerRegistry, GlobalRegistryCarriesTheBuiltInZoo) {
+  ControllerRegistry& registry = ControllerRegistry::global();
+  const std::string help = registry.help();
+  for (const char* name : {"uncapped", "constant", "linear", "step", "jagged",
+                           "budget", "target", "pi", "fft", "mpc"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ControllerRegistry, UnknownNameErrorListsWhatIsRegistered) {
+  try {
+    (void)make_controller("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("unknown controller 'bogus'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("pi"), std::string::npos) << what;
+  }
+}
+
+TEST(ControllerRegistry, FactoriesRejectBadParameters) {
+  // Required parameter missing.
+  EXPECT_THROW((void)make_controller("pi"), std::invalid_argument);
+  // Unknown key (typo protection via param::require_known).
+  EXPECT_THROW((void)make_controller("pi:setpoint=10,bogus=1"),
+               std::invalid_argument);
+  // Unparsable value.
+  EXPECT_THROW((void)make_controller("constant:cap=abc"),
+               std::invalid_argument);
+  // Domain violations surface from the controller constructors.
+  EXPECT_THROW((void)make_controller("pi:setpoint=-5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_controller("fft:window=33"),
+               std::invalid_argument);
+}
+
+TEST(ControllerRegistry, DuplicateRegistrationIsRejected) {
+  ControllerRegistry& registry = ControllerRegistry::global();
+  EXPECT_THROW(
+      registry.add("uncapped", "dup", [](const ControllerParams&) {
+        return make_controller("uncapped");
+      }),
+      std::invalid_argument);
+}
+
+TEST(ControllerRegistry, BuildsAConfiguredControllerFromASpec) {
+  const auto controller = make_controller("constant:cap=95,delay=0");
+  EXPECT_STREQ(controller->name(), "constant");
+  const auto cap = controller->decide(obs(3.0, 100.0, 120.0), CapBounds{});
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_DOUBLE_EQ(*cap, 95.0);
+}
+
+// ---------------------------------------------------------- adapters --
+
+TEST(Adapters, BudgetClampsIntoBoundsAndCountsTheSaturation) {
+  BudgetController controller(500.0);
+  const auto capped =
+      controller.decide(obs(0.0, 0.0, 0.0), CapBounds{0.0, 205.0});
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_DOUBLE_EQ(*capped, 205.0);
+  EXPECT_EQ(controller.status().saturations, 1u);
+
+  const auto roomy =
+      controller.decide(obs(1.0, 0.0, 0.0), CapBounds{0.0, 600.0});
+  ASSERT_TRUE(roomy.has_value());
+  EXPECT_DOUBLE_EQ(*roomy, 500.0);
+  EXPECT_EQ(controller.status().saturations, 1u);
+}
+
+TEST(Adapters, ScheduleReplayIgnoresBoundsTheShapeIsTheContract) {
+  const auto controller =
+      make_controller("linear:from=150,floor=60,rate=2,delay=10");
+  const CapBounds tight{0.0, 100.0};
+  // Uncapped through the delay, then the ramp — even above max_cap.
+  EXPECT_FALSE(controller->decide(obs(5.0, 0.0, 0.0), tight).has_value());
+  const auto at_start = controller->decide(obs(10.0, 0.0, 0.0), tight);
+  ASSERT_TRUE(at_start.has_value());
+  EXPECT_DOUBLE_EQ(*at_start, 150.0);
+  const auto on_ramp = controller->decide(obs(30.0, 0.0, 0.0), tight);
+  ASSERT_TRUE(on_ramp.has_value());
+  EXPECT_DOUBLE_EQ(*on_ramp, 150.0 - 2.0 * 20.0);
+  const auto floored = controller->decide(obs(500.0, 0.0, 0.0), tight);
+  ASSERT_TRUE(floored.has_value());
+  EXPECT_DOUBLE_EQ(*floored, 60.0);
+}
+
+TEST(Adapters, ProgressTargetKeepsTheLegacyDeadbandArithmetic) {
+  ProgressTargetConfig config;
+  config.setpoint = 100.0;
+  config.deadband = 0.05;
+  config.raise_step = 4.0;
+  config.lower_step = 2.0;
+  ProgressTargetController controller(config);
+  const CapBounds bounds{30.0, 205.0};
+
+  // No window yet: hold whatever is applied (here: nothing).
+  Observation warming = obs(0.0, 0.0, 120.0, 100.0);
+  warming.windows = 0;
+  EXPECT_EQ(controller.decide(warming, bounds), std::optional<Watts>(100.0));
+
+  // Below the setpoint: raise.
+  EXPECT_EQ(controller.decide(obs(1.0, 90.0, 120.0, 100.0), bounds),
+            std::optional<Watts>(104.0));
+  // Above the band (setpoint * 1.05): lower.
+  EXPECT_EQ(controller.decide(obs(2.0, 120.0, 120.0, 100.0), bounds),
+            std::optional<Watts>(98.0));
+  // Inside the band: hold.
+  EXPECT_EQ(controller.decide(obs(3.0, 102.0, 120.0, 100.0), bounds),
+            std::optional<Watts>(100.0));
+  // Unhealthy signal: hold, never chase a phantom zero.
+  Observation phantom = obs(4.0, 0.0, 120.0, 100.0);
+  phantom.signal_healthy = false;
+  EXPECT_EQ(controller.decide(phantom, bounds), std::optional<Watts>(100.0));
+  EXPECT_EQ(controller.status().saturations, 0u);
+}
+
+// ------------------------------------------------------------- PI ----
+
+TEST(PiController, ConvergesToTheSetpointOnALinearPlant) {
+  // Plant: rate = 4 * cap, so the setpoint of 400 units/s sits at 100 W.
+  PiConfig config;
+  config.setpoint = 400.0;
+  PiController controller(config);
+  const CapBounds bounds{20.0, 200.0};
+
+  Watts applied = 200.0;
+  for (int tick = 0; tick < 50; ++tick) {
+    const double rate = 4.0 * applied;
+    const auto out = controller.decide(
+        obs(static_cast<Seconds>(tick), rate, applied, applied), bounds);
+    ASSERT_TRUE(out.has_value());
+    applied = *out;
+  }
+  EXPECT_NEAR(4.0 * applied, config.setpoint, 0.05 * config.setpoint);
+  // The adaptive gain learned the plant slope (0.01/W -> 100 W/unit).
+  EXPECT_NEAR(controller.gain(), 100.0, 20.0);
+}
+
+TEST(PiController, HoldsWhileTheSignalIsUntrustworthy) {
+  PiConfig config;
+  config.setpoint = 400.0;
+  PiController controller(config);
+  const CapBounds bounds{20.0, 200.0};
+
+  Observation unhealthy = obs(0.0, 350.0, 150.0, 150.0);
+  unhealthy.signal_healthy = false;
+  EXPECT_EQ(controller.decide(unhealthy, bounds),
+            std::optional<Watts>(150.0));
+
+  Observation no_window = obs(1.0, 350.0, 150.0, 150.0);
+  no_window.windows = 0;
+  EXPECT_EQ(controller.decide(no_window, bounds),
+            std::optional<Watts>(150.0));
+}
+
+TEST(PiController, ResetRestoresTheConfiguredGain) {
+  PiConfig config;
+  config.setpoint = 400.0;
+  PiController controller(config);
+  const CapBounds bounds{20.0, 200.0};
+  Watts applied = 200.0;
+  for (int tick = 0; tick < 10; ++tick) {
+    applied = controller
+                  .decide(obs(static_cast<Seconds>(tick), 4.0 * applied,
+                              applied, applied),
+                          bounds)
+                  .value_or(applied);
+  }
+  EXPECT_NE(controller.gain(), config.gain);
+  controller.degrade();
+  EXPECT_TRUE(controller.status().degraded);
+  controller.reset();
+  EXPECT_DOUBLE_EQ(controller.gain(), config.gain);
+  EXPECT_FALSE(controller.status().degraded);
+}
+
+// ------------------------------------------------------------- FFT ---
+
+TEST(FftController, DetectsASquareWaveAndPhaseMatchesTheCap) {
+  FftConfig config;
+  config.window = 32;
+  config.threshold = 3.0;
+  config.margin = 0.0;
+  config.recompute = 1;
+  FftController controller(config);
+  const CapBounds bounds{0.0, 300.0};
+
+  // Period-8 square wave: 4 samples at 150 W, 4 at 70 W.
+  const auto wave = [](int tick) {
+    return (tick / 4) % 2 == 0 ? 150.0 : 70.0;
+  };
+  int tick = 0;
+  for (; tick < 32; ++tick) {  // warmup: fill the window
+    (void)controller.decide(obs(tick, 100.0, wave(tick)), bounds);
+  }
+  ASSERT_TRUE(controller.periodic());
+  EXPECT_DOUBLE_EQ(controller.period(), 8.0);
+
+  // Phase-matched caps: every decision sits on one of the two phase
+  // means, and both phases are predicted across a full period sweep.
+  int high = 0;
+  int low = 0;
+  for (; tick < 48; ++tick) {
+    const auto cap = controller.decide(obs(tick, 100.0, wave(tick)), bounds);
+    ASSERT_TRUE(cap.has_value());
+    if (std::abs(*cap - 150.0) < 1.0) {
+      ++high;
+    } else if (std::abs(*cap - 70.0) < 1.0) {
+      ++low;
+    } else {
+      FAIL() << "cap " << *cap << " matches neither phase level";
+    }
+  }
+  EXPECT_GT(high, 0);
+  EXPECT_GT(low, 0);
+}
+
+TEST(FftController, FallsBackWhileAperiodic) {
+  FftConfig config;
+  config.window = 16;
+  config.recompute = 1;
+  config.fallback = 95.0;
+  FftController controller(config);
+  const CapBounds bounds{0.0, 300.0};
+  // Constant power has an empty spectrum: warmup and steady state both
+  // land on the fallback budget.
+  for (int tick = 0; tick < 32; ++tick) {
+    const auto cap = controller.decide(obs(tick, 100.0, 100.0), bounds);
+    ASSERT_TRUE(cap.has_value());
+    EXPECT_DOUBLE_EQ(*cap, 95.0);
+  }
+  EXPECT_FALSE(controller.periodic());
+  EXPECT_DOUBLE_EQ(controller.period(), 0.0);
+}
+
+TEST(FftController, HoldsWithoutAPowerSample) {
+  FftController controller(FftConfig{});
+  Observation blind = obs(0.0, 100.0, 0.0, 130.0);
+  blind.power_valid = false;
+  EXPECT_EQ(controller.decide(blind, CapBounds{}),
+            std::optional<Watts>(130.0));
+}
+
+// ------------------------------------------------------------- MPC ---
+
+TEST(MpcController, WalksMeasureProbeControlAndMeetsTheSetpoint) {
+  // Plant: draws 160 W uncapped; a cap binds exactly (power = cap) and
+  // progress is linear in power: rate = 5 * W.
+  MpcConfig config;
+  config.target = 0.8;
+  MpcController controller(config);
+  const CapBounds bounds{0.0, 300.0};
+
+  std::optional<Watts> applied;
+  std::vector<std::optional<Watts>> decisions;
+  int tick = 0;
+  const auto step = [&] {
+    const Watts power = applied ? std::min(*applied, 160.0) : 160.0;
+    const auto out = controller.decide(
+        obs(static_cast<Seconds>(tick), 5.0 * power, power, applied), bounds);
+    decisions.push_back(out);
+    applied = out;
+    ++tick;
+  };
+
+  // Measure: settle (2) + hold (6) decisions; the 8th one closes the
+  // level and already programs the first probe cap.
+  for (int i = 0; i < 7; ++i) {
+    step();
+    EXPECT_FALSE(decisions.back().has_value()) << "tick " << tick;
+  }
+  // Probe: 4 levels x 8 ticks, a strictly descending ladder.
+  std::vector<Watts> ladder;
+  for (int i = 0; i < 32; ++i) {
+    step();
+    ASSERT_TRUE(decisions.back().has_value()) << "tick " << tick;
+    if (ladder.empty() || *decisions.back() != ladder.back()) {
+      ladder.push_back(*decisions.back());
+    }
+  }
+  ASSERT_EQ(ladder.size(), 4u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i], ladder[i - 1]);
+  }
+  EXPECT_NEAR(ladder[0], 0.8 * 160.0, 1.0);
+  EXPECT_NEAR(ladder[3], 0.45 * 160.0, 1.0);
+
+  step();  // closes the last probe level: fit, invert, start control
+  ASSERT_TRUE(controller.calibrated());
+  EXPECT_NEAR(controller.setpoint(), 0.8 * 5.0 * 160.0, 1.0);
+  // Control: the fitted model plus the integral trim settle the plant
+  // onto the setpoint.
+  for (int i = 0; i < 60; ++i) {
+    step();
+    ASSERT_TRUE(decisions.back().has_value());
+  }
+  const double final_rate = 5.0 * std::min(*applied, 160.0);
+  EXPECT_NEAR(final_rate, controller.setpoint(),
+              0.10 * controller.setpoint());
+}
+
+TEST(MpcController, UntrustworthyObservationsFreezeThePhaseClock) {
+  MpcController controller(MpcConfig{});
+  const CapBounds bounds{0.0, 300.0};
+  for (int tick = 0; tick < 20; ++tick) {
+    Observation blind = obs(static_cast<Seconds>(tick), 800.0, 160.0, 120.0);
+    blind.signal_healthy = false;
+    EXPECT_EQ(controller.decide(blind, bounds), std::optional<Watts>(120.0));
+  }
+  EXPECT_FALSE(controller.calibrated());
+}
+
+// ------------------------------------------------------- util::fft ---
+
+TEST(FftMath, RejectsNonPowerOfTwoLengths) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(util::fft(data), std::invalid_argument);
+  EXPECT_FALSE(util::is_power_of_two(0));
+  EXPECT_FALSE(util::is_power_of_two(12));
+  EXPECT_TRUE(util::is_power_of_two(64));
+}
+
+TEST(FftMath, TransformsKnownSignalsExactly) {
+  // An impulse transforms to a flat spectrum of ones.
+  std::vector<std::complex<double>> impulse(8, 0.0);
+  impulse[0] = 1.0;
+  util::fft(impulse);
+  for (const auto& bin : impulse) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+  // A pure cosine at bin 2 concentrates N/2 in bins 2 and N-2.
+  std::vector<std::complex<double>> cosine(8);
+  for (std::size_t j = 0; j < cosine.size(); ++j) {
+    cosine[j] = std::cos(2.0 * std::numbers::pi * 2.0 *
+                         static_cast<double>(j) / 8.0);
+  }
+  util::fft(cosine);
+  for (std::size_t k = 0; k < cosine.size(); ++k) {
+    const double expected = (k == 2 || k == 6) ? 4.0 : 0.0;
+    EXPECT_NEAR(std::abs(cosine[k]), expected, 1e-12) << "bin " << k;
+  }
+}
+
+// ------------------------------------------- cluster refinement bank --
+
+TEST(ClusterRefinement, RefinersOnlyTrimTheStrategyGrant) {
+  cluster::ClusterConfig config;
+  config.nodes = 16;
+  config.global_budget = 120.0 * 16;
+  config.jobs = 4;
+  config.seed = 7;
+  config.threads = 1;
+  config.node_controller = "constant:cap=80,delay=0";
+  cluster::ClusterPowerManager manager(config);
+  manager.run(6);
+  // The refiner asks for 80 W; the bank clamps into [0, grant], so no
+  // node can ever exceed min(grant, 80) and conservation holds as-is.
+  for (const Watts cap : manager.caps()) {
+    EXPECT_LE(cap, 80.0 + 1e-9);
+  }
+  EXPECT_EQ(manager.invariant_violations(), 0u);
+  EXPECT_GE(manager.refined_watts(), 0.0);
+  EXPECT_NE(manager.node_controller(0), nullptr);
+  EXPECT_STREQ(manager.node_controller(0)->name(), "constant");
+}
+
+TEST(ClusterRefinement, EmptySpecDisablesTheBankAndBadSpecsThrowEarly) {
+  cluster::ClusterConfig config;
+  config.nodes = 8;
+  config.global_budget = 120.0 * 8;
+  config.jobs = 2;
+  config.seed = 7;
+  config.threads = 1;
+  {
+    cluster::ClusterPowerManager manager(config);
+    EXPECT_EQ(manager.node_controller(0), nullptr);
+    EXPECT_DOUBLE_EQ(manager.refined_watts(), 0.0);
+  }
+  config.node_controller = "bogus";
+  EXPECT_THROW(cluster::ClusterPowerManager{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace procap::policy

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate the controller golden cap sequences after an *intentional*
+# behavior change to the policy layer.  The goldens pin the legacy
+# (pre-Controller) cap sequences; the parity tests in
+# tests/controller_golden_test.cpp assert the Controller adapters
+# reproduce them bit for bit, so rewriting these files is a deliberate
+# re-baseline, not a fix.
+#
+# usage: tests/data/regenerate_controller_golden.sh [BUILD_DIR]
+set -e
+root=$(cd "$(dirname "$0")/../.." && pwd)
+build=${1:-"$root/build"}
+
+cmake --build "$build" --target controller_golden_test -j "$(nproc)"
+PROCAP_REGEN_CONTROLLER_GOLDEN=1 \
+  "$build/tests/controller_golden_test" \
+  --gtest_filter='ControllerGolden.*'
+echo "rewrote $root/tests/data/controller_golden/"

@@ -7,7 +7,7 @@
 
 #include "exp/measure.hpp"
 #include "model/progress_model.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "util/stats.hpp"
 
 namespace procap::exp {

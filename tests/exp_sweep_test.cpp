@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "apps/suite.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 
 namespace procap::exp {
 namespace {

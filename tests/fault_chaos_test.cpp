@@ -26,7 +26,7 @@
 #include "model/progress_model.hpp"
 #include "policy/daemon.hpp"
 #include "policy/nrm.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/health.hpp"
 #include "progress/monitor.hpp"
 

@@ -17,7 +17,7 @@
 #include "obs/alert.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/health.hpp"
 #include "sim/engine.hpp"
 

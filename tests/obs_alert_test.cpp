@@ -24,7 +24,7 @@
 #include "obs/timeseries.hpp"
 #include "policy/daemon.hpp"
 #include "policy/nrm.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/monitor.hpp"
 
 namespace procap {

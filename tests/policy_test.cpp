@@ -8,7 +8,7 @@
 #include "exp/rig.hpp"
 #include "policy/daemon.hpp"
 #include "policy/nrm.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/monitor.hpp"
 
 namespace procap::policy {
@@ -128,7 +128,11 @@ TEST(Daemon, UncappingClearsLimit) {
 
 TEST(Daemon, NullScheduleRejected) {
   exp::SimRig rig;
-  EXPECT_THROW(PowerPolicyDaemon(rig.rapl(), rig.time(), nullptr),
+  EXPECT_THROW(PowerPolicyDaemon(rig.rapl(), rig.time(),
+                                 std::unique_ptr<CapSchedule>()),
+               std::invalid_argument);
+  EXPECT_THROW(PowerPolicyDaemon(rig.rapl(), rig.time(),
+                                 std::unique_ptr<Controller>()),
                std::invalid_argument);
 }
 

@@ -17,7 +17,7 @@
 
 #include "apps/specfile.hpp"
 #include "exp/measure.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/category.hpp"
 #include "util/table.hpp"
 

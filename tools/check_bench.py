@@ -75,8 +75,37 @@ def check_one(candidate_path, baseline_path, max_regression, rows=None):
     if old <= 0:
         sys.exit("check_bench: baseline trials_per_s must be positive")
     delta_pct = (new - old) / old * 100.0
-    ok = delta_pct >= -max_regression
+    perf_ok = delta_pct >= -max_regression
+
+    # Absolute metric gates: the *baseline's* [min, max] bands are hard
+    # correctness bounds on the candidate's metrics (BenchReport::gate).
+    # Unlike throughput, these fail like regressions: a metric leaving
+    # its committed band means the simulation's answers changed.
+    gate_failures = 0
+    gates = baseline.get("metric_gates", {})
+    candidate_metrics = candidate.get("metrics", {})
+    for key in sorted(gates):
+        band = gates[key]
+        if not (isinstance(band, (list, tuple)) and len(band) == 2):
+            sys.exit(f"check_bench: {baseline_path}: metric_gates['{key}'] "
+                     f"must be a [min, max] pair")
+        if key not in candidate_metrics:
+            print(f"  gate {key}: metric missing from candidate — FAIL")
+            gate_failures += 1
+            continue
+        value = float(candidate_metrics[key])
+        lo, hi = float(band[0]), float(band[1])
+        if not lo <= value <= hi:
+            print(f"  gate {key}: {value:.6g} outside [{lo:.6g}, "
+                  f"{hi:.6g}] — FAIL")
+            gate_failures += 1
+
     if rows is not None:
+        verdict = "OK"
+        if not perf_ok:
+            verdict = "FAIL (regression)"
+        if gate_failures:
+            verdict = f"FAIL ({gate_failures} metric gate(s))"
         rows.append({
             "bench": name,
             "new": new,
@@ -84,7 +113,7 @@ def check_one(candidate_path, baseline_path, max_regression, rows=None):
             "speedup": new / old,
             "delta_pct": delta_pct,
             "threads": candidate.get("threads", "?"),
-            "verdict": "OK" if ok else "FAIL (regression)",
+            "verdict": verdict,
         })
     direction = "faster" if delta_pct >= 0 else "slower"
     print(f"{name}: {new:.2f} trials/s vs baseline {old:.2f} "
@@ -104,11 +133,15 @@ def check_one(candidate_path, baseline_path, max_regression, rows=None):
             print(f"  metric {key}: {new_m:.4g} (baseline {old_m:.4g}, "
                   f"{drift:+.4g})")
 
+    if gate_failures:
+        print(f"{name}: {gate_failures} metric gate(s) violated — FAIL")
+        return 1
     if delta_pct < -max_regression:
         print(f"{name}: throughput regression beyond "
               f"{max_regression:.0f}% — FAIL")
         return 1
-    print(f"{name}: within the {max_regression:.0f}% gate — OK")
+    gated = f", {len(gates)} metric gate(s) in band" if gates else ""
+    print(f"{name}: within the {max_regression:.0f}% gate{gated} — OK")
     return 0
 
 

@@ -98,12 +98,29 @@ if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
         --short --threads 8 --bench-json "${out}/pertick.json" &&
       python3 tools/check_determinism.py \
         "${out}/t1.json" "${out}/t8.json" "${out}/pertick.json" &&
+      ./build/bench/policy_shootout --short --threads 1 \
+        --bench-json "${out}/shootout_t1.json" &&
+      ./build/bench/policy_shootout --short --threads 8 \
+        --bench-json "${out}/shootout_t8.json" &&
+      PROCAP_SIM_ENGINE=pertick ./build/bench/policy_shootout \
+        --short --threads 8 --bench-json "${out}/shootout_pertick.json" &&
+      python3 tools/check_determinism.py \
+        "${out}/shootout_t1.json" "${out}/shootout_t8.json" \
+        "${out}/shootout_pertick.json" &&
       ./build/tools/cluster_sim --nodes 96 --epochs 40 --seed 7 \
         --threads 1 --quiet --trace-out "${out}/traces_t1.json" &&
       ./build/tools/cluster_sim --nodes 96 --epochs 40 --seed 7 \
         --threads 8 --quiet --trace-out "${out}/traces_t8.json" &&
       python3 tools/check_determinism.py --traces \
-        "${out}/traces_t1.json" "${out}/traces_t8.json"
+        "${out}/traces_t1.json" "${out}/traces_t8.json" &&
+      ./build/tools/cluster_sim --nodes 96 --epochs 40 --seed 7 \
+        --controller target:setpoint=60 --threads 1 --quiet \
+        --trace-out "${out}/traces_ctrl_t1.json" &&
+      ./build/tools/cluster_sim --nodes 96 --epochs 40 --seed 7 \
+        --controller target:setpoint=60 --threads 8 --quiet \
+        --trace-out "${out}/traces_ctrl_t8.json" &&
+      python3 tools/check_determinism.py --traces \
+        "${out}/traces_ctrl_t1.json" "${out}/traces_ctrl_t8.json"
   }
   run_step "determinism gate (threads x batched/per-tick)" determinism_gate
 fi
@@ -123,6 +140,8 @@ if [[ ${skip_bench} -eq 0 && " ${presets[*]} " == *" default "* ]]; then
         --bench-json "${out}/BENCH_abl_cap_tracking.json" &&
       ./build/bench/abl_job_variability --short --threads 8 \
         --bench-json "${out}/BENCH_abl_job_variability.json" &&
+      ./build/bench/policy_shootout --short --threads 8 \
+        --bench-json "${out}/BENCH_policy_shootout.json" &&
       ./build/bench/cluster_churn --short --threads 8 \
         --bench-json "${out}/BENCH_cluster_churn.json" &&
       ./build/bench/obs_load --short \

@@ -25,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "policy/controller.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -35,6 +36,10 @@ void usage(const char* argv0) {
       << "  --nodes N       cluster size (default 256)\n"
       << "  --budget W      global power budget in watts (default 120*N)\n"
       << "  --strategy S    uniform | demand | progress (default demand)\n"
+      << "  --controller C  per-node refinement controller, a policy\n"
+      << "                  registry spec NAME[:k=v,...]; each node may\n"
+      << "                  trim (never raise) its strategy grant\n"
+      << "                  (default: off)\n"
       << "  --epochs N      epochs to run (default 30)\n"
       << "  --jobs N        synthesized job-mix size (default N/8)\n"
       << "  --seed S        master seed (default 42)\n"
@@ -52,7 +57,9 @@ void usage(const char* argv0) {
       << "  --trace-sample N  keep 1-in-N closed flows (default 8; 1 = all)\n"
       << "  --trace-slow-ms M always keep flows slower than M ms (default\n"
       << "                    750)\n"
-      << "  --trace-cap N     kept-flow ring capacity (default 4096)\n";
+      << "  --trace-cap N     kept-flow ring capacity (default 4096)\n"
+      << "controllers (for --controller):\n"
+      << procap::policy::controller_help();
 }
 
 }  // namespace
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
       config.global_budget = std::atof(value("--budget").c_str());
     } else if (arg == "--strategy") {
       config.strategy = value("--strategy");
+    } else if (arg == "--controller") {
+      config.node_controller = value("--controller");
     } else if (arg == "--epochs") {
       epochs = static_cast<unsigned>(std::atol(value("--epochs").c_str()));
     } else if (arg == "--jobs") {
@@ -247,7 +256,11 @@ int main(int argc, char** argv) {
 
     std::cout << "cluster: " << config.nodes << " nodes, "
               << num(config.global_budget, 0) << " W budget, strategy "
-              << config.strategy << ", seed " << config.seed << "\n\n";
+              << config.strategy;
+    if (!config.node_controller.empty()) {
+      std::cout << " + controller " << config.node_controller;
+    }
+    std::cout << ", seed " << config.seed << "\n\n";
     const Nanos epoch_sim = config.tick * config.ticks_per_epoch;
     TablePrinter table({"epoch", "t (s)", "assigned W", "reclaimed W",
                         "alive", "susp", "dead", "jobs", "held"});

@@ -38,6 +38,12 @@
 //   linear    --high W --low W --rate W/s [--delay S]
 //   step      --low W [--high W] --period S   (uncapped high if no --high)
 //   jagged    --high W --low W --period S
+//
+// Controller zoo (supersedes --scheme; see DESIGN.md §15):
+//   --controller NAME[:k=v,...]  pick any registered policy::Controller,
+//                                e.g. --controller pi:setpoint=650000
+//                                or   --controller fft:window=64
+//                                Run with --help to list the registry.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -59,8 +65,10 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "policy/adapters.hpp"
+#include "policy/controller.hpp"
 #include "policy/daemon.hpp"
-#include "policy/schemes.hpp"
+#include "policy/schedule_shapes.hpp"
 #include "progress/monitor.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
@@ -72,6 +80,7 @@ using namespace procap;
 struct Options {
   std::string app = "lammps";
   std::string scheme = "step";
+  std::string controller;  ///< registry spec; overrides --scheme when set
   double low = 70.0;
   double high = 0.0;  // 0 = uncapped for step
   double rate = 2.0;
@@ -93,6 +102,8 @@ void usage() {
   std::cerr
       << "usage: power_policy [--app NAME] [--scheme uncapped|constant|"
          "linear|step|jagged]\n"
+         "                    [--controller NAME[:k=v,...]]  "
+         "(overrides --scheme)\n"
          "                    [--low W] [--high W] [--rate W/s] "
          "[--period S] [--delay S]\n"
          "                    [--duration S] [--seed N] [--csv PREFIX]\n"
@@ -109,7 +120,8 @@ void usage() {
   for (const auto& name : apps::suite_names()) {
     std::cerr << name << " ";
   }
-  std::cerr << "\n";
+  std::cerr << "\ncontrollers (for --controller):\n"
+            << policy::controller_help();
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -123,6 +135,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.app = value;
     } else if (arg == "--scheme" && (value = next())) {
       opt.scheme = value;
+    } else if (arg == "--controller" && (value = next())) {
+      opt.controller = value;
     } else if (arg == "--low" && (value = next())) {
       opt.low = std::atof(value);
     } else if (arg == "--high" && (value = next())) {
@@ -201,11 +215,27 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, opt)) {
     return 2;
   }
-  auto schedule = make_schedule(opt);
-  if (!schedule) {
-    std::cerr << "unknown scheme: " << opt.scheme << "\n";
-    usage();
-    return 2;
+  // --controller picks from the policy registry; --scheme keeps the
+  // paper's original five shapes (now thin ScheduleController wrappers).
+  std::unique_ptr<policy::Controller> controller;
+  if (!opt.controller.empty()) {
+    try {
+      controller = policy::make_controller(opt.controller);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      usage();
+      return 2;
+    }
+    opt.scheme = controller->name();  // label outputs by the controller
+  } else {
+    auto schedule = make_schedule(opt);
+    if (!schedule) {
+      std::cerr << "unknown scheme: " << opt.scheme << "\n";
+      usage();
+      return 2;
+    }
+    controller =
+        std::make_unique<policy::ScheduleController>(std::move(schedule));
   }
 
   apps::AppModel app;
@@ -347,7 +377,7 @@ int main(int argc, char** argv) {
   std::cout << "power-policy: " << opt.app << " under '" << opt.scheme
             << "' for " << opt.duration << " s (simulated node)\n";
   const auto traces =
-      exp::run_under_schedule(app, std::move(schedule), run_options);
+      exp::run_under_controller(app, std::move(controller), run_options);
   server.stop();
   sampler.uninstall();
   if (opt.serve_port >= 0) {

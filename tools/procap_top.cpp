@@ -230,6 +230,12 @@ void render(const Frame& frame, bool ansi) {
       {"daemon.power_watts", "power", "W"},
       {"progress.rate", "progress", "/s"},
       {"progress.health.grade", "health grade", ""},
+      // Controller internals (DESIGN.md §15); rows drop out when the
+      // active controller does not publish them.
+      {"controller.setpoint", "ctl setpoint", ""},
+      {"controller.error", "ctl error", ""},
+      {"controller.output_watts", "ctl output", "W"},
+      {"controller.saturations", "ctl saturated", ""},
       {"daemon.ticks", "daemon ticks", ""},
       {"sim.ticks", "sim ticks", ""},
   };
